@@ -1,0 +1,130 @@
+"""Shared helpers for the experiment benchmarks."""
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.hardware.accelerator import LayerAssignment
+from repro.hardware.workloads import LayerShape
+from repro.quant.framework import ModelQuantizer
+
+#: the paper's eight evaluation workloads, in Fig. 13 order
+WORKLOADS = [
+    "vgg16",
+    "resnet18",
+    "resnet50",
+    "inceptionv3",
+    "vit",
+    "bert-mnli",
+    "bert-cola",
+    "bert-sst2",
+]
+
+CNN_WORKLOADS = WORKLOADS[:4]
+COMBOS = ["int", "ip", "fip", "ip-f", "fip-f"]
+
+
+def weighted_model_mse(quantizer: ModelQuantizer) -> float:
+    """Element-weighted mean quantization MSE across all tensors."""
+    total = 0.0
+    weight = 0
+    for config in quantizer.layers.values():
+        for q, sample in (
+            (config.weight_quantizer, config.weight_sample),
+            (config.input_quantizer, config.input_sample),
+        ):
+            n = int(np.asarray(sample).size)
+            total += q.observed_mse(sample) * n
+            weight += n
+    return total / weight if weight else 0.0
+
+
+def map_layer_flags_by_depth(
+    flags: Sequence[bool], layers: Sequence[LayerShape]
+) -> List[int]:
+    """Map scaled-model per-layer flags onto a real-architecture layer list.
+
+    The scaled models have far fewer layers than the real networks, so a
+    per-layer decision (e.g. "escalate to 8-bit") measured on the scaled
+    model is transferred to the real workload by relative depth: real
+    layer ``i`` inherits the flag of the scaled layer at the same
+    fractional position.  Returns the indices of flagged real layers.
+    """
+    if not flags:
+        return []
+    flags = list(flags)
+    indices = []
+    n_real = len(layers)
+    n_scaled = len(flags)
+    for i in range(n_real):
+        scaled_idx = min(n_scaled - 1, int(i * n_scaled / n_real))
+        if flags[scaled_idx]:
+            indices.append(i)
+    return indices
+
+
+def ant_assignments(
+    quantizer: ModelQuantizer,
+    layers: Sequence[LayerShape],
+    eight_bit_fraction: float = 0.10,
+) -> List[LayerAssignment]:
+    """ANT per-layer bits for a real workload.
+
+    Escalation set: the scaled model's highest-calibration-MSE layers
+    (the paper's escalation rule), up to ``eight_bit_fraction`` of
+    layers -- matching the measured ~90% 4-bit tensor ratio (Sec. V-D).
+    """
+    mses = quantizer.layer_mse()
+    names = list(quantizer.layers)
+    n_escalate = int(round(eight_bit_fraction * len(names)))
+    escalated = set(sorted(mses, key=mses.get, reverse=True)[:n_escalate])
+    flags = [name in escalated for name in names]
+    eight_idx = set(map_layer_flags_by_depth(flags, layers))
+    return [
+        LayerAssignment(8, 8) if i in eight_idx else LayerAssignment(4, 4)
+        for i in range(len(layers))
+    ]
+
+
+def bitfusion_assignments(
+    quantizer: ModelQuantizer,
+    layers: Sequence[LayerShape],
+    mse_budget: float = 0.01,
+) -> List[LayerAssignment]:
+    """BitFusion per-layer bits: int-only, escalate when int4 MSE is poor.
+
+    Uses the scaled model's tensors with the BitFusion tensor rule (int4
+    unless its MSE exceeds ``mse_budget`` x tensor variance), mapped by
+    relative depth.  Int-only adaptivity leaves many more layers at
+    8-bit than ANT -- the source of the Fig. 13 gap.
+    """
+    from repro.baselines.bitfusion import BitFusionQuantizer
+
+    scheme = BitFusionQuantizer(mse_budget=mse_budget)
+    flags = []
+    for config in quantizer.layers.values():
+        w_state = scheme.calibrate_weight(config.weight_sample)
+        a_state = scheme.calibrate_activation(config.input_sample)
+        flags.append(w_state["bits"] == 8 or a_state["bits"] == 8)
+    eight_idx = set(map_layer_flags_by_depth(flags, layers))
+    return [
+        LayerAssignment(8, 8) if i in eight_idx else LayerAssignment(4, 4)
+        for i in range(len(layers))
+    ]
+
+
+def olaccel_assignments(layers: Sequence[LayerShape]) -> List[LayerAssignment]:
+    """OLAccel: 4-bit + 3% outliers; first and last layers at 8-bit."""
+    last = len(layers) - 1
+    return [
+        LayerAssignment(8, 8, outlier_fraction=0.03)
+        if i in (0, last)
+        else LayerAssignment(4, 4, outlier_fraction=0.03)
+        for i in range(len(layers))
+    ]
+
+
+def scheme_type_ratios(report_counts: Dict[str, int]) -> Dict[str, float]:
+    """Tensor-count ratios per type label (Fig. 13 top)."""
+    total = sum(report_counts.values())
+    return {k: v / total for k, v in sorted(report_counts.items())}

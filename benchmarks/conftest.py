@@ -1,0 +1,48 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  Heavy
+state (trained models) is cached by :mod:`repro.zoo`; rendered result
+tables are written to ``results/`` and printed, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the full evaluation section.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a rendered table and persist it under results/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    """Lazy loader for trained workloads (trains + caches on first use)."""
+    from repro.zoo import trained_model
+
+    cache = {}
+
+    def _get(name: str):
+        if name not in cache:
+            cache[name] = trained_model(name)
+        return cache[name]
+
+    return _get

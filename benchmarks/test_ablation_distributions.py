@@ -1,0 +1,57 @@
+"""Ablation: which primitive wins as tensor tails get heavier.
+
+Parametric sweep from uniform through Gaussian (Student-t with large
+df) to extremely heavy-tailed, reporting each 4-bit primitive's MSE
+normalized to flint.  This is the mechanism underlying the paper's
+inter-tensor adaptivity: the winner crosses int -> flint -> PoT.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.dtypes import FlintType, IntType, PoTType, get_type
+from repro.quant import search_scale
+
+SWEEP = [("uniform", None), ("student_t", 30), ("student_t", 10),
+         ("student_t", 6), ("student_t", 4), ("student_t", 3), ("student_t", 2)]
+
+
+def _run():
+    rng = np.random.default_rng(0)
+    dtypes = [IntType(4, True), get_type("float4"), PoTType(4, True), FlintType(4, True)]
+    rows = []
+    for family, df in SWEEP:
+        if family == "uniform":
+            x = rng.uniform(-1, 1, size=16384)
+            label = "uniform"
+        else:
+            x = rng.standard_t(df, size=16384)
+            label = f"student-t df={df}"
+        mses = {d.name: search_scale(x, d).mse for d in dtypes}
+        flint = mses["flint4"]
+        rows.append([label] + [mses[d.name] / flint for d in dtypes]
+                    + [min(mses, key=mses.get)])
+    return rows
+
+
+def test_ablation_distribution_sweep(benchmark, emit):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rendered = format_table(
+        ["distribution", "int4", "float4", "pot4", "flint4", "winner"],
+        rows,
+        title="Ablation: 4-bit MSE normalized to flint across tail weights",
+        float_fmt="{:.3f}",
+    )
+    emit("ablation_distributions", rendered)
+
+    winners = [row[-1] for row in rows]
+    # The crossover structure: int first, flint in the middle band,
+    # PoT at the extreme tail.
+    assert winners[0] == "int4"
+    assert "flint4" in winners
+    assert winners[-1] == "pot4"
+    # int degrades monotonically relative to flint as tails grow
+    # (within sweep noise on the heaviest tail).
+    int_ratios = [row[1] for row in rows]
+    assert int_ratios[0] < 1.0 < int_ratios[-2]

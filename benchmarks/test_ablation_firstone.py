@@ -1,0 +1,50 @@
+"""Ablation: first-one adaptive coding vs fixed exponent/mantissa splits.
+
+flint's first-one coding gives each value-magnitude interval its own
+mantissa width.  This bench compares 4-bit flint against every fixed
+E/M float split at the same width across the distribution families,
+showing that no single fixed split dominates flint across families --
+the reason a *composite* code beats any one float layout.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.data import sample_distribution
+from repro.dtypes import FlintType, FloatType
+from repro.quant import search_scale
+
+FAMILIES = ["uniform", "gaussian", "laplace", "student_t", "gaussian_outliers"]
+
+
+def _run():
+    flint = FlintType(4, signed=True)
+    # Signed 4-bit leaves 3 magnitude bits: E1M2, E2M1, E3M0.
+    fixed = [FloatType(e, 3 - e, signed=True) for e in (1, 2, 3)]
+    rows = []
+    for family in FAMILIES:
+        x = sample_distribution(family, 16384, seed=4)
+        flint_mse = search_scale(x, flint).mse
+        ratios = [search_scale(x, f).mse / flint_mse for f in fixed]
+        rows.append([family] + ratios + [1.0])
+    return rows, [f.name for f in fixed]
+
+
+def test_ablation_first_one_coding(benchmark, emit):
+    rows, names = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rendered = format_table(
+        ["distribution"] + names + ["flint4"],
+        rows,
+        title="Ablation: fixed E/M splits vs flint (MSE normalized to flint)",
+        float_fmt="{:.3f}",
+    )
+    emit("ablation_firstone", rendered)
+
+    ratio_matrix = np.array([row[1:-1] for row in rows])
+    # Every fixed split loses to flint on at least one family (no fixed
+    # E/M layout dominates the adaptive code across distributions)...
+    assert np.all(ratio_matrix.max(axis=0) > 1.0)
+    # ...and on flint's design target -- the Gaussian-to-heavy-tail body
+    # (rows 1-3) -- flint stays within ~1.4x of the best fixed split.
+    assert np.all(ratio_matrix[1:4].min(axis=1) > 0.70)

@@ -1,0 +1,56 @@
+"""Ablation: mixed-precision escalation ratio vs average bits and speed.
+
+Sweeps the fraction of layers escalated to 8 bits on the ANT
+accelerator and reports average bits and normalized latency -- the
+cost curve behind the paper's "up to 91% of tensors at 4 bits" choice.
+"""
+
+from benchmarks._support import ant_assignments
+from repro.analysis import format_table
+from repro.hardware import build_accelerator, workload_layers
+from repro.hardware.accelerator import uniform_assignment
+from repro.quant.framework import ModelQuantizer
+from repro.zoo import calibration_batch
+
+FRACTIONS = [0.0, 0.1, 0.25, 0.5, 1.0]
+
+
+def _run(zoo):
+    entry = zoo("resnet18")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset, 64))
+    layers = workload_layers("resnet18")
+    accelerator = build_accelerator("ant-os")
+    reference = accelerator.simulate(
+        layers, uniform_assignment(layers, 4, 4)
+    ).cycles
+
+    rows = []
+    for fraction in FRACTIONS:
+        assignments = ant_assignments(quantizer, layers, eight_bit_fraction=fraction)
+        result = accelerator.simulate(layers, assignments)
+        avg_bits = sum(a.weight_bits for a in assignments) / len(assignments)
+        rows.append([f"{fraction:.0%}", avg_bits, result.cycles / reference])
+    quantizer.remove()
+    return rows
+
+
+def test_ablation_mixed_precision_ratio(benchmark, emit, zoo):
+    rows = benchmark.pedantic(lambda: _run(zoo), rounds=1, iterations=1)
+
+    rendered = format_table(
+        ["8-bit layer fraction", "avg layer bits", "latency vs all-4bit"],
+        rows,
+        title="Ablation: mixed-precision escalation cost curve (ResNet-18)",
+        float_fmt="{:.3f}",
+    )
+    emit("ablation_mixed_precision", rendered)
+
+    latencies = [row[2] for row in rows]
+    bits = [row[1] for row in rows]
+    # Monotone cost: more 8-bit layers -> more bits and more cycles.
+    assert bits == sorted(bits)
+    assert latencies == sorted(latencies)
+    assert latencies[0] == 1.0
+    # Full 8-bit costs several times the all-4-bit latency (4 PEs fuse).
+    assert latencies[-1] > 2.0

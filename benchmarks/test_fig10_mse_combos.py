@@ -1,0 +1,54 @@
+"""Fig. 10: quantization MSE of primitive-type combinations (4-bit).
+
+Element-weighted model MSE under five candidate lists, normalized to
+Int-4bit per workload.  The paper's shape: adding primitives
+monotonically (weakly) lowers MSE, with flint (IP-F / FIP-F) giving the
+largest drop.
+"""
+
+from benchmarks._support import COMBOS, WORKLOADS, weighted_model_mse
+from repro.analysis import format_table
+from repro.quant.framework import ModelQuantizer
+from repro.zoo import calibration_batch
+
+
+def _run(zoo):
+    table = {}
+    for workload in WORKLOADS:
+        entry = zoo(workload)
+        batch = calibration_batch(entry.dataset, 64)
+        mses = {}
+        for combo in COMBOS:
+            quantizer = ModelQuantizer(entry.model, combo, bits=4)
+            quantizer.calibrate(batch)
+            mses[combo] = weighted_model_mse(quantizer)
+            quantizer.remove()
+        table[workload] = mses
+    return table
+
+
+def test_fig10_combination_mse(benchmark, emit, zoo):
+    table = benchmark.pedantic(lambda: _run(zoo), rounds=1, iterations=1)
+
+    rows = []
+    for workload, mses in table.items():
+        base = mses["int"]
+        rows.append([workload] + [mses[c] / base for c in COMBOS])
+    rendered = format_table(
+        ["workload"] + [f"{c}-4bit" for c in COMBOS],
+        rows,
+        title="Fig. 10: quantization MSE normalized to Int-4bit",
+        float_fmt="{:.3f}",
+    )
+    emit("fig10_mse_combos", rendered)
+
+    for workload, mses in table.items():
+        # Richer candidate lists never increase the weighted MSE.
+        assert mses["ip"] <= mses["int"] * 1.0001
+        assert mses["ip-f"] <= mses["ip"] * 1.0001
+        assert mses["fip-f"] <= mses["fip"] * 1.0001
+    # flint meaningfully reduces MSE on at least half the workloads.
+    improved = sum(
+        1 for mses in table.values() if mses["ip-f"] < 0.97 * mses["ip"]
+    )
+    assert improved >= len(table) // 2

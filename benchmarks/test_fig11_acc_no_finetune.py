@@ -1,0 +1,53 @@
+"""Fig. 11: accuracy loss without fine-tuning (4-bit PTQ).
+
+Post-training 4-bit quantization under the five combinations.  The
+paper's shape: Int-4bit suffers large losses, adding PoT helps the
+long-tailed workloads, adding flint (IP-F / FIP-F) recovers most of the
+loss everywhere.
+"""
+
+from benchmarks._support import COMBOS, WORKLOADS
+from repro.analysis import format_table
+from repro.quant.framework import ModelQuantizer, evaluate
+from repro.zoo import calibration_batch
+
+
+def _run(zoo):
+    table = {}
+    for workload in WORKLOADS:
+        entry = zoo(workload)
+        dataset = entry.dataset
+        batch = calibration_batch(dataset, 64)
+        losses = {}
+        for combo in COMBOS:
+            quantizer = ModelQuantizer(entry.model, combo, bits=4)
+            quantizer.calibrate(batch).apply()
+            accuracy = evaluate(entry.model, dataset.x_test, dataset.y_test)
+            quantizer.remove()
+            losses[combo] = entry.fp32_accuracy - accuracy
+        table[workload] = losses
+    return table
+
+
+def test_fig11_accuracy_loss_no_finetune(benchmark, emit, zoo):
+    table = benchmark.pedantic(lambda: _run(zoo), rounds=1, iterations=1)
+
+    rows = [
+        [workload] + [losses[c] for c in COMBOS]
+        for workload, losses in table.items()
+    ]
+    rendered = format_table(
+        ["workload"] + [f"{c}-4bit" for c in COMBOS],
+        rows,
+        title="Fig. 11: accuracy loss (FP32 - quantized) without fine-tuning",
+        float_fmt="{:+.4f}",
+    )
+    emit("fig11_acc_no_finetune", rendered)
+
+    mean = {c: sum(l[c] for l in table.values()) / len(table) for c in COMBOS}
+    # Average loss ordering: flint-bearing combos beat int-only.
+    assert mean["ip-f"] <= mean["int"] + 1e-9
+    assert mean["fip-f"] <= mean["int"] + 1e-9
+    # The dynamic-range CNNs show the big int-4bit collapse of Fig. 11.
+    assert table["vgg16"]["int"] > 0.10
+    assert table["vgg16"]["ip-f"] < table["vgg16"]["int"] - 0.05

@@ -1,0 +1,87 @@
+"""Fig. 12: accuracy loss with quantization-aware fine-tuning.
+
+Same combinations as Fig. 11 plus the mixed-precision ANT4-8, each
+fine-tuned with the identical STE recipe (the paper's fair-comparison
+protocol).  Shape to reproduce: fine-tuning recovers most of the PTQ
+loss; IP-F / FIP-F reach the smallest residual loss; ANT4-8 closes to
+(near) zero.
+"""
+
+from benchmarks._support import COMBOS, WORKLOADS
+from repro.quant import MixedPrecisionSearch
+from repro.analysis import format_table
+from repro.quant.framework import ModelQuantizer, evaluate
+from repro.quant.qat import finetune
+from repro.zoo import calibration_batch
+
+FINETUNE_STEPS = 30
+COLUMNS = COMBOS + ["ant4-8"]
+
+
+def _restore(model, state):
+    for name, param in model.named_parameters():
+        param.data[...] = state[name]
+
+
+def _run(zoo):
+    table = {}
+    for workload in WORKLOADS:
+        entry = zoo(workload)
+        dataset = entry.dataset
+        batch = calibration_batch(dataset, 64)
+        snapshot = {name: p.data.copy() for name, p in entry.model.named_parameters()}
+        losses = {}
+        for combo in COMBOS:
+            quantizer = ModelQuantizer(entry.model, combo, bits=4)
+            quantizer.calibrate(batch).apply()
+            finetune(entry.model, dataset.x_train, dataset.y_train,
+                     steps=FINETUNE_STEPS, lr=5e-4)
+            accuracy = evaluate(entry.model, dataset.x_test, dataset.y_test)
+            quantizer.remove()
+            _restore(entry.model, snapshot)
+            losses[combo] = entry.fp32_accuracy - accuracy
+
+        # ANT4-8: IP-F plus layer-wise escalation with fine-tuning.
+        quantizer = ModelQuantizer(entry.model, "ip-f", bits=4)
+        quantizer.calibrate(batch).apply()
+        search = MixedPrecisionSearch(
+            quantizer,
+            evaluate_fn=lambda: evaluate(entry.model, dataset.x_test, dataset.y_test),
+            baseline_accuracy=entry.fp32_accuracy,
+            threshold=0.01,
+            finetune_fn=lambda: finetune(
+                entry.model, dataset.x_train, dataset.y_train,
+                steps=FINETUNE_STEPS, lr=5e-4,
+            ),
+            max_rounds=3,
+        )
+        result = search.run()
+        losses["ant4-8"] = result.accuracy_loss
+        quantizer.remove()
+        _restore(entry.model, snapshot)
+        table[workload] = losses
+    return table
+
+
+def test_fig12_accuracy_loss_with_finetune(benchmark, emit, zoo):
+    table = benchmark.pedantic(lambda: _run(zoo), rounds=1, iterations=1)
+
+    rows = [
+        [workload] + [losses[c] for c in COLUMNS]
+        for workload, losses in table.items()
+    ]
+    rendered = format_table(
+        ["workload"] + COLUMNS,
+        rows,
+        title="Fig. 12: accuracy loss (FP32 - quantized) with fine-tuning",
+        float_fmt="{:+.4f}",
+    )
+    emit("fig12_acc_finetune", rendered)
+
+    mean = {c: sum(l[c] for l in table.values()) / len(table) for c in COLUMNS}
+    # Fine-tuned flint combos stay close to FP32 on average...
+    assert mean["ip-f"] < 0.10
+    # ...and the mixed-precision ANT4-8 does at least as well as 4-bit IP-F.
+    assert mean["ant4-8"] <= mean["ip-f"] + 0.02
+    # Every workload ends within a few points of FP32 under ANT4-8.
+    assert all(losses["ant4-8"] < 0.12 for losses in table.values())

@@ -1,0 +1,73 @@
+"""Fig. 13 (bottom): normalized energy and its four-way split.
+
+Shape to reproduce: ANT-OS lowest energy, ANT-WS second (extra buffer
+traffic for high-precision outputs under WS), OLAccel below BitFusion
+(more 4-bit values cut DRAM/buffer energy despite its slow controller),
+AdaFloat worst.  Energy splits are dominated by DRAM + buffer.
+"""
+
+from benchmarks._support import WORKLOADS
+from benchmarks.test_fig13_latency import DESIGNS, simulate_all
+from repro.analysis import format_table
+from repro.analysis.reporting import geomean
+
+
+def test_fig13_normalized_energy(benchmark, emit, zoo):
+    results = benchmark.pedantic(lambda: simulate_all(zoo), rounds=1, iterations=1)
+
+    rows = []
+    normalized = {design: [] for design in DESIGNS}
+    for workload in WORKLOADS:
+        reference = results[("int8", workload)].total_energy_pj
+        row = [workload]
+        for design in DESIGNS:
+            value = results[(design, workload)].total_energy_pj / reference
+            normalized[design].append(value)
+            row.append(value)
+        rows.append(row)
+    geo = {design: geomean(normalized[design]) for design in DESIGNS}
+    rows.append(["geomean"] + [geo[d] for d in DESIGNS])
+
+    rendered = format_table(
+        ["workload"] + DESIGNS,
+        rows,
+        title="Fig. 13 (bottom): energy normalized to iso-area int8",
+        float_fmt="{:.3f}",
+    )
+
+    # Energy split for one representative workload per family.
+    split_rows = []
+    for workload in ("resnet50", "bert-mnli"):
+        for design in DESIGNS:
+            result = results[(design, workload)]
+            total = result.total_energy_pj
+            split_rows.append(
+                [workload, design]
+                + [result.energy_pj[k] / total for k in ("static", "dram", "buffer", "core")]
+            )
+    split = format_table(
+        ["workload", "design", "static", "dram", "buffer", "core"],
+        split_rows,
+        title="Energy split (fraction of total)",
+        float_fmt="{:.3f}",
+    )
+
+    gains = format_table(
+        ["vs design", "ANT-OS energy gain (measured)", "paper"],
+        [
+            ["bitfusion", geo["bitfusion"] / geo["ant-os"], 2.53],
+            ["olaccel", geo["olaccel"] / geo["ant-os"], 1.93],
+            ["biscaled", geo["biscaled"] / geo["ant-os"], 1.6],
+            ["adafloat", geo["adafloat"] / geo["ant-os"], 3.33],
+        ],
+        title="Headline energy reductions",
+        float_fmt="{:.2f}",
+    )
+    emit("fig13_energy", rendered + "\n\n" + split + "\n\n" + gains)
+
+    # Shape assertions.
+    assert geo["ant-os"] == min(geo.values())
+    assert geo["ant-os"] <= geo["ant-ws"] + 1e-9   # WS pays more buffer energy
+    assert geo["olaccel"] < geo["bitfusion"]       # paper's OLAccel energy win
+    assert geo["adafloat"] == max(geo.values())
+    assert geo["bitfusion"] / geo["ant-os"] > 1.4  # toward the 2.5x headline

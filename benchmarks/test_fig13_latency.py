@@ -1,0 +1,98 @@
+"""Fig. 13 (middle): normalized latency of six designs x eight workloads.
+
+Bit assignments for ANT and BitFusion are derived from the scaled-model
+calibration (mapped onto the real-architecture layer shapes by relative
+depth, see benchmarks/_support.py); OLAccel/BiScaled/AdaFloat use their
+schemes' fixed widths.  Latency is normalized to the iso-area int8
+reference design.
+
+Shape to reproduce (paper geomeans, normalized): ANT fastest; BitFusion
+~2.8x slower than ANT; OLAccel ~3.2x; BiScaled ~1.5x; AdaFloat ~4x.
+"""
+
+from benchmarks._support import (
+    WORKLOADS,
+    ant_assignments,
+    bitfusion_assignments,
+    olaccel_assignments,
+)
+from repro.analysis import format_table
+from repro.analysis.reporting import geomean
+from repro.hardware import build_accelerator, workload_layers
+from repro.hardware.accelerator import uniform_assignment
+from repro.quant.framework import ModelQuantizer
+from repro.zoo import calibration_batch
+
+DESIGNS = ["ant-os", "ant-ws", "bitfusion", "olaccel", "biscaled", "adafloat"]
+
+
+def simulate_all(zoo):
+    """(design, workload) -> SimulationResult, plus the int8 reference."""
+    results = {}
+    for workload in WORKLOADS:
+        entry = zoo(workload)
+        quantizer = ModelQuantizer(entry.model, "ip-f", bits=4)
+        quantizer.calibrate(calibration_batch(entry.dataset, 64))
+
+        layers = workload_layers(workload)
+        assignments = {
+            "ant-os": ant_assignments(quantizer, layers),
+            "ant-ws": ant_assignments(quantizer, layers),
+            "bitfusion": bitfusion_assignments(quantizer, layers),
+            "olaccel": olaccel_assignments(layers),
+            "biscaled": uniform_assignment(layers, 6, 6),
+            "adafloat": uniform_assignment(layers, 8, 8),
+            "int8": uniform_assignment(layers, 8, 8),
+        }
+        quantizer.remove()
+        for design in DESIGNS + ["int8"]:
+            accelerator = build_accelerator(design)
+            results[(design, workload)] = accelerator.simulate(
+                layers, assignments[design]
+            )
+    return results
+
+
+def test_fig13_normalized_latency(benchmark, emit, zoo):
+    results = benchmark.pedantic(lambda: simulate_all(zoo), rounds=1, iterations=1)
+
+    rows = []
+    normalized = {design: [] for design in DESIGNS}
+    for workload in WORKLOADS:
+        reference = results[("int8", workload)].cycles
+        row = [workload]
+        for design in DESIGNS:
+            value = results[(design, workload)].cycles / reference
+            normalized[design].append(value)
+            row.append(value)
+        rows.append(row)
+    geo = {design: geomean(normalized[design]) for design in DESIGNS}
+    rows.append(["geomean"] + [geo[d] for d in DESIGNS])
+
+    rendered = format_table(
+        ["workload"] + DESIGNS,
+        rows,
+        title="Fig. 13 (middle): latency normalized to iso-area int8",
+        float_fmt="{:.3f}",
+    )
+    speedups = format_table(
+        ["vs design", "ANT-OS speedup (measured)", "paper"],
+        [
+            ["bitfusion", geo["bitfusion"] / geo["ant-os"], 2.8],
+            ["olaccel", geo["olaccel"] / geo["ant-os"], 3.24],
+            ["biscaled", geo["biscaled"] / geo["ant-os"], 1.48],
+            ["adafloat", geo["adafloat"] / geo["ant-os"], 4.0],
+        ],
+        title="Headline speedups",
+        float_fmt="{:.2f}",
+    )
+    emit("fig13_latency", rendered + "\n\n" + speedups)
+
+    # Shape assertions: ANT is the fastest design on the geomean; the
+    # baseline ordering matches the paper (BiScaled < BitFusion <
+    # OLAccel ~ AdaFloat).
+    assert geo["ant-os"] == min(geo.values())
+    assert geo["ant-ws"] < geo["bitfusion"]
+    assert geo["biscaled"] < geo["bitfusion"] < geo["olaccel"]
+    assert geo["bitfusion"] / geo["ant-os"] > 1.5  # the 2.8x direction
+    assert geo["adafloat"] / geo["ant-os"] > 2.0   # the 4x direction

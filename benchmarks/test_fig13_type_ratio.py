@@ -1,0 +1,82 @@
+"""Fig. 13 (top): ratio of tensor types per scheme.
+
+ANT's tensor mix (flint/PoT/int at 4 bits, a small int8 share after
+escalation) against BitFusion's int4/int8 split and OLAccel's
+element-wise 4/8-bit split.  Shape to reproduce: ANT keeps ~90% of
+tensors at 4 bits, far more than BitFusion.
+"""
+
+from benchmarks._support import WORKLOADS, scheme_type_ratios
+from repro.analysis import format_table
+from repro.baselines.bitfusion import BitFusionQuantizer
+from repro.quant.framework import ModelQuantizer
+from repro.zoo import calibration_batch
+
+
+def _run(zoo):
+    table = {}
+    for workload in WORKLOADS:
+        entry = zoo(workload)
+        batch = calibration_batch(entry.dataset, 64)
+
+        quantizer = ModelQuantizer(entry.model, "ip-f", bits=4)
+        quantizer.calibrate(batch)
+        mses = quantizer.layer_mse()
+        for name in sorted(mses, key=mses.get, reverse=True)[: max(0, round(0.1 * len(mses)))]:
+            quantizer.escalate_layer(name)
+        ant = scheme_type_ratios(quantizer.report().type_counts)
+        ant_low_bit = quantizer.report().low_bit_tensor_fraction
+        quantizer.remove()
+
+        scheme = BitFusionQuantizer(mse_budget=0.01)
+        eight = 0
+        total = 0
+        for config in quantizer.layers.values():
+            for sample, calibrate in (
+                (config.weight_sample, scheme.calibrate_weight),
+                (config.input_sample, scheme.calibrate_activation),
+            ):
+                total += 1
+                if calibrate(sample)["bits"] == 8:
+                    eight += 1
+        table[workload] = {
+            "ant": ant,
+            "ant_4bit_ratio": ant_low_bit,
+            "bitfusion_4bit_ratio": (total - eight) / total,
+        }
+    return table
+
+
+def test_fig13_tensor_type_ratio(benchmark, emit, zoo):
+    table = benchmark.pedantic(lambda: _run(zoo), rounds=1, iterations=1)
+
+    rows = []
+    for workload, data in table.items():
+        ant = data["ant"]
+        rows.append(
+            [
+                workload,
+                ant.get("int4", 0.0),
+                ant.get("pot4", 0.0),
+                ant.get("flint4", 0.0),
+                ant.get("int8", 0.0),
+                data["ant_4bit_ratio"],
+                data["bitfusion_4bit_ratio"],
+            ]
+        )
+    rendered = format_table(
+        ["workload", "ANT int4", "ANT pot4", "ANT flint4", "ANT int8",
+         "ANT 4-bit total", "BitFusion 4-bit"],
+        rows,
+        title="Fig. 13 (top): tensor type ratios",
+        float_fmt="{:.2f}",
+    )
+    emit("fig13_type_ratio", rendered)
+
+    ant_ratios = [d["ant_4bit_ratio"] for d in table.values()]
+    bf_ratios = [d["bitfusion_4bit_ratio"] for d in table.values()]
+    # ANT keeps the vast majority of tensors at 4 bits...
+    assert min(ant_ratios) >= 0.75
+    assert sum(ant_ratios) / len(ant_ratios) >= 0.85
+    # ...and at least matches BitFusion's 4-bit share on average.
+    assert sum(ant_ratios) >= sum(bf_ratios) - 1e-9

@@ -1,0 +1,34 @@
+"""Table II: the 4-bit unsigned flint value table."""
+
+from repro.analysis import format_table
+from repro.dtypes import FlintType
+
+EXPECTED_GRID = [0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 24, 32, 64]
+
+
+def test_table2_flint_value_table(benchmark, emit):
+    flint = FlintType(4, signed=False)
+
+    def run():
+        return flint.value_table()
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rendered = format_table(
+        ["bits", "exponent", "mantissa bits", "values"],
+        [
+            [
+                row["pattern"],
+                "-" if row["exponent"] is None else row["exponent"],
+                row["man_bits"],
+                ", ".join(f"{v:g}" for v in row["values"]),
+            ]
+            for row in rows
+        ],
+        title="Table II: 4-bit unsigned flint (exponent bias -1)",
+    )
+    emit("table2_flint_values", rendered)
+
+    assert flint.grid.tolist() == EXPECTED_GRID
+    values = [v for row in rows for v in row["values"]]
+    assert sorted(values) == EXPECTED_GRID

@@ -1,0 +1,26 @@
+"""Table III: int-based flint decomposition (base integer << exponent)."""
+
+from repro.analysis import format_table
+from repro.hardware.decoder import decode_table
+
+EXPECTED = {
+    "0000": (0, 0, 0), "0001": (0, 1, 1), "0010": (0, 2, 2), "0011": (0, 3, 3),
+    "0100": (0, 4, 4), "0101": (0, 5, 5), "0110": (0, 6, 6), "0111": (0, 7, 7),
+    "1100": (0, 8, 8), "1101": (0, 10, 10), "1110": (0, 12, 12), "1111": (0, 14, 14),
+    "1010": (2, 4, 16), "1011": (2, 6, 24), "1001": (4, 2, 32), "1000": (6, 1, 64),
+}
+
+
+def test_table3_int_based_decode(benchmark, emit):
+    rows = benchmark.pedantic(lambda: decode_table(4), rounds=1, iterations=1)
+
+    rendered = format_table(
+        ["binary", "exponent", "base integer", "value"],
+        [[r["binary"], r["exponent"], r["base"], r["value"]] for r in rows],
+        title="Table III: int-based flint 4-bit value table",
+    )
+    emit("table3_int_decoder", rendered)
+
+    for row in rows:
+        exp, base, value = EXPECTED[row["binary"]]
+        assert (row["exponent"], row["base"], row["value"]) == (exp, base, value)

@@ -1,0 +1,65 @@
+"""Table VI: weight-only BERT quantization, ANT vs GOBO at 3/4 bits.
+
+The paper's point: fixed-length ANT matches GOBO's variable-length
+clustering accuracy while remaining hardware-aligned.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import BaselineModelQuantizer, GOBOQuantizer
+from repro.quant.framework import ModelQuantizer, evaluate, quantizable_layers
+from repro.zoo import calibration_batch
+
+
+def _weight_only_ant(entry, bits):
+    """ANT applied to weights only (activations stay full precision)."""
+    quantizer = ModelQuantizer(entry.model, "ip-f", bits)
+    quantizer.calibrate(calibration_batch(entry.dataset, 64))
+    for config in quantizer.layers.values():
+        module = config.module
+        from repro.quant.qat import FakeQuantOp
+
+        object.__setattr__(module, "weight_fake_quant", FakeQuantOp(config.weight_quantizer))
+    acc = evaluate(entry.model, entry.dataset.x_test, entry.dataset.y_test)
+    quantizer.remove()
+    return acc
+
+
+def _run(zoo):
+    entry = zoo("bert-mnli")
+    dataset = entry.dataset
+    rows = []
+    for bits in (3, 4):
+        ant_acc = _weight_only_ant(entry, bits)
+
+        scheme = GOBOQuantizer(bits)
+        driver = BaselineModelQuantizer(entry.model, scheme, weights_only=True)
+        driver.calibrate(calibration_batch(dataset, 64)).apply()
+        gobo_acc = evaluate(entry.model, dataset.x_test, dataset.y_test)
+        gobo_bits = driver.average_bits()
+        driver.remove()
+
+        rows.append([f"{bits}-bit", ant_acc, gobo_acc, gobo_bits, entry.fp32_accuracy])
+    return rows
+
+
+def test_table6_weight_only_vs_gobo(benchmark, emit, zoo):
+    rows = benchmark.pedantic(lambda: _run(zoo), rounds=1, iterations=1)
+
+    rendered = format_table(
+        ["width", "ANT", "GOBO", "GOBO eff. bits", "FP32 source"],
+        rows,
+        title="Table VI: weight-only BERT quantization (MNLI-like task)",
+        float_fmt="{:.4f}",
+    )
+    emit("table6_gobo", rendered)
+
+    for _, ant, gobo, gobo_bits, fp32 in rows:
+        # Both schemes stay close to FP32 on weight-only quantization...
+        assert fp32 - ant < 0.05
+        assert fp32 - gobo < 0.05
+        # ...and ANT matches GOBO within a small margin (Table VI's point).
+        assert abs(ant - gobo) < 0.05
+    # GOBO's effective bits slightly exceed its base width (outliers).
+    assert rows[0][3] > 3.0

@@ -1,0 +1,43 @@
+"""Table VII: iso-area configuration and area breakdown of all designs."""
+
+from repro.analysis import format_table
+from repro.hardware.area import TABLE_VII, AreaModel, BUFFER_MM2
+
+
+def test_table7_area_breakdown(benchmark, emit):
+    model = AreaModel()
+
+    def run():
+        return {design: model.breakdown(design) for design in TABLE_VII}
+
+    breakdowns = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for design, breakdown in breakdowns.items():
+        rows.append(
+            [
+                design,
+                breakdown.pe_count,
+                breakdown.pe_area_um2,
+                breakdown.decoder_count,
+                breakdown.core_mm2,
+                f"{breakdown.decoder_overhead:.2%}",
+                BUFFER_MM2,
+            ]
+        )
+    rendered = format_table(
+        ["design", "PEs", "PE area (um2)", "decoders",
+         "core (mm2)", "decoder overhead", "buffer (mm2)"],
+        rows,
+        title="Table VII: configuration and area breakdown (28 nm, iso-area)",
+    )
+    emit("table7_area", rendered)
+
+    ant = breakdowns["ant"]
+    # The paper's headline numbers.
+    assert abs(ant.pe_area_um2 - 79.57) < 0.5
+    assert 0.001 < ant.decoder_overhead < 0.003          # "about 0.2%"
+    assert abs(model.float_pe_ratio() - 3.0) < 1e-9      # float PE ~ 3x int PE
+    # All core areas within the iso-area budget band of Table VII.
+    for breakdown in breakdowns.values():
+        assert 0.315 <= breakdown.core_mm2 <= 0.335

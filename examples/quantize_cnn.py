@@ -1,0 +1,71 @@
+"""Quantize a trained CNN with ANT, then recover accuracy via QAT.
+
+Run:  python examples/quantize_cnn.py  [workload]
+
+Reproduces the paper's Fig. 4 inference flow on the VGG-style workload:
+calibrate on ~100 samples, select a primitive type per tensor
+(Algorithm 2), fake-quantize weights (per-channel) and activations
+(per-tensor), measure post-training accuracy, then fine-tune with STE
+to close the gap, and finally escalate the worst layers to 8-bit with
+the mixed-precision search.
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.quant import ModelQuantizer, MixedPrecisionSearch
+from repro.quant.framework import evaluate
+from repro.quant.qat import finetune
+from repro.zoo import calibration_batch, trained_model
+
+
+def main(workload: str = "vgg16") -> None:
+    print(f"== loading / training workload {workload!r} (cached after first run)")
+    entry = trained_model(workload)
+    dataset = entry.dataset
+    print(f"   FP32 test accuracy: {entry.fp32_accuracy:.4f}\n")
+
+    print("== calibrating ANT (int + PoT + flint, 4-bit)")
+    quantizer = ModelQuantizer(entry.model, combination="ip-f", bits=4)
+    quantizer.calibrate(calibration_batch(dataset, n=100))
+    quantizer.apply()
+
+    rows = [
+        [cfg.name, cfg.weight_quantizer.dtype.name, cfg.input_quantizer.dtype.name]
+        for cfg in quantizer.layers.values()
+    ]
+    print(format_table(["layer", "weight type", "input type"], rows))
+
+    ptq_acc = evaluate(entry.model, dataset.x_test, dataset.y_test)
+    print(f"\n   4-bit ANT, post-training: {ptq_acc:.4f} "
+          f"(loss {entry.fp32_accuracy - ptq_acc:+.4f})")
+
+    print("\n== quantization-aware fine-tuning (STE)")
+    finetune(entry.model, dataset.x_train, dataset.y_train, steps=60)
+    qat_acc = evaluate(entry.model, dataset.x_test, dataset.y_test)
+    print(f"   4-bit ANT, fine-tuned:    {qat_acc:.4f} "
+          f"(loss {entry.fp32_accuracy - qat_acc:+.4f})")
+
+    print("\n== mixed-precision escalation to within 1% of FP32 (ANT4-8)")
+    search = MixedPrecisionSearch(
+        quantizer,
+        evaluate_fn=lambda: evaluate(entry.model, dataset.x_test, dataset.y_test),
+        baseline_accuracy=entry.fp32_accuracy,
+        threshold=0.01,
+        finetune_fn=lambda: finetune(
+            entry.model, dataset.x_train, dataset.y_train, steps=30
+        ),
+        max_rounds=4,
+    )
+    result = search.run()
+    print(f"   final accuracy {result.accuracy:.4f} "
+          f"(loss {result.accuracy_loss:+.4f}) after escalating "
+          f"{len(result.escalated)} layer(s): {result.escalated}")
+    report = quantizer.report()
+    print(f"   tensor types: {report.type_counts}, "
+          f"avg bits {report.average_bits:.2f}, "
+          f"4-bit tensor ratio {report.low_bit_tensor_fraction:.0%}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "vgg16")

@@ -1,0 +1,90 @@
+"""Quickstart: the ANT data types and Algorithm 2 in five minutes.
+
+Run:  python examples/quickstart.py
+
+Walks through (1) the flint value grid of Table II, (2) bit-level
+encode/decode, (3) MSE-optimal scale search, and (4) per-tensor type
+selection on tensors drawn from the paper's three distribution
+families.
+"""
+
+import numpy as np
+
+from repro import FlintType, IntType, PoTType, candidate_list, search_scale, select_type
+from repro.analysis import classify_distribution, format_table
+from repro.data import sample_distribution
+
+
+def show_flint_table() -> None:
+    """Print the 4-bit unsigned flint value table (the paper's Table II)."""
+    flint = FlintType(4, signed=False)
+    rows = []
+    for row in flint.value_table():
+        rows.append(
+            [
+                row["pattern"],
+                "-" if row["exponent"] is None else row["exponent"],
+                row["man_bits"],
+                ", ".join(f"{v:g}" for v in row["values"]),
+            ]
+        )
+    print(format_table(["bits", "exponent", "mantissa bits", "values"], rows,
+                       title="4-bit unsigned flint (Table II)"))
+    print()
+
+
+def show_encoding() -> None:
+    """Encode/decode round trip, including the paper's 11 -> 12 example."""
+    flint = FlintType(4, signed=False)
+    value = flint.quantize(np.array([11.0]))[0]
+    code = flint.encode(np.array([value]))[0]
+    print(f"quantize(11) = {value:g}, encoded as {code:04b} "
+          f"(the worked example of Sec. IV-A)")
+    grid = flint.grid
+    assert np.allclose(flint.decode(flint.encode(grid)), grid)
+    print(f"round-trip over all {grid.size} grid values: exact\n")
+
+
+def show_type_selection() -> None:
+    """Algorithm 2 on the three distribution families of Fig. 1."""
+    candidates = candidate_list("ip-f", bits=4, signed=True)
+    rows = []
+    for family in ["uniform", "gaussian", "laplace", "student_t", "gaussian_outliers"]:
+        x = sample_distribution(family, 8192, seed=0)
+        choice = select_type(x, candidates)
+        rows.append(
+            [
+                family,
+                classify_distribution(x),
+                choice.kind,
+                choice.mse,
+                {k: round(v, 5) for k, v in choice.per_type_mse.items()},
+            ]
+        )
+    print(format_table(
+        ["distribution", "classified as", "ANT picks", "MSE", "per-type MSE"],
+        rows,
+        title="Algorithm 2 type selection (int + PoT + flint candidates)",
+    ))
+    print()
+
+
+def show_scale_search() -> None:
+    """Clipping-range (scale) search for each primitive on one tensor."""
+    x = sample_distribution("gaussian", 8192, seed=1)
+    rows = []
+    for dtype in (IntType(4, True), PoTType(4, True), FlintType(4, True)):
+        result = search_scale(x, dtype)
+        rows.append([dtype.name, result.scale, result.clip_ratio, result.mse])
+    print(format_table(
+        ["type", "scale", "clip ratio", "MSE"],
+        rows,
+        title="MSE-optimal scale search on a Gaussian tensor",
+    ))
+
+
+if __name__ == "__main__":
+    show_flint_table()
+    show_encoding()
+    show_type_selection()
+    show_scale_search()

@@ -1,0 +1,63 @@
+"""ANT: Adaptive Numerical Data Type for Low-bit DNN Quantization.
+
+Full reproduction of the MICRO 2022 paper (Guo et al.).  Public API:
+
+>>> import numpy as np
+>>> from repro import FlintType, select_type, candidate_list
+>>> x = np.random.default_rng(0).normal(size=4096)
+>>> choice = select_type(x, candidate_list("ip-f", bits=4, signed=True))
+>>> choice.kind in {"int", "pot", "flint"}
+True
+
+Subpackages
+-----------
+``repro.dtypes``     numeric type primitives (flint/int/float/PoT)
+``repro.quant``      the ANT quantization framework (Algorithms 1-2,
+                     mixed precision, QAT)
+``repro.baselines``  BitFusion / OLAccel / GOBO / BiScaled / AdaFloat
+``repro.nn``         numpy autograd + model zoo substrate
+``repro.data``       synthetic datasets and distribution samplers
+``repro.hardware``   decoders, TypeFusion PEs, systolic/memory/area
+                     models, the six simulated accelerators
+``repro.analysis``   tensor statistics and report formatting
+``repro.zoo``        trained-model cache
+"""
+
+from repro.dtypes import (
+    FlintType,
+    FloatType,
+    IntType,
+    NumericType,
+    PoTType,
+    candidate_list,
+    get_type,
+)
+from repro.quant import (
+    Granularity,
+    MixedPrecisionSearch,
+    ModelQuantizer,
+    TensorQuantizer,
+    quantize_dequantize,
+    search_scale,
+    select_type,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlintType",
+    "FloatType",
+    "IntType",
+    "PoTType",
+    "NumericType",
+    "get_type",
+    "candidate_list",
+    "select_type",
+    "search_scale",
+    "quantize_dequantize",
+    "TensorQuantizer",
+    "Granularity",
+    "ModelQuantizer",
+    "MixedPrecisionSearch",
+    "__version__",
+]

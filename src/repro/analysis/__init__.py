@@ -1,0 +1,16 @@
+"""Tensor statistics and table/figure rendering helpers."""
+
+from repro.analysis.stats import (
+    tensor_stats,
+    classify_distribution,
+    TensorStats,
+)
+from repro.analysis.reporting import format_table, normalize_series
+
+__all__ = [
+    "tensor_stats",
+    "classify_distribution",
+    "TensorStats",
+    "format_table",
+    "normalize_series",
+]

@@ -1,0 +1,67 @@
+"""Plain-text table/series rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep that output consistent and diff-able (EXPERIMENTS.md records it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_fmt.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def normalize_series(values: Dict[str, Number], baseline: str) -> Dict[str, float]:
+    """Divide every entry by the baseline entry (Fig. 13 normalisation)."""
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} missing from series")
+    reference = float(values[baseline])
+    if reference == 0:
+        raise ZeroDivisionError("baseline value is zero")
+    return {key: float(value) / reference for key, value in values.items()}
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's cross-workload aggregate)."""
+    import numpy as np
+
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,33 @@
+"""Baseline quantization schemes the paper compares against (Tbl. I).
+
+Every baseline implements :class:`BaselineQuantizer`: tensor-level
+quantize functions plus the memory/compute bit accounting used in
+Table I and the Fig. 13 accelerator comparison.
+
+* :mod:`repro.baselines.int_baseline` -- plain int4/int8.
+* :mod:`repro.baselines.adafloat`     -- AdaptiveFloat [Tambe+ DAC'20].
+* :mod:`repro.baselines.bitfusion`    -- 4/8-bit mixed int [Sharma+ ISCA'18].
+* :mod:`repro.baselines.olaccel`      -- outlier-aware [Park+ ISCA'18].
+* :mod:`repro.baselines.gobo`         -- weight clustering + outliers
+  [Zadeh+ MICRO'20].
+* :mod:`repro.baselines.biscaled`     -- two scale factors [Jain+ DAC'19].
+"""
+
+from repro.baselines.base import BaselineQuantizer, BaselineModelQuantizer
+from repro.baselines.int_baseline import IntQuantizer
+from repro.baselines.adafloat import AdaFloatQuantizer
+from repro.baselines.bitfusion import BitFusionQuantizer
+from repro.baselines.olaccel import OLAccelQuantizer
+from repro.baselines.gobo import GOBOQuantizer
+from repro.baselines.biscaled import BiScaledQuantizer
+
+__all__ = [
+    "BaselineQuantizer",
+    "BaselineModelQuantizer",
+    "IntQuantizer",
+    "AdaFloatQuantizer",
+    "BitFusionQuantizer",
+    "OLAccelQuantizer",
+    "GOBOQuantizer",
+    "BiScaledQuantizer",
+]

@@ -1,0 +1,178 @@
+"""Shared interface and model-level driver for baseline quantizers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.module import Module
+from repro.quant.framework import quantizable_layers
+
+
+@dataclass
+class BitAccounting:
+    """Average bits per element for one tensor under a scheme."""
+
+    memory_bits: float
+    compute_bits: float
+    aligned: bool
+
+
+class BaselineQuantizer(abc.ABC):
+    """A quantization scheme applied tensor-by-tensor.
+
+    ``calibrate_*`` methods fit per-tensor state (scales, centroids,
+    outlier thresholds) and return it; ``quantize_*`` apply it.  The
+    split lets the model driver calibrate once and re-apply on every
+    forward pass.
+    """
+
+    name: str = "baseline"
+    #: whether tensors are stored with fixed-length (aligned) encoding
+    aligned: bool = True
+
+    @abc.abstractmethod
+    def calibrate_weight(self, w: np.ndarray) -> dict:
+        """Fit quantization state for a weight tensor."""
+
+    @abc.abstractmethod
+    def calibrate_activation(self, a: np.ndarray) -> dict:
+        """Fit quantization state for an activation tensor."""
+
+    @abc.abstractmethod
+    def quantize_weight(self, w: np.ndarray, state: dict) -> np.ndarray:
+        """Fake-quantize a weight tensor with fitted state."""
+
+    @abc.abstractmethod
+    def quantize_activation(self, a: np.ndarray, state: dict) -> np.ndarray:
+        """Fake-quantize an activation tensor with fitted state."""
+
+    @abc.abstractmethod
+    def accounting(self, state: dict, n_elements: int) -> BitAccounting:
+        """Memory/compute bits per element for a tensor in this scheme."""
+
+    # Convenience one-shot helpers -------------------------------------
+    def weight_mse(self, w: np.ndarray) -> float:
+        state = self.calibrate_weight(w)
+        q = self.quantize_weight(w, state)
+        return float(np.mean((w - q) ** 2))
+
+    def activation_mse(self, a: np.ndarray) -> float:
+        state = self.calibrate_activation(a)
+        q = self.quantize_activation(a, state)
+        return float(np.mean((a - q) ** 2))
+
+
+class _BaselineHook:
+    """STE fake-quant hook wrapping a baseline's quantize function."""
+
+    def __init__(self, fn, state):
+        self.fn = fn
+        self.state = state
+
+    def __call__(self, x: Tensor) -> Tensor:
+        quantized = self.fn(x.data, self.state)
+
+        def make(out: Tensor):
+            def backward():
+                if x.requires_grad:
+                    x._accumulate(out.grad)
+
+            return backward
+
+        return Tensor._make(quantized, (x,), make)
+
+
+class BaselineModelQuantizer:
+    """Apply a baseline scheme to every quantizable layer of a model.
+
+    Mirrors :class:`repro.quant.ModelQuantizer` but drives an arbitrary
+    :class:`BaselineQuantizer`.  ``weights_only=True`` reproduces GOBO's
+    weight-only mode (activations stay full precision).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        scheme: BaselineQuantizer,
+        weights_only: bool = False,
+    ) -> None:
+        self.model = model
+        self.scheme = scheme
+        self.weights_only = weights_only
+        self.weight_states: Dict[str, dict] = {}
+        self.act_states: Dict[str, dict] = {}
+        self._captured: Dict[str, np.ndarray] = {}
+
+    def calibrate(self, batch) -> "BaselineModelQuantizer":
+        modules = quantizable_layers(self.model)
+        captured: Dict[str, np.ndarray] = {}
+
+        def recorder(name):
+            def hook(x: Tensor) -> Tensor:
+                captured[name] = np.asarray(x.data, dtype=np.float64).copy()
+                return x
+
+            return hook
+
+        for name, module in modules.items():
+            object.__setattr__(module, "input_fake_quant", recorder(name))
+        try:
+            self.model.eval()
+            with no_grad():
+                if isinstance(batch, np.ndarray) and batch.dtype.kind in "iu":
+                    self.model(batch)
+                else:
+                    self.model(Tensor(batch))
+        finally:
+            for module in modules.values():
+                object.__setattr__(module, "input_fake_quant", None)
+
+        self._captured = captured
+        for name, module in modules.items():
+            self.weight_states[name] = self.scheme.calibrate_weight(module.weight.data)
+            if not self.weights_only:
+                self.act_states[name] = self.scheme.calibrate_activation(captured[name])
+        return self
+
+    def apply(self) -> "BaselineModelQuantizer":
+        modules = quantizable_layers(self.model)
+        for name, module in modules.items():
+            object.__setattr__(
+                module,
+                "weight_fake_quant",
+                _BaselineHook(self.scheme.quantize_weight, self.weight_states[name]),
+            )
+            if not self.weights_only:
+                object.__setattr__(
+                    module,
+                    "input_fake_quant",
+                    _BaselineHook(self.scheme.quantize_activation, self.act_states[name]),
+                )
+        return self
+
+    def remove(self) -> None:
+        for module in quantizable_layers(self.model).values():
+            object.__setattr__(module, "weight_fake_quant", None)
+            object.__setattr__(module, "input_fake_quant", None)
+
+    def average_bits(self) -> float:
+        """Element-weighted average memory bits over all quantized tensors."""
+        total_bits = 0.0
+        total_elems = 0
+        modules = quantizable_layers(self.model)
+        for name, module in modules.items():
+            n_w = module.weight.data.size
+            acct = self.scheme.accounting(self.weight_states[name], n_w)
+            total_bits += acct.memory_bits * n_w
+            total_elems += n_w
+            if not self.weights_only and name in self._captured:
+                n_a = self._captured[name].size
+                acct_a = self.scheme.accounting(self.act_states[name], n_a)
+                total_bits += acct_a.memory_bits * n_a
+                total_elems += n_a
+        return total_bits / total_elems if total_elems else 0.0

@@ -1,0 +1,67 @@
+"""BitFusion [Sharma et al., ISCA 2018]: tensor-wise mixed 4/8-bit int.
+
+BitFusion composes low-bit PEs spatially so each tensor can use 4-bit
+or 8-bit int.  Its primitive type is still ``int``, which is what
+limits it to ~7.07 average bits in Table I: without intra-tensor
+adaptivity many tensors need 8 bits to hold accuracy.
+
+Tensor-level selection rule used here: try int4 first; keep it only if
+the MSE-optimal 4-bit error is below ``mse_budget`` times the tensor's
+variance, otherwise fall back to int8.  Model-level escalation (the
+fine-tune-in-the-loop procedure) reuses the generic mixed-precision
+driver with an int-only candidate list instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineQuantizer, BitAccounting
+from repro.dtypes.int_type import IntType
+from repro.quant.functional import quantize_dequantize
+from repro.quant.scale_search import search_scale
+
+
+class BitFusionQuantizer(BaselineQuantizer):
+    """4/8-bit mixed int quantization."""
+
+    def __init__(self, low_bits: int = 4, high_bits: int = 8, mse_budget: float = 0.01) -> None:
+        self.low_bits = low_bits
+        self.high_bits = high_bits
+        self.mse_budget = mse_budget
+        self.name = f"bitfusion{low_bits}-{high_bits}"
+
+    def _calibrate(self, x: np.ndarray, signed: bool) -> dict:
+        low = IntType(self.low_bits, signed)
+        low_result = search_scale(x, low)
+        variance = float(np.var(x)) + np.finfo(np.float64).tiny
+        if low_result.mse <= self.mse_budget * variance:
+            return {
+                "dtype": low,
+                "scale": low_result.scale,
+                "mse": low_result.mse,
+                "bits": self.low_bits,
+            }
+        high = IntType(self.high_bits, signed)
+        high_result = search_scale(x, high)
+        return {
+            "dtype": high,
+            "scale": high_result.scale,
+            "mse": high_result.mse,
+            "bits": self.high_bits,
+        }
+
+    def calibrate_weight(self, w: np.ndarray) -> dict:
+        return self._calibrate(w, signed=True)
+
+    def calibrate_activation(self, a: np.ndarray) -> dict:
+        return self._calibrate(a, signed=bool(np.min(a) < 0))
+
+    def quantize_weight(self, w: np.ndarray, state: dict) -> np.ndarray:
+        return quantize_dequantize(w, state["dtype"], state["scale"])
+
+    quantize_activation = quantize_weight
+
+    def accounting(self, state: dict, n_elements: int) -> BitAccounting:
+        bits = float(state["bits"])
+        return BitAccounting(memory_bits=bits, compute_bits=bits, aligned=True)

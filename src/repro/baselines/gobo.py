@@ -1,0 +1,96 @@
+"""GOBO [Zadeh et al., MICRO 2020]: weight-only outlier clustering.
+
+GOBO models each weight tensor as Gaussian, peels off the few weights
+that do not fit (outliers, kept at full precision) and represents the
+remaining "G" (Gaussian) group by ``2^b`` learned centroids, storing
+only per-weight centroid indices.  The encoding is variable-length
+(outlier positions are sparse), hence unaligned memory in Table I, and
+activations stay FP16 -- GOBO accelerates memory, not compute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineQuantizer, BitAccounting
+
+#: full-precision bits per stored outlier (value + position index).
+OUTLIER_VALUE_BITS = 32
+OUTLIER_INDEX_BITS = 4
+
+
+def _kmeans_1d(values: np.ndarray, k: int, iterations: int = 25) -> np.ndarray:
+    """Lloyd's algorithm on scalars with quantile-seeded centroids."""
+    if values.size <= k:
+        return np.sort(values.astype(np.float64))
+    quantiles = (np.arange(k) + 0.5) / k
+    centroids = np.quantile(values, quantiles)
+    for _ in range(iterations):
+        # Assign to nearest centroid via boundary bisection.
+        boundaries = (centroids[1:] + centroids[:-1]) / 2.0
+        assignment = np.searchsorted(boundaries, values)
+        moved = False
+        for idx in range(k):
+            members = values[assignment == idx]
+            if members.size:
+                new = members.mean()
+                if new != centroids[idx]:
+                    centroids[idx] = new
+                    moved = True
+        if not moved:
+            break
+    return np.sort(centroids)
+
+
+class GOBOQuantizer(BaselineQuantizer):
+    """Weight-only centroid quantization with a Gaussian outlier split."""
+
+    aligned = False
+
+    def __init__(self, bits: int = 3, outlier_sigma: float = 3.0) -> None:
+        self.bits = bits
+        self.outlier_sigma = outlier_sigma
+        self.name = f"gobo{bits}"
+
+    def calibrate_weight(self, w: np.ndarray) -> dict:
+        flat = w.ravel().astype(np.float64)
+        mean = float(flat.mean())
+        std = float(flat.std()) + np.finfo(np.float64).tiny
+        outlier_mask = np.abs(flat - mean) > self.outlier_sigma * std
+        inliers = flat[~outlier_mask]
+        centroids = _kmeans_1d(inliers, 2 ** self.bits)
+        return {
+            "centroids": centroids,
+            "mean": mean,
+            "std": std,
+            "outlier_fraction": float(outlier_mask.mean()),
+        }
+
+    def calibrate_activation(self, a: np.ndarray) -> dict:
+        raise NotImplementedError("GOBO quantizes weights only (Sec. VII-A)")
+
+    def quantize_weight(self, w: np.ndarray, state: dict) -> np.ndarray:
+        centroids = state["centroids"]
+        threshold = self.outlier_sigma * state["std"]
+        boundaries = (centroids[1:] + centroids[:-1]) / 2.0
+        assignment = np.searchsorted(boundaries, w)
+        quantized = centroids[assignment]
+        outliers = np.abs(w - state["mean"]) > threshold
+        return np.where(outliers, w, quantized)
+
+    def quantize_activation(self, a: np.ndarray, state: dict) -> np.ndarray:
+        raise NotImplementedError("GOBO quantizes weights only (Sec. VII-A)")
+
+    def accounting(self, state: dict, n_elements: int) -> BitAccounting:
+        frac = state["outlier_fraction"]
+        # Centroid table itself is negligible (2^b * 32 bits per tensor).
+        table_bits = (2 ** self.bits) * 32.0 / max(n_elements, 1)
+        memory = (1.0 - frac) * self.bits + frac * (
+            OUTLIER_VALUE_BITS + OUTLIER_INDEX_BITS
+        ) + table_bits
+        # GOBO computes in FP16 (weights are dequantized on the fly).
+        return BitAccounting(memory_bits=memory, compute_bits=16.0, aligned=False)
+
+    def effective_bits(self, state: dict, n_elements: int) -> float:
+        """Average stored bits per weight, the '3.04 bit' of Table VI."""
+        return self.accounting(state, n_elements).memory_bits

@@ -1,0 +1,46 @@
+"""Plain fixed-point int quantization (the Table I ``Int`` row)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineQuantizer, BitAccounting
+from repro.dtypes.int_type import IntType
+from repro.quant.functional import quantize_dequantize
+from repro.quant.scale_search import search_scale
+
+
+class IntQuantizer(BaselineQuantizer):
+    """Symmetric int quantization with MSE-optimal clipping.
+
+    Weights are signed; activations are unsigned when non-negative
+    (post-ReLU), signed otherwise -- the same granularity convention as
+    ANT itself, isolating the data-type difference.
+    """
+
+    def __init__(self, bits: int = 8) -> None:
+        self.bits = bits
+        self.name = f"int{bits}"
+
+    def _calibrate(self, x: np.ndarray, signed: bool) -> dict:
+        dtype = IntType(self.bits, signed)
+        result = search_scale(x, dtype)
+        return {"dtype": dtype, "scale": result.scale, "mse": result.mse}
+
+    def calibrate_weight(self, w: np.ndarray) -> dict:
+        return self._calibrate(w, signed=True)
+
+    def calibrate_activation(self, a: np.ndarray) -> dict:
+        return self._calibrate(a, signed=bool(np.min(a) < 0))
+
+    def quantize_weight(self, w: np.ndarray, state: dict) -> np.ndarray:
+        return quantize_dequantize(w, state["dtype"], state["scale"])
+
+    quantize_activation = quantize_weight
+
+    def accounting(self, state: dict, n_elements: int) -> BitAccounting:
+        return BitAccounting(
+            memory_bits=float(self.bits),
+            compute_bits=float(self.bits),
+            aligned=True,
+        )

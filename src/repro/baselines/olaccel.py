@@ -1,0 +1,85 @@
+"""OLAccel [Park et al., ISCA 2018]: outlier-aware quantization.
+
+Values are split into a dense low-magnitude region quantized at 4-bit
+int and a sparse outlier region (a few percent of elements) kept at
+16-bit.  The encoding is variable-length, so memory accesses are
+unaligned and the accelerator needs an outlier controller -- the 71%
+area overhead row of Table I.
+
+Per the original paper, the first and last layers use 8-bit for the
+normal region; the model driver exposes that via ``edge_bits``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineQuantizer, BitAccounting
+from repro.dtypes.int_type import IntType
+from repro.quant.functional import quantize_dequantize
+from repro.quant.scale_search import search_scale
+
+#: bits used to store one outlier (value + position index), matching
+#: OLAccel's 16-bit outlier value plus index bookkeeping.
+OUTLIER_VALUE_BITS = 16
+OUTLIER_INDEX_BITS = 4
+
+
+class OLAccelQuantizer(BaselineQuantizer):
+    """Outlier-aware 4-bit quantization with high-precision outliers."""
+
+    def __init__(
+        self,
+        bits: int = 4,
+        outlier_fraction: float = 0.03,
+        edge_layer: bool = False,
+        edge_bits: int = 8,
+    ) -> None:
+        self.bits = edge_bits if edge_layer else bits
+        self.outlier_fraction = outlier_fraction
+        self.name = f"olaccel{self.bits}"
+
+    def _calibrate(self, x: np.ndarray, signed: bool) -> dict:
+        flat = np.abs(x.ravel())
+        threshold = float(
+            np.quantile(flat, 1.0 - self.outlier_fraction)
+        )
+        dense = x[np.abs(x) <= threshold]
+        if dense.size == 0:
+            dense = x
+        dtype = IntType(self.bits, signed)
+        result = search_scale(dense, dtype)
+        actual_fraction = float(np.mean(np.abs(x) > threshold))
+        return {
+            "dtype": dtype,
+            "scale": result.scale,
+            "threshold": threshold,
+            "outlier_fraction": actual_fraction,
+        }
+
+    def calibrate_weight(self, w: np.ndarray) -> dict:
+        return self._calibrate(w, signed=True)
+
+    def calibrate_activation(self, a: np.ndarray) -> dict:
+        return self._calibrate(a, signed=bool(np.min(a) < 0))
+
+    def _quantize(self, x: np.ndarray, state: dict) -> np.ndarray:
+        dense_q = quantize_dequantize(x, state["dtype"], state["scale"])
+        outlier_mask = np.abs(x) > state["threshold"]
+        # Outliers stored at 16-bit: model as float16 rounding.
+        outlier_q = x.astype(np.float16).astype(np.float64)
+        return np.where(outlier_mask, outlier_q, dense_q)
+
+    def quantize_weight(self, w: np.ndarray, state: dict) -> np.ndarray:
+        return self._quantize(w, state)
+
+    quantize_activation = quantize_weight
+
+    def accounting(self, state: dict, n_elements: int) -> BitAccounting:
+        frac = state["outlier_fraction"]
+        outlier_cost = OUTLIER_VALUE_BITS + OUTLIER_INDEX_BITS
+        memory = (1.0 - frac) * self.bits + frac * outlier_cost
+        # Compute runs the dense stream at `bits` and outliers on the
+        # wide path; average compute width weights by element count.
+        compute = (1.0 - frac) * self.bits + frac * OUTLIER_VALUE_BITS
+        return BitAccounting(memory_bits=memory, compute_bits=compute, aligned=False)

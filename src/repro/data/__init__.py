@@ -1,0 +1,30 @@
+"""Synthetic datasets and distribution samplers.
+
+Substitutes for ImageNet and GLUE (see DESIGN.md): learnable synthetic
+tasks whose inputs/labels are deterministic functions of a seed, so
+every experiment is reproducible without downloads.
+"""
+
+from repro.data.synthetic import (
+    Dataset,
+    make_image_classification,
+    make_token_classification,
+    dataset_for_workload,
+    iterate_batches,
+)
+from repro.data.distributions import (
+    sample_distribution,
+    DISTRIBUTIONS,
+    make_tensor_suite,
+)
+
+__all__ = [
+    "Dataset",
+    "make_image_classification",
+    "make_token_classification",
+    "dataset_for_workload",
+    "iterate_batches",
+    "sample_distribution",
+    "DISTRIBUTIONS",
+    "make_tensor_suite",
+]

@@ -1,0 +1,153 @@
+"""Learnable synthetic classification tasks.
+
+``make_image_classification`` produces class-conditioned images: each
+class owns a smooth spatial template plus per-sample noise, so small
+CNNs/ViTs reach high accuracy in a few epochs while first-layer
+activations stay uniform-ish (raw pixel statistics) -- the property the
+paper highlights for ResNet-18's first layer.
+
+``make_token_classification`` produces token sequences where the label
+depends on (a) the presence of class-indicative trigger tokens and (b)
+an order-sensitive pairing, so attention is genuinely useful.  This is
+the stand-in for the GLUE tasks (MNLI 3-class, CoLA/SST-2 binary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.nn.models import IMAGE_SHAPE, MODEL_BUILDERS, SEQ_LEN, VOCAB_SIZE
+
+
+@dataclass
+class Dataset:
+    """Train/test split of one synthetic task."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    input_kind: str  # "image" | "tokens"
+    num_classes: int
+
+    @property
+    def n_train(self) -> int:
+        return self.x_train.shape[0]
+
+    @property
+    def n_test(self) -> int:
+        return self.x_test.shape[0]
+
+
+def make_image_classification(
+    num_classes: int = 10,
+    n_train: int = 512,
+    n_test: int = 256,
+    noise: float = 0.55,
+    gain_sigma: float = 1.3,
+    seed: int = 0,
+) -> Dataset:
+    """Class-template images with additive noise and dynamic-range gain.
+
+    ``gain_sigma`` controls a per-sample lognormal intensity gain that
+    gives images (and therefore early activations) the wide dynamic
+    range real photographs have after exposure variation.  This is the
+    substitution lever that recreates the paper's low-bit sensitivity:
+    with it, 4-bit ``int`` clips bright samples badly while ``flint``
+    keeps both range and mid-range precision (Fig. 11's gap).
+    """
+    rng = np.random.default_rng(seed)
+    channels, height, width = IMAGE_SHAPE
+
+    # Smooth per-class templates: random low-frequency patterns.
+    yy, xx = np.meshgrid(np.linspace(0, 1, height), np.linspace(0, 1, width), indexing="ij")
+    templates = np.empty((num_classes, channels, height, width))
+    for cls in range(num_classes):
+        for ch in range(channels):
+            fx, fy = rng.uniform(1.0, 3.0, size=2)
+            px, py = rng.uniform(0, 2 * np.pi, size=2)
+            templates[cls, ch] = 0.5 + 0.5 * np.sin(2 * np.pi * fx * xx + px) * np.cos(
+                2 * np.pi * fy * yy + py
+            )
+
+    def draw(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=n)
+        images = templates[labels] + noise * rng.normal(size=(n, channels, height, width))
+        images = np.clip(images, 0.0, 1.0)
+        if gain_sigma > 0:
+            gains = rng.lognormal(0.0, gain_sigma, size=(n, 1, 1, 1))
+            images = images * gains
+        return images, labels
+
+    x_train, y_train = draw(n_train)
+    x_test, y_test = draw(n_test)
+    return Dataset(x_train, y_train, x_test, y_test, "image", num_classes)
+
+
+def make_token_classification(
+    num_classes: int = 3,
+    n_train: int = 512,
+    n_test: int = 256,
+    zipf: float = 1.2,
+    seed: int = 0,
+) -> Dataset:
+    """Trigger-token sequence classification over a small vocabulary.
+
+    Filler tokens follow a Zipf distribution (``zipf`` exponent), the
+    frequency profile of natural text: frequent tokens get well-trained
+    embeddings while rare tokens keep larger, noisier ones -- the
+    mechanism behind real BERT's activation outliers.
+    """
+    rng = np.random.default_rng(seed)
+    # Reserve one trigger token per class (tokens 1..num_classes);
+    # token 0 is the CLS position filler.
+    trigger = np.arange(1, num_classes + 1)
+    fillers = np.arange(num_classes + 1, VOCAB_SIZE)
+    probs = 1.0 / np.arange(1, fillers.size + 1) ** zipf
+    probs /= probs.sum()
+
+    def draw(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=n)
+        seqs = rng.choice(fillers, p=probs, size=(n, SEQ_LEN))
+        seqs[:, 0] = 0  # CLS slot
+        # Plant 2-3 trigger tokens of the labelled class at random slots.
+        for row, label in enumerate(labels):
+            k = rng.integers(2, 4)
+            positions = rng.choice(np.arange(1, SEQ_LEN), size=k, replace=False)
+            seqs[row, positions] = trigger[label]
+        return seqs, labels
+
+    x_train, y_train = draw(n_train)
+    x_test, y_test = draw(n_test)
+    return Dataset(x_train, y_train, x_test, y_test, "tokens", num_classes)
+
+
+def dataset_for_workload(name: str, seed: int = 0, **kwargs) -> Dataset:
+    """Dataset matching a model-zoo workload name."""
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"unknown workload {name!r}")
+    spec = MODEL_BUILDERS[name]
+    if spec["input"] == "image":
+        kwargs.setdefault("gain_sigma", spec.get("gain_sigma", 1.3))
+        return make_image_classification(num_classes=spec["classes"], seed=seed, **kwargs)
+    return make_token_classification(num_classes=spec["classes"], seed=seed, **kwargs)
+
+
+def iterate_batches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield mini-batches, optionally shuffled each call."""
+    n = x.shape[0]
+    order = np.arange(n)
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start: start + batch_size]
+        yield x[idx], y[idx]

@@ -1,0 +1,42 @@
+"""Numeric data type primitives used by the ANT quantization framework.
+
+The paper builds its adaptive framework on four fixed-length primitive
+types, all of which are implemented here bit-exactly:
+
+* :class:`IntType` -- plain fixed-point integers (signed / unsigned).
+* :class:`FloatType` -- low-bit floating point with a configurable
+  exponent/mantissa split and exponent bias (the basis of AdaptiveFloat).
+* :class:`PoTType` -- power-of-two values (exponent-only float).
+* :class:`FlintType` -- the paper's composite ``flint`` type using
+  first-one exponent coding (Sec. IV-A, Algorithm 1, Tables II/III).
+
+Every type exposes the same small interface (:class:`NumericType`):
+a canonical *value grid* (the set of representable real values at scale
+one), bit-level ``encode``/``decode``, and vectorised round-to-nearest
+quantization used by the simulation framework in :mod:`repro.quant`.
+"""
+
+from repro.dtypes.base import NumericType, code_bits
+from repro.dtypes.int_type import IntType
+from repro.dtypes.float_type import FloatType
+from repro.dtypes.pot_type import PoTType
+from repro.dtypes.flint import FlintType
+from repro.dtypes.registry import (
+    TypeRegistry,
+    default_registry,
+    get_type,
+    candidate_list,
+)
+
+__all__ = [
+    "NumericType",
+    "IntType",
+    "FloatType",
+    "PoTType",
+    "FlintType",
+    "TypeRegistry",
+    "default_registry",
+    "get_type",
+    "candidate_list",
+    "code_bits",
+]

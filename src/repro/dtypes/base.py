@@ -1,0 +1,177 @@
+"""Common interface for fixed-length numeric data types.
+
+A *numeric type* in this library is defined by its **value grid**: the
+finite, sorted set of real values representable at scale factor one.
+Quantization of a tensor ``x`` with scale ``s`` is simulated as
+
+    q(x) = s * nearest_grid_value(x / s)
+
+which is exactly how the paper's PyTorch framework simulates custom
+formats in FP32 (Sec. VII-A, "all variables use 32-bit floating-point
+arithmetic operations to simulate quantization effects").
+
+Bit-level ``encode``/``decode`` round-trip between real grid values and
+integer code words, which the hardware model in :mod:`repro.hardware`
+uses to validate its decoder circuits against the software definition.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+def code_bits(n_codes: int) -> int:
+    """Number of bits needed to address ``n_codes`` distinct code words."""
+    if n_codes <= 0:
+        raise ValueError(f"n_codes must be positive, got {n_codes}")
+    return max(1, int(np.ceil(np.log2(n_codes))))
+
+
+class NumericType(abc.ABC):
+    """Abstract fixed-length numeric data type.
+
+    Parameters
+    ----------
+    bits:
+        Total storage bits per element, including the sign bit for
+        signed types.
+    signed:
+        Whether the type carries a sign bit.  Signed variants in this
+        library follow the paper's construction: a sign bit plus a
+        ``bits - 1``-wide unsigned magnitude (Sec. V-C).
+    """
+
+    #: short lowercase identifier, e.g. ``"flint"``; set by subclasses.
+    kind: str = "abstract"
+
+    def __init__(self, bits: int, signed: bool) -> None:
+        if bits < 2:
+            raise ValueError(f"{type(self).__name__} needs >= 2 bits, got {bits}")
+        self.bits = int(bits)
+        self.signed = bool(signed)
+        self._grid_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _magnitude_grid(self) -> np.ndarray:
+        """Sorted non-negative representable magnitudes (unsigned grid)."""
+
+    @abc.abstractmethod
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map exact grid values to integer code words."""
+
+    @abc.abstractmethod
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map integer code words back to real grid values."""
+
+    # ------------------------------------------------------------------
+    # Shared behaviour
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Canonical name, e.g. ``flint4`` or ``int8u``."""
+        suffix = "" if self.signed else "u"
+        return f"{self.kind}{self.bits}{suffix}"
+
+    @property
+    def grid(self) -> np.ndarray:
+        """Sorted array of representable real values at scale one.
+
+        For signed types the grid is the symmetric union of positive and
+        negative magnitudes plus zero; for unsigned types it is the raw
+        non-negative magnitude grid.
+        """
+        if self._grid_cache is None:
+            mags = np.asarray(self._magnitude_grid(), dtype=np.float64)
+            if mags.ndim != 1 or mags.size == 0:
+                raise AssertionError("magnitude grid must be a non-empty 1-D array")
+            if self.signed:
+                pos = mags[mags > 0]
+                full = np.concatenate([-pos[::-1], [0.0], pos])
+            else:
+                full = mags
+            self._grid_cache = np.unique(full)
+        return self._grid_cache
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable magnitude at scale one."""
+        return float(self.grid[-1])
+
+    @property
+    def min_positive(self) -> float:
+        """Smallest representable strictly positive value at scale one."""
+        grid = self.grid
+        positives = grid[grid > 0]
+        return float(positives[0])
+
+    @property
+    def n_values(self) -> int:
+        """Number of distinct representable values."""
+        return int(self.grid.size)
+
+    def quantize(self, x: np.ndarray, scale: float = 1.0) -> np.ndarray:
+        """Round ``x`` to the nearest representable value at ``scale``.
+
+        Values beyond the representable range saturate to the grid
+        extremes (the ``Clamp`` in the paper's Equation (2)).
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        x = np.asarray(x, dtype=np.float64)
+        grid = self.grid
+        scaled = x / scale
+        # np.searchsorted gives the insertion point; compare both
+        # neighbours to implement round-to-nearest on a non-uniform grid.
+        idx = np.searchsorted(grid, scaled)
+        idx = np.clip(idx, 1, grid.size - 1)
+        left = grid[idx - 1]
+        right = grid[idx]
+        # Ties round up, matching the paper's worked example in Sec. IV-A
+        # where 11 rounds to 12 on the 4-bit flint grid.
+        choose_right = (scaled - left) >= (right - scaled)
+        nearest = np.where(choose_right, right, left)
+        return nearest * scale
+
+    def quantize_to_codes(self, x: np.ndarray, scale: float = 1.0) -> np.ndarray:
+        """Quantize and return integer code words instead of real values."""
+        q = self.quantize(x, scale) / scale
+        return self.encode(q)
+
+    def mse(self, x: np.ndarray, scale: float = 1.0) -> float:
+        """Mean squared quantization error of ``x`` under this type."""
+        q = self.quantize(x, scale)
+        err = np.asarray(x, dtype=np.float64) - q
+        return float(np.mean(err * err))
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NumericType)
+            and self.kind == other.kind
+            and self.bits == other.bits
+            and self.signed == other.signed
+            and self._extra_identity() == other._extra_identity()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.bits, self.signed, self._extra_identity()))
+
+    def _extra_identity(self) -> tuple:
+        """Subclass hook: extra fields participating in identity."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(bits={self.bits}, signed={self.signed})"
+
+
+def split_sign(values: np.ndarray) -> tuple:
+    """Split an array into (sign_bits, magnitudes) for sign-magnitude coding."""
+    values = np.asarray(values, dtype=np.float64)
+    signs = (values < 0).astype(np.int64)
+    return signs, np.abs(values)

@@ -1,0 +1,235 @@
+"""The ``flint`` composite type (Sec. IV-A of the paper).
+
+``flint`` is a fixed-length format whose exponent field is encoded with
+*first-one coding*: the position of the first ``1`` after the most
+significant bit marks the boundary between exponent and mantissa.  The
+resulting format allocates
+
+* **zero mantissa bits** to the smallest values (they behave like
+  ``int``/``PoT`` -- unimportant, per the pruning literature),
+* **the most mantissa bits** to mid-range values (the bulk of a
+  Gaussian-like tensor), and
+* **zero mantissa bits** to the largest values (range matters more than
+  precision there -- ``PoT`` behaviour).
+
+For a ``b``-bit unsigned flint with the paper's default bias of ``-1``:
+
+* code ``0`` represents the value 0;
+* codes with MSB ``0`` encode biased exponents ``e = 0 .. b-2`` with
+  ``e`` mantissa bits each (int-like region);
+* codes with MSB ``1`` encode biased exponents ``e = b-1 .. 2b-2`` with
+  ``2b-2-e`` mantissa bits each (float-then-PoT region);
+* the magnitude is ``2^e * (1 + m / 2^mb)``, max value ``2^(2b-2)``.
+
+With ``b = 4`` this reproduces Table II exactly:
+``{0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 24, 32, 64}``.
+
+Signed flint is a sign bit plus a ``(b-1)``-bit unsigned flint
+magnitude (Sec. V-C, Equations (7)-(8)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dtypes.base import NumericType, split_sign
+
+
+def _leading_zeros(value: int, width: int) -> int:
+    """Number of leading zero bits of ``value`` within a ``width``-bit field."""
+    if value == 0:
+        return width
+    return width - value.bit_length()
+
+
+class FlintType(NumericType):
+    """``b``-bit flint with first-one exponent coding."""
+
+    kind = "flint"
+
+    def __init__(self, bits: int, signed: bool = False) -> None:
+        if signed and bits < 3:
+            raise ValueError("signed flint needs >= 3 bits (sign + 2-bit magnitude)")
+        super().__init__(bits, signed)
+
+    @property
+    def _mag_bits(self) -> int:
+        """Width of the unsigned magnitude field."""
+        return self.bits - 1 if self.signed else self.bits
+
+    # ------------------------------------------------------------------
+    # Field layout helpers (all in terms of the unsigned magnitude width)
+    # ------------------------------------------------------------------
+    def _exponent_range(self) -> Tuple[int, int]:
+        """(min, max) biased exponent of the unsigned magnitude grid."""
+        b = self._mag_bits
+        return 0, 2 * b - 2
+
+    def _mantissa_bits_for_exponent(self, exponent: int) -> int:
+        """Mantissa width allocated to a biased exponent interval."""
+        b = self._mag_bits
+        lo, hi = self._exponent_range()
+        if not lo <= exponent <= hi:
+            raise ValueError(f"exponent {exponent} outside [{lo}, {hi}] for {self.name}")
+        if exponent <= b - 2:
+            return exponent
+        # MSB=1 region: k = exponent - (b-1) leading zeros consume bits,
+        # leaving b-2-k = 2b-3-exponent mantissa bits (Table II).
+        return max(0, 2 * b - 3 - exponent)
+
+    # ------------------------------------------------------------------
+    # Code <-> magnitude (unsigned part)
+    # ------------------------------------------------------------------
+    def _decode_magnitude_code(self, code: int) -> float:
+        b = self._mag_bits
+        if code == 0:
+            return 0.0
+        msb = (code >> (b - 1)) & 1
+        rest = code & ((1 << (b - 1)) - 1)
+        lzd = _leading_zeros(rest, b - 1)
+        if msb == 0:
+            exponent = (b - 2) - lzd
+            man_bits = exponent
+        else:
+            exponent = (b - 1) + lzd
+            man_bits = max(0, (b - 2) - lzd)
+        mantissa = rest & ((1 << man_bits) - 1) if man_bits > 0 else 0
+        fraction = 1.0 + mantissa / float(1 << man_bits) if man_bits > 0 else 1.0
+        return float(2.0 ** exponent) * fraction
+
+    def _encode_magnitude_value(self, value: float) -> int:
+        b = self._mag_bits
+        if value == 0:
+            return 0
+        if value < 0:
+            raise ValueError("magnitude must be non-negative")
+        exponent = int(np.floor(np.log2(value)))
+        lo, hi = self._exponent_range()
+        if not lo <= exponent <= hi:
+            raise ValueError(f"{value!r} not representable in {self.name}")
+        man_bits = self._mantissa_bits_for_exponent(exponent)
+        frac = value / (2.0 ** exponent) - 1.0
+        mantissa = int(round(frac * (1 << man_bits))) if man_bits > 0 else 0
+        if man_bits > 0 and not np.isclose(mantissa, frac * (1 << man_bits)):
+            raise ValueError(f"{value!r} not on the {self.name} grid")
+        if man_bits == 0 and not np.isclose(frac, 0.0):
+            raise ValueError(f"{value!r} not on the {self.name} grid")
+        if exponent <= b - 2:
+            # MSB=0 region: 0 | zeros | 1 | mantissa  (marker at bit `exponent`)
+            code = (1 << exponent) | mantissa
+        elif exponent < hi:
+            # MSB=1 region: 1 | zeros | 1 | mantissa
+            k = exponent - (b - 1)
+            marker_pos = (b - 2) - k
+            code = (1 << (b - 1)) | (1 << marker_pos) | mantissa
+        else:
+            # top exponent: 1 followed by all zeros
+            code = 1 << (b - 1)
+        return code
+
+    # ------------------------------------------------------------------
+    # NumericType interface
+    # ------------------------------------------------------------------
+    def _magnitude_grid(self) -> np.ndarray:
+        b = self._mag_bits
+        vals = [self._decode_magnitude_code(c) for c in range(1 << b)]
+        return np.unique(np.asarray(vals, dtype=np.float64))
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if not self.signed:
+            if np.any(values < 0):
+                raise ValueError(f"negative value for unsigned {self.name}")
+            flat = values.ravel()
+            codes = np.fromiter(
+                (self._encode_magnitude_value(float(v)) for v in flat),
+                dtype=np.int64,
+                count=flat.size,
+            )
+            return codes.reshape(values.shape)
+        signs, mags = split_sign(values)
+        flat = mags.ravel()
+        mag_codes = np.fromiter(
+            (self._encode_magnitude_value(float(v)) for v in flat),
+            dtype=np.int64,
+            count=flat.size,
+        ).reshape(values.shape)
+        return (signs << self._mag_bits) | mag_codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        if np.any(codes < 0) or np.any(codes >= (1 << self.bits)):
+            raise ValueError(f"code out of range for {self.name}")
+        if self.signed:
+            sign = (codes >> self._mag_bits) & 1
+            mag_codes = codes & ((1 << self._mag_bits) - 1)
+        else:
+            sign = np.zeros_like(codes)
+            mag_codes = codes
+        flat = mag_codes.ravel()
+        mags = np.fromiter(
+            (self._decode_magnitude_code(int(c)) for c in flat),
+            dtype=np.float64,
+            count=flat.size,
+        ).reshape(codes.shape)
+        return np.where(sign == 1, -mags, mags)
+
+    # ------------------------------------------------------------------
+    # Introspection used by docs, tests and benchmarks
+    # ------------------------------------------------------------------
+    def value_table(self) -> List[dict]:
+        """Reproduce the rows of the paper's Table II for this format.
+
+        Returns one row per exponent interval of the *unsigned magnitude*
+        grid with keys ``pattern``, ``exponent``, ``man_bits``,
+        ``values``.
+        """
+        b = self._mag_bits
+        rows = [
+            {
+                "pattern": "0" * b,
+                "exponent": None,
+                "man_bits": 0,
+                "values": [0.0],
+            }
+        ]
+        lo, hi = self._exponent_range()
+        for exponent in range(lo, hi + 1):
+            man_bits = self._mantissa_bits_for_exponent(exponent)
+            values = [
+                (2.0 ** exponent) * (1.0 + m / float(1 << man_bits))
+                for m in range(1 << man_bits)
+            ]
+            pattern = format(
+                self._encode_magnitude_value(values[0]), f"0{b}b"
+            )
+            if man_bits > 0:
+                pattern = pattern[: b - man_bits] + "x" * man_bits
+            rows.append(
+                {
+                    "pattern": pattern,
+                    "exponent": exponent,
+                    "man_bits": man_bits,
+                    "values": values,
+                }
+            )
+        return rows
+
+    def region_of(self, exponent: int) -> str:
+        """Classify an exponent interval as int-, float- or PoT-like.
+
+        Matches the paper's observation that flint degenerates to ``int``
+        in its lowest intervals, to ``float`` in the middle and to
+        ``PoT`` at the top (Sec. IV-A).
+        """
+        b = self._mag_bits
+        lo, hi = self._exponent_range()
+        if not lo <= exponent <= hi:
+            raise ValueError(f"exponent {exponent} outside [{lo}, {hi}]")
+        if exponent <= b - 2:
+            return "int"
+        if self._mantissa_bits_for_exponent(exponent) == 0:
+            return "pot"
+        return "float"

@@ -1,0 +1,122 @@
+"""Low-bit floating-point type with configurable exponent/mantissa split.
+
+This is the ``float`` primitive from the paper (Equation (1)):
+
+    value = sign * 2^(exponent - bias) * 1.mantissa
+
+with subnormal support (exponent code zero drops the implicit leading
+one), and *no* inf/NaN codes -- every code word is a finite value, as is
+standard for sub-8-bit research formats.
+
+``FloatType`` also serves as the substrate for AdaptiveFloat [Tambe et
+al., DAC 2020]: AdaptiveFloat is exactly this type with a per-tensor
+exponent ``bias`` chosen to minimise quantization MSE (see
+:class:`repro.baselines.adafloat.AdaFloatQuantizer`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import NumericType, split_sign
+
+
+class FloatType(NumericType):
+    """``b``-bit float with ``exp_bits`` exponent and ``man_bits`` mantissa.
+
+    Parameters
+    ----------
+    exp_bits:
+        Width of the exponent field.
+    man_bits:
+        Width of the mantissa (fraction) field.
+    signed:
+        Add a sign bit in front (total ``1 + exp_bits + man_bits`` bits).
+    bias:
+        Exponent bias.  ``None`` selects the IEEE-style default
+        ``2^(exp_bits-1) - 1``.
+    """
+
+    kind = "float"
+
+    def __init__(
+        self,
+        exp_bits: int,
+        man_bits: int,
+        signed: bool = False,
+        bias: int = None,
+    ) -> None:
+        if exp_bits < 1:
+            raise ValueError(f"exp_bits must be >= 1, got {exp_bits}")
+        if man_bits < 0:
+            raise ValueError(f"man_bits must be >= 0, got {man_bits}")
+        self.exp_bits = int(exp_bits)
+        self.man_bits = int(man_bits)
+        if bias is None:
+            bias = 2 ** (exp_bits - 1) - 1
+        self.bias = int(bias)
+        total = exp_bits + man_bits + (1 if signed else 0)
+        super().__init__(total, signed)
+
+    def _extra_identity(self) -> tuple:
+        return (self.exp_bits, self.man_bits, self.bias)
+
+    @property
+    def name(self) -> str:
+        suffix = "" if self.signed else "u"
+        return f"float{self.bits}{suffix}_e{self.exp_bits}m{self.man_bits}b{self.bias}"
+
+    # ------------------------------------------------------------------
+    def _code_to_magnitude(self, mag_codes: np.ndarray) -> np.ndarray:
+        """Decode the exponent+mantissa portion of a code to a magnitude."""
+        mag_codes = np.asarray(mag_codes, dtype=np.int64)
+        exp_field = mag_codes >> self.man_bits
+        man_field = mag_codes & ((1 << self.man_bits) - 1)
+        man_scale = float(1 << self.man_bits)
+        # Subnormals: exponent code 0 means 2^(1-bias) * (m / 2^mb).
+        sub = np.power(2.0, 1 - self.bias) * (man_field / man_scale)
+        norm = np.power(2.0, exp_field - self.bias) * (1.0 + man_field / man_scale)
+        return np.where(exp_field == 0, sub, norm)
+
+    def _magnitude_grid(self) -> np.ndarray:
+        n_mag_codes = 1 << (self.exp_bits + self.man_bits)
+        return np.unique(self._code_to_magnitude(np.arange(n_mag_codes)))
+
+    # ------------------------------------------------------------------
+    def _magnitude_to_code(self, mags: np.ndarray) -> np.ndarray:
+        mags = np.asarray(mags, dtype=np.float64)
+        n_mag_codes = 1 << (self.exp_bits + self.man_bits)
+        all_vals = self._code_to_magnitude(np.arange(n_mag_codes))
+        codes = np.empty(mags.shape, dtype=np.int64)
+        flat_m = mags.ravel()
+        flat_c = codes.ravel()
+        for i, v in enumerate(flat_m):
+            matches = np.where(np.isclose(all_vals, v, rtol=1e-9, atol=0.0) | (all_vals == v))[0]
+            if matches.size == 0:
+                raise ValueError(f"{v!r} is not representable in {self.name}")
+            flat_c[i] = matches[0]
+        return codes
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if not self.signed:
+            if np.any(values < 0):
+                raise ValueError(f"negative value for unsigned {self.name}")
+            return self._magnitude_to_code(values)
+        signs, mags = split_sign(values)
+        mag_codes = self._magnitude_to_code(mags)
+        return (signs << (self.bits - 1)) | mag_codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        if np.any(codes < 0) or np.any(codes >= (1 << self.bits)):
+            raise ValueError(f"code out of range for {self.name}")
+        if not self.signed:
+            return self._code_to_magnitude(codes)
+        sign = (codes >> (self.bits - 1)) & 1
+        mags = self._code_to_magnitude(codes & ((1 << (self.bits - 1)) - 1))
+        return np.where(sign == 1, -mags, mags)
+
+    def with_bias(self, bias: int) -> "FloatType":
+        """Return a copy of this format with a different exponent bias."""
+        return FloatType(self.exp_bits, self.man_bits, self.signed, bias)

@@ -1,0 +1,56 @@
+"""Fixed-point integer type (the ``int`` primitive of the paper).
+
+The most hardware-friendly format: a uniform grid.  Signed variants use
+a symmetric range ``[-(2^(b-1) - 1), 2^(b-1) - 1]`` which is the common
+choice for weight quantization because it keeps zero exactly
+representable and the grid symmetric (the paper follows TensorRT-style
+per-channel symmetric weight quantization, Sec. II-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import NumericType
+
+
+class IntType(NumericType):
+    """``b``-bit integer grid.
+
+    Unsigned: values ``0 .. 2^b - 1``.
+    Signed (symmetric): values ``-(2^(b-1)-1) .. 2^(b-1)-1`` encoded in
+    two's complement; the most negative two's-complement code is unused,
+    matching common symmetric-int quantizer implementations.
+    """
+
+    kind = "int"
+
+    def _magnitude_grid(self) -> np.ndarray:
+        if self.signed:
+            top = 2 ** (self.bits - 1) - 1
+        else:
+            top = 2 ** self.bits - 1
+        return np.arange(0, top + 1, dtype=np.float64)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        ints = np.rint(values).astype(np.int64)
+        if self.signed:
+            limit = 2 ** (self.bits - 1) - 1
+            if np.any(np.abs(ints) > limit):
+                raise ValueError(f"value out of range for {self.name}")
+            # two's complement within `bits` bits
+            return np.where(ints < 0, ints + (1 << self.bits), ints).astype(np.int64)
+        if np.any(ints < 0) or np.any(ints > 2 ** self.bits - 1):
+            raise ValueError(f"value out of range for {self.name}")
+        return ints
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        if np.any(codes < 0) or np.any(codes >= (1 << self.bits)):
+            raise ValueError(f"code out of range for {self.name}")
+        if self.signed:
+            half = 1 << (self.bits - 1)
+            vals = np.where(codes >= half, codes - (1 << self.bits), codes)
+            return vals.astype(np.float64)
+        return codes.astype(np.float64)

@@ -1,0 +1,83 @@
+"""Power-of-two (PoT) type: exponent-only floating point.
+
+The PoT primitive [Miyashita et al. 2016; Zhou et al. 2017] represents
+``{0} U {2^k}`` and offers an extreme dynamic range at a given bit
+width, which the paper shows is the best fit for long-tailed
+(Laplace-like) Transformer activation tensors (Fig. 1, Fig. 14).
+
+Encoding: code 0 is reserved for the value zero; code ``c >= 1`` maps to
+``2^(c - 1 + bias)``.  With the default ``bias = 0`` an unsigned 4-bit
+PoT spans ``1 .. 2^14``.  Signed PoT is a sign bit plus a
+``(b-1)``-bit unsigned PoT magnitude, so a signed 4-bit PoT spans
+``+-(1 .. 2^6)`` -- identical to the signed 4-bit float-with-no-mantissa,
+which is why the paper notes the two "overlap" in Fig. 14.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import NumericType, split_sign
+
+
+class PoTType(NumericType):
+    """``b``-bit power-of-two grid with an optional exponent bias."""
+
+    kind = "pot"
+
+    def __init__(self, bits: int, signed: bool = False, bias: int = 0) -> None:
+        self.bias = int(bias)
+        super().__init__(bits, signed)
+
+    def _extra_identity(self) -> tuple:
+        return (self.bias,)
+
+    @property
+    def _mag_bits(self) -> int:
+        return self.bits - 1 if self.signed else self.bits
+
+    def _magnitude_grid(self) -> np.ndarray:
+        n_codes = 1 << self._mag_bits
+        exps = np.arange(n_codes - 1) + self.bias
+        return np.concatenate([[0.0], np.power(2.0, exps)])
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if not self.signed:
+            if np.any(values < 0):
+                raise ValueError(f"negative value for unsigned {self.name}")
+            return self._encode_magnitude(values)
+        signs, mags = split_sign(values)
+        return (signs << self._mag_bits) | self._encode_magnitude(mags)
+
+    def _encode_magnitude(self, mags: np.ndarray) -> np.ndarray:
+        codes = np.zeros(mags.shape, dtype=np.int64)
+        nonzero = mags > 0
+        exps = np.full(mags.shape, 0.0)
+        exps[nonzero] = np.log2(mags[nonzero])
+        rounded = np.rint(exps).astype(np.int64)
+        if np.any(nonzero & ~np.isclose(np.power(2.0, rounded), mags, rtol=1e-9)):
+            raise ValueError(f"value is not a power of two for {self.name}")
+        code_vals = rounded - self.bias + 1
+        max_code = (1 << self._mag_bits) - 1
+        if np.any(nonzero & ((code_vals < 1) | (code_vals > max_code))):
+            raise ValueError(f"exponent out of range for {self.name}")
+        codes[nonzero] = code_vals[nonzero]
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        if np.any(codes < 0) or np.any(codes >= (1 << self.bits)):
+            raise ValueError(f"code out of range for {self.name}")
+        if self.signed:
+            sign = (codes >> self._mag_bits) & 1
+            mag_codes = codes & ((1 << self._mag_bits) - 1)
+        else:
+            sign = np.zeros_like(codes)
+            mag_codes = codes
+        mags = np.where(
+            mag_codes == 0,
+            0.0,
+            np.power(2.0, mag_codes - 1 + self.bias),
+        )
+        return np.where(sign == 1, -mags, mags)

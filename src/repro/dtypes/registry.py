@@ -1,0 +1,118 @@
+"""Registry of named numeric types and ANT candidate lists.
+
+The ANT framework selects, per tensor, one primitive type out of a
+candidate list (Algorithm 2).  The paper evaluates five combinations
+(Sec. VII-B):
+
+* ``int``    -- int only (the conventional baseline),
+* ``ip``     -- int + PoT            (inter-tensor adaptivity only),
+* ``fip``    -- float + int + PoT    (inter-tensor adaptivity only),
+* ``ip-f``   -- int + PoT + flint    (the final ANT; int-based PE),
+* ``fip-f``  -- float + int + PoT + flint (needs the float-based PE).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.dtypes.base import NumericType
+from repro.dtypes.flint import FlintType
+from repro.dtypes.float_type import FloatType
+from repro.dtypes.int_type import IntType
+from repro.dtypes.pot_type import PoTType
+
+#: Combination name -> list of primitive kind names, as used in Figs. 10-12.
+COMBINATIONS: Dict[str, List[str]] = {
+    "int": ["int"],
+    "ip": ["int", "pot"],
+    "fip": ["float", "int", "pot"],
+    "ip-f": ["int", "pot", "flint"],
+    "fip-f": ["float", "int", "pot", "flint"],
+}
+
+#: The paper's final ANT configuration (Sec. VII-B: "we choose the IP-F
+#: configuration as the final ANT for the rest of evaluation").
+ANT_COMBINATION = "ip-f"
+
+_NAME_RE = re.compile(r"^(int|pot|flint|float)(\d+)(u?)$")
+
+
+def _default_float(bits: int, signed: bool) -> FloatType:
+    """Default low-bit float layout for a given total width.
+
+    The magnitude field is split roughly evenly between exponent and
+    mantissa, with the exponent getting the extra bit (matching the
+    4-bit "2-bit exp" float of Fig. 3 for unsigned 4-bit, and common
+    FP8-E4M3-style splits at 8 bits).
+    """
+    mag_bits = bits - 1 if signed else bits
+    if mag_bits < 2:
+        raise ValueError(f"float needs >= 2 magnitude bits, got {mag_bits}")
+    exp_bits = (mag_bits + 1) // 2
+    man_bits = mag_bits - exp_bits
+    return FloatType(exp_bits, man_bits, signed=signed)
+
+
+class TypeRegistry:
+    """Create and cache numeric types addressed by string name.
+
+    Names follow ``<kind><bits>[u]``: ``flint4`` is the signed 4-bit
+    flint, ``flint4u`` the unsigned one, ``int8`` the signed 8-bit int,
+    and so on.  ``float`` names resolve to the default layout from
+    :func:`_default_float`; explicit layouts can be registered.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, NumericType] = {}
+
+    def get(self, name: str) -> NumericType:
+        if name in self._cache:
+            return self._cache[name]
+        match = _NAME_RE.match(name)
+        if match is None:
+            raise KeyError(
+                f"unknown type name {name!r}; expected <kind><bits>[u] "
+                f"with kind in int/pot/flint/float"
+            )
+        kind, bits_s, unsigned = match.groups()
+        bits = int(bits_s)
+        signed = unsigned != "u"
+        if kind == "int":
+            dtype: NumericType = IntType(bits, signed)
+        elif kind == "pot":
+            dtype = PoTType(bits, signed)
+        elif kind == "flint":
+            dtype = FlintType(bits, signed)
+        else:
+            dtype = _default_float(bits, signed)
+        self._cache[name] = dtype
+        return dtype
+
+    def register(self, name: str, dtype: NumericType) -> None:
+        """Register a custom type under an explicit name."""
+        self._cache[name] = dtype
+
+    def candidates(self, combination: str, bits: int, signed: bool) -> List[NumericType]:
+        """Instantiate the primitive candidate list for a combination."""
+        if combination not in COMBINATIONS:
+            raise KeyError(
+                f"unknown combination {combination!r}; "
+                f"choose from {sorted(COMBINATIONS)}"
+            )
+        suffix = "" if signed else "u"
+        return [self.get(f"{kind}{bits}{suffix}") for kind in COMBINATIONS[combination]]
+
+
+#: Process-wide default registry.
+default_registry = TypeRegistry()
+
+
+def get_type(name: str) -> NumericType:
+    """Look up a type by name in the default registry."""
+    return default_registry.get(name)
+
+
+def candidate_list(combination: str, bits: int = 4, signed: bool = True) -> List[NumericType]:
+    """Candidate primitives for Algorithm 2 from the default registry."""
+    return default_registry.candidates(combination, bits, signed)

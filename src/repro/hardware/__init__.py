@@ -1,0 +1,72 @@
+"""Accelerator hardware model (Secs. V-VI of the paper).
+
+Two layers:
+
+* **Bit-exact functional units** -- :mod:`repro.hardware.decoder`
+  implements the float-based flint decoder (Fig. 5, Eqs. 3-4) and the
+  int-based decoder (Fig. 6, Eqs. 5-8, Table III);
+  :mod:`repro.hardware.pe` implements the TypeFusion MAC (Fig. 7) and
+  the 4x4-bit -> 8-bit fusion (Fig. 8).  These are validated against
+  the software type definitions in :mod:`repro.dtypes`.
+
+* **Performance/energy/area models** -- :mod:`repro.hardware.systolic`
+  (tile-level cycle model for output/weight-stationary arrays),
+  :mod:`repro.hardware.memory` (DRAM + on-chip buffer),
+  :mod:`repro.hardware.area` (component areas calibrated to Table VII)
+  and :mod:`repro.hardware.accelerator` (the six evaluated designs:
+  ANT-OS, ANT-WS, BitFusion, OLAccel, BiScaled, AdaFloat).
+"""
+
+from repro.hardware.decoder import (
+    leading_zero_detect,
+    FloatFlintDecoder,
+    IntFlintDecoder,
+    IntDecoder,
+    PoTDecoder,
+)
+from repro.hardware.pe import TypeFusionMAC, fused_int8_mac, DecodedOperand
+from repro.hardware.systolic import Dataflow, SystolicArray
+from repro.hardware.memory import MemoryModel, EnergyTable
+from repro.hardware.area import AreaModel, ACCELERATOR_CONFIGS
+from repro.hardware.accelerator import Accelerator, SimulationResult, build_accelerator
+from repro.hardware.workloads import LayerShape, workload_layers, WORKLOAD_NAMES
+from repro.hardware.isa import (
+    Instruction,
+    LayerProgram,
+    Opcode,
+    OperandType,
+    assemble_layer,
+    assemble_model,
+)
+from repro.hardware.tensorcore import TensorCoreSpec, simulate_tensorcore
+
+__all__ = [
+    "leading_zero_detect",
+    "FloatFlintDecoder",
+    "IntFlintDecoder",
+    "IntDecoder",
+    "PoTDecoder",
+    "TypeFusionMAC",
+    "fused_int8_mac",
+    "DecodedOperand",
+    "Dataflow",
+    "SystolicArray",
+    "MemoryModel",
+    "EnergyTable",
+    "AreaModel",
+    "ACCELERATOR_CONFIGS",
+    "Accelerator",
+    "SimulationResult",
+    "build_accelerator",
+    "LayerShape",
+    "workload_layers",
+    "WORKLOAD_NAMES",
+    "Instruction",
+    "LayerProgram",
+    "Opcode",
+    "OperandType",
+    "assemble_layer",
+    "assemble_model",
+    "TensorCoreSpec",
+    "simulate_tensorcore",
+]

@@ -1,0 +1,208 @@
+"""End-to-end accelerator simulation (the Fig. 13 comparison).
+
+An :class:`Accelerator` combines a systolic array (timing), a memory
+model (traffic + energy) and an area breakdown (static power, iso-area
+normalisation).  ``simulate`` executes a workload layer list under a
+per-layer bit assignment and returns latency plus the four-way energy
+split the paper plots (static / DRAM / on-chip buffer / core).
+
+Model summary (per layer):
+
+* compute cycles from :class:`SystolicArray` with precision fusion;
+* DRAM traffic = weights + inputs at their assigned widths + outputs
+  at the accumulator width re-quantized by the activation unit;
+* buffer traffic follows output-stationary tiling reuse: the input
+  matrix is re-read once per column-tile, the weight matrix once per
+  row-tile;
+* latency = max(compute, DRAM streaming) per layer (double buffering);
+* OLAccel-style designs add an outlier-orchestration cycle overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.area import ACCELERATOR_CONFIGS, AreaBreakdown, AreaModel
+from repro.hardware.memory import MemoryModel
+from repro.hardware.systolic import Dataflow, SystolicArray
+from repro.hardware.workloads import LayerShape
+
+#: output activations leave the array at accumulator precision and are
+#: re-quantized by the activation unit (Fig. 4); DRAM sees low bits,
+#: the buffer sees this intermediate width.
+OUTPUT_BITS = 16
+
+
+@dataclass(frozen=True)
+class LayerAssignment:
+    """Bit widths chosen for one layer by a quantization scheme."""
+
+    weight_bits: int
+    act_bits: int
+    #: fraction of elements taking a slow outlier path (OLAccel)
+    outlier_fraction: float = 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Latency and energy of one workload on one accelerator."""
+
+    name: str
+    cycles: int
+    energy_pj: Dict[str, float]
+    per_layer: List[dict] = field(default_factory=list)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_pj.values())
+
+
+class Accelerator:
+    """A complete accelerator design under simulation."""
+
+    def __init__(
+        self,
+        name: str,
+        array: SystolicArray,
+        memory: MemoryModel,
+        area: AreaBreakdown,
+        outlier_overhead: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.array = array
+        self.memory = memory
+        self.area = area
+        self.outlier_overhead = outlier_overhead
+
+    # ------------------------------------------------------------------
+    def _layer_traffic_bits(self, layer: LayerShape, assign: LayerAssignment) -> dict:
+        """DRAM and buffer traffic for one layer."""
+        w_bits = layer.weight_elems * assign.weight_bits
+        in_bits = layer.input_elems * assign.act_bits
+        out_bits = layer.output_elems * assign.act_bits
+        if assign.outlier_fraction > 0.0:
+            # outliers stored wide (16-bit value + index), on top of the
+            # dense low-bit stream
+            extra = assign.outlier_fraction * (16 + 4)
+            w_bits = int(layer.weight_elems * (assign.weight_bits + extra))
+            in_bits = int(layer.input_elems * (assign.act_bits + extra))
+        dram = w_bits + in_bits + out_bits
+
+        cycles = self.array.gemm_cycles(
+            layer.m, layer.k, layer.n, max(assign.weight_bits, assign.act_bits)
+        )
+        col_tiles = -(-layer.n // cycles.effective_cols)
+        row_tiles = -(-layer.m // cycles.effective_rows)
+        buffer = (
+            layer.input_elems * assign.act_bits * row_tiles
+            + layer.weight_elems * assign.weight_bits * col_tiles
+            + layer.output_elems * OUTPUT_BITS
+        )
+        return {"dram": dram, "buffer": buffer, "compute": cycles.compute_cycles}
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        layers: Sequence[LayerShape],
+        assignments: Sequence[LayerAssignment],
+    ) -> SimulationResult:
+        if len(layers) != len(assignments):
+            raise ValueError(
+                f"{len(layers)} layers but {len(assignments)} assignments"
+            )
+        energy = {"static": 0.0, "dram": 0.0, "buffer": 0.0, "core": 0.0}
+        total_cycles = 0
+        rows = []
+        table = self.memory.energy
+        for layer, assign in zip(layers, assignments):
+            traffic = self._layer_traffic_bits(layer, assign)
+            compute = traffic["compute"]
+            if self.outlier_overhead > 0.0:
+                compute = int(compute * (1.0 + self.outlier_overhead))
+            dram_cycles = self.memory.dram_cycles(traffic["dram"])
+            layer_cycles = max(compute, dram_cycles)
+            total_cycles += layer_cycles
+
+            op_bits = max(assign.weight_bits, assign.act_bits)
+            mac_e = table.mac_energy(max(op_bits, self.array.native_bits))
+            core = layer.macs * mac_e
+            if self.area.decoder_count:
+                decode_events = layer.input_elems + layer.weight_elems
+                core += decode_events * table.decoder_per_use
+
+            energy["dram"] += self.memory.dram_energy(traffic["dram"])
+            energy["buffer"] += self.memory.buffer_energy(traffic["buffer"])
+            energy["core"] += core
+            rows.append(
+                {
+                    "layer": layer.name,
+                    "cycles": layer_cycles,
+                    "compute_cycles": compute,
+                    "dram_cycles": dram_cycles,
+                    "bound": "memory" if dram_cycles > compute else "compute",
+                }
+            )
+        energy["static"] = table.static_energy(self.area.total_mm2, total_cycles)
+        return SimulationResult(
+            name=self.name, cycles=total_cycles, energy_pj=energy, per_layer=rows
+        )
+
+
+def build_accelerator(
+    config_name: str,
+    memory: Optional[MemoryModel] = None,
+) -> Accelerator:
+    """Instantiate one of the catalogue designs (ANT-OS, BitFusion, ...)."""
+    if config_name not in ACCELERATOR_CONFIGS:
+        raise KeyError(
+            f"unknown accelerator {config_name!r}; "
+            f"choose from {sorted(ACCELERATOR_CONFIGS)}"
+        )
+    cfg = ACCELERATOR_CONFIGS[config_name]
+    array = SystolicArray(
+        rows=cfg["rows"],
+        cols=cfg["cols"],
+        dataflow=Dataflow.OUTPUT_STATIONARY
+        if cfg["dataflow"] == "os"
+        else Dataflow.WEIGHT_STATIONARY,
+        native_bits=cfg["native_bits"],
+        supports_fusion=cfg["fusion"],
+    )
+    area = AreaModel().breakdown(cfg["design"])
+    return Accelerator(
+        name=config_name,
+        array=array,
+        memory=memory or MemoryModel(),
+        area=area,
+        outlier_overhead=cfg["outlier_overhead"],
+    )
+
+
+def uniform_assignment(
+    layers: Sequence[LayerShape],
+    weight_bits: int,
+    act_bits: int,
+    outlier_fraction: float = 0.0,
+) -> List[LayerAssignment]:
+    """Same bit widths for every layer."""
+    return [
+        LayerAssignment(weight_bits, act_bits, outlier_fraction) for _ in layers
+    ]
+
+
+def mixed_assignment(
+    layers: Sequence[LayerShape],
+    eight_bit_layer_indices: Sequence[int],
+    low_bits: int = 4,
+    high_bits: int = 8,
+) -> List[LayerAssignment]:
+    """Low bits everywhere except the listed escalated layers."""
+    escalated = set(eight_bit_layer_indices)
+    return [
+        LayerAssignment(
+            high_bits if i in escalated else low_bits,
+            high_bits if i in escalated else low_bits,
+        )
+        for i in range(len(layers))
+    ]

@@ -1,0 +1,218 @@
+"""Bit-exact ANT decoders (Figs. 5-6, Eqs. 3-8, Table III).
+
+The decoders operate on integer code words exactly as the RTL would:
+a leading-zero detector plus shifters.  Two target representations:
+
+* **float-based** (Fig. 5): code -> (exponent, mantissa-fraction), for
+  the float PE variant;
+* **int-based** (Fig. 6): code -> (base integer, exponent) such that
+  ``value = base << exponent`` -- the decomposition of Table III, used
+  by the int PE that the paper selects for its final design.
+
+All decoders handle the unsigned case directly; signed codes carry a
+sign bit on top of a narrower magnitude decoder (Eqs. 7-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.dtypes.flint import FlintType
+
+
+def leading_zero_detect(value: int, width: int) -> int:
+    """LZD circuit: leading zeros of ``value`` in a ``width``-bit field."""
+    value = int(value)
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    if value == 0:
+        return width
+    return width - value.bit_length()
+
+
+@dataclass(frozen=True)
+class FloatDecode:
+    """Output of the float-based decoder: value = 2^(exponent-1) * fraction."""
+
+    exponent: int
+    fraction: float
+    sign: int = 0
+
+    @property
+    def value(self) -> float:
+        magnitude = (2.0 ** (self.exponent - 1)) * self.fraction if self.exponent > 0 else 0.0
+        return -magnitude if self.sign else magnitude
+
+
+@dataclass(frozen=True)
+class IntDecode:
+    """Output of the int-based decoder: value = base << exponent."""
+
+    base: int
+    exponent: int
+    sign: int = 0
+
+    @property
+    def value(self) -> int:
+        magnitude = self.base << self.exponent
+        return -magnitude if self.sign else magnitude
+
+
+class FloatFlintDecoder:
+    """Float-based flint decoder (Fig. 5, Eqs. 3-4), arbitrary width.
+
+    For the unsigned 4-bit case with code bits ``b3 b2 b1 b0``:
+
+        exponent = 3 - LZD(b2 b1 b0)   if b3 == 0
+                   4 + LZD(b2 b1 b0)   if b3 == 1
+        mantissa = b2 b1 b0 << (LZD + 1)    (kept in 3 bits)
+
+    The decoded real value is ``2^(exponent - 1) * (1 + mantissa/2^w)``
+    with ``w = bits - 1``, matching Table II with its bias of -1.
+    """
+
+    def __init__(self, bits: int, signed: bool = False) -> None:
+        self.bits = bits
+        self.signed = signed
+        self.mag_bits = bits - 1 if signed else bits
+
+    def decode(self, code: int) -> FloatDecode:
+        code = int(code)
+        if not 0 <= code < (1 << self.bits):
+            raise ValueError(f"code {code} does not fit in {self.bits} bits")
+        sign = 0
+        if self.signed:
+            sign = (code >> self.mag_bits) & 1
+            code &= (1 << self.mag_bits) - 1
+        b = self.mag_bits
+        if code == 0:
+            return FloatDecode(exponent=0, fraction=0.0, sign=sign)
+        msb = (code >> (b - 1)) & 1
+        rest = code & ((1 << (b - 1)) - 1)
+        lzd = leading_zero_detect(rest, b - 1)
+        if msb == 0:
+            raw_exponent = (b - 1) - lzd
+        else:
+            raw_exponent = b + lzd
+        # Mantissa register: rest shifted left past the first-one marker,
+        # truncated to b-1 bits (Eq. 4).
+        mantissa_reg = (rest << (lzd + 1)) & ((1 << (b - 1)) - 1)
+        fraction = 1.0 + mantissa_reg / float(1 << (b - 1))
+        return FloatDecode(exponent=raw_exponent, fraction=fraction, sign=sign)
+
+    def decode_value(self, code: int) -> float:
+        return self.decode(code).value
+
+
+class IntFlintDecoder:
+    """Int-based flint decoder (Fig. 6, Eqs. 5-8, Table III).
+
+    For the unsigned 4-bit case with code ``b3 b2 b1 b0``:
+
+        base     = b2 b1 b0          if b3 == 0
+                   b2 b1 b0 << 1     if b3 == 1
+                   1                 if code == 1000
+        exponent = 0                 if b3 == 0
+                   2 * LZD(b2 b1 b0) if b3 == 1
+    """
+
+    def __init__(self, bits: int, signed: bool = False) -> None:
+        self.bits = bits
+        self.signed = signed
+        self.mag_bits = bits - 1 if signed else bits
+
+    def decode(self, code: int) -> IntDecode:
+        code = int(code)
+        if not 0 <= code < (1 << self.bits):
+            raise ValueError(f"code {code} does not fit in {self.bits} bits")
+        sign = 0
+        if self.signed:
+            sign = (code >> self.mag_bits) & 1
+            code &= (1 << self.mag_bits) - 1
+        b = self.mag_bits
+        msb = (code >> (b - 1)) & 1
+        rest = code & ((1 << (b - 1)) - 1)
+        if msb == 0:
+            return IntDecode(base=rest, exponent=0, sign=sign)
+        if rest == 0:
+            # top code 10...0: value 2^(2b-2)
+            return IntDecode(base=1, exponent=2 * (b - 1), sign=sign)
+        lzd = leading_zero_detect(rest, b - 1)
+        return IntDecode(base=rest << 1, exponent=2 * lzd, sign=sign)
+
+    def decode_value(self, code: int) -> int:
+        return self.decode(code).value
+
+
+class IntDecoder:
+    """Unified-representation decoder for plain int codes: exponent 0."""
+
+    def __init__(self, bits: int, signed: bool = False) -> None:
+        self.bits = bits
+        self.signed = signed
+
+    def decode(self, code: int) -> IntDecode:
+        code = int(code)
+        if not 0 <= code < (1 << self.bits):
+            raise ValueError(f"code {code} does not fit in {self.bits} bits")
+        if self.signed:
+            half = 1 << (self.bits - 1)
+            value = code - (1 << self.bits) if code >= half else code
+            return IntDecode(base=abs(value), exponent=0, sign=1 if value < 0 else 0)
+        return IntDecode(base=code, exponent=0, sign=0)
+
+
+class PoTDecoder:
+    """Unified-representation decoder for PoT codes: base 1 (or 0)."""
+
+    def __init__(self, bits: int, signed: bool = False) -> None:
+        self.bits = bits
+        self.signed = signed
+        self.mag_bits = bits - 1 if signed else bits
+
+    def decode(self, code: int) -> IntDecode:
+        code = int(code)
+        if not 0 <= code < (1 << self.bits):
+            raise ValueError(f"code {code} does not fit in {self.bits} bits")
+        sign = 0
+        if self.signed:
+            sign = (code >> self.mag_bits) & 1
+            code &= (1 << self.mag_bits) - 1
+        if code == 0:
+            return IntDecode(base=0, exponent=0, sign=sign)
+        return IntDecode(base=1, exponent=code - 1, sign=sign)
+
+
+def decode_table(bits: int = 4) -> Tuple[dict, ...]:
+    """Reproduce Table III: per-code (binary, exponent, base, value)."""
+    decoder = IntFlintDecoder(bits, signed=False)
+    rows = []
+    for code in range(1 << bits):
+        decoded = decoder.decode(code)
+        rows.append(
+            {
+                "binary": format(code, f"0{bits}b"),
+                "exponent": decoded.exponent,
+                "base": decoded.base,
+                "value": decoded.value,
+            }
+        )
+    return tuple(rows)
+
+
+def verify_against_dtype(bits: int, signed: bool) -> bool:
+    """Check both decoders against the software FlintType definition."""
+    dtype = FlintType(bits, signed=signed)
+    int_dec = IntFlintDecoder(bits, signed=signed)
+    float_dec = FloatFlintDecoder(bits, signed=signed)
+    for code in range(1 << bits):
+        reference = float(dtype.decode([code])[0])
+        if signed and code == (1 << (bits - 1)):
+            # negative-zero code: both decoders return -0 == 0
+            reference = 0.0
+        if float(int_dec.decode_value(code)) != reference:
+            return False
+        if float_dec.decode_value(code) != reference:
+            return False
+    return True

@@ -1,0 +1,181 @@
+"""Instruction-set extension model (Sec. VI-B of the paper).
+
+ANT's integration promise: the only ISA change is a **type field on the
+multiply-accumulate instruction** (int-based ANT adds the ``flint`` and
+``pot`` operand types).  Load/store instructions are untouched because
+every ANT tensor is fixed-length, and the programming model for CONV/FC
+layers is unchanged -- the compiler just emits the per-layer type
+chosen at quantization time.
+
+This module encodes that contract executably: an instruction format, an
+assembler from quantized layer configurations to instruction streams,
+and checks that the memory instructions are bit-identical to the
+baseline encoding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+class Opcode(enum.IntEnum):
+    """Minimal accelerator opcode set (TPU-like)."""
+
+    LOAD = 0x0
+    STORE = 0x1
+    MATMUL = 0x2  # multiply-accumulate over a tile
+    ACT = 0x3     # activation unit (also re-quantizes outputs, Fig. 4)
+
+
+class OperandType(enum.IntEnum):
+    """The MATMUL type field.  Baseline ISAs have INT4/INT8; ANT adds
+    FLINT4 and POT4 (Sec. VI-B: "two new data types")."""
+
+    INT8 = 0x0
+    INT4 = 0x1
+    FLINT4 = 0x2
+    POT4 = 0x3
+
+
+#: type-field values present in the *baseline* (pre-ANT) ISA
+BASELINE_TYPES = {OperandType.INT8, OperandType.INT4}
+#: values added by the ANT extension
+ANT_EXTENSION_TYPES = {OperandType.FLINT4, OperandType.POT4}
+
+_KIND_TO_OPERAND: Dict[str, OperandType] = {
+    "int8": OperandType.INT8,
+    "int4": OperandType.INT4,
+    "flint4": OperandType.FLINT4,
+    "pot4": OperandType.POT4,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One 32-bit instruction word.
+
+    Layout: ``[31:28] opcode | [27:24] weight type | [23:20] input type
+    | [19:0] operand (address / tile id)``.  LOAD/STORE leave both type
+    fields zero -- they move untyped fixed-length bytes.
+    """
+
+    opcode: Opcode
+    operand: int
+    weight_type: OperandType = OperandType.INT8
+    input_type: OperandType = OperandType.INT8
+
+    def encode(self) -> int:
+        if not 0 <= self.operand < (1 << 20):
+            raise ValueError(f"operand {self.operand} exceeds 20 bits")
+        if self.opcode in (Opcode.LOAD, Opcode.STORE):
+            # Memory instructions carry no type field: ANT keeps them
+            # identical to the baseline encoding.
+            return (int(self.opcode) << 28) | self.operand
+        return (
+            (int(self.opcode) << 28)
+            | (int(self.weight_type) << 24)
+            | (int(self.input_type) << 20)
+            | self.operand
+        )
+
+    @property
+    def uses_ant_extension(self) -> bool:
+        return bool(
+            {self.weight_type, self.input_type} & ANT_EXTENSION_TYPES
+        ) and self.opcode is Opcode.MATMUL
+
+
+def operand_type_for(kind: str, bits: int) -> OperandType:
+    """Map a (kind, bits) pair from the quantizer to an ISA type field."""
+    key = f"{kind}{bits}"
+    if key not in _KIND_TO_OPERAND:
+        raise KeyError(
+            f"no ISA operand type for {key!r}; int-based ANT supports "
+            f"{sorted(_KIND_TO_OPERAND)}"
+        )
+    return _KIND_TO_OPERAND[key]
+
+
+@dataclass(frozen=True)
+class LayerProgram:
+    """Instruction stream for one CONV/FC layer."""
+
+    layer: str
+    instructions: List[Instruction]
+
+    @property
+    def matmul_types(self) -> set:
+        return {
+            (inst.weight_type, inst.input_type)
+            for inst in self.instructions
+            if inst.opcode is Opcode.MATMUL
+        }
+
+
+def assemble_layer(
+    layer_name: str,
+    weight_kind: str,
+    weight_bits: int,
+    input_kind: str,
+    input_bits: int,
+    n_tiles: int,
+) -> LayerProgram:
+    """Emit the canonical load -> matmul* -> act -> store sequence.
+
+    The structure (and every LOAD/STORE encoding) is independent of the
+    chosen ANT types -- only the MATMUL type fields change, which is
+    the paper's "unmodified programming model" claim.
+    """
+    if n_tiles <= 0:
+        raise ValueError("a layer needs at least one tile")
+    weight_type = operand_type_for(weight_kind, weight_bits)
+    input_type = operand_type_for(input_kind, input_bits)
+    instructions = [
+        Instruction(Opcode.LOAD, operand=0),      # weights
+        Instruction(Opcode.LOAD, operand=1),      # inputs
+    ]
+    for tile in range(n_tiles):
+        instructions.append(
+            Instruction(
+                Opcode.MATMUL,
+                operand=tile,
+                weight_type=weight_type,
+                input_type=input_type,
+            )
+        )
+    instructions.append(Instruction(Opcode.ACT, operand=0))
+    instructions.append(Instruction(Opcode.STORE, operand=2))
+    return LayerProgram(layer=layer_name, instructions=instructions)
+
+
+def assemble_model(layer_specs: Sequence[dict]) -> List[LayerProgram]:
+    """Assemble a whole quantized model.
+
+    ``layer_specs`` entries: ``{"name", "weight_kind", "weight_bits",
+    "input_kind", "input_bits", "tiles"}`` -- exactly what
+    :meth:`repro.quant.ModelQuantizer.report` knows per layer.
+    """
+    return [
+        assemble_layer(
+            spec["name"],
+            spec["weight_kind"],
+            spec["weight_bits"],
+            spec["input_kind"],
+            spec["input_bits"],
+            spec["tiles"],
+        )
+        for spec in layer_specs
+    ]
+
+
+def memory_instructions_identical(program: LayerProgram, baseline: LayerProgram) -> bool:
+    """Check the Sec. VI-B claim: LOAD/STORE words do not change when a
+    layer's MATMUL type switches between baseline int and ANT types."""
+    mem = lambda prog: [
+        inst.encode()
+        for inst in prog.instructions
+        if inst.opcode in (Opcode.LOAD, Opcode.STORE)
+    ]
+    return mem(program) == mem(baseline)

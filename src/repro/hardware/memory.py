@@ -1,0 +1,65 @@
+"""Memory hierarchy model: off-chip DRAM + on-chip unified buffer.
+
+Stands in for the paper's CACTI-derived numbers.  Per-bit access
+energies follow the well-known ~100:10:1 hierarchy ratio between DRAM,
+large SRAM and datapath logic (Horowitz, ISSCC 2014), scaled to 28 nm;
+only the *relative* magnitudes matter for reproducing the Fig. 13
+energy split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-event energies in picojoules."""
+
+    dram_per_bit: float = 20.0
+    buffer_per_bit: float = 1.0
+    #: per-MAC energy at 4-bit int; wider MACs scale ~quadratically
+    mac_4bit: float = 0.1
+    #: extra energy of one ANT decoder activation (tiny LZD + shifter)
+    decoder_per_use: float = 0.002
+    #: static power in mW per mm^2 of logic at 28 nm
+    static_mw_per_mm2: float = 50.0
+    #: clock frequency in GHz (for static energy per cycle)
+    frequency_ghz: float = 1.0
+
+    def mac_energy(self, bits: int) -> float:
+        """Per-MAC dynamic energy; multiplier energy grows ~quadratically."""
+        ratio = bits / 4.0
+        return self.mac_4bit * ratio * ratio
+
+    def static_energy(self, area_mm2: float, cycles: int) -> float:
+        """Static (leakage) energy in pJ over a cycle count."""
+        seconds = cycles / (self.frequency_ghz * 1e9)
+        watts = self.static_mw_per_mm2 * area_mm2 * 1e-3
+        return watts * seconds * 1e12
+
+
+@dataclass
+class MemoryModel:
+    """Bandwidth and capacity of the two-level memory system.
+
+    ``dram_bandwidth_bits`` is the off-chip bits deliverable per cycle;
+    the unified on-chip buffer is double-buffered, so a layer whose
+    working set fits is charged one DRAM round trip.
+    """
+
+    dram_bandwidth_bits: int = 512
+    buffer_bytes: int = 512 * 1024
+    energy: EnergyTable = field(default_factory=EnergyTable)
+
+    def dram_cycles(self, bits: int) -> int:
+        """Cycles to stream ``bits`` over the DRAM interface."""
+        if bits < 0:
+            raise ValueError("negative traffic")
+        return -(-bits // self.dram_bandwidth_bits)  # ceil div
+
+    def dram_energy(self, bits: int) -> float:
+        return bits * self.energy.dram_per_bit
+
+    def buffer_energy(self, bits: int) -> float:
+        return bits * self.energy.buffer_per_bit

@@ -1,0 +1,168 @@
+"""TypeFusion processing element (Sec. V, Figs. 7-8), bit-exact.
+
+The int-based TypeFusion MAC multiplies two operands in the unified
+``(base integer, exponent)`` representation:
+
+    ic = ia * ib            (4-bit int multiplier, signed)
+    ec = ea + eb            (4-bit exponent adder)
+    id = ic << ec           (left shifter)
+    if = ie + id            (16-bit accumulator)
+
+Because operands are decoded *before* entering the array, the PE is
+type-agnostic: int/PoT/flint inputs all arrive as (base, exponent)
+pairs, and mixed-type multiplication (e.g. flint weight x PoT
+activation) needs no special casing -- the paper's key hardware claim.
+
+``fused_int8_mac`` reproduces Fig. 8: an 8-bit int multiply built from
+four 4-bit ANT PEs plus an adder tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.hardware.decoder import (
+    IntDecode,
+    IntDecoder,
+    IntFlintDecoder,
+    PoTDecoder,
+)
+
+#: accumulator width of the low-bit MAC (Sec. V-B)
+ACCUMULATOR_BITS = 16
+
+
+class MACOverflowError(ArithmeticError):
+    """Raised when a product or accumulation exceeds its register width."""
+
+
+@dataclass(frozen=True)
+class DecodedOperand:
+    """An operand in the unified (base, exponent, sign) representation."""
+
+    base: int
+    exponent: int
+    sign: int = 0
+
+    @classmethod
+    def from_decode(cls, decode: IntDecode) -> "DecodedOperand":
+        return cls(base=decode.base, exponent=decode.exponent, sign=decode.sign)
+
+    @property
+    def signed_base(self) -> int:
+        return -self.base if self.sign else self.base
+
+    @property
+    def value(self) -> int:
+        return self.signed_base << self.exponent
+
+
+class TypeFusionMAC:
+    """The int-based 4-bit ANT MAC unit (Fig. 7).
+
+    ``bits`` is the operand width; products are shifted and accumulated
+    in a ``accumulator_bits``-wide register with overflow checking, so a
+    test can prove the paper's claim that the 4-bit flint product
+    always fits the 16-bit accumulator path.
+    """
+
+    def __init__(self, bits: int = 4, accumulator_bits: int = ACCUMULATOR_BITS) -> None:
+        self.bits = bits
+        self.accumulator_bits = accumulator_bits
+        self.accumulator = 0
+        #: cumulative op counts, used by the energy model
+        self.mul_count = 0
+        self.acc_count = 0
+
+    def reset(self) -> None:
+        self.accumulator = 0
+
+    def multiply(self, a: DecodedOperand, b: DecodedOperand) -> int:
+        """One multiply: returns the shifted product ``id``."""
+        product = a.signed_base * b.signed_base
+        exponent = a.exponent + b.exponent
+        shifted = product << exponent
+        limit = 1 << (self.accumulator_bits - 1)
+        if not -limit <= shifted < limit:
+            raise MACOverflowError(
+                f"product {shifted} exceeds {self.accumulator_bits}-bit range"
+            )
+        self.mul_count += 1
+        return shifted
+
+    def accumulate(self, value: int) -> int:
+        """Add ``value`` into the wide accumulator (no saturation)."""
+        self.accumulator += value
+        self.acc_count += 1
+        return self.accumulator
+
+    def mac(self, a: DecodedOperand, b: DecodedOperand) -> int:
+        return self.accumulate(self.multiply(a, b))
+
+
+def decode_operand(code: int, kind: str, bits: int, signed: bool) -> DecodedOperand:
+    """Route a raw code word through the right decoder for its type."""
+    if kind == "flint":
+        decoder = IntFlintDecoder(bits, signed)
+    elif kind == "int":
+        decoder = IntDecoder(bits, signed)
+    elif kind == "pot":
+        decoder = PoTDecoder(bits, signed)
+    else:
+        raise KeyError(f"int-based PE does not support kind {kind!r}")
+    return DecodedOperand.from_decode(decoder.decode(code))
+
+
+def dot_product(
+    codes_a: Iterable[int],
+    codes_b: Iterable[int],
+    kind_a: str,
+    kind_b: str,
+    bits: int = 4,
+    signed: bool = True,
+) -> int:
+    """Dot product of two code streams on one TypeFusion MAC.
+
+    Demonstrates mixed-type operands (e.g. flint weights x PoT
+    activations) computing on the same PE.
+    """
+    mac = TypeFusionMAC(bits)
+    for code_a, code_b in zip(codes_a, codes_b):
+        a = decode_operand(code_a, kind_a, bits, signed)
+        b = decode_operand(code_b, kind_b, bits, signed)
+        mac.mac(a, b)
+    return mac.accumulator
+
+
+def _split_int8(value: int) -> Tuple[DecodedOperand, DecodedOperand]:
+    """Decompose an unsigned 8-bit int into <hi, 4> and <lo, 0> operands."""
+    if not 0 <= value < 256:
+        raise ValueError(f"{value} is not an unsigned 8-bit value")
+    hi, lo = value >> 4, value & 0xF
+    return (
+        DecodedOperand(base=hi, exponent=4),
+        DecodedOperand(base=lo, exponent=0),
+    )
+
+
+def fused_int8_mac(a: int, b: int, pes: List[TypeFusionMAC] = None) -> int:
+    """8-bit x 8-bit multiply on four 4-bit ANT PEs (Fig. 8).
+
+    Each partial product runs on its own PE with a widened local
+    accumulator (the paper pairs the four PEs with a 16-bit adder tree);
+    the final sum is the exact 8x8 product.
+    """
+    if pes is None:
+        pes = [TypeFusionMAC(4, accumulator_bits=18) for _ in range(4)]
+    if len(pes) != 4:
+        raise ValueError("8-bit fusion requires exactly four 4-bit PEs")
+    a_hi, a_lo = _split_int8(a)
+    b_hi, b_lo = _split_int8(b)
+    partials = [
+        pes[0].multiply(a_hi, b_hi),
+        pes[1].multiply(a_hi, b_lo),
+        pes[2].multiply(a_lo, b_hi),
+        pes[3].multiply(a_lo, b_lo),
+    ]
+    return sum(partials)

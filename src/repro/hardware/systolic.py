@@ -1,0 +1,123 @@
+"""Tile-level cycle model of a systolic array (Sec. VI-A).
+
+Models GEMM execution on an ``rows x cols`` array of 4-bit PEs under
+output-stationary (OS) or weight-stationary (WS) dataflow.  Precision
+modes follow the paper's mixed-precision design: a 4-bit layer uses the
+full array; an 8-bit layer fuses four PEs into one (Fig. 8), turning an
+``n x n`` array into ``n/2 x n/2`` (Sec. VI-A "Component Reuse").
+
+The model is deliberately tile-level rather than cycle-by-cycle: per
+tile it charges the streaming cycles plus pipeline fill/drain, which is
+what determines the relative latencies in Fig. 13 (the paper's own
+simulator is DnnWeaver-derived and similarly analytic).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class Dataflow(enum.Enum):
+    OUTPUT_STATIONARY = "os"
+    WEIGHT_STATIONARY = "ws"
+
+
+@dataclass(frozen=True)
+class GemmCycles:
+    """Cycle breakdown for one GEMM."""
+
+    compute_cycles: int
+    tiles: int
+    effective_rows: int
+    effective_cols: int
+
+
+class SystolicArray:
+    """A systolic array of low-bit PEs with optional precision fusion.
+
+    Parameters
+    ----------
+    rows, cols:
+        Physical PE grid (4-bit PEs for ANT/BitFusion; the native
+        precision grid for single-precision designs).
+    native_bits:
+        Operand width a single PE handles per cycle.
+    supports_fusion:
+        Whether 4 PEs can fuse into one double-width PE (ANT,
+        BitFusion).  Designs without fusion (e.g. AdaFloat's 8-bit PEs)
+        run every precision at the native grid.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+        native_bits: int = 4,
+        supports_fusion: bool = True,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.dataflow = dataflow
+        self.native_bits = native_bits
+        self.supports_fusion = supports_fusion
+
+    @property
+    def n_pes(self) -> int:
+        return self.rows * self.cols
+
+    def _effective_grid(self, operand_bits: int) -> tuple:
+        """Array shape after precision fusion for the given operand width."""
+        if operand_bits <= self.native_bits:
+            return self.rows, self.cols
+        if not self.supports_fusion:
+            raise ValueError(
+                f"{operand_bits}-bit operands unsupported: array is fixed "
+                f"{self.native_bits}-bit without fusion"
+            )
+        ratio = math.ceil(operand_bits / self.native_bits)
+        rows = max(1, self.rows // ratio)
+        cols = max(1, self.cols // ratio)
+        return rows, cols
+
+    def gemm_cycles(self, m: int, k: int, n: int, operand_bits: int = 4) -> GemmCycles:
+        """Cycles to compute an ``(m x k) @ (k x n)`` GEMM.
+
+        OS dataflow: each output tile of ``rows x cols`` accumulates for
+        ``k`` cycles plus ``rows + cols`` fill/drain.
+        WS dataflow: weights for a ``rows x cols`` tile are preloaded
+        (``rows`` cycles), then ``m`` activations stream through plus
+        drain.
+        """
+        if min(m, k, n) <= 0:
+            raise ValueError(f"invalid GEMM dims ({m}, {k}, {n})")
+        rows, cols = self._effective_grid(operand_bits)
+
+        if self.dataflow is Dataflow.OUTPUT_STATIONARY:
+            tiles = math.ceil(m / rows) * math.ceil(n / cols)
+            per_tile = k + rows + cols
+        else:
+            tiles = math.ceil(k / rows) * math.ceil(n / cols)
+            per_tile = m + rows + cols  # preload overlaps with drain
+
+        return GemmCycles(
+            compute_cycles=tiles * per_tile,
+            tiles=tiles,
+            effective_rows=rows,
+            effective_cols=cols,
+        )
+
+    def boundary_decoders(self) -> int:
+        """Decoder count with the paper's boundary placement (Sec. VI-A).
+
+        OS arrays feed inputs from the top and weights from the left, so
+        they need ``rows + cols`` decoders; WS arrays decode weights at
+        preload time and only need ``cols`` input decoders.
+        """
+        if self.dataflow is Dataflow.OUTPUT_STATIONARY:
+            return self.rows + self.cols
+        return self.cols

@@ -1,0 +1,81 @@
+"""Tensor-core integration model (Sec. VI-A "Tensor Core").
+
+GPU tensor cores already run mixed int4/int8 precision -- the A100
+provides 624 TOPS at int8 and 1248 TOPS at int4 with 32-bit int
+accumulators.  Adopting ANT requires only operand decoders in front of
+the MAC units; the memory hierarchy is untouched because ANT tensors
+are fixed-length.
+
+This module models that integration at the throughput level: a GEMM's
+execution time is the max of its math time (at the precision-dependent
+TOPS) and its memory time (HBM bandwidth), and ANT simply unlocks the
+int4 rate for the >=90% of tensors that quantize to 4 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hardware.accelerator import LayerAssignment
+from repro.hardware.workloads import LayerShape
+
+
+@dataclass(frozen=True)
+class TensorCoreSpec:
+    """Throughput/bandwidth envelope of a tensor-core GPU (A100-like)."""
+
+    name: str = "a100"
+    int8_tops: float = 624.0
+    int4_tops: float = 1248.0
+    hbm_gbps: float = 1555.0
+    #: decoder throughput tax for ANT operands; the LZD+shift decoder
+    #: pipelines at the MAC rate, so the tax is ~zero (Sec. VI-A).
+    ant_decode_tax: float = 0.0
+
+    def math_seconds(self, macs: int, operand_bits: int) -> float:
+        tops = self.int4_tops if operand_bits <= 4 else self.int8_tops
+        ops = 2.0 * macs  # MAC = 2 ops, the TOPS convention
+        return ops / (tops * 1e12) * (1.0 + self.ant_decode_tax)
+
+    def memory_seconds(self, traffic_bits: int) -> float:
+        return traffic_bits / 8.0 / (self.hbm_gbps * 1e9)
+
+
+@dataclass(frozen=True)
+class TensorCoreResult:
+    seconds: float
+    math_bound_layers: int
+    memory_bound_layers: int
+
+
+def simulate_tensorcore(
+    layers: Sequence[LayerShape],
+    assignments: Sequence[LayerAssignment],
+    spec: TensorCoreSpec = TensorCoreSpec(),
+) -> TensorCoreResult:
+    """Roofline execution of a workload on a tensor-core GPU."""
+    if len(layers) != len(assignments):
+        raise ValueError(
+            f"{len(layers)} layers but {len(assignments)} assignments"
+        )
+    total = 0.0
+    math_bound = 0
+    memory_bound = 0
+    for layer, assign in zip(layers, assignments):
+        operand_bits = max(assign.weight_bits, assign.act_bits)
+        math = spec.math_seconds(layer.macs, operand_bits)
+        traffic = (
+            layer.weight_elems * assign.weight_bits
+            + layer.input_elems * assign.act_bits
+            + layer.output_elems * assign.act_bits
+        )
+        memory = spec.memory_seconds(traffic)
+        total += max(math, memory)
+        if math >= memory:
+            math_bound += 1
+        else:
+            memory_bound += 1
+    return TensorCoreResult(
+        seconds=total, math_bound_layers=math_bound, memory_bound_layers=memory_bound
+    )

@@ -1,0 +1,211 @@
+"""Layer-shape tables of the paper's eight evaluation workloads.
+
+The Fig. 13 performance/energy comparison runs on the *real*
+architectures (VGG-16, ResNet-18/50, Inception-V3, ViT, BERT-Base),
+whose layer dimensions are public.  This module generates each
+network's GEMM-level layer list: convolutions in im2col form
+(``M = C_out``, ``K = C_in*KH*KW``, ``N = batch*OH*OW``), linear layers
+directly, and attention matmuls as weight-less GEMMs.
+
+Inception-V3's many branch topologies are approximated by four
+representative convolutions per inception module with the correct
+aggregate channel counts; this keeps its compute/memory ratio while
+staying readable (documented substitution, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: batch size used throughout the paper's evaluation (Sec. VII-D)
+DEFAULT_BATCH = 64
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """One GEMM-level layer of a workload."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    #: stored weight elements (0 for weight-less attention matmuls)
+    weight_elems: int
+    input_elems: int
+    output_elems: int
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+def _conv(name: str, c_in: int, c_out: int, kernel: int, out_hw: int, batch: int) -> LayerShape:
+    m = c_out
+    k = c_in * kernel * kernel
+    n = batch * out_hw * out_hw
+    return LayerShape(
+        name=name,
+        m=m,
+        k=k,
+        n=n,
+        weight_elems=c_out * c_in * kernel * kernel,
+        input_elems=batch * c_in * out_hw * out_hw,  # post-im2col footprint approx.
+        output_elems=batch * c_out * out_hw * out_hw,
+    )
+
+
+def _fc(name: str, d_in: int, d_out: int, tokens: int) -> LayerShape:
+    return LayerShape(
+        name=name,
+        m=d_out,
+        k=d_in,
+        n=tokens,
+        weight_elems=d_out * d_in,
+        input_elems=tokens * d_in,
+        output_elems=tokens * d_out,
+    )
+
+
+def _attn_matmul(name: str, m: int, k: int, n: int) -> LayerShape:
+    return LayerShape(
+        name=name, m=m, k=k, n=n, weight_elems=0, input_elems=m * k + k * n, output_elems=m * n
+    )
+
+
+# ----------------------------------------------------------------------
+def vgg16_layers(batch: int = DEFAULT_BATCH) -> List[LayerShape]:
+    config = [
+        (3, 64, 224), (64, 64, 224),
+        (64, 128, 112), (128, 128, 112),
+        (128, 256, 56), (256, 256, 56), (256, 256, 56),
+        (256, 512, 28), (512, 512, 28), (512, 512, 28),
+        (512, 512, 14), (512, 512, 14), (512, 512, 14),
+    ]
+    layers = [
+        _conv(f"conv{i}", c_in, c_out, 3, hw, batch)
+        for i, (c_in, c_out, hw) in enumerate(config)
+    ]
+    layers.append(_fc("fc0", 25088, 4096, batch))
+    layers.append(_fc("fc1", 4096, 4096, batch))
+    layers.append(_fc("fc2", 4096, 1000, batch))
+    return layers
+
+
+def resnet18_layers(batch: int = DEFAULT_BATCH) -> List[LayerShape]:
+    layers = [_conv("stem", 3, 64, 7, 112, batch)]
+    stages = [(64, 64, 56, 2), (64, 128, 28, 2), (128, 256, 14, 2), (256, 512, 7, 2)]
+    for stage_idx, (c_in, c_out, hw, blocks) in enumerate(stages):
+        for block in range(blocks):
+            prefix = f"s{stage_idx}b{block}"
+            in_ch = c_in if block == 0 else c_out
+            layers.append(_conv(f"{prefix}.conv1", in_ch, c_out, 3, hw, batch))
+            layers.append(_conv(f"{prefix}.conv2", c_out, c_out, 3, hw, batch))
+            if block == 0 and in_ch != c_out:
+                layers.append(_conv(f"{prefix}.down", in_ch, c_out, 1, hw, batch))
+    layers.append(_fc("fc", 512, 1000, batch))
+    return layers
+
+
+def resnet50_layers(batch: int = DEFAULT_BATCH) -> List[LayerShape]:
+    layers = [_conv("stem", 3, 64, 7, 112, batch)]
+    stages = [(64, 64, 56, 3), (256, 128, 28, 4), (512, 256, 14, 6), (1024, 512, 7, 3)]
+    for stage_idx, (c_in, c_mid, hw, blocks) in enumerate(stages):
+        c_out = 4 * c_mid
+        for block in range(blocks):
+            prefix = f"s{stage_idx}b{block}"
+            in_ch = c_in if block == 0 else c_out
+            layers.append(_conv(f"{prefix}.conv1", in_ch, c_mid, 1, hw, batch))
+            layers.append(_conv(f"{prefix}.conv2", c_mid, c_mid, 3, hw, batch))
+            layers.append(_conv(f"{prefix}.conv3", c_mid, c_out, 1, hw, batch))
+            if block == 0:
+                layers.append(_conv(f"{prefix}.down", in_ch, c_out, 1, hw, batch))
+    layers.append(_fc("fc", 2048, 1000, batch))
+    return layers
+
+
+def inceptionv3_layers(batch: int = DEFAULT_BATCH) -> List[LayerShape]:
+    layers = [
+        _conv("stem0", 3, 32, 3, 149, batch),
+        _conv("stem1", 32, 32, 3, 147, batch),
+        _conv("stem2", 32, 64, 3, 147, batch),
+        _conv("stem3", 64, 80, 1, 73, batch),
+        _conv("stem4", 80, 192, 3, 71, batch),
+    ]
+    # (in_channels, spatial, count) per inception stage; four
+    # representative convolutions approximate each module's branches.
+    stages = [(288, 35, 3), (768, 17, 5), (2048, 8, 2)]
+    for stage_idx, (channels, hw, count) in enumerate(stages):
+        quarter = channels // 4
+        for module in range(count):
+            prefix = f"inc{stage_idx}.{module}"
+            layers.append(_conv(f"{prefix}.b1x1", channels, quarter, 1, hw, batch))
+            layers.append(_conv(f"{prefix}.b3x3a", channels, quarter, 1, hw, batch))
+            layers.append(_conv(f"{prefix}.b3x3b", quarter, quarter, 3, hw, batch))
+            layers.append(_conv(f"{prefix}.bpool", channels, quarter, 1, hw, batch))
+    layers.append(_fc("fc", 2048, 1000, batch))
+    return layers
+
+
+def _transformer_layers(
+    prefix: str,
+    depth: int,
+    dim: int,
+    heads: int,
+    seq: int,
+    batch: int,
+    mlp_ratio: int = 4,
+) -> List[LayerShape]:
+    head_dim = dim // heads
+    tokens = batch * seq
+    layers: List[LayerShape] = []
+    for block in range(depth):
+        name = f"{prefix}.block{block}"
+        layers.append(_fc(f"{name}.qkv", dim, 3 * dim, tokens))
+        layers.append(
+            _attn_matmul(f"{name}.scores", seq, head_dim, seq * heads * batch)
+        )
+        layers.append(
+            _attn_matmul(f"{name}.context", seq, seq, head_dim * heads * batch)
+        )
+        layers.append(_fc(f"{name}.proj", dim, dim, tokens))
+        layers.append(_fc(f"{name}.fc1", dim, mlp_ratio * dim, tokens))
+        layers.append(_fc(f"{name}.fc2", mlp_ratio * dim, dim, tokens))
+    return layers
+
+
+def vit_layers(batch: int = DEFAULT_BATCH) -> List[LayerShape]:
+    seq = 197  # 14x14 patches + CLS
+    layers = [_fc("patch_embed", 768, 768, batch * 196)]
+    layers += _transformer_layers("vit", 12, 768, 12, seq, batch)
+    layers.append(_fc("head", 768, 1000, batch))
+    return layers
+
+
+def bert_layers(batch: int = DEFAULT_BATCH) -> List[LayerShape]:
+    seq = 128
+    layers = _transformer_layers("bert", 12, 768, 12, seq, batch)
+    layers.append(_fc("pooler", 768, 768, batch))
+    layers.append(_fc("classifier", 768, 3, batch))
+    return layers
+
+
+_GENERATORS = {
+    "vgg16": vgg16_layers,
+    "resnet18": resnet18_layers,
+    "resnet50": resnet50_layers,
+    "inceptionv3": inceptionv3_layers,
+    "vit": vit_layers,
+    "bert-mnli": bert_layers,
+    "bert-cola": bert_layers,
+    "bert-sst2": bert_layers,
+}
+
+WORKLOAD_NAMES = list(_GENERATORS)
+
+
+def workload_layers(name: str, batch: int = DEFAULT_BATCH) -> List[LayerShape]:
+    """Layer list for a named workload."""
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+    return _GENERATORS[name](batch)

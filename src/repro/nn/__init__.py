@@ -1,0 +1,61 @@
+"""Minimal-but-complete neural network substrate over numpy.
+
+The paper evaluates ANT on CNNs (VGG16, ResNet-18/50, Inception-V3) and
+Transformers (ViT, BERT-Base) implemented in PyTorch.  This package is
+the substitution substrate: a reverse-mode autograd engine
+(:mod:`repro.nn.autograd`) plus the layer types those architectures need
+(:mod:`repro.nn.layers`, :mod:`repro.nn.attention`), scaled-down
+architecture-faithful model builders (:mod:`repro.nn.models`) and
+optimizers (:mod:`repro.nn.optim`).
+
+Everything runs in float64 numpy, which is what the quantization
+experiments need: the paper itself simulates all quantized formats in
+full-precision arithmetic (Sec. VII-A).
+"""
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.attention import MultiHeadSelfAttention, TransformerEncoderBlock
+from repro.nn.optim import SGD, Adam
+from repro.nn import functional
+from repro.nn import models
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "Embedding",
+    "ReLU",
+    "GELU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderBlock",
+    "SGD",
+    "Adam",
+    "functional",
+    "models",
+]

@@ -1,0 +1,115 @@
+"""Multi-head self-attention and Transformer encoder blocks.
+
+Pre-LayerNorm encoder blocks as used by ViT; BERT-style models in the
+zoo reuse the same block (the difference from post-LN BERT does not
+affect the tensor distribution families that drive ANT's type
+selection: attention activations remain long-tailed, FFN weights remain
+Gaussian-like).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, softmax
+from repro.nn.layers import Dropout, GELU, LayerNorm, Linear
+from repro.nn.module import Module
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled dot-product multi-head self-attention."""
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.0) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim)
+        self.k_proj = Linear(dim, dim)
+        self.v_proj = Linear(dim, dim)
+        self.out_proj = Linear(dim, dim)
+        self.drop = Dropout(dropout)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, S, D) -> (B, H, S, Dh)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        attn = softmax(scores, axis=-1)
+        attn = self.drop(attn)
+        context = attn @ v  # (B, H, S, Dh)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out_proj(context)
+
+
+class TransformerEncoderBlock(Module):
+    """Pre-LN block: x + MHSA(LN(x)); x + FFN(LN(x))."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        hidden = int(dim * mlp_ratio)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, dropout)
+        self.norm2 = LayerNorm(dim)
+        self.fc1 = Linear(dim, hidden)
+        self.act = GELU()
+        self.fc2 = Linear(hidden, dim)
+        self.drop = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        h = self.fc2(self.drop(self.act(self.fc1(self.norm2(x)))))
+        return x + h
+
+
+class PostLNEncoderBlock(Module):
+    """Post-LN block as in the original BERT: LN(x + MHSA(x)); LN(x + FFN(x))."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        hidden = int(dim * mlp_ratio)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, dropout)
+        self.norm1 = LayerNorm(dim)
+        self.fc1 = Linear(dim, hidden)
+        self.act = GELU()
+        self.fc2 = Linear(hidden, dim)
+        self.norm2 = LayerNorm(dim)
+        self.drop = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm1(x + self.attn(x))
+        h = self.fc2(self.drop(self.act(self.fc1(x))))
+        return self.norm2(x + h)
+
+
+def sinusoidal_positions(seq_len: int, dim: int) -> np.ndarray:
+    """Fixed sinusoidal positional encodings (Vaswani et al. 2017)."""
+    positions = np.arange(seq_len)[:, None]
+    freqs = np.exp(-np.log(10000.0) * (np.arange(0, dim, 2) / dim))
+    angles = positions * freqs[None, :]
+    enc = np.zeros((seq_len, dim))
+    enc[:, 0::2] = np.sin(angles)
+    enc[:, 1::2] = np.cos(angles[:, : dim // 2 + dim % 2])[:, : enc[:, 1::2].shape[1]]
+    return enc

@@ -1,0 +1,515 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+A small tape-based engine in the micrograd style, but fully vectorised:
+each op records a closure that accumulates gradients into its parents.
+Only what the model zoo needs is implemented, with fused primitives
+(conv2d, pooling, softmax-cross-entropy, layernorm) where composing
+element-wise ops would be prohibitively slow in numpy.
+
+Gradients propagate in float64.  Broadcasting is supported everywhere
+through :func:`_unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+_GRAD_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def grad_enabled() -> bool:
+    return _GRAD_ENABLED[-1]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were expanded from size one.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with an optional gradient and a backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and grad_enabled()
+        self._backward: Optional[Callable[[], None]] = None
+        self._parents = _parents if self.requires_grad else ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode accumulation from this tensor."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        self._accumulate(grad)
+
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen_on_stack = {id(node)}
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and parent.requires_grad:
+                        if id(parent) in seen_on_stack:
+                            continue
+                        stack.append((parent, iter(parent._parents)))
+                        seen_on_stack.add(id(parent))
+                        advanced = True
+                        break
+                if not advanced:
+                    visited.add(id(current))
+                    topo.append(current)
+                    stack.pop()
+                    seen_on_stack.discard(id(current))
+
+        visit(self)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[["Tensor"], Callable[[], None]],
+    ) -> "Tensor":
+        parents = tuple(parents)
+        requires = grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _parents=parents if requires else ())
+        if requires:
+            out._backward = backward(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad)
+                if other.requires_grad:
+                    other._accumulate(out.grad)
+
+            return backward
+
+        return Tensor._make(self.data + other.data, (self, other), make)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(-out.grad)
+
+            return backward
+
+        return Tensor._make(-self.data, (self,), make)
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad * other.data)
+                if other.requires_grad:
+                    other._accumulate(out.grad * self.data)
+
+            return backward
+
+        return Tensor._make(self.data * other.data, (self, other), make)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad / other.data)
+                if other.requires_grad:
+                    other._accumulate(-out.grad * self.data / (other.data ** 2))
+
+            return backward
+
+        return Tensor._make(self.data / other.data, (self, other), make)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+            return backward
+
+        return Tensor._make(self.data ** exponent, (self,), make)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def make(out: Tensor):
+            def backward():
+                grad = out.grad
+                if self.requires_grad:
+                    self._accumulate(
+                        _unbroadcast(grad @ np.swapaxes(other.data, -1, -2), self.data.shape)
+                    )
+                if other.requires_grad:
+                    other._accumulate(
+                        _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other.data.shape)
+                    )
+
+            return backward
+
+        return Tensor._make(self.data @ other.data, (self, other), make)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad.reshape(self.data.shape))
+
+            return backward
+
+        return Tensor._make(self.data.reshape(shape), (self,), make)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes)
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad.transpose(inverse))
+
+            return backward
+
+        return Tensor._make(self.data.transpose(axes), (self,), make)
+
+    def __getitem__(self, key) -> "Tensor":
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    grad = np.zeros_like(self.data)
+                    np.add.at(grad, key, out.grad)
+                    self._accumulate(grad)
+
+            return backward
+
+        return Tensor._make(self.data[key], (self,), make)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    grad = out.grad
+                    if axis is not None and not keepdims:
+                        grad = np.expand_dims(grad, axis)
+                    self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+            return backward
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), make)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    expanded = out.grad
+                    maxes = data
+                    if axis is not None and not keepdims:
+                        expanded = np.expand_dims(expanded, axis)
+                        maxes = np.expand_dims(maxes, axis)
+                    mask = (self.data == maxes).astype(np.float64)
+                    mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+                    self._accumulate(mask * expanded)
+
+            return backward
+
+        return Tensor._make(data, (self,), make)
+
+    # ------------------------------------------------------------------
+    # Element-wise nonlinearities
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad * mask)
+
+            return backward
+
+        return Tensor._make(self.data * mask, (self,), make)
+
+    def gelu(self) -> "Tensor":
+        """Tanh-approximation GELU, matching BERT/ViT implementations."""
+        c = np.sqrt(2.0 / np.pi)
+        x = self.data
+        inner = c * (x + 0.044715 * x ** 3)
+        tanh = np.tanh(inner)
+        data = 0.5 * x * (1.0 + tanh)
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    sech2 = 1.0 - tanh ** 2
+                    d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+                    grad = 0.5 * (1.0 + tanh) + 0.5 * x * sech2 * d_inner
+                    self._accumulate(out.grad * grad)
+
+            return backward
+
+        return Tensor._make(data, (self,), make)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad * (1.0 - data ** 2))
+
+            return backward
+
+        return Tensor._make(data, (self,), make)
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad * data)
+
+            return backward
+
+        return Tensor._make(data, (self,), make)
+
+    def log(self) -> "Tensor":
+        def make(out: Tensor):
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad / self.data)
+
+            return backward
+
+        return Tensor._make(np.log(self.data), (self,), make)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad}{label})"
+
+
+# ----------------------------------------------------------------------
+# Free functions on tensors
+# ----------------------------------------------------------------------
+def concatenate(tensors: List[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate along ``axis`` with gradient routing back to parts."""
+    datas = [t.data for t in tensors]
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def make(out: Tensor):
+        def backward():
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    index = [slice(None)] * out.grad.ndim
+                    index[axis] = slice(start, stop)
+                    tensor._accumulate(out.grad[tuple(index)])
+
+        return backward
+
+    return Tensor._make(np.concatenate(datas, axis=axis), tensors, make)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax with a fused backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=axis, keepdims=True)
+
+    def make(out: Tensor):
+        def backward():
+            if x.requires_grad:
+                dot = (out.grad * probs).sum(axis=axis, keepdims=True)
+                x._accumulate(probs * (out.grad - dot))
+
+        return backward
+
+    return Tensor._make(probs, (x,), make)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits ``(N, C)`` and integer targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = logits.data.shape[0]
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    loss_val = -log_probs[np.arange(n), targets].mean()
+
+    def make(out: Tensor):
+        def backward():
+            if logits.requires_grad:
+                probs = np.exp(log_probs)
+                grad = probs
+                grad[np.arange(n), targets] -= 1.0
+                logits._accumulate(out.grad * grad / n)
+
+        return backward
+
+    return Tensor._make(np.asarray(loss_val), (logits,), make)
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``table``; backward scatter-adds into the table."""
+    indices = np.asarray(indices, dtype=np.int64)
+
+    def make(out: Tensor):
+        def backward():
+            if table.requires_grad:
+                grad = np.zeros_like(table.data)
+                np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, table.data.shape[1]))
+                table._accumulate(grad)
+
+        return backward
+
+    return Tensor._make(table.data[indices], (table,), make)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
+
+    def make(out: Tensor):
+        def backward():
+            if x.requires_grad:
+                x._accumulate(out.grad * mask)
+
+        return backward
+
+    return Tensor._make(x.data * mask, (x,), make)

@@ -1,0 +1,269 @@
+"""Fused structured ops: convolution, pooling, layer/batch norm.
+
+Convolution uses im2col so both forward and backward are single GEMMs,
+which keeps the numpy substrate fast enough to train the model zoo.
+All tensors follow the NCHW layout used by the paper's PyTorch code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index arrays mapping padded input pixels to im2col columns."""
+    _, channels, height, width = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (height + 2 * ph - kh) // sh + 1
+    out_w = (width + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output collapsed: input {height}x{width}, "
+            f"kernel {kh}x{kw}, stride {sh}x{sw}, padding {ph}x{pw}"
+        )
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, channels)
+    i1 = sh * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = sw * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride=1,
+    padding=0,
+) -> Tensor:
+    """2-D convolution, NCHW, weight layout ``(C_out, C_in, KH, KW)``."""
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c_in, _, _ = x.data.shape
+    c_out, c_in_w, kh, kw = weight.data.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input {c_in}, weight {c_in_w}")
+
+    ph, pw = padding
+    padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    k, i, j, out_h, out_w = _im2col_indices(x.data.shape, (kh, kw), stride, padding)
+    # cols: (C_in*KH*KW, N*out_h*out_w)
+    cols = padded[:, k, i, j].transpose(1, 2, 0).reshape(c_in * kh * kw, -1)
+    w_mat = weight.data.reshape(c_out, -1)
+    out = (w_mat @ cols).reshape(c_out, out_h * out_w, n).transpose(2, 0, 1)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+
+    def make(result: Tensor):
+        def backward():
+            grad = result.grad  # (N, C_out, out_h, out_w)
+            grad_mat = grad.transpose(1, 2, 3, 0).reshape(c_out, -1)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if weight.requires_grad:
+                # Recompute cols ordered consistently with grad_mat.
+                cols_t = padded[:, k, i, j].transpose(1, 2, 0).reshape(c_in * kh * kw, -1)
+                # grad_mat columns are ordered (out_h*out_w, N) flattened as
+                # (spatial, batch); cols_t columns are (spatial, batch) too.
+                weight._accumulate((grad_mat @ cols_t.T).reshape(weight.data.shape))
+            if x.requires_grad:
+                dcols = w_mat.T @ grad_mat  # (C_in*KH*KW, out_h*out_w*N)
+                dcols = dcols.reshape(c_in * kh * kw, out_h * out_w, n).transpose(2, 0, 1)
+                dpadded = np.zeros_like(padded)
+                np.add.at(dpadded, (slice(None), k, i, j), dcols)
+                if ph or pw:
+                    dx = dpadded[:, :, ph: ph + x.data.shape[2], pw: pw + x.data.shape[3]]
+                else:
+                    dx = dpadded
+                x._accumulate(dx)
+
+        return backward
+
+    return Tensor._make(out, parents, make)
+
+
+def max_pool2d(x: Tensor, kernel=2, stride=None) -> Tensor:
+    """Max pooling (NCHW).  ``stride`` defaults to the kernel size."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.data.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+
+    # Build windows with stride tricks, then reduce.
+    strides = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, kh * kw)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def make(result: Tensor):
+        def backward():
+            if x.requires_grad:
+                grad = np.zeros_like(x.data)
+                ki, kj = np.unravel_index(arg, (kh, kw))
+                n_idx, c_idx, oh_idx, ow_idx = np.indices(arg.shape)
+                rows = oh_idx * sh + ki
+                cols = ow_idx * sw + kj
+                np.add.at(grad, (n_idx, c_idx, rows, cols), result.grad)
+                x._accumulate(grad)
+
+        return backward
+
+    return Tensor._make(out, (x,), make)
+
+
+def avg_pool2d(x: Tensor, kernel=2, stride=None) -> Tensor:
+    """Average pooling (NCHW)."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.data.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    strides = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
+        writeable=False,
+    )
+    out = windows.mean(axis=(-1, -2))
+    denom = float(kh * kw)
+
+    def make(result: Tensor):
+        def backward():
+            if x.requires_grad:
+                grad = np.zeros_like(x.data)
+                spread = result.grad / denom
+                for di in range(kh):
+                    for dj in range(kw):
+                        grad[:, :, di: di + out_h * sh: sh, dj: dj + out_w * sw: sw] += spread
+                x._accumulate(grad)
+
+        return backward
+
+    return Tensor._make(out, (x,), make)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension with affine params."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean) * inv_std
+    out = x_hat * weight.data + bias.data
+    dim = x.data.shape[-1]
+
+    def make(result: Tensor):
+        def backward():
+            grad = result.grad
+            if bias.requires_grad:
+                bias._accumulate(grad.reshape(-1, dim).sum(axis=0))
+            if weight.requires_grad:
+                weight._accumulate((grad * x_hat).reshape(-1, dim).sum(axis=0))
+            if x.requires_grad:
+                g = grad * weight.data
+                term1 = g
+                term2 = g.mean(axis=-1, keepdims=True)
+                term3 = x_hat * (g * x_hat).mean(axis=-1, keepdims=True)
+                x._accumulate(inv_std * (term1 - term2 - term3))
+
+        return backward
+
+    return Tensor._make(out, (x, weight, bias), make)
+
+
+def batch_norm2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over (N, H, W) per channel (NCHW layout).
+
+    Running statistics are updated in place during training, as in
+    PyTorch.
+    """
+    if training:
+        mean = x.data.mean(axis=(0, 2, 3))
+        var = x.data.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    shape = (1, -1, 1, 1)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = x_hat * weight.data.reshape(shape) + bias.data.reshape(shape)
+    count = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+
+    def make(result: Tensor):
+        def backward():
+            grad = result.grad
+            if bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if weight.requires_grad:
+                weight._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+            if x.requires_grad:
+                g = grad * weight.data.reshape(shape)
+                if training:
+                    sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+                    sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+                    dx = (
+                        inv_std.reshape(shape)
+                        * (g - sum_g / count - x_hat * sum_gx / count)
+                    )
+                else:
+                    dx = g * inv_std.reshape(shape)
+                x._accumulate(dx)
+
+        return backward
+
+    return Tensor._make(out, (x, weight, bias), make)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out

@@ -1,0 +1,205 @@
+"""Standard layers used by the model zoo.
+
+Quantizable layers (:class:`Linear`, :class:`Conv2d`) carry two hook
+slots, ``weight_fake_quant`` and ``input_fake_quant``, which the ANT
+framework populates (see :mod:`repro.quant.qat`).  When set, the layer
+computes with fake-quantized weights and inputs, exactly like the
+paper's quantized inference graph in Fig. 4: low-bit weight x low-bit
+input, high-precision accumulate and output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor, dropout, embedding_lookup
+from repro.nn.module import Module, Parameter
+
+#: Signature of a fake-quant hook: Tensor -> Tensor (graph-preserving).
+FakeQuantHook = Callable[[Tensor], Tensor]
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def set_global_seed(seed: int) -> None:
+    """Reset the initialisation RNG (used for reproducible model builds)."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+
+
+def _kaiming(shape, fan_in: int) -> np.ndarray:
+    std = math.sqrt(2.0 / fan_in)
+    return _GLOBAL_RNG.normal(0.0, std, size=shape)
+
+
+class QuantizableMixin:
+    """Hook slots shared by Linear and Conv2d."""
+
+    weight_fake_quant: Optional[FakeQuantHook]
+    input_fake_quant: Optional[FakeQuantHook]
+
+    def _init_quant_hooks(self) -> None:
+        object.__setattr__(self, "weight_fake_quant", None)
+        object.__setattr__(self, "input_fake_quant", None)
+
+    def _apply_hooks(self, x: Tensor, weight: Tensor):
+        if self.input_fake_quant is not None:
+            x = self.input_fake_quant(x)
+        if self.weight_fake_quant is not None:
+            weight = self.weight_fake_quant(weight)
+        return x, weight
+
+
+class Linear(Module, QuantizableMixin):
+    """Fully-connected layer, weight layout ``(out_features, in_features)``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_kaiming((out_features, in_features), in_features))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self._init_quant_hooks()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x, weight = self._apply_hooks(x, self.weight)
+        return F.linear(x, weight, self.bias)
+
+
+class Conv2d(Module, QuantizableMixin):
+    """2-D convolution, NCHW, weight ``(C_out, C_in, KH, KW)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        kh, kw = F._pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = F._pair(stride)
+        self.padding = F._pair(padding)
+        fan_in = in_channels * kh * kw
+        self.weight = Parameter(_kaiming((out_channels, in_channels, kh, kw), fan_in))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self._init_quant_hooks()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x, weight = self._apply_hooks(x, self.weight)
+        return F.conv2d(x, weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size, stride=None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size, stride=None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, yielding ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.1) -> None:
+        super().__init__()
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self.training, _GLOBAL_RNG)
+
+
+class LayerNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, self.eps)
+
+
+class BatchNorm2d(Module):
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(channels))
+        self.bias = Parameter(np.zeros(channels))
+        object.__setattr__(
+            self,
+            "_buffers",
+            {
+                "running_mean": np.zeros(channels),
+                "running_var": np.ones(channels),
+            },
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.weight,
+            self.bias,
+            self._buffers["running_mean"],
+            self._buffers["running_var"],
+            self.training,
+            self.momentum,
+            self.eps,
+        )
+
+
+class Embedding(Module):
+    """Token embedding table ``(vocab, dim)``."""
+
+    def __init__(self, vocab_size: int, dim: int) -> None:
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = Parameter(_GLOBAL_RNG.normal(0.0, 0.02, size=(vocab_size, dim)))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_lookup(self.weight, indices)

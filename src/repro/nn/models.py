@@ -1,0 +1,300 @@
+"""Model zoo: scaled-down, architecture-faithful stand-ins.
+
+The paper evaluates VGG-16, ResNet-18/50, Inception-V3, ViT and
+BERT-Base.  Training those from scratch on ImageNet/GLUE is out of
+scope for a laptop-scale numpy substrate, so each family is represented
+by a small model preserving the structural features that shape tensor
+distributions:
+
+* ``vgg``       -- plain conv->relu->pool stacks (uniform-ish first
+  activation, Gaussian-like weights),
+* ``resnet``    -- residual basic blocks with batch norm,
+* ``inception`` -- parallel 1x1/3x3/5x5/pool branches concatenated,
+* ``vit``       -- patch embedding + pre-LN Transformer encoder,
+* ``bert``      -- token embedding + Transformer encoder (long-tailed
+  activation tensors with outliers, the regime where PoT wins).
+
+All models consume the synthetic datasets from :mod:`repro.data` and
+emit logits ``(N, num_classes)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.attention import (
+    PostLNEncoderBlock,
+    TransformerEncoderBlock,
+    sinusoidal_positions,
+)
+from repro.nn.autograd import Tensor, concatenate
+from repro.nn.layers import (
+    BatchNorm2d,
+    LayerNorm,
+    Conv2d,
+    Embedding,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    set_global_seed,
+)
+from repro.nn.module import Module, Parameter, Sequential
+
+#: Image input geometry shared by the CNN/ViT zoo.
+IMAGE_SHAPE = (3, 16, 16)
+#: Token task geometry shared by the BERT zoo.
+SEQ_LEN = 16
+VOCAB_SIZE = 64
+
+
+class VGGStyle(Module):
+    """Two VGG conv blocks plus an MLP classifier."""
+
+    family = "vgg"
+
+    def __init__(self, num_classes: int = 10, width: int = 16) -> None:
+        super().__init__()
+        c = width
+        self.features = Sequential(
+            Conv2d(3, c, 3, padding=1), ReLU(),
+            Conv2d(c, c, 3, padding=1), ReLU(),
+            MaxPool2d(2),
+            Conv2d(c, 2 * c, 3, padding=1), ReLU(),
+            Conv2d(2 * c, 2 * c, 3, padding=1), ReLU(),
+            MaxPool2d(2),
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(2 * c * 4 * 4, 4 * c), ReLU(),
+            Linear(4 * c, num_classes),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+class BasicBlock(Module):
+    """ResNet basic block: conv-bn-relu-conv-bn + skip."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1, bias=False)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Conv2d(in_channels, out_channels, 1, stride=stride, bias=False)
+            self.bn_shortcut = BatchNorm2d(out_channels)
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        if self.shortcut is not None:
+            residual = self.bn_shortcut(self.shortcut(x))
+        else:
+            residual = x
+        return (out + residual).relu()
+
+
+class ResNetStyle(Module):
+    """Stem + three residual stages, global average pooled."""
+
+    family = "resnet"
+
+    def __init__(self, num_classes: int = 10, width: int = 16, blocks_per_stage: int = 1) -> None:
+        super().__init__()
+        self.stem = Conv2d(3, width, 3, padding=1, bias=False)
+        self.bn_stem = BatchNorm2d(width)
+        stages: List[Module] = []
+        channels = [width, 2 * width, 4 * width]
+        in_ch = width
+        for stage_idx, out_ch in enumerate(channels):
+            for block_idx in range(blocks_per_stage):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                stages.append(BasicBlock(in_ch, out_ch, stride))
+                in_ch = out_ch
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels[-1], num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn_stem(self.stem(x)).relu()
+        out = self.stages(out)
+        return self.fc(self.pool(out))
+
+
+def _conv_bn(in_channels: int, out_channels: int, kernel, padding=0) -> Sequential:
+    """Conv-BN-ReLU unit; Inception-V3 uses batch norm after every conv."""
+    return Sequential(
+        Conv2d(in_channels, out_channels, kernel, padding=padding, bias=False),
+        BatchNorm2d(out_channels),
+        ReLU(),
+    )
+
+
+class InceptionModule(Module):
+    """Four parallel branches concatenated on the channel axis."""
+
+    def __init__(self, in_channels: int, branch_channels: int) -> None:
+        super().__init__()
+        b = branch_channels
+        self.branch1 = _conv_bn(in_channels, b, 1)
+        self.branch3 = Sequential(
+            _conv_bn(in_channels, b, 1),
+            _conv_bn(b, b, 3, padding=1),
+        )
+        self.branch5 = Sequential(
+            _conv_bn(in_channels, b, 1),
+            _conv_bn(b, b, 3, padding=1),
+            _conv_bn(b, b, 3, padding=1),
+        )
+        self.branch_pool = _conv_bn(in_channels, b, 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        pooled = F.avg_pool2d(x, kernel=3, stride=1) if min(x.shape[2:]) >= 3 else x
+        if pooled.shape[2] != x.shape[2]:
+            # keep spatial size: re-pad by using the raw input for the pool branch
+            pooled = x
+        branches = [
+            self.branch1(x),
+            self.branch3(x),
+            self.branch5(x),
+            self.branch_pool(pooled),
+        ]
+        return concatenate(branches, axis=1)
+
+
+class InceptionStyle(Module):
+    """Stem conv + two inception modules + classifier."""
+
+    family = "inception"
+
+    def __init__(self, num_classes: int = 10, width: int = 8) -> None:
+        super().__init__()
+        self.stem = Sequential(_conv_bn(3, 2 * width, 3, padding=1), MaxPool2d(2))
+        self.block1 = InceptionModule(2 * width, width)
+        self.block2 = InceptionModule(4 * width, width)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(4 * width, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.block1(out)
+        out = self.block2(out)
+        return self.fc(self.pool(out))
+
+
+class ViTStyle(Module):
+    """Patch embedding + Transformer encoder + mean-pool classifier."""
+
+    family = "vit"
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        dim: int = 48,
+        depth: int = 2,
+        num_heads: int = 4,
+        patch: int = 4,
+    ) -> None:
+        super().__init__()
+        channels, height, _ = IMAGE_SHAPE
+        self.patch = patch
+        self.patch_embed = Conv2d(channels, dim, patch, stride=patch)
+        n_patches = (height // patch) ** 2
+        self.pos_embed = Parameter(0.02 * np.random.default_rng(7).normal(size=(1, n_patches, dim)))
+        self.blocks = Sequential(
+            *[TransformerEncoderBlock(dim, num_heads) for _ in range(depth)]
+        )
+        self.norm = LayerNorm(dim)  # ViT's final pre-head LayerNorm
+        self.head = Linear(dim, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        patches = self.patch_embed(x)  # (N, D, H', W')
+        n, d = patches.shape[0], patches.shape[1]
+        tokens = patches.reshape(n, d, -1).transpose(0, 2, 1)  # (N, S, D)
+        tokens = tokens + self.pos_embed
+        tokens = self.norm(self.blocks(tokens))
+        return self.head(tokens.mean(axis=1))
+
+
+class BERTStyle(Module):
+    """Token + positional embedding, post-LN Transformer, CLS classifier.
+
+    Uses post-LN blocks as in the original BERT.  ``rare_token_scale``
+    inflates the initial embedding norm of rare (Zipf-tail) tokens,
+    simulating the rare-token embedding-outlier phenomenon of real BERT
+    checkpoints; training leaves rarely-seen embeddings near this init.
+    """
+
+    family = "bert"
+
+    def __init__(
+        self,
+        num_classes: int = 3,
+        dim: int = 48,
+        depth: int = 2,
+        num_heads: int = 4,
+        vocab_size: int = VOCAB_SIZE,
+        seq_len: int = SEQ_LEN,
+        rare_token_scale: float = 12.0,
+        rare_token_start: int = 20,
+    ) -> None:
+        super().__init__()
+        self.embed = Embedding(vocab_size, dim)
+        if rare_token_scale != 1.0:
+            self.embed.weight.data[rare_token_start:] *= rare_token_scale
+        self.pos = Parameter(sinusoidal_positions(seq_len, dim)[None])
+        self.blocks = Sequential(
+            *[PostLNEncoderBlock(dim, num_heads) for _ in range(depth)]
+        )
+        self.pooler = Linear(dim, dim)
+        self.head = Linear(dim, num_classes)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        x = self.embed(tokens) + self.pos
+        x = self.blocks(x)
+        pooled = self.pooler(x[:, 0, :]).tanh()
+        return self.head(pooled)
+
+
+#: Workload name -> builder, input kind, classes and dataset knobs.
+#: Mirrors the paper's eight evaluation workloads (Tbl. IV + three GLUE
+#: tasks).  ``gain_sigma`` is per-workload: plain conv stacks and BN
+#: ResNets tolerate (and are stressed by) wide dynamic-range inputs,
+#: while the narrow Inception/ViT stand-ins need a gentler setting to
+#: converge on the numpy substrate.
+MODEL_BUILDERS: Dict[str, dict] = {
+    "vgg16": {"factory": VGGStyle, "input": "image", "classes": 10, "gain_sigma": 1.3},
+    "resnet18": {"factory": ResNetStyle, "input": "image", "classes": 10, "gain_sigma": 1.3},
+    "resnet50": {
+        "factory": lambda num_classes=10: ResNetStyle(num_classes, blocks_per_stage=2),
+        "input": "image",
+        "classes": 10,
+        "gain_sigma": 1.3,
+    },
+    "inceptionv3": {"factory": InceptionStyle, "input": "image", "classes": 10, "gain_sigma": 0.6},
+    "vit": {"factory": ViTStyle, "input": "image", "classes": 10, "gain_sigma": 0.6},
+    "bert-mnli": {"factory": lambda num_classes=3: BERTStyle(num_classes), "input": "tokens", "classes": 3},
+    "bert-cola": {"factory": lambda num_classes=2: BERTStyle(num_classes), "input": "tokens", "classes": 2},
+    "bert-sst2": {"factory": lambda num_classes=2: BERTStyle(num_classes), "input": "tokens", "classes": 2},
+}
+
+WORKLOADS = list(MODEL_BUILDERS)
+
+
+def build_model(name: str, seed: int = 0) -> Module:
+    """Build a fresh model for a named workload with deterministic init."""
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"unknown workload {name!r}; choose from {WORKLOADS}")
+    set_global_seed(seed)
+    spec = MODEL_BUILDERS[name]
+    return spec["factory"](num_classes=spec["classes"])

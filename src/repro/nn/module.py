@@ -1,0 +1,126 @@
+"""Module system: parameter registration, traversal, train/eval state."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires grad)."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with automatic parameter and submodule registration."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameters plus persistent buffers."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for mod_name, module in self.named_modules():
+            for buf_name, buf in getattr(module, "_buffers", {}).items():
+                key = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                state[key] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{param.data.shape} vs {state[name].shape}"
+                )
+            param.data[...] = state[name]
+        for mod_name, module in self.named_modules():
+            for buf_name, buf in getattr(module, "_buffers", {}).items():
+                key = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                if key in state:
+                    buf[...] = state[key]
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"m{index}", module)
+            self._items.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        index = len(self._items)
+        setattr(self, f"m{index}", module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x

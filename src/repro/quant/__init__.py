@@ -1,0 +1,51 @@
+"""ANT quantization framework (the paper's primary contribution).
+
+Layered as follows:
+
+* :mod:`repro.quant.functional` -- stateless quantize/dequantize kernels
+  implementing Equation (2) of the paper.
+* :mod:`repro.quant.scale_search` -- MSE-minimising clipping-range (scale
+  factor) search, the ``ArgminMSE`` of Algorithm 2.
+* :mod:`repro.quant.selection` -- per-tensor primitive-type selection
+  (Algorithm 2).
+* :mod:`repro.quant.quantizer` -- stateful :class:`TensorQuantizer`
+  supporting per-tensor and per-channel granularity.
+* :mod:`repro.quant.framework` -- whole-model quantization: calibrate,
+  select types, wrap layers with fake-quant, report type ratios and
+  average bits.
+* :mod:`repro.quant.qat` -- quantization-aware training with the
+  straight-through estimator (PACT-style clipping).
+* :mod:`repro.quant.mixed_precision` -- layer-wise 4->8-bit escalation
+  (Sec. IV-C "Mixed Precision").
+"""
+
+from repro.quant.functional import quantize_dequantize, channel_scales
+from repro.quant.scale_search import search_scale, mse_for_scale
+from repro.quant.selection import TypeChoice, select_type
+from repro.quant.quantizer import Granularity, TensorQuantizer
+from repro.quant.framework import (
+    LayerQuantConfig,
+    ModelQuantizer,
+    QuantReport,
+)
+from repro.quant.mixed_precision import MixedPrecisionSearch, PrecisionDecision
+from repro.quant.qat import FakeQuantOp, attach_fake_quant, finetune
+
+__all__ = [
+    "quantize_dequantize",
+    "channel_scales",
+    "search_scale",
+    "mse_for_scale",
+    "TypeChoice",
+    "select_type",
+    "Granularity",
+    "TensorQuantizer",
+    "LayerQuantConfig",
+    "ModelQuantizer",
+    "QuantReport",
+    "MixedPrecisionSearch",
+    "PrecisionDecision",
+    "FakeQuantOp",
+    "attach_fake_quant",
+    "finetune",
+]

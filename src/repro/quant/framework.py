@@ -1,0 +1,279 @@
+"""Whole-model ANT quantization (the paper's Fig. 4 inference flow).
+
+``ModelQuantizer`` orchestrates, for every quantizable layer (Conv2d /
+Linear):
+
+1. **Calibration** -- capture each layer's input activation on a small
+   calibration set (the paper uses ~100 samples, Sec. IV-C), then run
+   Algorithm 2 to pick a primitive type per weight tensor (per-channel
+   scales) and per input-activation tensor (per-tensor scale, unsigned
+   when the activation is non-negative, e.g. post-ReLU).
+2. **Fake-quantization** -- install STE hooks so both inference and
+   fine-tuning see quantized weights/inputs while accumulation stays in
+   high precision.
+3. **Reporting** -- tensor type ratios and size-weighted average bits,
+   the quantities plotted in Fig. 13 (top) and Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dtypes.base import NumericType
+from repro.dtypes.registry import ANT_COMBINATION, default_registry
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.quant.qat import FakeQuantOp, detach_fake_quant
+from repro.quant.quantizer import Granularity, TensorQuantizer
+
+
+def quantizable_layers(model: Module) -> Dict[str, Module]:
+    """Name -> module for every Conv2d/Linear in the model."""
+    return {
+        name: module
+        for name, module in model.named_modules()
+        if isinstance(module, (Conv2d, Linear))
+    }
+
+
+@dataclass
+class LayerQuantConfig:
+    """Quantization state of one layer."""
+
+    name: str
+    module: Module
+    weight_quantizer: TensorQuantizer
+    input_quantizer: TensorQuantizer
+    #: calibration copies used when re-searching scales on escalation
+    weight_sample: np.ndarray = None
+    input_sample: np.ndarray = None
+
+    @property
+    def weight_size(self) -> int:
+        return int(self.module.weight.data.size)
+
+    @property
+    def input_size(self) -> int:
+        return int(np.asarray(self.input_sample).size) if self.input_sample is not None else 0
+
+
+@dataclass
+class QuantReport:
+    """Aggregate statistics over all quantized tensors."""
+
+    #: tensor count per primitive kind+bits label, e.g. "flint4"
+    type_counts: Dict[str, int]
+    #: element-weighted average storage bits across weights+activations
+    average_bits: float
+    #: fraction of tensors (by count) that stayed at the low bit width
+    low_bit_tensor_fraction: float
+    #: per-layer detail rows
+    layers: List[dict] = field(default_factory=list)
+
+    def ratio(self, label: str) -> float:
+        total = sum(self.type_counts.values())
+        return self.type_counts.get(label, 0) / total if total else 0.0
+
+
+class ModelQuantizer:
+    """Quantize a :class:`repro.nn.Module` with the ANT framework.
+
+    Parameters
+    ----------
+    model:
+        The float model to quantize (modified in place via hooks).
+    combination:
+        Candidate-type combination name (default the paper's final
+        ``ip-f`` = int + PoT + flint).
+    bits:
+        Bit width of the low-precision types (the paper's default 4).
+    registry:
+        Type registry supplying candidate instances.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        combination: str = ANT_COMBINATION,
+        bits: int = 4,
+        registry=default_registry,
+    ) -> None:
+        self.model = model
+        self.combination = combination
+        self.bits = bits
+        self.registry = registry
+        self.layers: Dict[str, LayerQuantConfig] = {}
+
+    # ------------------------------------------------------------------
+    def _capture_inputs(self, batch) -> Dict[str, np.ndarray]:
+        """Run one forward pass recording every quantizable layer input."""
+        captured: Dict[str, np.ndarray] = {}
+        modules = quantizable_layers(self.model)
+
+        def recorder(name: str):
+            def hook(x: Tensor) -> Tensor:
+                captured[name] = np.asarray(x.data, dtype=np.float64).copy()
+                return x
+
+            return hook
+
+        for name, module in modules.items():
+            object.__setattr__(module, "input_fake_quant", recorder(name))
+        try:
+            self.model.eval()
+            with no_grad():
+                if isinstance(batch, np.ndarray) and batch.dtype.kind in "iu":
+                    self.model(batch)
+                else:
+                    self.model(Tensor(batch))
+        finally:
+            for module in modules.values():
+                object.__setattr__(module, "input_fake_quant", None)
+        return captured
+
+    # ------------------------------------------------------------------
+    def calibrate(self, calibration_batch) -> "ModelQuantizer":
+        """Select per-tensor types and scales from a calibration batch."""
+        captured = self._capture_inputs(calibration_batch)
+        modules = quantizable_layers(self.model)
+        self.layers = {}
+        for name, module in modules.items():
+            weight = module.weight.data
+            weight_candidates = self.registry.candidates(
+                self.combination, self.bits, signed=True
+            )
+            weight_q = TensorQuantizer(
+                weight_candidates,
+                granularity=Granularity.PER_CHANNEL,
+                channel_axis=0,
+            )
+            weight_q.calibrate(weight)
+
+            act = captured.get(name)
+            if act is None:
+                raise RuntimeError(
+                    f"layer {name!r} received no input during calibration"
+                )
+            act_signed = bool(np.min(act) < 0.0)
+            input_candidates = self.registry.candidates(
+                self.combination, self.bits, signed=act_signed
+            )
+            input_q = TensorQuantizer(input_candidates, Granularity.PER_TENSOR)
+            input_q.calibrate(act)
+
+            self.layers[name] = LayerQuantConfig(
+                name=name,
+                module=module,
+                weight_quantizer=weight_q,
+                input_quantizer=input_q,
+                weight_sample=weight.copy(),
+                input_sample=act,
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    def apply(self) -> "ModelQuantizer":
+        """Install fake-quant hooks on all calibrated layers."""
+        if not self.layers:
+            raise RuntimeError("calibrate() must run before apply()")
+        for config in self.layers.values():
+            object.__setattr__(
+                config.module, "weight_fake_quant", FakeQuantOp(config.weight_quantizer)
+            )
+            object.__setattr__(
+                config.module, "input_fake_quant", FakeQuantOp(config.input_quantizer)
+            )
+        return self
+
+    def remove(self) -> None:
+        """Detach all fake-quant hooks, restoring the float model."""
+        detach_fake_quant(self.model)
+
+    # ------------------------------------------------------------------
+    def escalate_layer(self, name: str, bits: int = 8) -> None:
+        """Raise one layer to a higher-precision int (mixed precision).
+
+        Matches the paper's mixed-precision rule: escalated layers use
+        plain ``int8``, which the 4-bit ANT PE natively supports by
+        fusing four PEs (Sec. V-D).
+        """
+        config = self.layers[name]
+        int_w = self.registry.get(f"int{bits}")
+        config.weight_quantizer.set_dtype(int_w, config.weight_sample)
+        act_signed = config.input_quantizer.dtype.signed
+        int_a = self.registry.get(f"int{bits}" if act_signed else f"int{bits}u")
+        config.input_quantizer.set_dtype(int_a, config.input_sample)
+        if config.module.weight_fake_quant is not None:
+            # refresh hooks so they wrap the updated quantizers
+            object.__setattr__(
+                config.module, "weight_fake_quant", FakeQuantOp(config.weight_quantizer)
+            )
+            object.__setattr__(
+                config.module, "input_fake_quant", FakeQuantOp(config.input_quantizer)
+            )
+
+    # ------------------------------------------------------------------
+    def layer_mse(self) -> Dict[str, float]:
+        """Total calibration MSE per layer (weight + input), for escalation order."""
+        scores = {}
+        for name, config in self.layers.items():
+            w_mse = config.weight_quantizer.observed_mse(config.weight_sample)
+            a_mse = config.input_quantizer.observed_mse(config.input_sample)
+            scores[name] = w_mse + a_mse
+        return scores
+
+    def report(self) -> QuantReport:
+        """Type ratios and size-weighted average bits (Fig. 13 top, Tbl. I)."""
+        counts: Dict[str, int] = {}
+        weighted_bits = 0.0
+        total_elements = 0
+        low_bit = 0
+        rows: List[dict] = []
+        for name, config in self.layers.items():
+            for role, quantizer, size in (
+                ("weight", config.weight_quantizer, config.weight_size),
+                ("input", config.input_quantizer, config.input_size),
+            ):
+                dtype = quantizer.dtype
+                label = f"{dtype.kind}{dtype.bits}"
+                counts[label] = counts.get(label, 0) + 1
+                weighted_bits += dtype.bits * size
+                total_elements += size
+                if dtype.bits <= self.bits:
+                    low_bit += 1
+                rows.append(
+                    {
+                        "layer": name,
+                        "role": role,
+                        "dtype": dtype.name,
+                        "bits": dtype.bits,
+                        "elements": size,
+                    }
+                )
+        n_tensors = sum(counts.values())
+        return QuantReport(
+            type_counts=counts,
+            average_bits=weighted_bits / total_elements if total_elements else 0.0,
+            low_bit_tensor_fraction=low_bit / n_tensors if n_tensors else 0.0,
+            layers=rows,
+        )
+
+
+def evaluate(model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 128) -> float:
+    """Top-1 accuracy of a model on arrays ``x``/``y``."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, x.shape[0], batch_size):
+            batch = x[start: start + batch_size]
+            if isinstance(batch, np.ndarray) and batch.dtype.kind in "iu":
+                logits = model(batch)
+            else:
+                logits = model(Tensor(batch))
+            preds = np.argmax(logits.data, axis=1)
+            correct += int(np.sum(preds == y[start: start + batch_size]))
+    return correct / x.shape[0]

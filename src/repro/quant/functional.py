@@ -1,0 +1,102 @@
+"""Stateless quantization kernels (Equation (2) of the paper).
+
+The simulated quantize-dequantize of a value ``w`` with scale ``s`` is
+
+    w_hat = s * Dequant[Clamp(Quant(w / s), min, max)]
+
+For the grid-based types in :mod:`repro.dtypes`, ``Quant``, ``Clamp``
+and ``Dequant`` collapse into nearest-grid-value rounding with
+saturation, which :meth:`repro.dtypes.NumericType.quantize` provides.
+This module adds the tensor-level conveniences: per-channel scaling and
+broadcast-safe application.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.dtypes.base import NumericType
+
+ArrayLike = Union[np.ndarray, Sequence[float]]
+
+
+def quantize_dequantize(
+    x: ArrayLike,
+    dtype: NumericType,
+    scale: Union[float, np.ndarray],
+    axis: Optional[int] = None,
+) -> np.ndarray:
+    """Simulated quantization of ``x`` under ``dtype``.
+
+    Parameters
+    ----------
+    x:
+        Input tensor.
+    dtype:
+        Numeric type to simulate.
+    scale:
+        Scalar scale (per-tensor) or a 1-D array of per-channel scales.
+    axis:
+        Channel axis when ``scale`` is an array.  Required in that case.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if np.isscalar(scale) or np.ndim(scale) == 0:
+        return dtype.quantize(x, float(scale))
+    scale = np.asarray(scale, dtype=np.float64)
+    if axis is None:
+        raise ValueError("axis is required for per-channel scales")
+    if scale.ndim != 1 or scale.shape[0] != x.shape[axis]:
+        raise ValueError(
+            f"scale shape {scale.shape} does not match axis {axis} of {x.shape}"
+        )
+    shape = [1] * x.ndim
+    shape[axis] = -1
+    scale_b = scale.reshape(shape)
+    # Normalise each channel to scale one, quantize, then scale back.
+    normalised = x / scale_b
+    q = dtype.quantize(normalised, 1.0)
+    return q * scale_b
+
+
+def channel_scales(
+    x: ArrayLike,
+    dtype: NumericType,
+    axis: int,
+    clip_ratio: float = 1.0,
+) -> np.ndarray:
+    """Max-based per-channel scales along ``axis``.
+
+    Each channel's clipping range is ``clip_ratio * max|x_channel|`` and
+    the scale maps that range onto the top of the type's grid.  Used as
+    the starting point for the MSE search in
+    :mod:`repro.quant.scale_search`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not 0 < clip_ratio <= 1.0 + 1e-12:
+        raise ValueError(f"clip_ratio must be in (0, 1], got {clip_ratio}")
+    reduce_axes = tuple(i for i in range(x.ndim) if i != axis)
+    if dtype.signed:
+        peaks = np.max(np.abs(x), axis=reduce_axes)
+    else:
+        peaks = np.max(np.clip(x, 0.0, None), axis=reduce_axes)
+    peaks = np.maximum(peaks, np.finfo(np.float64).tiny)
+    return clip_ratio * peaks / dtype.max_value
+
+
+def tensor_scale(
+    x: ArrayLike,
+    dtype: NumericType,
+    clip_ratio: float = 1.0,
+) -> float:
+    """Max-based per-tensor scale (see :func:`channel_scales`)."""
+    x = np.asarray(x, dtype=np.float64)
+    if not 0 < clip_ratio <= 1.0 + 1e-12:
+        raise ValueError(f"clip_ratio must be in (0, 1], got {clip_ratio}")
+    if dtype.signed:
+        peak = float(np.max(np.abs(x), initial=0.0))
+    else:
+        peak = float(np.max(np.clip(x, 0.0, None), initial=0.0))
+    peak = max(peak, np.finfo(np.float64).tiny)
+    return clip_ratio * peak / dtype.max_value

@@ -1,0 +1,114 @@
+"""Layer-wise mixed-precision escalation (Sec. IV-C "Mixed Precision").
+
+The paper's procedure: quantize everything at 4 bits and fine-tune;
+while the quantized accuracy is below the preset threshold of the
+original model, escalate the layer with the greatest quantization MSE
+to 8-bit int and fine-tune again.  The result is the ANT4-8
+configuration whose 4-bit tensor ratios appear in Fig. 13 (top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.quant.framework import ModelQuantizer
+
+
+@dataclass
+class PrecisionDecision:
+    """Record of one escalation round."""
+
+    escalated_layer: Optional[str]
+    accuracy: float
+    accuracy_loss: float
+    layers_at_8bit: int
+
+
+@dataclass
+class MixedPrecisionResult:
+    """Final state of the mixed-precision search."""
+
+    accuracy: float
+    accuracy_loss: float
+    decisions: List[PrecisionDecision] = field(default_factory=list)
+    #: layer names escalated to 8 bits, in escalation order
+    escalated: List[str] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.decisions)
+
+
+class MixedPrecisionSearch:
+    """Escalate highest-MSE layers to 8 bits until accuracy recovers.
+
+    Parameters
+    ----------
+    quantizer:
+        A calibrated-and-applied :class:`ModelQuantizer`.
+    evaluate_fn:
+        Callable returning current quantized accuracy in [0, 1].
+    finetune_fn:
+        Optional callable run after every escalation (the paper
+        fine-tunes between rounds); may be ``None`` for PTQ-style search.
+    baseline_accuracy:
+        The original full-precision accuracy.
+    threshold:
+        Maximum tolerated accuracy loss (paper: <0.1% CNN, <1%
+        Transformer).
+    """
+
+    def __init__(
+        self,
+        quantizer: ModelQuantizer,
+        evaluate_fn: Callable[[], float],
+        baseline_accuracy: float,
+        threshold: float = 0.01,
+        finetune_fn: Optional[Callable[[], None]] = None,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        self.quantizer = quantizer
+        self.evaluate_fn = evaluate_fn
+        self.finetune_fn = finetune_fn
+        self.baseline_accuracy = baseline_accuracy
+        self.threshold = threshold
+        self.max_rounds = max_rounds if max_rounds is not None else len(quantizer.layers)
+
+    def run(self) -> MixedPrecisionResult:
+        decisions: List[PrecisionDecision] = []
+        escalated: List[str] = []
+
+        if self.finetune_fn is not None:
+            self.finetune_fn()
+        accuracy = self.evaluate_fn()
+        loss = self.baseline_accuracy - accuracy
+        decisions.append(PrecisionDecision(None, accuracy, loss, 0))
+
+        # Escalation order: layers sorted by descending calibration MSE,
+        # recomputed each round as the paper prescribes.
+        while loss > self.threshold and len(escalated) < self.max_rounds:
+            candidates = {
+                name: mse
+                for name, mse in self.quantizer.layer_mse().items()
+                if name not in escalated
+            }
+            if not candidates:
+                break
+            worst = max(candidates, key=candidates.get)
+            self.quantizer.escalate_layer(worst, bits=8)
+            escalated.append(worst)
+            if self.finetune_fn is not None:
+                self.finetune_fn()
+            accuracy = self.evaluate_fn()
+            loss = self.baseline_accuracy - accuracy
+            decisions.append(
+                PrecisionDecision(worst, accuracy, loss, len(escalated))
+            )
+
+        return MixedPrecisionResult(
+            accuracy=accuracy,
+            accuracy_loss=loss,
+            decisions=decisions,
+            escalated=escalated,
+        )

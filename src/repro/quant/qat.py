@@ -1,0 +1,111 @@
+"""Quantization-aware training with the straight-through estimator.
+
+The paper fine-tunes quantized models using STE [Bengio et al. 2013]
+with PACT-style clipping [Choi et al. 2018] (Sec. VII-A): in the
+forward pass tensors go through the fake-quantizer; in the backward
+pass the gradient flows unchanged wherever the value landed inside the
+clipping range and is zeroed where it was clipped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.quant.quantizer import Granularity, TensorQuantizer
+
+
+class FakeQuantOp:
+    """Graph-preserving fake-quantize closure around a TensorQuantizer."""
+
+    def __init__(self, quantizer: TensorQuantizer) -> None:
+        self.quantizer = quantizer
+
+    def _pass_mask(self, data: np.ndarray) -> np.ndarray:
+        """1.0 where STE passes the gradient, 0.0 where the value clipped."""
+        quantizer = self.quantizer
+        dtype = quantizer.dtype
+        if quantizer.granularity is Granularity.PER_CHANNEL:
+            shape = [1] * data.ndim
+            shape[quantizer.channel_axis] = -1
+            limit = quantizer.scales.reshape(shape) * dtype.max_value
+        else:
+            limit = quantizer.choice.scale * dtype.max_value
+        if dtype.signed:
+            return (np.abs(data) <= limit).astype(np.float64)
+        return ((data >= 0.0) & (data <= limit)).astype(np.float64)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        quantized = self.quantizer(x.data)
+        mask = self._pass_mask(x.data)
+
+        def make(out: Tensor):
+            def backward():
+                if x.requires_grad:
+                    x._accumulate(out.grad * mask)
+
+            return backward
+
+        return Tensor._make(quantized, (x,), make)
+
+
+def attach_fake_quant(
+    model: Module,
+    weight_quantizers: Dict[str, TensorQuantizer],
+    input_quantizers: Dict[str, TensorQuantizer],
+) -> None:
+    """Install fake-quant hooks on quantizable layers by module name."""
+    for name, module in model.named_modules():
+        if name in weight_quantizers:
+            object.__setattr__(module, "weight_fake_quant", FakeQuantOp(weight_quantizers[name]))
+        if name in input_quantizers:
+            object.__setattr__(module, "input_fake_quant", FakeQuantOp(input_quantizers[name]))
+
+
+def detach_fake_quant(model: Module) -> None:
+    """Remove any fake-quant hooks from the model."""
+    for _, module in model.named_modules():
+        if hasattr(module, "weight_fake_quant"):
+            object.__setattr__(module, "weight_fake_quant", None)
+        if hasattr(module, "input_fake_quant"):
+            object.__setattr__(module, "input_fake_quant", None)
+
+
+def finetune(
+    model: Module,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    steps: int = 50,
+    batch_size: int = 64,
+    lr: float = 5e-4,
+    seed: int = 0,
+    loss_hook: Optional[Callable[[int, float], None]] = None,
+) -> float:
+    """Fine-tune a (fake-quantized) model; returns the final batch loss.
+
+    Uses the same recipe for every format under comparison, matching the
+    paper's fair-comparison protocol (identical hyper-parameters for all
+    types, Sec. VII-A).
+    """
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    model.train()
+    n = x_train.shape[0]
+    loss_value = float("nan")
+    for step in range(steps):
+        idx = rng.choice(n, size=min(batch_size, n), replace=False)
+        batch_x, batch_y = x_train[idx], y_train[idx]
+        optimizer.zero_grad()
+        logits = model(Tensor(batch_x)) if batch_x.dtype != np.int64 else model(batch_x)
+        loss = cross_entropy(logits, batch_y)
+        loss.backward()
+        optimizer.step()
+        loss_value = loss.item()
+        if loss_hook is not None:
+            loss_hook(step, loss_value)
+    model.eval()
+    return loss_value

@@ -1,0 +1,138 @@
+"""Stateful per-tensor quantizer with per-tensor / per-channel scales.
+
+Follows the paper's memory-aligned granularity rules (Sec. II-B):
+weights use **per-channel** symmetric scales (one per output channel,
+free in hardware because it folds into the output scale), activations
+use **per-tensor** scales, and post-ReLU activations use **unsigned**
+types.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.dtypes.base import NumericType
+from repro.quant.functional import quantize_dequantize
+from repro.quant.scale_search import search_scale
+from repro.quant.selection import TypeChoice, select_type
+
+
+class Granularity(enum.Enum):
+    """Scale-factor granularity."""
+
+    PER_TENSOR = "per_tensor"
+    PER_CHANNEL = "per_channel"
+
+
+class TensorQuantizer:
+    """Quantizer bound to one tensor role (a weight or an activation).
+
+    Lifecycle: construct with candidate types -> :meth:`calibrate` on
+    real data (runs Algorithm 2) -> :meth:`__call__` to fake-quantize.
+
+    Parameters
+    ----------
+    candidates:
+        Numeric types to choose from (Algorithm 2 candidate list).
+    granularity:
+        Per-tensor or per-channel scaling.
+    channel_axis:
+        Output-channel axis for per-channel mode.
+    """
+
+    def __init__(
+        self,
+        candidates: Iterable[NumericType],
+        granularity: Granularity = Granularity.PER_TENSOR,
+        channel_axis: int = 0,
+    ) -> None:
+        self.candidates = list(candidates)
+        if not self.candidates:
+            raise ValueError("candidates must not be empty")
+        self.granularity = granularity
+        self.channel_axis = int(channel_axis)
+        self.choice: Optional[TypeChoice] = None
+        self.scales: Optional[np.ndarray] = None  # per-channel scales
+
+    # ------------------------------------------------------------------
+    @property
+    def is_calibrated(self) -> bool:
+        return self.choice is not None
+
+    @property
+    def dtype(self) -> NumericType:
+        self._require_calibrated()
+        return self.choice.dtype
+
+    @property
+    def bits(self) -> int:
+        self._require_calibrated()
+        return self.choice.dtype.bits
+
+    def _require_calibrated(self) -> None:
+        if self.choice is None:
+            raise RuntimeError("quantizer has not been calibrated")
+
+    # ------------------------------------------------------------------
+    def calibrate(self, x: np.ndarray) -> TypeChoice:
+        """Select the type and scale(s) from a calibration tensor.
+
+        For per-channel granularity the type is selected once on the
+        whole tensor (tensors have a single fixed primitive type in ANT)
+        and an MSE-optimal scale is then searched per channel.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        self.choice = select_type(x, self.candidates)
+        if self.granularity is Granularity.PER_CHANNEL:
+            dtype = self.choice.dtype
+            axis = self.channel_axis
+            moved = np.moveaxis(x, axis, 0)
+            scales = np.empty(moved.shape[0], dtype=np.float64)
+            for channel in range(moved.shape[0]):
+                scales[channel] = search_scale(moved[channel], dtype).scale
+            self.scales = scales
+        else:
+            self.scales = None
+        return self.choice
+
+    def set_dtype(self, dtype: NumericType, x: np.ndarray) -> None:
+        """Force a specific type (used by mixed-precision escalation).
+
+        Re-searches the scale(s) for the new type on ``x``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        result = search_scale(x, dtype)
+        self.choice = TypeChoice(
+            dtype=dtype,
+            scale=result.scale,
+            mse=result.mse,
+            per_type_mse={dtype.name: result.mse},
+        )
+        if self.granularity is Granularity.PER_CHANNEL:
+            moved = np.moveaxis(x, self.channel_axis, 0)
+            scales = np.empty(moved.shape[0], dtype=np.float64)
+            for channel in range(moved.shape[0]):
+                scales[channel] = search_scale(moved[channel], dtype).scale
+            self.scales = scales
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Fake-quantize ``x`` with the calibrated type and scales."""
+        self._require_calibrated()
+        if self.granularity is Granularity.PER_CHANNEL:
+            return quantize_dequantize(
+                x, self.choice.dtype, self.scales, axis=self.channel_axis
+            )
+        return quantize_dequantize(x, self.choice.dtype, self.choice.scale)
+
+    def observed_mse(self, x: np.ndarray) -> float:
+        """MSE of quantizing ``x`` with the current configuration."""
+        q = self(x)
+        err = np.asarray(x, dtype=np.float64) - q
+        return float(np.mean(err * err))
+
+    def __repr__(self) -> str:
+        state = self.choice.name if self.choice else "uncalibrated"
+        return f"TensorQuantizer({state}, {self.granularity.value})"

@@ -1,0 +1,100 @@
+"""MSE-minimising scale-factor (clipping range) search.
+
+This is the ``ArgminMSE`` inner step of Algorithm 2: for a given numeric
+type, sweep the clipping threshold and keep the scale with the lowest
+mean squared quantization error [Banner et al. 2019; Choukroun et al.
+2019].  A coarse geometric sweep is refined with a local linear sweep
+around the best coarse point -- cheap, derivative-free, and robust for
+the highly non-convex MSE landscape of non-uniform grids such as PoT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dtypes.base import NumericType
+from repro.quant.functional import quantize_dequantize, tensor_scale
+
+
+def mse_for_scale(
+    x: np.ndarray,
+    dtype: NumericType,
+    scale: float,
+    axis: Optional[int] = None,
+) -> float:
+    """Mean squared error of quantizing ``x`` at the given scale."""
+    q = quantize_dequantize(x, dtype, scale, axis=axis)
+    err = np.asarray(x, dtype=np.float64) - q
+    return float(np.mean(err * err))
+
+
+@dataclass(frozen=True)
+class ScaleSearchResult:
+    """Outcome of a scale search for one tensor/type pair."""
+
+    scale: float
+    mse: float
+    clip_ratio: float
+
+
+def search_scale(
+    x: np.ndarray,
+    dtype: NumericType,
+    num_coarse: int = 24,
+    num_fine: int = 12,
+    min_ratio: float = 0.01,
+) -> ScaleSearchResult:
+    """Find the per-tensor scale minimising quantization MSE.
+
+    Parameters
+    ----------
+    x:
+        Calibration tensor.
+    dtype:
+        Target numeric type.
+    num_coarse:
+        Points in the geometric coarse sweep of clip ratios
+        ``[min_ratio, 1.0]``.
+    num_fine:
+        Points in the linear refinement around the best coarse ratio.
+    min_ratio:
+        Smallest clip ratio considered (as a fraction of the tensor's
+        peak magnitude).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("cannot search scale of an empty tensor")
+    base = tensor_scale(x, dtype, clip_ratio=1.0)
+
+    ratios = np.geomspace(min_ratio, 1.0, num_coarse)
+    best_ratio, best_mse = _sweep(x, dtype, base, ratios)
+
+    if num_fine > 0:
+        lo = max(min_ratio, best_ratio * 0.7)
+        hi = min(1.0, best_ratio * 1.4)
+        fine = np.linspace(lo, hi, num_fine)
+        fine_ratio, fine_mse = _sweep(x, dtype, base, fine)
+        if fine_mse < best_mse:
+            best_ratio, best_mse = fine_ratio, fine_mse
+
+    return ScaleSearchResult(scale=base * best_ratio, mse=best_mse, clip_ratio=best_ratio)
+
+
+def _sweep(
+    x: np.ndarray,
+    dtype: NumericType,
+    base_scale: float,
+    ratios: np.ndarray,
+) -> tuple:
+    """Evaluate MSE at each clip ratio; return (best_ratio, best_mse)."""
+    best_ratio = float(ratios[-1])
+    best_mse = np.inf
+    for ratio in ratios:
+        mse = mse_for_scale(x, dtype, base_scale * float(ratio))
+        if mse < best_mse:
+            best_mse = mse
+            best_ratio = float(ratio)
+    return best_ratio, best_mse

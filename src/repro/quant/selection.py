@@ -1,0 +1,84 @@
+"""Per-tensor primitive-type selection (Algorithm 2 of the paper).
+
+Given a tensor and a candidate list of numeric types, pick the type
+whose MSE-optimal quantization is lowest.  This is the inter-tensor
+adaptivity of ANT: uniform-like tensors choose ``int``, Gaussian-like
+tensors choose ``flint``, long-tailed (Laplace-like) tensors choose
+``PoT`` or ``float`` (Sec. IV-B, Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.dtypes.base import NumericType
+from repro.quant.scale_search import ScaleSearchResult, search_scale
+
+
+@dataclass(frozen=True)
+class TypeChoice:
+    """Selected type for one tensor, with its scale and achieved MSE."""
+
+    dtype: NumericType
+    scale: float
+    mse: float
+    #: MSE achieved by every candidate, keyed by type name (for Fig. 14).
+    per_type_mse: Dict[str, float]
+
+    @property
+    def name(self) -> str:
+        return self.dtype.name
+
+    @property
+    def kind(self) -> str:
+        return self.dtype.kind
+
+    @property
+    def bits(self) -> int:
+        return self.dtype.bits
+
+
+def select_type(
+    x: np.ndarray,
+    candidates: Iterable[NumericType],
+    num_coarse: int = 24,
+    num_fine: int = 12,
+) -> TypeChoice:
+    """Algorithm 2: choose the candidate with minimum quantization MSE.
+
+    Ties break in candidate-list order, so putting the cheapest hardware
+    type first makes it win exact ties (the paper's candidate lists are
+    ordered int, PoT, flint).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    candidates = list(candidates)
+    if not candidates:
+        raise ValueError("candidate list must not be empty")
+
+    best_dtype = None
+    best_result: ScaleSearchResult = None
+    per_type: Dict[str, float] = {}
+    for dtype in candidates:
+        result = search_scale(x, dtype, num_coarse=num_coarse, num_fine=num_fine)
+        per_type[dtype.name] = result.mse
+        if best_result is None or result.mse < best_result.mse:
+            best_dtype = dtype
+            best_result = result
+
+    return TypeChoice(
+        dtype=best_dtype,
+        scale=best_result.scale,
+        mse=best_result.mse,
+        per_type_mse=per_type,
+    )
+
+
+def selection_histogram(choices: Iterable[TypeChoice]) -> Dict[str, int]:
+    """Count how many tensors picked each primitive kind (Fig. 13 top)."""
+    counts: Dict[str, int] = {}
+    for choice in choices:
+        counts[choice.kind] = counts.get(choice.kind, 0) + 1
+    return counts

@@ -1,0 +1,118 @@
+"""Trained-model zoo with on-disk caching.
+
+The paper's artifact ships fine-tuned checkpoints so experiments run in
+an hour instead of days; this module plays the same role.  The first
+request for a workload trains the scaled-down model on its synthetic
+dataset (seeded, deterministic) and caches parameters plus metadata
+under ``REPRO_CACHE`` (default ``<repo>/.cache``); later requests load
+the checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data import Dataset, dataset_for_workload
+from repro.nn import models
+from repro.nn.autograd import Tensor, cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.quant.framework import evaluate
+
+#: training schedule per model family (steps, lr, batch size)
+_SCHEDULES: Dict[str, Tuple[int, float, int]] = {
+    "vgg": (400, 2e-3, 32),
+    "resnet": (400, 2e-3, 32),
+    "inception": (700, 2e-3, 32),
+    "vit": (1200, 2e-3, 32),
+    "bert": (600, 2e-3, 32),
+}
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[2] / ".cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@dataclass
+class ZooEntry:
+    """A trained workload: model, dataset, and FP32 reference accuracy."""
+
+    name: str
+    model: Module
+    dataset: Dataset
+    fp32_accuracy: float
+
+
+def _train(model: Module, dataset: Dataset, steps: int, lr: float, batch: int, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    model.train()
+    for _ in range(steps):
+        idx = rng.choice(dataset.n_train, size=min(batch, dataset.n_train), replace=False)
+        batch_x, batch_y = dataset.x_train[idx], dataset.y_train[idx]
+        optimizer.zero_grad()
+        if dataset.input_kind == "tokens":
+            logits = model(batch_x)
+        else:
+            logits = model(Tensor(batch_x))
+        loss = cross_entropy(logits, batch_y)
+        loss.backward()
+        optimizer.step()
+    model.eval()
+
+
+def trained_model(
+    name: str,
+    seed: int = 0,
+    force_retrain: bool = False,
+    n_train: Optional[int] = None,
+    n_test: Optional[int] = None,
+) -> ZooEntry:
+    """Return a trained model for a workload, training and caching on miss."""
+    dataset_kwargs = {}
+    if n_train is not None:
+        dataset_kwargs["n_train"] = n_train
+    if n_test is not None:
+        dataset_kwargs["n_test"] = n_test
+    dataset = dataset_for_workload(name, seed=seed, **dataset_kwargs)
+    model = models.build_model(name, seed=seed)
+
+    stamp = f"{name}_seed{seed}_tr{dataset.n_train}_te{dataset.n_test}"
+    params_path = cache_dir() / f"{stamp}.npz"
+    meta_path = cache_dir() / f"{stamp}.json"
+
+    if not force_retrain and params_path.exists() and meta_path.exists():
+        blob = np.load(params_path)
+        state = {key: blob[key] for key in blob.files}
+        model.load_state_dict(state)
+        model.eval()
+        meta = json.loads(meta_path.read_text())
+        return ZooEntry(name, model, dataset, float(meta["fp32_accuracy"]))
+
+    family = getattr(model, "family", "vgg")
+    steps, lr, batch = _SCHEDULES.get(family, (200, 2e-3, 32))
+    _train(model, dataset, steps, lr, batch, seed)
+    accuracy = evaluate(model, dataset.x_test, dataset.y_test)
+
+    np.savez(params_path, **model.state_dict())
+    meta_path.write_text(json.dumps({"fp32_accuracy": accuracy, "steps": steps}))
+    return ZooEntry(name, model, dataset, accuracy)
+
+
+def calibration_batch(dataset: Dataset, n: int = 100, seed: int = 0):
+    """~100 training samples, the paper's calibration budget (Sec. IV-C)."""
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(dataset.n_train, size=min(n, dataset.n_train), replace=False)
+    return dataset.x_train[idx]

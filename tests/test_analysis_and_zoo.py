@@ -1,0 +1,95 @@
+"""Tests for tensor statistics, reporting helpers and the model zoo."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import classify_distribution, format_table, normalize_series, tensor_stats
+from repro.analysis.reporting import geomean
+from repro.data import sample_distribution
+
+
+class TestStats:
+    def test_uniform_classified(self):
+        x = sample_distribution("uniform", 8192, seed=0)
+        assert classify_distribution(x) == "uniform-like"
+
+    def test_gaussian_classified(self):
+        x = sample_distribution("gaussian", 8192, seed=0)
+        assert classify_distribution(x) == "gaussian-like"
+
+    def test_laplace_classified(self):
+        x = sample_distribution("laplace", 8192, seed=0)
+        assert classify_distribution(x) == "laplace-like"
+
+    def test_outliers_classified_heavy(self):
+        x = sample_distribution("gaussian_outliers", 8192, seed=0)
+        assert classify_distribution(x) == "laplace-like"
+
+    def test_stats_fields(self):
+        stats = tensor_stats(sample_distribution("gaussian", 4096, seed=1))
+        assert abs(stats.mean) < 0.1
+        assert 0.9 < stats.std < 1.1
+        assert stats.min < stats.max
+        assert stats.tail_ratio > 1.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            tensor_stats(np.ones(3))
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_normalize_series(self):
+        out = normalize_series({"x": 10.0, "y": 5.0}, baseline="x")
+        assert out == {"x": 1.0, "y": 0.5}
+
+    def test_normalize_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize_series({"x": 1.0}, baseline="z")
+
+    def test_geomean(self):
+        assert np.isclose(geomean([1.0, 4.0]), 2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+
+class TestZoo:
+    def test_train_and_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        monkeypatch.setitem(
+            __import__("repro.zoo", fromlist=["_SCHEDULES"])._SCHEDULES,
+            "vgg",
+            (5, 2e-3, 16),
+        )
+        from repro.zoo import trained_model
+
+        first = trained_model("vgg16", n_train=32, n_test=16)
+        assert 0.0 <= first.fp32_accuracy <= 1.0
+        assert any(p.suffix == ".npz" for p in tmp_path.iterdir())
+
+        # Second call loads from cache and reproduces parameters exactly.
+        second = trained_model("vgg16", n_train=32, n_test=16)
+        for (_, p1), (_, p2) in zip(
+            first.model.named_parameters(), second.model.named_parameters()
+        ):
+            assert np.allclose(p1.data, p2.data)
+        assert second.fp32_accuracy == first.fp32_accuracy
+
+    def test_calibration_batch_size(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        from repro.data import dataset_for_workload
+        from repro.zoo import calibration_batch
+
+        ds = dataset_for_workload("vgg16", n_train=64, n_test=8)
+        batch = calibration_batch(ds, n=100)
+        assert batch.shape[0] == 64  # capped at the training-set size

@@ -1,0 +1,206 @@
+"""Tests for the baseline quantization schemes of Table I."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AdaFloatQuantizer,
+    BaselineModelQuantizer,
+    BiScaledQuantizer,
+    BitFusionQuantizer,
+    GOBOQuantizer,
+    IntQuantizer,
+    OLAccelQuantizer,
+)
+from repro.data import sample_distribution
+from repro.nn import Linear, ReLU, Sequential, Tensor
+
+RNG = np.random.default_rng(5)
+GAUSSIAN = sample_distribution("gaussian", 4096, seed=0)
+HEAVY = sample_distribution("gaussian_outliers", 4096, seed=0)
+
+
+class TestIntBaseline:
+    def test_int8_low_error(self):
+        scheme = IntQuantizer(8)
+        assert scheme.weight_mse(GAUSSIAN) < 1e-3
+
+    def test_int4_worse_than_int8(self):
+        assert IntQuantizer(4).weight_mse(GAUSSIAN) > IntQuantizer(8).weight_mse(GAUSSIAN)
+
+    def test_accounting(self):
+        scheme = IntQuantizer(8)
+        acct = scheme.accounting(scheme.calibrate_weight(GAUSSIAN), GAUSSIAN.size)
+        assert acct.memory_bits == 8.0
+        assert acct.aligned
+
+    def test_unsigned_activation_detection(self):
+        scheme = IntQuantizer(4)
+        state = scheme.calibrate_activation(np.abs(GAUSSIAN))
+        assert state["dtype"].signed is False
+
+
+class TestAdaFloat:
+    def test_bias_adapts_to_range(self):
+        scheme = AdaFloatQuantizer(8)
+        small = scheme.calibrate_weight(GAUSSIAN * 1e-3)
+        large = scheme.calibrate_weight(GAUSSIAN * 1e3)
+        assert small["bias"] > large["bias"]
+
+    def test_beats_plain_float_scaling_on_gaussian(self):
+        scheme = AdaFloatQuantizer(8)
+        assert scheme.weight_mse(GAUSSIAN) < 1e-3
+
+    def test_rejects_impossible_layout(self):
+        with pytest.raises(ValueError):
+            AdaFloatQuantizer(bits=4, exp_bits=4).calibrate_weight(GAUSSIAN)
+
+
+class TestBitFusion:
+    def test_easy_tensor_stays_4bit(self):
+        scheme = BitFusionQuantizer(mse_budget=0.1)
+        state = scheme.calibrate_weight(sample_distribution("uniform", 4096, seed=1))
+        assert state["bits"] == 4
+
+    def test_hard_tensor_escalates(self):
+        scheme = BitFusionQuantizer(mse_budget=0.001)
+        state = scheme.calibrate_weight(HEAVY)
+        assert state["bits"] == 8
+
+    def test_average_bits_between_4_and_8(self):
+        scheme = BitFusionQuantizer()
+        for x in (GAUSSIAN, HEAVY):
+            state = scheme.calibrate_weight(x)
+            acct = scheme.accounting(state, x.size)
+            assert 4.0 <= acct.memory_bits <= 8.0
+
+
+class TestOLAccel:
+    def test_outliers_preserved(self):
+        scheme = OLAccelQuantizer(outlier_fraction=0.03)
+        state = scheme.calibrate_weight(HEAVY)
+        q = scheme.quantize_weight(HEAVY, state)
+        peak = np.argmax(np.abs(HEAVY))
+        # the largest outlier survives at ~fp16 precision
+        assert np.isclose(q[peak], HEAVY[peak], rtol=1e-3)
+
+    def test_memory_bits_above_base(self):
+        scheme = OLAccelQuantizer(bits=4, outlier_fraction=0.03)
+        state = scheme.calibrate_weight(HEAVY)
+        acct = scheme.accounting(state, HEAVY.size)
+        assert 4.0 < acct.memory_bits < 6.0
+        assert not acct.aligned
+
+    def test_beats_plain_int4_on_outlier_tensor(self):
+        assert (
+            OLAccelQuantizer().weight_mse(HEAVY)
+            < IntQuantizer(4).weight_mse(HEAVY)
+        )
+
+    def test_edge_layer_uses_8bit(self):
+        assert OLAccelQuantizer(edge_layer=True).bits == 8
+
+
+class TestGOBO:
+    def test_weight_only(self):
+        scheme = GOBOQuantizer(3)
+        with pytest.raises(NotImplementedError):
+            scheme.calibrate_activation(GAUSSIAN)
+
+    def test_centroid_count(self):
+        scheme = GOBOQuantizer(3)
+        state = scheme.calibrate_weight(GAUSSIAN)
+        assert state["centroids"].size == 8
+
+    def test_effective_bits_close_to_base(self):
+        """GOBO's 3.04-bit claim: tiny outlier overhead (Table VI)."""
+        scheme = GOBOQuantizer(3)
+        state = scheme.calibrate_weight(GAUSSIAN)
+        bits = scheme.effective_bits(state, GAUSSIAN.size)
+        assert 3.0 < bits < 3.6
+
+    def test_outliers_kept_exact(self):
+        scheme = GOBOQuantizer(3)
+        state = scheme.calibrate_weight(HEAVY)
+        q = scheme.quantize_weight(HEAVY, state)
+        peak = np.argmax(np.abs(HEAVY))
+        assert q[peak] == HEAVY[peak]
+
+    def test_inliers_snap_to_centroids(self):
+        scheme = GOBOQuantizer(3)
+        state = scheme.calibrate_weight(GAUSSIAN)
+        q = scheme.quantize_weight(GAUSSIAN, state)
+        inlier_values = set(np.round(state["centroids"], 12))
+        threshold = scheme.outlier_sigma * state["std"]
+        inliers = np.abs(GAUSSIAN - state["mean"]) <= threshold
+        assert all(np.round(v, 12) in inlier_values for v in q[inliers])
+
+    def test_kmeans_handles_tiny_input(self):
+        from repro.baselines.gobo import _kmeans_1d
+
+        out = _kmeans_1d(np.array([1.0, 2.0]), k=8)
+        assert out.size == 2
+
+
+class TestBiScaled:
+    def test_two_scales(self):
+        scheme = BiScaledQuantizer(6, shift=3)
+        state = scheme.calibrate_weight(HEAVY)
+        assert np.isclose(state["coarse"], state["fine"] * 8)
+
+    def test_tail_uses_coarse_scale(self):
+        scheme = BiScaledQuantizer(6, shift=3)
+        state = scheme.calibrate_weight(HEAVY)
+        q = scheme.quantize_weight(HEAVY, state)
+        peak = np.argmax(np.abs(HEAVY))
+        # tail values are representable within the coarse range
+        assert abs(q[peak]) > state["threshold"]
+
+    def test_memory_bits_includes_mask(self):
+        scheme = BiScaledQuantizer(6)
+        state = scheme.calibrate_weight(GAUSSIAN)
+        acct = scheme.accounting(state, GAUSSIAN.size)
+        assert np.isclose(acct.memory_bits, 6.16)
+
+    def test_worse_than_8bit_better_than_4bit_on_tails(self):
+        mse_bs = BiScaledQuantizer(6).weight_mse(HEAVY)
+        assert mse_bs < IntQuantizer(4).weight_mse(HEAVY)
+
+
+class TestModelDriver:
+    def _model_and_batch(self):
+        model = Sequential(Linear(8, 16), ReLU(), Linear(16, 4))
+        return model, RNG.normal(size=(16, 8))
+
+    def test_calibrate_apply_remove(self):
+        model, batch = self._model_and_batch()
+        x = Tensor(RNG.normal(size=(4, 8)))
+        reference = model(x).data
+        driver = BaselineModelQuantizer(model, IntQuantizer(4)).calibrate(batch)
+        driver.apply()
+        quantized = model(x).data
+        assert not np.allclose(reference, quantized)
+        driver.remove()
+        assert np.allclose(model(x).data, reference)
+
+    def test_weights_only_mode(self):
+        model, batch = self._model_and_batch()
+        driver = BaselineModelQuantizer(model, GOBOQuantizer(3), weights_only=True)
+        driver.calibrate(batch).apply()
+        # activations untouched: input hook is None
+        assert model._items[0].input_fake_quant is None
+        assert model._items[0].weight_fake_quant is not None
+
+    def test_average_bits(self):
+        model, batch = self._model_and_batch()
+        driver = BaselineModelQuantizer(model, IntQuantizer(8)).calibrate(batch)
+        assert driver.average_bits() == 8.0
+
+    def test_ste_passthrough_gradient(self):
+        model, batch = self._model_and_batch()
+        driver = BaselineModelQuantizer(model, IntQuantizer(4)).calibrate(batch)
+        driver.apply()
+        out = model(Tensor(RNG.normal(size=(4, 8))))
+        out.sum().backward()
+        for _, param in model.named_parameters():
+            assert param.grad is not None

@@ -1,0 +1,105 @@
+"""Tests for synthetic datasets and distribution samplers."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DISTRIBUTIONS,
+    dataset_for_workload,
+    iterate_batches,
+    make_image_classification,
+    make_token_classification,
+    make_tensor_suite,
+    sample_distribution,
+)
+from repro.nn.models import IMAGE_SHAPE, SEQ_LEN, VOCAB_SIZE
+
+
+class TestDistributions:
+    def test_all_families_sample(self):
+        suite = make_tensor_suite(n=512, seed=0)
+        assert set(suite) == set(DISTRIBUTIONS)
+        for name, x in suite.items():
+            assert x.shape == (512,)
+
+    def test_deterministic(self):
+        a = sample_distribution("gaussian", 100, seed=5)
+        b = sample_distribution("gaussian", 100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            sample_distribution("cauchy", 10)
+
+    def test_positive_families_nonnegative(self):
+        for name in ["uniform_positive", "half_gaussian", "half_laplace"]:
+            assert np.all(sample_distribution(name, 1000, seed=1) >= 0)
+
+    def test_outlier_family_has_outliers(self):
+        x = sample_distribution("gaussian_outliers", 4000, seed=2)
+        assert np.max(np.abs(x)) > 6.0  # well beyond a plain Gaussian
+
+
+class TestImageTask:
+    def test_shapes_and_ranges(self):
+        ds = make_image_classification(n_train=64, n_test=32, seed=0)
+        assert ds.x_train.shape == (64,) + IMAGE_SHAPE
+        assert ds.input_kind == "image"
+        assert ds.y_train.min() >= 0 and ds.y_train.max() < ds.num_classes
+
+    def test_gain_widens_dynamic_range(self):
+        flat = make_image_classification(n_train=256, n_test=8, gain_sigma=0.0, seed=0)
+        wide = make_image_classification(n_train=256, n_test=8, gain_sigma=1.3, seed=0)
+        assert wide.x_train.max() > flat.x_train.max() * 2
+
+    def test_deterministic(self):
+        a = make_image_classification(n_train=16, n_test=8, seed=9)
+        b = make_image_classification(n_train=16, n_test=8, seed=9)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_train, b.y_train)
+
+
+class TestTokenTask:
+    def test_shapes(self):
+        ds = make_token_classification(n_train=64, n_test=32, seed=0)
+        assert ds.x_train.shape == (64, SEQ_LEN)
+        assert ds.x_train.max() < VOCAB_SIZE
+        assert ds.input_kind == "tokens"
+
+    def test_triggers_present(self):
+        ds = make_token_classification(num_classes=3, n_train=100, n_test=10, seed=1)
+        for row, label in zip(ds.x_train, ds.y_train):
+            assert np.sum(row == label + 1) >= 2
+
+    def test_zipf_skews_filler_frequencies(self):
+        ds = make_token_classification(n_train=400, n_test=10, zipf=1.5, seed=0)
+        fillers = ds.x_train[ds.x_train > 3]
+        counts = np.bincount(fillers, minlength=VOCAB_SIZE)[4:]
+        assert counts[0] > 10 * max(counts[-1], 1)
+
+
+class TestWorkloadDatasets:
+    def test_every_workload_has_a_dataset(self):
+        from repro.nn.models import WORKLOADS
+
+        for name in WORKLOADS:
+            ds = dataset_for_workload(name, n_train=16, n_test=8)
+            assert ds.n_train == 16
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            dataset_for_workload("mystery-net")
+
+    def test_iterate_batches_covers_everything(self):
+        x = np.arange(10)
+        y = np.arange(10)
+        seen = []
+        for bx, _ in iterate_batches(x, y, batch_size=3, shuffle=True, seed=0):
+            seen.extend(bx.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_iterate_batches_aligned(self):
+        x = np.arange(20)
+        y = x * 10
+        for bx, by in iterate_batches(x, y, batch_size=7, seed=1):
+            assert np.array_equal(by, bx * 10)

@@ -1,0 +1,144 @@
+"""Tests for int, float and PoT primitive types."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FloatType, IntType, PoTType, get_type
+
+
+class TestIntType:
+    def test_unsigned_grid(self):
+        assert IntType(4, signed=False).grid.tolist() == list(range(16))
+
+    def test_signed_grid_symmetric(self):
+        grid = IntType(4, signed=True).grid
+        assert grid.tolist() == list(range(-7, 8))
+
+    def test_roundtrip_unsigned(self):
+        dtype = IntType(6, signed=False)
+        grid = dtype.grid
+        assert np.allclose(dtype.decode(dtype.encode(grid)), grid)
+
+    def test_roundtrip_signed_twos_complement(self):
+        dtype = IntType(4, signed=True)
+        codes = dtype.encode(np.array([-1.0, -7.0, 3.0]))
+        assert codes.tolist() == [0b1111, 0b1001, 0b0011]
+        assert dtype.decode(codes).tolist() == [-1.0, -7.0, 3.0]
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            IntType(4, signed=True).encode(np.array([8.0]))
+        with pytest.raises(ValueError):
+            IntType(4, signed=False).encode(np.array([16.0]))
+
+    def test_quantize_uniform_rounding(self):
+        dtype = IntType(4, signed=False)
+        assert dtype.quantize(np.array([3.4, 3.5, 3.6])).tolist() == [3.0, 4.0, 4.0]
+
+    def test_min_bits(self):
+        with pytest.raises(ValueError):
+            IntType(1, signed=False)
+
+
+class TestFloatType:
+    def test_e2m2_unsigned_grid(self):
+        dtype = FloatType(2, 2, signed=False)
+        # subnormals 0, .25, .5, .75 then normals
+        assert dtype.grid.tolist() == [
+            0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75,
+            2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 7.0,
+        ]
+
+    def test_roundtrip(self):
+        dtype = FloatType(3, 2, signed=True)
+        grid = dtype.grid
+        assert np.allclose(dtype.decode(dtype.encode(grid)), grid)
+
+    def test_bias_shifts_grid(self):
+        base = FloatType(2, 1, signed=False, bias=0)
+        shifted = base.with_bias(2)
+        assert np.allclose(shifted.grid, base.grid / 4.0)
+
+    def test_subnormals_include_zero(self):
+        dtype = FloatType(4, 3, signed=False)
+        assert dtype.grid[0] == 0.0
+        assert dtype.min_positive > 0
+
+    def test_signed_has_sign_bit(self):
+        dtype = FloatType(2, 1, signed=True)
+        assert dtype.bits == 4
+        code = dtype.encode(np.array([-1.5]))[0]
+        assert code >> 3 == 1
+
+    def test_pot_equivalence_of_zero_mantissa_float(self):
+        """Signed 4-bit float with m=0 and PoT overlap (Fig. 14 note)."""
+        fl = FloatType(3, 0, signed=True, bias=0)
+        pot = PoTType(4, signed=True, bias=0)
+        fl_pos = fl.grid[fl.grid > 0]
+        pot_pos = pot.grid[pot.grid > 0]
+        # float subnormal-with-no-mantissa collapses to 0, PoT code 0 is 0;
+        # both are pure powers of two over their shared range.
+        shared = np.intersect1d(fl_pos, pot_pos)
+        assert shared.size >= min(fl_pos.size, pot_pos.size) - 1
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            FloatType(0, 3)
+        with pytest.raises(ValueError):
+            FloatType(2, -1)
+
+
+class TestPoTType:
+    def test_unsigned_grid_is_powers_of_two(self):
+        dtype = PoTType(4, signed=False)
+        grid = dtype.grid
+        assert grid[0] == 0.0
+        assert np.allclose(grid[1:], 2.0 ** np.arange(15))
+
+    def test_signed_magnitude_grid(self):
+        dtype = PoTType(4, signed=True)
+        assert dtype.max_value == 64.0  # 2^(2^3 - 2)
+        assert dtype.n_values == 15  # +-7 powers + zero
+
+    def test_roundtrip(self):
+        dtype = PoTType(5, signed=True)
+        grid = dtype.grid
+        assert np.allclose(dtype.decode(dtype.encode(grid)), grid)
+
+    def test_bias(self):
+        dtype = PoTType(3, signed=False, bias=-2)
+        assert dtype.min_positive == 0.25
+
+    def test_encode_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            PoTType(4, signed=False).encode(np.array([3.0]))
+
+    def test_huge_dynamic_range(self):
+        """PoT's key property: extreme range at fixed bit width."""
+        pot = PoTType(4, signed=False)
+        int4 = IntType(4, signed=False)
+        assert pot.max_value / pot.min_positive > int4.max_value / 1.0
+
+
+class TestRegistry:
+    def test_named_lookup(self):
+        assert get_type("flint4").kind == "flint"
+        assert get_type("int8u").signed is False
+        assert get_type("pot4").bits == 4
+
+    def test_cache_identity(self):
+        assert get_type("flint4") is get_type("flint4")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_type("posit8")
+
+    def test_candidate_lists(self):
+        from repro.dtypes import candidate_list
+
+        kinds = [t.kind for t in candidate_list("ip-f", 4, signed=True)]
+        assert kinds == ["int", "pot", "flint"]
+        kinds = [t.kind for t in candidate_list("fip-f", 4, signed=False)]
+        assert kinds == ["float", "int", "pot", "flint"]
+        with pytest.raises(KeyError):
+            candidate_list("bogus", 4)

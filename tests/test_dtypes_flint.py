@@ -1,0 +1,158 @@
+"""Tests for the flint data type (paper Sec. IV-A, Tables II/III)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FlintType
+
+#: Table II of the paper: 4-bit unsigned flint value grid.
+TABLE_II_VALUES = [0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 24, 32, 64]
+
+#: Table II rows: (pattern, exponent, values)
+TABLE_II_ROWS = [
+    ("0000", None, [0.0]),
+    ("0001", 0, [1.0]),
+    ("001x", 1, [2.0, 3.0]),
+    ("01xx", 2, [4.0, 5.0, 6.0, 7.0]),
+    ("11xx", 3, [8.0, 10.0, 12.0, 14.0]),
+    ("101x", 4, [16.0, 24.0]),
+    ("1001", 5, [32.0]),
+    ("1000", 6, [64.0]),
+]
+
+
+class TestTableII:
+    def test_grid_matches_table_ii(self):
+        flint = FlintType(4, signed=False)
+        assert flint.grid.tolist() == TABLE_II_VALUES
+
+    def test_value_table_rows(self):
+        flint = FlintType(4, signed=False)
+        rows = flint.value_table()
+        assert len(rows) == len(TABLE_II_ROWS)
+        for row, (pattern, exponent, values) in zip(rows, TABLE_II_ROWS):
+            assert row["pattern"] == pattern
+            assert row["exponent"] == exponent
+            assert row["values"] == values
+
+    def test_code_1110_decodes_to_12(self):
+        """The worked decoding example of Sec. IV-A."""
+        flint = FlintType(4, signed=False)
+        assert flint.decode(np.array([0b1110]))[0] == 12.0
+
+    def test_paper_encoding_example_11_rounds_to_12(self):
+        """Algorithm 1's worked example: 11 encodes as 1110 (= 12)."""
+        flint = FlintType(4, signed=False)
+        quantized = flint.quantize(np.array([11.0]))
+        assert quantized[0] == 12.0
+        assert flint.encode(quantized)[0] == 0b1110
+
+    def test_max_value_is_two_pow_2b_minus_2(self):
+        for bits in range(3, 9):
+            flint = FlintType(bits, signed=False)
+            assert flint.max_value == 2 ** (2 * bits - 2)
+
+    def test_all_codes_distinct_values(self):
+        """Every code word maps to a unique value (no wasted encodings)."""
+        for bits in range(3, 8):
+            flint = FlintType(bits, signed=False)
+            values = flint.decode(np.arange(1 << bits))
+            assert len(set(values.tolist())) == 1 << bits
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6, 7, 8])
+    @pytest.mark.parametrize("signed", [False, True])
+    def test_encode_decode_roundtrip(self, bits, signed):
+        flint = FlintType(bits, signed=signed)
+        grid = flint.grid
+        assert np.allclose(flint.decode(flint.encode(grid)), grid)
+
+    def test_encode_rejects_off_grid(self):
+        flint = FlintType(4, signed=False)
+        with pytest.raises(ValueError):
+            flint.encode(np.array([11.0]))
+
+    def test_encode_rejects_negative_for_unsigned(self):
+        flint = FlintType(4, signed=False)
+        with pytest.raises(ValueError):
+            flint.encode(np.array([-2.0]))
+
+    def test_decode_rejects_out_of_range_codes(self):
+        flint = FlintType(4, signed=False)
+        with pytest.raises(ValueError):
+            flint.decode(np.array([16]))
+        with pytest.raises(ValueError):
+            flint.decode(np.array([-1]))
+
+
+class TestSigned:
+    def test_signed_is_sign_plus_narrower_magnitude(self):
+        """Sec. V-C: signed b-bit flint = sign + (b-1)-bit unsigned flint."""
+        signed = FlintType(4, signed=True)
+        unsigned3 = FlintType(3, signed=False)
+        positives = signed.grid[signed.grid > 0]
+        assert positives.tolist() == unsigned3.grid[unsigned3.grid > 0].tolist()
+
+    def test_signed_grid_symmetric(self):
+        flint = FlintType(5, signed=True)
+        grid = flint.grid
+        assert np.allclose(grid, -grid[::-1])
+
+    def test_signed_needs_three_bits(self):
+        with pytest.raises(ValueError):
+            FlintType(2, signed=True)
+
+
+class TestRegions:
+    def test_region_classification(self):
+        """flint degenerates to int, float, PoT across intervals (Fig. 3)."""
+        flint = FlintType(4, signed=False)
+        assert flint.region_of(0) == "int"
+        assert flint.region_of(1) == "int"
+        assert flint.region_of(2) == "int"
+        assert flint.region_of(3) == "float"
+        assert flint.region_of(4) == "float"
+        assert flint.region_of(5) == "pot"
+        assert flint.region_of(6) == "pot"
+
+    def test_region_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            FlintType(4, signed=False).region_of(7)
+
+    def test_mantissa_allocation_peaks_mid_range(self):
+        """More mantissa bits in the middle: the Gaussian-matching shape."""
+        flint = FlintType(6, signed=False)
+        widths = [
+            flint._mantissa_bits_for_exponent(e)
+            for e in range(0, 2 * 6 - 1)
+        ]
+        peak = max(widths)
+        peak_idx = widths.index(peak)
+        assert widths[:peak_idx + 1] == sorted(widths[:peak_idx + 1])
+        assert widths[peak_idx:] == sorted(widths[peak_idx:], reverse=True)
+
+
+class TestQuantize:
+    def test_quantize_is_nearest(self):
+        flint = FlintType(4, signed=False)
+        x = np.array([0.4, 1.4, 2.6, 9.1, 13.0, 20.0, 28.1, 47.9, 100.0])
+        # 13 ties between 12 and 14 and rounds up; 28.1 is nearer 32
+        # than 24; 47.9 is nearer 32 than 64 (midpoint 48).
+        expected = np.array([0, 1, 3, 10, 14, 24, 32, 32, 64], dtype=np.float64)
+        assert np.allclose(flint.quantize(x), expected)
+
+    def test_quantize_saturates(self):
+        flint = FlintType(4, signed=False)
+        assert flint.quantize(np.array([1e9]))[0] == 64.0
+
+    def test_quantize_scale(self):
+        flint = FlintType(4, signed=False)
+        x = np.array([6.0])
+        assert flint.quantize(x, scale=0.5)[0] == 6.0  # 12 * 0.5
+        assert flint.quantize(x, scale=2.0)[0] == 6.0  # 3 * 2
+
+    def test_quantize_rejects_nonpositive_scale(self):
+        flint = FlintType(4, signed=False)
+        with pytest.raises(ValueError):
+            flint.quantize(np.array([1.0]), scale=0.0)

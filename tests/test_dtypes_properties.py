@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) on the numeric type invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dtypes import FlintType, FloatType, IntType, PoTType
+
+TYPE_FACTORIES = {
+    "int": lambda bits, signed: IntType(bits, signed),
+    "pot": lambda bits, signed: PoTType(bits, signed),
+    "flint": lambda bits, signed: FlintType(bits, signed),
+    "float": lambda bits, signed: FloatType(
+        (bits - (1 if signed else 0) + 1) // 2,
+        (bits - (1 if signed else 0)) // 2,
+        signed,
+    ),
+}
+
+dtype_strategy = st.builds(
+    lambda kind, bits, signed: TYPE_FACTORIES[kind](bits, signed),
+    kind=st.sampled_from(sorted(TYPE_FACTORIES)),
+    bits=st.integers(min_value=3, max_value=8),
+    signed=st.booleans(),
+)
+
+
+@given(dtype=dtype_strategy)
+@settings(max_examples=60, deadline=None)
+def test_grid_sorted_unique(dtype):
+    grid = dtype.grid
+    assert np.all(np.diff(grid) > 0)
+
+
+@given(dtype=dtype_strategy)
+@settings(max_examples=60, deadline=None)
+def test_grid_contains_zero(dtype):
+    assert 0.0 in dtype.grid
+
+
+@given(dtype=dtype_strategy)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_whole_grid(dtype):
+    grid = dtype.grid
+    assert np.allclose(dtype.decode(dtype.encode(grid)), grid)
+
+
+@given(
+    dtype=dtype_strategy,
+    data=st.lists(
+        st.floats(min_value=-200, max_value=200, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantize_idempotent(dtype, data):
+    """Quantizing an already-quantized tensor is a no-op."""
+    x = np.asarray(data)
+    once = dtype.quantize(x)
+    twice = dtype.quantize(once)
+    assert np.allclose(once, twice)
+
+
+@given(
+    dtype=dtype_strategy,
+    data=st.lists(
+        st.floats(min_value=-200, max_value=200, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantize_outputs_on_grid(dtype, data):
+    q = dtype.quantize(np.asarray(data))
+    grid = set(dtype.grid.tolist())
+    assert all(v in grid for v in q.tolist())
+
+
+@given(
+    dtype=dtype_strategy,
+    value=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_quantize_is_nearest_neighbour(dtype, value):
+    """The chosen grid point is never farther than any other grid point."""
+    q = dtype.quantize(np.array([value]))[0]
+    clipped = np.clip(value, dtype.grid[0], dtype.grid[-1])
+    best = np.min(np.abs(dtype.grid - clipped))
+    assert abs(q - clipped) <= best + 1e-12
+
+
+@given(
+    dtype=dtype_strategy,
+    scale=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+    value=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantize_scale_equivariance(dtype, scale, value):
+    """quantize(x, s) == s * quantize(x/s, 1)."""
+    direct = dtype.quantize(np.array([value]), scale)[0]
+    manual = scale * dtype.quantize(np.array([value / scale]), 1.0)[0]
+    assert np.isclose(direct, manual, rtol=1e-9, atol=1e-12)
+
+
+@given(bits=st.integers(min_value=3, max_value=10))
+@settings(max_examples=8, deadline=None)
+def test_flint_code_count_and_range(bits):
+    """b-bit flint: 2^b distinct values, max 2^(2b-2), all integers."""
+    flint = FlintType(bits, signed=False)
+    grid = flint.grid
+    assert grid.size == 1 << bits
+    assert grid[-1] == 2 ** (2 * bits - 2)
+    assert np.allclose(grid, np.round(grid))
+
+
+@given(bits=st.integers(min_value=3, max_value=9))
+@settings(max_examples=7, deadline=None)
+def test_flint_low_region_matches_int(bits):
+    """The bottom intervals of flint coincide with the int grid (Fig. 3)."""
+    flint = FlintType(bits, signed=False)
+    top_int = 2 ** (bits - 1)  # intervals with exponent <= b-2 cover [0, 2^(b-1))
+    ints = np.arange(top_int)
+    assert np.allclose(flint.quantize(ints.astype(float)), ints)
+
+
+@given(
+    bits=st.integers(min_value=3, max_value=8),
+    signed=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_flint_mse_never_worse_than_clipping_everything(bits, signed, seed):
+    """Quantization error is bounded by the tensor's own magnitude."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=256)
+    if not signed:
+        x = np.abs(x)
+    flint = FlintType(bits, signed)
+    mse = flint.mse(x, scale=float(np.max(np.abs(x))) / flint.max_value)
+    assert mse <= float(np.mean(x**2)) + 1e-12

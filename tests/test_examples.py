@@ -1,0 +1,33 @@
+"""Smoke tests: the lightweight example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,needle",
+    [
+        ("quickstart.py", "Table II"),
+        ("typefusion_pe.py", "Table III"),
+        ("distribution_study.py", "normalized to flint"),
+        ("accelerator_sim.py", "speedup"),
+    ],
+)
+def test_example_runs(script, needle):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout

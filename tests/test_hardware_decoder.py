@@ -1,0 +1,136 @@
+"""Bit-exact decoder tests (Figs. 5-6, Eqs. 3-8, Table III)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtypes import FlintType, IntType, PoTType
+from repro.hardware.decoder import (
+    FloatFlintDecoder,
+    IntDecoder,
+    IntFlintDecoder,
+    PoTDecoder,
+    decode_table,
+    leading_zero_detect,
+    verify_against_dtype,
+)
+
+#: Table III of the paper: code -> (exponent, base integer, value)
+TABLE_III = {
+    0b0000: (0, 0, 0), 0b0001: (0, 1, 1), 0b0010: (0, 2, 2), 0b0011: (0, 3, 3),
+    0b0100: (0, 4, 4), 0b0101: (0, 5, 5), 0b0110: (0, 6, 6), 0b0111: (0, 7, 7),
+    0b1100: (0, 8, 8), 0b1101: (0, 10, 10), 0b1110: (0, 12, 12), 0b1111: (0, 14, 14),
+    0b1010: (2, 4, 16), 0b1011: (2, 6, 24),
+    0b1001: (4, 2, 32),
+    0b1000: (6, 1, 64),
+}
+
+
+class TestLZD:
+    def test_basic(self):
+        assert leading_zero_detect(0b001, 3) == 2
+        assert leading_zero_detect(0b100, 3) == 0
+        assert leading_zero_detect(0, 3) == 3
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            leading_zero_detect(8, 3)
+
+    @given(value=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bit_length(self, value):
+        assert leading_zero_detect(value, 8) == 8 - value.bit_length()
+
+
+class TestIntFlintDecoder:
+    def test_table_iii_exact(self):
+        decoder = IntFlintDecoder(4, signed=False)
+        for code, (exp, base, value) in TABLE_III.items():
+            decoded = decoder.decode(code)
+            assert (decoded.exponent, decoded.base, decoded.value) == (exp, base, value), bin(code)
+
+    def test_decode_table_helper(self):
+        rows = decode_table(4)
+        assert len(rows) == 16
+        assert rows[0b1001]["value"] == 32
+
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6, 8])
+    @pytest.mark.parametrize("signed", [False, True])
+    def test_matches_software_flint(self, bits, signed):
+        assert verify_against_dtype(bits, signed)
+
+    def test_signed_sign_extraction(self):
+        decoder = IntFlintDecoder(4, signed=True)
+        flint = FlintType(4, signed=True)
+        code = int(flint.encode(np.array([-6.0]))[0])
+        decoded = decoder.decode(code)
+        assert decoded.sign == 1
+        assert decoded.value == -6
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            IntFlintDecoder(4).decode(16)
+
+
+class TestFloatFlintDecoder:
+    def test_paper_example_1110(self):
+        """Sec. V-A: 1110 has exponent 4, mantissa 0.5 -> 2^3 * 1.5 = 12."""
+        decoder = FloatFlintDecoder(4, signed=False)
+        decoded = decoder.decode(0b1110)
+        assert decoded.exponent == 4
+        assert decoded.fraction == 1.5
+        assert decoded.value == 12.0
+
+    def test_eq3_exponent_formula(self):
+        """Exponent = 3 - LZD (b3=0) or 4 + LZD (b3=1) for 4-bit."""
+        decoder = FloatFlintDecoder(4, signed=False)
+        for code in range(1, 16):
+            rest = code & 0b111
+            lzd = leading_zero_detect(rest, 3)
+            expected = (3 - lzd) if code < 8 else (4 + lzd)
+            assert decoder.decode(code).exponent == expected
+
+    def test_zero(self):
+        assert FloatFlintDecoder(4).decode(0).value == 0.0
+
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6])
+    def test_agrees_with_int_decoder(self, bits):
+        fd = FloatFlintDecoder(bits)
+        idec = IntFlintDecoder(bits)
+        for code in range(1 << bits):
+            assert float(idec.decode_value(code)) == fd.decode_value(code)
+
+
+class TestUnifiedDecoders:
+    def test_int_decoder_unsigned(self):
+        decoded = IntDecoder(4, signed=False).decode(13)
+        assert (decoded.base, decoded.exponent, decoded.value) == (13, 0, 13)
+
+    def test_int_decoder_signed_twos_complement(self):
+        dtype = IntType(4, signed=True)
+        decoder = IntDecoder(4, signed=True)
+        for value in range(-7, 8):
+            code = int(dtype.encode(np.array([float(value)]))[0])
+            assert decoder.decode(code).value == value
+
+    def test_pot_decoder(self):
+        dtype = PoTType(4, signed=False)
+        decoder = PoTDecoder(4, signed=False)
+        for code in range(16):
+            assert decoder.decode(code).value == dtype.decode(np.array([code]))[0]
+
+    def test_pot_decoder_signed(self):
+        dtype = PoTType(4, signed=True)
+        decoder = PoTDecoder(4, signed=True)
+        for code in range(16):
+            reference = float(dtype.decode(np.array([code]))[0])
+            assert float(decoder.decode(code).value) == abs(reference) * (
+                -1 if reference < 0 else 1
+            )
+
+    def test_all_unified_decoders_share_representation(self):
+        """base << exponent reconstructs the value for every decoder."""
+        for decoder in (IntFlintDecoder(4), IntDecoder(4), PoTDecoder(4)):
+            for code in range(16):
+                decoded = decoder.decode(code)
+                assert decoded.value == decoded.base << decoded.exponent

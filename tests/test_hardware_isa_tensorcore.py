@@ -1,0 +1,135 @@
+"""Tests for the ISA extension (Sec. VI-B) and tensor-core model."""
+
+import pytest
+
+from repro.hardware.accelerator import uniform_assignment
+from repro.hardware.isa import (
+    ANT_EXTENSION_TYPES,
+    BASELINE_TYPES,
+    Instruction,
+    LayerProgram,
+    Opcode,
+    OperandType,
+    assemble_layer,
+    assemble_model,
+    memory_instructions_identical,
+    operand_type_for,
+)
+from repro.hardware.tensorcore import TensorCoreSpec, simulate_tensorcore
+from repro.hardware.workloads import workload_layers
+
+
+class TestInstructionEncoding:
+    def test_load_store_have_no_type_field(self):
+        load = Instruction(
+            Opcode.LOAD, operand=42,
+            weight_type=OperandType.FLINT4, input_type=OperandType.POT4,
+        )
+        plain = Instruction(Opcode.LOAD, operand=42)
+        assert load.encode() == plain.encode()
+
+    def test_matmul_type_field_encoded(self):
+        a = Instruction(Opcode.MATMUL, 0, OperandType.INT4, OperandType.INT4)
+        b = Instruction(Opcode.MATMUL, 0, OperandType.FLINT4, OperandType.INT4)
+        assert a.encode() != b.encode()
+        assert (b.encode() >> 24) & 0xF == OperandType.FLINT4
+
+    def test_operand_width_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, operand=1 << 20).encode()
+
+    def test_extension_detection(self):
+        assert Instruction(
+            Opcode.MATMUL, 0, OperandType.FLINT4, OperandType.INT4
+        ).uses_ant_extension
+        assert not Instruction(
+            Opcode.MATMUL, 0, OperandType.INT8, OperandType.INT4
+        ).uses_ant_extension
+
+    def test_type_sets_disjoint(self):
+        assert not BASELINE_TYPES & ANT_EXTENSION_TYPES
+
+
+class TestAssembler:
+    def test_operand_type_lookup(self):
+        assert operand_type_for("flint", 4) is OperandType.FLINT4
+        assert operand_type_for("int", 8) is OperandType.INT8
+        with pytest.raises(KeyError):
+            operand_type_for("float", 4)  # int-based ANT drops float
+
+    def test_layer_program_structure(self):
+        program = assemble_layer("conv1", "flint", 4, "pot", 4, n_tiles=3)
+        opcodes = [inst.opcode for inst in program.instructions]
+        assert opcodes == [
+            Opcode.LOAD, Opcode.LOAD,
+            Opcode.MATMUL, Opcode.MATMUL, Opcode.MATMUL,
+            Opcode.ACT, Opcode.STORE,
+        ]
+        assert program.matmul_types == {(OperandType.FLINT4, OperandType.POT4)}
+
+    def test_memory_instructions_unchanged_by_type(self):
+        """The paper's claim: switching a layer to flint/PoT leaves every
+        LOAD/STORE word identical to the int baseline."""
+        ant = assemble_layer("fc", "flint", 4, "pot", 4, n_tiles=5)
+        baseline = assemble_layer("fc", "int", 4, "int", 4, n_tiles=5)
+        assert memory_instructions_identical(ant, baseline)
+
+    def test_programs_same_length_across_types(self):
+        ant = assemble_layer("fc", "flint", 4, "int", 4, n_tiles=4)
+        base = assemble_layer("fc", "int", 8, "int", 8, n_tiles=4)
+        assert len(ant.instructions) == len(base.instructions)
+
+    def test_assemble_model(self):
+        programs = assemble_model(
+            [
+                {"name": "conv", "weight_kind": "flint", "weight_bits": 4,
+                 "input_kind": "int", "input_bits": 4, "tiles": 2},
+                {"name": "fc", "weight_kind": "int", "weight_bits": 8,
+                 "input_kind": "int", "input_bits": 8, "tiles": 1},
+            ]
+        )
+        assert [p.layer for p in programs] == ["conv", "fc"]
+        assert any(
+            inst.uses_ant_extension for inst in programs[0].instructions
+        )
+        assert not any(
+            inst.uses_ant_extension for inst in programs[1].instructions
+        )
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ValueError):
+            assemble_layer("x", "int", 4, "int", 4, n_tiles=0)
+
+
+class TestTensorCore:
+    def test_int4_faster_than_int8(self):
+        layers = workload_layers("bert-mnli")
+        four = simulate_tensorcore(layers, uniform_assignment(layers, 4, 4))
+        eight = simulate_tensorcore(layers, uniform_assignment(layers, 8, 8))
+        assert four.seconds < eight.seconds
+
+    def test_speedup_bounded_by_two(self):
+        """int4 TOPS is exactly 2x int8 TOPS on the A100 envelope."""
+        layers = workload_layers("vgg16")
+        four = simulate_tensorcore(layers, uniform_assignment(layers, 4, 4))
+        eight = simulate_tensorcore(layers, uniform_assignment(layers, 8, 8))
+        assert 1.0 < eight.seconds / four.seconds <= 2.0 + 1e-9
+
+    def test_decode_tax_slows_math(self):
+        layers = workload_layers("vgg16")
+        assignment = uniform_assignment(layers, 4, 4)
+        free = simulate_tensorcore(layers, assignment, TensorCoreSpec())
+        taxed = simulate_tensorcore(
+            layers, assignment, TensorCoreSpec(ant_decode_tax=0.5)
+        )
+        assert taxed.seconds >= free.seconds
+
+    def test_bound_classification(self):
+        layers = workload_layers("bert-mnli")
+        result = simulate_tensorcore(layers, uniform_assignment(layers, 4, 4))
+        assert result.math_bound_layers + result.memory_bound_layers == len(layers)
+
+    def test_assignment_length_checked(self):
+        layers = workload_layers("vgg16")
+        with pytest.raises(ValueError):
+            simulate_tensorcore(layers, [])

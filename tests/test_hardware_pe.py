@@ -1,0 +1,130 @@
+"""TypeFusion MAC tests (Figs. 7-8): exactness, overflow bounds, fusion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtypes import FlintType, IntType, PoTType
+from repro.hardware.pe import (
+    ACCUMULATOR_BITS,
+    DecodedOperand,
+    MACOverflowError,
+    TypeFusionMAC,
+    decode_operand,
+    dot_product,
+    fused_int8_mac,
+)
+
+RNG = np.random.default_rng(6)
+KIND_TO_TYPE = {
+    "flint": FlintType(4, signed=True),
+    "int": IntType(4, signed=True),
+    "pot": PoTType(4, signed=True),
+}
+
+
+class TestMACBasics:
+    def test_multiply_shifts(self):
+        mac = TypeFusionMAC(4)
+        a = DecodedOperand(base=2, exponent=4)  # 32
+        b = DecodedOperand(base=1, exponent=2)  # 4
+        assert mac.multiply(a, b) == 128
+
+    def test_signed_multiply(self):
+        mac = TypeFusionMAC(4)
+        a = DecodedOperand(base=3, exponent=0, sign=1)  # -3
+        b = DecodedOperand(base=6, exponent=0)
+        assert mac.multiply(a, b) == -18
+
+    def test_accumulate(self):
+        mac = TypeFusionMAC(4)
+        mac.accumulate(100)
+        mac.accumulate(-30)
+        assert mac.accumulator == 70
+        mac.reset()
+        assert mac.accumulator == 0
+
+    def test_overflow_detected(self):
+        mac = TypeFusionMAC(4, accumulator_bits=8)
+        big = DecodedOperand(base=14, exponent=0)
+        with pytest.raises(MACOverflowError):
+            mac.multiply(big, DecodedOperand(base=14, exponent=0))
+
+    def test_op_counters(self):
+        mac = TypeFusionMAC(4)
+        mac.mac(DecodedOperand(2, 0), DecodedOperand(3, 0))
+        assert mac.mul_count == 1
+        assert mac.acc_count == 1
+
+
+class TestPaperClaims:
+    def test_4bit_flint_products_fit_16_bits(self):
+        """Sec. V-B: any 4-bit flint x flint product fits the 16-bit path."""
+        flint = FlintType(4, signed=True)
+        mac = TypeFusionMAC(4, accumulator_bits=ACCUMULATOR_BITS)
+        codes = range(16)
+        for ca in codes:
+            for cb in codes:
+                a = decode_operand(ca, "flint", 4, True)
+                b = decode_operand(cb, "flint", 4, True)
+                mac.multiply(a, b)  # must never raise
+
+    def test_unsigned_4bit_flint_product_bound(self):
+        """Max unsigned product is 64*64 = 2^12, within 16-bit int."""
+        mac = TypeFusionMAC(4)
+        a = decode_operand(0b1000, "flint", 4, False)
+        assert mac.multiply(a, a) == 4096
+
+    def test_float_pe_unsupported_kind(self):
+        with pytest.raises(KeyError):
+            decode_operand(0, "float", 4, True)
+
+
+class TestDotProducts:
+    @pytest.mark.parametrize("kind_a", ["flint", "int", "pot"])
+    @pytest.mark.parametrize("kind_b", ["flint", "int", "pot"])
+    def test_mixed_type_dot_exact(self, kind_a, kind_b):
+        """Any type pairing computes the exact dot product (TypeFusion)."""
+        ta, tb = KIND_TO_TYPE[kind_a], KIND_TO_TYPE[kind_b]
+        va = RNG.choice(ta.grid, size=24)
+        vb = RNG.choice(tb.grid, size=24)
+        hw = dot_product(ta.encode(va), tb.encode(vb), kind_a, kind_b, 4, True)
+        assert hw == int(np.dot(va, vb))
+
+    def test_unsigned_dot(self):
+        flint = FlintType(4, signed=False)
+        pot = PoTType(4, signed=False)
+        va = RNG.choice(flint.grid[flint.grid <= 14], size=16)
+        vb = RNG.choice(pot.grid[pot.grid <= 8], size=16)
+        hw = dot_product(flint.encode(va), pot.encode(vb), "flint", "pot", 4, False)
+        assert hw == int(np.dot(va, vb))
+
+
+class TestInt8Fusion:
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=200, deadline=None)
+    def test_fused_exact(self, a, b):
+        assert fused_int8_mac(a, b) == a * b
+
+    def test_requires_four_pes(self):
+        with pytest.raises(ValueError):
+            fused_int8_mac(1, 1, pes=[TypeFusionMAC(4)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            fused_int8_mac(256, 1)
+
+
+@given(
+    kind_a=st.sampled_from(["flint", "int", "pot"]),
+    kind_b=st.sampled_from(["flint", "int", "pot"]),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_random_dot_products(kind_a, kind_b, seed):
+    rng = np.random.default_rng(seed)
+    ta, tb = KIND_TO_TYPE[kind_a], KIND_TO_TYPE[kind_b]
+    va = rng.choice(ta.grid, size=12)
+    vb = rng.choice(tb.grid, size=12)
+    hw = dot_product(ta.encode(va), tb.encode(vb), kind_a, kind_b, 4, True)
+    assert hw == int(np.dot(va, vb))

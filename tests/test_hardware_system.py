@@ -1,0 +1,216 @@
+"""Systolic array, memory, area and accelerator model tests."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    ACCELERATOR_CONFIGS,
+    AreaModel,
+    Dataflow,
+    EnergyTable,
+    MemoryModel,
+    SystolicArray,
+    build_accelerator,
+    workload_layers,
+    WORKLOAD_NAMES,
+)
+from repro.hardware.accelerator import (
+    LayerAssignment,
+    mixed_assignment,
+    uniform_assignment,
+)
+from repro.hardware.area import TABLE_VII
+
+
+class TestSystolicArray:
+    def test_os_cycle_count_small_gemm(self):
+        array = SystolicArray(8, 8, Dataflow.OUTPUT_STATIONARY)
+        cycles = array.gemm_cycles(8, 32, 8)
+        assert cycles.tiles == 1
+        assert cycles.compute_cycles == 32 + 16
+
+    def test_tiling(self):
+        array = SystolicArray(8, 8)
+        cycles = array.gemm_cycles(16, 10, 24)
+        assert cycles.tiles == 2 * 3
+
+    def test_ws_dataflow(self):
+        array = SystolicArray(8, 8, Dataflow.WEIGHT_STATIONARY)
+        cycles = array.gemm_cycles(100, 8, 8)
+        assert cycles.tiles == 1
+        assert cycles.compute_cycles == 100 + 16
+
+    def test_precision_fusion_quarters_array(self):
+        array = SystolicArray(64, 64, native_bits=4, supports_fusion=True)
+        four = array.gemm_cycles(64, 64, 64, operand_bits=4)
+        eight = array.gemm_cycles(64, 64, 64, operand_bits=8)
+        assert eight.effective_rows == 32
+        assert eight.compute_cycles > four.compute_cycles
+
+    def test_no_fusion_rejects_wide_operands(self):
+        array = SystolicArray(32, 32, native_bits=8, supports_fusion=False)
+        with pytest.raises(ValueError):
+            array.gemm_cycles(8, 8, 8, operand_bits=16)
+
+    def test_boundary_decoder_counts(self):
+        """Sec. VI-A: OS needs 2n decoders, WS needs n."""
+        os_array = SystolicArray(64, 64, Dataflow.OUTPUT_STATIONARY)
+        ws_array = SystolicArray(64, 64, Dataflow.WEIGHT_STATIONARY)
+        assert os_array.boundary_decoders() == 128
+        assert ws_array.boundary_decoders() == 64
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 8)
+        with pytest.raises(ValueError):
+            SystolicArray(8, 8).gemm_cycles(0, 1, 1)
+
+
+class TestMemoryModel:
+    def test_dram_cycles_ceil(self):
+        mem = MemoryModel(dram_bandwidth_bits=512)
+        assert mem.dram_cycles(512) == 1
+        assert mem.dram_cycles(513) == 2
+        assert mem.dram_cycles(0) == 0
+
+    def test_energy_hierarchy(self):
+        table = EnergyTable()
+        assert table.dram_per_bit > table.buffer_per_bit > table.mac_4bit
+
+    def test_mac_energy_quadratic(self):
+        table = EnergyTable()
+        assert np.isclose(table.mac_energy(8), 4 * table.mac_energy(4))
+
+    def test_static_energy_scales_with_cycles(self):
+        table = EnergyTable()
+        assert table.static_energy(1.0, 2000) == 2 * table.static_energy(1.0, 1000)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel().dram_cycles(-1)
+
+
+class TestAreaModel:
+    def test_decoder_overhead_is_tiny(self):
+        """The paper's headline: ~0.2% decoder overhead for ANT."""
+        breakdown = AreaModel().breakdown("ant")
+        assert 0.001 < breakdown.decoder_overhead < 0.003
+
+    def test_core_areas_match_table_vii(self):
+        model = AreaModel()
+        for design, spec in TABLE_VII.items():
+            breakdown = model.breakdown(design)
+            assert np.isclose(breakdown.core_mm2, spec["core_mm2"], rtol=1e-6)
+
+    def test_float_pe_three_times_int(self):
+        assert np.isclose(AreaModel().float_pe_ratio(), 3.0)
+
+    def test_iso_area_pe_counts(self):
+        """Fewer, bigger PEs for wider datapaths at the same area."""
+        model = AreaModel()
+        assert model.pe_area_um2("adafloat") > model.pe_area_um2("bitfusion")
+        assert TABLE_VII["adafloat"]["pes"] < TABLE_VII["bitfusion"]["pes"]
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError):
+            AreaModel().breakdown("tpu")
+
+
+class TestWorkloads:
+    def test_all_workloads_generate(self):
+        for name in WORKLOAD_NAMES:
+            layers = workload_layers(name)
+            assert len(layers) > 5
+            assert all(layer.macs > 0 for layer in layers)
+
+    def test_vgg16_structure(self):
+        layers = workload_layers("vgg16", batch=1)
+        assert len(layers) == 16  # 13 conv + 3 fc
+        # first conv: 64 x (3*3*3) x 224*224
+        assert layers[0].m == 64
+        assert layers[0].k == 27
+        assert layers[0].n == 224 * 224
+
+    def test_bert_attention_is_weightless(self):
+        layers = workload_layers("bert-mnli")
+        scores = [l for l in layers if "scores" in l.name]
+        assert len(scores) == 12
+        assert all(l.weight_elems == 0 for l in scores)
+
+    def test_batch_scales_tokens(self):
+        small = workload_layers("bert-mnli", batch=1)
+        large = workload_layers("bert-mnli", batch=64)
+        assert large[0].n == 64 * small[0].n
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload_layers("lenet")
+
+    @pytest.mark.parametrize(
+        "name,lo,hi",
+        [
+            ("vgg16", 14e9, 16.5e9),      # known ~15.5 GMACs
+            ("resnet18", 1.6e9, 2.1e9),   # known ~1.8 GMACs
+            ("resnet50", 3.5e9, 4.5e9),   # known ~4.1 GMACs
+            ("bert-mnli", 9e9, 13e9),     # BERT-Base @ seq 128 ~11 GMACs
+        ],
+    )
+    def test_mac_counts_match_published_architectures(self, name, lo, hi):
+        macs = sum(layer.macs for layer in workload_layers(name, batch=1))
+        assert lo <= macs <= hi
+
+
+class TestAccelerator:
+    def test_all_configs_build(self):
+        for name in ACCELERATOR_CONFIGS:
+            acc = build_accelerator(name)
+            assert acc.array.n_pes > 0
+
+    def test_unknown_config(self):
+        with pytest.raises(KeyError):
+            build_accelerator("eyeriss")
+
+    def test_simulation_result_structure(self):
+        acc = build_accelerator("ant-os")
+        layers = workload_layers("resnet18")
+        result = acc.simulate(layers, uniform_assignment(layers, 4, 4))
+        assert result.cycles > 0
+        assert set(result.energy_pj) == {"static", "dram", "buffer", "core"}
+        assert len(result.per_layer) == len(layers)
+
+    def test_assignment_length_checked(self):
+        acc = build_accelerator("ant-os")
+        layers = workload_layers("resnet18")
+        with pytest.raises(ValueError):
+            acc.simulate(layers, [LayerAssignment(4, 4)])
+
+    def test_8bit_slower_than_4bit(self):
+        acc = build_accelerator("ant-os")
+        layers = workload_layers("vgg16")
+        four = acc.simulate(layers, uniform_assignment(layers, 4, 4))
+        eight = acc.simulate(layers, uniform_assignment(layers, 8, 8))
+        assert eight.cycles > four.cycles
+        assert eight.total_energy_pj > four.total_energy_pj
+
+    def test_outlier_overhead_slows_olaccel(self):
+        layers = workload_layers("vgg16")
+        ol = build_accelerator("olaccel")
+        assign = uniform_assignment(layers, 4, 4, outlier_fraction=0.03)
+        with_overhead = ol.simulate(layers, assign)
+        ol.outlier_overhead = 0.0
+        without = ol.simulate(layers, assign)
+        assert with_overhead.cycles >= without.cycles
+
+    def test_mixed_assignment_helper(self):
+        layers = workload_layers("resnet18")
+        assignments = mixed_assignment(layers, [0, 2])
+        assert assignments[0].weight_bits == 8
+        assert assignments[1].weight_bits == 4
+
+    def test_ant_beats_int8_reference(self):
+        """The headline direction: 4-bit ANT beats an iso-area int8 design."""
+        layers = workload_layers("bert-mnli")
+        ant = build_accelerator("ant-os").simulate(layers, uniform_assignment(layers, 4, 4))
+        ref = build_accelerator("int8").simulate(layers, uniform_assignment(layers, 8, 8))
+        assert ant.cycles < ref.cycles
+        assert ant.total_energy_pj < ref.total_energy_pj

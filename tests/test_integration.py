@@ -1,0 +1,131 @@
+"""End-to-end integration: train -> quantize -> fine-tune -> simulate.
+
+These tests exercise the full pipeline the benchmarks rely on, at a
+scale small enough for CI (tiny models, few steps).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineModelQuantizer, IntQuantizer, OLAccelQuantizer
+from repro.data import make_image_classification
+from repro.hardware import build_accelerator, workload_layers
+from repro.hardware.accelerator import uniform_assignment
+from repro.nn.models import build_model
+from repro.quant import MixedPrecisionSearch, ModelQuantizer
+from repro.quant.framework import evaluate
+from repro.quant.qat import finetune
+from repro.zoo import _train
+
+
+@pytest.fixture(scope="module")
+def trained_vgg():
+    ds = make_image_classification(n_train=160, n_test=96, seed=11)
+    model = build_model("vgg16")
+    _train(model, ds, steps=120, lr=2e-3, batch=32, seed=0)
+    fp32 = evaluate(model, ds.x_test, ds.y_test)
+    return model, ds, fp32
+
+
+class TestQuantizePipeline:
+    def test_fp32_model_learned_something(self, trained_vgg):
+        _, _, fp32 = trained_vgg
+        assert fp32 > 0.5
+
+    def test_ant_ptq_within_reason(self, trained_vgg):
+        model, ds, fp32 = trained_vgg
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(ds.x_train[:64])
+        mq.apply()
+        acc = evaluate(model, ds.x_test, ds.y_test)
+        mq.remove()
+        # 4-bit PTQ degrades but stays far above chance (10 classes)
+        assert acc > 0.25
+        assert acc <= fp32 + 0.05
+
+    def test_ant_beats_int_only_at_4bit(self, trained_vgg):
+        """The core inter-tensor adaptivity claim on a real pipeline."""
+        model, ds, _ = trained_vgg
+        accs = {}
+        for combo in ("int", "ip-f"):
+            mq = ModelQuantizer(model, combo, 4).calibrate(ds.x_train[:64])
+            mq.apply()
+            accs[combo] = evaluate(model, ds.x_test, ds.y_test)
+            mq.remove()
+        assert accs["ip-f"] >= accs["int"] - 0.02
+
+    def test_finetune_recovers_accuracy(self, trained_vgg):
+        model, ds, fp32 = trained_vgg
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(ds.x_train[:64])
+        mq.apply()
+        before = evaluate(model, ds.x_test, ds.y_test)
+        state = {name: p.data.copy() for name, p in model.named_parameters()}
+        finetune(model, ds.x_train, ds.y_train, steps=40, lr=5e-4)
+        after = evaluate(model, ds.x_test, ds.y_test)
+        mq.remove()
+        # restore weights so other tests see the original model
+        for name, param in model.named_parameters():
+            param.data[...] = state[name]
+        assert after >= before - 0.02
+
+    def test_mixed_precision_closes_gap(self, trained_vgg):
+        model, ds, fp32 = trained_vgg
+        state = {name: p.data.copy() for name, p in model.named_parameters()}
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(ds.x_train[:64])
+        mq.apply()
+        search = MixedPrecisionSearch(
+            mq,
+            evaluate_fn=lambda: evaluate(model, ds.x_test, ds.y_test),
+            baseline_accuracy=fp32,
+            threshold=0.02,
+            finetune_fn=lambda: finetune(model, ds.x_train, ds.y_train, steps=25, lr=5e-4),
+            max_rounds=3,
+        )
+        result = search.run()
+        first_round = result.decisions[0].accuracy
+        assert result.accuracy >= first_round - 0.02
+        mq.remove()
+        for name, param in model.named_parameters():
+            param.data[...] = state[name]
+
+    def test_baseline_driver_on_trained_model(self, trained_vgg):
+        model, ds, fp32 = trained_vgg
+        driver = BaselineModelQuantizer(model, OLAccelQuantizer())
+        driver.calibrate(ds.x_train[:64]).apply()
+        acc = evaluate(model, ds.x_test, ds.y_test)
+        driver.remove()
+        assert acc > 0.25
+        assert 4.0 < driver.average_bits() < 6.0
+
+    def test_int8_nearly_lossless(self, trained_vgg):
+        model, ds, fp32 = trained_vgg
+        driver = BaselineModelQuantizer(model, IntQuantizer(8))
+        driver.calibrate(ds.x_train[:64]).apply()
+        acc = evaluate(model, ds.x_test, ds.y_test)
+        driver.remove()
+        assert abs(fp32 - acc) < 0.05
+
+
+class TestHardwareIntegration:
+    def test_type_ratio_drives_latency(self):
+        """More 8-bit layers -> more cycles on the same accelerator."""
+        layers = workload_layers("resnet18")
+        acc = build_accelerator("ant-os")
+        all4 = acc.simulate(layers, uniform_assignment(layers, 4, 4)).cycles
+        all8 = acc.simulate(layers, uniform_assignment(layers, 8, 8)).cycles
+        from repro.hardware.accelerator import mixed_assignment
+
+        half = acc.simulate(
+            layers, mixed_assignment(layers, range(0, len(layers), 2))
+        ).cycles
+        assert all4 < half < all8
+
+    def test_energy_split_shapes(self):
+        """DRAM + buffer dominate, matching the Fig. 13 bottom shape."""
+        layers = workload_layers("bert-mnli")
+        result = build_accelerator("ant-os").simulate(
+            layers, uniform_assignment(layers, 4, 4)
+        )
+        split = result.energy_pj
+        total = result.total_energy_pj
+        assert (split["dram"] + split["buffer"]) / total > 0.4
+        assert split["static"] / total < 0.4

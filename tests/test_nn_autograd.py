@@ -1,0 +1,290 @@
+"""Numerical gradient checks for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import (
+    Tensor,
+    concatenate,
+    cross_entropy,
+    dropout,
+    embedding_lookup,
+    no_grad,
+    softmax,
+)
+
+RNG = np.random.default_rng(0)
+EPS = 1e-6
+
+
+def numerical_grad(fn, x: np.ndarray) -> np.ndarray:
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        up = fn(x)
+        flat[i] = orig - EPS
+        down = fn(x)
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+def check_unary(op, shape=(3, 4), positive=False, atol=1e-6):
+    data = RNG.normal(size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    t = Tensor(data.copy(), requires_grad=True)
+    out = op(t)
+    loss = out.sum() if not np.isscalar(out.data) and out.data.size > 1 else out
+    loss = loss if loss.data.size == 1 else loss.sum()
+    loss.backward()
+    expected = numerical_grad(lambda x: op(Tensor(x)).data.sum(), data.copy())
+    assert np.allclose(t.grad, expected, atol=atol), (t.grad, expected)
+
+
+class TestElementwise:
+    def test_add(self):
+        check_unary(lambda t: t + 2.0)
+
+    def test_mul(self):
+        check_unary(lambda t: t * 3.0)
+
+    def test_neg_sub(self):
+        check_unary(lambda t: 5.0 - t)
+
+    def test_div(self):
+        check_unary(lambda t: t / 2.5)
+
+    def test_rdiv(self):
+        check_unary(lambda t: 1.0 / t, positive=True, atol=1e-4)
+
+    def test_pow(self):
+        check_unary(lambda t: t ** 3)
+
+    def test_relu(self):
+        check_unary(lambda t: t.relu())
+
+    def test_gelu(self):
+        check_unary(lambda t: t.gelu(), atol=1e-5)
+
+    def test_tanh(self):
+        check_unary(lambda t: t.tanh())
+
+    def test_exp(self):
+        check_unary(lambda t: t.exp(), atol=1e-5)
+
+    def test_log(self):
+        check_unary(lambda t: t.log(), positive=True, atol=1e-5)
+
+    def test_sqrt(self):
+        check_unary(lambda t: t.sqrt(), positive=True)
+
+
+class TestBroadcasting:
+    def test_broadcast_add_grad_shapes(self):
+        a = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (4, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, 4.0)
+
+    def test_broadcast_mul(self):
+        a = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(1, 3, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (1, 3, 1)
+        assert np.allclose(b.grad, a.data.sum(axis=(0, 2), keepdims=True))
+
+
+class TestMatmul:
+    def test_2d(self):
+        a_data = RNG.normal(size=(3, 4))
+        b_data = RNG.normal(size=(4, 5))
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+        expected_a = numerical_grad(lambda x: (x @ b_data).sum(), a_data.copy())
+        expected_b = numerical_grad(lambda x: (a_data @ x).sum(), b_data.copy())
+        assert np.allclose(a.grad, expected_a, atol=1e-6)
+        assert np.allclose(b.grad, expected_b, atol=1e-6)
+
+    def test_batched(self):
+        a = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+    def test_broadcast_batched(self):
+        """A 2-D right operand broadcasts over batch dims; grads unbroadcast."""
+        a = Tensor(RNG.normal(size=(2, 6, 3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.data.shape == (2, 6, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 6, 3, 4)
+        assert b.grad.shape == (4, 5)
+        expected_b = np.einsum("bcij,bcik->jk", a.data, np.ones((2, 6, 3, 5)))
+        assert np.allclose(b.grad, expected_b)
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        a = Tensor(RNG.normal(size=(2, 6)), requires_grad=True)
+        a.reshape(3, 4).sum().backward()
+        assert a.grad.shape == (2, 6)
+        assert np.allclose(a.grad, 1.0)
+
+    def test_transpose(self):
+        data = RNG.normal(size=(2, 3, 4))
+        a = Tensor(data.copy(), requires_grad=True)
+        (a.transpose(2, 0, 1) * Tensor(np.arange(24).reshape(4, 2, 3))).sum().backward()
+        expected = np.arange(24).reshape(4, 2, 3).transpose(1, 2, 0)
+        assert np.allclose(a.grad, expected)
+
+    def test_getitem(self):
+        a = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        a[1:3, :2].sum().backward()
+        mask = np.zeros((4, 5))
+        mask[1:3, :2] = 1.0
+        assert np.allclose(a.grad, mask)
+
+    def test_concatenate(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        (out * Tensor(np.arange(10).reshape(2, 5))).sum().backward()
+        assert np.allclose(a.grad, np.arange(10).reshape(2, 5)[:, :3])
+        assert np.allclose(b.grad, np.arange(10).reshape(2, 5)[:, 3:])
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        (a.sum(axis=0) ** 2).sum().backward()
+        expected = 2 * np.broadcast_to(a.data.sum(axis=0), (3, 4))
+        assert np.allclose(a.grad, expected)
+
+    def test_mean(self):
+        a = Tensor(RNG.normal(size=(4, 6)), requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, 1.0 / 24)
+
+    def test_mean_axis_tuple(self):
+        a = Tensor(RNG.normal(size=(2, 3, 4, 4)), requires_grad=True)
+        a.mean(axis=(2, 3)).sum().backward()
+        assert np.allclose(a.grad, 1.0 / 16)
+
+    def test_max(self):
+        data = np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 7.0]])
+        a = Tensor(data, requires_grad=True)
+        a.max(axis=1).sum().backward()
+        expected = np.array([[0, 1, 0], [0.5, 0, 0.5]])
+        assert np.allclose(a.grad, expected)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(RNG.normal(size=(5, 7)))
+        probs = softmax(x, axis=-1)
+        assert np.allclose(probs.data.sum(axis=-1), 1.0)
+
+    def test_softmax_grad(self):
+        data = RNG.normal(size=(3, 4))
+        weights = RNG.normal(size=(3, 4))
+        x = Tensor(data.copy(), requires_grad=True)
+        (softmax(x, axis=-1) * Tensor(weights)).sum().backward()
+
+        def fn(arr):
+            shifted = arr - arr.max(axis=-1, keepdims=True)
+            e = np.exp(shifted)
+            return ((e / e.sum(axis=-1, keepdims=True)) * weights).sum()
+
+        assert np.allclose(x.grad, numerical_grad(fn, data.copy()), atol=1e-6)
+
+    def test_cross_entropy_matches_manual(self):
+        logits = RNG.normal(size=(6, 4))
+        targets = RNG.integers(0, 4, size=6)
+        t = Tensor(logits.copy(), requires_grad=True)
+        loss = cross_entropy(t, targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        assert np.isclose(loss.item(), -logp[np.arange(6), targets].mean())
+
+    def test_cross_entropy_grad(self):
+        logits = RNG.normal(size=(4, 5))
+        targets = np.array([0, 2, 4, 1])
+        t = Tensor(logits.copy(), requires_grad=True)
+        cross_entropy(t, targets).backward()
+
+        def fn(arr):
+            shifted = arr - arr.max(axis=1, keepdims=True)
+            logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+            return -logp[np.arange(4), targets].mean()
+
+        assert np.allclose(t.grad, numerical_grad(fn, logits.copy()), atol=1e-6)
+
+
+class TestEmbeddingDropout:
+    def test_embedding_scatter_add(self):
+        table = Tensor(RNG.normal(size=(10, 4)), requires_grad=True)
+        idx = np.array([[1, 1, 3], [0, 3, 3]])
+        embedding_lookup(table, idx).sum().backward()
+        expected = np.zeros((10, 4))
+        for i in idx.ravel():
+            expected[i] += 1.0
+        assert np.allclose(table.grad, expected)
+
+    def test_dropout_eval_identity(self):
+        x = Tensor(RNG.normal(size=(5, 5)))
+        out = dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_dropout_scales(self):
+        x = Tensor(np.ones((1000,)), requires_grad=True)
+        out = dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.35 < kept.size / 1000 < 0.65
+
+    def test_dropout_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+
+class TestGraphMechanics:
+    def test_no_grad_blocks_graph(self):
+        with no_grad():
+            a = Tensor(np.ones(3), requires_grad=True)
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+    def test_grad_accumulates_on_reuse(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * a).backward()  # d(a^2)/da = 2a = 4
+        assert np.allclose(a.grad, 4.0)
+
+    def test_diamond_graph(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2
+        c = a * 5
+        (b + c).backward()
+        assert np.allclose(a.grad, 7.0)
+
+    def test_deep_chain(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        x = a
+        for _ in range(200):
+            x = x + 1.0
+        x.backward()
+        assert np.allclose(a.grad, 1.0)

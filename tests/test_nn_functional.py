@@ -1,0 +1,202 @@
+"""Gradient and correctness checks for fused ops (conv, pool, norms)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+
+RNG = np.random.default_rng(1)
+EPS = 1e-6
+
+
+def numerical_grad(fn, x):
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        up = fn(x)
+        flat[i] = orig - EPS
+        down = fn(x)
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    n, c_in, h, wdt = x.shape
+    c_out, _, kh, kw = w.shape
+    sh, sw = stride
+    ph, pw = padding
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (wdt + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    for ni in range(n):
+        for co in range(c_out):
+            for oh in range(out_h):
+                for ow in range(out_w):
+                    patch = padded[ni, :, oh * sh: oh * sh + kh, ow * sw: ow * sw + kw]
+                    out[ni, co, oh, ow] = (patch * w[co]).sum()
+            if b is not None:
+                out[ni, co] += b[co]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_forward_matches_naive(self, stride, padding):
+        x = RNG.normal(size=(2, 3, 6, 6))
+        w = RNG.normal(size=(4, 3, 3, 3))
+        b = RNG.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        expected = naive_conv2d(x, w, b, (stride, stride), (padding, padding))
+        assert np.allclose(out.data, expected, atol=1e-10)
+
+    def test_gradients(self):
+        x_data = RNG.normal(size=(2, 2, 5, 5))
+        w_data = RNG.normal(size=(3, 2, 3, 3))
+        b_data = RNG.normal(size=3)
+        x = Tensor(x_data.copy(), requires_grad=True)
+        w = Tensor(w_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        F.conv2d(x, w, b, stride=2, padding=1).sum().backward()
+
+        def loss_x(arr):
+            return naive_conv2d(arr, w_data, b_data, (2, 2), (1, 1)).sum()
+
+        def loss_w(arr):
+            return naive_conv2d(x_data, arr, b_data, (2, 2), (1, 1)).sum()
+
+        assert np.allclose(x.grad, numerical_grad(loss_x, x_data.copy()), atol=1e-5)
+        assert np.allclose(w.grad, numerical_grad(loss_w, w_data.copy()), atol=1e-5)
+        assert np.allclose(b.grad, 2 * 3 * 3)  # N * out_h * out_w
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((1, 3, 3, 3))), None)
+
+    def test_collapsed_output_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 1, 2, 2))), Tensor(np.zeros((1, 1, 5, 5))), None)
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), kernel=2)
+        assert out.data.reshape(-1).tolist() == [5, 7, 13, 15]
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = Tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, kernel=2).sum().backward()
+        expected = np.zeros((1, 1, 4, 4))
+        expected[0, 0, [1, 1, 3, 3], [1, 3, 1, 3]] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_avg_pool_forward(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), kernel=2)
+        assert np.allclose(out.data.reshape(-1), [2.5, 4.5, 10.5, 12.5])
+
+    def test_avg_pool_grad(self):
+        data = RNG.normal(size=(2, 3, 6, 6))
+        x = Tensor(data.copy(), requires_grad=True)
+        F.avg_pool2d(x, kernel=3, stride=3).sum().backward()
+        assert np.allclose(x.grad, 1.0 / 9)
+
+    def test_overlapping_avg_pool_grad(self):
+        data = RNG.normal(size=(1, 1, 5, 5))
+        x = Tensor(data.copy(), requires_grad=True)
+        F.avg_pool2d(x, kernel=3, stride=1).sum().backward()
+
+        def fn(arr):
+            t = F.avg_pool2d(Tensor(arr), kernel=3, stride=1)
+            return t.data.sum()
+
+        assert np.allclose(x.grad, numerical_grad(fn, data.copy()), atol=1e-6)
+
+
+class TestNorms:
+    def test_layer_norm_forward_stats(self):
+        x = Tensor(RNG.normal(size=(4, 10)) * 5 + 3)
+        w = Tensor(np.ones(10))
+        b = Tensor(np.zeros(10))
+        out = F.layer_norm(x, w, b).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_layer_norm_grad(self):
+        data = RNG.normal(size=(3, 6))
+        w_data = RNG.normal(size=6)
+        b_data = RNG.normal(size=6)
+        weights = RNG.normal(size=(3, 6))
+        x = Tensor(data.copy(), requires_grad=True)
+        w = Tensor(w_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        (F.layer_norm(x, w, b) * Tensor(weights)).sum().backward()
+
+        def fn(arr):
+            mean = arr.mean(axis=-1, keepdims=True)
+            var = arr.var(axis=-1, keepdims=True)
+            xh = (arr - mean) / np.sqrt(var + 1e-5)
+            return ((xh * w_data + b_data) * weights).sum()
+
+        assert np.allclose(x.grad, numerical_grad(fn, data.copy()), atol=1e-5)
+
+    def test_batch_norm_training_stats(self):
+        x = Tensor(RNG.normal(size=(8, 3, 4, 4)) * 2 + 1)
+        w = Tensor(np.ones(3))
+        b = Tensor(np.zeros(3))
+        rm = np.zeros(3)
+        rv = np.ones(3)
+        out = F.batch_norm2d(x, w, b, rm, rv, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-9)
+        assert not np.allclose(rm, 0.0)  # running stats updated
+
+    def test_batch_norm_eval_uses_running_stats(self):
+        x = Tensor(np.full((2, 1, 2, 2), 10.0))
+        w = Tensor(np.ones(1))
+        b = Tensor(np.zeros(1))
+        rm = np.array([10.0])
+        rv = np.array([4.0])
+        out = F.batch_norm2d(x, w, b, rm, rv, training=False)
+        assert np.allclose(out.data, 0.0, atol=1e-3)
+        assert np.allclose(rm, 10.0)  # unchanged in eval
+
+    def test_batch_norm_grad_training(self):
+        data = RNG.normal(size=(4, 2, 3, 3))
+        w_data = RNG.normal(size=2)
+        b_data = RNG.normal(size=2)
+        weights = RNG.normal(size=(4, 2, 3, 3))
+        x = Tensor(data.copy(), requires_grad=True)
+        w = Tensor(w_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        out = F.batch_norm2d(x, w, b, np.zeros(2), np.ones(2), training=True)
+        (out * Tensor(weights)).sum().backward()
+
+        def fn(arr):
+            mean = arr.mean(axis=(0, 2, 3), keepdims=True)
+            var = arr.var(axis=(0, 2, 3), keepdims=True)
+            xh = (arr - mean) / np.sqrt(var + 1e-5)
+            shaped = lambda v: v.reshape(1, -1, 1, 1)
+            return ((xh * shaped(w_data) + shaped(b_data)) * weights).sum()
+
+        assert np.allclose(x.grad, numerical_grad(fn, data.copy()), atol=1e-5)
+
+
+class TestLinear:
+    def test_linear_matches_manual(self):
+        x = Tensor(RNG.normal(size=(5, 3)))
+        w = Tensor(RNG.normal(size=(4, 3)))
+        b = Tensor(RNG.normal(size=4))
+        out = F.linear(x, w, b)
+        assert np.allclose(out.data, x.data @ w.data.T + b.data)
+
+    def test_pair_helper(self):
+        assert F._pair(3) == (3, 3)
+        assert F._pair((1, 2)) == (1, 2)
+        with pytest.raises(ValueError):
+            F._pair((1, 2, 3))

@@ -1,0 +1,257 @@
+"""Tests for layer modules, the module system and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+    Tensor,
+)
+from repro.nn.attention import (
+    MultiHeadSelfAttention,
+    PostLNEncoderBlock,
+    TransformerEncoderBlock,
+    sinusoidal_positions,
+)
+from repro.nn.autograd import cross_entropy
+
+RNG = np.random.default_rng(2)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        layer = Linear(3, 4)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_modules(self):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "m0.weight" in names and "m2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self):
+        model = Sequential(Linear(3, 4), Linear(4, 2))
+        state = model.state_dict()
+        fresh = Sequential(Linear(3, 4), Linear(4, 2))
+        fresh.load_state_dict(state)
+        for (_, p1), (_, p2) in zip(model.named_parameters(), fresh.named_parameters()):
+            assert np.allclose(p1.data, p2.data)
+
+    def test_state_dict_includes_bn_buffers(self):
+        bn = BatchNorm2d(3)
+        bn(Tensor(RNG.normal(size=(4, 3, 2, 2))))
+        state = bn.state_dict()
+        assert any("running_mean" in key for key in state)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = Linear(3, 4)
+        bad = {name: np.zeros((1, 1)) for name, _ in model.named_parameters()}
+        with pytest.raises(ValueError):
+            model.load_state_dict(bad)
+
+    def test_load_state_dict_missing_key(self):
+        with pytest.raises(KeyError):
+            Linear(3, 4).load_state_dict({})
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        layer(Tensor(RNG.normal(size=(3, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        out = Linear(5, 7)(Tensor(RNG.normal(size=(4, 5))))
+        assert out.shape == (4, 7)
+
+    def test_conv_shapes(self):
+        out = Conv2d(3, 8, 3, stride=2, padding=1)(Tensor(RNG.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.ones((2, 3, 4, 4)) * 5)
+        assert np.allclose(GlobalAvgPool2d()(x).data, 5.0)
+
+    def test_max_pool_layer(self):
+        out = MaxPool2d(2)(Tensor(RNG.normal(size=(1, 1, 4, 4))))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_layernorm_layer(self):
+        out = LayerNorm(8)(Tensor(RNG.normal(size=(2, 5, 8))))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+
+    def test_embedding(self):
+        emb = Embedding(10, 6)
+        out = emb(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_quant_hooks_invoked(self):
+        layer = Linear(3, 3)
+        calls = []
+
+        def hook(t):
+            calls.append(t.data.shape)
+            return t
+
+        object.__setattr__(layer, "input_fake_quant", hook)
+        object.__setattr__(layer, "weight_fake_quant", hook)
+        layer(Tensor(RNG.normal(size=(2, 3))))
+        assert calls == [(2, 3), (3, 3)]
+
+
+class TestAttention:
+    def test_mhsa_shape(self):
+        attn = MultiHeadSelfAttention(16, 4)
+        out = attn(Tensor(RNG.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_mhsa_rejects_bad_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_pre_ln_block(self):
+        block = TransformerEncoderBlock(16, 4)
+        out = block(Tensor(RNG.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_post_ln_block_output_normalized(self):
+        block = PostLNEncoderBlock(16, 4)
+        out = block(Tensor(RNG.normal(size=(2, 5, 16))))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-8)
+
+    def test_attention_gradients_flow(self):
+        block = TransformerEncoderBlock(8, 2)
+        out = block(Tensor(RNG.normal(size=(2, 4, 8)), requires_grad=True))
+        out.sum().backward()
+        for _, param in block.named_parameters():
+            assert param.grad is not None
+
+    def test_sinusoidal_positions(self):
+        enc = sinusoidal_positions(10, 8)
+        assert enc.shape == (10, 8)
+        assert np.all(np.abs(enc) <= 1.0)
+
+
+class TestOptimizers:
+    def _quadratic_setup(self):
+        target = np.array([3.0, -2.0])
+        param = Parameter(np.zeros(2))
+        return target, param
+
+    def test_sgd_converges(self):
+        target, param = self._quadratic_setup()
+        opt = SGD([param], lr=0.1, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            opt.step()
+        assert np.allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        target, param = self._quadratic_setup()
+        opt = Adam([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            ((param - Tensor(target)) ** 2).sum().backward()
+            opt.step()
+        assert np.allclose(param.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (param * 0.0).sum().backward()
+        opt.step()
+        assert param.data[0] < 10.0
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1)
+
+    def test_skips_params_without_grad(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = SGD([a, b], lr=0.1)
+        (a * 2.0).sum().backward()
+        opt.step()  # b.grad is None; must not crash
+        assert b.data[0] == 0.0
+
+
+class TestModels:
+    @pytest.mark.parametrize("name", ["vgg16", "resnet18", "inceptionv3", "vit"])
+    def test_image_models_forward(self, name):
+        from repro.nn.models import build_model
+
+        model = build_model(name)
+        out = model(Tensor(RNG.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_bert_forward(self):
+        from repro.nn.models import build_model
+
+        model = build_model("bert-mnli")
+        out = model(RNG.integers(0, 64, size=(2, 16)))
+        assert out.shape == (2, 3)
+
+    def test_unknown_workload(self):
+        from repro.nn.models import build_model
+
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_deterministic_init(self):
+        from repro.nn.models import build_model
+
+        m1, m2 = build_model("vgg16", seed=3), build_model("vgg16", seed=3)
+        for (_, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert np.allclose(p1.data, p2.data)
+
+    def test_models_learn(self):
+        """A few Adam steps reduce the loss on a fixed batch."""
+        from repro.nn.models import build_model
+
+        model = build_model("vgg16")
+        x = Tensor(RNG.normal(size=(16, 3, 16, 16)))
+        y = RNG.integers(0, 10, size=16)
+        opt = Adam(model.parameters(), lr=1e-3)
+        first = None
+        for _ in range(10):
+            opt.zero_grad()
+            loss = cross_entropy(model(x), y)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first

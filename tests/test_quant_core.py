@@ -1,0 +1,176 @@
+"""Tests for quantization kernels, scale search and type selection."""
+
+import numpy as np
+import pytest
+
+from repro.data import sample_distribution
+from repro.dtypes import FlintType, IntType, PoTType, candidate_list
+from repro.quant import (
+    Granularity,
+    TensorQuantizer,
+    quantize_dequantize,
+    search_scale,
+    select_type,
+)
+from repro.quant.functional import channel_scales, tensor_scale
+from repro.quant.scale_search import mse_for_scale
+from repro.quant.selection import selection_histogram
+
+RNG = np.random.default_rng(3)
+
+
+class TestFunctional:
+    def test_per_tensor_quantize(self):
+        dtype = IntType(4, signed=True)
+        x = np.array([0.1, 0.5, -0.7])
+        q = quantize_dequantize(x, dtype, scale=0.1)
+        assert np.allclose(q, [0.1, 0.5, -0.7])
+
+    def test_per_channel_quantize(self):
+        dtype = IntType(4, signed=True)
+        x = np.stack([np.full(8, 0.7), np.full(8, 70.0)])
+        scales = np.array([0.1, 10.0])
+        q = quantize_dequantize(x, dtype, scales, axis=0)
+        assert np.allclose(q[0], 0.7)
+        assert np.allclose(q[1], 70.0)
+
+    def test_per_channel_requires_axis(self):
+        with pytest.raises(ValueError):
+            quantize_dequantize(np.ones((2, 2)), IntType(4, True), np.ones(2))
+
+    def test_per_channel_shape_check(self):
+        with pytest.raises(ValueError):
+            quantize_dequantize(np.ones((2, 2)), IntType(4, True), np.ones(3), axis=0)
+
+    def test_tensor_scale_maps_peak_to_grid_top(self):
+        dtype = IntType(4, signed=True)
+        x = np.array([-1.4, 0.7])
+        assert np.isclose(tensor_scale(x, dtype), 1.4 / 7)
+
+    def test_channel_scales_shape(self):
+        x = RNG.normal(size=(4, 3, 3, 3))
+        scales = channel_scales(x, IntType(4, True), axis=0)
+        assert scales.shape == (4,)
+        assert np.all(scales > 0)
+
+    def test_unsigned_scale_ignores_negatives(self):
+        dtype = IntType(4, signed=False)
+        x = np.array([-100.0, 3.0])
+        assert np.isclose(tensor_scale(x, dtype), 3.0 / 15)
+
+    def test_clip_ratio_validation(self):
+        with pytest.raises(ValueError):
+            tensor_scale(np.ones(3), IntType(4, True), clip_ratio=0.0)
+
+
+class TestScaleSearch:
+    def test_search_beats_naive_max_scaling(self):
+        x = sample_distribution("gaussian", 8192, seed=0)
+        dtype = IntType(4, signed=True)
+        naive = mse_for_scale(x, dtype, tensor_scale(x, dtype))
+        best = search_scale(x, dtype)
+        assert best.mse <= naive
+
+    def test_clip_ratio_in_range(self):
+        x = sample_distribution("laplace", 2048, seed=1)
+        result = search_scale(x, FlintType(4, True))
+        assert 0.0 < result.clip_ratio <= 1.0
+
+    def test_empty_tensor_rejected(self):
+        with pytest.raises(ValueError):
+            search_scale(np.array([]), IntType(4, True))
+
+    def test_mse_for_scale_zero_for_exact_grid(self):
+        dtype = IntType(4, signed=True)
+        x = np.arange(-7, 8, dtype=np.float64)
+        assert mse_for_scale(x, dtype, 1.0) == 0.0
+
+    def test_uniform_prefers_full_range(self):
+        """On uniform data the best clip keeps (nearly) the full range."""
+        x = RNG.uniform(-1, 1, 16384)
+        result = search_scale(x, IntType(4, True))
+        assert result.clip_ratio > 0.8
+
+
+class TestSelection:
+    def test_uniform_selects_int(self):
+        x = sample_distribution("uniform", 8192, seed=0)
+        choice = select_type(x, candidate_list("ip-f", 4, signed=True))
+        assert choice.kind == "int"
+
+    def test_heavy_tail_avoids_int(self):
+        x = sample_distribution("gaussian_outliers", 8192, seed=0)
+        choice = select_type(x, candidate_list("ip-f", 4, signed=True))
+        assert choice.kind in ("pot", "flint")
+
+    def test_choice_reports_all_candidates(self):
+        x = sample_distribution("gaussian", 1024, seed=0)
+        choice = select_type(x, candidate_list("fip-f", 4, signed=True))
+        assert len(choice.per_type_mse) == 4
+        assert choice.mse == min(choice.per_type_mse.values())
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            select_type(np.ones(4), [])
+
+    def test_histogram(self):
+        xs = [
+            sample_distribution("uniform", 1024, seed=i) for i in range(3)
+        ]
+        choices = [select_type(x, candidate_list("ip-f", 4, True)) for x in xs]
+        hist = selection_histogram(choices)
+        assert sum(hist.values()) == 3
+
+    def test_more_candidates_never_worse(self):
+        """Adding candidates can only lower (or keep) the selected MSE."""
+        for family in ["uniform", "gaussian", "laplace", "student_t"]:
+            x = sample_distribution(family, 4096, seed=7)
+            small = select_type(x, candidate_list("int", 4, True))
+            large = select_type(x, candidate_list("ip-f", 4, True))
+            assert large.mse <= small.mse + 1e-15
+
+
+class TestTensorQuantizer:
+    def test_lifecycle(self):
+        q = TensorQuantizer(candidate_list("ip-f", 4, True))
+        assert not q.is_calibrated
+        with pytest.raises(RuntimeError):
+            q(np.ones(4))
+        q.calibrate(RNG.normal(size=1024))
+        assert q.is_calibrated
+        out = q(RNG.normal(size=64))
+        assert out.shape == (64,)
+
+    def test_per_channel_scales(self):
+        x = np.stack([RNG.normal(size=64) * 0.1, RNG.normal(size=64) * 10.0])
+        q = TensorQuantizer(
+            candidate_list("ip-f", 4, True),
+            granularity=Granularity.PER_CHANNEL,
+            channel_axis=0,
+        )
+        q.calibrate(x)
+        assert q.scales.shape == (2,)
+        assert q.scales[1] > 10 * q.scales[0]
+
+    def test_per_channel_beats_per_tensor_on_scaled_channels(self):
+        x = np.stack([RNG.normal(size=256) * 0.05, RNG.normal(size=256) * 5.0])
+        per_tensor = TensorQuantizer(candidate_list("int", 4, True))
+        per_tensor.calibrate(x)
+        per_channel = TensorQuantizer(
+            candidate_list("int", 4, True), Granularity.PER_CHANNEL, 0
+        )
+        per_channel.calibrate(x)
+        assert per_channel.observed_mse(x) < per_tensor.observed_mse(x)
+
+    def test_set_dtype_escalation(self):
+        x = RNG.normal(size=512)
+        q = TensorQuantizer(candidate_list("ip-f", 4, True))
+        q.calibrate(x)
+        mse4 = q.observed_mse(x)
+        q.set_dtype(IntType(8, True), x)
+        assert q.bits == 8
+        assert q.observed_mse(x) < mse4
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            TensorQuantizer([])

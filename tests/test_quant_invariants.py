@@ -1,0 +1,92 @@
+"""Cross-cutting quantization invariants (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import sample_distribution
+from repro.dtypes import FlintType, IntType, PoTType
+from repro.quant import search_scale
+from repro.quant.scale_search import mse_for_scale
+
+
+@given(
+    family=st.sampled_from(["uniform", "gaussian", "laplace", "student_t"]),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_more_bits_never_hurt_int(family, seed):
+    """MSE(int8) <= MSE(int6) <= MSE(int4) on any tensor."""
+    x = sample_distribution(family, 2048, seed=seed)
+    mses = [search_scale(x, IntType(b, True), num_coarse=16, num_fine=6).mse
+            for b in (4, 6, 8)]
+    assert mses[2] <= mses[1] * 1.001 <= mses[0] * 1.001 * 1.001
+
+
+@given(
+    family=st.sampled_from(["gaussian", "laplace"]),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=15, deadline=None)
+def test_more_bits_never_hurt_flint(family, seed):
+    x = sample_distribution(family, 2048, seed=seed)
+    mse4 = search_scale(x, FlintType(4, True), num_coarse=16, num_fine=6).mse
+    mse6 = search_scale(x, FlintType(6, True), num_coarse=16, num_fine=6).mse
+    assert mse6 <= mse4 * 1.001
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_scale_search_is_optimal_within_sweep(seed):
+    """No coarse-sweep point beats the returned scale."""
+    x = sample_distribution("gaussian", 1024, seed=seed)
+    dtype = FlintType(4, True)
+    result = search_scale(x, dtype)
+    base = float(np.max(np.abs(x))) / dtype.max_value
+    for ratio in np.geomspace(0.01, 1.0, 24):
+        assert result.mse <= mse_for_scale(x, dtype, base * float(ratio)) + 1e-15
+
+
+@given(
+    scale=st.floats(min_value=1e-2, max_value=1e2),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_mse_scales_quadratically_with_tensor_scale(scale, seed):
+    """Quantizing s*x at scale s*opt gives s^2 times the MSE of x at opt."""
+    x = sample_distribution("gaussian", 1024, seed=seed)
+    dtype = IntType(4, True)
+    base = search_scale(x, dtype)
+    scaled_mse = mse_for_scale(x * scale, dtype, base.scale * scale)
+    assert np.isclose(scaled_mse, base.mse * scale * scale, rtol=1e-6, atol=1e-18)
+
+
+@pytest.mark.parametrize("bits", [4, 6, 8])
+def test_flint_product_fits_double_width_accumulator(bits):
+    """Generalised Sec. V-B claim: b-bit flint products fit 4b-bit int.
+
+    Max unsigned magnitude is 2^(2b-2), so a product is at most
+    2^(4b-4), within a (4b-2)-bit signed accumulator.
+    """
+    flint = FlintType(bits, signed=False)
+    top = flint.max_value
+    assert top * top == 2 ** (4 * bits - 4)
+    assert top * top < 2 ** (4 * bits - 2 - 1)
+
+
+def test_zero_always_exactly_representable():
+    for dtype in (IntType(4, True), PoTType(4, True), FlintType(4, True)):
+        assert dtype.quantize(np.array([0.0]))[0] == 0.0
+
+
+def test_quantization_error_bounded_by_half_gap():
+    """Within range, |x - q(x)| <= half the local grid gap."""
+    dtype = FlintType(4, signed=False)
+    grid = dtype.grid
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, dtype.max_value, size=2048)
+    q = dtype.quantize(x)
+    idx = np.searchsorted(grid, x)
+    idx = np.clip(idx, 1, grid.size - 1)
+    gap = grid[idx] - grid[idx - 1]
+    assert np.all(np.abs(x - q) <= gap / 2 + 1e-12)

@@ -1,0 +1,205 @@
+"""Model-level quantization: framework, QAT, mixed precision."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_image_classification
+from repro.nn import Linear, ReLU, Sequential, Tensor
+from repro.nn.models import build_model
+from repro.quant import ModelQuantizer, MixedPrecisionSearch
+from repro.quant.framework import evaluate, quantizable_layers
+from repro.quant.qat import FakeQuantOp, attach_fake_quant, detach_fake_quant, finetune
+from repro.quant.quantizer import TensorQuantizer
+from repro.dtypes import candidate_list
+
+RNG = np.random.default_rng(4)
+
+
+def tiny_mlp():
+    return Sequential(Linear(8, 16), ReLU(), Linear(16, 4))
+
+
+class TestModelQuantizer:
+    def test_finds_quantizable_layers(self):
+        model = build_model("vgg16")
+        layers = quantizable_layers(model)
+        assert len(layers) == 6  # 4 convs + 2 linears
+
+    def test_calibrate_and_apply(self):
+        model = tiny_mlp()
+        batch = RNG.normal(size=(16, 8))
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(batch)
+        assert len(mq.layers) == 2
+        mq.apply()
+        out = model(Tensor(RNG.normal(size=(4, 8))))
+        assert out.shape == (4, 4)
+
+    def test_apply_without_calibrate_fails(self):
+        with pytest.raises(RuntimeError):
+            ModelQuantizer(tiny_mlp()).apply()
+
+    def test_activation_signedness_detected(self):
+        model = tiny_mlp()
+        batch = np.abs(RNG.normal(size=(16, 8)))  # non-negative input
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(batch)
+        configs = list(mq.layers.values())
+        assert configs[0].input_quantizer.dtype.signed is False
+        # second layer input is post-ReLU, also unsigned
+        assert configs[1].input_quantizer.dtype.signed is False
+
+    def test_weights_quantized_per_channel(self):
+        model = tiny_mlp()
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(8, 8)))
+        for cfg in mq.layers.values():
+            assert cfg.weight_quantizer.scales is not None
+            assert cfg.weight_quantizer.scales.shape[0] == cfg.module.weight.data.shape[0]
+
+    def test_remove_restores_float(self):
+        model = tiny_mlp()
+        x = Tensor(RNG.normal(size=(4, 8)))
+        reference = model(x).data
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
+        mq.apply()
+        quantized = model(x).data
+        mq.remove()
+        restored = model(x).data
+        assert np.allclose(reference, restored)
+        assert not np.allclose(reference, quantized)
+
+    def test_report_counts_tensors(self):
+        model = tiny_mlp()
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
+        report = mq.report()
+        assert sum(report.type_counts.values()) == 4  # 2 layers x (w, a)
+        assert report.average_bits == 4.0
+        assert report.low_bit_tensor_fraction == 1.0
+
+    def test_escalation_changes_report(self):
+        model = tiny_mlp()
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
+        name = next(iter(mq.layers))
+        mq.escalate_layer(name, bits=8)
+        report = mq.report()
+        assert report.type_counts.get("int8", 0) == 2
+        assert report.average_bits > 4.0
+
+    def test_layer_mse_positive(self):
+        model = tiny_mlp()
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
+        scores = mq.layer_mse()
+        assert all(v >= 0 for v in scores.values())
+        assert len(scores) == 2
+
+
+class TestQAT:
+    def test_fake_quant_forward_matches_quantizer(self):
+        quantizer = TensorQuantizer(candidate_list("ip-f", 4, True))
+        data = RNG.normal(size=256)
+        quantizer.calibrate(data)
+        op = FakeQuantOp(quantizer)
+        out = op(Tensor(data))
+        assert np.allclose(out.data, quantizer(data))
+
+    def test_ste_passes_gradient_inside_range(self):
+        quantizer = TensorQuantizer(candidate_list("int", 4, True))
+        data = RNG.normal(size=128)
+        quantizer.calibrate(data)
+        op = FakeQuantOp(quantizer)
+        x = Tensor(data.copy(), requires_grad=True)
+        op(x).sum().backward()
+        limit = quantizer.choice.scale * quantizer.dtype.max_value
+        inside = np.abs(data) <= limit
+        assert np.allclose(x.grad[inside], 1.0)
+        assert np.allclose(x.grad[~inside], 0.0)
+
+    def test_ste_unsigned_blocks_negatives(self):
+        quantizer = TensorQuantizer(candidate_list("int", 4, signed=False))
+        data = np.abs(RNG.normal(size=128))
+        quantizer.calibrate(data)
+        op = FakeQuantOp(quantizer)
+        mixed = np.concatenate([data[:4], [-1.0, -2.0]])
+        x = Tensor(mixed, requires_grad=True)
+        op(x).sum().backward()
+        assert np.allclose(x.grad[-2:], 0.0)
+
+    def test_attach_detach(self):
+        model = tiny_mlp()
+        q = TensorQuantizer(candidate_list("int", 4, True))
+        q.calibrate(RNG.normal(size=64))
+        attach_fake_quant(model, {"m0": q}, {})
+        assert isinstance(model._items[0].weight_fake_quant, FakeQuantOp)
+        detach_fake_quant(model)
+        assert model._items[0].weight_fake_quant is None
+
+    def test_finetune_reduces_loss(self):
+        ds = make_image_classification(n_train=96, n_test=32, seed=5)
+        model = build_model("vgg16")
+        losses = []
+        finetune(
+            model, ds.x_train, ds.y_train, steps=15, lr=2e-3,
+            loss_hook=lambda step, loss: losses.append(loss),
+        )
+        assert losses[-1] < losses[0]
+
+
+class TestMixedPrecision:
+    def test_escalates_until_threshold(self):
+        """With a fake accuracy ramp, escalation stops at the threshold."""
+        model = tiny_mlp()
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
+        mq.apply()
+        state = {"accuracy": 0.80}
+
+        def fake_eval():
+            return state["accuracy"]
+
+        def fake_finetune():
+            state["accuracy"] = min(1.0, state["accuracy"] + 0.15)
+
+        search = MixedPrecisionSearch(
+            mq, fake_eval, baseline_accuracy=1.0, threshold=0.01,
+            finetune_fn=fake_finetune,
+        )
+        result = search.run()
+        assert result.accuracy_loss <= 0.01
+        assert len(result.escalated) >= 1
+        assert result.decisions[0].escalated_layer is None
+
+    def test_respects_max_rounds(self):
+        model = tiny_mlp()
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
+        search = MixedPrecisionSearch(
+            mq, lambda: 0.0, baseline_accuracy=1.0, threshold=0.01, max_rounds=1
+        )
+        result = search.run()
+        assert len(result.escalated) == 1
+
+    def test_no_escalation_when_accurate(self):
+        model = tiny_mlp()
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
+        search = MixedPrecisionSearch(
+            mq, lambda: 1.0, baseline_accuracy=1.0, threshold=0.01
+        )
+        result = search.run()
+        assert result.escalated == []
+        assert result.rounds == 1
+
+    def test_escalation_order_follows_mse(self):
+        model = tiny_mlp()
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
+        worst = max(mq.layer_mse(), key=mq.layer_mse().get)
+        search = MixedPrecisionSearch(
+            mq, lambda: 0.0, baseline_accuracy=1.0, threshold=0.01, max_rounds=1
+        )
+        result = search.run()
+        assert result.escalated == [worst]
+
+
+class TestEvaluate:
+    def test_evaluate_accuracy(self):
+        model = tiny_mlp()
+        x = RNG.normal(size=(32, 8))
+        with_labels = np.argmax(model(Tensor(x)).data, axis=1)
+        assert evaluate(model, x, with_labels) == 1.0
+        wrong = (with_labels + 1) % 4
+        assert evaluate(model, x, wrong) == 0.0

@@ -1,0 +1,77 @@
+"""ModelQuantizer coverage across all architecture families.
+
+The framework must handle conv layers (per-channel 4-D weights),
+attention projections, embeddings feeding transformers, and the
+token-input path -- each family exercises a different capture/apply
+code path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_for_workload
+from repro.nn.models import WORKLOADS, build_model
+from repro.quant import ModelQuantizer
+from repro.quant.framework import evaluate, quantizable_layers
+
+RNG = np.random.default_rng(8)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_calibrate_apply_every_family(workload):
+    model = build_model(workload)
+    ds = dataset_for_workload(workload, n_train=32, n_test=16)
+    quantizer = ModelQuantizer(model, "ip-f", 4)
+    quantizer.calibrate(ds.x_train[:16]).apply()
+    # quantized forward still produces valid logits
+    accuracy = evaluate(model, ds.x_test, ds.y_test)
+    assert 0.0 <= accuracy <= 1.0
+    # every quantizable layer got both quantizers
+    assert set(quantizer.layers) == set(quantizable_layers(model))
+    for config in quantizer.layers.values():
+        assert config.weight_quantizer.is_calibrated
+        assert config.input_quantizer.is_calibrated
+    quantizer.remove()
+
+
+def test_conv_weights_per_channel_axis_zero():
+    model = build_model("resnet18")
+    ds = dataset_for_workload("resnet18", n_train=16, n_test=8)
+    quantizer = ModelQuantizer(model, "ip-f", 4).calibrate(ds.x_train)
+    for config in quantizer.layers.values():
+        weight = config.module.weight.data
+        assert config.weight_quantizer.scales.shape == (weight.shape[0],)
+
+
+def test_transformer_attention_projections_quantized():
+    model = build_model("bert-mnli")
+    ds = dataset_for_workload("bert-mnli", n_train=16, n_test=8)
+    quantizer = ModelQuantizer(model, "ip-f", 4).calibrate(ds.x_train)
+    names = set(quantizer.layers)
+    for expected in ("q_proj", "k_proj", "v_proj", "out_proj", "fc1", "fc2"):
+        assert any(expected in name for name in names)
+
+
+def test_signed_activation_paths():
+    """Transformer layer inputs (post-LN) are signed; post-ReLU unsigned."""
+    bert = build_model("bert-mnli")
+    ds = dataset_for_workload("bert-mnli", n_train=16, n_test=8)
+    quantizer = ModelQuantizer(bert, "ip-f", 4).calibrate(ds.x_train)
+    qkv = next(cfg for name, cfg in quantizer.layers.items() if "q_proj" in name)
+    assert qkv.input_quantizer.dtype.signed is True
+
+    vgg = build_model("vgg16")
+    ds_img = dataset_for_workload("vgg16", n_train=16, n_test=8)
+    quantizer_vgg = ModelQuantizer(vgg, "ip-f", 4).calibrate(ds_img.x_train)
+    # the second conv's input is post-ReLU -> unsigned
+    configs = list(quantizer_vgg.layers.values())
+    assert configs[1].input_quantizer.dtype.signed is False
+
+
+def test_six_bit_candidates():
+    """The framework generalises beyond 4 bits (Table V uses 6)."""
+    model = build_model("vgg16")
+    ds = dataset_for_workload("vgg16", n_train=16, n_test=8)
+    quantizer = ModelQuantizer(model, "ip-f", bits=6).calibrate(ds.x_train)
+    for config in quantizer.layers.values():
+        assert config.weight_quantizer.bits == 6
