@@ -1,0 +1,152 @@
+"""Micro-benchmark: codec kernels and calibration vs the seed paths.
+
+Writes ``BENCH_quant.json`` at the repository root with elements/sec
+for the quantize and encode/decode kernels and wall-clock seconds for
+an end-to-end ``ModelQuantizer.calibrate``, each measured against the
+retained pre-codec reference implementations (the seed code paths), so
+the performance trajectory is tracked from this PR onward.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dtypes import get_type
+from repro.nn import Linear, ReLU, Sequential
+from repro.quant.framework import ModelQuantizer, quantizable_layers
+from repro.quant.scale_search import search_scale_reference
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_quant.json"
+
+RNG = np.random.default_rng(0)
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _kernel_entry(n_elements: int, fast_s: float, ref_s: float) -> dict:
+    return {
+        "elements": n_elements,
+        "elements_per_sec": n_elements / fast_s,
+        "reference_elements_per_sec": n_elements / ref_s,
+        "seconds": fast_s,
+        "reference_seconds": ref_s,
+        "speedup": ref_s / fast_s,
+    }
+
+
+def _reference_select(x, candidates):
+    """Seed Algorithm 2: sequential scale search per candidate."""
+    best = None
+    best_dtype = None
+    for dtype in candidates:
+        result = search_scale_reference(x, dtype)
+        if best is None or result.mse < best.mse:
+            best, best_dtype = result, dtype
+    return best_dtype
+
+
+def _reference_calibrate(model, batch, combination="ip-f", bits=4):
+    """Replicates the seed ModelQuantizer.calibrate inner loop:
+    sequential sweeps, no subsampling, Python loop over channels."""
+    mq = ModelQuantizer(model, combination, bits)
+    captured = mq._capture_inputs(batch)
+    registry = mq.registry
+    for name, module in quantizable_layers(model).items():
+        weight = np.asarray(module.weight.data, dtype=np.float64)
+        w_dtype = _reference_select(
+            weight, registry.candidates(combination, bits, signed=True)
+        )
+        for channel in range(weight.shape[0]):
+            search_scale_reference(weight[channel], w_dtype)
+        act = captured[name]
+        act_signed = bool(np.min(act) < 0.0)
+        a_dtype = _reference_select(
+            act, registry.candidates(combination, bits, signed=act_signed)
+        )
+        search_scale_reference(act, a_dtype)
+
+
+def test_perf_quant_kernels(emit):
+    results = {}
+
+    # ------------------------------------------------------------------
+    # flint encode / decode: LUT gather vs scalar closed-form loop
+    # ------------------------------------------------------------------
+    flint = get_type("flint4")
+    n_codes = 1 << 18
+    codes = RNG.integers(0, 1 << flint.bits, size=n_codes)
+    values = flint.decode(codes)
+
+    fast = _best_seconds(lambda: flint.encode(values))
+    ref = _best_seconds(lambda: flint._reference_encode(values), repeats=1)
+    results["flint_encode"] = _kernel_entry(n_codes, fast, ref)
+
+    fast = _best_seconds(lambda: flint.decode(codes))
+    ref = _best_seconds(lambda: flint._reference_decode(codes), repeats=1)
+    results["flint_decode"] = _kernel_entry(n_codes, fast, ref)
+
+    # ------------------------------------------------------------------
+    # quantize: midpoint searchsorted vs two-gather neighbour compare
+    # ------------------------------------------------------------------
+    x = RNG.normal(size=1 << 20) * 4.0
+    fast = _best_seconds(lambda: flint.quantize(x, 0.37))
+    ref = _best_seconds(lambda: flint._quantize_reference(x, 0.37))
+    results["quantize"] = _kernel_entry(x.size, fast, ref)
+
+    # ------------------------------------------------------------------
+    # end-to-end calibration: batched + subsampled vs seed sequential
+    # ------------------------------------------------------------------
+    def make_model():
+        rng_model = np.random.default_rng(1)
+        model = Sequential(Linear(256, 128), ReLU(), Linear(128, 64))
+        for p in model.parameters():
+            p.data = rng_model.normal(size=p.data.shape) * 0.2
+        return model
+
+    batch = RNG.normal(size=(2048, 256))
+    n_calib_elems = int(
+        sum(
+            int(m.weight.data.size) for m in quantizable_layers(make_model()).values()
+        )
+        + batch.size
+        + 2048 * 128  # second layer's activation
+    )
+
+    model = make_model()
+    fast = _best_seconds(
+        lambda: ModelQuantizer(model, "ip-f", 4).calibrate(batch), repeats=3
+    )
+    ref = _best_seconds(lambda: _reference_calibrate(make_model(), batch), repeats=1)
+    results["calibrate"] = _kernel_entry(n_calib_elems, fast, ref)
+
+    results["meta"] = {
+        "description": "codec kernels vs retained seed reference paths",
+        "dtype": flint.name,
+        "units": "elements_per_sec; speedup = reference_seconds / seconds",
+    }
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    lines = ["quant kernel perf (vs seed reference)"]
+    for key in ("flint_encode", "flint_decode", "quantize", "calibrate"):
+        entry = results[key]
+        lines.append(
+            f"{key:>14}: {entry['elements_per_sec']:.3e} elem/s, "
+            f"speedup {entry['speedup']:.1f}x"
+        )
+    emit("BENCH_quant", "\n".join(lines))
+
+    # Acceptance floors for this PR: >= 10x on flint encode/decode LUTs,
+    # >= 3x on end-to-end calibration.
+    assert results["flint_encode"]["speedup"] >= 10.0
+    assert results["flint_decode"]["speedup"] >= 10.0
+    assert results["calibrate"]["speedup"] >= 3.0

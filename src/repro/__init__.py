@@ -26,6 +26,7 @@ Subpackages
 from repro.dtypes import (
     FlintType,
     FloatType,
+    GridCodec,
     IntType,
     NumericType,
     PoTType,
@@ -39,6 +40,7 @@ from repro.quant import (
     TensorQuantizer,
     quantize_dequantize,
     search_scale,
+    search_scale_per_channel,
     select_type,
 )
 
@@ -54,6 +56,8 @@ __all__ = [
     "candidate_list",
     "select_type",
     "search_scale",
+    "search_scale_per_channel",
+    "GridCodec",
     "quantize_dequantize",
     "TensorQuantizer",
     "Granularity",

@@ -14,9 +14,33 @@ Every type exposes the same small interface (:class:`NumericType`):
 a canonical *value grid* (the set of representable real values at scale
 one), bit-level ``encode``/``decode``, and vectorised round-to-nearest
 quantization used by the simulation framework in :mod:`repro.quant`.
+
+Architecture -- the GridCodec layer
+-----------------------------------
+
+The package is organised in three layers:
+
+1. **Closed-form bit layouts** (``_reference_encode`` /
+   ``_reference_decode`` on each concrete type): scalar routines that
+   define each format's bit-level semantics.  They are the source of
+   truth for *what a code word means* and are exercised directly by the
+   property tests.
+2. **:class:`~repro.dtypes.codec.GridCodec`** (``codec.py``): built
+   once per type from the reference routines, it precomputes the sorted
+   value grid, the midpoint rounding thresholds, and bidirectional
+   code<->value lookup tables.  All hot kernels -- ``quantize``,
+   ``encode``, ``decode``, ``quantize_to_codes`` -- collapse to a
+   single ``np.searchsorted`` plus gathers over these tables, for any
+   input shape and scalar or per-channel scales.
+3. **Consumers**: the quantization framework (:mod:`repro.quant`)
+   drives its batched scale sweeps through the codec's midpoint tables,
+   and the hardware decoder models (:mod:`repro.hardware.decoder`)
+   validate their RTL-style circuits against the same ``decode_lut`` --
+   software and hardware simulation share one truth table.
 """
 
 from repro.dtypes.base import NumericType, code_bits
+from repro.dtypes.codec import GridCodec
 from repro.dtypes.int_type import IntType
 from repro.dtypes.float_type import FloatType
 from repro.dtypes.pot_type import PoTType
@@ -30,6 +54,7 @@ from repro.dtypes.registry import (
 
 __all__ = [
     "NumericType",
+    "GridCodec",
     "IntType",
     "FloatType",
     "PoTType",

@@ -18,9 +18,11 @@ uses to validate its decoder circuits against the software definition.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
+
+from repro.dtypes.codec import GridCodec
 
 
 def code_bits(n_codes: int) -> int:
@@ -53,6 +55,7 @@ class NumericType(abc.ABC):
         self.bits = int(bits)
         self.signed = bool(signed)
         self._grid_cache: Optional[np.ndarray] = None
+        self._codec_cache: Optional[GridCodec] = None
 
     # ------------------------------------------------------------------
     # Subclass responsibilities
@@ -62,12 +65,18 @@ class NumericType(abc.ABC):
         """Sorted non-negative representable magnitudes (unsigned grid)."""
 
     @abc.abstractmethod
-    def encode(self, values: np.ndarray) -> np.ndarray:
-        """Map exact grid values to integer code words."""
+    def _reference_encode(self, values: np.ndarray) -> np.ndarray:
+        """Scalar closed-form encoder: exact grid values -> code words.
+
+        Kept as the bit-layout source of truth; the public
+        :meth:`encode` is a vectorized LUT lookup built from this by
+        :class:`repro.dtypes.codec.GridCodec` and cross-checked against
+        it by the property tests.
+        """
 
     @abc.abstractmethod
-    def decode(self, codes: np.ndarray) -> np.ndarray:
-        """Map integer code words back to real grid values."""
+    def _reference_decode(self, codes: np.ndarray) -> np.ndarray:
+        """Scalar closed-form decoder: code words -> real grid values."""
 
     # ------------------------------------------------------------------
     # Shared behaviour
@@ -115,19 +124,49 @@ class NumericType(abc.ABC):
         """Number of distinct representable values."""
         return int(self.grid.size)
 
-    def quantize(self, x: np.ndarray, scale: float = 1.0) -> np.ndarray:
+    @property
+    def codec(self) -> GridCodec:
+        """Precomputed LUT codec backing all vectorized kernels."""
+        if self._codec_cache is None:
+            self._codec_cache = GridCodec.from_type(self)
+        return self._codec_cache
+
+    @staticmethod
+    def _check_scale(scale: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        if np.ndim(scale) == 0:
+            scale = float(scale)
+            if not scale > 0:  # rejects NaN as well as non-positives
+                raise ValueError(f"scale must be positive, got {scale}")
+            return scale
+        scale = np.asarray(scale, dtype=np.float64)
+        if not np.all(scale > 0):
+            raise ValueError("all scales must be positive (and not NaN)")
+        return scale
+
+    def quantize(
+        self, x: np.ndarray, scale: Union[float, np.ndarray] = 1.0
+    ) -> np.ndarray:
         """Round ``x`` to the nearest representable value at ``scale``.
 
         Values beyond the representable range saturate to the grid
-        extremes (the ``Clamp`` in the paper's Equation (2)).
+        extremes (the ``Clamp`` in the paper's Equation (2)), so
+        ``+-inf`` saturates too; NaN propagates to NaN instead of being
+        silently mapped onto a grid endpoint.  ``scale`` may be a
+        positive scalar or an array broadcastable against ``x``
+        (per-channel scales).
         """
+        scale = self._check_scale(scale)
+        x = np.asarray(x, dtype=np.float64)
+        return self.codec.quantize(x, scale)
+
+    def _quantize_reference(self, x: np.ndarray, scale: float = 1.0) -> np.ndarray:
+        """Pre-codec quantize (two-gather neighbour compare), kept as the
+        reference implementation for property tests and perf baselines."""
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
         x = np.asarray(x, dtype=np.float64)
         grid = self.grid
         scaled = x / scale
-        # np.searchsorted gives the insertion point; compare both
-        # neighbours to implement round-to-nearest on a non-uniform grid.
         idx = np.searchsorted(grid, scaled)
         idx = np.clip(idx, 1, grid.size - 1)
         left = grid[idx - 1]
@@ -140,8 +179,17 @@ class NumericType(abc.ABC):
 
     def quantize_to_codes(self, x: np.ndarray, scale: float = 1.0) -> np.ndarray:
         """Quantize and return integer code words instead of real values."""
-        q = self.quantize(x, scale) / scale
-        return self.encode(q)
+        scale = self._check_scale(scale)
+        x = np.asarray(x, dtype=np.float64)
+        return self.codec.quantize_to_codes(x, scale)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map exact grid values to integer code words (vectorized LUT)."""
+        return self.codec.encode(values)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map integer code words back to real grid values (vectorized LUT)."""
+        return self.codec.decode(codes)
 
     def mse(self, x: np.ndarray, scale: float = 1.0) -> float:
         """Mean squared quantization error of ``x`` under this type."""

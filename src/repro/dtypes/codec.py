@@ -1,0 +1,135 @@
+"""Vectorized LUT codec shared by all numeric types.
+
+A :class:`GridCodec` precomputes, once per :class:`NumericType`, the
+four arrays that make every hot quantization kernel a single
+``np.searchsorted`` plus gathers:
+
+* ``grid`` -- the sorted representable real values at scale one;
+* ``midpoints`` -- the ``n-1`` round-to-nearest decision thresholds
+  between consecutive grid values (ties round up, matching the paper's
+  worked example where 11 rounds to 12 on the 4-bit flint grid);
+* ``decode_lut`` -- real value of every one of the ``2^bits`` code
+  words (including codes outside the quantization grid, e.g. the
+  unused most-negative two's-complement int code);
+* ``grid_codes`` -- the canonical code word of every grid value, so
+  quantize-to-codes needs no closed-form encoder at all.
+
+The tables are built from each type's scalar closed-form reference
+routines (``_reference_encode`` / ``_reference_decode``), which stay
+the single source of truth for the bit layout; the codec is the single
+source of truth for everything built on top -- software quantization,
+scale search, and the hardware decoder models all validate against the
+same LUTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+ScaleLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class GridCodec:
+    """Precomputed lookup tables for one numeric type."""
+
+    #: name of the owning type, used in error messages.
+    type_name: str
+    #: sorted representable values at scale one, shape ``(n_values,)``.
+    grid: np.ndarray
+    #: rounding thresholds between neighbours, shape ``(n_values - 1,)``.
+    midpoints: np.ndarray
+    #: code word -> real value, shape ``(2^bits,)``.
+    decode_lut: np.ndarray
+    #: grid index -> canonical code word, shape ``(n_values,)``.
+    grid_codes: np.ndarray
+    #: total number of code words, ``2^bits``.
+    n_codes: int
+
+    @classmethod
+    def from_type(cls, dtype) -> "GridCodec":
+        """Build the tables from a type's scalar reference routines."""
+        n_codes = 1 << dtype.bits
+        decode_lut = np.asarray(
+            dtype._reference_decode(np.arange(n_codes)), dtype=np.float64
+        )
+        grid = np.array(dtype.grid, dtype=np.float64)
+        grid_codes = np.asarray(dtype._reference_encode(grid), dtype=np.int64)
+        midpoints = 0.5 * (grid[:-1] + grid[1:])
+        for arr in (grid, midpoints, decode_lut, grid_codes):
+            arr.setflags(write=False)
+        return cls(
+            type_name=dtype.name,
+            grid=grid,
+            midpoints=midpoints,
+            decode_lut=decode_lut,
+            grid_codes=grid_codes,
+            n_codes=n_codes,
+        )
+
+    # ------------------------------------------------------------------
+    # Quantization kernels
+    # ------------------------------------------------------------------
+    def nearest_indices(self, scaled: np.ndarray) -> np.ndarray:
+        """Grid index of the nearest grid value for each element.
+
+        ``side='right'`` on the midpoint array makes exact midpoints
+        round up, reproducing the reference tie rule.  NaN inputs land
+        on the last index and must be masked by the caller.
+        """
+        return np.searchsorted(self.midpoints, scaled, side="right")
+
+    def quantize(self, x: np.ndarray, scale: ScaleLike = 1.0) -> np.ndarray:
+        """Round ``x`` to the nearest representable value at ``scale``.
+
+        ``scale`` may be a positive scalar or an array broadcastable
+        against ``x`` (per-channel scales).  ``+-inf`` saturates to the
+        grid extremes; NaN propagates to NaN in the output.
+        """
+        scaled = x / scale
+        out = self.grid[self.nearest_indices(scaled)] * scale
+        nan_mask = np.isnan(scaled)
+        if np.any(nan_mask):
+            out = np.where(nan_mask, np.nan, out)
+        return out
+
+    def quantize_to_codes(self, x: np.ndarray, scale: ScaleLike = 1.0) -> np.ndarray:
+        """Quantize and return canonical code words directly."""
+        scaled = x / scale
+        if np.any(np.isnan(scaled)):
+            raise ValueError(f"cannot encode NaN values with {self.type_name}")
+        return self.grid_codes[self.nearest_indices(scaled)]
+
+    # ------------------------------------------------------------------
+    # Bit-level LUT codec
+    # ------------------------------------------------------------------
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map exact grid values to their canonical code words.
+
+        Values must lie on the grid (up to ~1 ulp of relative error,
+        which absorbs round-trips through ``quantize``'s scale
+        multiply/divide); anything else raises ``ValueError``.
+        """
+        v = np.asarray(values, dtype=np.float64)
+        grid = self.grid
+        pos = np.searchsorted(grid, v)
+        lo = np.clip(pos - 1, 0, grid.size - 1)
+        hi = np.clip(pos, 0, grid.size - 1)
+        pick_hi = np.abs(grid[hi] - v) <= np.abs(v - grid[lo])
+        idx = np.where(pick_hi, hi, lo)
+        matched = grid[idx]
+        ok = (matched == v) | np.isclose(matched, v, rtol=1e-9, atol=0.0)
+        if not np.all(ok):
+            bad = float(np.asarray(v)[~np.asarray(ok)].ravel()[0])
+            raise ValueError(f"{bad!r} is not representable in {self.type_name}")
+        return self.grid_codes[idx]
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map integer code words back to real grid values."""
+        c = np.asarray(codes, dtype=np.int64)
+        if np.any(c < 0) or np.any(c >= self.n_codes):
+            raise ValueError(f"code out of range for {self.type_name}")
+        return self.decode_lut[c]

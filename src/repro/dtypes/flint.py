@@ -137,7 +137,7 @@ class FlintType(NumericType):
         vals = [self._decode_magnitude_code(c) for c in range(1 << b)]
         return np.unique(np.asarray(vals, dtype=np.float64))
 
-    def encode(self, values: np.ndarray) -> np.ndarray:
+    def _reference_encode(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
         if not self.signed:
             if np.any(values < 0):
@@ -158,7 +158,7 @@ class FlintType(NumericType):
         ).reshape(values.shape)
         return (signs << self._mag_bits) | mag_codes
 
-    def decode(self, codes: np.ndarray) -> np.ndarray:
+    def _reference_decode(self, codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes, dtype=np.int64)
         if np.any(codes < 0) or np.any(codes >= (1 << self.bits)):
             raise ValueError(f"code out of range for {self.name}")

@@ -97,7 +97,7 @@ class FloatType(NumericType):
             flat_c[i] = matches[0]
         return codes
 
-    def encode(self, values: np.ndarray) -> np.ndarray:
+    def _reference_encode(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
         if not self.signed:
             if np.any(values < 0):
@@ -107,7 +107,7 @@ class FloatType(NumericType):
         mag_codes = self._magnitude_to_code(mags)
         return (signs << (self.bits - 1)) | mag_codes
 
-    def decode(self, codes: np.ndarray) -> np.ndarray:
+    def _reference_decode(self, codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes, dtype=np.int64)
         if np.any(codes < 0) or np.any(codes >= (1 << self.bits)):
             raise ValueError(f"code out of range for {self.name}")

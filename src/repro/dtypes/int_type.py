@@ -32,7 +32,7 @@ class IntType(NumericType):
             top = 2 ** self.bits - 1
         return np.arange(0, top + 1, dtype=np.float64)
 
-    def encode(self, values: np.ndarray) -> np.ndarray:
+    def _reference_encode(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values)
         ints = np.rint(values).astype(np.int64)
         if self.signed:
@@ -45,7 +45,7 @@ class IntType(NumericType):
             raise ValueError(f"value out of range for {self.name}")
         return ints
 
-    def decode(self, codes: np.ndarray) -> np.ndarray:
+    def _reference_decode(self, codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes, dtype=np.int64)
         if np.any(codes < 0) or np.any(codes >= (1 << self.bits)):
             raise ValueError(f"code out of range for {self.name}")

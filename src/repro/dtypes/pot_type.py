@@ -41,7 +41,7 @@ class PoTType(NumericType):
         exps = np.arange(n_codes - 1) + self.bias
         return np.concatenate([[0.0], np.power(2.0, exps)])
 
-    def encode(self, values: np.ndarray) -> np.ndarray:
+    def _reference_encode(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
         if not self.signed:
             if np.any(values < 0):
@@ -65,7 +65,7 @@ class PoTType(NumericType):
         codes[nonzero] = code_vals[nonzero]
         return codes
 
-    def decode(self, codes: np.ndarray) -> np.ndarray:
+    def _reference_decode(self, codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes, dtype=np.int64)
         if np.any(codes < 0) or np.any(codes >= (1 << self.bits)):
             raise ValueError(f"code out of range for {self.name}")

@@ -18,7 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.dtypes.base import NumericType
 from repro.dtypes.flint import FlintType
+from repro.dtypes.int_type import IntType
+from repro.dtypes.pot_type import PoTType
 
 
 def leading_zero_detect(value: int, width: int) -> int:
@@ -201,18 +204,63 @@ def decode_table(bits: int = 4) -> Tuple[dict, ...]:
     return tuple(rows)
 
 
+def codec_truth_table(dtype: NumericType) -> Tuple[dict, ...]:
+    """Ground-truth code -> value table straight from the codec LUT.
+
+    This is the single source of truth the RTL-style decoders in this
+    module are validated against: the same
+    :class:`repro.dtypes.codec.GridCodec` tables that drive the
+    software quantization kernels.
+    """
+    lut = dtype.codec.decode_lut
+    return tuple(
+        {
+            "code": code,
+            "binary": format(code, f"0{dtype.bits}b"),
+            "value": float(lut[code]),
+        }
+        for code in range(dtype.codec.n_codes)
+    )
+
+
+def verify_decoder_against_codec(decoder, dtype: NumericType) -> bool:
+    """Check a unified-representation decoder against the codec LUT.
+
+    Works for any decoder exposing ``decode(code)`` with a ``.value``
+    result (:class:`IntFlintDecoder`, :class:`IntDecoder`,
+    :class:`PoTDecoder`, :class:`FloatFlintDecoder`).
+    """
+    lut = dtype.codec.decode_lut
+    return all(
+        float(decoder.decode(code).value) == float(lut[code])
+        for code in range(dtype.codec.n_codes)
+    )
+
+
 def verify_against_dtype(bits: int, signed: bool) -> bool:
-    """Check both decoders against the software FlintType definition."""
+    """Check both flint decoders against the shared codec truth table."""
     dtype = FlintType(bits, signed=signed)
-    int_dec = IntFlintDecoder(bits, signed=signed)
-    float_dec = FloatFlintDecoder(bits, signed=signed)
-    for code in range(1 << bits):
-        reference = float(dtype.decode([code])[0])
-        if signed and code == (1 << (bits - 1)):
-            # negative-zero code: both decoders return -0 == 0
-            reference = 0.0
-        if float(int_dec.decode_value(code)) != reference:
-            return False
-        if float_dec.decode_value(code) != reference:
-            return False
-    return True
+    return verify_decoder_against_codec(
+        IntFlintDecoder(bits, signed=signed), dtype
+    ) and verify_decoder_against_codec(FloatFlintDecoder(bits, signed=signed), dtype)
+
+
+def verify_all_decoders(bits: int = 4) -> bool:
+    """Validate every hardware decoder model against the codec LUTs."""
+    checks = [
+        verify_against_dtype(bits, signed=False),
+        verify_against_dtype(bits, signed=True),
+        verify_decoder_against_codec(
+            IntDecoder(bits, signed=False), IntType(bits, signed=False)
+        ),
+        verify_decoder_against_codec(
+            IntDecoder(bits, signed=True), IntType(bits, signed=True)
+        ),
+        verify_decoder_against_codec(
+            PoTDecoder(bits, signed=False), PoTType(bits, signed=False)
+        ),
+        verify_decoder_against_codec(
+            PoTDecoder(bits, signed=True), PoTType(bits, signed=True)
+        ),
+    ]
+    return all(checks)

@@ -20,7 +20,13 @@ Layered as follows:
 """
 
 from repro.quant.functional import quantize_dequantize, channel_scales
-from repro.quant.scale_search import search_scale, mse_for_scale
+from repro.quant.scale_search import (
+    ScaleSearchResult,
+    mse_for_scale,
+    search_scale,
+    search_scale_per_channel,
+    subsample_tensor,
+)
 from repro.quant.selection import TypeChoice, select_type
 from repro.quant.quantizer import Granularity, TensorQuantizer
 from repro.quant.framework import (
@@ -35,6 +41,9 @@ __all__ = [
     "quantize_dequantize",
     "channel_scales",
     "search_scale",
+    "search_scale_per_channel",
+    "subsample_tensor",
+    "ScaleSearchResult",
     "mse_for_scale",
     "TypeChoice",
     "select_type",

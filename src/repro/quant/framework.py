@@ -28,7 +28,11 @@ from repro.nn.autograd import Tensor, no_grad
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
 from repro.quant.qat import FakeQuantOp, detach_fake_quant
-from repro.quant.quantizer import Granularity, TensorQuantizer
+from repro.quant.quantizer import (
+    DEFAULT_MAX_CALIBRATION_SAMPLES,
+    Granularity,
+    TensorQuantizer,
+)
 
 
 def quantizable_layers(model: Module) -> Dict[str, Module]:
@@ -48,9 +52,10 @@ class LayerQuantConfig:
     module: Module
     weight_quantizer: TensorQuantizer
     input_quantizer: TensorQuantizer
-    #: calibration copies used when re-searching scales on escalation
-    weight_sample: np.ndarray = None
-    input_sample: np.ndarray = None
+    #: calibration copies used when re-searching scales on escalation;
+    #: ``None`` until :meth:`ModelQuantizer.calibrate` stores them.
+    weight_sample: Optional[np.ndarray] = None
+    input_sample: Optional[np.ndarray] = None
 
     @property
     def weight_size(self) -> int:
@@ -93,6 +98,10 @@ class ModelQuantizer:
         Bit width of the low-precision types (the paper's default 4).
     registry:
         Type registry supplying candidate instances.
+    max_calibration_samples:
+        Cap on the elements each calibration MSE sweep sees (``None``
+        sweeps full tensors); forwarded to every
+        :class:`TensorQuantizer`.
     """
 
     def __init__(
@@ -101,11 +110,13 @@ class ModelQuantizer:
         combination: str = ANT_COMBINATION,
         bits: int = 4,
         registry=default_registry,
+        max_calibration_samples: Optional[int] = DEFAULT_MAX_CALIBRATION_SAMPLES,
     ) -> None:
         self.model = model
         self.combination = combination
         self.bits = bits
         self.registry = registry
+        self.max_calibration_samples = max_calibration_samples
         self.layers: Dict[str, LayerQuantConfig] = {}
 
     # ------------------------------------------------------------------
@@ -150,6 +161,7 @@ class ModelQuantizer:
                 weight_candidates,
                 granularity=Granularity.PER_CHANNEL,
                 channel_axis=0,
+                max_calibration_samples=self.max_calibration_samples,
             )
             weight_q.calibrate(weight)
 
@@ -162,7 +174,11 @@ class ModelQuantizer:
             input_candidates = self.registry.candidates(
                 self.combination, self.bits, signed=act_signed
             )
-            input_q = TensorQuantizer(input_candidates, Granularity.PER_TENSOR)
+            input_q = TensorQuantizer(
+                input_candidates,
+                Granularity.PER_TENSOR,
+                max_calibration_samples=self.max_calibration_samples,
+            )
             input_q.calibrate(act)
 
             self.layers[name] = LayerQuantConfig(
@@ -202,6 +218,11 @@ class ModelQuantizer:
         fusing four PEs (Sec. V-D).
         """
         config = self.layers[name]
+        if config.weight_sample is None or config.input_sample is None:
+            raise RuntimeError(
+                f"layer {name!r} has no calibration samples; run calibrate() "
+                "before escalating precision"
+            )
         int_w = self.registry.get(f"int{bits}")
         config.weight_quantizer.set_dtype(int_w, config.weight_sample)
         act_signed = config.input_quantizer.dtype.signed

@@ -53,11 +53,9 @@ def quantize_dequantize(
         )
     shape = [1] * x.ndim
     shape[axis] = -1
-    scale_b = scale.reshape(shape)
-    # Normalise each channel to scale one, quantize, then scale back.
-    normalised = x / scale_b
-    q = dtype.quantize(normalised, 1.0)
-    return q * scale_b
+    # The codec kernel broadcasts the scale directly: one searchsorted
+    # plus one gather, no separate normalise/rescale passes.
+    return dtype.quantize(x, scale.reshape(shape))
 
 
 def channel_scales(
@@ -85,18 +83,28 @@ def channel_scales(
     return clip_ratio * peaks / dtype.max_value
 
 
+def tensor_peak(x: ArrayLike, signed: bool) -> float:
+    """Clipping-peak magnitude of a tensor under the library's convention.
+
+    Signed types clip at the absolute peak, unsigned types at the
+    positive peak; the result is floored at the smallest normal double
+    so downstream scales stay strictly positive.  Single definition
+    shared by :func:`tensor_scale` and the type-selection fast path.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if signed:
+        peak = float(np.max(np.abs(x), initial=0.0))
+    else:
+        peak = float(np.max(np.clip(x, 0.0, None), initial=0.0))
+    return max(peak, np.finfo(np.float64).tiny)
+
+
 def tensor_scale(
     x: ArrayLike,
     dtype: NumericType,
     clip_ratio: float = 1.0,
 ) -> float:
     """Max-based per-tensor scale (see :func:`channel_scales`)."""
-    x = np.asarray(x, dtype=np.float64)
     if not 0 < clip_ratio <= 1.0 + 1e-12:
         raise ValueError(f"clip_ratio must be in (0, 1], got {clip_ratio}")
-    if dtype.signed:
-        peak = float(np.max(np.abs(x), initial=0.0))
-    else:
-        peak = float(np.max(np.clip(x, 0.0, None), initial=0.0))
-    peak = max(peak, np.finfo(np.float64).tiny)
-    return clip_ratio * peak / dtype.max_value
+    return clip_ratio * tensor_peak(x, dtype.signed) / dtype.max_value

@@ -20,22 +20,30 @@ from repro.quant.quantizer import Granularity, TensorQuantizer
 
 
 class FakeQuantOp:
-    """Graph-preserving fake-quantize closure around a TensorQuantizer."""
+    """Graph-preserving fake-quantize closure around a TensorQuantizer.
+
+    The forward pass runs the quantizer's codec-backed kernel (one
+    searchsorted plus a gather per tensor); the STE mask below is the
+    only extra per-step work.
+    """
 
     def __init__(self, quantizer: TensorQuantizer) -> None:
         self.quantizer = quantizer
 
+    def _clip_limit(self, ndim: int):
+        """Clipping threshold(s), broadcastable against the input tensor."""
+        quantizer = self.quantizer
+        top = quantizer.dtype.max_value
+        if quantizer.granularity is Granularity.PER_CHANNEL:
+            shape = [1] * ndim
+            shape[quantizer.channel_axis] = -1
+            return quantizer.scales.reshape(shape) * top
+        return quantizer.choice.scale * top
+
     def _pass_mask(self, data: np.ndarray) -> np.ndarray:
         """1.0 where STE passes the gradient, 0.0 where the value clipped."""
-        quantizer = self.quantizer
-        dtype = quantizer.dtype
-        if quantizer.granularity is Granularity.PER_CHANNEL:
-            shape = [1] * data.ndim
-            shape[quantizer.channel_axis] = -1
-            limit = quantizer.scales.reshape(shape) * dtype.max_value
-        else:
-            limit = quantizer.choice.scale * dtype.max_value
-        if dtype.signed:
+        limit = self._clip_limit(data.ndim)
+        if self.quantizer.dtype.signed:
             return (np.abs(data) <= limit).astype(np.float64)
         return ((data >= 0.0) & (data <= limit)).astype(np.float64)
 

@@ -16,8 +16,13 @@ import numpy as np
 
 from repro.dtypes.base import NumericType
 from repro.quant.functional import quantize_dequantize
-from repro.quant.scale_search import search_scale
+from repro.quant.scale_search import search_scale, search_scale_per_channel
 from repro.quant.selection import TypeChoice, select_type
+
+#: default cap on calibration elements per MSE sweep; keeps Algorithm 2
+#: cheap on large activation tensors while the scale stays anchored to
+#: the full tensor's peak (see :func:`repro.quant.scale_search.subsample_tensor`).
+DEFAULT_MAX_CALIBRATION_SAMPLES = 1 << 16
 
 
 class Granularity(enum.Enum):
@@ -41,6 +46,9 @@ class TensorQuantizer:
         Per-tensor or per-channel scaling.
     channel_axis:
         Output-channel axis for per-channel mode.
+    max_calibration_samples:
+        Cap on the elements used per MSE sweep during calibration
+        (``None`` sweeps the full tensor).
     """
 
     def __init__(
@@ -48,12 +56,14 @@ class TensorQuantizer:
         candidates: Iterable[NumericType],
         granularity: Granularity = Granularity.PER_TENSOR,
         channel_axis: int = 0,
+        max_calibration_samples: Optional[int] = DEFAULT_MAX_CALIBRATION_SAMPLES,
     ) -> None:
         self.candidates = list(candidates)
         if not self.candidates:
             raise ValueError("candidates must not be empty")
         self.granularity = granularity
         self.channel_axis = int(channel_axis)
+        self.max_calibration_samples = max_calibration_samples
         self.choice: Optional[TypeChoice] = None
         self.scales: Optional[np.ndarray] = None  # per-channel scales
 
@@ -85,15 +95,16 @@ class TensorQuantizer:
         and an MSE-optimal scale is then searched per channel.
         """
         x = np.asarray(x, dtype=np.float64)
-        self.choice = select_type(x, self.candidates)
+        self.choice = select_type(
+            x, self.candidates, max_samples=self.max_calibration_samples
+        )
         if self.granularity is Granularity.PER_CHANNEL:
-            dtype = self.choice.dtype
-            axis = self.channel_axis
-            moved = np.moveaxis(x, axis, 0)
-            scales = np.empty(moved.shape[0], dtype=np.float64)
-            for channel in range(moved.shape[0]):
-                scales[channel] = search_scale(moved[channel], dtype).scale
-            self.scales = scales
+            self.scales, _ = search_scale_per_channel(
+                x,
+                self.choice.dtype,
+                axis=self.channel_axis,
+                max_samples=self.max_calibration_samples,
+            )
         else:
             self.scales = None
         return self.choice
@@ -104,7 +115,7 @@ class TensorQuantizer:
         Re-searches the scale(s) for the new type on ``x``.
         """
         x = np.asarray(x, dtype=np.float64)
-        result = search_scale(x, dtype)
+        result = search_scale(x, dtype, max_samples=self.max_calibration_samples)
         self.choice = TypeChoice(
             dtype=dtype,
             scale=result.scale,
@@ -112,11 +123,12 @@ class TensorQuantizer:
             per_type_mse={dtype.name: result.mse},
         )
         if self.granularity is Granularity.PER_CHANNEL:
-            moved = np.moveaxis(x, self.channel_axis, 0)
-            scales = np.empty(moved.shape[0], dtype=np.float64)
-            for channel in range(moved.shape[0]):
-                scales[channel] = search_scale(moved[channel], dtype).scale
-            self.scales = scales
+            self.scales, _ = search_scale_per_channel(
+                x,
+                dtype,
+                axis=self.channel_axis,
+                max_samples=self.max_calibration_samples,
+            )
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Fake-quantize ``x`` with the calibrated type and scales."""

@@ -10,12 +10,18 @@ tensors choose ``flint``, long-tailed (Laplace-like) tensors choose
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.dtypes.base import NumericType
-from repro.quant.scale_search import ScaleSearchResult, search_scale
+from repro.quant.functional import tensor_peak
+from repro.quant.scale_search import (
+    ScaleSearchResult,
+    ensure_finite,
+    search_scale_prepared,
+    subsample_tensor,
+)
 
 
 @dataclass(frozen=True)
@@ -46,23 +52,42 @@ def select_type(
     candidates: Iterable[NumericType],
     num_coarse: int = 24,
     num_fine: int = 12,
+    min_ratio: float = 0.01,
+    max_samples: Optional[int] = None,
 ) -> TypeChoice:
     """Algorithm 2: choose the candidate with minimum quantization MSE.
 
     Ties break in candidate-list order, so putting the cheapest hardware
     type first makes it win exact ties (the paper's candidate lists are
     ordered int, PoT, flint).
+
+    The per-tensor work shared by all candidates -- flattening, the
+    finite check, the signed/unsigned peak magnitudes, and the optional
+    deterministic subsample bounded by ``max_samples`` -- is computed
+    once, so every candidate's batched sweep scores the exact same
+    elements.
     """
     x = np.asarray(x, dtype=np.float64)
     candidates = list(candidates)
     if not candidates:
         raise ValueError("candidate list must not be empty")
+    if x.size == 0:
+        raise ValueError("cannot select a type for an empty tensor")
+    ensure_finite(x)
+
+    peak_abs = tensor_peak(x, signed=True)
+    peak_pos = tensor_peak(x, signed=False)
+    flat = subsample_tensor(x, max_samples)
 
     best_dtype = None
     best_result: ScaleSearchResult = None
     per_type: Dict[str, float] = {}
     for dtype in candidates:
-        result = search_scale(x, dtype, num_coarse=num_coarse, num_fine=num_fine)
+        peak = peak_abs if dtype.signed else peak_pos
+        base = peak / dtype.max_value
+        result = search_scale_prepared(
+            flat, dtype, base, num_coarse, num_fine, min_ratio=min_ratio
+        )
         per_type[dtype.name] = result.mse
         if best_result is None or result.mse < best_result.mse:
             best_dtype = dtype

@@ -1,0 +1,179 @@
+"""Property tests: vectorized codec kernels vs scalar reference paths.
+
+Every registered type at bits 3..8, signed and unsigned, must satisfy:
+
+* LUT ``encode``/``decode`` round-trips are bit-exact against the
+  closed-form ``_reference_encode``/``_reference_decode`` routines;
+* the midpoint-searchsorted ``quantize`` matches the pre-codec
+  two-gather reference, including at exact grid points and midpoints
+  (tie-up rule);
+* ``quantize_to_codes`` agrees with the reference
+  quantize-then-encode round trip.
+
+Plus regression tests for the NaN/inf hardening of ``quantize``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtypes import get_type
+from repro.quant.scale_search import (
+    search_scale,
+    search_scale_per_channel,
+    search_scale_reference,
+)
+
+ALL_NAMES = [
+    f"{kind}{bits}{suffix}"
+    for kind in ("int", "pot", "flint", "float")
+    for bits in range(3, 9)
+    for suffix in ("", "u")
+]
+
+
+def dtype_params():
+    return pytest.mark.parametrize("name", ALL_NAMES)
+
+
+@dtype_params()
+def test_encode_matches_reference_on_grid(name):
+    dtype = get_type(name)
+    grid = dtype.grid
+    assert np.array_equal(dtype.encode(grid), dtype._reference_encode(grid))
+
+
+@dtype_params()
+def test_decode_matches_reference_on_all_codes(name):
+    dtype = get_type(name)
+    codes = np.arange(1 << dtype.bits)
+    assert np.array_equal(dtype.decode(codes), dtype._reference_decode(codes))
+
+
+@dtype_params()
+def test_roundtrip_through_lut(name):
+    dtype = get_type(name)
+    grid = dtype.grid
+    assert np.array_equal(dtype.decode(dtype.encode(grid)), grid)
+
+
+@dtype_params()
+def test_quantize_matches_reference_random(name):
+    dtype = get_type(name)
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=4096) * 7.0
+    if not dtype.signed:
+        x = np.abs(x)
+    for scale in (1.0, 0.25, 3.0):
+        assert np.array_equal(
+            dtype.quantize(x, scale), dtype._quantize_reference(x, scale)
+        ), (name, scale)
+
+
+@dtype_params()
+def test_quantize_matches_reference_at_grid_and_midpoints(name):
+    """Exact grid points and exact midpoints (the tie-up rule)."""
+    dtype = get_type(name)
+    codec = dtype.codec
+    for pts in (codec.grid, codec.midpoints):
+        assert np.array_equal(
+            dtype.quantize(pts), dtype._quantize_reference(pts)
+        ), name
+
+
+@dtype_params()
+def test_quantize_to_codes_matches_reference(name):
+    dtype = get_type(name)
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=2048) * 3.0
+    if not dtype.signed:
+        x = np.abs(x)
+    scale = 0.5
+    reference = dtype._reference_encode(dtype._quantize_reference(x, scale) / scale)
+    assert np.array_equal(dtype.quantize_to_codes(x, scale), reference)
+
+
+@given(
+    name=st.sampled_from(ALL_NAMES),
+    data=st.lists(
+        st.floats(min_value=-200, max_value=200, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+    scale=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_quantize_matches_reference_hypothesis(name, data, scale):
+    dtype = get_type(name)
+    x = np.asarray(data)
+    if not dtype.signed:
+        x = np.abs(x)
+    fast = dtype.quantize(x, scale)
+    ref = dtype._quantize_reference(x, scale)
+    assert np.allclose(fast, ref, rtol=1e-12, atol=0.0)
+
+
+@given(seed=st.integers(0, 2**31 - 1), name=st.sampled_from(["flint4", "int4", "pot4"]))
+@settings(max_examples=20, deadline=None)
+def test_batched_scale_search_matches_reference(seed, name):
+    """The broadcasted sweep finds the same clip ratio as the seed loop."""
+    dtype = get_type(name)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=1024)
+    fast = search_scale(x, dtype)
+    ref = search_scale_reference(x, dtype)
+    assert fast.clip_ratio == ref.clip_ratio
+    assert np.isclose(fast.mse, ref.mse, rtol=1e-12)
+    assert np.isclose(fast.scale, ref.scale, rtol=1e-12)
+
+
+def test_per_channel_search_matches_sequential():
+    dtype = get_type("flint4")
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(6, 17, 5))
+    scales, mses = search_scale_per_channel(x, dtype, axis=0)
+    for channel in range(x.shape[0]):
+        single = search_scale(x[channel], dtype)
+        assert np.isclose(scales[channel], single.scale, rtol=1e-12), channel
+        assert np.isclose(mses[channel], single.mse, rtol=1e-12), channel
+
+
+# ----------------------------------------------------------------------
+# NaN / inf hardening regressions
+# ----------------------------------------------------------------------
+class TestNonFiniteInputs:
+    def test_nan_propagates_through_quantize(self):
+        dtype = get_type("flint4")
+        q = dtype.quantize(np.array([np.nan, 1.0, np.nan]))
+        assert np.isnan(q[0]) and np.isnan(q[2])
+        assert q[1] == 1.0
+
+    def test_nan_not_mapped_to_grid_endpoint(self):
+        """Seed bug: searchsorted silently sent NaN to the top grid value."""
+        for name in ("int4", "pot4", "flint4", "float4"):
+            dtype = get_type(name)
+            q = dtype.quantize(np.array([np.nan]))
+            assert np.isnan(q[0]), name
+
+    def test_infinities_saturate(self):
+        dtype = get_type("flint4")
+        q = dtype.quantize(np.array([np.inf, -np.inf]), scale=2.0)
+        assert q[0] == dtype.max_value * 2.0
+        assert q[1] == -dtype.max_value * 2.0
+
+    def test_quantize_to_codes_rejects_nan(self):
+        with pytest.raises(ValueError):
+            get_type("flint4").quantize_to_codes(np.array([np.nan]))
+
+    def test_encode_rejects_nan(self):
+        with pytest.raises(ValueError):
+            get_type("int4").encode(np.array([np.nan]))
+
+    def test_scale_search_rejects_non_finite(self):
+        dtype = get_type("flint4")
+        with pytest.raises(ValueError):
+            search_scale(np.array([1.0, np.nan]), dtype)
+        with pytest.raises(ValueError):
+            search_scale(np.array([1.0, np.inf]), dtype)
+        with pytest.raises(ValueError):
+            search_scale_per_channel(np.array([[1.0], [np.nan]]), dtype)

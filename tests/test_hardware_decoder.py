@@ -10,9 +10,12 @@ from repro.hardware.decoder import (
     IntDecoder,
     IntFlintDecoder,
     PoTDecoder,
+    codec_truth_table,
     decode_table,
     leading_zero_detect,
     verify_against_dtype,
+    verify_all_decoders,
+    verify_decoder_against_codec,
 )
 
 #: Table III of the paper: code -> (exponent, base integer, value)
@@ -134,3 +137,25 @@ class TestUnifiedDecoders:
             for code in range(16):
                 decoded = decoder.decode(code)
                 assert decoded.value == decoded.base << decoded.exponent
+
+
+class TestCodecAsSingleSourceOfTruth:
+    """The RTL-style decoders validate against the GridCodec LUTs."""
+
+    def test_codec_truth_table_matches_dtype_decode(self):
+        dtype = FlintType(4, signed=False)
+        table = codec_truth_table(dtype)
+        assert len(table) == 16
+        for row in table:
+            assert row["value"] == float(dtype.decode(np.array([row["code"]]))[0])
+            assert int(row["binary"], 2) == row["code"]
+
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6, 8])
+    def test_every_decoder_matches_codec_lut(self, bits):
+        assert verify_all_decoders(bits)
+
+    def test_generic_verifier_catches_mismatch(self):
+        """A decoder for the wrong type must fail verification."""
+        assert not verify_decoder_against_codec(
+            PoTDecoder(4, signed=False), IntType(4, signed=False)
+        )
