@@ -67,17 +67,22 @@ def ant_assignments(
     quantizer: ModelQuantizer,
     layers: Sequence[LayerShape],
     eight_bit_fraction: float = 0.10,
+    scores: Dict[str, float] = None,
 ) -> List[LayerAssignment]:
     """ANT per-layer bits for a real workload.
 
-    Escalation set: the scaled model's highest-calibration-MSE layers
-    (the paper's escalation rule), up to ``eight_bit_fraction`` of
-    layers -- matching the measured ~90% 4-bit tensor ratio (Sec. V-D).
+    Escalation set: the scaled model's most quantization-sensitive
+    layers (the same end-to-end sensitivity rule the ANT4-8 accuracy
+    search uses), up to ``eight_bit_fraction`` of layers -- matching
+    the measured ~90% 4-bit tensor ratio (Sec. V-D).  Pass ``scores``
+    (a ``layer_sensitivity()`` result) when calling repeatedly on an
+    unchanged quantizer; the sweep costs one forward pass per layer.
     """
-    mses = quantizer.layer_mse()
+    if scores is None:
+        scores = quantizer.layer_sensitivity()
     names = list(quantizer.layers)
     n_escalate = int(round(eight_bit_fraction * len(names)))
-    escalated = set(sorted(mses, key=mses.get, reverse=True)[:n_escalate])
+    escalated = set(sorted(scores, key=scores.get, reverse=True)[:n_escalate])
     flags = [name in escalated for name in names]
     eight_idx = set(map_layer_flags_by_depth(flags, layers))
     return [

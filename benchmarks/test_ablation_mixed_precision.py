@@ -26,8 +26,11 @@ def _run(zoo):
     ).cycles
 
     rows = []
+    scores = quantizer.layer_sensitivity()
     for fraction in FRACTIONS:
-        assignments = ant_assignments(quantizer, layers, eight_bit_fraction=fraction)
+        assignments = ant_assignments(
+            quantizer, layers, eight_bit_fraction=fraction, scores=scores
+        )
         result = accelerator.simulate(layers, assignments)
         avg_bits = sum(a.weight_bits for a in assignments) / len(assignments)
         rows.append([f"{fraction:.0%}", avg_bits, result.cycles / reference])

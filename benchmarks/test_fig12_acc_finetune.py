@@ -18,18 +18,16 @@ FINETUNE_STEPS = 30
 COLUMNS = COMBOS + ["ant4-8"]
 
 
-def _restore(model, state):
-    for name, param in model.named_parameters():
-        param.data[...] = state[name]
-
-
 def _run(zoo):
     table = {}
     for workload in WORKLOADS:
         entry = zoo(workload)
         dataset = entry.dataset
         batch = calibration_batch(dataset, 64)
-        snapshot = {name: p.data.copy() for name, p in entry.model.named_parameters()}
+        # Full state incl. BatchNorm running stats: fine-tuning runs the
+        # model in train mode, and restoring only named_parameters()
+        # would leak shifted BN statistics into every later combo.
+        snapshot = entry.model.state_dict()
         losses = {}
         for combo in COMBOS:
             quantizer = ModelQuantizer(entry.model, combo, bits=4)
@@ -38,7 +36,7 @@ def _run(zoo):
                      steps=FINETUNE_STEPS, lr=5e-4)
             accuracy = evaluate(entry.model, dataset.x_test, dataset.y_test)
             quantizer.remove()
-            _restore(entry.model, snapshot)
+            entry.model.load_state_dict(snapshot)
             losses[combo] = entry.fp32_accuracy - accuracy
 
         # ANT4-8: IP-F plus layer-wise escalation with fine-tuning.
@@ -58,7 +56,7 @@ def _run(zoo):
         result = search.run()
         losses["ant4-8"] = result.accuracy_loss
         quantizer.remove()
-        _restore(entry.model, snapshot)
+        entry.model.load_state_dict(snapshot)
         table[workload] = losses
     return table
 

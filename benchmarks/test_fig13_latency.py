@@ -35,9 +35,10 @@ def simulate_all(zoo):
         quantizer.calibrate(calibration_batch(entry.dataset, 64))
 
         layers = workload_layers(workload)
+        scores = quantizer.layer_sensitivity()
         assignments = {
-            "ant-os": ant_assignments(quantizer, layers),
-            "ant-ws": ant_assignments(quantizer, layers),
+            "ant-os": ant_assignments(quantizer, layers, scores=scores),
+            "ant-ws": ant_assignments(quantizer, layers, scores=scores),
             "bitfusion": bitfusion_assignments(quantizer, layers),
             "olaccel": olaccel_assignments(layers),
             "biscaled": uniform_assignment(layers, 6, 6),

@@ -21,8 +21,8 @@ def _run(zoo):
 
         quantizer = ModelQuantizer(entry.model, "ip-f", bits=4)
         quantizer.calibrate(batch)
-        mses = quantizer.layer_mse()
-        for name in sorted(mses, key=mses.get, reverse=True)[: max(0, round(0.1 * len(mses)))]:
+        scores = quantizer.layer_sensitivity()
+        for name in sorted(scores, key=scores.get, reverse=True)[: max(0, round(0.1 * len(scores)))]:
             quantizer.escalate_layer(name)
         ant = scheme_type_ratios(quantizer.report().type_counts)
         ant_low_bit = quantizer.report().low_bit_tensor_fraction

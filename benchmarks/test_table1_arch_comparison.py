@@ -65,9 +65,9 @@ def _scheme_average_bits(zoo) -> dict:
         entry = zoo(workload)
         quantizer = ModelQuantizer(entry.model, "ip-f", 4)
         quantizer.calibrate(calibration_batch(entry.dataset, 64))
-        mses = quantizer.layer_mse()
-        n_escalate = max(0, round(0.1 * len(mses)))
-        for name in sorted(mses, key=mses.get, reverse=True)[:n_escalate]:
+        scores = quantizer.layer_sensitivity()
+        n_escalate = max(0, round(0.1 * len(scores)))
+        for name in sorted(scores, key=scores.get, reverse=True)[:n_escalate]:
             quantizer.escalate_layer(name)
         ant_bits.append(quantizer.report().average_bits)
         quantizer.remove()

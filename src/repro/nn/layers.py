@@ -24,11 +24,21 @@ FakeQuantHook = Callable[[Tensor], Tensor]
 
 _GLOBAL_RNG = np.random.default_rng(0)
 
+#: dropout masks draw from their own stream so reseeding them (e.g. for
+#: order-independent fine-tuning runs) cannot perturb later model builds
+_DROPOUT_RNG = np.random.default_rng(0)
+
 
 def set_global_seed(seed: int) -> None:
     """Reset the initialisation RNG (used for reproducible model builds)."""
     global _GLOBAL_RNG
     _GLOBAL_RNG = np.random.default_rng(seed)
+
+
+def set_dropout_seed(seed: int) -> None:
+    """Reset the dropout-mask RNG, independent of the initialisation RNG."""
+    global _DROPOUT_RNG
+    _DROPOUT_RNG = np.random.default_rng(seed)
 
 
 def _kaiming(shape, fan_in: int) -> np.ndarray:
@@ -147,7 +157,7 @@ class Dropout(Module):
         self.p = p
 
     def forward(self, x: Tensor) -> Tensor:
-        return dropout(x, self.p, self.training, _GLOBAL_RNG)
+        return dropout(x, self.p, self.training, _DROPOUT_RNG)
 
 
 class LayerNorm(Module):

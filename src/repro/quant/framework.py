@@ -118,6 +118,7 @@ class ModelQuantizer:
         self.registry = registry
         self.max_calibration_samples = max_calibration_samples
         self.layers: Dict[str, LayerQuantConfig] = {}
+        self._calibration_batch = None
 
     # ------------------------------------------------------------------
     def _capture_inputs(self, batch) -> Dict[str, np.ndarray]:
@@ -149,6 +150,7 @@ class ModelQuantizer:
     # ------------------------------------------------------------------
     def calibrate(self, calibration_batch) -> "ModelQuantizer":
         """Select per-tensor types and scales from a calibration batch."""
+        self._calibration_batch = calibration_batch
         captured = self._capture_inputs(calibration_batch)
         modules = quantizable_layers(self.model)
         self.layers = {}
@@ -192,17 +194,22 @@ class ModelQuantizer:
         return self
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _install_hooks(config: LayerQuantConfig) -> None:
+        """(Re)wrap one layer's hooks around its current quantizers."""
+        object.__setattr__(
+            config.module, "weight_fake_quant", FakeQuantOp(config.weight_quantizer)
+        )
+        object.__setattr__(
+            config.module, "input_fake_quant", FakeQuantOp(config.input_quantizer)
+        )
+
     def apply(self) -> "ModelQuantizer":
         """Install fake-quant hooks on all calibrated layers."""
         if not self.layers:
             raise RuntimeError("calibrate() must run before apply()")
         for config in self.layers.values():
-            object.__setattr__(
-                config.module, "weight_fake_quant", FakeQuantOp(config.weight_quantizer)
-            )
-            object.__setattr__(
-                config.module, "input_fake_quant", FakeQuantOp(config.input_quantizer)
-            )
+            self._install_hooks(config)
         return self
 
     def remove(self) -> None:
@@ -228,23 +235,96 @@ class ModelQuantizer:
         act_signed = config.input_quantizer.dtype.signed
         int_a = self.registry.get(f"int{bits}" if act_signed else f"int{bits}u")
         config.input_quantizer.set_dtype(int_a, config.input_sample)
-        if config.module.weight_fake_quant is not None:
-            # refresh hooks so they wrap the updated quantizers
-            object.__setattr__(
-                config.module, "weight_fake_quant", FakeQuantOp(config.weight_quantizer)
-            )
-            object.__setattr__(
-                config.module, "input_fake_quant", FakeQuantOp(config.input_quantizer)
-            )
+        # installed FakeQuantOp hooks read choice/scales live off the same
+        # quantizer objects, so no hook refresh is needed
+
+    def layer_state(self, name: str) -> dict:
+        """Snapshot one layer's quantizer configuration (for later revert)."""
+        config = self.layers[name]
+        return {
+            "weight": config.weight_quantizer.get_state(),
+            "input": config.input_quantizer.get_state(),
+        }
+
+    def restore_layer_state(self, name: str, state: dict) -> None:
+        """Revert a layer to a configuration captured by :meth:`layer_state`."""
+        config = self.layers[name]
+        config.weight_quantizer.set_state(state["weight"])
+        config.input_quantizer.set_state(state["input"])
 
     # ------------------------------------------------------------------
     def layer_mse(self) -> Dict[str, float]:
-        """Total calibration MSE per layer (weight + input), for escalation order."""
+        """Relative calibration MSE per layer (weight + input), for escalation order.
+
+        Each tensor's MSE is normalized by its mean square: activation
+        magnitudes grow by orders of magnitude through a network, so raw
+        MSE would always rank the last layers as the most sensitive even
+        when their *relative* quantization error is tiny (while e.g. a
+        first conv's low-magnitude image input, whose absolute MSE is
+        small but information-critical, would never be escalated).
+        """
         scores = {}
         for name, config in self.layers.items():
-            w_mse = config.weight_quantizer.observed_mse(config.weight_sample)
-            a_mse = config.input_quantizer.observed_mse(config.input_sample)
-            scores[name] = w_mse + a_mse
+            scores[name] = 0.0
+            for quantizer, sample in (
+                (config.weight_quantizer, config.weight_sample),
+                (config.input_quantizer, config.input_sample),
+            ):
+                sample = np.asarray(sample, dtype=np.float64)
+                power = float(np.mean(sample * sample))
+                scores[name] += quantizer.observed_mse(sample) / (power + 1e-12)
+        return scores
+
+    def layer_sensitivity(self) -> Dict[str, float]:
+        """End-to-end quantization sensitivity per layer, for escalation order.
+
+        For each layer, fake-quantizes *only* that layer and measures the
+        relative MSE of the model output on the calibration batch against
+        the all-float output.  Unlike tensor-local MSE (see
+        :meth:`layer_mse`), this captures how much a layer's quantization
+        error actually perturbs the prediction: MSE-optimal scale search
+        leaves every tensor with a similar ~constant relative error, so
+        tensor-local metrics cannot distinguish an information-critical
+        tensor (e.g. a first conv's image input) from a redundant one.
+
+        Falls back to :meth:`layer_mse` when no calibration batch is
+        stored.  Layers already escalated to a wider type naturally score
+        low and stop being re-picked.
+        """
+        if self._calibration_batch is None:
+            return self.layer_mse()
+
+        saved = {
+            name: (config.module.weight_fake_quant, config.module.input_fake_quant)
+            for name, config in self.layers.items()
+        }
+
+        def _forward() -> np.ndarray:
+            self.model.eval()
+            batch = self._calibration_batch
+            with no_grad():
+                if isinstance(batch, np.ndarray) and batch.dtype.kind in "iu":
+                    return np.asarray(self.model(batch).data, dtype=np.float64)
+                return np.asarray(self.model(Tensor(batch)).data, dtype=np.float64)
+
+        def _set_hooks(config, weight_hook, input_hook) -> None:
+            object.__setattr__(config.module, "weight_fake_quant", weight_hook)
+            object.__setattr__(config.module, "input_fake_quant", input_hook)
+
+        try:
+            for config in self.layers.values():
+                _set_hooks(config, None, None)
+            reference = _forward()
+            power = float(np.mean(reference * reference)) + 1e-12
+            scores = {}
+            for name, config in self.layers.items():
+                self._install_hooks(config)
+                err = _forward() - reference
+                scores[name] = float(np.mean(err * err)) / power
+                _set_hooks(config, None, None)
+        finally:
+            for name, config in self.layers.items():
+                _set_hooks(config, *saved[name])
         return scores
 
     def report(self) -> QuantReport:

@@ -2,9 +2,11 @@
 
 The paper's procedure: quantize everything at 4 bits and fine-tune;
 while the quantized accuracy is below the preset threshold of the
-original model, escalate the layer with the greatest quantization MSE
-to 8-bit int and fine-tune again.  The result is the ANT4-8
-configuration whose 4-bit tensor ratios appear in Fig. 13 (top).
+original model, escalate the most quantization-sensitive layer (the
+one whose quantization perturbs the model output the most on the
+calibration batch) to 8-bit int and fine-tune again.  The result is
+the ANT4-8 configuration whose 4-bit tensor ratios appear in Fig. 13
+(top).
 """
 
 from __future__ import annotations
@@ -41,7 +43,7 @@ class MixedPrecisionResult:
 
 
 class MixedPrecisionSearch:
-    """Escalate highest-MSE layers to 8 bits until accuracy recovers.
+    """Escalate the most sensitive layers to 8 bits until accuracy recovers.
 
     Parameters
     ----------
@@ -76,8 +78,17 @@ class MixedPrecisionSearch:
         self.max_rounds = max_rounds if max_rounds is not None else len(quantizer.layers)
 
     def run(self) -> MixedPrecisionResult:
+        """Escalate until the threshold is met, keeping the best-seen state.
+
+        Escalating a layer (plus fine-tuning) is not guaranteed to help,
+        so the search tracks the best configuration observed across
+        rounds.  If the final round ends worse than an earlier one, the
+        model parameters and the quantizers of the extra escalations are
+        reverted so the returned result matches the model's state.
+        """
         decisions: List[PrecisionDecision] = []
         escalated: List[str] = []
+        model = self.quantizer.model
 
         if self.finetune_fn is not None:
             self.finetune_fn()
@@ -85,17 +96,24 @@ class MixedPrecisionSearch:
         loss = self.baseline_accuracy - accuracy
         decisions.append(PrecisionDecision(None, accuracy, loss, 0))
 
-        # Escalation order: layers sorted by descending calibration MSE,
+        best_loss, best_accuracy = loss, accuracy
+        best_rounds = 0
+        best_model_state = model.state_dict()
+        pre_escalation_states = {}
+
+        # Escalation order: most quantization-sensitive layer first
+        # (largest end-to-end output error on the calibration batch),
         # recomputed each round as the paper prescribes.
         while loss > self.threshold and len(escalated) < self.max_rounds:
             candidates = {
-                name: mse
-                for name, mse in self.quantizer.layer_mse().items()
+                name: score
+                for name, score in self.quantizer.layer_sensitivity().items()
                 if name not in escalated
             }
             if not candidates:
                 break
             worst = max(candidates, key=candidates.get)
+            pre_escalation_states[worst] = self.quantizer.layer_state(worst)
             self.quantizer.escalate_layer(worst, bits=8)
             escalated.append(worst)
             if self.finetune_fn is not None:
@@ -105,6 +123,17 @@ class MixedPrecisionSearch:
             decisions.append(
                 PrecisionDecision(worst, accuracy, loss, len(escalated))
             )
+            if loss < best_loss:
+                best_loss, best_accuracy = loss, accuracy
+                best_rounds = len(escalated)
+                best_model_state = model.state_dict()
+
+        if loss > best_loss:
+            model.load_state_dict(best_model_state)
+            for name in escalated[best_rounds:]:
+                self.quantizer.restore_layer_state(name, pre_escalation_states[name])
+            escalated = escalated[:best_rounds]
+            accuracy, loss = best_accuracy, best_loss
 
         return MixedPrecisionResult(
             accuracy=accuracy,

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.nn.autograd import Tensor, cross_entropy
+from repro.nn.layers import set_dropout_seed
 from repro.nn.module import Module
 from repro.nn.optim import Adam
 from repro.quant.quantizer import Granularity, TensorQuantizer
@@ -83,6 +84,27 @@ def detach_fake_quant(model: Module) -> None:
             object.__setattr__(module, "input_fake_quant", None)
 
 
+#: probe the keep-best checkpoint metric every this many steps
+KEEP_BEST_PROBE_EVERY = 10
+#: cap on the samples the keep-best probe evaluates
+KEEP_BEST_PROBE_SAMPLES = 512
+
+
+def _probe_loss(model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 128) -> float:
+    """Mean cross-entropy over a fixed data slice, in eval mode."""
+    from repro.nn.autograd import no_grad
+
+    model.eval()
+    total = 0.0
+    with no_grad():
+        for start in range(0, x.shape[0], batch_size):
+            batch_x, batch_y = x[start: start + batch_size], y[start: start + batch_size]
+            logits = model(batch_x) if batch_x.dtype.kind in "iu" else model(Tensor(batch_x))
+            total += cross_entropy(logits, batch_y).item() * batch_x.shape[0]
+    model.train()
+    return total / x.shape[0]
+
+
 def finetune(
     model: Module,
     x_train: np.ndarray,
@@ -92,28 +114,55 @@ def finetune(
     lr: float = 5e-4,
     seed: int = 0,
     loss_hook: Optional[Callable[[int, float], None]] = None,
+    keep_best: bool = True,
 ) -> float:
-    """Fine-tune a (fake-quantized) model; returns the final batch loss.
+    """Fine-tune a (fake-quantized) model.
+
+    Returns the training loss describing the parameters the model is
+    left with: the best probe loss when ``keep_best`` is on (the
+    restored checkpoint), the final batch loss otherwise.
 
     Uses the same recipe for every format under comparison, matching the
     paper's fair-comparison protocol (identical hyper-parameters for all
-    types, Sec. VII-A).
+    types, Sec. VII-A).  The dropout-mask RNG is reseeded too, so every
+    fine-tuning run sees identical stochasticity regardless of what ran
+    before it — otherwise format comparisons would depend on combo
+    ordering.
+
+    With ``keep_best`` (the default) the training-set loss is probed on a
+    fixed slice every few steps and the best-seen parameters are restored
+    at the end, so fine-tuning never returns a state worse than its
+    starting point: QAT on an already-converged model can diverge instead
+    of recovering, and a comparison harness must not report that
+    divergence as the format's accuracy.
     """
+    set_dropout_seed(seed)
     rng = np.random.default_rng(seed)
     optimizer = Adam(model.parameters(), lr=lr)
     model.train()
     n = x_train.shape[0]
+    probe_x = x_train[:KEEP_BEST_PROBE_SAMPLES]
+    probe_y = y_train[:KEEP_BEST_PROBE_SAMPLES]
+    best_loss = _probe_loss(model, probe_x, probe_y) if keep_best else float("inf")
+    best_state = model.state_dict() if keep_best else None
     loss_value = float("nan")
     for step in range(steps):
         idx = rng.choice(n, size=min(batch_size, n), replace=False)
         batch_x, batch_y = x_train[idx], y_train[idx]
         optimizer.zero_grad()
-        logits = model(Tensor(batch_x)) if batch_x.dtype != np.int64 else model(batch_x)
+        logits = model(batch_x) if batch_x.dtype.kind in "iu" else model(Tensor(batch_x))
         loss = cross_entropy(logits, batch_y)
         loss.backward()
         optimizer.step()
         loss_value = loss.item()
         if loss_hook is not None:
             loss_hook(step, loss_value)
+        if keep_best and ((step + 1) % KEEP_BEST_PROBE_EVERY == 0 or step == steps - 1):
+            probe = _probe_loss(model, probe_x, probe_y)
+            if probe < best_loss:
+                best_loss = probe
+                best_state = model.state_dict()
+    if keep_best:
+        model.load_state_dict(best_state)
     model.eval()
-    return loss_value
+    return best_loss if keep_best else loss_value

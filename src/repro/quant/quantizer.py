@@ -130,6 +130,20 @@ class TensorQuantizer:
                 max_samples=self.max_calibration_samples,
             )
 
+    def get_state(self) -> tuple:
+        """Snapshot of the calibrated configuration (choice + scales).
+
+        ``set_dtype``/``calibrate`` replace rather than mutate both
+        fields, so holding references is sufficient for a later
+        :meth:`set_state` revert (used by mixed-precision search to
+        de-escalate back to the best-seen configuration).
+        """
+        return (self.choice, self.scales)
+
+    def set_state(self, state: tuple) -> None:
+        """Restore a configuration captured by :meth:`get_state`."""
+        self.choice, self.scales = state
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Fake-quantize ``x`` with the calibrated type and scales."""
         self._require_calibrated()

@@ -58,18 +58,18 @@ class TestQuantizePipeline:
         mq = ModelQuantizer(model, "ip-f", 4).calibrate(ds.x_train[:64])
         mq.apply()
         before = evaluate(model, ds.x_test, ds.y_test)
-        state = {name: p.data.copy() for name, p in model.named_parameters()}
+        # full state: fine-tuning also shifts BatchNorm running stats
+        state = model.state_dict()
         finetune(model, ds.x_train, ds.y_train, steps=40, lr=5e-4)
         after = evaluate(model, ds.x_test, ds.y_test)
         mq.remove()
-        # restore weights so other tests see the original model
-        for name, param in model.named_parameters():
-            param.data[...] = state[name]
+        # restore so other tests see the original model
+        model.load_state_dict(state)
         assert after >= before - 0.02
 
     def test_mixed_precision_closes_gap(self, trained_vgg):
         model, ds, fp32 = trained_vgg
-        state = {name: p.data.copy() for name, p in model.named_parameters()}
+        state = model.state_dict()
         mq = ModelQuantizer(model, "ip-f", 4).calibrate(ds.x_train[:64])
         mq.apply()
         search = MixedPrecisionSearch(
@@ -82,10 +82,10 @@ class TestQuantizePipeline:
         )
         result = search.run()
         first_round = result.decisions[0].accuracy
-        assert result.accuracy >= first_round - 0.02
+        # keep-best guarantees the search never ends below its own baseline
+        assert result.accuracy >= first_round
         mq.remove()
-        for name, param in model.named_parameters():
-            param.data[...] = state[name]
+        model.load_state_dict(state)
 
     def test_baseline_driver_on_trained_model(self, trained_vgg):
         model, ds, fp32 = trained_vgg

@@ -184,10 +184,42 @@ class TestMixedPrecision:
         assert result.escalated == []
         assert result.rounds == 1
 
-    def test_escalation_order_follows_mse(self):
+    def test_keeps_best_seen_configuration(self):
+        """A degrading escalation round must not worsen the final result."""
         model = tiny_mlp()
         mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
-        worst = max(mq.layer_mse(), key=mq.layer_mse().get)
+        mq.apply()
+        # Accuracy ramps up, then collapses: 0.90, 0.95, 0.60, 0.60, ...
+        ramp = iter([0.90, 0.95, 0.60])
+        search = MixedPrecisionSearch(
+            mq, lambda: next(ramp, 0.60), baseline_accuracy=1.0,
+            threshold=0.01, max_rounds=2,
+        )
+        state_at_best = {name: mq.layer_state(name) for name in mq.layers}
+        result = search.run()
+        # Best was after the first escalation (loss 0.05), not the final
+        # collapsed round (loss 0.40).
+        assert result.accuracy == pytest.approx(0.95)
+        assert result.accuracy_loss == pytest.approx(0.05)
+        assert len(result.escalated) == 1
+        assert result.rounds == 3  # trajectory is still fully recorded
+        # The second escalation was reverted: exactly one layer is at int8.
+        at_8bit = [
+            name for name, cfg in mq.layers.items()
+            if cfg.weight_quantizer.dtype.bits == 8
+        ]
+        assert at_8bit == result.escalated
+        reverted = (set(mq.layers) - set(result.escalated)).pop()
+        assert (
+            mq.layers[reverted].weight_quantizer.get_state()
+            == state_at_best[reverted]["weight"]
+        )
+
+    def test_escalation_order_follows_sensitivity(self):
+        model = tiny_mlp()
+        mq = ModelQuantizer(model, "ip-f", 4).calibrate(RNG.normal(size=(16, 8)))
+        scores = mq.layer_sensitivity()
+        worst = max(scores, key=scores.get)
         search = MixedPrecisionSearch(
             mq, lambda: 0.0, baseline_accuracy=1.0, threshold=0.01, max_rounds=1
         )
