@@ -1,0 +1,153 @@
+"""Serving benchmark: frozen inference runtime vs the hook-based path.
+
+Writes ``BENCH_infer.json`` at the repository root.  For every zoo
+workload it serves the same batch of samples three ways:
+
+* ``hook_serving`` -- the repo's pre-freeze serving path: the
+  fake-quant hook model driven exactly like
+  :func:`repro.quant.framework.evaluate` does (``no_grad``, batches of
+  128), re-running quantize-dequantize on the frozen weights and the
+  STE bookkeeping on every forward;
+* ``hook_autograd`` -- the same forward without ``no_grad``, i.e.
+  serving straight through the autograd graph (what any caller that
+  does ``model(Tensor(x))`` gets);
+* the frozen engine from ``ModelQuantizer.freeze()`` in its bit-exact
+  float64 mode and its float32 serving mode (``predict`` batches of
+  512).
+
+Correctness is asserted alongside speed: float64 output must match the
+hook path to <= 1e-9 and the float32 mode must keep argmax parity.
+Speedup floors are set conservatively (shared CI runners vary wildly);
+the JSON is the record of what this machine actually measured.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.quant.framework import ModelQuantizer
+from repro.zoo import calibration_batch
+
+from _support import WORKLOADS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_infer.json"
+
+N_SAMPLES = 1024
+HOOK_BATCH = 128     # evaluate()'s default serving batch
+FROZEN_BATCH = 512
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _hook_serve(entry, x, tokens: bool):
+    out = []
+    for start in range(0, x.shape[0], HOOK_BATCH):
+        batch = x[start: start + HOOK_BATCH]
+        out.append(entry.model(batch if tokens else Tensor(batch)).data)
+    return np.concatenate(out)
+
+
+def test_perf_infer(zoo, emit):
+    results = {}
+    rows = []
+    for workload in WORKLOADS:
+        entry = zoo(workload)
+        dataset = entry.dataset
+        tokens = dataset.input_kind == "tokens"
+        x = np.concatenate([dataset.x_test] * 8)[:N_SAMPLES]
+
+        quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+        quantizer.calibrate(calibration_batch(dataset)).apply()
+        try:
+            frozen64 = quantizer.freeze(model_name=workload)
+            frozen32 = quantizer.freeze(model_name=workload).astype(np.float32)
+
+            with no_grad():
+                reference = _hook_serve(entry, x, tokens)
+            exact = float(np.abs(frozen64.predict(x, FROZEN_BATCH) - reference).max())
+            assert exact <= 1e-9, (workload, exact)
+            parity = float(np.mean(
+                np.argmax(frozen32.predict(x, FROZEN_BATCH), axis=1)
+                == np.argmax(reference, axis=1)
+            ))
+            assert parity >= 0.99, (workload, parity)
+
+            def hook_nograd():
+                with no_grad():
+                    _hook_serve(entry, x, tokens)
+
+            hook_s = _best_seconds(hook_nograd)
+            autograd_s = _best_seconds(lambda: _hook_serve(entry, x, tokens))
+            f64_s = _best_seconds(lambda: frozen64.predict(x, FROZEN_BATCH))
+            f32_s = _best_seconds(lambda: frozen32.predict(x, FROZEN_BATCH))
+        finally:
+            quantizer.remove()
+
+        size = frozen64.size_report()
+        results[workload] = {
+            "samples": N_SAMPLES,
+            "hook_serving_seconds": hook_s,
+            "hook_autograd_seconds": autograd_s,
+            "frozen_float64_seconds": f64_s,
+            "frozen_float32_seconds": f32_s,
+            "hook_samples_per_sec": N_SAMPLES / hook_s,
+            "frozen_float32_samples_per_sec": N_SAMPLES / f32_s,
+            "speedup_float64": hook_s / f64_s,
+            "speedup_float32": hook_s / f32_s,
+            "speedup_float32_vs_autograd": autograd_s / f32_s,
+            "float64_max_abs_diff": exact,
+            "float32_argmax_parity": parity,
+            "packed_weight_bytes": size["packed_weight_bytes"],
+            "float64_equivalent_bytes": size["float64_equivalent_bytes"],
+        }
+        rows.append(
+            f"{workload:>12}: hook {N_SAMPLES/hook_s:8.0f} smp/s | frozen f64 "
+            f"{hook_s/f64_s:4.1f}x  f32 {hook_s/f32_s:4.1f}x "
+            f"(vs autograd {autograd_s/f32_s:4.1f}x) | "
+            f"packed {size['packed_weight_bytes']/1024:6.1f} KiB "
+            f"({size['float64_equivalent_bytes']/size['packed_weight_bytes']:4.1f}x smaller)"
+        )
+
+    speedups32 = [results[w]["speedup_float32"] for w in WORKLOADS]
+    speedups64 = [results[w]["speedup_float64"] for w in WORKLOADS]
+    results["aggregate"] = {
+        "geomean_speedup_float32": float(np.exp(np.mean(np.log(speedups32)))),
+        "geomean_speedup_float64": float(np.exp(np.mean(np.log(speedups64)))),
+        "max_speedup_float32": float(np.max(speedups32)),
+    }
+    results["meta"] = {
+        "description": (
+            "batched serving throughput: frozen runtime vs the hook-based "
+            "fake-quant path (evaluate-style no_grad loop, and the same "
+            "loop through the autograd graph)"
+        ),
+        "hook_batch": HOOK_BATCH,
+        "frozen_batch": FROZEN_BATCH,
+        "combination": "ip-f",
+        "bits": 4,
+    }
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    agg = results["aggregate"]
+    rows.append(
+        f"{'geomean':>12}: frozen f64 {agg['geomean_speedup_float64']:4.1f}x  "
+        f"f32 {agg['geomean_speedup_float32']:4.1f}x"
+    )
+    emit("BENCH_infer", "frozen-runtime serving vs hook-based path\n" + "\n".join(rows))
+
+    # Conservative floors (shared runners flake; BENCH_infer.json is the
+    # record): float64 must not regress, float32 must clearly win.
+    assert agg["geomean_speedup_float64"] >= 1.0
+    assert min(speedups32) >= 1.5
+    assert agg["geomean_speedup_float32"] >= 2.0

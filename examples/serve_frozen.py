@@ -1,0 +1,58 @@
+"""Serve traffic from a packed frozen checkpoint.
+
+Run:  python examples/serve_frozen.py [workload] [batch_size]
+
+The deploy half of the calibrate -> freeze -> save -> load -> predict
+workflow: calibrate once, freeze to a packed ``.npz`` (4-bit weights
+really stored as 4 bits), then reload the checkpoint *without* the
+original model object and serve batched predictions from the graph-free
+runtime -- bit-exact in float64, fastest in float32.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.quant import ModelQuantizer
+from repro.runtime import FrozenModel
+from repro.zoo import calibration_batch, trained_model
+
+
+def main(workload: str = "resnet18", batch_size: int = 256) -> None:
+    print(f"== loading / training workload {workload!r} (cached after first run)")
+    entry = trained_model(workload)
+    dataset = entry.dataset
+
+    print("== calibrate + freeze (one-time, offline)")
+    quantizer = ModelQuantizer(entry.model, combination="ip-f", bits=4)
+    quantizer.calibrate(calibration_batch(dataset, n=100)).apply()
+    frozen = quantizer.freeze(model_name=workload)
+    quantizer.remove()
+
+    ckpt = Path(".cache") / f"{workload}_frozen.npz"
+    ckpt.parent.mkdir(exist_ok=True)
+    frozen.save(ckpt)
+    size = frozen.size_report()
+    print(f"   checkpoint {ckpt} ({ckpt.stat().st_size / 1024:.1f} KiB on disk; "
+          f"packed weights {size['packed_weight_bytes'] / 1024:.1f} KiB vs "
+          f"{size['float64_equivalent_bytes'] / 1024:.1f} KiB as float64)")
+
+    print("== reload from the packed checkpoint and serve")
+    server = FrozenModel.load(ckpt).astype(np.float32)
+    x = np.concatenate([dataset.x_test] * 8)
+    start = time.perf_counter()
+    labels = server.predict_classes(x, batch_size=batch_size)
+    elapsed = time.perf_counter() - start
+    accuracy = float(np.mean(labels[: dataset.n_test] == dataset.y_test))
+    print(f"   served {x.shape[0]} samples in {elapsed:.3f}s "
+          f"({x.shape[0] / elapsed:.0f} samples/sec, batch {batch_size})")
+    print(f"   accuracy {accuracy:.4f} (fp32 reference {entry.fp32_accuracy:.4f})")
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "resnet18",
+        int(sys.argv[2]) if len(sys.argv) > 2 else 256,
+    )

@@ -40,7 +40,7 @@ The package is organised in three layers:
 """
 
 from repro.dtypes.base import NumericType, code_bits
-from repro.dtypes.codec import GridCodec
+from repro.dtypes.codec import GridCodec, pack_codes, packed_nbytes, unpack_codes
 from repro.dtypes.int_type import IntType
 from repro.dtypes.float_type import FloatType
 from repro.dtypes.pot_type import PoTType
@@ -55,6 +55,9 @@ from repro.dtypes.registry import (
 __all__ = [
     "NumericType",
     "GridCodec",
+    "pack_codes",
+    "unpack_codes",
+    "packed_nbytes",
     "IntType",
     "FloatType",
     "PoTType",

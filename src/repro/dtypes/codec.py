@@ -89,17 +89,29 @@ class GridCodec:
         against ``x`` (per-channel scales).  ``+-inf`` saturates to the
         grid extremes; NaN propagates to NaN in the output.
         """
-        scaled = x / scale
-        out = self.grid[self.nearest_indices(scaled)] * scale
-        nan_mask = np.isnan(scaled)
-        if np.any(nan_mask):
-            out = np.where(nan_mask, np.nan, out)
+        scalar_scale = np.ndim(scale) == 0
+        if scalar_scale and scale == 1.0 and x.dtype.kind == "f":
+            scaled = x  # alias: the divide would be an identity pass
+        else:
+            scaled = x / scale
+        indices = self.nearest_indices(scaled)
+        if scalar_scale:
+            # Fold the rescale into the tiny LUT: (grid*s)[i] computes the
+            # same elementwise products as grid[i]*s, one array pass fewer.
+            out = (self.grid * scale)[indices] if scale != 1.0 else self.grid[indices]
+        else:
+            out = self.grid[indices] * scale
+        # np.min propagates NaN, so a single allocation-free reduction
+        # guards the common all-finite case; the masking pass runs only
+        # when a NaN is actually present.
+        if np.isnan(np.min(scaled, initial=np.inf)):
+            out = np.where(np.isnan(scaled), np.nan, out)
         return out
 
     def quantize_to_codes(self, x: np.ndarray, scale: ScaleLike = 1.0) -> np.ndarray:
         """Quantize and return canonical code words directly."""
         scaled = x / scale
-        if np.any(np.isnan(scaled)):
+        if np.isnan(np.min(scaled, initial=np.inf)):
             raise ValueError(f"cannot encode NaN values with {self.type_name}")
         return self.grid_codes[self.nearest_indices(scaled)]
 
@@ -133,3 +145,69 @@ class GridCodec:
         if np.any(c < 0) or np.any(c >= self.n_codes):
             raise ValueError(f"code out of range for {self.type_name}")
         return self.decode_lut[c]
+
+
+# ----------------------------------------------------------------------
+# Packed low-bit storage
+# ----------------------------------------------------------------------
+#: widest element the bitstream packer supports (codes are < 2^bits).
+MAX_PACK_BITS = 16
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Bytes occupied by ``count`` elements of ``bits`` bits each."""
+    return (count * bits + 7) // 8
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack integer code words into a dense little-endian bitstream.
+
+    Element ``k`` occupies bits ``[k*bits, (k+1)*bits)`` of the stream,
+    least-significant bit first, so a "4-bit" tensor really occupies
+    half a byte per element on disk.  Returns a ``uint8`` array of
+    ``ceil(count*bits/8)`` bytes; the trailing byte is zero-padded.
+
+    ``bits`` may be anything in ``[1, MAX_PACK_BITS]`` -- in particular
+    the 3..8 widths of the registered numeric types -- and ``count``
+    need not be a multiple of the elements-per-byte ratio.
+    """
+    if not 1 <= bits <= MAX_PACK_BITS:
+        raise ValueError(f"bits must be in [1, {MAX_PACK_BITS}], got {bits}")
+    flat = np.asarray(codes).reshape(-1)
+    if flat.dtype.kind not in "iu":
+        raise TypeError(f"codes must be integers, got dtype {flat.dtype}")
+    flat = flat.astype(np.int64, copy=False)
+    if flat.size and (np.min(flat) < 0 or np.max(flat) >= (1 << bits)):
+        raise ValueError(f"codes out of range for {bits}-bit packing")
+    # (count, bits) bit matrix, LSB first, then fold into bytes.  Built
+    # column-wise into uint8 so the transient footprint stays at
+    # ~(bits+8) bytes/element instead of the 8*bits of a fancy-indexed
+    # int64 matrix (which would 64x the payload for 8-bit tensors).
+    bit_matrix = np.empty((flat.size, bits), dtype=np.uint8)
+    shifted = np.empty(flat.size, dtype=np.int64)
+    for bit in range(bits):
+        np.right_shift(flat, bit, out=shifted)
+        np.bitwise_and(shifted, 1, out=shifted)
+        bit_matrix[:, bit] = shifted
+    return np.packbits(bit_matrix, bitorder="little")
+
+
+def unpack_codes(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Invert :func:`pack_codes`: recover ``count`` code words.
+
+    ``count`` is required because the trailing byte may carry padding
+    bits that are indistinguishable from data.
+    """
+    if not 1 <= bits <= MAX_PACK_BITS:
+        raise ValueError(f"bits must be in [1, {MAX_PACK_BITS}], got {bits}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    packed = np.asarray(packed, dtype=np.uint8).reshape(-1)
+    if packed.size != packed_nbytes(count, bits):
+        raise ValueError(
+            f"expected {packed_nbytes(count, bits)} bytes for {count} "
+            f"{bits}-bit elements, got {packed.size}"
+        )
+    bit_stream = np.unpackbits(packed, count=count * bits, bitorder="little")
+    weights = (np.int64(1) << np.arange(bits))
+    return bit_stream.reshape(count, bits) @ weights

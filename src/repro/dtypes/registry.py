@@ -37,6 +37,12 @@ ANT_COMBINATION = "ip-f"
 
 _NAME_RE = re.compile(r"^(int|pot|flint|float)(\d+)(u?)$")
 
+#: explicit float layout names as produced by :attr:`FloatType.name`,
+#: e.g. ``float4u_e2m2b1``; round-trips any exponent/mantissa/bias
+#: split (AdaptiveFloat uses per-tensor biases), so name-keyed
+#: serialization (packed checkpoints) can rebuild the exact type.
+_FLOAT_LAYOUT_RE = re.compile(r"^float(\d+)(u?)_e(\d+)m(\d+)b(-?\d+)$")
+
 
 def _default_float(bits: int, signed: bool) -> FloatType:
     """Default low-bit float layout for a given total width.
@@ -69,11 +75,21 @@ class TypeRegistry:
     def get(self, name: str) -> NumericType:
         if name in self._cache:
             return self._cache[name]
+        layout = _FLOAT_LAYOUT_RE.match(name)
+        if layout is not None:
+            bits, unsigned, exp_bits, man_bits, bias = layout.groups()
+            dtype = FloatType(
+                int(exp_bits), int(man_bits), signed=unsigned != "u", bias=int(bias)
+            )
+            if dtype.name != name:
+                raise KeyError(f"inconsistent float layout name {name!r}")
+            self._cache[name] = dtype
+            return dtype
         match = _NAME_RE.match(name)
         if match is None:
             raise KeyError(
                 f"unknown type name {name!r}; expected <kind><bits>[u] "
-                f"with kind in int/pot/flint/float"
+                f"or an explicit float layout like 'float4u_e2m2b1'"
             )
         kind, bits_s, unsigned = match.groups()
         bits = int(bits_s)

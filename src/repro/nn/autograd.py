@@ -362,15 +362,17 @@ class Tensor:
         """Tanh-approximation GELU, matching BERT/ViT implementations."""
         c = np.sqrt(2.0 / np.pi)
         x = self.data
-        inner = c * (x + 0.044715 * x ** 3)
+        # x*x*x, not x**3: np.power's pow-loop is ~200x slower than two
+        # multiplies and this runs on every FFN activation.
+        inner = c * (x + 0.044715 * (x * x * x))
         tanh = np.tanh(inner)
         data = 0.5 * x * (1.0 + tanh)
 
         def make(out: Tensor):
             def backward():
                 if self.requires_grad:
-                    sech2 = 1.0 - tanh ** 2
-                    d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+                    sech2 = 1.0 - tanh * tanh
+                    d_inner = c * (1.0 + 3 * 0.044715 * (x * x))
                     grad = 0.5 * (1.0 + tanh) + 0.5 * x * sech2 * d_inner
                     self._accumulate(out.grad * grad)
 

@@ -7,6 +7,7 @@ All tensors follow the NCHW layout used by the paper's PyTorch code.
 
 from __future__ import annotations
 
+import functools
 from typing import Optional, Tuple
 
 import numpy as np
@@ -28,8 +29,29 @@ def _im2col_indices(
     stride: Tuple[int, int],
     padding: Tuple[int, int],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Index arrays mapping padded input pixels to im2col columns."""
+    """Index arrays mapping padded input pixels to im2col columns.
+
+    Cached on (channels, spatial shape, kernel, stride, padding): every
+    forward of a given conv layer reuses identical index tuples, and
+    recomputing them cost more than the gather they feed on small
+    models.  The batch dimension of ``x_shape`` does not participate in
+    the indices, so it is excluded from the key.
+    """
     _, channels, height, width = x_shape
+    return _im2col_indices_cached(
+        channels, height, width, tuple(kernel), tuple(stride), tuple(padding)
+    )
+
+
+@functools.lru_cache(maxsize=256)
+def _im2col_indices_cached(
+    channels: int,
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
     kh, kw = kernel
     sh, sw = stride
     ph, pw = padding
@@ -49,7 +71,25 @@ def _im2col_indices(
     i = i0.reshape(-1, 1) + i1.reshape(1, -1)
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    for arr in (k, i, j):
+        arr.setflags(write=False)
     return k, i, j, out_h, out_w
+
+
+def _open_grid_indices(shape: Tuple[int, ...]) -> Tuple[np.ndarray, ...]:
+    """Broadcast-ready index grids (pooling backward scatter targets).
+
+    Equivalent to ``np.indices(shape)`` as fancy-index operands, but
+    each axis is a tiny reshaped ``arange`` that numpy broadcasts
+    during indexing, instead of four materialized full-size grids.
+    """
+    ndim = len(shape)
+    grids = []
+    for axis, size in enumerate(shape):
+        view = [1] * ndim
+        view[axis] = size
+        grids.append(np.arange(size).reshape(view))
+    return tuple(grids)
 
 
 def conv2d(
@@ -133,7 +173,7 @@ def max_pool2d(x: Tensor, kernel=2, stride=None) -> Tensor:
             if x.requires_grad:
                 grad = np.zeros_like(x.data)
                 ki, kj = np.unravel_index(arg, (kh, kw))
-                n_idx, c_idx, oh_idx, ow_idx = np.indices(arg.shape)
+                n_idx, c_idx, oh_idx, ow_idx = _open_grid_indices(arg.shape)
                 rows = oh_idx * sh + ki
                 cols = ow_idx * sw + kj
                 np.add.at(grad, (n_idx, c_idx, rows, cols), result.grad)

@@ -217,6 +217,56 @@ class ModelQuantizer:
         detach_fake_quant(self.model)
 
     # ------------------------------------------------------------------
+    def freeze(self, model_name: Optional[str] = None, dtype=np.float64):
+        """Export the calibrated model as an inference-only engine.
+
+        Every quantized layer's weight is encoded **once** into a packed
+        low-bit bitstream plus scales (and decoded once into the frozen
+        kernels' weight cache); activation quantizers are exported as
+        scale + LUT.  The result is a
+        :class:`repro.runtime.FrozenModel`: graph-free pure-numpy
+        forwards, a batched ``predict`` serving API, and packed ``.npz``
+        ``save``/``load``.  The live model and its hooks are untouched,
+        so calibration-time experiments can continue after freezing.
+
+        Parameters
+        ----------
+        model_name:
+            Zoo workload name recorded in checkpoints so
+            :meth:`repro.runtime.FrozenModel.load` can rebuild the
+            architecture skeleton without the original model object.
+        dtype:
+            Compute dtype of the frozen engine.  ``np.float64``
+            (default) matches the fake-quant graph bit-for-bit;
+            ``np.float32`` is the serving fast path.
+        """
+        from repro.runtime import LayerExport, export_packed_weight, freeze_model
+
+        if not self.layers:
+            raise RuntimeError("calibrate() must run before freeze()")
+        exports = []
+        for name, config in self.layers.items():
+            exports.append(
+                LayerExport(
+                    name=name,
+                    weight=export_packed_weight(
+                        config.weight_quantizer, config.module.weight.data
+                    ),
+                    act_dtype_name=config.input_quantizer.dtype.name,
+                    act_scale=float(config.input_quantizer.choice.scale),
+                )
+            )
+        frozen = freeze_model(
+            self.model,
+            exports,
+            model_name=model_name,
+            meta={"combination": self.combination, "bits": self.bits},
+        )
+        if np.dtype(dtype) != np.float64:
+            frozen.astype(dtype)
+        return frozen
+
+    # ------------------------------------------------------------------
     def escalate_layer(self, name: str, bits: int = 8) -> None:
         """Raise one layer to a higher-precision int (mixed precision).
 

@@ -1,0 +1,55 @@
+"""Frozen quantized inference runtime (the deploy half of ANT).
+
+Calibration (:mod:`repro.quant`) simulates quantization inside the
+autograd graph so types and scales can be searched and fine-tuned;
+this package is what runs *after* that search is over.
+:meth:`repro.quant.framework.ModelQuantizer.freeze` exports every
+calibrated layer into an inference-only engine:
+
+* weights are encoded once into packed low-bit bitstreams
+  (:func:`repro.dtypes.codec.pack_codes`) plus per-channel scales and
+  decoded once through the codec LUT -- a "4-bit" checkpoint really
+  stores 4 bits per weight;
+* activation fake-quant collapses to one ``searchsorted`` + LUT gather
+  (:class:`FrozenActQuant`) with no hooks and no gradient bookkeeping;
+* forwards run the pure-numpy kernels of
+  :mod:`repro.runtime.kernels` -- no ``Tensor`` graph at all;
+* :class:`FrozenModel` serves batched traffic via
+  ``predict(x, batch_size=...)`` and round-trips packed ``.npz``
+  checkpoints via ``save``/``load``.
+
+Float64 is the bit-exact validation mode (matches the hook-based
+fake-quant model to <= 1e-9); ``astype(np.float32)`` switches to the
+serving fast path.
+"""
+
+from repro.runtime.engine import (
+    CHECKPOINT_VERSION,
+    FreezeContext,
+    FrozenActQuant,
+    FrozenModel,
+    FrozenModule,
+    LayerExport,
+    PackedTensor,
+    export_packed_weight,
+    freeze_model,
+    freeze_module,
+    register_freezer,
+)
+from repro.runtime import modules as _modules  # registers the zoo freezers
+from repro.runtime import kernels
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "FreezeContext",
+    "FrozenActQuant",
+    "FrozenModel",
+    "FrozenModule",
+    "LayerExport",
+    "PackedTensor",
+    "export_packed_weight",
+    "freeze_model",
+    "freeze_module",
+    "register_freezer",
+    "kernels",
+]

@@ -1,0 +1,808 @@
+"""Frozen-model engine: packed exports, freezing, checkpoints, serving.
+
+This module turns a calibrated :class:`~repro.quant.framework.ModelQuantizer`
+into an inference-only artifact (the deploy half of the train/deploy
+split):
+
+* **Weights** are quantized once into packed low-bit code words
+  (:class:`PackedTensor`: a :func:`repro.dtypes.codec.pack_codes`
+  bitstream plus per-channel scales) and decoded once through the
+  codec LUT into a cached dequantized matrix -- no per-forward
+  re-quantization.
+* **Activation quantizers** are exported to :class:`FrozenActQuant`: a
+  scalar scale plus the type's scaled value LUT, so runtime fake-quant
+  is one divide, one nearest-grid-index kernel (``searchsorted``, or a
+  closed form in float32) and one gather -- no ``Tensor`` graph, no
+  hooks, no STE mask.
+* **The module tree** is compiled by :func:`freeze_module` into
+  :class:`FrozenModule` mirrors (see :mod:`repro.runtime.modules`)
+  whose forwards are the pure-numpy kernels of
+  :mod:`repro.runtime.kernels`.
+* :class:`FrozenModel` wraps the compiled tree with a batched
+  ``predict`` serving API and ``save``/``load`` of packed ``.npz``
+  checkpoints, where a 4-bit weight really occupies 4 bits (plus scale
+  metadata) instead of a float64.
+
+In float64 the frozen forward matches the hook-based fake-quant model
+to well under 1e-9 (the weight cache is bit-exact by the codec
+round-trip property; activation LUTs share the fake-quant multiplies).
+``astype(np.float32)`` switches the whole tree to the float32 serving
+fast path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.dtypes.codec import pack_codes, unpack_codes
+from repro.dtypes.registry import default_registry
+from repro.runtime.kernels import scratch
+
+#: checkpoint format version written by :meth:`FrozenModel.save`.
+CHECKPOINT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Quantized tensor exports
+# ----------------------------------------------------------------------
+@dataclass
+class PackedTensor:
+    """A weight tensor stored as a packed low-bit bitstream + scales."""
+
+    #: registry name of the numeric type, e.g. ``"flint4"``.
+    dtype_name: str
+    #: original tensor shape.
+    shape: Tuple[int, ...]
+    #: packed code words, ``ceil(size*bits/8)`` bytes.
+    packed: np.ndarray
+    #: per-channel scales (1-D) or a scalar 0-d array (per-tensor).
+    scales: np.ndarray
+    #: channel axis for per-channel scales; ``None`` for per-tensor.
+    channel_axis: Optional[int]
+
+    @property
+    def bits(self) -> int:
+        return default_registry.get(self.dtype_name).bits
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    @property
+    def packed_nbytes(self) -> int:
+        """Bytes of code-word payload (excludes scales/metadata)."""
+        return int(self.packed.nbytes)
+
+    def _scale_broadcast(self) -> np.ndarray:
+        if self.channel_axis is None:
+            return self.scales
+        shape = [1] * len(self.shape)
+        shape[self.channel_axis] = -1
+        return self.scales.reshape(shape)
+
+    def dequantize(self) -> np.ndarray:
+        """Decode the bitstream back to real values (float64).
+
+        Bit-exactly equal to ``quantize_dequantize`` of the original
+        tensor: the codes are the canonical ``grid_codes`` and
+        ``decode(encode(grid)) == grid`` holds exactly for every
+        registered type (property-tested), so decode-LUT gather times
+        scale reproduces the fake-quant multiplies.
+        """
+        dtype = default_registry.get(self.dtype_name)
+        codes = unpack_codes(self.packed, dtype.bits, self.size).reshape(self.shape)
+        return dtype.codec.decode_lut[codes] * self._scale_broadcast()
+
+
+def export_packed_weight(quantizer, weight: np.ndarray) -> PackedTensor:
+    """Encode a calibrated weight tensor into a :class:`PackedTensor`."""
+    from repro.quant.quantizer import Granularity
+
+    dtype = quantizer.dtype
+    weight = np.asarray(weight, dtype=np.float64)
+    if quantizer.granularity is Granularity.PER_CHANNEL:
+        axis: Optional[int] = quantizer.channel_axis
+        scales = np.asarray(quantizer.scales, dtype=np.float64)
+        shape = [1] * weight.ndim
+        shape[axis] = -1
+        scale_b = scales.reshape(shape)
+    else:
+        axis = None
+        scales = np.asarray(quantizer.choice.scale, dtype=np.float64)
+        scale_b = scales
+    codes = dtype.codec.quantize_to_codes(weight, scale_b)
+    return PackedTensor(
+        dtype_name=dtype.name,
+        shape=tuple(weight.shape),
+        packed=pack_codes(codes, dtype.bits),
+        scales=scales,
+        channel_axis=axis,
+    )
+
+
+class _ScratchPool:
+    """Reusable scratch buffers keyed by (tag, shape, dtype).
+
+    Fresh numpy allocations of activation-sized temporaries are the
+    dominant cost of cheap elementwise passes (page faults on every
+    multi-MB array), so the serving fast path runs its kernels in-place
+    over pooled buffers.  The pool is process-global and NOT
+    thread-safe; concurrent serving should shard models per worker
+    process (see ROADMAP "multi-process serving").
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[tuple, np.ndarray] = {}
+
+    def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        return scratch(self._buffers, tag, shape, dtype)
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+#: shared scratch for activation-quantize intermediates (never escape).
+_SCRATCH = _ScratchPool()
+
+
+class _FastGridIndex:
+    """Closed-form nearest-grid-index kernel for uniform grids (float32).
+
+    ``searchsorted`` against the midpoint table is exact but runs a
+    per-element binary search.  For a *uniform* grid -- every int type,
+    which is what Algorithm 2 overwhelmingly assigns to activations --
+    round-to-nearest collapses to a fused multiply-add plus a floor:
+    ``idx0 = floor(scaled*inv_step + offset)``.  The offset folds the
+    grid origin, the +0.5 of round-half-up, and a 2^-12 downward bias
+    that dominates the float32 rounding error of the multiply-add, so
+    ``idx0`` is always the true index or one below; a single exact
+    compare against the next midpoint then corrects it.  The result is
+    *identical* to ``searchsorted(midpoints, x, side="right")`` for
+    every non-NaN float32, ties included.
+
+    All intermediates are in-place ops over pooled scratch buffers;
+    fresh multi-MB allocations cost more than the arithmetic.
+    """
+
+    __slots__ = ("inv_step", "offset", "midhigh", "top")
+
+    def __init__(self, inv_step, offset, midhigh, top) -> None:
+        self.inv_step = np.float32(inv_step)
+        self.offset = np.float32(offset)
+        self.midhigh = midhigh
+        self.top = np.int32(top)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, grid: np.ndarray, midpoints: np.ndarray) -> Optional["_FastGridIndex"]:
+        """Derive the affine map from a float64 grid; None when non-uniform."""
+        if grid.size < 2:
+            return None
+        steps = np.diff(grid)
+        step = steps[0]
+        if not np.allclose(steps, step, rtol=1e-12, atol=0.0):
+            return None
+        with np.errstate(over="ignore", invalid="ignore"):
+            mid32 = midpoints.astype(np.float32)
+            distinct = bool(np.all(np.diff(mid32) > 0))
+        if not distinct:
+            return None  # grid exceeds float32 range/precision
+        index = cls(
+            inv_step=1.0 / step,
+            offset=0.5 - grid[0] / step - 2.0 ** -12,
+            midhigh=np.concatenate([mid32, [np.float32(np.inf)]]),
+            top=grid.size - 1,
+        )
+        return index if _agrees_with_searchsorted(index, mid32) else None
+
+    # ------------------------------------------------------------------
+    def __call__(self, scaled: np.ndarray) -> np.ndarray:
+        """Nearest-grid indices of non-NaN float32 ``scaled``.
+
+        Allocation-free; the returned index buffer is only valid until
+        the next call.
+        """
+        shape = scaled.shape
+        t = _SCRATCH.get("fgi-t", shape, np.float32)
+        idx = _SCRATCH.get("fgi-idx", shape, np.int32)
+        bound = _SCRATCH.get("fgi-bound", shape, np.float32)
+        above = _SCRATCH.get("fgi-above", shape, np.bool_)
+        np.multiply(scaled, self.inv_step, out=t)
+        np.add(t, self.offset, out=t)
+        np.floor(t, out=t)
+        np.clip(t, np.float32(0.0), np.float32(self.top), out=t)  # also +-inf
+        np.copyto(idx, t, casting="unsafe")
+        np.take(self.midhigh, idx, out=bound)
+        np.greater_equal(scaled, bound, out=above)  # exact; ties go right
+        np.add(idx, above, out=idx)
+        np.minimum(idx, self.top, out=idx)
+        return idx
+
+
+class _BitLutGridIndex:
+    """Exact float32 nearest-grid index via a bit-pattern bucket LUT.
+
+    For non-uniform grids (pot/flint/float), bucket every float32 by
+    its top ``32 - shift`` bits (sign + exponent + leading mantissa
+    bits).  The table stores, per bucket, the midpoint-count of the
+    bucket's minimum value; construction verifies every finite bucket
+    spans at most one midpoint, so a single exact compare against the
+    next midpoint corrects the candidate.  The result is *identical* to
+    ``searchsorted(midpoints, x, side="right")`` for every finite
+    non-NaN float32 -- including ties -- in ~6 allocation-free passes
+    with one L2-resident gather instead of a per-element binary search.
+    """
+
+    __slots__ = ("shift", "table", "midhigh", "top")
+
+    def __init__(self, shift: int, table: np.ndarray, midhigh: np.ndarray, top: int) -> None:
+        self.shift = np.uint32(shift)
+        self.table = table
+        self.midhigh = midhigh
+        self.top = np.int32(top)
+
+    @classmethod
+    def build(cls, grid: np.ndarray, midpoints: np.ndarray) -> Optional["_BitLutGridIndex"]:
+        with np.errstate(over="ignore", invalid="ignore"):
+            mid32 = midpoints.astype(np.float32)
+            distinct = bool(np.all(np.diff(mid32) > 0))
+        if not distinct:
+            return None  # grid too fine/wide for float32 midpoints
+        for shift in (17, 15, 13):
+            n_keys = np.uint32(1) << np.uint32(32 - shift)
+            keys = np.arange(n_keys, dtype=np.uint32)
+            lo_bits = keys << np.uint32(shift)
+            hi_bits = lo_bits | np.uint32((1 << shift) - 1)
+            lo_vals = lo_bits.view(np.float32)
+            hi_vals = hi_bits.view(np.float32)
+            negative = np.signbit(lo_vals)  # sign bit set (incl. -0.0 bucket)
+            bucket_min = np.where(negative, hi_vals, lo_vals)
+            bucket_max = np.where(negative, lo_vals, hi_vals)
+            finite = np.isfinite(bucket_min) & np.isfinite(bucket_max)
+            imin = np.searchsorted(mid32, bucket_min, side="right")
+            imax = np.searchsorted(mid32, bucket_max, side="right")
+            if not np.all(((imax - imin) <= 1) | ~finite):
+                continue  # bucket too wide for this grid; refine
+            table = imin.astype(np.int32)
+            # the -inf bucket also contains NaN bit patterns, which
+            # poisoned its searchsorted entry; -inf must saturate low
+            # (NaN inputs never reach the fast path)
+            table[np.uint32(0xFF800000) >> np.uint32(shift)] = 0
+            midhigh = np.concatenate([mid32, [np.float32(np.inf)]])
+            index = cls(
+                shift=shift,
+                table=table,
+                midhigh=midhigh,
+                top=grid.size - 1,
+            )
+            if _agrees_with_searchsorted(index, mid32):
+                return index
+        return None
+
+    def __call__(self, scaled: np.ndarray) -> np.ndarray:
+        """Indices for finite non-NaN float32 ``scaled`` (in scratch)."""
+        shape = scaled.shape
+        keys = _SCRATCH.get("blt-keys", shape, np.uint32)
+        idx = _SCRATCH.get("fgi-idx", shape, np.int32)
+        bound = _SCRATCH.get("blt-bound", shape, np.float32)
+        above = _SCRATCH.get("blt-above", shape, np.bool_)
+        np.right_shift(scaled.view(np.uint32), self.shift, out=keys)
+        np.take(self.table, keys, out=idx)
+        np.take(self.midhigh, idx, out=bound)
+        np.greater_equal(scaled, bound, out=above)  # ties go right
+        np.add(idx, above, out=idx)
+        np.minimum(idx, self.top, out=idx)  # +inf lands past the top cell
+        return idx
+
+
+def _agrees_with_searchsorted(index, mid32: np.ndarray) -> bool:
+    """Exact agreement of a fast index kernel with float32 searchsorted.
+
+    Construction-time gate shared by both kernel classes: grid points,
+    both float32 neighbours of every midpoint (the tie boundaries),
+    uniform and normal random sweeps, zeros, subnormals, and ±inf.
+    """
+    rng = np.random.default_rng(0)
+    span = float(mid32[-1] - mid32[0]) + 1.0
+    probes = np.concatenate([
+        mid32.astype(np.float64),
+        np.nextafter(mid32, -np.inf).astype(np.float64),
+        np.nextafter(mid32, np.inf).astype(np.float64),
+        rng.uniform(mid32[0] - span, mid32[-1] + span, size=8192),
+        rng.normal(size=8192) * float(np.abs(mid32).max() or 1.0),
+        [0.0, -0.0, np.inf, -np.inf, 1e-40, -1e-40,
+         np.float64(np.finfo(np.float32).max)],
+    ]).astype(np.float32)
+    ref = np.searchsorted(mid32, probes, side="right")
+    return np.array_equal(index(probes).copy(), ref)
+
+
+#: per-type cache of fast index kernels (None = searchsorted fallback).
+_FAST_INDEX_CACHE: Dict[str, Optional[object]] = {}
+
+
+def _fast_index_for(dtype_name: str) -> Optional[object]:
+    if dtype_name not in _FAST_INDEX_CACHE:
+        codec = default_registry.get(dtype_name).codec
+        index = _FastGridIndex.build(codec.grid, codec.midpoints)
+        if index is None:
+            index = _BitLutGridIndex.build(codec.grid, codec.midpoints)
+        _FAST_INDEX_CACHE[dtype_name] = index
+    return _FAST_INDEX_CACHE[dtype_name]
+
+
+class FrozenActQuant:
+    """Graph-free activation fake-quantizer: scale + scaled value LUT.
+
+    ``__call__`` is the whole runtime quantization path: one divide,
+    one nearest-grid-index kernel, one LUT gather.  The LUT is
+    ``grid * scale`` precomputed at freeze time, which performs the
+    same elementwise multiplies as the calibration-time kernel, so
+    float64 outputs are bit-identical to the hook path.  In float32
+    mode the index kernel switches from ``searchsorted`` to
+    :class:`_FastGridIndex` (uniform grids) or :class:`_BitLutGridIndex`
+    (pot/flint/float) when the type supports it.
+    """
+
+    __slots__ = (
+        "dtype_name", "scale", "lut", "midpoints", "_fast", "_bufs", "_last_gen"
+    )
+
+    #: per-forward memo of quantized tensors, keyed by input identity
+    #: plus (type, scale): sibling layers that quantize the same
+    #: activation identically (q/k/v projections, inception branches)
+    #: share one kernel run.  The memo holds a reference to the input
+    #: array, so its id cannot be recycled within a generation; cleared
+    #: by :meth:`new_generation` at the start of every model forward.
+    _memo: Dict[tuple, tuple] = {}
+    #: generation counter; each model forward is one generation.
+    _generation: int = 0
+
+    @classmethod
+    def new_generation(cls) -> None:
+        cls._generation += 1
+        cls._memo.clear()
+
+    def __init__(self, dtype_name: str, scale: float) -> None:
+        dtype = default_registry.get(dtype_name)
+        self.dtype_name = dtype_name
+        self.scale = float(scale)
+        codec = dtype.codec
+        self.lut = codec.grid * self.scale
+        self.midpoints = codec.midpoints
+        self._fast: Optional[object] = None
+        self._bufs: Dict[tuple, np.ndarray] = {}
+        self._last_gen = -1
+
+    def astype(self, dtype: np.dtype) -> "FrozenActQuant":
+        # rebuild from the float64 grid so astype round trips restore
+        # full precision instead of compounding casts
+        codec = default_registry.get(self.dtype_name).codec
+        self.lut = np.asarray(codec.grid * self.scale, dtype=dtype)
+        self.midpoints = np.asarray(codec.midpoints, dtype=dtype)
+        self._fast = _fast_index_for(self.dtype_name) if dtype == np.float32 else None
+        self._bufs.clear()
+        return self
+
+    #: memo entries allowed before a wholesale clear; bounds memory for
+    #: direct users who call quantizers outside FrozenModel.forward
+    #: (which starts a fresh generation every pass).
+    _MEMO_LIMIT = 256
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self._fast is not None:
+            if len(self._memo) >= self._MEMO_LIMIT:
+                self._memo.clear()
+            key = (id(x), self.dtype_name, self.scale)
+            hit = self._memo.get(key)
+            if hit is not None and hit[0] is x:
+                return hit[1]
+            scaled = _SCRATCH.get("faq-scaled", x.shape, np.float32)
+            np.divide(x, np.float32(self.scale), out=scaled)
+            if not np.isnan(np.min(scaled, initial=np.inf)):
+                if self._last_gen == FrozenActQuant._generation:
+                    # second invocation within one forward (module reuse/
+                    # weight tying): don't clobber the buffer an earlier
+                    # call may still be feeding downstream
+                    out = np.empty(x.shape, dtype=np.float32)
+                else:
+                    out = scratch(self._bufs, "faq-out", x.shape, np.float32)
+                    self._last_gen = FrozenActQuant._generation
+                np.take(self.lut, self._fast(scaled), out=out)
+                self._memo[key] = (x, out)
+                return out
+        scaled = x / self.scale
+        out = self.lut[np.searchsorted(self.midpoints, scaled, side="right")]
+        if np.isnan(np.min(scaled, initial=np.inf)):
+            out = np.where(np.isnan(scaled), np.nan, out)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Module freezing
+# ----------------------------------------------------------------------
+class FrozenModule:
+    """Base class for compiled inference modules.
+
+    Subclasses set ``_arrays`` (names of float ndarray attributes to
+    cast with :meth:`astype`) and append children to ``_children``.
+    ``_bufs`` holds the module's private scratch buffers (see
+    :func:`repro.runtime.kernels.scratch`); it is cleared on dtype
+    changes so stale-dtype buffers cannot leak through.
+
+    Buffered modules assume each frozen instance runs **at most once
+    per model forward** (the freeze compiler mirrors the module tree
+    1:1, so this holds for every zoo architecture).  A custom freezer
+    that invokes one frozen instance twice in a forward must not reuse
+    ``_bufs``-backed outputs across the two calls.
+    """
+
+    _arrays: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self._children: List[FrozenModule] = []
+        self._bufs: Dict[tuple, np.ndarray] = {}
+        self._masters: Dict[str, np.ndarray] = {}
+        self.act_quant: Optional[FrozenActQuant] = None
+
+    def add(self, child: "FrozenModule") -> "FrozenModule":
+        self._children.append(child)
+        return child
+
+    def astype(self, dtype: np.dtype) -> "FrozenModule":
+        if not self._masters:
+            # snapshot the float64 construction-time arrays once, so
+            # astype(float32) -> astype(float64) restores the bit-exact
+            # originals instead of round-tripped float32 values
+            self._masters = {
+                name: getattr(self, name)
+                for name in self._arrays
+                if getattr(self, name) is not None
+            }
+        for name, master in self._masters.items():
+            setattr(self, name, np.asarray(master, dtype=dtype))
+        self._bufs.clear()
+        if self.act_quant is not None:
+            self.act_quant.astype(dtype)
+        for child in self._children:
+            child.astype(dtype)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+@dataclass
+class LayerExport:
+    """Export bundle for one quantized Conv2d/Linear layer."""
+
+    name: str
+    weight: PackedTensor
+    act_dtype_name: str
+    act_scale: float
+
+    def act_quant(self) -> FrozenActQuant:
+        return FrozenActQuant(self.act_dtype_name, self.act_scale)
+
+
+class FreezeContext:
+    """Per-freeze state: quantized exports keyed by module identity.
+
+    ``layout`` is the activation memory layout conv/pool/norm freezers
+    compile for.  Whole-model freezers switch it to ``"nhwc"`` around
+    their convolutional trunk (channels-last windows copy contiguous
+    channel runs, the serving fast path) and insert boundary
+    transposes; the default ``"nchw"`` compiles bare layers exactly as
+    the graph computes them.
+    """
+
+    def __init__(
+        self,
+        exports: Optional[Dict[int, LayerExport]] = None,
+        weights_predequantized: bool = False,
+    ) -> None:
+        self.exports = exports or {}
+        self.consumed: List[str] = []
+        self.layout = "nchw"
+        #: True when the skeleton's weights already hold the decoded
+        #: values (checkpoint load), so freezers can read them instead
+        #: of unpacking every bitstream a second time.
+        self.weights_predequantized = weights_predequantized
+
+    def export_for(self, module) -> Optional[LayerExport]:
+        export = self.exports.get(id(module))
+        if export is not None:
+            self.consumed.append(export.name)
+        return export
+
+    def quantized_weight(self, module, export: LayerExport) -> np.ndarray:
+        if self.weights_predequantized:
+            return module.weight.data.copy()
+        return export.weight.dequantize()
+
+
+_FREEZERS: Dict[Type, Callable] = {}
+
+
+def register_freezer(*module_types: Type) -> Callable:
+    """Class decorator/function registering a freezer for module types."""
+
+    def decorator(fn: Callable) -> Callable:
+        for module_type in module_types:
+            _FREEZERS[module_type] = fn
+        return fn
+
+    return decorator
+
+
+def freeze_module(module, ctx: FreezeContext) -> FrozenModule:
+    """Compile one module (and its subtree) into frozen form."""
+    for cls in type(module).__mro__:
+        if cls in _FREEZERS:
+            return _FREEZERS[cls](module, ctx)
+    raise TypeError(
+        f"no freezer registered for {type(module).__name__}; "
+        "register one with repro.runtime.register_freezer"
+    )
+
+
+# ----------------------------------------------------------------------
+# The frozen model: serving API + packed checkpoints
+# ----------------------------------------------------------------------
+class FrozenModel:
+    """An inference-only quantized model.
+
+    Built by :meth:`repro.quant.framework.ModelQuantizer.freeze` (or
+    :meth:`load`).  Holds the compiled :class:`FrozenModule` tree, the
+    per-layer packed exports (the checkpoint payload), and the float
+    parameters of non-quantized modules via the skeleton's state dict.
+    """
+
+    def __init__(
+        self,
+        root: FrozenModule,
+        exports: List[LayerExport],
+        float_state: Dict[str, np.ndarray],
+        model_name: Optional[str] = None,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.root = root
+        self.exports = {export.name: export for export in exports}
+        self.float_state = float_state
+        self.model_name = model_name
+        self.meta = dict(meta or {})
+        self.dtype = np.dtype(np.float64)
+
+    # ------------------------------------------------------------------
+    def astype(self, dtype) -> "FrozenModel":
+        """Cast all cached arrays (weights, LUTs, norm params) in place.
+
+        ``np.float64`` is the bit-exact mode matching the fake-quant
+        graph; ``np.float32`` is the serving fast path.
+        """
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            raise ValueError(f"compute dtype must be floating, got {dtype}")
+        self.dtype = dtype
+        self.root.astype(self.dtype)
+        return self
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """One batched forward pass; returns logits.
+
+        In float32 mode the result may alias an internal buffer that is
+        reused by the next forward -- copy it if you keep it.  The
+        batched :meth:`predict` API always returns a fresh array.
+        """
+        FrozenActQuant.new_generation()
+        x = np.asarray(x)
+        if x.dtype.kind == "f" and x.dtype != self.dtype:
+            x = x.astype(self.dtype)
+        return self.root(x)
+
+    __call__ = forward
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Batched serving entry point: logits for ``x`` in minibatches."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        x = np.asarray(x)
+        # forward() may return a view into a reused internal buffer, so
+        # each batch's logits are copied out before the next overwrites it
+        outputs = [
+            self.forward(x[start: start + batch_size]).copy()
+            for start in range(0, x.shape[0], batch_size)
+        ]
+        if not outputs:
+            raise ValueError("predict() needs at least one sample")
+        return np.concatenate(outputs, axis=0)
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Argmax labels of :meth:`predict`."""
+        return np.argmax(self.predict(x, batch_size=batch_size), axis=1)
+
+    # ------------------------------------------------------------------
+    def size_report(self) -> dict:
+        """Storage accounting: packed payload vs the float64 original."""
+        packed_bytes = sum(e.weight.packed_nbytes for e in self.exports.values())
+        scale_bytes = sum(e.weight.scales.nbytes for e in self.exports.values())
+        quant_elements = sum(e.weight.size for e in self.exports.values())
+        float_bytes = sum(v.nbytes for v in self.float_state.values())
+        weighted_bits = sum(
+            e.weight.bits * e.weight.size for e in self.exports.values()
+        )
+        return {
+            "packed_weight_bytes": packed_bytes,
+            "scale_bytes": scale_bytes,
+            "float_param_bytes": float_bytes,
+            "quantized_elements": quant_elements,
+            "quantized_weight_bits_per_element": (
+                weighted_bits / quant_elements if quant_elements else 0.0
+            ),
+            "float64_equivalent_bytes": quant_elements * 8,
+        }
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write a packed ``.npz`` checkpoint.
+
+        Quantized weights are stored only as packed code words plus
+        scales; everything else (biases, norms, embeddings) is stored
+        as float arrays from the skeleton state dict.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        layer_meta = {}
+        for name, export in self.exports.items():
+            arrays[f"wcodes/{name}"] = export.weight.packed
+            arrays[f"wscales/{name}"] = export.weight.scales
+            layer_meta[name] = {
+                "weight_dtype": export.weight.dtype_name,
+                "shape": list(export.weight.shape),
+                "channel_axis": export.weight.channel_axis,
+                "act_dtype": export.act_dtype_name,
+                "act_scale": export.act_scale,
+            }
+        for name, value in self.float_state.items():
+            arrays[f"param/{name}"] = value
+        # reserved keys merge last so user meta cannot corrupt them
+        meta = {
+            **self.meta,
+            "version": CHECKPOINT_VERSION,
+            "model_name": self.model_name,
+            "layers": layer_meta,
+        }
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path, model=None) -> "FrozenModel":
+        """Rebuild a frozen model from a packed checkpoint.
+
+        ``model`` is an architecture skeleton (an untrained module of
+        the right structure); when omitted, the checkpoint's
+        ``model_name`` is instantiated via the zoo model builders.
+        """
+        from repro.quant.framework import quantizable_layers
+
+        with np.load(path) as blob:
+            meta = json.loads(bytes(blob["__meta__"]).decode("utf-8"))
+            if meta.get("version") != CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint version {meta.get('version')!r}"
+                )
+            state: Dict[str, np.ndarray] = {
+                key[len("param/"):]: blob[key]
+                for key in blob.files
+                if key.startswith("param/")
+            }
+            exports = []
+            for name, spec in meta["layers"].items():
+                packed = PackedTensor(
+                    dtype_name=spec["weight_dtype"],
+                    shape=tuple(spec["shape"]),
+                    packed=blob[f"wcodes/{name}"],
+                    scales=blob[f"wscales/{name}"],
+                    channel_axis=spec["channel_axis"],
+                )
+                exports.append(
+                    LayerExport(
+                        name=name,
+                        weight=packed,
+                        act_dtype_name=spec["act_dtype"],
+                        act_scale=spec["act_scale"],
+                    )
+                )
+                state[f"{name}.weight"] = packed.dequantize()
+        if model is None:
+            if not meta.get("model_name"):
+                raise ValueError(
+                    "checkpoint has no model_name; pass an architecture "
+                    "skeleton via load(path, model=...)"
+                )
+            from repro.nn.models import build_model
+
+            model = build_model(meta["model_name"])
+        model.load_state_dict(state)
+        model.eval()
+
+        by_name = quantizable_layers(model)
+        export_map = {}
+        for export in exports:
+            if export.name not in by_name:
+                raise KeyError(
+                    f"checkpoint layer {export.name!r} not found in model"
+                )
+            export_map[id(by_name[export.name])] = export
+        ctx = FreezeContext(export_map, weights_predequantized=True)
+        root = freeze_module(model, ctx)
+        packed_keys = {f"{name}.weight" for name in meta["layers"]}
+        frozen = cls(
+            root,
+            exports,
+            float_state={k: v for k, v in state.items() if k not in packed_keys},
+            model_name=meta.get("model_name"),
+            meta={k: v for k, v in meta.items()
+                  if k not in ("version", "model_name", "layers")},
+        )
+        return frozen
+
+
+def freeze_model(
+    model,
+    exports: Optional[List[LayerExport]] = None,
+    model_name: Optional[str] = None,
+    meta: Optional[dict] = None,
+) -> FrozenModel:
+    """Compile ``model`` into a :class:`FrozenModel`.
+
+    With ``exports`` (from a calibrated quantizer), Conv2d/Linear
+    layers named there run quantized; without, every layer is frozen
+    at full precision -- useful for benchmarking the graph-free
+    kernels in isolation.  The model's train/eval state is restored
+    afterwards, so freezing mid-QAT does not perturb fine-tuning.
+    """
+    saved_modes = [(m, m.training) for m in model.modules()]
+    model.eval()
+    export_map = {}
+    if exports:
+        from repro.quant.framework import quantizable_layers
+
+        by_name = quantizable_layers(model)
+        for export in exports:
+            if export.name not in by_name:
+                raise KeyError(f"export {export.name!r} matches no model layer")
+            export_map[id(by_name[export.name])] = export
+    ctx = FreezeContext(export_map)
+    try:
+        root = freeze_module(model, ctx)
+    finally:
+        for module, mode in saved_modes:
+            object.__setattr__(module, "training", mode)
+    missing = set(e.name for e in (exports or [])) - set(ctx.consumed)
+    if missing:
+        raise RuntimeError(
+            f"exports never reached during freezing: {sorted(missing)}"
+        )
+    packed_keys = {f"{e.name}.weight" for e in (exports or [])}
+    float_state = {
+        key: value
+        for key, value in model.state_dict().items()
+        if key not in packed_keys
+    }
+    return FrozenModel(
+        root,
+        list(exports or []),
+        float_state=float_state,
+        model_name=model_name,
+        meta=meta,
+    )

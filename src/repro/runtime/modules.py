@@ -1,0 +1,611 @@
+"""Frozen mirrors of the model-zoo modules.
+
+Each freezer compiles one :class:`repro.nn.module.Module` subclass into
+a :class:`~repro.runtime.engine.FrozenModule` whose ``forward`` is the
+original forward's array math re-expressed through the graph-free
+kernels in :mod:`repro.runtime.kernels`.  Structural attributes
+(strides, kernel sizes, head counts) are baked in at freeze time;
+parameters are copied out of the module (quantized layers take their
+decoded packed weights instead).
+
+The registry covers every structured module the zoo uses; new
+architectures extend it with
+:func:`~repro.runtime.engine.register_freezer`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import attention as A
+from repro.nn import layers as L
+from repro.nn import models as M
+from repro.nn.functional import _pair
+from repro.nn.module import Sequential
+from repro.runtime import kernels as K
+from repro.runtime.engine import (
+    FreezeContext,
+    FrozenModule,
+    freeze_module,
+    register_freezer,
+)
+
+
+# ----------------------------------------------------------------------
+# Leaf layers
+# ----------------------------------------------------------------------
+class FrozenLinear(FrozenModule):
+    _arrays = ("w_t", "bias")
+
+    def __init__(self, weight, bias, act_quant) -> None:
+        super().__init__()
+        self.w_t = np.ascontiguousarray(weight.T)
+        self.bias = bias
+        self.act_quant = act_quant
+
+    def forward(self, x):
+        if self.act_quant is not None:
+            x = self.act_quant(x)
+        return K.linear_infer(x, self.w_t, self.bias, bufs=self._bufs)
+
+
+class FrozenConv2d(FrozenModule):
+    _arrays = ("w_mat", "bias")
+
+    def __init__(self, weight, bias, kernel, stride, padding, act_quant, layout) -> None:
+        super().__init__()
+        if layout == "nhwc":
+            # (C_out, C_in, KH, KW) -> (KH*KW*C_in, C_out), matching the
+            # channels-last window flattening order.
+            self.w_mat = np.ascontiguousarray(
+                weight.transpose(2, 3, 1, 0).reshape(-1, weight.shape[0])
+            )
+        else:
+            self.w_mat = np.ascontiguousarray(weight.reshape(weight.shape[0], -1))
+        self.bias = bias
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.act_quant = act_quant
+        self.layout = layout
+
+    def forward(self, x):
+        if self.act_quant is not None:
+            x = self.act_quant(x)
+        if self.layout == "nhwc":
+            return K.conv2d_nhwc_infer(
+                x, self.w_mat, self.bias, self.kernel, self.stride, self.padding,
+                bufs=self._bufs,
+            )
+        return K.conv2d_infer(
+            x, self.w_mat, self.bias, self.kernel, self.stride, self.padding
+        )
+
+
+@register_freezer(L.Linear)
+def _freeze_linear(module: L.Linear, ctx: FreezeContext) -> FrozenModule:
+    export = ctx.export_for(module)
+    weight = (
+        ctx.quantized_weight(module, export) if export else module.weight.data.copy()
+    )
+    bias = module.bias.data.copy() if module.bias is not None else None
+    return FrozenLinear(weight, bias, export.act_quant() if export else None)
+
+
+@register_freezer(L.Conv2d)
+def _freeze_conv2d(module: L.Conv2d, ctx: FreezeContext) -> FrozenModule:
+    export = ctx.export_for(module)
+    weight = (
+        ctx.quantized_weight(module, export) if export else module.weight.data.copy()
+    )
+    bias = module.bias.data.copy() if module.bias is not None else None
+    return FrozenConv2d(
+        weight,
+        bias,
+        module.kernel_size,
+        module.stride,
+        module.padding,
+        export.act_quant() if export else None,
+        ctx.layout,
+    )
+
+
+class FrozenBatchNorm2d(FrozenModule):
+    _arrays = ("mean", "inv_std", "weight", "bias")
+
+    def __init__(self, mean, inv_std, weight, bias, channel_axis) -> None:
+        super().__init__()
+        self.mean = mean
+        self.inv_std = inv_std
+        self.weight = weight
+        self.bias = bias
+        self.channel_axis = channel_axis
+        self._folded = None
+
+    def astype(self, dtype):
+        self._folded = None
+        return super().astype(dtype)
+
+    def forward(self, x):
+        if self.weight.dtype == np.float64:
+            # bit-exact mode: same op order as the graph's eval path
+            return K.batch_norm2d_infer(
+                x, self.mean, self.inv_std, self.weight, self.bias, self.channel_axis
+            )
+        if self._folded is None:
+            shape = [1, 1, 1, 1]
+            shape[self.channel_axis] = -1
+            scale = (self.weight * self.inv_std).reshape(shape)
+            shift = (self.bias - self.mean * scale.ravel()).reshape(shape)
+            self._folded = (scale, shift)
+        return K.bn_scale_shift_infer(x, *self._folded, bufs=self._bufs)
+
+
+@register_freezer(L.BatchNorm2d)
+def _freeze_batch_norm(module: L.BatchNorm2d, ctx: FreezeContext) -> FrozenModule:
+    mean = module._buffers["running_mean"].copy()
+    var = module._buffers["running_var"]
+    inv_std = 1.0 / np.sqrt(var + module.eps)
+    return FrozenBatchNorm2d(
+        mean,
+        inv_std,
+        module.weight.data.copy(),
+        module.bias.data.copy(),
+        channel_axis=3 if ctx.layout == "nhwc" else 1,
+    )
+
+
+class FrozenLayerNorm(FrozenModule):
+    _arrays = ("weight", "bias")
+
+    def __init__(self, weight, bias, eps) -> None:
+        super().__init__()
+        self.weight = weight
+        self.bias = bias
+        self.eps = eps
+
+    def forward(self, x):
+        return K.layer_norm_infer(x, self.weight, self.bias, self.eps, bufs=self._bufs)
+
+
+@register_freezer(L.LayerNorm)
+def _freeze_layer_norm(module: L.LayerNorm, ctx: FreezeContext) -> FrozenModule:
+    return FrozenLayerNorm(module.weight.data.copy(), module.bias.data.copy(), module.eps)
+
+
+class FrozenLambda(FrozenModule):
+    """Parameter-free op (activation, flatten, pooling)."""
+
+    def __init__(self, fn) -> None:
+        super().__init__()
+        self.fn = fn
+
+    def forward(self, x):
+        return self.fn(x)
+
+
+class FrozenReLU(FrozenModule):
+    def forward(self, x):
+        return K.relu_infer(x, bufs=self._bufs)
+
+
+class FrozenGELU(FrozenModule):
+    def forward(self, x):
+        return K.gelu_infer(x, bufs=self._bufs)
+
+
+@register_freezer(L.ReLU)
+def _freeze_relu(module, ctx) -> FrozenModule:
+    return FrozenReLU()
+
+
+@register_freezer(L.GELU)
+def _freeze_gelu(module, ctx) -> FrozenModule:
+    return FrozenGELU()
+
+
+@register_freezer(L.Flatten)
+def _freeze_flatten(module, ctx) -> FrozenModule:
+    return FrozenLambda(lambda x: x.reshape(x.shape[0], -1))
+
+
+@register_freezer(L.Dropout)
+def _freeze_dropout(module, ctx) -> FrozenModule:
+    return FrozenLambda(lambda x: x)  # inference mode: identity
+
+
+@register_freezer(L.GlobalAvgPool2d)
+def _freeze_global_avg_pool(module, ctx) -> FrozenModule:
+    spatial = (1, 2) if ctx.layout == "nhwc" else (2, 3)
+    return FrozenLambda(lambda x: x.mean(axis=spatial))
+
+
+_POOL_KERNELS = {
+    ("max", "nchw"): K.max_pool2d_infer,
+    ("avg", "nchw"): K.avg_pool2d_infer,
+    ("max", "nhwc"): K.max_pool2d_nhwc_infer,
+    ("avg", "nhwc"): K.avg_pool2d_nhwc_infer,
+}
+
+
+class FrozenPool2d(FrozenModule):
+    def __init__(self, kind, kernel, stride, layout) -> None:
+        super().__init__()
+        self.fn = _POOL_KERNELS[(kind, layout)]
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+
+    def forward(self, x):
+        return self.fn(x, self.kernel, self.stride)
+
+
+@register_freezer(L.MaxPool2d)
+def _freeze_max_pool(module: L.MaxPool2d, ctx) -> FrozenModule:
+    stride = _pair(module.stride) if module.stride is not None else None
+    return FrozenPool2d("max", _pair(module.kernel_size), stride, ctx.layout)
+
+
+@register_freezer(L.AvgPool2d)
+def _freeze_avg_pool(module: L.AvgPool2d, ctx) -> FrozenModule:
+    stride = _pair(module.stride) if module.stride is not None else None
+    return FrozenPool2d("avg", _pair(module.kernel_size), stride, ctx.layout)
+
+
+class FrozenEmbedding(FrozenModule):
+    _arrays = ("table",)
+
+    def __init__(self, table) -> None:
+        super().__init__()
+        self.table = table
+
+    def forward(self, indices):
+        return self.table[np.asarray(indices, dtype=np.int64)]
+
+
+@register_freezer(L.Embedding)
+def _freeze_embedding(module: L.Embedding, ctx) -> FrozenModule:
+    return FrozenEmbedding(module.weight.data.copy())
+
+
+# ----------------------------------------------------------------------
+# Containers and composite blocks
+# ----------------------------------------------------------------------
+class FrozenSequential(FrozenModule):
+    def __init__(self, items) -> None:
+        super().__init__()
+        for item in items:
+            self.add(item)
+
+    def forward(self, x):
+        for child in self._children:
+            x = child(x)
+        return x
+
+
+@register_freezer(Sequential)
+def _freeze_sequential(module: Sequential, ctx: FreezeContext) -> FrozenModule:
+    return FrozenSequential([freeze_module(child, ctx) for child in module])
+
+
+class FrozenBasicBlock(FrozenModule):
+    def __init__(self, conv1, bn1, conv2, bn2, shortcut, bn_shortcut) -> None:
+        super().__init__()
+        self.conv1 = self.add(conv1)
+        self.bn1 = self.add(bn1)
+        self.conv2 = self.add(conv2)
+        self.bn2 = self.add(bn2)
+        self.shortcut = self.add(shortcut) if shortcut is not None else None
+        self.bn_shortcut = self.add(bn_shortcut) if bn_shortcut is not None else None
+
+    def forward(self, x):
+        out = K.relu_infer(self.bn1(self.conv1(x)), bufs=self._bufs, tag="relu1")
+        out = self.bn2(self.conv2(out))
+        if self.shortcut is not None:
+            residual = self.bn_shortcut(self.shortcut(x))
+        else:
+            residual = x
+        acc = K.scratch(self._bufs, "block-out", out.shape, out.dtype)
+        np.add(out, residual, out=acc)
+        return np.maximum(acc, 0.0, out=acc)
+
+
+@register_freezer(M.BasicBlock)
+def _freeze_basic_block(module: M.BasicBlock, ctx: FreezeContext) -> FrozenModule:
+    has_shortcut = module.shortcut is not None
+    return FrozenBasicBlock(
+        freeze_module(module.conv1, ctx),
+        freeze_module(module.bn1, ctx),
+        freeze_module(module.conv2, ctx),
+        freeze_module(module.bn2, ctx),
+        freeze_module(module.shortcut, ctx) if has_shortcut else None,
+        freeze_module(module.bn_shortcut, ctx) if has_shortcut else None,
+    )
+
+
+class FrozenInceptionModule(FrozenModule):
+    def __init__(self, branch1, branch3, branch5, branch_pool, layout) -> None:
+        super().__init__()
+        self.branch1 = self.add(branch1)
+        self.branch3 = self.add(branch3)
+        self.branch5 = self.add(branch5)
+        self.branch_pool = self.add(branch_pool)
+        self.channel_axis = 3 if layout == "nhwc" else 1
+
+    def forward(self, x):
+        # The graph module's unpadded 3x3/stride-1 average pool always
+        # shrinks the spatial size, so its shape guard unconditionally
+        # falls back to the raw input; the serving kernel skips the
+        # discarded pooling pass and feeds the pool branch directly.
+        branches = [
+            self.branch1(x),
+            self.branch3(x),
+            self.branch5(x),
+            self.branch_pool(x),
+        ]
+        return np.concatenate(branches, axis=self.channel_axis)
+
+
+@register_freezer(M.InceptionModule)
+def _freeze_inception_module(module: M.InceptionModule, ctx) -> FrozenModule:
+    return FrozenInceptionModule(
+        freeze_module(module.branch1, ctx),
+        freeze_module(module.branch3, ctx),
+        freeze_module(module.branch5, ctx),
+        freeze_module(module.branch_pool, ctx),
+        ctx.layout,
+    )
+
+
+class FrozenAttention(FrozenModule):
+    def __init__(self, q_proj, k_proj, v_proj, out_proj, num_heads, head_dim) -> None:
+        super().__init__()
+        self.q_proj = self.add(q_proj)
+        self.k_proj = self.add(k_proj)
+        self.v_proj = self.add(v_proj)
+        self.out_proj = self.add(out_proj)
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.inv_sqrt = 1.0 / math.sqrt(head_dim)
+
+    def _split_heads(self, x, batch, seq):
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x):
+        batch, seq, dim = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * self.inv_sqrt
+        attn = K.softmax_infer(scores, axis=-1, bufs=self._bufs)
+        context = (attn @ v).transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        return self.out_proj(context)
+
+
+@register_freezer(A.MultiHeadSelfAttention)
+def _freeze_attention(module: A.MultiHeadSelfAttention, ctx) -> FrozenModule:
+    return FrozenAttention(
+        freeze_module(module.q_proj, ctx),
+        freeze_module(module.k_proj, ctx),
+        freeze_module(module.v_proj, ctx),
+        freeze_module(module.out_proj, ctx),
+        module.num_heads,
+        module.head_dim,
+    )
+
+
+class FrozenPreLNBlock(FrozenModule):
+    def __init__(self, norm1, attn, norm2, fc1, fc2) -> None:
+        super().__init__()
+        self.norm1 = self.add(norm1)
+        self.attn = self.add(attn)
+        self.norm2 = self.add(norm2)
+        self.fc1 = self.add(fc1)
+        self.fc2 = self.add(fc2)
+
+    def forward(self, x):
+        a = self.attn(self.norm1(x))
+        np.add(x, a, out=a)  # a is the out_proj buffer: safe to clobber
+        h = self.fc2(K.gelu_infer(self.fc1(self.norm2(a)), bufs=self._bufs))
+        np.add(a, h, out=h)  # h is the fc2 buffer
+        return h
+
+
+@register_freezer(A.TransformerEncoderBlock)
+def _freeze_pre_ln_block(module: A.TransformerEncoderBlock, ctx) -> FrozenModule:
+    return FrozenPreLNBlock(
+        freeze_module(module.norm1, ctx),
+        freeze_module(module.attn, ctx),
+        freeze_module(module.norm2, ctx),
+        freeze_module(module.fc1, ctx),
+        freeze_module(module.fc2, ctx),
+    )
+
+
+class FrozenPostLNBlock(FrozenModule):
+    def __init__(self, attn, norm1, fc1, fc2, norm2) -> None:
+        super().__init__()
+        self.attn = self.add(attn)
+        self.norm1 = self.add(norm1)
+        self.fc1 = self.add(fc1)
+        self.fc2 = self.add(fc2)
+        self.norm2 = self.add(norm2)
+
+    def forward(self, x):
+        a = self.attn(x)
+        np.add(x, a, out=a)  # a is the out_proj buffer: safe to clobber
+        x = self.norm1(a)
+        h = self.fc2(K.gelu_infer(self.fc1(x), bufs=self._bufs))
+        np.add(x, h, out=h)  # h is the fc2 buffer
+        return self.norm2(h)
+
+
+@register_freezer(A.PostLNEncoderBlock)
+def _freeze_post_ln_block(module: A.PostLNEncoderBlock, ctx) -> FrozenModule:
+    return FrozenPostLNBlock(
+        freeze_module(module.attn, ctx),
+        freeze_module(module.norm1, ctx),
+        freeze_module(module.fc1, ctx),
+        freeze_module(module.fc2, ctx),
+        freeze_module(module.norm2, ctx),
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-model architectures
+# ----------------------------------------------------------------------
+class _nhwc_trunk:
+    """Scope under which conv/pool/norm freezers compile channels-last."""
+
+    def __init__(self, ctx: FreezeContext) -> None:
+        self.ctx = ctx
+
+    def __enter__(self):
+        self.saved = self.ctx.layout
+        self.ctx.layout = "nhwc"
+        return self.ctx
+
+    def __exit__(self, *exc):
+        self.ctx.layout = self.saved
+
+
+def _to_nhwc(x):
+    return x.transpose(0, 2, 3, 1)
+
+
+def _to_nchw(x):
+    return np.ascontiguousarray(x.transpose(0, 3, 1, 2))
+
+
+class FrozenVGG(FrozenModule):
+    def __init__(self, features, classifier) -> None:
+        super().__init__()
+        self.features = self.add(features)
+        self.classifier = self.add(classifier)
+
+    def forward(self, x):
+        out = self.features(_to_nhwc(x))
+        # back to NCHW so the classifier's Flatten sees the same
+        # (C, H, W) feature order the graph model flattens
+        return self.classifier(_to_nchw(out))
+
+
+@register_freezer(M.VGGStyle)
+def _freeze_vgg(module: M.VGGStyle, ctx) -> FrozenModule:
+    with _nhwc_trunk(ctx):
+        features = freeze_module(module.features, ctx)
+    return FrozenVGG(features, freeze_module(module.classifier, ctx))
+
+
+class FrozenResNet(FrozenModule):
+    def __init__(self, stem, bn_stem, stages, fc) -> None:
+        super().__init__()
+        self.stem = self.add(stem)
+        self.bn_stem = self.add(bn_stem)
+        self.stages = self.add(stages)
+        self.fc = self.add(fc)
+
+    def forward(self, x):
+        out = K.relu_infer(self.bn_stem(self.stem(_to_nhwc(x))), bufs=self._bufs)
+        out = self.stages(out)
+        return self.fc(out.mean(axis=(1, 2)))
+
+
+@register_freezer(M.ResNetStyle)
+def _freeze_resnet(module: M.ResNetStyle, ctx) -> FrozenModule:
+    with _nhwc_trunk(ctx):
+        stem = freeze_module(module.stem, ctx)
+        bn_stem = freeze_module(module.bn_stem, ctx)
+        stages = freeze_module(module.stages, ctx)
+    return FrozenResNet(stem, bn_stem, stages, freeze_module(module.fc, ctx))
+
+
+class FrozenInception(FrozenModule):
+    def __init__(self, stem, block1, block2, fc) -> None:
+        super().__init__()
+        self.stem = self.add(stem)
+        self.block1 = self.add(block1)
+        self.block2 = self.add(block2)
+        self.fc = self.add(fc)
+
+    def forward(self, x):
+        out = self.stem(_to_nhwc(x))
+        out = self.block1(out)
+        out = self.block2(out)
+        return self.fc(out.mean(axis=(1, 2)))
+
+
+@register_freezer(M.InceptionStyle)
+def _freeze_inception(module: M.InceptionStyle, ctx) -> FrozenModule:
+    with _nhwc_trunk(ctx):
+        stem = freeze_module(module.stem, ctx)
+        block1 = freeze_module(module.block1, ctx)
+        block2 = freeze_module(module.block2, ctx)
+    return FrozenInception(stem, block1, block2, freeze_module(module.fc, ctx))
+
+
+class FrozenViT(FrozenModule):
+    _arrays = ("pos_embed",)
+
+    def __init__(self, patch_embed, pos_embed, blocks, norm, head) -> None:
+        super().__init__()
+        self.patch_embed = self.add(patch_embed)
+        self.pos_embed = pos_embed
+        self.blocks = self.add(blocks)
+        self.norm = self.add(norm)
+        self.head = self.add(head)
+
+    def forward(self, x):
+        patches = self.patch_embed(_to_nhwc(x))  # (N, H', W', D)
+        n, d = patches.shape[0], patches.shape[3]
+        # (H', W') raster order equals the graph model's token order;
+        # the reshape aliases the conv output, which is ours to clobber
+        tokens = np.ascontiguousarray(patches.reshape(n, -1, d))
+        np.add(tokens, self.pos_embed, out=tokens)
+        tokens = self.norm(self.blocks(tokens))
+        return self.head(tokens.mean(axis=1))
+
+
+@register_freezer(M.ViTStyle)
+def _freeze_vit(module: M.ViTStyle, ctx) -> FrozenModule:
+    with _nhwc_trunk(ctx):
+        patch_embed = freeze_module(module.patch_embed, ctx)
+    return FrozenViT(
+        patch_embed,
+        module.pos_embed.data.copy(),
+        freeze_module(module.blocks, ctx),
+        freeze_module(module.norm, ctx),
+        freeze_module(module.head, ctx),
+    )
+
+
+class FrozenBERT(FrozenModule):
+    _arrays = ("pos",)
+
+    def __init__(self, embed, pos, blocks, pooler, head) -> None:
+        super().__init__()
+        self.embed = self.add(embed)
+        self.pos = pos
+        self.blocks = self.add(blocks)
+        self.pooler = self.add(pooler)
+        self.head = self.add(head)
+
+    def forward(self, tokens):
+        x = self.embed(tokens)  # fresh gather, safe to add into
+        np.add(x, self.pos, out=x)
+        x = self.blocks(x)
+        pooled = self.pooler(x[:, 0, :])
+        np.tanh(pooled, out=pooled)  # pooler buffer
+        return self.head(pooled)
+
+
+@register_freezer(M.BERTStyle)
+def _freeze_bert(module: M.BERTStyle, ctx) -> FrozenModule:
+    return FrozenBERT(
+        freeze_module(module.embed, ctx),
+        module.pos.data.copy(),
+        freeze_module(module.blocks, ctx),
+        freeze_module(module.pooler, ctx),
+        freeze_module(module.head, ctx),
+    )

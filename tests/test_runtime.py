@@ -1,0 +1,370 @@
+"""Frozen inference runtime: packing, freezing, checkpoints, serving.
+
+The load-bearing guarantees:
+
+* ``pack_codes`` -> ``unpack_codes`` round-trips bit-exactly for every
+  registered type at bits 3..8 and for odd element counts (the trailing
+  byte carries padding);
+* a ``freeze()``-ed model reproduces the hook-based fake-quant model to
+  <= 1e-9 on every zoo workload (float64 engine), and to argmax parity
+  in the float32 serving mode;
+* packed checkpoints store low-bit payloads whose size matches
+  ``bits * elements / 8`` and round-trip through ``save``/``load``;
+* the float32 fast index kernels agree exactly with the float32
+  searchsorted reference for finite inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import get_type, pack_codes, packed_nbytes, unpack_codes
+from repro.nn import Linear, ReLU, Sequential
+from repro.nn.autograd import Tensor, no_grad
+from repro.quant.framework import ModelQuantizer
+from repro.runtime import FrozenModel, freeze_model
+from repro.runtime.engine import _fast_index_for
+from repro.zoo import calibration_batch, trained_model
+
+RNG = np.random.default_rng(0)
+
+ALL_NAMES = [
+    f"{kind}{bits}{suffix}"
+    for kind in ("int", "pot", "flint", "float")
+    for bits in range(3, 9)
+    for suffix in ("", "u")
+]
+
+WORKLOADS = [
+    "vgg16",
+    "resnet18",
+    "resnet50",
+    "inceptionv3",
+    "vit",
+    "bert-mnli",
+    "bert-cola",
+    "bert-sst2",
+]
+
+
+# ----------------------------------------------------------------------
+# pack_codes / unpack_codes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bits", range(1, 17))
+@pytest.mark.parametrize("count", [0, 1, 3, 7, 8, 9, 255, 1000, 4097])
+def test_pack_roundtrip_bit_exact(bits, count):
+    codes = RNG.integers(0, 1 << bits, size=count)
+    packed = pack_codes(codes, bits)
+    assert packed.dtype == np.uint8
+    assert packed.size == packed_nbytes(count, bits) == (count * bits + 7) // 8
+    assert np.array_equal(unpack_codes(packed, bits, count), codes)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_pack_roundtrip_through_type_codes(name):
+    """Quantize -> encode -> pack -> unpack -> decode reproduces quantize."""
+    dtype = get_type(name)
+    x = RNG.normal(size=1001) * 3.0  # odd count on purpose
+    if not dtype.signed:
+        x = np.abs(x)
+    scale = 0.37
+    codes = dtype.quantize_to_codes(x, scale)
+    unpacked = unpack_codes(pack_codes(codes, dtype.bits), dtype.bits, x.size)
+    assert np.array_equal(unpacked, codes)
+    assert np.array_equal(dtype.decode(unpacked) * scale, dtype.quantize(x, scale))
+
+
+def test_pack_rejects_bad_input():
+    with pytest.raises(ValueError):
+        pack_codes(np.array([16]), 4)  # out of range
+    with pytest.raises(ValueError):
+        pack_codes(np.array([-1]), 4)
+    with pytest.raises(TypeError):
+        pack_codes(np.array([1.5]), 4)
+    with pytest.raises(ValueError):
+        pack_codes(np.array([1]), 0)
+    with pytest.raises(ValueError):
+        unpack_codes(np.zeros(3, dtype=np.uint8), 4, 100)  # wrong byte count
+
+
+# ----------------------------------------------------------------------
+# float32 fast index kernels == searchsorted
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_fast_index_matches_searchsorted(name):
+    fast = _fast_index_for(name)
+    codec = get_type(name).codec
+    with np.errstate(over="ignore"):
+        mid32 = codec.midpoints.astype(np.float32)
+    if fast is None:
+        # only grids beyond float32 range may fall back
+        assert not np.all(np.isfinite(mid32)) or not np.all(np.diff(mid32) > 0)
+        return
+    probes = np.concatenate([
+        RNG.normal(size=4096) * 3.0,
+        RNG.normal(size=4096) * 1e-3,
+        codec.grid,
+        codec.midpoints,
+        np.nextafter(mid32, np.float32(-np.inf)).astype(np.float64),
+        np.nextafter(mid32, np.float32(np.inf)).astype(np.float64),
+        [0.0, -0.0, 1e30, -1e30, np.inf, -np.inf, 1e-40, -1e-40],
+    ]).astype(np.float32)
+    ref = np.searchsorted(mid32, probes, side="right")
+    assert np.array_equal(fast(probes).copy(), ref)
+
+
+# ----------------------------------------------------------------------
+# Freezing: equivalence with the hook-based fake-quant model
+# ----------------------------------------------------------------------
+def _hook_logits(entry, x):
+    with no_grad():
+        if entry.dataset.input_kind == "tokens":
+            return entry.model(x).data
+        return entry.model(Tensor(x)).data
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_frozen_matches_fake_quant_on_zoo(workload):
+    entry = trained_model(workload)
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        x = entry.dataset.x_test[:96]
+        reference = _hook_logits(entry, x)
+
+        frozen = quantizer.freeze(model_name=workload)
+        out = frozen.predict(x, batch_size=64)
+        assert np.abs(out - reference).max() <= 1e-9
+
+        served = frozen.astype(np.float32).predict(x, batch_size=64)
+        assert served.dtype == np.float32
+        assert np.array_equal(
+            np.argmax(served, axis=1), np.argmax(reference, axis=1)
+        )
+    finally:
+        quantizer.remove()
+
+
+def test_astype_roundtrip_restores_bit_exact_float64():
+    """float32 serving then back to float64 must not degrade precision."""
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze()
+    finally:
+        quantizer.remove()
+    x = entry.dataset.x_test[:32]
+    before = frozen.predict(x)
+    frozen.astype(np.float32).astype(np.float64)
+    assert np.array_equal(frozen.predict(x), before)
+
+
+def test_frozen_matches_with_float_types(tmp_path):
+    """The fip-f combination (FloatType tensors) freezes and reloads.
+
+    FloatType names carry the explicit layout (``float4u_e2m2b1``) and
+    must survive the name-keyed checkpoint round trip.
+    """
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "fip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        x = entry.dataset.x_test[:48]
+        reference = _hook_logits(entry, x)
+        frozen = quantizer.freeze(model_name="vgg16")
+        assert np.abs(frozen.predict(x) - reference).max() <= 1e-9
+        path = tmp_path / "fipf.npz"
+        frozen.save(path)
+        loaded = FrozenModel.load(path)
+        assert np.array_equal(loaded.predict(x), frozen.predict(x))
+    finally:
+        quantizer.remove()
+
+
+def test_registry_roundtrips_float_layout_names():
+    from repro.dtypes import FloatType
+
+    dtype = FloatType(3, 2, signed=True, bias=-1)
+    resolved = get_type(dtype.name)
+    assert resolved == dtype and resolved.name == dtype.name
+
+
+def test_frozen_matches_after_escalation():
+    """Mixed-precision int8 layers freeze through the same path."""
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        first = next(iter(quantizer.layers))
+        quantizer.escalate_layer(first, bits=8)
+        x = entry.dataset.x_test[:64]
+        reference = _hook_logits(entry, x)
+        frozen = quantizer.freeze()
+        assert np.abs(frozen.predict(x) - reference).max() <= 1e-9
+        assert frozen.exports[first].weight.dtype_name == "int8"
+    finally:
+        quantizer.remove()
+
+
+def test_freeze_preserves_training_mode():
+    """Freezing mid-QAT must not silently flip the model to eval."""
+    entry = trained_model("resnet18")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        entry.model.train()
+        quantizer.freeze()
+        assert all(m.training for m in entry.model.modules())
+    finally:
+        quantizer.remove()
+        entry.model.eval()
+
+
+def test_freeze_requires_calibration():
+    model = Sequential(Linear(8, 4))
+    with pytest.raises(RuntimeError):
+        ModelQuantizer(model).freeze()
+
+
+def test_freeze_model_without_exports_is_float_engine():
+    """freeze_model with no exports runs the plain float forward."""
+    model = Sequential(Linear(16, 8), ReLU(), Linear(8, 4))
+    model.eval()
+    x = RNG.normal(size=(32, 16))
+    with no_grad():
+        reference = model(Tensor(x)).data
+    frozen = freeze_model(model)
+    assert np.abs(frozen.predict(x) - reference).max() <= 1e-12
+
+
+def test_predict_batching_is_consistent():
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze()
+    finally:
+        quantizer.remove()
+    x = entry.dataset.x_test[:50]
+    whole = frozen.predict(x, batch_size=64)
+    split = frozen.predict(x, batch_size=7)
+    # BLAS kernel selection varies with the GEMM row count, so batch
+    # splits may differ at the reassociation level, never more
+    assert np.abs(whole - split).max() <= 1e-9
+    labels = frozen.predict_classes(x)
+    assert np.array_equal(labels, np.argmax(whole, axis=1))
+    with pytest.raises(ValueError):
+        frozen.predict(x, batch_size=0)
+
+
+def test_codec_quantize_accepts_integer_input():
+    """Regression: the scale==1.0 alias path must not keep int dtype."""
+    codec = get_type("int4").codec
+    assert np.array_equal(codec.quantize(np.array([1, 2, -3])), [1.0, 2.0, -3.0])
+
+
+def test_act_quant_memo_is_bounded():
+    """Direct (non-FrozenModel) use must not grow the memo unboundedly."""
+    from repro.runtime.engine import FrozenActQuant
+
+    quant = FrozenActQuant("int4", 0.5).astype(np.float32)
+    for i in range(2 * FrozenActQuant._MEMO_LIMIT + 5):
+        quant(np.full(4, float(i % 17), dtype=np.float32))
+    assert len(FrozenActQuant._memo) <= FrozenActQuant._MEMO_LIMIT
+
+
+def test_frozen_act_quant_propagates_nan():
+    from repro.runtime.engine import FrozenActQuant
+
+    quant = FrozenActQuant("int4", 0.5)
+    x = np.array([0.2, np.nan, 100.0, -np.inf])
+    out = quant(x)
+    assert np.isnan(out[1])
+    assert out[2] == 7 * 0.5 and out[3] == -7 * 0.5
+
+
+# ----------------------------------------------------------------------
+# Packed checkpoints
+# ----------------------------------------------------------------------
+def test_packed_sizes_match_report_bits():
+    entry = trained_model("resnet18")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze()
+        report = quantizer.report()
+    finally:
+        quantizer.remove()
+    for name, config in quantizer.layers.items():
+        export = frozen.exports[name]
+        bits = config.weight_quantizer.dtype.bits
+        n = int(config.module.weight.data.size)
+        assert export.weight.packed_nbytes == (n * bits + 7) // 8
+    size = frozen.size_report()
+    # payload bits per element must equal the report's weight bit width
+    weight_bits = [
+        row["bits"] for row in report.layers if row["role"] == "weight"
+    ]
+    assert min(weight_bits) <= size["quantized_weight_bits_per_element"] <= max(weight_bits)
+    # and the packed payload is ~bits/64 of the float64 footprint
+    expected = size["quantized_weight_bits_per_element"] / 64.0
+    actual = size["packed_weight_bytes"] / size["float64_equivalent_bytes"]
+    assert abs(actual - expected) < 0.01
+
+
+def test_checkpoint_roundtrip(tmp_path):
+    entry = trained_model("inceptionv3")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze(model_name="inceptionv3")
+    finally:
+        quantizer.remove()
+    x = entry.dataset.x_test[:48]
+    reference = frozen.predict(x)
+
+    path = tmp_path / "ckpt.npz"
+    frozen.save(path)
+    loaded = FrozenModel.load(path)
+    assert np.array_equal(loaded.predict(x), reference)
+    assert loaded.model_name == "inceptionv3"
+    assert loaded.meta["combination"] == "ip-f"
+
+    # on-disk payload: quantized weights live as packed codes, not floats
+    blob = np.load(path)
+    for name, export in frozen.exports.items():
+        stored = blob[f"wcodes/{name}"]
+        assert stored.dtype == np.uint8
+        assert stored.size == export.weight.packed_nbytes
+        assert f"param/{name}.weight" not in blob.files
+
+
+def test_checkpoint_meta_cannot_corrupt_reserved_keys(tmp_path):
+    model = Sequential(Linear(8, 4))
+    model.eval()
+    frozen = freeze_model(model, meta={"version": 99, "layers": "bogus"})
+    path = tmp_path / "meta.npz"
+    frozen.save(path)
+    loaded = FrozenModel.load(path, model=Sequential(Linear(8, 4)))
+    x = RNG.normal(size=(4, 8))
+    assert np.abs(loaded.predict(x) - frozen.predict(x)).max() <= 1e-12
+
+
+def test_checkpoint_with_explicit_skeleton(tmp_path):
+    """load(model=...) works for models outside the zoo registry."""
+    from repro.nn import models as M
+
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze()  # no model_name recorded
+    finally:
+        quantizer.remove()
+    path = tmp_path / "anon.npz"
+    frozen.save(path)
+    with pytest.raises(ValueError):
+        FrozenModel.load(path)
+    loaded = FrozenModel.load(path, model=M.build_model("vgg16"))
+    x = entry.dataset.x_test[:32]
+    assert np.array_equal(loaded.predict(x), frozen.predict(x))
