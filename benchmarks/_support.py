@@ -1,5 +1,6 @@
 """Shared helpers for the experiment benchmarks."""
 
+import time
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -22,6 +23,25 @@ WORKLOADS = [
 
 CNN_WORKLOADS = WORKLOADS[:4]
 COMBOS = ["int", "ip", "fip", "ip-f", "fip-f"]
+
+
+def measure_seconds(fn, repeats: int, warmup: int):
+    """(median_seconds, max/min spread) of ``fn`` over timed runs.
+
+    Variance control shared by the perf benchmarks: this container
+    shows large run-to-run noise (+-40% has been observed), so every
+    reported timing is a median after ``warmup`` discarded runs, and
+    the max/min spread across the timed runs is recorded alongside it
+    as the honest noise bar.
+    """
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times)), float(np.max(times) / np.min(times))
 
 
 def weighted_model_mse(quantizer: ModelQuantizer) -> float:

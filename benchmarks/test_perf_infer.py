@@ -22,7 +22,6 @@ the JSON is the record of what this machine actually measured.
 """
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
@@ -31,7 +30,7 @@ from repro.nn.autograd import Tensor, no_grad
 from repro.quant.framework import ModelQuantizer
 from repro.zoo import calibration_batch
 
-from _support import WORKLOADS
+from _support import WORKLOADS, measure_seconds
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_infer.json"
@@ -40,14 +39,15 @@ N_SAMPLES = 1024
 HOOK_BATCH = 128     # evaluate()'s default serving batch
 FROZEN_BATCH = 512
 
+#: variance control: every timing is the median of REPEATS runs after
+#: WARMUP discarded runs, with the spread recorded in the JSON (see
+#: :func:`_support.measure_seconds`).
+REPEATS = 5
+WARMUP = 1
 
-def _best_seconds(fn, repeats: int = 3) -> float:
-    best = np.inf
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+
+def _measure_seconds(fn):
+    return measure_seconds(fn, REPEATS, WARMUP)
 
 
 def _hook_serve(entry, x, tokens: bool):
@@ -87,10 +87,16 @@ def test_perf_infer(zoo, emit):
                 with no_grad():
                     _hook_serve(entry, x, tokens)
 
-            hook_s = _best_seconds(hook_nograd)
-            autograd_s = _best_seconds(lambda: _hook_serve(entry, x, tokens))
-            f64_s = _best_seconds(lambda: frozen64.predict(x, FROZEN_BATCH))
-            f32_s = _best_seconds(lambda: frozen32.predict(x, FROZEN_BATCH))
+            hook_s, hook_spread = _measure_seconds(hook_nograd)
+            autograd_s, autograd_spread = _measure_seconds(
+                lambda: _hook_serve(entry, x, tokens)
+            )
+            f64_s, f64_spread = _measure_seconds(
+                lambda: frozen64.predict(x, FROZEN_BATCH)
+            )
+            f32_s, f32_spread = _measure_seconds(
+                lambda: frozen32.predict(x, FROZEN_BATCH)
+            )
         finally:
             quantizer.remove()
 
@@ -110,6 +116,12 @@ def test_perf_infer(zoo, emit):
             "float32_argmax_parity": parity,
             "packed_weight_bytes": size["packed_weight_bytes"],
             "float64_equivalent_bytes": size["float64_equivalent_bytes"],
+            "timing_spread_max_over_min": {
+                "hook_serving": hook_spread,
+                "hook_autograd": autograd_spread,
+                "frozen_float64": f64_spread,
+                "frozen_float32": f32_spread,
+            },
         }
         rows.append(
             f"{workload:>12}: hook {N_SAMPLES/hook_s:8.0f} smp/s | frozen f64 "
@@ -136,6 +148,9 @@ def test_perf_infer(zoo, emit):
         "frozen_batch": FROZEN_BATCH,
         "combination": "ip-f",
         "bits": 4,
+        "timing_method": "median",
+        "timing_repeats": REPEATS,
+        "timing_warmup": WARMUP,
     }
     BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
 

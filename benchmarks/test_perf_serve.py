@@ -1,0 +1,205 @@
+"""Parallel-serving benchmark: worker-pool scaling vs hook serving.
+
+Writes ``BENCH_serve.json`` at the repository root.  For every zoo
+workload it:
+
+* freezes a calibrated model to a packed checkpoint and measures the
+  single-process baselines (hook serving with batches of 128, frozen
+  float32 ``predict``, and the weight-only engine);
+* serves the same samples through :class:`repro.serve.ServingPool` at
+  1 / 2 / 4 workers (``REPRO_SERVE_BENCH_WORKERS`` overrides the
+  counts, which is how CI runs a 2-worker smoke) via ``map_predict``,
+  recording aggregate samples/sec per worker count -- the scaling
+  curve;
+* asserts pooled results are **bit-identical** to the single-process
+  ``predict(x, batch_size, pad_batches=True)`` reference.
+
+Every timing is the median of ``REPEATS`` runs after a warmup run,
+with the max/min spread recorded -- this container's run-to-run noise
+is large (+-40% has been observed), so the committed JSON records both
+the numbers and the noise bar.  Worker scaling is bounded by the
+machine: on a single-core host the pool can only preserve single-
+process throughput (the curve stays flat), while multi-core hosts
+multiply it.  The committed artifact is the record of what this
+machine measured; the assertion floors are deliberately conservative.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.quant.framework import ModelQuantizer
+from repro.serve import ServingPool
+from repro.zoo import cache_dir, calibration_batch
+
+from _support import WORKLOADS, measure_seconds
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_serve.json"
+
+N_SAMPLES = 2048
+HOOK_BATCH = 128      # evaluate()-style serving loop, the PR-2 baseline
+SERVE_BATCH = 256     # the pool's fixed forward shape
+REPEATS = 3
+WARMUP = 1
+
+_default_counts = "1,2,4"
+WORKER_COUNTS = [
+    int(n)
+    for n in os.environ.get("REPRO_SERVE_BENCH_WORKERS", _default_counts).split(",")
+]
+
+
+def _measure_seconds(fn):
+    return measure_seconds(fn, REPEATS, WARMUP)
+
+
+def test_perf_serve(zoo, emit):
+    results = {}
+    rows = []
+    n_cores = os.cpu_count() or 1
+    for workload in WORKLOADS:
+        entry = zoo(workload)
+        dataset = entry.dataset
+        tokens = dataset.input_kind == "tokens"
+        reps = max(1, -(-N_SAMPLES // dataset.x_test.shape[0]))
+        x = np.concatenate([dataset.x_test] * reps)[:N_SAMPLES]
+
+        quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+        quantizer.calibrate(calibration_batch(dataset)).apply()
+        try:
+            frozen32 = quantizer.freeze(model_name=workload, dtype=np.float32)
+            weight_only32 = quantizer.freeze(
+                model_name=workload, dtype=np.float32, weight_only=True
+            )
+            ckpt = cache_dir() / f"serve_bench_{workload}.npz"
+            quantizer.freeze(model_name=workload).save(ckpt)
+
+            def hook_serve():
+                with no_grad():
+                    for start in range(0, N_SAMPLES, HOOK_BATCH):
+                        batch = x[start: start + HOOK_BATCH]
+                        entry.model(batch if tokens else Tensor(batch))
+
+            hook_s, hook_spread = _measure_seconds(hook_serve)
+            single_s, single_spread = _measure_seconds(
+                lambda: frozen32.predict(x, SERVE_BATCH)
+            )
+            wo_s, wo_spread = _measure_seconds(
+                lambda: weight_only32.predict(x, SERVE_BATCH)
+            )
+        finally:
+            quantizer.remove()
+
+        reference = frozen32.predict(x, SERVE_BATCH, pad_batches=True)
+        scaling = {}
+        for n_workers in WORKER_COUNTS:
+            with ServingPool(
+                ckpt, n_workers=n_workers, batch_size=SERVE_BATCH
+            ) as pool:
+                # correctness first: pooled serving must be bit-identical
+                # to the single-process fixed-shape reference
+                pooled = pool.map_predict(x)
+                assert pooled.dtype == reference.dtype
+                assert np.array_equal(pooled, reference), (workload, n_workers)
+                pool_s, pool_spread = _measure_seconds(
+                    lambda: pool.map_predict(x)
+                )
+            scaling[str(n_workers)] = {
+                "seconds": pool_s,
+                "samples_per_sec": N_SAMPLES / pool_s,
+                "speedup_vs_hook": hook_s / pool_s,
+                "timing_spread_max_over_min": pool_spread,
+            }
+
+        results[workload] = {
+            "samples": N_SAMPLES,
+            "hook_serving_seconds": hook_s,
+            "hook_samples_per_sec": N_SAMPLES / hook_s,
+            "frozen_float32_seconds": single_s,
+            "frozen_float32_samples_per_sec": N_SAMPLES / single_s,
+            "frozen_float32_speedup_vs_hook": hook_s / single_s,
+            "weight_only_float32_seconds": wo_s,
+            "weight_only_float32_samples_per_sec": N_SAMPLES / wo_s,
+            "weight_only_float32_speedup_vs_hook": hook_s / wo_s,
+            "pool_scaling": scaling,
+            "timing_spread_max_over_min": {
+                "hook_serving": hook_spread,
+                "frozen_float32": single_spread,
+                "weight_only_float32": wo_spread,
+            },
+        }
+        best = max(scaling.values(), key=lambda s: s["samples_per_sec"])
+        rows.append(
+            f"{workload:>12}: hook {N_SAMPLES/hook_s:8.0f} smp/s | "
+            f"1-proc f32 {hook_s/single_s:4.1f}x  w/o-act {hook_s/wo_s:4.1f}x | pool "
+            + "  ".join(
+                f"{n}w {scaling[str(n)]['speedup_vs_hook']:4.1f}x"
+                for n in WORKER_COUNTS
+            )
+            + f" | best {best['samples_per_sec']:8.0f} smp/s"
+        )
+
+    aggregate = {}
+    for n_workers in WORKER_COUNTS:
+        speedups = [
+            results[w]["pool_scaling"][str(n_workers)]["speedup_vs_hook"]
+            for w in WORKLOADS
+        ]
+        aggregate[f"geomean_pool_speedup_{n_workers}w"] = float(
+            np.exp(np.mean(np.log(speedups)))
+        )
+    single = [results[w]["frozen_float32_speedup_vs_hook"] for w in WORKLOADS]
+    weight_only = [
+        results[w]["weight_only_float32_speedup_vs_hook"] for w in WORKLOADS
+    ]
+    aggregate["geomean_single_process_speedup"] = float(
+        np.exp(np.mean(np.log(single)))
+    )
+    aggregate["geomean_weight_only_speedup"] = float(
+        np.exp(np.mean(np.log(weight_only)))
+    )
+    results["aggregate"] = aggregate
+    results["meta"] = {
+        "description": (
+            "parallel serving: worker-pool aggregate throughput vs "
+            "single-process hook serving (batches of 128, no_grad), "
+            "with per-worker-count scaling and single-core deltas"
+        ),
+        "hook_batch": HOOK_BATCH,
+        "serve_batch": SERVE_BATCH,
+        "worker_counts": WORKER_COUNTS,
+        "cpu_cores": n_cores,
+        "combination": "ip-f",
+        "bits": 4,
+        "timing_method": "median",
+        "timing_repeats": REPEATS,
+        "timing_warmup": WARMUP,
+    }
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows.append(
+        "     geomean: 1-proc "
+        f"{aggregate['geomean_single_process_speedup']:4.1f}x | pool "
+        + "  ".join(
+            f"{n}w {aggregate[f'geomean_pool_speedup_{n}w']:4.1f}x"
+            for n in WORKER_COUNTS
+        )
+        + f" | {n_cores} core(s)"
+    )
+    emit("BENCH_serve", "pool serving vs hook-based path\n" + "\n".join(rows))
+
+    # Conservative floors (shared runners and single-core hosts; the
+    # committed BENCH_serve.json is the record): the pool must clearly
+    # beat hook serving at its best worker count and must not collapse
+    # relative to one process.
+    best_count = max(
+        WORKER_COUNTS,
+        key=lambda n: aggregate[f"geomean_pool_speedup_{n}w"],
+    )
+    best_geomean = aggregate[f"geomean_pool_speedup_{best_count}w"]
+    assert best_geomean >= 2.0, aggregate
+    assert aggregate["geomean_single_process_speedup"] >= 1.5, aggregate

@@ -1,0 +1,81 @@
+"""Serve traffic in parallel from a packed frozen checkpoint.
+
+Run:  python examples/serve_pool.py [workload] [n_workers] [batch_size]
+
+Builds on ``examples/serve_frozen.py``: after calibrate -> freeze ->
+save, the packed ``.npz`` checkpoint is served by a
+:class:`repro.serve.ServingPool` -- N worker processes that each decode
+the checkpoint once, a micro-batching queue that coalesces
+single-sample requests into shared forwards, and a bulk ``map_predict``
+path that shards large arrays across the workers.  Pool results are
+bit-identical to single-process ``FrozenModel.predict`` with padded
+batches, which the script verifies.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.quant import ModelQuantizer
+from repro.runtime import FrozenModel
+from repro.serve import ServingClient, ServingPool
+from repro.zoo import calibration_batch, trained_model
+
+
+def main(workload: str = "resnet18", n_workers: int = 2, batch_size: int = 256) -> None:
+    print(f"== loading / training workload {workload!r} (cached after first run)")
+    entry = trained_model(workload)
+    dataset = entry.dataset
+
+    print("== calibrate + freeze + save (one-time, offline)")
+    quantizer = ModelQuantizer(entry.model, combination="ip-f", bits=4)
+    quantizer.calibrate(calibration_batch(dataset, n=100)).apply()
+    frozen = quantizer.freeze(model_name=workload)
+    quantizer.remove()
+    ckpt = Path(".cache") / f"{workload}_pool.npz"
+    ckpt.parent.mkdir(exist_ok=True)
+    frozen.save(ckpt)
+
+    x = np.concatenate([dataset.x_test] * 8)
+    reference = FrozenModel.load(ckpt).astype(np.float32)
+    expected = reference.predict(x, batch_size=batch_size, pad_batches=True)
+
+    print(f"== serve with a {n_workers}-worker pool (each decodes the checkpoint once)")
+    with ServingPool(
+        ckpt, n_workers=n_workers, batch_size=batch_size, max_wait_ms=2.0
+    ) as pool:
+        start = time.perf_counter()
+        bulk = pool.map_predict(x)
+        elapsed = time.perf_counter() - start
+        print(f"   map_predict: {x.shape[0]} samples in {elapsed:.3f}s "
+              f"({x.shape[0] / elapsed:.0f} samples/sec aggregate)")
+        print(f"   bit-identical to single-process predict: "
+              f"{np.array_equal(bulk, expected)}")
+
+        client = ServingClient(pool)
+        sample_logits = client.predict_one(x[0])
+        print(f"   micro-batched single request -> logits {sample_logits.shape}, "
+              f"bit-identical: {np.array_equal(sample_logits, expected[0])}")
+        print(f"   pool stats: {pool.stats()}")
+
+    print("== weight-only mode (packed low-bit weights, float activations)")
+    with ServingPool(
+        ckpt, n_workers=n_workers, batch_size=batch_size, weight_only=True
+    ) as pool:
+        start = time.perf_counter()
+        labels = np.argmax(pool.map_predict(x), axis=1)
+        elapsed = time.perf_counter() - start
+        accuracy = float(np.mean(labels[: dataset.n_test] == dataset.y_test))
+        print(f"   served {x.shape[0]} samples in {elapsed:.3f}s "
+              f"({x.shape[0] / elapsed:.0f} samples/sec); accuracy {accuracy:.4f} "
+              f"(fp32 reference {entry.fp32_accuracy:.4f})")
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "resnet18",
+        int(sys.argv[2]) if len(sys.argv) > 2 else 2,
+        int(sys.argv[3]) if len(sys.argv) > 3 else 256,
+    )

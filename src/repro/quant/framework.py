@@ -148,24 +148,46 @@ class ModelQuantizer:
         return captured
 
     # ------------------------------------------------------------------
+    def _calibrate_weight(self, module) -> TensorQuantizer:
+        weight_q = TensorQuantizer(
+            self.registry.candidates(self.combination, self.bits, signed=True),
+            granularity=Granularity.PER_CHANNEL,
+            channel_axis=0,
+            max_calibration_samples=self.max_calibration_samples,
+        )
+        weight_q.calibrate(module.weight.data)
+        return weight_q
+
+    def _calibrate_input(self, act: np.ndarray, act_signed: bool) -> TensorQuantizer:
+        input_q = TensorQuantizer(
+            self.registry.candidates(self.combination, self.bits, signed=act_signed),
+            Granularity.PER_TENSOR,
+            max_calibration_samples=self.max_calibration_samples,
+        )
+        input_q.calibrate(act)
+        return input_q
+
     def calibrate(self, calibration_batch) -> "ModelQuantizer":
-        """Select per-tensor types and scales from a calibration batch."""
+        """Select per-tensor types and scales from calibration data.
+
+        ``calibration_batch`` is either one in-memory batch (an
+        ``np.ndarray`` -- or a nested list/tuple, coerced as before --
+        the classic single-batch path, numerically untouched) or a
+        non-sequence iterable of batches (generator, iterator), which
+        routes to :meth:`calibrate_streaming` so calibration scales
+        past memory.
+        """
+        if isinstance(calibration_batch, (list, tuple)):
+            # sequences were always one batch; only true iterators stream
+            calibration_batch = np.asarray(calibration_batch)
+        if not isinstance(calibration_batch, np.ndarray):
+            return self.calibrate_streaming(calibration_batch)
         self._calibration_batch = calibration_batch
         captured = self._capture_inputs(calibration_batch)
         modules = quantizable_layers(self.model)
         self.layers = {}
         for name, module in modules.items():
-            weight = module.weight.data
-            weight_candidates = self.registry.candidates(
-                self.combination, self.bits, signed=True
-            )
-            weight_q = TensorQuantizer(
-                weight_candidates,
-                granularity=Granularity.PER_CHANNEL,
-                channel_axis=0,
-                max_calibration_samples=self.max_calibration_samples,
-            )
-            weight_q.calibrate(weight)
+            weight_q = self._calibrate_weight(module)
 
             act = captured.get(name)
             if act is None:
@@ -173,22 +195,72 @@ class ModelQuantizer:
                     f"layer {name!r} received no input during calibration"
                 )
             act_signed = bool(np.min(act) < 0.0)
-            input_candidates = self.registry.candidates(
-                self.combination, self.bits, signed=act_signed
-            )
-            input_q = TensorQuantizer(
-                input_candidates,
-                Granularity.PER_TENSOR,
-                max_calibration_samples=self.max_calibration_samples,
-            )
-            input_q.calibrate(act)
+            input_q = self._calibrate_input(act, act_signed)
 
             self.layers[name] = LayerQuantConfig(
                 name=name,
                 module=module,
                 weight_quantizer=weight_q,
                 input_quantizer=input_q,
-                weight_sample=weight.copy(),
+                weight_sample=module.weight.data.copy(),
+                input_sample=act,
+            )
+        return self
+
+    def calibrate_streaming(self, batches) -> "ModelQuantizer":
+        """Calibrate from an iterator of batches, one batch in memory
+        at a time.
+
+        Algorithm 2's per-layer statistics fold incrementally
+        (:class:`repro.quant.streaming.StreamingTensorStats`): exact
+        running extrema anchor the scale sweeps, and a bounded
+        deterministic reservoir (``max_calibration_samples`` elements;
+        ``None`` keeps everything, making the result identical to
+        single-batch calibration on the concatenated stream) stands in
+        for the full activation in the MSE sweeps.  Weight statistics
+        never stream -- weights do not depend on the data.
+
+        The first batch is retained as the representative batch for
+        :meth:`layer_sensitivity`.
+        """
+        from repro.quant.streaming import StreamingTensorStats
+
+        stats: Dict[str, StreamingTensorStats] = {}
+        first_batch = None
+        n_batches = 0
+        for batch in batches:
+            batch = np.asarray(batch)
+            if first_batch is None:
+                first_batch = batch
+            captured = self._capture_inputs(batch)
+            for name, act in captured.items():
+                if name not in stats:
+                    stats[name] = StreamingTensorStats(
+                        capacity=self.max_calibration_samples
+                    )
+                stats[name].update(act)
+            n_batches += 1
+        if n_batches == 0:
+            raise ValueError("calibration stream yielded no batches")
+        self._calibration_batch = first_batch
+
+        modules = quantizable_layers(self.model)
+        self.layers = {}
+        for name, module in modules.items():
+            layer_stats = stats.get(name)
+            if layer_stats is None:
+                raise RuntimeError(
+                    f"layer {name!r} received no input during calibration"
+                )
+            weight_q = self._calibrate_weight(module)
+            act = layer_stats.anchored_sample()
+            input_q = self._calibrate_input(act, layer_stats.minimum < 0.0)
+            self.layers[name] = LayerQuantConfig(
+                name=name,
+                module=module,
+                weight_quantizer=weight_q,
+                input_quantizer=input_q,
+                weight_sample=module.weight.data.copy(),
                 input_sample=act,
             )
         return self
@@ -217,7 +289,12 @@ class ModelQuantizer:
         detach_fake_quant(self.model)
 
     # ------------------------------------------------------------------
-    def freeze(self, model_name: Optional[str] = None, dtype=np.float64):
+    def freeze(
+        self,
+        model_name: Optional[str] = None,
+        dtype=np.float64,
+        weight_only: bool = False,
+    ):
         """Export the calibrated model as an inference-only engine.
 
         Every quantized layer's weight is encoded **once** into a packed
@@ -239,6 +316,12 @@ class ModelQuantizer:
             Compute dtype of the frozen engine.  ``np.float64``
             (default) matches the fake-quant graph bit-for-bit;
             ``np.float32`` is the serving fast path.
+        weight_only:
+            Skip activation quantization entirely: the engine serves
+            packed low-bit weights with float activations (the
+            GOBO-style weight-only mode for workloads where activation
+            quantization is accuracy-critical).  In float64 this
+            matches the hook model with input fake-quant detached.
         """
         from repro.runtime import LayerExport, export_packed_weight, freeze_model
 
@@ -252,15 +335,25 @@ class ModelQuantizer:
                     weight=export_packed_weight(
                         config.weight_quantizer, config.module.weight.data
                     ),
-                    act_dtype_name=config.input_quantizer.dtype.name,
-                    act_scale=float(config.input_quantizer.choice.scale),
+                    act_dtype_name=(
+                        None if weight_only else config.input_quantizer.dtype.name
+                    ),
+                    act_scale=(
+                        None
+                        if weight_only
+                        else float(config.input_quantizer.choice.scale)
+                    ),
                 )
             )
         frozen = freeze_model(
             self.model,
             exports,
             model_name=model_name,
-            meta={"combination": self.combination, "bits": self.bits},
+            meta={
+                "combination": self.combination,
+                "bits": self.bits,
+                "weight_only": weight_only,
+            },
         )
         if np.dtype(dtype) != np.float64:
             frozen.astype(dtype)

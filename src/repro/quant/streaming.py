@@ -1,0 +1,134 @@
+"""Streaming calibration statistics (Algorithm 2 past memory limits).
+
+``ModelQuantizer.calibrate`` classically captures one in-memory batch
+per layer.  For calibration sets that do not fit in memory,
+:class:`StreamingTensorStats` folds the per-layer statistics Algorithm
+2 actually consumes incrementally, one batch at a time:
+
+* **running extrema** -- the exact stream min/max.  The scale sweep's
+  candidate grid is anchored to the tensor peak, so the peak must be
+  exact regardless of how the MSE estimate is subsampled (the same
+  invariant :func:`repro.quant.scale_search.search_scale` keeps via
+  ``tensor_scale`` on the full tensor);
+* **running moments** -- count, sum, sum of squares (distribution
+  shape reporting and sanity checks);
+* **a bounded reservoir** -- a uniform sample of stream elements
+  (vectorized reservoir sampling from a fixed-seed generator, so a
+  given stream order always yields the same sample) that stands in for
+  the full tensor in the MSE sweeps.
+
+With an *unbounded* reservoir (``capacity=None``) the accumulated
+sample is the concatenated stream itself, and streaming calibration
+selects exactly the types and scales the single-batch path would --
+the equivalence the tests pin down.  With a bounded reservoir the MSE
+estimate is subsampled (as the single-batch path already does via
+``max_calibration_samples``) while the peak stays exact through
+:meth:`StreamingTensorStats.anchored_sample`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class StreamingTensorStats:
+    """Incremental per-tensor calibration statistics.
+
+    Parameters
+    ----------
+    capacity:
+        Reservoir size in elements; ``None`` keeps every element (the
+        sample then *is* the stream, and memory grows with it).
+    seed:
+        Generator seed; a fixed seed makes the reservoir a
+        deterministic function of the stream order.
+    """
+
+    def __init__(self, capacity: Optional[int] = 1 << 16, seed: int = 0) -> None:
+        if capacity is not None and capacity < 2:
+            raise ValueError(f"capacity must be >= 2 (or None), got {capacity}")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self.count = 0
+        self.minimum = np.inf
+        self.maximum = -np.inf
+        self.total = 0.0
+        self.total_sq = 0.0
+        self._reservoir: Optional[np.ndarray] = None
+        self._filled = 0
+        self._chunks: List[np.ndarray] = []  # unbounded mode
+
+    # ------------------------------------------------------------------
+    def update(self, x: np.ndarray) -> "StreamingTensorStats":
+        """Fold one batch of values into the running statistics."""
+        flat = np.asarray(x, dtype=np.float64).ravel()
+        if flat.size == 0:
+            return self
+        if not np.all(np.isfinite(flat)):
+            raise ValueError("calibration batch contains NaN or inf")
+        self.minimum = min(self.minimum, float(flat.min()))
+        self.maximum = max(self.maximum, float(flat.max()))
+        self.total += float(flat.sum())
+        self.total_sq += float(np.dot(flat, flat))
+        if self.capacity is None:
+            self._chunks.append(flat.copy())
+            self.count += flat.size
+            return self
+        start = 0
+        if self._reservoir is None:
+            self._reservoir = np.empty(self.capacity, dtype=np.float64)
+        if self._filled < self.capacity:
+            take = min(self.capacity - self._filled, flat.size)
+            self._reservoir[self._filled: self._filled + take] = flat[:take]
+            self._filled += take
+            start = take
+        if start < flat.size:
+            # vectorized reservoir sampling: element with global index i
+            # replaces a uniform slot with probability capacity/(i+1)
+            rest = flat[start:]
+            global_idx = self.count + start + np.arange(rest.size, dtype=np.float64)
+            accept = self._rng.random(rest.size) < self.capacity / (global_idx + 1.0)
+            n_accept = int(accept.sum())
+            if n_accept:
+                slots = self._rng.integers(0, self.capacity, size=n_accept)
+                self._reservoir[slots] = rest[accept]
+        self.count += flat.size
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def second_moment(self) -> float:
+        return self.total_sq / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return max(0.0, self.second_moment - self.mean ** 2)
+
+    def sample(self) -> np.ndarray:
+        """The reservoir contents (or the full stream when unbounded)."""
+        if self.count == 0:
+            raise ValueError("no calibration data was streamed")
+        if self.capacity is None:
+            return self._chunks[0] if len(self._chunks) == 1 else np.concatenate(self._chunks)
+        return self._reservoir[: self._filled]
+
+    def anchored_sample(self) -> np.ndarray:
+        """Reservoir sample with the exact stream extrema appended.
+
+        The appended min/max anchor the scale sweep's base scale to the
+        true stream peak, exactly as the non-streaming path anchors to
+        the full tensor's peak while subsampling only the MSE estimate.
+        An unbounded reservoir already contains the extrema, so it is
+        returned as-is (keeping the streamed-equals-single-batch
+        equivalence exact).
+        """
+        base = self.sample()
+        if self.capacity is None:
+            return base
+        return np.concatenate([base, [self.minimum, self.maximum]])

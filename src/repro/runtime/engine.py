@@ -32,6 +32,7 @@ fast path.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Type
@@ -165,16 +166,22 @@ class _FastGridIndex:
     every non-NaN float32, ties included.
 
     All intermediates are in-place ops over pooled scratch buffers;
-    fresh multi-MB allocations cost more than the arithmetic.
+    fresh multi-MB allocations cost more than the arithmetic.  Index
+    buffers are ``np.intp`` and gathers run ``mode="clip"``: any other
+    index dtype makes ``np.take`` allocate and cast a full-size index
+    copy per call, and the default bounds-checking gather is several
+    times slower than the clip kernel (indices are in range by
+    construction -- the build gate proves it, so clip never bites).
     """
 
-    __slots__ = ("inv_step", "offset", "midhigh", "top")
+    __slots__ = ("inv_step", "offset", "midhigh", "top", "ftop")
 
     def __init__(self, inv_step, offset, midhigh, top) -> None:
         self.inv_step = np.float32(inv_step)
         self.offset = np.float32(offset)
         self.midhigh = midhigh
-        self.top = np.int32(top)
+        self.top = int(top)
+        self.ftop = np.float32(top)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -194,7 +201,10 @@ class _FastGridIndex:
         index = cls(
             inv_step=1.0 / step,
             offset=0.5 - grid[0] / step - 2.0 ** -12,
-            midhigh=np.concatenate([mid32, [np.float32(np.inf)]]),
+            # NaN sentinel: a >= compare against it is always False, so
+            # idx0 == top can never be pushed past the grid even for
+            # +inf inputs (which made an inf sentinel compare True)
+            midhigh=np.concatenate([mid32, [np.float32(np.nan)]]),
             top=grid.size - 1,
         )
         return index if _agrees_with_searchsorted(index, mid32) else None
@@ -208,18 +218,19 @@ class _FastGridIndex:
         """
         shape = scaled.shape
         t = _SCRATCH.get("fgi-t", shape, np.float32)
-        idx = _SCRATCH.get("fgi-idx", shape, np.int32)
+        idx = _SCRATCH.get("fgi-idx", shape, np.intp)
         bound = _SCRATCH.get("fgi-bound", shape, np.float32)
         above = _SCRATCH.get("fgi-above", shape, np.bool_)
         np.multiply(scaled, self.inv_step, out=t)
         np.add(t, self.offset, out=t)
         np.floor(t, out=t)
-        np.clip(t, np.float32(0.0), np.float32(self.top), out=t)  # also +-inf
+        np.clip(t, np.float32(0.0), self.ftop, out=t)  # also +-inf
         np.copyto(idx, t, casting="unsafe")
-        np.take(self.midhigh, idx, out=bound)
+        np.take(self.midhigh, idx, out=bound, mode="clip")
         np.greater_equal(scaled, bound, out=above)  # exact; ties go right
+        # idx0 == top compares against the NaN sentinel (always False),
+        # so the +1 can never push past top: no upper clamp pass needed
         np.add(idx, above, out=idx)
-        np.minimum(idx, self.top, out=idx)
         return idx
 
 
@@ -267,12 +278,15 @@ class _BitLutGridIndex:
             imax = np.searchsorted(mid32, bucket_max, side="right")
             if not np.all(((imax - imin) <= 1) | ~finite):
                 continue  # bucket too wide for this grid; refine
-            table = imin.astype(np.int32)
+            # intp so the per-call gathers never cast the index array
+            table = imin.astype(np.intp)
             # the -inf bucket also contains NaN bit patterns, which
             # poisoned its searchsorted entry; -inf must saturate low
             # (NaN inputs never reach the fast path)
             table[np.uint32(0xFF800000) >> np.uint32(shift)] = 0
-            midhigh = np.concatenate([mid32, [np.float32(np.inf)]])
+            # NaN sentinel (not inf): keeps the +1 correction from
+            # escaping the grid on +inf inputs without an extra clamp
+            midhigh = np.concatenate([mid32, [np.float32(np.nan)]])
             index = cls(
                 shift=shift,
                 table=table,
@@ -284,18 +298,26 @@ class _BitLutGridIndex:
         return None
 
     def __call__(self, scaled: np.ndarray) -> np.ndarray:
-        """Indices for finite non-NaN float32 ``scaled`` (in scratch)."""
+        """Indices for finite non-NaN float32 ``scaled`` (in scratch).
+
+        Index buffers are ``np.intp`` and gathers use ``mode="clip"``
+        for the same reason as :class:`_FastGridIndex`: any other
+        combination makes ``np.take`` cast (and allocate) a full index
+        copy and run the slower bounds-checked kernel per call.
+        """
         shape = scaled.shape
-        keys = _SCRATCH.get("blt-keys", shape, np.uint32)
-        idx = _SCRATCH.get("fgi-idx", shape, np.int32)
+        keys = _SCRATCH.get("blt-keys", shape, np.intp)
+        idx = _SCRATCH.get("fgi-idx", shape, np.intp)
         bound = _SCRATCH.get("blt-bound", shape, np.float32)
         above = _SCRATCH.get("blt-above", shape, np.bool_)
-        np.right_shift(scaled.view(np.uint32), self.shift, out=keys)
-        np.take(self.table, keys, out=idx)
-        np.take(self.midhigh, idx, out=bound)
+        # the unsafe cast folds uint32 -> intp into the shift pass
+        np.right_shift(scaled.view(np.uint32), self.shift, out=keys, casting="unsafe")
+        np.take(self.table, keys, out=idx, mode="clip")
+        np.take(self.midhigh, idx, out=bound, mode="clip")
         np.greater_equal(scaled, bound, out=above)  # ties go right
+        # table entries are <= top and idx == top sees the NaN sentinel,
+        # so the +1 correction cannot escape the grid (gate-verified)
         np.add(idx, above, out=idx)
-        np.minimum(idx, self.top, out=idx)  # +inf lands past the top cell
         return idx
 
 
@@ -412,7 +434,7 @@ class FrozenActQuant:
                 else:
                     out = scratch(self._bufs, "faq-out", x.shape, np.float32)
                     self._last_gen = FrozenActQuant._generation
-                np.take(self.lut, self._fast(scaled), out=out)
+                np.take(self.lut, self._fast(scaled), out=out, mode="clip")
                 self._memo[key] = (x, out)
                 return out
         scaled = x / self.scale
@@ -481,15 +503,27 @@ class FrozenModule:
 
 @dataclass
 class LayerExport:
-    """Export bundle for one quantized Conv2d/Linear layer."""
+    """Export bundle for one quantized Conv2d/Linear layer.
+
+    ``act_dtype_name`` of ``None`` marks a weight-only export: packed
+    low-bit weights with float activations (no runtime activation
+    fake-quant at all) -- the GOBO-style serving mode for workloads
+    where activation quantization is accuracy-critical.
+    """
 
     name: str
     weight: PackedTensor
-    act_dtype_name: str
-    act_scale: float
+    act_dtype_name: Optional[str]
+    act_scale: Optional[float]
 
-    def act_quant(self) -> FrozenActQuant:
+    def act_quant(self) -> Optional[FrozenActQuant]:
+        if self.act_dtype_name is None:
+            return None
         return FrozenActQuant(self.act_dtype_name, self.act_scale)
+
+    def without_act_quant(self) -> "LayerExport":
+        """The same weight export with activation quantization dropped."""
+        return dataclasses.replace(self, act_dtype_name=None, act_scale=None)
 
 
 class FreezeContext:
@@ -610,19 +644,40 @@ class FrozenModel:
 
     __call__ = forward
 
-    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Batched serving entry point: logits for ``x`` in minibatches."""
+    def predict(
+        self, x: np.ndarray, batch_size: int = 256, pad_batches: bool = False
+    ) -> np.ndarray:
+        """Batched serving entry point: logits for ``x`` in minibatches.
+
+        With ``pad_batches=True`` every forward pass runs at exactly
+        ``batch_size`` rows: a short final batch is zero-padded and the
+        padding rows are sliced off the result.  Fixing the batch shape
+        makes each sample's logits a pure function of that sample alone
+        -- BLAS kernel selection depends on the GEMM row count, so
+        *unpadded* partial batches can differ at the reassociation
+        level.  The parallel serving pool (:mod:`repro.serve`) pads all
+        its dispatches, which is what makes pooled results bit-identical
+        to this method regardless of how requests were coalesced or
+        sharded.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         x = np.asarray(x)
-        # forward() may return a view into a reused internal buffer, so
-        # each batch's logits are copied out before the next overwrites it
-        outputs = [
-            self.forward(x[start: start + batch_size]).copy()
-            for start in range(0, x.shape[0], batch_size)
-        ]
-        if not outputs:
+        if x.shape[0] == 0:
             raise ValueError("predict() needs at least one sample")
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            batch = x[start: start + batch_size]
+            short = batch_size - batch.shape[0]
+            if pad_batches and short > 0:
+                pad = np.zeros((short,) + batch.shape[1:], dtype=batch.dtype)
+                batch = np.concatenate([batch, pad], axis=0)
+            out = self.forward(batch)
+            if short > 0:
+                out = out[: batch_size - short]
+            # forward() may return a view into a reused internal buffer,
+            # so copy each batch out before the next forward overwrites it
+            outputs.append(np.array(out, copy=True))
         return np.concatenate(outputs, axis=0)
 
     def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
@@ -685,12 +740,16 @@ class FrozenModel:
         np.savez(path, **arrays)
 
     @classmethod
-    def load(cls, path, model=None) -> "FrozenModel":
+    def load(cls, path, model=None, weight_only: bool = False) -> "FrozenModel":
         """Rebuild a frozen model from a packed checkpoint.
 
         ``model`` is an architecture skeleton (an untrained module of
         the right structure); when omitted, the checkpoint's
         ``model_name`` is instantiated via the zoo model builders.
+        ``weight_only=True`` drops the checkpoint's activation
+        quantizers at load time: packed low-bit weights, float
+        activations (checkpoints frozen with ``weight_only=True`` have
+        no activation quantizers to begin with).
         """
         from repro.quant.framework import quantizable_layers
 
@@ -714,14 +773,15 @@ class FrozenModel:
                     scales=blob[f"wscales/{name}"],
                     channel_axis=spec["channel_axis"],
                 )
-                exports.append(
-                    LayerExport(
-                        name=name,
-                        weight=packed,
-                        act_dtype_name=spec["act_dtype"],
-                        act_scale=spec["act_scale"],
-                    )
+                export = LayerExport(
+                    name=name,
+                    weight=packed,
+                    act_dtype_name=spec["act_dtype"],
+                    act_scale=spec["act_scale"],
                 )
+                if weight_only:
+                    export = export.without_act_quant()
+                exports.append(export)
                 state[f"{name}.weight"] = packed.dequantize()
         if model is None:
             if not meta.get("model_name"):
@@ -746,13 +806,20 @@ class FrozenModel:
         ctx = FreezeContext(export_map, weights_predequantized=True)
         root = freeze_module(model, ctx)
         packed_keys = {f"{name}.weight" for name in meta["layers"]}
+        engine_meta = {
+            k: v for k, v in meta.items()
+            if k not in ("version", "model_name", "layers")
+        }
+        if weight_only:
+            # the load-time override changes the engine's mode, so the
+            # recorded mode (and any re-save of it) must follow
+            engine_meta["weight_only"] = True
         frozen = cls(
             root,
             exports,
             float_state={k: v for k, v in state.items() if k not in packed_keys},
             model_name=meta.get("model_name"),
-            meta={k: v for k, v in meta.items()
-                  if k not in ("version", "model_name", "layers")},
+            meta=engine_meta,
         )
         return frozen
 

@@ -100,7 +100,24 @@ def conv2d_nhwc_infer(
     kh, kw = kernel
     sh, sw = stride
     ph, pw = padding
-    padded = np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0))) if ph or pw else x
+    if not (ph or pw):
+        padded = x
+    elif bufs is None:
+        padded = np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)))
+    else:
+        # pad into a pooled buffer: np.pad allocates (and page-faults) a
+        # fresh multi-MB array per forward; here only the interior copy
+        # and four thin border slabs are written
+        padded = scratch(
+            bufs, "conv-pad", (n, h + 2 * ph, w + 2 * pw, x.shape[3]), x.dtype
+        )
+        if ph:
+            padded[:, :ph] = 0
+            padded[:, h + ph:] = 0
+        if pw:
+            padded[:, :, :pw] = 0
+            padded[:, :, w + pw:] = 0
+        np.copyto(padded[:, ph: ph + h, pw: pw + w], x)
     out_h = (h + 2 * ph - kh) // sh + 1
     out_w = (w + 2 * pw - kw) // sw + 1
     if out_h <= 0 or out_w <= 0:
@@ -159,10 +176,23 @@ def linear_infer(
     bias: Optional[np.ndarray],
     bufs: Buffers = None,
 ) -> np.ndarray:
-    """Affine map with a pre-transposed weight, ``x @ w_t + bias``."""
+    """Affine map with a pre-transposed weight, ``x @ w_t + bias``.
+
+    On the float32 serving path, inputs with leading batch dimensions
+    (e.g. ``(n, seq, d)`` token activations) are collapsed to one 2-D
+    GEMM when contiguous: ``np.matmul`` dispatches a stack of small
+    per-sample GEMMs for N-D operands, which is measurably slower than
+    a single ``(n*seq, d)`` call.  Float64 keeps the graph op's exact
+    GEMM shapes -- BLAS summation order can depend on the row count,
+    and float64 is the bit-exact validation mode.
+    """
     out = scratch(bufs, "lin-out", x.shape[:-1] + (w_t.shape[1],), x.dtype)
     if out is None:
         out = x @ w_t
+    elif x.ndim > 2 and x.dtype != np.float64 and x.flags.c_contiguous:
+        np.matmul(
+            x.reshape(-1, x.shape[-1]), w_t, out=out.reshape(-1, w_t.shape[1])
+        )
     else:
         np.matmul(x, w_t, out=out)
     if bias is not None:

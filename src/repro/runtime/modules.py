@@ -70,18 +70,45 @@ class FrozenConv2d(FrozenModule):
         self.padding = padding
         self.act_quant = act_quant
         self.layout = layout
+        #: trailing batch norm folded into this conv on the float32
+        #: serving path (see :func:`fold_bn_into_conv`); ``None`` keeps
+        #: the conv and the norm as separate passes.
+        self._bn = None
+        self._fused = None
+
+    def astype(self, dtype):
+        self._fused = None
+        return super().astype(dtype)
+
+    def _fused_params(self):
+        """(w_mat, bias) with the folded BN scale/shift baked in."""
+        bn = self._bn
+        scale = bn.weight * bn.inv_std
+        shift = bn.bias - bn.mean * scale
+        if self.layout == "nhwc":  # w_mat is (KH*KW*C_in, C_out)
+            w = np.ascontiguousarray(self.w_mat * scale[None, :])
+        else:  # (C_out, KH*KW*C_in)
+            w = np.ascontiguousarray(self.w_mat * scale[:, None])
+        bias = shift if self.bias is None else self.bias * scale + shift
+        return w, np.ascontiguousarray(bias)
 
     def forward(self, x):
         if self.act_quant is not None:
             x = self.act_quant(x)
+        w_mat, bias = self.w_mat, self.bias
+        if self._bn is not None and w_mat.dtype != np.float64:
+            # serving fast path: the eval BN is an affine map per output
+            # channel, so it folds into the GEMM weights once per dtype
+            # (float64 keeps the separate ops for hook-path bit-exactness)
+            if self._fused is None:
+                self._fused = self._fused_params()
+            w_mat, bias = self._fused
         if self.layout == "nhwc":
             return K.conv2d_nhwc_infer(
-                x, self.w_mat, self.bias, self.kernel, self.stride, self.padding,
+                x, w_mat, bias, self.kernel, self.stride, self.padding,
                 bufs=self._bufs,
             )
-        return K.conv2d_infer(
-            x, self.w_mat, self.bias, self.kernel, self.stride, self.padding
-        )
+        return K.conv2d_infer(x, w_mat, bias, self.kernel, self.stride, self.padding)
 
 
 @register_freezer(L.Linear)
@@ -123,6 +150,10 @@ class FrozenBatchNorm2d(FrozenModule):
         self.bias = bias
         self.channel_axis = channel_axis
         self._folded = None
+        #: conv this norm was folded into (float32 serving path); the
+        #: norm then degenerates to identity there -- the conv applies
+        #: the scale/shift inside its GEMM.
+        self.folded_into = None
 
     def astype(self, dtype):
         self._folded = None
@@ -134,6 +165,8 @@ class FrozenBatchNorm2d(FrozenModule):
             return K.batch_norm2d_infer(
                 x, self.mean, self.inv_std, self.weight, self.bias, self.channel_axis
             )
+        if self.folded_into is not None:
+            return x  # already applied inside the conv GEMM
         if self._folded is None:
             shape = [1, 1, 1, 1]
             shape[self.channel_axis] = -1
@@ -141,6 +174,25 @@ class FrozenBatchNorm2d(FrozenModule):
             shift = (self.bias - self.mean * scale.ravel()).reshape(shape)
             self._folded = (scale, shift)
         return K.bn_scale_shift_infer(x, *self._folded, bufs=self._bufs)
+
+
+def fold_bn_into_conv(conv, bn) -> bool:
+    """Mark a (conv, batch-norm) pair for float32 GEMM folding.
+
+    Freeze-time structural rewrite: when serving in float32, the conv
+    applies ``w*scale`` / ``bias*scale + shift`` directly and the norm
+    becomes identity, removing two full activation passes per pair.
+    The float64 engine ignores the marking, keeping its bit-exact op
+    order.  Returns whether the pair was foldable.
+    """
+    if not isinstance(conv, FrozenConv2d) or not isinstance(bn, FrozenBatchNorm2d):
+        return False
+    c_out = conv.w_mat.shape[1] if conv.layout == "nhwc" else conv.w_mat.shape[0]
+    if bn.weight.shape != (c_out,):
+        return False
+    conv._bn = bn
+    bn.folded_into = conv
+    return True
 
 
 @register_freezer(L.BatchNorm2d)
@@ -277,6 +329,8 @@ class FrozenSequential(FrozenModule):
         super().__init__()
         for item in items:
             self.add(item)
+        for first, second in zip(self._children, self._children[1:]):
+            fold_bn_into_conv(first, second)
 
     def forward(self, x):
         for child in self._children:
@@ -298,6 +352,10 @@ class FrozenBasicBlock(FrozenModule):
         self.bn2 = self.add(bn2)
         self.shortcut = self.add(shortcut) if shortcut is not None else None
         self.bn_shortcut = self.add(bn_shortcut) if bn_shortcut is not None else None
+        fold_bn_into_conv(conv1, bn1)
+        fold_bn_into_conv(conv2, bn2)
+        if shortcut is not None:
+            fold_bn_into_conv(shortcut, bn_shortcut)
 
     def forward(self, x):
         out = K.relu_infer(self.bn1(self.conv1(x)), bufs=self._bufs, tag="relu1")
@@ -505,6 +563,7 @@ class FrozenResNet(FrozenModule):
         self.bn_stem = self.add(bn_stem)
         self.stages = self.add(stages)
         self.fc = self.add(fc)
+        fold_bn_into_conv(stem, bn_stem)
 
     def forward(self, x):
         out = K.relu_infer(self.bn_stem(self.stem(_to_nhwc(x))), bufs=self._bufs)

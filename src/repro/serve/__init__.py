@@ -1,0 +1,24 @@
+"""Parallel serving engine over the frozen quantized runtime.
+
+The frozen engine (:mod:`repro.runtime`) is single-threaded per
+process by design; this package is the traffic-facing layer on top of
+it:
+
+* :class:`ServingPool` -- N worker processes, each decoding the same
+  packed ``.npz`` checkpoint once, pulling jobs from a shared queue;
+* :class:`MicroBatchQueue` -- coalesces single-sample requests into
+  micro-batches (``max_batch`` / ``max_wait_ms``) before dispatch;
+* :class:`ServingClient` -- synchronous per-request facade;
+* ``ServingPool.map_predict`` -- bulk arrays sharded across workers in
+  batch-aligned chunks.
+
+Every dispatched forward runs at a fixed, zero-padded batch shape, so
+pooled results are bit-identical to single-process
+``FrozenModel.predict(x, batch_size, pad_batches=True)`` regardless of
+how requests were coalesced or sharded.
+"""
+
+from repro.serve.pool import ServingClient, ServingPool
+from repro.serve.queue import MicroBatchQueue, Request
+
+__all__ = ["MicroBatchQueue", "Request", "ServingClient", "ServingPool"]

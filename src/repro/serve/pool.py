@@ -1,0 +1,528 @@
+"""Multi-process serving pool over packed frozen checkpoints.
+
+The frozen engine is deliberately single-threaded per process (pooled
+scratch buffers), so parallel serving shards *processes*, not threads:
+:class:`ServingPool` forks N workers that each ``FrozenModel.load()``
+the same packed ``.npz`` checkpoint -- the low-bit payload is decoded
+once per worker, and the packed bytes themselves are shared through the
+filesystem page cache, so N workers never hold N float64 copies of the
+checkpoint on disk or in the page cache.
+
+Three serving paths ride on the pool:
+
+* :meth:`ServingPool.submit` / :meth:`ServingPool.predict` -- one job,
+  one worker, synchronous facade;
+* :meth:`ServingPool.map_predict` -- a bulk array sharded into
+  batch-aligned chunks that all workers pull from a shared queue;
+* :class:`ServingClient` -- single-sample requests coalesced by a
+  :class:`~repro.serve.queue.MicroBatchQueue` into micro-batches
+  before dispatch.
+
+**Determinism.**  Every worker forward runs at a fixed batch shape
+(``FrozenModel.predict(..., pad_batches=True)``): short batches are
+zero-padded to exactly ``batch_size`` rows.  BLAS kernel selection
+depends on the GEMM row count, so a fixed row count makes each
+sample's logits a pure function of that sample alone -- which is what
+makes pool results bit-identical to a single-process
+``frozen.predict(x, batch_size, pad_batches=True)`` no matter how
+requests were coalesced, sharded, or interleaved (property-tested in
+``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import time
+import traceback
+from concurrent.futures import Future
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serve.queue import MicroBatchQueue
+from repro.serve.queue import resolve_future as _resolve
+
+#: dispatcher/collector poll period; bounds shutdown latency, not speed.
+_POLL_S = 0.05
+
+
+def _worker_main(
+    worker_id: int,
+    checkpoint_path: str,
+    dtype_name: str,
+    batch_size: int,
+    weight_only: bool,
+    task_queue,
+    result_queue,
+) -> None:
+    """Worker process body: load the checkpoint once, then serve jobs.
+
+    Each job is ``(job_id, samples)``; the reply is
+    ``(job_id, logits)`` or ``(job_id, _RemoteError)``.  A ``None``
+    task is the shutdown pill.
+    """
+    from repro.runtime import FrozenModel
+
+    try:
+        model = FrozenModel.load(checkpoint_path, weight_only=weight_only)
+        model.astype(np.dtype(dtype_name))
+        result_queue.put(("ready", worker_id, os.getpid()))
+    except BaseException as exc:  # noqa: BLE001 - must reach the parent
+        result_queue.put(("ready", worker_id, _RemoteError.wrap(exc)))
+        return
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        job_id, samples = task
+        try:
+            logits = model.predict(
+                samples, batch_size=batch_size, pad_batches=True
+            )
+            result_queue.put(("done", job_id, logits))
+        except BaseException as exc:  # noqa: BLE001 - report, keep serving
+            result_queue.put(("done", job_id, _RemoteError.wrap(exc)))
+
+
+class _RemoteError:
+    """A picklable carrier for an exception raised inside a worker."""
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+    @classmethod
+    def wrap(cls, exc: BaseException) -> "_RemoteError":
+        detail = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return cls(f"{type(exc).__name__}: {exc}\n--- worker traceback ---\n{detail}")
+
+    def raise_(self) -> None:
+        raise RuntimeError(f"serving worker failed: {self.message}")
+
+
+class ServingPool:
+    """A pool of worker processes serving one frozen checkpoint.
+
+    Parameters
+    ----------
+    checkpoint_path:
+        Packed ``.npz`` checkpoint written by ``FrozenModel.save``.
+        Loaded independently by every worker (decode-once per worker).
+    n_workers:
+        Worker process count.  Throughput scales with cores; on a
+        single-core host the pool preserves single-process throughput
+        while adding request coalescing and isolation.
+    dtype:
+        Serving dtype per worker (``"float32"`` fast path by default).
+    batch_size:
+        The fixed forward shape.  Also the micro-batch coalescing cap:
+        every dispatched forward is padded to exactly this many rows.
+    max_wait_ms:
+        Micro-batch window (see :class:`MicroBatchQueue`).
+    weight_only:
+        Serve packed low-bit weights with float activations (skips all
+        activation fake-quant, see ``FrozenModel.load``).
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` where
+        available (cheapest on Linux), else the platform default.
+        Pass ``"spawn"``/``"forkserver"`` from heavily threaded
+        parents -- forking while other threads hold locks can deadlock
+        the child below Python (``start_timeout`` bounds the damage).
+    start_timeout:
+        Seconds :meth:`start` may wait for all workers to finish
+        decoding the checkpoint before aborting them and raising;
+        ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        checkpoint_path,
+        n_workers: int = 2,
+        dtype: str = "float32",
+        batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        weight_only: bool = False,
+        start_method: Optional[str] = None,
+        start_timeout: Optional[float] = 120.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.checkpoint_path = str(checkpoint_path)
+        self.n_workers = int(n_workers)
+        self.dtype = str(dtype)
+        self.batch_size = int(batch_size)
+        self.weight_only = bool(weight_only)
+        self.start_timeout = start_timeout
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        self._ctx = mp.get_context(start_method)
+        self.micro_queue = MicroBatchQueue(
+            max_batch=self.batch_size, max_wait_ms=max_wait_ms
+        )
+        self._workers: List[mp.Process] = []
+        self._tasks = None
+        self._results = None
+        self._jobs = {}
+        self._jobs_lock = threading.Lock()
+        self._next_job_id = 0
+        self._started = False
+        self._closing = False
+        self._broken = False
+        self._collector: Optional[threading.Thread] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._n_jobs = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingPool":
+        """Fork the workers and wait until each has loaded the model."""
+        if self._started:
+            raise RuntimeError("pool already started")
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._workers = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    i,
+                    self.checkpoint_path,
+                    self.dtype,
+                    self.batch_size,
+                    self.weight_only,
+                    self._tasks,
+                    self._results,
+                ),
+                daemon=True,
+                name=f"serve-worker-{i}",
+            )
+            for i in range(self.n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+        # all workers must decode the checkpoint before traffic flows,
+        # so a broken checkpoint fails fast here, not on first predict
+        try:
+            deadline = (
+                None
+                if self.start_timeout is None
+                else time.monotonic() + self.start_timeout
+            )
+            ready = 0
+            while ready < self.n_workers:
+                try:
+                    kind, _worker_id, info = self._results.get(timeout=_POLL_S * 4)
+                except Exception:  # queue.Empty
+                    # a worker killed below Python (OOM, segfault) never
+                    # posts "ready"; waiting without a liveness check
+                    # would hang start() forever
+                    dead = [w.name for w in self._workers if not w.is_alive()]
+                    if dead:
+                        raise RuntimeError(
+                            f"serving worker(s) died during startup: {dead}"
+                        )
+                    if deadline is not None and time.monotonic() > deadline:
+                        # covers hangs the liveness check cannot see,
+                        # e.g. a child deadlocked at fork on a lock some
+                        # parent thread held (still is_alive)
+                        raise RuntimeError(
+                            f"serving workers not ready within "
+                            f"{self.start_timeout}s"
+                        )
+                    continue
+                assert kind == "ready"
+                if isinstance(info, _RemoteError):
+                    info.raise_()
+                ready += 1
+        except BaseException:
+            # a failed start must release everything it created --
+            # retrying callers would otherwise accumulate worker
+            # processes and queue pipe fds/feeder threads
+            self._abort_workers()
+            self._tasks.cancel_join_thread()
+            self._results.cancel_join_thread()
+            self._tasks.close()
+            self._results.close()
+            self._tasks = self._results = None
+            self._workers = []
+            raise
+        self._started = True
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="serve-collector", daemon=True
+        )
+        self._collector.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def close(self) -> None:
+        """Drain, stop the workers, and fail any undispatched request."""
+        if not self._started:
+            return
+        with self._jobs_lock:
+            if self._closing:
+                return
+            self._closing = True
+        self.micro_queue.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        self.micro_queue.cancel_pending()
+        for _ in self._workers:
+            self._tasks.put(None)
+        for worker in self._workers:
+            worker.join(timeout=30)
+        self._abort_workers()  # terminate stragglers, if any
+        if self._collector is not None:
+            self._collector.join()
+        with self._jobs_lock:
+            for future in self._jobs.values():
+                _resolve(future, error=RuntimeError("serving pool closed mid-job"))
+            self._jobs.clear()
+        # a dead worker can leave unread task payloads in the pipe;
+        # without cancel_join_thread the queue's feeder thread would
+        # block interpreter exit waiting for a reader that is gone
+        self._tasks.cancel_join_thread()
+        self._results.cancel_join_thread()
+        self._tasks.close()
+        self._results.close()
+
+    def _abort_workers(self) -> None:
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5)
+
+    def __enter__(self) -> "ServingPool":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # background threads
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        """Route worker replies to their job futures.
+
+        Also the watchdog for workers killed below Python (OOM,
+        segfault): a dead worker takes its claimed task with it, and
+        the shared queue gives no job->worker mapping, so every
+        outstanding future is failed rather than left hanging forever.
+        The pool is then broken -- new submissions raise -- matching
+        start()'s fail-fast policy (worker respawn is future work).
+        """
+        while True:
+            try:
+                reply = self._results.get(timeout=_POLL_S)
+            except Exception:  # queue.Empty
+                if self._closing and not self._alive_workers():
+                    # final drain: a worker may have replied and exited
+                    # between the timeout and the aliveness check
+                    self._drain_replies()
+                    return
+                if not self._closing:
+                    dead = [w.name for w in self._workers if not w.is_alive()]
+                    if dead:
+                        self._drain_replies()  # keep completed results
+                        self._broken = True
+                        with self._jobs_lock:
+                            stranded = list(self._jobs.values())
+                            self._jobs.clear()
+                        for future in stranded:
+                            _resolve(future, error=RuntimeError(
+                                f"serving worker(s) died: {dead}"
+                            ))
+                continue
+            self._route_reply(reply)
+
+    def _drain_replies(self) -> None:
+        while True:
+            try:
+                self._route_reply(self._results.get_nowait())
+            except Exception:  # queue.Empty
+                return
+
+    def _route_reply(self, reply) -> None:
+        kind, job_id, payload = reply
+        if kind != "done":
+            return
+        with self._jobs_lock:
+            future = self._jobs.pop(job_id, None)
+        if future is None:
+            return
+        if isinstance(payload, _RemoteError):
+            _resolve(future, error=RuntimeError(
+                f"serving worker failed: {payload.message}"
+            ))
+        else:
+            _resolve(future, value=payload)
+
+    def _alive_workers(self) -> bool:
+        return any(worker.is_alive() for worker in self._workers)
+
+    def _dispatch_loop(self) -> None:
+        """Drain the micro-batch queue into worker jobs.
+
+        Dispatch failures (heterogeneous request shapes breaking the
+        stack, or a close() racing a drained batch past
+        ``_submit_array``) fail that batch's futures and keep the
+        dispatcher alive -- a dead dispatcher would hang every later
+        client instead.
+        """
+        while True:
+            batch = self.micro_queue.next_batch(timeout=_POLL_S)
+            if batch is None:
+                return  # queue closed and drained
+            if not batch:
+                continue
+            try:
+                samples = np.stack([request.payload for request in batch])
+                job = self._submit_array(samples)
+            except BaseException as exc:  # noqa: BLE001 - fail the batch, not the thread
+                for request in batch:
+                    _resolve(request.future, error=RuntimeError(
+                        f"micro-batch dispatch failed: {exc}"
+                    ))
+                continue
+            job.add_done_callback(self._scatter_to(batch))
+
+    @staticmethod
+    def _scatter_to(batch):
+        def _scatter(job: Future) -> None:
+            error = job.exception()
+            for row, request in enumerate(batch):
+                if error is not None:
+                    _resolve(request.future, error=error)
+                else:
+                    _resolve(request.future, value=job.result()[row])
+
+        return _scatter
+
+    # ------------------------------------------------------------------
+    # serving API
+    # ------------------------------------------------------------------
+    def _require_serving(self) -> None:
+        if not self._started:
+            raise RuntimeError(
+                "pool not started; call start() or use as a context manager"
+            )
+
+    def _submit_array(self, samples: np.ndarray) -> Future:
+        self._require_serving()
+        future: Future = Future()
+        with self._jobs_lock:
+            # checked under the lock so a submit racing close() either
+            # raises here or registers early enough for close()'s
+            # fail-remaining-jobs sweep to see it -- never in between,
+            # where its future could hang forever
+            if self._closing:
+                raise RuntimeError("pool is closed")
+            if self._broken:
+                raise RuntimeError(
+                    "pool is broken (a worker died); create a new pool"
+                )
+            job_id = self._next_job_id
+            self._next_job_id += 1
+            self._jobs[job_id] = future
+            self._n_jobs += 1
+        self._tasks.put((job_id, samples))
+        return future
+
+    def submit(self, samples: np.ndarray) -> Future:
+        """Asynchronously predict a batch of samples on one worker."""
+        samples = np.asarray(samples)
+        if samples.shape[0] == 0:
+            raise ValueError("submit() needs at least one sample")
+        return self._submit_array(samples)
+
+    def predict(self, samples: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous :meth:`submit`."""
+        return self.submit(samples).result(timeout=timeout)
+
+    def map_predict(
+        self,
+        samples: np.ndarray,
+        shard_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Predict a large array by sharding it across all workers.
+
+        Shards are contiguous runs of whole serving batches (the shard
+        size is rounded up to a ``batch_size`` multiple), handed to a
+        shared queue the workers pull from -- a slow worker simply
+        takes fewer shards.  Results concatenate in input order and are
+        bit-identical to the single-process
+        ``predict(samples, batch_size, pad_batches=True)``.
+        """
+        samples = np.asarray(samples)
+        n = samples.shape[0]
+        if n == 0:
+            raise ValueError("map_predict() needs at least one sample")
+        if shard_size is None:
+            # spread across workers, a few shards each for balancing
+            per_worker = max(1, -(-n // (self.n_workers * 2)))
+            shard_size = per_worker
+        # align shards to whole serving batches so every worker forward
+        # sees the exact shapes the single-process reference would
+        shard_size = max(
+            self.batch_size,
+            -(-shard_size // self.batch_size) * self.batch_size,
+        )
+        futures = [
+            self.submit(samples[start: start + shard_size])
+            for start in range(0, n, shard_size)
+        ]
+        return np.concatenate(
+            [future.result(timeout=timeout) for future in futures], axis=0
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Pool counters plus micro-batch coalescing statistics."""
+        queue_stats = self.micro_queue.stats
+        return {
+            "workers": self.n_workers,
+            "batch_size": self.batch_size,
+            "dtype": self.dtype,
+            "weight_only": self.weight_only,
+            "jobs": self._n_jobs,
+            **{f"queue_{k}": v for k, v in queue_stats.items()},
+        }
+
+
+class ServingClient:
+    """Synchronous per-request facade over a :class:`ServingPool`.
+
+    ``predict`` enqueues each sample into the pool's micro-batching
+    queue, so concurrent clients coalesce into shared forwards; results
+    come back per-request.
+    """
+
+    def __init__(self, pool: ServingPool) -> None:
+        self.pool = pool
+
+    def predict_one(self, sample: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Logits for one sample (a single request on the queue)."""
+        self.pool._require_serving()  # no dispatcher -> requests would hang
+        return self.pool.micro_queue.submit(np.asarray(sample)).result(timeout)
+
+    def predict(self, samples: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Logits for an array of samples, one request per sample."""
+        self.pool._require_serving()  # no dispatcher -> requests would hang
+        samples = np.asarray(samples)
+        if samples.shape[0] == 0:
+            raise ValueError("predict() needs at least one sample")
+        futures = [
+            self.pool.micro_queue.submit(samples[i])
+            for i in range(samples.shape[0])
+        ]
+        return np.stack([future.result(timeout) for future in futures])

@@ -1,0 +1,170 @@
+"""Micro-batching request queue for the parallel serving engine.
+
+Single-sample requests are the unit of arrival (a user hitting the
+service), but single-sample forwards waste the batched kernels, so the
+queue coalesces pending requests into micro-batches before dispatch:
+a batch closes when it reaches ``max_batch`` samples or when
+``max_wait_ms`` has elapsed since its first request arrived, whichever
+comes first.  ``max_batch`` bounds per-request latency under load;
+``max_wait_ms`` bounds it when traffic is sparse.
+
+The queue is a plain thread-safe coalescing buffer with no opinion on
+who executes the batch -- :class:`repro.serve.pool.ServingPool` runs a
+dispatcher thread that drains it into worker processes, and the unit
+tests drain it inline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from typing import List, Optional
+
+import numpy as np
+
+
+def resolve_future(
+    future: Future, value=None, error: Optional[BaseException] = None
+) -> None:
+    """Fulfil a future, tolerating client-side cancellation.
+
+    A caller may ``cancel()`` a pending future at any time; an
+    unguarded ``set_result`` then raises ``InvalidStateError`` inside
+    whatever serving thread is resolving it -- killing that thread and
+    hanging every other request -- for one abandoned future.
+    """
+    if future.cancelled():
+        return
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
+    except InvalidStateError:
+        pass  # cancelled/resolved in the race window; the value is moot
+
+
+class Request:
+    """One pending sample plus the future its logits resolve."""
+
+    __slots__ = ("payload", "future", "arrived")
+
+    def __init__(self, payload: np.ndarray) -> None:
+        self.payload = payload
+        self.future: Future = Future()
+        self.arrived = time.monotonic()
+
+
+class MicroBatchQueue:
+    """Coalesce single-sample requests into dispatchable micro-batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest batch handed out by :meth:`next_batch`; a full buffer
+        dispatches immediately.
+    max_wait_ms:
+        Longest time a request may sit waiting for co-travellers once
+        it is the head of a forming batch.  ``0`` dispatches whatever
+        is buffered without waiting.
+    """
+
+    def __init__(self, max_batch: int = 64, max_wait_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._pending: deque = deque()
+        self._closed = False
+        # coalescing statistics (under _lock)
+        self._n_requests = 0
+        self._n_batches = 0
+        self._fill_sum = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, sample: np.ndarray) -> Future:
+        """Enqueue one sample; resolves to its logits row."""
+        request = Request(sample)
+        with self._nonempty:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._pending.append(request)
+            self._n_requests += 1
+            self._nonempty.notify_all()
+        return request.future
+
+    def next_batch(self, timeout: Optional[float] = None) -> Optional[List[Request]]:
+        """Block for the next micro-batch of requests.
+
+        Returns ``None`` once the queue is closed and drained; an empty
+        list when ``timeout`` (seconds) expires with nothing pending --
+        so a dispatcher loop can poll its own shutdown flag.
+        """
+        with self._nonempty:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._pending:
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return []
+                self._nonempty.wait(remaining)
+            # hold the batch open for co-travellers; the window runs
+            # from the head request's *arrival* (it may have waited
+            # already while the dispatcher served the previous batch),
+            # so max_wait_ms bounds actual queueing latency
+            window_ends = self._pending[0].arrived + self.max_wait_ms / 1000.0
+            while len(self._pending) < self.max_batch and not self._closed:
+                remaining = window_ends - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._nonempty.wait(remaining)
+            batch = [
+                self._pending.popleft()
+                for _ in range(min(self.max_batch, len(self._pending)))
+            ]
+            self._n_batches += 1
+            self._fill_sum += len(batch)
+            return batch
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting requests and wake every waiter.
+
+        Already-buffered requests stay drainable via
+        :meth:`next_batch`; new submissions raise.
+        """
+        with self._nonempty:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    def cancel_pending(self) -> int:
+        """Fail all buffered requests (used on pool shutdown)."""
+        with self._nonempty:
+            dropped = 0
+            while self._pending:
+                request = self._pending.popleft()
+                resolve_future(
+                    request.future,
+                    error=RuntimeError("serving pool shut down before dispatch"),
+                )
+                dropped += 1
+            return dropped
+
+    @property
+    def stats(self) -> dict:
+        """Coalescing counters: requests, batches, and mean fill."""
+        with self._lock:
+            return {
+                "requests": self._n_requests,
+                "batches": self._n_batches,
+                "mean_fill": (
+                    self._fill_sum / self._n_batches if self._n_batches else 0.0
+                ),
+            }

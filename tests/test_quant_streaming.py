@@ -1,0 +1,146 @@
+"""Streaming calibration: incremental Algorithm 2 statistics.
+
+The load-bearing guarantees:
+
+* with an unbounded reservoir, calibrating from an iterator of chunks
+  selects **exactly** the types and scales single-batch calibration
+  selects on the concatenated stream (the anchored sample *is* the
+  stream);
+* the classic single-batch path is dispatch-identical to before
+  (``np.ndarray`` input never routes through streaming);
+* bounded reservoirs are deterministic functions of the stream order,
+  bounded in memory, and keep the exact stream extrema anchoring the
+  scale sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quant.framework import ModelQuantizer
+from repro.quant.streaming import StreamingTensorStats
+from repro.zoo import calibration_batch, trained_model
+
+
+# ----------------------------------------------------------------------
+# StreamingTensorStats
+# ----------------------------------------------------------------------
+def test_stats_running_moments_and_extrema():
+    rng = np.random.default_rng(0)
+    chunks = [rng.normal(size=(3, 50)) * (i + 1) for i in range(4)]
+    stats = StreamingTensorStats(capacity=None)
+    for chunk in chunks:
+        stats.update(chunk)
+    full = np.concatenate([c.ravel() for c in chunks])
+    assert stats.count == full.size
+    assert stats.minimum == full.min()
+    assert stats.maximum == full.max()
+    assert stats.mean == pytest.approx(full.mean())
+    assert stats.variance == pytest.approx(full.var(), rel=1e-12)
+    assert np.array_equal(stats.sample(), full)
+
+
+def test_stats_bounded_reservoir_is_deterministic_and_bounded():
+    rng = np.random.default_rng(1)
+    chunks = [rng.normal(size=1000) for _ in range(20)]
+
+    def run():
+        stats = StreamingTensorStats(capacity=256)
+        for chunk in chunks:
+            stats.update(chunk)
+        return stats
+
+    first, second = run(), run()
+    assert first.sample().size == 256
+    assert np.array_equal(first.sample(), second.sample())
+    anchored = first.anchored_sample()
+    assert anchored.size == 258
+    assert anchored.min() == first.minimum
+    assert anchored.max() == first.maximum
+
+
+def test_stats_reservoir_stays_uniformish():
+    """Late stream elements must still enter a full reservoir."""
+    stats = StreamingTensorStats(capacity=100)
+    stats.update(np.zeros(1000))
+    stats.update(np.ones(1000))
+    sample = stats.sample()
+    # ~half the mass arrived after the reservoir filled; a frozen
+    # reservoir would contain no ones at all
+    assert 10 < sample.sum() < 90
+
+
+def test_stats_rejects_nonfinite_and_empty():
+    stats = StreamingTensorStats(capacity=16)
+    with pytest.raises(ValueError):
+        stats.update(np.array([1.0, np.nan]))
+    with pytest.raises(ValueError):
+        stats.sample()
+    stats.update(np.array([]))  # empty batches are skipped, not errors
+    with pytest.raises(ValueError):
+        stats.sample()
+    with pytest.raises(ValueError):
+        StreamingTensorStats(capacity=1)
+
+
+# ----------------------------------------------------------------------
+# ModelQuantizer.calibrate over an iterator
+# ----------------------------------------------------------------------
+def test_streaming_unbounded_matches_single_batch_exactly():
+    entry = trained_model("vgg16")
+    batch = calibration_batch(entry.dataset)
+
+    single = ModelQuantizer(entry.model, "ip-f", 4, max_calibration_samples=None)
+    single.calibrate(batch)
+    streamed = ModelQuantizer(entry.model, "ip-f", 4, max_calibration_samples=None)
+    streamed.calibrate(batch[start: start + 25] for start in range(0, 100, 25))
+
+    for name in single.layers:
+        a = single.layers[name]
+        b = streamed.layers[name]
+        assert a.input_quantizer.dtype.name == b.input_quantizer.dtype.name, name
+        assert a.input_quantizer.choice.scale == b.input_quantizer.choice.scale, name
+        assert a.weight_quantizer.dtype.name == b.weight_quantizer.dtype.name
+        assert np.array_equal(a.weight_quantizer.scales, b.weight_quantizer.scales)
+
+
+def test_streaming_bounded_end_to_end():
+    """Bounded reservoir: calibrate from a long generator, freeze,
+    escalate -- the full lifecycle works without holding the stream."""
+    entry = trained_model("vgg16")
+    batch = calibration_batch(entry.dataset)
+
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(batch[start: start + 10] for start in range(0, 100, 10))
+    frozen = quantizer.freeze(model_name="vgg16", dtype=np.float32)
+    x = entry.dataset.x_test[:64]
+    logits = frozen.predict(x)
+    assert logits.shape == (64, 10)
+    assert np.all(np.isfinite(logits))
+    # escalation re-searches scales off the streamed samples
+    first = next(iter(quantizer.layers))
+    quantizer.escalate_layer(first, bits=8)
+    assert quantizer.layers[first].input_quantizer.bits == 8
+
+
+def test_streaming_signedness_uses_exact_stream_extrema():
+    """Signedness comes from the exact stream minimum (which the
+    reservoir may drop), so it must match the single-batch decision on
+    the same data for every layer."""
+    entry = trained_model("vgg16")
+    batch = calibration_batch(entry.dataset)
+    single = ModelQuantizer(entry.model, "ip-f", 4)
+    single.calibrate(batch)
+    streamed = ModelQuantizer(entry.model, "ip-f", 4)
+    streamed.calibrate(batch[start: start + 10] for start in range(0, 100, 10))
+    for name in single.layers:
+        assert (
+            single.layers[name].input_quantizer.dtype.signed
+            == streamed.layers[name].input_quantizer.dtype.signed
+        ), name
+
+
+def test_streaming_empty_iterator_raises():
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    with pytest.raises(ValueError):
+        quantizer.calibrate(iter([]))

@@ -284,6 +284,62 @@ def test_frozen_act_quant_propagates_nan():
 
 
 # ----------------------------------------------------------------------
+# Weight-only serving mode
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", ["vgg16", "resnet18"])
+def test_weight_only_freeze_matches_weight_only_hooks(workload):
+    """``freeze(weight_only=True)``: packed low-bit weights, float
+    activations.  Float64 must match the hook model with input
+    fake-quant detached; float32 keeps argmax parity."""
+    entry = trained_model(workload)
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen64 = quantizer.freeze(model_name=workload, weight_only=True)
+        frozen32 = quantizer.freeze(
+            model_name=workload, weight_only=True, dtype=np.float32
+        )
+        # reference: hooks with ONLY weight fake-quant
+        for config in quantizer.layers.values():
+            object.__setattr__(config.module, "input_fake_quant", None)
+        x = entry.dataset.x_test[:96]
+        reference = _hook_logits(entry, x)
+    finally:
+        quantizer.remove()
+    assert np.abs(frozen64.predict(x) - reference).max() <= 1e-9
+    parity = np.mean(
+        np.argmax(frozen32.predict(x), axis=1) == np.argmax(reference, axis=1)
+    )
+    assert parity >= 0.99, (workload, parity)
+    assert frozen64.meta["weight_only"] is True
+    assert all(e.act_dtype_name is None for e in frozen64.exports.values())
+
+
+def test_weight_only_checkpoint_roundtrip(tmp_path):
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        weight_only = quantizer.freeze(model_name="vgg16", weight_only=True)
+        full = quantizer.freeze(model_name="vgg16")
+    finally:
+        quantizer.remove()
+    x = entry.dataset.x_test[:32]
+    path = tmp_path / "wo.npz"
+    weight_only.save(path)
+    loaded = FrozenModel.load(path)
+    assert np.array_equal(loaded.predict(x), weight_only.predict(x))
+    # load-time override strips activation quantizers from a FULL
+    # checkpoint and lands on the same weight-only engine
+    full_path = tmp_path / "full.npz"
+    full.save(full_path)
+    stripped = FrozenModel.load(full_path, weight_only=True)
+    assert np.array_equal(stripped.predict(x), weight_only.predict(x))
+    # and the full engine differs (activation quant actually ran)
+    assert not np.array_equal(full.predict(x), weight_only.predict(x))
+
+
+# ----------------------------------------------------------------------
 # Packed checkpoints
 # ----------------------------------------------------------------------
 def test_packed_sizes_match_report_bits():

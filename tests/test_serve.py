@@ -1,0 +1,325 @@
+"""Parallel serving engine: micro-batching, worker pool, bit-identity.
+
+The load-bearing guarantee: results served through the pool are
+**bit-identical** to single-process
+``FrozenModel.predict(x, batch_size, pad_batches=True)`` for the same
+checkpoint -- no matter how requests were coalesced by the
+micro-batching queue, sharded by ``map_predict``, or interleaved
+across workers.  The pool earns this by running every worker forward
+at a fixed zero-padded batch shape, which makes each sample's logits a
+pure function of that sample alone (BLAS kernels are selected by GEMM
+row count, so *variable* shapes would reassociate).
+"""
+
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.quant.framework import ModelQuantizer
+from repro.runtime import FrozenModel
+from repro.serve import MicroBatchQueue, ServingClient, ServingPool
+from repro.zoo import calibration_batch, trained_model
+
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """Calibrated vgg16 checkpoint + float32 single-process reference."""
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze(model_name="vgg16")
+    finally:
+        quantizer.remove()
+    path = tmp_path_factory.mktemp("serve") / "vgg16.npz"
+    frozen.save(path)
+    reference = FrozenModel.load(path).astype(np.float32)
+    x = entry.dataset.x_test[:70]
+    return path, reference, x
+
+
+# ----------------------------------------------------------------------
+# MicroBatchQueue
+# ----------------------------------------------------------------------
+def test_queue_coalesces_up_to_max_batch():
+    queue = MicroBatchQueue(max_batch=4, max_wait_ms=50.0)
+    for i in range(10):
+        queue.submit(np.array([i]))
+    sizes = [len(queue.next_batch()) for _ in range(3)]
+    assert sizes == [4, 4, 2]
+    stats = queue.stats
+    assert stats["requests"] == 10
+    assert stats["batches"] == 3
+    assert stats["mean_fill"] == pytest.approx(10 / 3)
+
+
+def test_queue_preserves_request_order():
+    queue = MicroBatchQueue(max_batch=8, max_wait_ms=0.0)
+    for i in range(5):
+        queue.submit(np.array([i]))
+    batch = queue.next_batch()
+    assert [int(r.payload[0]) for r in batch] == [0, 1, 2, 3, 4]
+
+
+def test_queue_max_wait_bounds_latency():
+    queue = MicroBatchQueue(max_batch=64, max_wait_ms=30.0)
+    queue.submit(np.array([1.0]))
+    start = time.monotonic()
+    batch = queue.next_batch()
+    waited = time.monotonic() - start
+    assert len(batch) == 1
+    assert waited < 5.0  # window closes on its own, far below any hang
+
+
+def test_queue_timeout_and_close_semantics():
+    queue = MicroBatchQueue(max_batch=4, max_wait_ms=0.0)
+    assert queue.next_batch(timeout=0.01) == []  # empty poll
+    queue.submit(np.array([1.0]))
+    queue.close()
+    assert len(queue.next_batch()) == 1  # buffered requests drain
+    assert queue.next_batch() is None  # closed and drained
+    with pytest.raises(RuntimeError):
+        queue.submit(np.array([2.0]))
+
+
+def test_queue_cancel_pending_fails_futures():
+    queue = MicroBatchQueue(max_batch=4, max_wait_ms=0.0)
+    future = queue.submit(np.array([1.0]))
+    assert queue.cancel_pending() == 1
+    with pytest.raises(RuntimeError, match="shut down"):
+        future.result(timeout=1)
+
+
+def test_queue_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        MicroBatchQueue(max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatchQueue(max_wait_ms=-1.0)
+
+
+# ----------------------------------------------------------------------
+# ServingPool: bulk path
+# ----------------------------------------------------------------------
+def test_map_predict_bit_identical_across_workers(served):
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=2, batch_size=BATCH) as pool:
+        out = pool.map_predict(x)
+        assert out.dtype == expected.dtype
+        assert np.array_equal(out, expected)
+        # ragged shard sizes still align to whole serving batches
+        out = pool.map_predict(x, shard_size=19)
+        assert np.array_equal(out, expected)
+
+
+def test_map_predict_short_input(served):
+    path, reference, x = served
+    expected = reference.predict(x[:3], batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=2, batch_size=BATCH) as pool:
+        assert np.array_equal(pool.map_predict(x[:3]), expected)
+        with pytest.raises(ValueError):
+            pool.map_predict(x[:0])
+
+
+def test_submit_is_asynchronous(served):
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=2, batch_size=BATCH) as pool:
+        futures = [pool.submit(x[i: i + 10]) for i in range(0, 40, 10)]
+        assert all(isinstance(f, Future) for f in futures)
+        for i, future in enumerate(futures):
+            assert np.array_equal(
+                future.result(timeout=120), expected[i * 10: (i + 1) * 10]
+            )
+
+
+def test_concurrent_jobs_use_distinct_result_buffers(served):
+    """Two workers serving different jobs must never cross-talk.
+
+    The engine's pooled scratch buffers are per-process; this drives
+    both workers concurrently with distinct payloads and checks every
+    job's result against its own single-process reference.
+    """
+    path, reference, x = served
+    jobs = [x[:32], x[32:64], x[16:48], x[8:40]]
+    expected = [
+        reference.predict(j, batch_size=BATCH, pad_batches=True) for j in jobs
+    ]
+    with ServingPool(path, n_workers=2, batch_size=BATCH) as pool:
+        for _ in range(3):  # repeat to vary worker/job interleaving
+            futures = [pool.submit(j) for j in jobs]
+            for want, future in zip(expected, futures):
+                assert np.array_equal(future.result(timeout=120), want)
+
+
+def test_dispatcher_survives_heterogeneous_request_shapes(served):
+    """A malformed request coalesced with healthy ones must fail that
+    micro-batch's futures without killing the dispatcher thread."""
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=1, batch_size=BATCH, max_wait_ms=20.0) as pool:
+        good = pool.micro_queue.submit(x[0])
+        bad = pool.micro_queue.submit(np.zeros(7))  # np.stack cannot mix these
+        with pytest.raises(RuntimeError, match="dispatch failed"):
+            bad.result(timeout=120)
+        with pytest.raises(RuntimeError, match="dispatch failed"):
+            good.result(timeout=120)
+        # the dispatcher survived: later well-formed requests serve fine
+        again = pool.micro_queue.submit(x[1])
+        assert np.array_equal(again.result(timeout=120), expected[1])
+
+
+def test_worker_error_propagates_and_pool_survives(served):
+    path, reference, x = served
+    expected = reference.predict(x[:8], batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=1, batch_size=BATCH) as pool:
+        bad = pool.submit(np.zeros((4, 999)))  # wrong input shape
+        with pytest.raises(RuntimeError, match="serving worker failed"):
+            bad.result(timeout=120)
+        # the worker reported the failure and kept serving
+        assert np.array_equal(pool.map_predict(x[:8]), expected)
+
+
+def test_worker_death_fails_outstanding_futures(served):
+    """A worker killed below Python (OOM/segfault) must fail in-flight
+    futures fast and mark the pool broken -- never hang callers."""
+    import os
+    import signal
+
+    path, _, x = served
+    pool = ServingPool(path, n_workers=1, batch_size=BATCH).start()
+    try:
+        pool.predict(x[:8])  # healthy first
+        os.kill(pool._workers[0].pid, signal.SIGKILL)
+        stranded = pool.submit(x[:8])
+        with pytest.raises(RuntimeError, match="died"):
+            stranded.result(timeout=120)
+        with pytest.raises(RuntimeError, match="broken"):
+            pool.submit(x[:8])
+    finally:
+        pool.close()
+
+
+def test_pool_rejects_bad_parameters(served):
+    path, _, _ = served
+    with pytest.raises(ValueError):
+        ServingPool(path, n_workers=0)
+    with pytest.raises(ValueError):
+        ServingPool(path, batch_size=0)
+    pool = ServingPool(path, n_workers=1)
+    with pytest.raises(RuntimeError, match="not started"):
+        pool.predict(np.zeros((1, 3, 16, 16)))
+    # the client facade must raise too, not buffer into a queue that
+    # no dispatcher will ever drain
+    with pytest.raises(RuntimeError, match="not started"):
+        ServingClient(pool).predict_one(np.zeros((3, 16, 16)))
+
+
+# ----------------------------------------------------------------------
+# Micro-batch coalescing path: the bit-identity property
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("max_wait_ms", [0.0, 10.0])
+def test_client_results_bit_identical_under_coalescing(served, max_wait_ms):
+    """Per-request results equal the single-process reference rows
+    regardless of how the queue happened to group them."""
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    with ServingPool(
+        path, n_workers=2, batch_size=BATCH, max_wait_ms=max_wait_ms
+    ) as pool:
+        client = ServingClient(pool)
+        out = client.predict(x[:37], timeout=120)
+        assert np.array_equal(out, expected[:37])
+        one = client.predict_one(x[50], timeout=120)
+        assert np.array_equal(one, expected[50])
+        assert pool.stats()["queue_requests"] == 38
+
+
+def test_concurrent_clients_coalesce_without_crosstalk(served):
+    """Many threads submitting interleaved single-sample requests get
+    exactly their own rows back (property test over random order)."""
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    rng = np.random.default_rng(7)
+    order = rng.permutation(len(x))
+    results = {}
+    errors = []
+    with ServingPool(
+        path, n_workers=2, batch_size=BATCH, max_wait_ms=20.0
+    ) as pool:
+        client = ServingClient(pool)
+
+        def serve_slice(indices):
+            try:
+                for i in indices:
+                    results[int(i)] = client.predict_one(x[i], timeout=120)
+            except BaseException as exc:  # noqa: BLE001 - surface in main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=serve_slice, args=(order[k::4],))
+            for k in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = pool.stats()
+    assert not errors
+    assert len(results) == len(x)
+    for i in range(len(x)):
+        assert np.array_equal(results[i], expected[i]), i
+    # coalescing actually happened: fewer dispatches than requests
+    assert stats["queue_batches"] < stats["queue_requests"]
+
+
+# ----------------------------------------------------------------------
+# Cross-process checkpoint loading
+# ----------------------------------------------------------------------
+_CHILD_LOADER = """
+import sys
+import numpy as np
+from repro.runtime import FrozenModel
+
+ckpt, x_path, out_path = sys.argv[1:4]
+model = FrozenModel.load(ckpt).astype(np.float32)  # no in-memory skeleton
+x = np.load(x_path)
+np.save(out_path, model.predict(x, batch_size=16, pad_batches=True))
+"""
+
+
+def test_load_in_fresh_process_matches(served, tmp_path):
+    """A process that never held the model object rebuilds the frozen
+    engine from the packed checkpoint alone and serves identically."""
+    path, reference, x = served
+    x_path = tmp_path / "x.npy"
+    out_path = tmp_path / "out.npy"
+    np.save(x_path, x[:24])
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD_LOADER, str(path), str(x_path), str(out_path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    child = np.load(out_path)
+    expected = reference.predict(x[:24], batch_size=BATCH, pad_batches=True)
+    assert np.array_equal(child, expected)
+
+
+# ----------------------------------------------------------------------
+# Weight-only serving mode
+# ----------------------------------------------------------------------
+def test_weight_only_pool_matches_weight_only_engine(served):
+    path, _, x = served
+    reference = FrozenModel.load(path, weight_only=True).astype(np.float32)
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=2, batch_size=BATCH, weight_only=True) as pool:
+        assert np.array_equal(pool.map_predict(x), expected)
