@@ -1,0 +1,59 @@
+"""Code-domain GEMM engine (the paper's decode-in-front-of-MAC dataflow).
+
+The accelerator's core architectural claim (Sec. VI) is that it
+multiplies *codes*: operands stay in their packed low-bit encodings all
+the way to the MAC inputs, where a tiny per-operand decoder feeds the
+multiplier -- no dequantized floats are ever materialized.  The float
+runtime backend hides that dataflow (it decodes once into a cached
+float matrix and lets BLAS run); this package executes it.
+
+* :mod:`repro.qgemm.luts` -- per-(weight-type x activation-type)
+  partial-product tables built off the shared
+  :class:`~repro.dtypes.codec.GridCodec` grids: entry ``[cw, ca]`` is
+  the exact product of weight code ``cw``'s decoded value and
+  activation grid point ``ca`` (the software stand-in for the decoder
+  pair in front of one MAC).
+* :mod:`repro.qgemm.kernels` -- vectorized accumulation over those
+  tables: a blocked *gather* kernel (one LUT lookup per MAC,
+  bit-identical to the decode-then-multiply reference in float64) and a
+  *bincount* kernel (joint-code histogram, then one tiny LUT dot --
+  exact when the table is integral, the int x int case).
+* :mod:`repro.qgemm.backend` -- the ``"qgemm"`` execution backend for
+  the frozen runtime: linear/conv GEMMs run on packed codes, with
+  per-channel scales applied once at the output.
+* :mod:`repro.qgemm.costmodel` -- counts actual code-domain MACs, LUT
+  lookups, and packed-byte traffic during execution, and bridges the
+  executed workload into the :mod:`repro.hardware` latency/energy
+  models (Fig. 13-style estimates driven by real forwards instead of
+  analytic layer tables).
+
+Select it with ``FrozenModel.set_backend("qgemm")``, or thread a
+``backend="qgemm"`` argument through ``ModelQuantizer.freeze``,
+``FrozenModel.load``, or ``ServingPool``.
+"""
+
+from repro.qgemm.backend import QGemmBackend
+from repro.qgemm.costmodel import (
+    CostMeter,
+    LayerCost,
+    executed_assignment,
+    simulate_executed,
+    simulate_executed_tensorcore,
+)
+from repro.qgemm.kernels import code_gemm, code_gemm_bincount, code_gemm_gather
+from repro.qgemm.luts import PartialProductLUT, lut_footprint_report, partial_product_lut
+
+__all__ = [
+    "QGemmBackend",
+    "CostMeter",
+    "LayerCost",
+    "PartialProductLUT",
+    "code_gemm",
+    "code_gemm_bincount",
+    "code_gemm_gather",
+    "executed_assignment",
+    "lut_footprint_report",
+    "partial_product_lut",
+    "simulate_executed",
+    "simulate_executed_tensorcore",
+]

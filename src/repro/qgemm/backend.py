@@ -1,0 +1,228 @@
+"""The ``"qgemm"`` execution backend: GEMMs on packed codes.
+
+Compiled per layer at ``set_backend`` time:
+
+* the packed weight bitstream is unpacked **once** into a code-word
+  matrix shaped for the layer's GEMM (never into floats);
+* the layer's :class:`~repro.runtime.engine.FrozenActQuant` supplies
+  activation *grid indices* (:meth:`indices`) instead of gathered
+  values -- the same nearest-grid kernels, minus the value LUT;
+* accumulation runs over the type pair's partial-product table
+  (:mod:`repro.qgemm.kernels`), and the per-channel weight scales times
+  the activation scale are applied **once at the output**, exactly
+  where the paper's activation unit re-quantizes (Fig. 4) -- inner
+  loops never see a float scale.
+
+In float64 the backend holds the runtime's bit-exact bar: the gather
+kernel reproduces the decode-then-multiply products verbatim, and the
+only deviation from the float backend is the output-side scale
+reassociation, far below the 1e-9 end-to-end tolerance.  In float32
+mode (serving), a conv's marked batch-norm fold is honored by folding
+the BN's per-channel affine into the output scale/shift instead of into
+GEMM weights (codes cannot absorb a float scale).
+
+Layers the backend cannot execute in the code domain keep the float
+kernels: unquantized layers (no export) and weight-only exports (no
+activation codes to multiply).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.dtypes.codec import unpack_codes
+from repro.dtypes.registry import default_registry
+from repro.qgemm.costmodel import CostMeter
+from repro.qgemm.kernels import (
+    code_gemm,
+    im2col_codes_nchw,
+    im2col_codes_nhwc,
+    weight_joint_offsets,
+)
+from repro.qgemm.luts import partial_product_lut
+from repro.runtime.backends import ExecutionBackend, register_backend
+
+
+def _weight_codes(export) -> np.ndarray:
+    """Unpack a :class:`PackedTensor` back to its code-word tensor."""
+    packed = export.weight
+    return unpack_codes(packed.packed, packed.bits, packed.size).reshape(
+        packed.shape
+    )
+
+
+def _output_scale(export) -> np.ndarray:
+    """Per-output-channel scale applied once after accumulation.
+
+    ``weight_scale * act_scale`` -- a ``(c_out,)`` vector for
+    per-channel weights (``channel_axis == 0``), a scalar otherwise.
+    """
+    packed = export.weight
+    scales = np.asarray(packed.scales, dtype=np.float64)
+    return scales * float(export.act_scale)
+
+
+@register_backend("qgemm")
+class QGemmBackend(ExecutionBackend):
+    """Code-domain execution over partial-product LUTs.
+
+    Parameters
+    ----------
+    mode:
+        Accumulation kernel: ``"auto"`` (default; bincount where exact
+        and cheaper, gather otherwise -- the bit-exact float64 engine
+        always gets an exact kernel), ``"gather"``, or ``"bincount"``
+        (rejected at compile time for layers whose table is
+        non-integral when compute runs in float64, since the histogram
+        contraction would reassociate the bit-exact sum).
+    meter:
+        Optional :class:`~repro.qgemm.costmodel.CostMeter` that every
+        compiled layer reports executed MACs / LUT lookups /
+        packed-byte traffic into.
+    """
+
+    def __init__(self, mode: str = "auto", meter: Optional[CostMeter] = None):
+        if mode not in ("auto", "gather", "bincount"):
+            raise ValueError(f"unknown qgemm mode {mode!r}")
+        self.mode = mode
+        self.meter = meter
+
+    # ------------------------------------------------------------------
+    def _layer_kernel(self, lut, compute_dtype, k_dim: int) -> str:
+        """Resolve the accumulation kernel for one layer at compile time.
+
+        The auto rule is static per layer (table integrality and size,
+        reduction depth), so the choice is baked into the executor --
+        and the cost meter can account lookups for the kernel that
+        actually runs.
+        """
+        if self.mode == "bincount" and not lut.integral and compute_dtype == np.float64:
+            raise ValueError(
+                "bincount accumulation is not exact for the non-integral "
+                f"{lut.w_dtype_name}x{lut.a_dtype_name} table; the float64 "
+                "engine requires an exact kernel (use mode='auto' or 'gather')"
+            )
+        if self.mode != "auto":
+            return self.mode
+        return (
+            "bincount" if lut.integral and lut.table.size < k_dim else "gather"
+        )
+
+    def _compile_common(self, layer, k_dim: int):
+        """Shared state; None when the layer must stay on float kernels."""
+        export = layer.export
+        if export is None or export.act_dtype_name is None:
+            return None  # unquantized, or weight-only (no act codes)
+        if export.weight.channel_axis not in (None, 0):
+            return None  # no known producer; keep the float path
+        compute_dtype = np.dtype(
+            getattr(layer, "w_t", getattr(layer, "w_mat", None)).dtype
+        )
+        lut = partial_product_lut(
+            export.weight.dtype_name, export.act_dtype_name
+        )
+        kernel = self._layer_kernel(lut, compute_dtype, k_dim)
+        out_scale = _output_scale(export).astype(compute_dtype)
+        bias = None if layer.bias is None else np.asarray(layer.bias)
+        return export, lut, kernel, compute_dtype, out_scale, bias
+
+    # ------------------------------------------------------------------
+    def compile_linear(self, layer) -> Optional[Callable]:
+        if layer.export is None:
+            return None
+        common = self._compile_common(layer, k_dim=layer.export.weight.shape[1])
+        if common is None:
+            return None
+        export, lut, kernel, compute_dtype, out_scale, bias = common
+        wcodes = np.ascontiguousarray(_weight_codes(export).T)  # (in, out)
+        k_dim, out_features = wcodes.shape
+        # weight-side joint offsets are loop-invariant: validated and
+        # pre-scaled once here instead of per forward
+        w_joint = weight_joint_offsets(wcodes, lut)
+        act_quant = layer.act_quant
+        meter = self.meter
+
+        def run(x: np.ndarray) -> np.ndarray:
+            idx = act_quant.indices(x)
+            lead = x.shape[:-1]
+            rows = idx.reshape(-1, k_dim)
+            acc = code_gemm(rows, None, lut, compute_dtype, kernel, w_joint=w_joint)
+            out = acc * out_scale
+            if bias is not None:
+                out += bias
+            if meter is not None:
+                meter.record_layer(
+                    export, kind="linear", rows=rows.shape[0],
+                    k=k_dim, cols=out_features, lut=lut, kernel=kernel,
+                )
+            return out.reshape(lead + (out_features,))
+
+        return run
+
+    # ------------------------------------------------------------------
+    def compile_conv2d(self, layer) -> Optional[Callable]:
+        if layer.export is None:
+            return None
+        shape = layer.export.weight.shape
+        common = self._compile_common(
+            layer, k_dim=int(np.prod(shape[1:], dtype=np.int64))
+        )
+        if common is None:
+            return None
+        export, lut, kernel_mode, compute_dtype, out_scale, bias = common
+        codes = _weight_codes(export)  # (c_out, c_in, kh, kw)
+        c_out = codes.shape[0]
+        if layer.layout == "nhwc":
+            wcodes = np.ascontiguousarray(
+                codes.transpose(2, 3, 1, 0).reshape(-1, c_out)
+            )
+            im2col = im2col_codes_nhwc
+        else:
+            wcodes = np.ascontiguousarray(codes.reshape(c_out, -1).T)
+            im2col = im2col_codes_nchw
+        k_dim = wcodes.shape[0]
+        w_joint = weight_joint_offsets(wcodes, lut)
+        kernel, stride, padding = layer.kernel, layer.stride, layer.padding
+        layout = layer.layout
+        act_quant = layer.act_quant
+        meter = self.meter
+
+        # float32 serving honors a marked conv+BN fold by folding the
+        # BN affine into the *output* scale/shift (codes cannot absorb
+        # a float scale); the float64 engine keeps BN as its own pass.
+        scale, shift = out_scale, bias
+        bn = getattr(layer, "_bn", None)
+        if bn is not None and compute_dtype != np.float64:
+            bn_scale, bn_shift = bn.affine()
+            scale = (out_scale * bn_scale).astype(compute_dtype)
+            shift = (bn_shift if bias is None else bias * bn_scale + bn_shift)
+            shift = np.ascontiguousarray(shift, dtype=compute_dtype)
+
+        def run(x: np.ndarray) -> np.ndarray:
+            idx = act_quant.indices(x)
+            rows = im2col(idx, kernel, stride, padding, lut.pad_col)
+            acc = code_gemm(
+                rows, None, lut, compute_dtype, kernel_mode, w_joint=w_joint
+            )
+            out = acc * scale
+            if shift is not None:
+                out += shift
+            if meter is not None:
+                meter.record_layer(
+                    export, kind="conv2d", rows=rows.shape[0],
+                    k=k_dim, cols=c_out, lut=lut, kernel=kernel_mode,
+                )
+            if layout == "nhwc":
+                n, h, w = x.shape[0], x.shape[1], x.shape[2]
+            else:
+                n, h, w = x.shape[0], x.shape[2], x.shape[3]
+            out_h = (h + 2 * padding[0] - kernel[0]) // stride[0] + 1
+            out_w = (w + 2 * padding[1] - kernel[1]) // stride[1] + 1
+            out = out.reshape(n, out_h, out_w, c_out)
+            if layout == "nhwc":
+                return out
+            return np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+
+        return run

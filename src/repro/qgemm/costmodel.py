@@ -1,0 +1,211 @@
+"""Execution-driven cost accounting and the bridge to the hardware model.
+
+The :mod:`repro.hardware` latency/energy models (Fig. 13) were driven
+by *analytic* layer tables -- public architecture shapes at a fixed
+batch.  A :class:`CostMeter` instead rides inside the ``qgemm``
+backend and counts what a forward **actually executed**: code-domain
+MACs (one per LUT lookup in the gather kernel), partial-product table
+lookups, and packed-byte traffic (weight bitstreams at their true bit
+widths, activation codes at theirs).  The bridge functions then replay
+that executed workload through the existing
+:class:`~repro.hardware.accelerator.Accelerator` and
+:func:`~repro.hardware.tensorcore.simulate_tensorcore` models, so
+cycle/energy estimates inherit real batch sizes, real im2col expansion,
+and real per-layer bit assignments (including mixed-precision
+escalations) instead of assumptions about them.
+
+Usage::
+
+    meter = CostMeter()
+    frozen.set_backend(QGemmBackend(meter=meter))
+    frozen.predict(x)
+    result = simulate_executed(meter, "ant-os")   # SimulationResult
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dtypes.codec import packed_nbytes
+from repro.dtypes.registry import default_registry
+
+
+@dataclass
+class LayerCost:
+    """Accumulated execution counts for one quantized GEMM layer."""
+
+    name: str
+    kind: str  # "linear" | "conv2d"
+    w_dtype: str
+    a_dtype: str
+    weight_bits: int
+    act_bits: int
+    #: GEMM dimensions: output channels, reduction depth.
+    m: int
+    k: int
+    #: total GEMM rows executed across all recorded forwards.
+    rows: int = 0
+    calls: int = 0
+    #: accumulation kernel the backend compiled for this layer
+    #: (``"gather"`` or ``"bincount"``).
+    kernel: str = "gather"
+    #: code-domain multiply-accumulates (== rows * k * m summed).
+    code_macs: int = 0
+    #: partial-product table touches of the executed kernel: one per
+    #: MAC for gather; one full table sweep per output for bincount.
+    lut_lookups: int = 0
+    #: bytes of the partial-product table for this layer's type pair.
+    lut_table_bytes: int = 0
+    #: packed weight bitstream bytes, streamed once per forward call.
+    weight_traffic_bytes: int = 0
+    #: activation code bytes fed to the GEMM (im2col'd, at act bits).
+    act_traffic_bytes: int = 0
+    #: output elements produced (pre-requantization accumulators).
+    output_elems: int = 0
+
+    @property
+    def packed_traffic_bytes(self) -> int:
+        return self.weight_traffic_bytes + self.act_traffic_bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "kernel": self.kernel,
+            "w_dtype": self.w_dtype,
+            "a_dtype": self.a_dtype,
+            "weight_bits": self.weight_bits,
+            "act_bits": self.act_bits,
+            "m": self.m,
+            "k": self.k,
+            "rows": self.rows,
+            "calls": self.calls,
+            "code_macs": self.code_macs,
+            "lut_lookups": self.lut_lookups,
+            "lut_table_bytes": self.lut_table_bytes,
+            "weight_traffic_bytes": self.weight_traffic_bytes,
+            "act_traffic_bytes": self.act_traffic_bytes,
+            "packed_traffic_bytes": self.packed_traffic_bytes,
+            "output_elems": self.output_elems,
+        }
+
+
+@dataclass
+class CostMeter:
+    """Per-layer execution counters filled in by the qgemm backend."""
+
+    layers: Dict[str, LayerCost] = field(default_factory=dict)
+
+    def record_layer(
+        self, export, kind: str, rows: int, k: int, cols: int, lut,
+        kernel: str = "gather",
+    ) -> None:
+        """Accumulate one executed GEMM for ``export``'s layer."""
+        entry = self.layers.get(export.name)
+        if entry is None:
+            a_bits = default_registry.get(export.act_dtype_name).bits
+            entry = self.layers[export.name] = LayerCost(
+                name=export.name,
+                kind=kind,
+                kernel=kernel,
+                w_dtype=export.weight.dtype_name,
+                a_dtype=export.act_dtype_name,
+                weight_bits=export.weight.bits,
+                act_bits=a_bits,
+                m=cols,
+                k=k,
+            )
+        macs = rows * k * cols
+        entry.rows += rows
+        entry.calls += 1
+        entry.code_macs += macs
+        entry.kernel = kernel
+        # account the table touches of the kernel that actually ran
+        entry.lut_lookups += (
+            macs if kernel == "gather" else rows * cols * lut.table.size
+        )
+        entry.lut_table_bytes = lut.nbytes
+        entry.weight_traffic_bytes += export.weight.packed_nbytes
+        entry.act_traffic_bytes += packed_nbytes(rows * k, entry.act_bits)
+        entry.output_elems += rows * cols
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.layers.clear()
+
+    def total(self, field_name: str) -> int:
+        return sum(getattr(c, field_name) for c in self.layers.values())
+
+    def summary(self) -> dict:
+        """Aggregate counters plus the per-layer table (JSON-friendly)."""
+        return {
+            "layers": [c.as_dict() for c in self.layers.values()],
+            "total_code_macs": self.total("code_macs"),
+            "total_lut_lookups": self.total("lut_lookups"),
+            "total_weight_traffic_bytes": self.total("weight_traffic_bytes"),
+            "total_act_traffic_bytes": self.total("act_traffic_bytes"),
+            "total_packed_traffic_bytes": (
+                self.total("weight_traffic_bytes") + self.total("act_traffic_bytes")
+            ),
+            "total_output_elems": self.total("output_elems"),
+        }
+
+
+# ----------------------------------------------------------------------
+# Bridge into the hardware model
+# ----------------------------------------------------------------------
+def executed_assignment(meter: CostMeter) -> Tuple[list, list]:
+    """Executed workload as (layer shapes, bit assignments).
+
+    Each metered layer becomes one
+    :class:`~repro.hardware.workloads.LayerShape` whose GEMM dimensions
+    are what actually ran (``n`` = total rows executed, so MACs in the
+    hardware model equal the counted code MACs exactly) and one
+    :class:`~repro.hardware.accelerator.LayerAssignment` carrying the
+    layer's true exported bit widths.
+    """
+    from repro.hardware.accelerator import LayerAssignment
+    from repro.hardware.workloads import LayerShape
+
+    shapes: List[LayerShape] = []
+    assigns: List[LayerAssignment] = []
+    for cost in meter.layers.values():
+        shapes.append(
+            LayerShape(
+                name=cost.name,
+                m=cost.m,
+                k=cost.k,
+                n=cost.rows,
+                weight_elems=cost.m * cost.k,
+                input_elems=cost.rows * cost.k,
+                output_elems=cost.output_elems,
+            )
+        )
+        assigns.append(LayerAssignment(cost.weight_bits, cost.act_bits))
+    return shapes, assigns
+
+
+def simulate_executed(meter: CostMeter, accelerator: str = "ant-os", memory=None):
+    """Latency/energy of the executed workload on a catalogue design.
+
+    Returns the same :class:`~repro.hardware.accelerator.SimulationResult`
+    the Fig. 13 harness produces, but for the workload the qgemm
+    backend just ran.
+    """
+    from repro.hardware.accelerator import build_accelerator
+
+    if not meter.layers:
+        raise ValueError("meter is empty; run a qgemm forward first")
+    shapes, assigns = executed_assignment(meter)
+    return build_accelerator(accelerator, memory=memory).simulate(shapes, assigns)
+
+
+def simulate_executed_tensorcore(meter: CostMeter, spec=None):
+    """Tensor-core roofline of the executed workload (Sec. VI-A)."""
+    from repro.hardware.tensorcore import TensorCoreSpec, simulate_tensorcore
+
+    if not meter.layers:
+        raise ValueError("meter is empty; run a qgemm forward first")
+    shapes, assigns = executed_assignment(meter)
+    return simulate_tensorcore(shapes, assigns, spec or TensorCoreSpec())

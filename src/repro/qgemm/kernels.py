@@ -1,0 +1,271 @@
+"""Vectorized accumulation kernels over partial-product tables.
+
+The canonical operand layout is the GEMM the frozen runtime already
+runs, re-expressed in codes: activations as a ``(rows, k)`` matrix of
+grid indices (im2col'd windows for convolution, flattened leading axes
+for linear), weights as a ``(k, cols)`` matrix of canonical code words.
+``out[r, o] = sum_k table[w[k, o], a[r, k]]`` -- one table lookup per
+MAC, the software image of a decoder pair feeding one multiplier.
+
+Two accumulation strategies:
+
+* :func:`code_gemm_gather` -- joint-index the table per (r, k, o) and
+  reduce over ``k``.  The float64 result is **bit-identical** to the
+  decode-then-multiply reference computed in the same reduction order
+  (the gathered entries *are* the reference's elementwise products,
+  precomputed), which is what the runtime's bit-exact mode rides on.
+* :func:`code_gemm_bincount` -- histogram the joint codes per (r, o)
+  with one big ``np.bincount``, then contract the count matrix against
+  the flattened table.  The float work drops from ``k`` to
+  ``table.size`` multiply-adds per output; when the table is integral
+  (int x int pairs) counts-times-products stay exact integers in
+  float64, so this too is exact -- the software analogue of the
+  paper's integer accumulation behind the decoders.
+
+Both kernels block over output rows so the transient joint-index /
+histogram arrays stay bounded (``block_elems`` caps the per-block
+element count) regardless of GEMM size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.qgemm.luts import PartialProductLUT
+
+#: per-block cap on transient elements (joint indices / histogram
+#: slots); 2^20 * (8 B index + 8 B gather) keeps blocks ~16 MiB.
+DEFAULT_BLOCK_ELEMS = 1 << 20
+
+
+def weight_joint_offsets(w_codes: np.ndarray, lut: PartialProductLUT) -> np.ndarray:
+    """Validate ``(k, cols)`` weight codes and pre-scale them into flat
+    table offsets (``code * row_stride``).
+
+    Loop-invariant per layer: the backend computes this once at compile
+    time so per-forward kernels skip both the weight-range scan and the
+    ``k x cols`` multiply/allocation.
+    """
+    if w_codes.ndim != 2:
+        raise ValueError(f"expected 2-D weight codes, got {w_codes.shape}")
+    if w_codes.size and (
+        w_codes.min() < 0 or w_codes.max() >= lut.n_weight_codes
+    ):
+        raise ValueError(
+            f"weight code out of range for {lut.w_dtype_name} table"
+        )
+    return w_codes.astype(np.int64) * lut.table.shape[1]
+
+
+def _check_act(act_idx: np.ndarray, k: int, lut: PartialProductLUT):
+    if act_idx.ndim != 2:
+        raise ValueError(f"expected 2-D activation indices, got {act_idx.shape}")
+    if act_idx.shape[1] != k:
+        raise ValueError(
+            f"inner dimensions differ: act {act_idx.shape} vs k={k}"
+        )
+    if act_idx.size and (
+        act_idx.min() < 0 or act_idx.max() >= lut.n_act_cols
+    ):
+        raise ValueError(
+            f"activation index out of range for {lut.a_dtype_name} table"
+        )
+
+
+def code_gemm_gather(
+    act_idx: np.ndarray,
+    w_codes: Optional[np.ndarray],
+    lut: PartialProductLUT,
+    out_dtype=np.float64,
+    block_elems: int = DEFAULT_BLOCK_ELEMS,
+    w_joint: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Gather-accumulate: ``out[r, o] = sum_k table[w[k, o], a[r, k]]``.
+
+    ``act_idx`` is ``(rows, k)`` activation grid indices; ``w_codes``
+    is ``(k, cols)`` weight code words (compiled callers pass the
+    precomputed ``w_joint`` from :func:`weight_joint_offsets` instead).
+    In float64 the result is bit-identical to
+    ``(decode[w][None] * grid[a][:, :, None]).sum(axis=1)`` -- the
+    decode-then-multiply reference in the same reduction order.
+    """
+    if w_joint is None:
+        w_joint = weight_joint_offsets(w_codes, lut)
+    k, cols = w_joint.shape
+    _check_act(act_idx, k, lut)
+    rows = act_idx.shape[0]
+    table = lut.cast(out_dtype)
+    flat = table.reshape(-1)
+    out = np.empty((rows, cols), dtype=table.dtype)
+    if k == 0:
+        out[:] = 0.0
+        return out
+    block = max(1, block_elems // max(k * cols, 1))
+    a64 = act_idx.astype(np.int64, copy=False)
+    for start in range(0, rows, block):
+        stop = min(start + block, rows)
+        joint = a64[start:stop, :, None] + w_joint[None, :, :]
+        np.sum(flat[joint], axis=1, out=out[start:stop])
+    return out
+
+
+def code_gemm_bincount(
+    act_idx: np.ndarray,
+    w_codes: Optional[np.ndarray],
+    lut: PartialProductLUT,
+    out_dtype=np.float64,
+    block_elems: int = DEFAULT_BLOCK_ELEMS,
+    w_joint: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Histogram-accumulate: joint-code counts contracted with the table.
+
+    For each output cell, count how often every (weight code,
+    activation code) pair occurs along ``k`` (integer work), then take
+    one ``counts @ table`` dot (``table.size`` multiply-adds).  Exact
+    whenever the table is integral -- counts and products are then
+    integers well inside float64's exact range -- which is the
+    int x int accumulation the paper's PE performs natively.  For
+    non-integral tables the contraction reassociates the sum, so the
+    bit-exact float64 mode must use :func:`code_gemm_gather`.
+    """
+    if w_joint is None:
+        w_joint = weight_joint_offsets(w_codes, lut)
+    k, cols = w_joint.shape
+    _check_act(act_idx, k, lut)
+    rows = act_idx.shape[0]
+    table = lut.table  # counts are exact; contract in float64, cast once
+    ntab = table.size
+    out = np.empty((rows, cols), dtype=np.dtype(out_dtype))
+    if k == 0:
+        out[:] = 0.0
+        return out
+    flat = table.reshape(-1)
+    block = max(1, block_elems // max(max(k, ntab) * cols, 1))
+    a64 = act_idx.astype(np.int64, copy=False)
+    cell = np.arange(cols, dtype=np.int64) * ntab  # per-output histogram base
+    for start in range(0, rows, block):
+        stop = min(start + block, rows)
+        b = stop - start
+        # joint[r, k, o] + (r*cols + o)*ntab: every (row, col) output
+        # cell owns a private ntab-slot histogram in one flat bincount
+        joint = a64[start:stop, :, None] + w_joint[None, :, :]
+        joint += cell[None, None, :]
+        joint += (np.arange(b, dtype=np.int64) * (cols * ntab))[:, None, None]
+        counts = np.bincount(joint.reshape(-1), minlength=b * cols * ntab)
+        acc = counts.reshape(b, cols, ntab) @ flat
+        out[start:stop] = acc
+    return out
+
+
+def code_gemm(
+    act_idx: np.ndarray,
+    w_codes: Optional[np.ndarray],
+    lut: PartialProductLUT,
+    out_dtype=np.float64,
+    mode: str = "auto",
+    block_elems: int = DEFAULT_BLOCK_ELEMS,
+    w_joint: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Code-domain GEMM with kernel selection.
+
+    ``mode="auto"`` picks the bincount kernel when it is exact
+    (integral table) *and* cheaper (table smaller than the reduction
+    depth, so the histogram amortizes); the gather kernel otherwise.
+    ``"gather"``/``"bincount"`` force a kernel (the bit-exact float64
+    engine forces ``"gather"`` for non-integral tables).
+    """
+    if mode == "auto":
+        mode = (
+            "bincount"
+            if lut.integral and lut.table.size < act_idx.shape[1]
+            else "gather"
+        )
+    if mode == "gather":
+        return code_gemm_gather(
+            act_idx, w_codes, lut, out_dtype, block_elems, w_joint
+        )
+    if mode == "bincount":
+        return code_gemm_bincount(
+            act_idx, w_codes, lut, out_dtype, block_elems, w_joint
+        )
+    raise ValueError(f"unknown code_gemm mode {mode!r}")
+
+
+# ----------------------------------------------------------------------
+# Code-domain im2col
+# ----------------------------------------------------------------------
+def im2col_codes_nhwc(
+    idx: np.ndarray,
+    kernel,
+    stride,
+    padding,
+    pad_col: int,
+) -> np.ndarray:
+    """Flatten NHWC activation-index windows to a ``(rows, k)`` matrix.
+
+    ``idx`` is ``(n, h, w, c)`` grid indices.  Padded border positions
+    take ``pad_col`` -- the table column whose partial products are
+    exactly zero -- because convolution pads *after* activation
+    quantization.  Window flattening order is ``(kh, kw, c)``, matching
+    the NHWC weight-matrix layout of the float path.
+    """
+    n, h, w, c = idx.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        idx = np.pad(
+            idx, ((0, 0), (ph, ph), (pw, pw), (0, 0)), constant_values=pad_col
+        )
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output collapsed: input {h}x{w}, kernel {kh}x{kw}"
+        )
+    if kh == 1 and kw == 1:
+        sub = idx[:, ::sh, ::sw, :][:, :out_h, :out_w, :]
+        return np.ascontiguousarray(sub.reshape(n * out_h * out_w, c))
+    s = idx.strides
+    windows = np.lib.stride_tricks.as_strided(
+        idx,
+        shape=(n, out_h, out_w, kh, kw, c),
+        strides=(s[0], s[1] * sh, s[2] * sw, s[1], s[2], s[3]),
+        writeable=False,
+    )
+    return windows.reshape(n * out_h * out_w, kh * kw * c)
+
+
+def im2col_codes_nchw(
+    idx: np.ndarray,
+    kernel,
+    stride,
+    padding,
+    pad_col: int,
+) -> np.ndarray:
+    """NCHW variant; flattening order ``(c, kh, kw)`` matches the NCHW
+    weight matrix ``weight.reshape(c_out, -1)``."""
+    n, c, h, w = idx.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        idx = np.pad(
+            idx, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=pad_col
+        )
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output collapsed: input {h}x{w}, kernel {kh}x{kw}"
+        )
+    s = idx.strides
+    windows = np.lib.stride_tricks.as_strided(
+        idx,
+        shape=(n, out_h, out_w, c, kh, kw),
+        strides=(s[0], s[2] * sh, s[3] * sw, s[1], s[2], s[3]),
+        writeable=False,
+    )
+    return windows.reshape(n * out_h * out_w, c * kh * kw)

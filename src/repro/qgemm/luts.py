@@ -1,0 +1,129 @@
+"""Partial-product lookup tables for code-domain GEMM.
+
+One table per (weight type, activation type) pair, built from the same
+:class:`~repro.dtypes.codec.GridCodec` grids every other subsystem
+validates against:
+
+* rows are indexed by the weight's **canonical code word** (all
+  ``2^bits`` of them, so packed weight streams index directly without
+  re-mapping -- codes outside the quantization grid, like int's unused
+  most-negative pattern, simply carry their decoded value);
+* columns are indexed by the activation's **grid index** (what the
+  runtime's nearest-grid kernels produce), plus one trailing
+  ``pad_col`` whose entries are the exact products with ``0.0`` --
+  convolution zero-padding happens *after* activation quantization, so
+  padded positions need a code whose partial product is zero regardless
+  of the weight operand.
+
+Entry ``[cw, ca]`` is the plain float64 product
+``decode_lut[cw] * grid[ca]`` -- exactly the multiply the
+decode-then-multiply reference performs element by element, which is
+what lets the gather kernel match that reference bit for bit.  Scales
+never enter the table: they are per-channel output factors applied once
+after accumulation (the activation unit in Fig. 4), keeping the table
+one small scale-free array per *type pair* rather than per layer.
+
+A 4-bit x 4-bit pair costs ``16 x 16 x 8 B = 2 KiB`` in float64 (the
+serving float32 cast halves that); the largest supported pair
+(8-bit x 8-bit) is ``256 x 256 x 8 B = 512 KiB``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict
+
+import numpy as np
+
+from repro.dtypes.registry import default_registry
+
+
+@dataclass(frozen=True)
+class PartialProductLUT:
+    """Precomputed code-product table for one (weight, activation) pair."""
+
+    #: registry names of the operand types.
+    w_dtype_name: str
+    a_dtype_name: str
+    #: ``(2^w_bits, a_grid_size + 1)`` float64 products; read-only.
+    table: np.ndarray
+    #: activation column encoding convolution zero-padding (all zeros).
+    pad_col: int
+    #: True when every entry is an exact integer (int x int pairs):
+    #: histogram-weighted accumulation is then exact in float64.
+    integral: bool
+    #: memoized dtype casts of ``table`` (read-only, like the master).
+    _cast_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def n_weight_codes(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def n_act_cols(self) -> int:
+        return self.table.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.table.nbytes)
+
+    def cast(self, dtype) -> np.ndarray:
+        """The table in a compute dtype (float64 returns the master).
+
+        Casts are memoized: serving gathers from the same float32 copy
+        every forward instead of re-allocating one per call.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == np.float64:
+            return self.table
+        cached = self._cast_cache.get(dtype.str)
+        if cached is None:
+            cached = self._cast_cache[dtype.str] = self.table.astype(dtype)
+            cached.setflags(write=False)
+        return cached
+
+
+@lru_cache(maxsize=None)
+def partial_product_lut(w_dtype_name: str, a_dtype_name: str) -> PartialProductLUT:
+    """Build (or fetch) the partial-product table for a type pair.
+
+    Cached process-wide: every layer sharing a type pair shares one
+    table, the way hardware shares one decoder design per type.
+    """
+    w_codec = default_registry.get(w_dtype_name).codec
+    a_codec = default_registry.get(a_dtype_name).codec
+    cols = np.concatenate([a_codec.grid, [0.0]])
+    table = np.outer(w_codec.decode_lut, cols)
+    table.setflags(write=False)
+    with np.errstate(invalid="ignore"):
+        integral = bool(
+            np.all(np.isfinite(table))
+            and np.all(table == np.round(table))
+            and float(np.abs(table).max(initial=0.0)) < 2.0**53
+        )
+    return PartialProductLUT(
+        w_dtype_name=w_dtype_name,
+        a_dtype_name=a_dtype_name,
+        table=table,
+        pad_col=a_codec.grid.size,
+        integral=integral,
+    )
+
+
+def lut_footprint_report(pairs) -> Dict[str, dict]:
+    """Table memory per type pair (README's footprint accounting).
+
+    ``pairs`` is an iterable of ``(w_dtype_name, a_dtype_name)``.
+    """
+    report = {}
+    for w_name, a_name in pairs:
+        lut = partial_product_lut(w_name, a_name)
+        report[f"{w_name}x{a_name}"] = {
+            "rows": lut.n_weight_codes,
+            "cols": lut.n_act_cols,
+            "float64_bytes": lut.nbytes,
+            "float32_bytes": lut.nbytes // 2,
+            "integral": lut.integral,
+        }
+    return report

@@ -294,6 +294,7 @@ class ModelQuantizer:
         model_name: Optional[str] = None,
         dtype=np.float64,
         weight_only: bool = False,
+        backend: str = "float",
     ):
         """Export the calibrated model as an inference-only engine.
 
@@ -322,6 +323,11 @@ class ModelQuantizer:
             GOBO-style weight-only mode for workloads where activation
             quantization is accuracy-critical).  In float64 this
             matches the hook model with input fake-quant detached.
+        backend:
+            Execution backend for quantized GEMM layers:
+            ``"float"`` (decode once, BLAS) or ``"qgemm"``
+            (code-domain LUT execution, :mod:`repro.qgemm`).  See
+            :meth:`repro.runtime.FrozenModel.set_backend`.
         """
         from repro.runtime import LayerExport, export_packed_weight, freeze_model
 
@@ -357,6 +363,8 @@ class ModelQuantizer:
         )
         if np.dtype(dtype) != np.float64:
             frozen.astype(dtype)
+        if backend != "float":
+            frozen.set_backend(backend)
         return frozen
 
     # ------------------------------------------------------------------

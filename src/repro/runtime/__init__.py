@@ -21,8 +21,21 @@ calibrated layer into an inference-only engine:
 Float64 is the bit-exact validation mode (matches the hook-based
 fake-quant model to <= 1e-9); ``astype(np.float32)`` switches to the
 serving fast path.
+
+How quantized GEMM layers *execute* is pluggable
+(:mod:`repro.runtime.backends`): ``backend="float"`` is the
+decode-once-then-BLAS path above, ``backend="qgemm"``
+(:mod:`repro.qgemm`) runs the GEMMs directly on packed codes via
+partial-product LUTs -- select with ``FrozenModel.set_backend``.
 """
 
+from repro.runtime.backends import (
+    ExecutionBackend,
+    FloatBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.runtime.engine import (
     CHECKPOINT_VERSION,
     FreezeContext,
@@ -41,6 +54,11 @@ from repro.runtime import kernels
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "ExecutionBackend",
+    "FloatBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "FreezeContext",
     "FrozenActQuant",
     "FrozenModel",

@@ -1,0 +1,99 @@
+"""Pluggable execution backends for the frozen runtime.
+
+The frozen module tree is a *structure* (layer graph + packed exports);
+an :class:`ExecutionBackend` decides how the quantized GEMM layers in
+that structure actually compute.  The contract is deliberately small:
+
+* ``compile_linear(layer)`` / ``compile_conv2d(layer)`` receive a
+  frozen layer (which carries its :class:`~repro.runtime.engine.LayerExport`
+  in ``layer.export``) and return either a callable ``run(x) -> out``
+  that replaces the layer's built-in forward body, or ``None`` to keep
+  the built-in float kernels for that layer.
+* :meth:`repro.runtime.engine.FrozenModel.set_backend` walks the tree
+  and installs the compiled executors; layer code never branches on
+  which backend is active -- it only checks "do I have an installed
+  executor".
+
+Two backends ship with the repo:
+
+* ``"float"`` (:class:`FloatBackend`) -- the default decode-once path:
+  weights are dequantized into a cached float matrix and BLAS runs the
+  GEMM.  ``compile_*`` returns ``None`` for every layer.
+* ``"qgemm"`` (:class:`repro.qgemm.QGemmBackend`, lazily imported) --
+  code-domain execution: GEMMs run directly on packed low-bit codes via
+  per-(weight-code x activation-code) partial-product LUTs, modeling
+  the paper's decode-in-front-of-MAC dataflow in software.
+
+Backends are addressed by name so checkpoints, serving pools, and
+worker processes can select one with a plain string.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable, Dict, Optional, Type
+
+#: registered backend classes by name.
+_BACKENDS: Dict[str, Type["ExecutionBackend"]] = {}
+
+#: backends resolved by importing a module on first use, so
+#: ``set_backend("qgemm")`` works without the caller importing
+#: :mod:`repro.qgemm` (and the runtime package stays import-light).
+_LAZY_BACKENDS: Dict[str, str] = {"qgemm": "repro.qgemm"}
+
+
+class ExecutionBackend:
+    """How quantized GEMM layers execute; see the module docstring.
+
+    Subclasses set ``name`` and override the ``compile_*`` hooks.  A
+    hook returning ``None`` keeps the layer on the built-in float
+    kernels (the universal fallback -- e.g. weight-only exports have no
+    activation codes for a code-domain backend to execute on).
+    """
+
+    name: str = "?"
+
+    def compile_linear(self, layer) -> Optional[Callable]:
+        """Executor for a :class:`~repro.runtime.modules.FrozenLinear`."""
+        return None
+
+    def compile_conv2d(self, layer) -> Optional[Callable]:
+        """Executor for a :class:`~repro.runtime.modules.FrozenConv2d`."""
+        return None
+
+
+def register_backend(name: str) -> Callable:
+    """Class decorator registering an execution backend under ``name``."""
+
+    def decorator(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
+        cls.name = name
+        _BACKENDS[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate a registered backend by name.
+
+    ``options`` are forwarded to the backend constructor (e.g.
+    ``get_backend("qgemm", mode="bincount")``).
+    """
+    if name not in _BACKENDS and name in _LAZY_BACKENDS:
+        import_module(_LAZY_BACKENDS[name])  # registers itself on import
+    if name not in _BACKENDS:
+        raise KeyError(
+            f"unknown execution backend {name!r}; "
+            f"registered: {sorted(set(_BACKENDS) | set(_LAZY_BACKENDS))}"
+        )
+    return _BACKENDS[name](**options)
+
+
+def backend_names() -> list:
+    """All resolvable backend names (registered plus lazy)."""
+    return sorted(set(_BACKENDS) | set(_LAZY_BACKENDS))
+
+
+@register_backend("float")
+class FloatBackend(ExecutionBackend):
+    """The default decode-then-BLAS path: no layer overrides at all."""

@@ -443,6 +443,47 @@ class FrozenActQuant:
             out = np.where(np.isnan(scaled), np.nan, out)
         return out
 
+    def indices(self, x: np.ndarray) -> np.ndarray:
+        """Nearest-grid *indices* of ``x`` (the code-domain half of
+        :meth:`__call__`).
+
+        Same index kernels as the value path -- ``searchsorted`` against
+        the midpoints in float64, the exact fast kernels in float32 --
+        so a code-domain backend quantizes to precisely the grid points
+        the value path would have gathered.  The returned array is
+        **read-only and shared**: sibling layers quantizing the same
+        tensor identically (q/k/v projections) receive the same memoized
+        array, so callers must not mutate it (it is marked
+        non-writeable).  NaN has no code word, so non-finite-safe
+        callers must mask beforehand; this raises ``ValueError`` on NaN
+        input (+-inf saturates to the grid extremes, as in the value
+        path).
+        """
+        key = (id(x), self.dtype_name, self.scale, "idx")
+        hit = self._memo.get(key)
+        if hit is not None and hit[0] is x:
+            return hit[1]
+        if self._fast is not None:
+            scaled = _SCRATCH.get("faq-scaled", x.shape, np.float32)
+            np.divide(x, np.float32(self.scale), out=scaled)
+            if np.isnan(np.min(scaled, initial=np.inf)):
+                raise ValueError(
+                    f"cannot map NaN activations onto the {self.dtype_name} grid"
+                )
+            idx = np.array(self._fast(scaled), copy=True)
+        else:
+            scaled = x / self.scale
+            if np.isnan(np.min(scaled, initial=np.inf)):
+                raise ValueError(
+                    f"cannot map NaN activations onto the {self.dtype_name} grid"
+                )
+            idx = np.searchsorted(self.midpoints, scaled, side="right")
+        idx.setflags(write=False)  # shared via the memo: no mutation
+        if len(self._memo) >= self._MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = (x, idx)
+        return idx
+
 
 # ----------------------------------------------------------------------
 # Module freezing
@@ -461,19 +502,36 @@ class FrozenModule:
     1:1, so this holds for every zoo architecture).  A custom freezer
     that invokes one frozen instance twice in a forward must not reuse
     ``_bufs``-backed outputs across the two calls.
+
+    ``kind`` marks layers an execution backend may override
+    (``"linear"``/``"conv2d"``, see :mod:`repro.runtime.backends`);
+    such layers carry their :class:`LayerExport` in ``export`` and an
+    installed executor in ``_exec`` (``None`` = built-in float path).
     """
 
     _arrays: Tuple[str, ...] = ()
+    #: backend-overridable layer kind; ``None`` for structural modules.
+    kind: Optional[str] = None
 
     def __init__(self) -> None:
         self._children: List[FrozenModule] = []
         self._bufs: Dict[tuple, np.ndarray] = {}
         self._masters: Dict[str, np.ndarray] = {}
         self.act_quant: Optional[FrozenActQuant] = None
+        #: export bundle for quantized GEMM layers (set by their freezer).
+        self.export = None
+        #: backend-compiled executor replacing the forward body.
+        self._exec: Optional[Callable] = None
 
     def add(self, child: "FrozenModule") -> "FrozenModule":
         self._children.append(child)
         return child
+
+    def iter_modules(self):
+        """Yield this module and every descendant, depth-first."""
+        yield self
+        for child in self._children:
+            yield from child.iter_modules()
 
     def astype(self, dtype: np.dtype) -> "FrozenModule":
         if not self._masters:
@@ -613,6 +671,55 @@ class FrozenModel:
         self.model_name = model_name
         self.meta = dict(meta or {})
         self.dtype = np.dtype(np.float64)
+        self._backend = None  # None == built-in float path everywhere
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the active execution backend (``"float"`` default)."""
+        return "float" if self._backend is None else self._backend.name
+
+    def set_backend(self, backend, **options) -> "FrozenModel":
+        """Select how quantized GEMM layers execute.
+
+        ``backend`` is a registered backend name (``"float"``,
+        ``"qgemm"``; see :mod:`repro.runtime.backends`) or an
+        :class:`~repro.runtime.backends.ExecutionBackend` instance --
+        pass an instance to share state with the caller, e.g. a
+        ``qgemm`` backend carrying a :class:`~repro.qgemm.CostMeter`.
+        The compiled executors are installed on the frozen layers;
+        structural modules and layers the backend declines (returns
+        ``None`` for) keep the built-in float kernels.  Re-applied
+        automatically on :meth:`astype`, since executors bake in the
+        compute dtype.
+        """
+        from repro.runtime.backends import ExecutionBackend, get_backend
+
+        if isinstance(backend, ExecutionBackend):
+            if options:
+                raise TypeError(
+                    "backend options only apply when selecting by name"
+                )
+        else:
+            backend = get_backend(str(backend), **options)
+        self._backend = None if backend.name == "float" else backend
+        self._apply_backend()
+        return self
+
+    def _apply_backend(self) -> None:
+        for module in self.root.iter_modules():
+            if module.kind == "linear":
+                module._exec = (
+                    None
+                    if self._backend is None
+                    else self._backend.compile_linear(module)
+                )
+            elif module.kind == "conv2d":
+                module._exec = (
+                    None
+                    if self._backend is None
+                    else self._backend.compile_conv2d(module)
+                )
 
     # ------------------------------------------------------------------
     def astype(self, dtype) -> "FrozenModel":
@@ -626,6 +733,8 @@ class FrozenModel:
             raise ValueError(f"compute dtype must be floating, got {dtype}")
         self.dtype = dtype
         self.root.astype(self.dtype)
+        # backend executors bake in dtype-cast LUTs; recompile them
+        self._apply_backend()
         return self
 
     # ------------------------------------------------------------------
@@ -740,7 +849,13 @@ class FrozenModel:
         np.savez(path, **arrays)
 
     @classmethod
-    def load(cls, path, model=None, weight_only: bool = False) -> "FrozenModel":
+    def load(
+        cls,
+        path,
+        model=None,
+        weight_only: bool = False,
+        backend: str = "float",
+    ) -> "FrozenModel":
         """Rebuild a frozen model from a packed checkpoint.
 
         ``model`` is an architecture skeleton (an untrained module of
@@ -749,7 +864,8 @@ class FrozenModel:
         ``weight_only=True`` drops the checkpoint's activation
         quantizers at load time: packed low-bit weights, float
         activations (checkpoints frozen with ``weight_only=True`` have
-        no activation quantizers to begin with).
+        no activation quantizers to begin with).  ``backend`` selects
+        the execution backend (see :meth:`set_backend`).
         """
         from repro.quant.framework import quantizable_layers
 
@@ -821,6 +937,8 @@ class FrozenModel:
             model_name=meta.get("model_name"),
             meta=engine_meta,
         )
+        if backend != "float":
+            frozen.set_backend(backend)
         return frozen
 
 

@@ -38,14 +38,18 @@ from repro.runtime.engine import (
 # ----------------------------------------------------------------------
 class FrozenLinear(FrozenModule):
     _arrays = ("w_t", "bias")
+    kind = "linear"
 
-    def __init__(self, weight, bias, act_quant) -> None:
+    def __init__(self, weight, bias, act_quant, export=None) -> None:
         super().__init__()
         self.w_t = np.ascontiguousarray(weight.T)
         self.bias = bias
         self.act_quant = act_quant
+        self.export = export
 
     def forward(self, x):
+        if self._exec is not None:
+            return self._exec(x)
         if self.act_quant is not None:
             x = self.act_quant(x)
         return K.linear_infer(x, self.w_t, self.bias, bufs=self._bufs)
@@ -53,9 +57,13 @@ class FrozenLinear(FrozenModule):
 
 class FrozenConv2d(FrozenModule):
     _arrays = ("w_mat", "bias")
+    kind = "conv2d"
 
-    def __init__(self, weight, bias, kernel, stride, padding, act_quant, layout) -> None:
+    def __init__(
+        self, weight, bias, kernel, stride, padding, act_quant, layout, export=None
+    ) -> None:
         super().__init__()
+        self.export = export
         if layout == "nhwc":
             # (C_out, C_in, KH, KW) -> (KH*KW*C_in, C_out), matching the
             # channels-last window flattening order.
@@ -82,9 +90,7 @@ class FrozenConv2d(FrozenModule):
 
     def _fused_params(self):
         """(w_mat, bias) with the folded BN scale/shift baked in."""
-        bn = self._bn
-        scale = bn.weight * bn.inv_std
-        shift = bn.bias - bn.mean * scale
+        scale, shift = self._bn.affine()
         if self.layout == "nhwc":  # w_mat is (KH*KW*C_in, C_out)
             w = np.ascontiguousarray(self.w_mat * scale[None, :])
         else:  # (C_out, KH*KW*C_in)
@@ -93,6 +99,8 @@ class FrozenConv2d(FrozenModule):
         return w, np.ascontiguousarray(bias)
 
     def forward(self, x):
+        if self._exec is not None:
+            return self._exec(x)
         if self.act_quant is not None:
             x = self.act_quant(x)
         w_mat, bias = self.w_mat, self.bias
@@ -118,7 +126,9 @@ def _freeze_linear(module: L.Linear, ctx: FreezeContext) -> FrozenModule:
         ctx.quantized_weight(module, export) if export else module.weight.data.copy()
     )
     bias = module.bias.data.copy() if module.bias is not None else None
-    return FrozenLinear(weight, bias, export.act_quant() if export else None)
+    return FrozenLinear(
+        weight, bias, export.act_quant() if export else None, export=export
+    )
 
 
 @register_freezer(L.Conv2d)
@@ -136,6 +146,7 @@ def _freeze_conv2d(module: L.Conv2d, ctx: FreezeContext) -> FrozenModule:
         module.padding,
         export.act_quant() if export else None,
         ctx.layout,
+        export=export,
     )
 
 
@@ -159,6 +170,16 @@ class FrozenBatchNorm2d(FrozenModule):
         self._folded = None
         return super().astype(dtype)
 
+    def affine(self):
+        """The eval norm as per-channel ``(scale, shift)`` 1-D vectors.
+
+        The single source of the fold every fast path uses -- the conv
+        GEMM fold, this module's own scale+shift form, and the qgemm
+        backend's output-side fold all call here.
+        """
+        scale = self.weight * self.inv_std
+        return scale, self.bias - self.mean * scale
+
     def forward(self, x):
         if self.weight.dtype == np.float64:
             # bit-exact mode: same op order as the graph's eval path
@@ -170,9 +191,8 @@ class FrozenBatchNorm2d(FrozenModule):
         if self._folded is None:
             shape = [1, 1, 1, 1]
             shape[self.channel_axis] = -1
-            scale = (self.weight * self.inv_std).reshape(shape)
-            shift = (self.bias - self.mean * scale.ravel()).reshape(shape)
-            self._folded = (scale, shift)
+            scale, shift = self.affine()
+            self._folded = (scale.reshape(shape), shift.reshape(shape))
         return K.bn_scale_shift_infer(x, *self._folded, bufs=self._bufs)
 
 

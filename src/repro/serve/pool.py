@@ -13,10 +13,29 @@ Three serving paths ride on the pool:
 * :meth:`ServingPool.submit` / :meth:`ServingPool.predict` -- one job,
   one worker, synchronous facade;
 * :meth:`ServingPool.map_predict` -- a bulk array sharded into
-  batch-aligned chunks that all workers pull from a shared queue;
+  batch-aligned chunks that drain across workers;
 * :class:`ServingClient` -- single-sample requests coalesced by a
   :class:`~repro.serve.queue.MicroBatchQueue` into micro-batches
   before dispatch.
+
+**Channel layout.**  Every worker owns a *private* task queue and a
+*private* result queue; the parent keeps a backlog and feeds each
+worker one job at a time (the next job is assigned when the previous
+result returns, so a slow worker simply receives fewer jobs -- the same
+pull-based balancing a shared queue gives).  Private channels are what
+makes worker death recoverable at all: a worker SIGKILLed while blocked
+in a *shared* ``Queue.get`` dies holding the queue's reader lock, which
+no replacement process can ever acquire.  With per-worker channels a
+corpse can only poison its own queues, which are discarded with it.
+The one-job-in-flight discipline also gives the parent an exact
+job -> worker map, so a death requeues exactly the in-flight job.
+
+**Resilience.**  Workers killed below Python (OOM, segfault) are
+detected by the collector watchdog; with ``respawn_workers`` (default)
+each is replaced by a fresh fork of the same checkpoint on fresh
+queues, and its in-flight job is requeued **once** before failing --
+see :meth:`ServingPool._handle_dead_workers`.  ``max_respawns`` bounds
+crash-looping.
 
 **Determinism.**  Every worker forward runs at a fixed batch shape
 (``FrozenModel.predict(..., pad_batches=True)``): short batches are
@@ -26,7 +45,9 @@ sample's logits a pure function of that sample alone -- which is what
 makes pool results bit-identical to a single-process
 ``frozen.predict(x, batch_size, pad_batches=True)`` no matter how
 requests were coalesced, sharded, or interleaved (property-tested in
-``tests/test_serve.py``).
+``tests/test_serve.py``).  Workers serve with any execution backend
+(``backend="qgemm"`` runs the code-domain LUT engine,
+:mod:`repro.qgemm`); the determinism argument is backend-independent.
 """
 
 from __future__ import annotations
@@ -36,6 +57,8 @@ import os
 import threading
 import time
 import traceback
+from multiprocessing import connection as mp_connection
+from collections import deque
 from concurrent.futures import Future
 from typing import List, Optional
 
@@ -54,13 +77,14 @@ def _worker_main(
     dtype_name: str,
     batch_size: int,
     weight_only: bool,
+    backend: str,
     task_queue,
     result_queue,
 ) -> None:
     """Worker process body: load the checkpoint once, then serve jobs.
 
     Each job is ``(job_id, samples)``; the reply is
-    ``(job_id, logits)`` or ``(job_id, _RemoteError)``.  A ``None``
+    ``("done", worker_id, job_id, logits-or-_RemoteError)``.  A ``None``
     task is the shutdown pill.
     """
     from repro.runtime import FrozenModel
@@ -68,6 +92,8 @@ def _worker_main(
     try:
         model = FrozenModel.load(checkpoint_path, weight_only=weight_only)
         model.astype(np.dtype(dtype_name))
+        if backend != "float":
+            model.set_backend(backend)
         result_queue.put(("ready", worker_id, os.getpid()))
     except BaseException as exc:  # noqa: BLE001 - must reach the parent
         result_queue.put(("ready", worker_id, _RemoteError.wrap(exc)))
@@ -81,9 +107,9 @@ def _worker_main(
             logits = model.predict(
                 samples, batch_size=batch_size, pad_batches=True
             )
-            result_queue.put(("done", job_id, logits))
+            result_queue.put(("done", worker_id, job_id, logits))
         except BaseException as exc:  # noqa: BLE001 - report, keep serving
-            result_queue.put(("done", job_id, _RemoteError.wrap(exc)))
+            result_queue.put(("done", worker_id, job_id, _RemoteError.wrap(exc)))
 
 
 class _RemoteError:
@@ -125,6 +151,20 @@ class ServingPool:
     weight_only:
         Serve packed low-bit weights with float activations (skips all
         activation fake-quant, see ``FrozenModel.load``).
+    backend:
+        Execution backend each worker selects after loading
+        (``"float"`` default, ``"qgemm"`` for code-domain LUT
+        execution; see ``FrozenModel.set_backend``).
+    respawn_workers:
+        Auto-respawn workers that die below Python (OOM, segfault):
+        the watchdog forks a replacement from the same checkpoint and
+        requeues the dead worker's in-flight job once; a job orphaned
+        by a *second* death fails rather than retrying forever.
+        ``False`` restores fail-fast: the first death breaks the pool.
+    max_respawns:
+        Total respawn budget for the pool's lifetime (default
+        ``2 * n_workers``); a crash-looping checkpoint breaks the pool
+        once the budget is spent instead of forking forever.
     start_method:
         ``multiprocessing`` start method; default ``fork`` where
         available (cheapest on Linux), else the platform default.
@@ -145,6 +185,9 @@ class ServingPool:
         batch_size: int = 64,
         max_wait_ms: float = 2.0,
         weight_only: bool = False,
+        backend: str = "float",
+        respawn_workers: bool = True,
+        max_respawns: Optional[int] = None,
         start_method: Optional[str] = None,
         start_timeout: Optional[float] = 120.0,
     ) -> None:
@@ -157,6 +200,18 @@ class ServingPool:
         self.dtype = str(dtype)
         self.batch_size = int(batch_size)
         self.weight_only = bool(weight_only)
+        self.backend = str(backend)
+        if self.backend != "float":
+            # fail a typo here, not after N workers each fork and decode
+            # the full checkpoint only to hit set_backend's KeyError
+            from repro.runtime.backends import get_backend
+
+            get_backend(self.backend)
+        self.respawn_workers = bool(respawn_workers)
+        self.max_respawns = (
+            2 * self.n_workers if max_respawns is None else int(max_respawns)
+        )
+        self._n_respawns = 0
         self.start_timeout = start_timeout
         if start_method is None:
             start_method = (
@@ -167,14 +222,25 @@ class ServingPool:
             max_batch=self.batch_size, max_wait_ms=max_wait_ms
         )
         self._workers: List[mp.Process] = []
-        self._tasks = None
-        self._results = None
+        self._task_queues: List = []
+        self._result_queues: List = []
+        #: job_id -> (future, samples, retries_left); under _jobs_lock.
         self._jobs = {}
+        #: undispatched (job_id, samples), oldest first; under _jobs_lock.
+        self._backlog: deque = deque()
+        #: worker index -> in-flight job_id or None; under _jobs_lock.
+        self._inflight: List[Optional[int]] = []
+        #: respawned-worker readiness deadlines (collector thread only).
+        self._await_ready = {}
         self._jobs_lock = threading.Lock()
         self._next_job_id = 0
         self._started = False
         self._closing = False
         self._broken = False
+        #: most recent worker-side failure detail (load error traceback,
+        #: respawn fork failure); folded into break reasons so an
+        #: operator sees the root cause, not just "budget exhausted".
+        self._last_worker_error: Optional[str] = None
         self._collector: Optional[threading.Thread] = None
         self._dispatcher: Optional[threading.Thread] = None
         self._n_jobs = 0
@@ -186,25 +252,10 @@ class ServingPool:
         """Fork the workers and wait until each has loaded the model."""
         if self._started:
             raise RuntimeError("pool already started")
-        self._tasks = self._ctx.Queue()
-        self._results = self._ctx.Queue()
-        self._workers = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(
-                    i,
-                    self.checkpoint_path,
-                    self.dtype,
-                    self.batch_size,
-                    self.weight_only,
-                    self._tasks,
-                    self._results,
-                ),
-                daemon=True,
-                name=f"serve-worker-{i}",
-            )
-            for i in range(self.n_workers)
-        ]
+        self._task_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
+        self._result_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
+        self._inflight = [None] * self.n_workers
+        self._workers = [self._spawn(i) for i in range(self.n_workers)]
         for worker in self._workers:
             worker.start()
         # all workers must decode the checkpoint before traffic flows,
@@ -215,42 +266,46 @@ class ServingPool:
                 if self.start_timeout is None
                 else time.monotonic() + self.start_timeout
             )
-            ready = 0
-            while ready < self.n_workers:
-                try:
-                    kind, _worker_id, info = self._results.get(timeout=_POLL_S * 4)
-                except Exception:  # queue.Empty
-                    # a worker killed below Python (OOM, segfault) never
-                    # posts "ready"; waiting without a liveness check
-                    # would hang start() forever
-                    dead = [w.name for w in self._workers if not w.is_alive()]
-                    if dead:
-                        raise RuntimeError(
-                            f"serving worker(s) died during startup: {dead}"
-                        )
-                    if deadline is not None and time.monotonic() > deadline:
-                        # covers hangs the liveness check cannot see,
-                        # e.g. a child deadlocked at fork on a lock some
-                        # parent thread held (still is_alive)
-                        raise RuntimeError(
-                            f"serving workers not ready within "
-                            f"{self.start_timeout}s"
-                        )
+            pending = set(range(self.n_workers))
+            while pending:
+                got_any = False
+                for i in list(pending):
+                    try:
+                        kind, _worker_id, info = self._result_queues[i].get_nowait()
+                    except Exception:  # queue.Empty
+                        continue
+                    got_any = True
+                    assert kind == "ready"
+                    if isinstance(info, _RemoteError):
+                        info.raise_()
+                    pending.discard(i)
+                if got_any:
                     continue
-                assert kind == "ready"
-                if isinstance(info, _RemoteError):
-                    info.raise_()
-                ready += 1
+                # a worker killed below Python (OOM, segfault) never
+                # posts "ready"; waiting without a liveness check
+                # would hang start() forever
+                dead = [w.name for w in self._workers if not w.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"serving worker(s) died during startup: {dead}"
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    # covers hangs the liveness check cannot see,
+                    # e.g. a child deadlocked at fork on a lock some
+                    # parent thread held (still is_alive)
+                    raise RuntimeError(
+                        f"serving workers not ready within "
+                        f"{self.start_timeout}s"
+                    )
+                time.sleep(_POLL_S)
         except BaseException:
             # a failed start must release everything it created --
             # retrying callers would otherwise accumulate worker
             # processes and queue pipe fds/feeder threads
             self._abort_workers()
-            self._tasks.cancel_join_thread()
-            self._results.cancel_join_thread()
-            self._tasks.close()
-            self._results.close()
-            self._tasks = self._results = None
+            self._discard_queues(self._task_queues + self._result_queues)
+            self._task_queues = []
+            self._result_queues = []
             self._workers = []
             raise
         self._started = True
@@ -276,24 +331,46 @@ class ServingPool:
         if self._dispatcher is not None:
             self._dispatcher.join()
         self.micro_queue.cancel_pending()
-        for _ in self._workers:
-            self._tasks.put(None)
+        for task_queue in self._task_queues:
+            task_queue.put(None)
         for worker in self._workers:
             worker.join(timeout=30)
         self._abort_workers()  # terminate stragglers, if any
         if self._collector is not None:
             self._collector.join()
         with self._jobs_lock:
-            for future in self._jobs.values():
-                _resolve(future, error=RuntimeError("serving pool closed mid-job"))
+            self._backlog.clear()
+            for job in self._jobs.values():
+                _resolve(job[0], error=RuntimeError("serving pool closed mid-job"))
             self._jobs.clear()
-        # a dead worker can leave unread task payloads in the pipe;
+        self._discard_queues(self._task_queues + self._result_queues)
+
+    @staticmethod
+    def _discard_queues(queues) -> None:
+        # a dead worker can leave unread task payloads in a pipe;
         # without cancel_join_thread the queue's feeder thread would
         # block interpreter exit waiting for a reader that is gone
-        self._tasks.cancel_join_thread()
-        self._results.cancel_join_thread()
-        self._tasks.close()
-        self._results.close()
+        for q in queues:
+            q.cancel_join_thread()
+            q.close()
+
+    def _spawn(self, worker_id: int) -> mp.Process:
+        """Create (not start) one worker bound to its private queues."""
+        return self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self.checkpoint_path,
+                self.dtype,
+                self.batch_size,
+                self.weight_only,
+                self.backend,
+                self._task_queues[worker_id],
+                self._result_queues[worker_id],
+            ),
+            daemon=True,
+            name=f"serve-worker-{worker_id}",
+        )
 
     def _abort_workers(self) -> None:
         for worker in self._workers:
@@ -308,63 +385,200 @@ class ServingPool:
         self.close()
 
     # ------------------------------------------------------------------
+    # parent-side scheduling
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Feed every idle worker the oldest backlog job (one in flight
+        per worker: balancing stays pull-based, and the parent always
+        knows exactly which job dies with which worker)."""
+        with self._jobs_lock:
+            if self._closing or self._broken:
+                return
+            for i in range(self.n_workers):
+                if not self._backlog:
+                    return
+                if self._inflight[i] is None:
+                    job_id, samples = self._backlog.popleft()
+                    self._inflight[i] = job_id
+                    self._task_queues[i].put((job_id, samples))
+
+    # ------------------------------------------------------------------
     # background threads
     # ------------------------------------------------------------------
     def _collect_loop(self) -> None:
         """Route worker replies to their job futures.
 
         Also the watchdog for workers killed below Python (OOM,
-        segfault): a dead worker takes its claimed task with it, and
-        the shared queue gives no job->worker mapping, so every
-        outstanding future is failed rather than left hanging forever.
-        The pool is then broken -- new submissions raise -- matching
-        start()'s fail-fast policy (worker respawn is future work).
+        segfault): see :meth:`_handle_dead_workers`.
         """
         while True:
-            try:
-                reply = self._results.get(timeout=_POLL_S)
-            except Exception:  # queue.Empty
+            if not self._drain_replies():
                 if self._closing and not self._alive_workers():
                     # final drain: a worker may have replied and exited
-                    # between the timeout and the aliveness check
+                    # between the drain and the aliveness check
                     self._drain_replies()
                     return
                 if not self._closing:
-                    dead = [w.name for w in self._workers if not w.is_alive()]
+                    # a respawned worker past its readiness deadline is
+                    # treated as dead (terminate first, so the sweep
+                    # below sees it and spends another respawn/retry)
+                    now = time.monotonic()
+                    for i in list(self._await_ready):
+                        if now > self._await_ready[i]:
+                            del self._await_ready[i]
+                            if self._workers[i].is_alive():
+                                self._workers[i].terminate()
+                                self._workers[i].join(timeout=5)
+                    dead = [
+                        i for i, w in enumerate(self._workers) if not w.is_alive()
+                    ]
                     if dead:
                         self._drain_replies()  # keep completed results
-                        self._broken = True
-                        with self._jobs_lock:
-                            stranded = list(self._jobs.values())
-                            self._jobs.clear()
-                        for future in stranded:
-                            _resolve(future, error=RuntimeError(
-                                f"serving worker(s) died: {dead}"
-                            ))
-                continue
-            self._route_reply(reply)
+                        self._handle_dead_workers(dead)
+                # block on every result pipe at once: a reply wakes the
+                # collector immediately (the one-in-flight scheduler
+                # dispatches the next job from _route_reply, so reply
+                # latency is dispatch latency), _POLL_S only bounds the
+                # dead-worker/shutdown checks
+                try:
+                    mp_connection.wait(
+                        [q._reader for q in self._result_queues],
+                        timeout=_POLL_S,
+                    )
+                except OSError:
+                    time.sleep(_POLL_S)  # a pipe died mid-wait; rescan
 
-    def _drain_replies(self) -> None:
-        while True:
-            try:
-                self._route_reply(self._results.get_nowait())
-            except Exception:  # queue.Empty
+    def _handle_dead_workers(self, dead: List[int]) -> None:
+        """Recover (or break) after worker deaths.
+
+        With respawn enabled and budget left: each dead worker is
+        replaced by a fresh fork on **fresh queues** (its old queues may
+        hold locks the corpse died with), and its in-flight job -- the
+        parent knows it exactly -- is requeued at the head of the
+        backlog, once: a retries-exhausted job fails its future instead.
+        Otherwise the pool is broken: every outstanding job fails,
+        matching start()'s fail-fast policy.
+        """
+        names = [self._workers[i].name for i in dead]
+        respawn_exc: Optional[str] = None
+        can_respawn = (
+            self.respawn_workers
+            and self._n_respawns + len(dead) <= self.max_respawns
+        )
+        with self._jobs_lock:
+            if self._closing:
+                # close() owns shutdown: it set _closing under this
+                # lock, so either it sees our finished respawn (and
+                # pills the fresh queues) or we bail here and it fails
+                # the outstanding jobs -- never a replaced queue whose
+                # pill went to the discarded one
                 return
+            for i in dead:
+                job_id = self._inflight[i]
+                self._inflight[i] = None
+                if job_id is None or job_id not in self._jobs:
+                    continue
+                future, samples, retries = self._jobs[job_id]
+                if can_respawn and retries > 0:
+                    self._jobs[job_id] = (future, samples, retries - 1)
+                    self._backlog.appendleft((job_id, samples))
+                else:
+                    del self._jobs[job_id]
+                    _resolve(future, error=RuntimeError(
+                        f"serving worker(s) died running this job: {names}"
+                        + (" (retry exhausted)" if can_respawn else "")
+                    ))
+            if can_respawn:
+                # swap queues under the lock: _pump readers must never
+                # see a discarded queue next to a cleared inflight slot
+                try:
+                    for i in dead:
+                        self._discard_queues(
+                            [self._task_queues[i], self._result_queues[i]]
+                        )
+                        self._task_queues[i] = self._ctx.Queue()
+                        self._result_queues[i] = self._ctx.Queue()
+                        replacement = self._spawn(i)
+                        replacement.start()  # started before publishing:
+                        self._workers[i] = replacement  # a test may kill it
+                        self._n_respawns += 1
+                        if self.start_timeout is not None:
+                            # same hung-child guard start() has: a
+                            # replacement that deadlocks at fork or
+                            # stalls loading never posts "ready" while
+                            # staying is_alive -- without a deadline it
+                            # would strand the requeued job forever
+                            self._await_ready[i] = (
+                                time.monotonic() + self.start_timeout
+                            )
+                except BaseException as exc:  # noqa: BLE001 - cannot fork: break
+                    can_respawn = False
+                    respawn_exc = f"respawn failed: {exc!r}"
+        if can_respawn:
+            self._pump()
+            return
+        self._broken = True
+        with self._jobs_lock:
+            stranded = [job[0] for job in self._jobs.values()]
+            self._jobs.clear()
+            self._backlog.clear()
+        # name the real cause: a failed fork, an exhausted budget with
+        # the last worker-side load error, or plain fail-fast mode
+        detail = ""
+        if respawn_exc is not None:
+            detail = f" ({respawn_exc})"
+        elif self.respawn_workers:
+            detail = f" (respawn budget {self.max_respawns} exhausted)"
+        if self._last_worker_error is not None:
+            detail += f"; last worker error: {self._last_worker_error}"
+        for future in stranded:
+            _resolve(future, error=RuntimeError(
+                f"serving worker(s) died: {names}{detail}"
+            ))
+
+    def _drain_replies(self) -> bool:
+        """Route everything currently readable; True if anything was."""
+        got_any = False
+        for result_queue in list(self._result_queues):
+            while True:
+                try:
+                    reply = result_queue.get_nowait()
+                except Exception:  # queue.Empty
+                    break
+                got_any = True
+                self._route_reply(reply)
+        return got_any
 
     def _route_reply(self, reply) -> None:
-        kind, job_id, payload = reply
-        if kind != "done":
+        kind, worker_id = reply[0], reply[1]
+        if kind == "ready":
+            # a load failure needs no recovery action here: the failed
+            # worker exits, the watchdog sees the death, and each
+            # respawn spends budget -- a broken checkpoint crash-loops
+            # at most max_respawns times before the pool breaks, while
+            # a transient failure costs exactly one respawn.  Keep the
+            # error so the eventual break message names the root cause.
+            self._await_ready.pop(worker_id, None)
+            if isinstance(reply[2], _RemoteError):
+                self._last_worker_error = reply[2].message
             return
+        job_id, payload = reply[2], reply[3]
         with self._jobs_lock:
-            future = self._jobs.pop(job_id, None)
-        if future is None:
-            return
-        if isinstance(payload, _RemoteError):
-            _resolve(future, error=RuntimeError(
-                f"serving worker failed: {payload.message}"
-            ))
-        else:
-            _resolve(future, value=payload)
+            if (
+                0 <= worker_id < len(self._inflight)
+                and self._inflight[worker_id] == job_id
+            ):
+                self._inflight[worker_id] = None
+            job = self._jobs.pop(job_id, None)
+        if job is not None:
+            future = job[0]
+            if isinstance(payload, _RemoteError):
+                _resolve(future, error=RuntimeError(
+                    f"serving worker failed: {payload.message}"
+                ))
+            else:
+                _resolve(future, value=payload)
+        self._pump()
 
     def _alive_workers(self) -> bool:
         return any(worker.is_alive() for worker in self._workers)
@@ -432,9 +646,11 @@ class ServingPool:
                 )
             job_id = self._next_job_id
             self._next_job_id += 1
-            self._jobs[job_id] = future
+            # the payload rides along for the watchdog's one-shot requeue
+            self._jobs[job_id] = (future, samples, 1)
+            self._backlog.append((job_id, samples))
             self._n_jobs += 1
-        self._tasks.put((job_id, samples))
+        self._pump()
         return future
 
     def submit(self, samples: np.ndarray) -> Future:
@@ -457,10 +673,10 @@ class ServingPool:
         """Predict a large array by sharding it across all workers.
 
         Shards are contiguous runs of whole serving batches (the shard
-        size is rounded up to a ``batch_size`` multiple), handed to a
-        shared queue the workers pull from -- a slow worker simply
-        takes fewer shards.  Results concatenate in input order and are
-        bit-identical to the single-process
+        size is rounded up to a ``batch_size`` multiple); each worker
+        is fed its next shard as it finishes the previous one -- a slow
+        worker simply serves fewer shards.  Results concatenate in
+        input order and are bit-identical to the single-process
         ``predict(samples, batch_size, pad_batches=True)``.
         """
         samples = np.asarray(samples)
@@ -494,7 +710,9 @@ class ServingPool:
             "batch_size": self.batch_size,
             "dtype": self.dtype,
             "weight_only": self.weight_only,
+            "backend": self.backend,
             "jobs": self._n_jobs,
+            "respawns": self._n_respawns,
             **{f"queue_{k}": v for k, v in queue_stats.items()},
         }
 

@@ -25,6 +25,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
         ("typefusion_pe.py", "Table III"),
         ("distribution_study.py", "normalized to flint"),
         ("accelerator_sim.py", "speedup"),
+        ("qgemm_backend.py", "ant-os estimate"),
     ],
 )
 def test_example_runs(script, needle):

@@ -1,0 +1,468 @@
+"""Code-domain GEMM engine: LUTs, kernels, backend, hardware bridge.
+
+The load-bearing guarantees:
+
+* partial-product tables are exactly ``decode_lut[cw] * grid[ca]`` for
+  every registered (weight, activation) type pair at bits 3..8, with a
+  zero pad column;
+* the gather kernel is **bit-identical** to the decode-then-multiply
+  reference (same reduction order) for every type pair, and the
+  bincount kernel is bit-identical whenever the table is integral (the
+  int x int accumulation the paper's PE performs natively);
+* ``backend="qgemm"`` reproduces the hook-based fake-quant model to
+  <= 1e-9 on every zoo workload in float64 (the same parity bar as the
+  float backend in ``test_runtime.py``), keeps float32 argmax parity,
+  and works unchanged through ``FrozenModel.predict``, checkpoints,
+  and mixed-precision escalation;
+* the cost meter counts exactly the executed GEMM work and bridges it
+  into the ``hardware/`` latency/energy models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import get_type
+from repro.nn.autograd import Tensor, no_grad
+from repro.qgemm import (
+    CostMeter,
+    QGemmBackend,
+    code_gemm,
+    code_gemm_bincount,
+    code_gemm_gather,
+    executed_assignment,
+    lut_footprint_report,
+    partial_product_lut,
+    simulate_executed,
+    simulate_executed_tensorcore,
+)
+from repro.qgemm.kernels import im2col_codes_nchw, im2col_codes_nhwc
+from repro.quant.framework import ModelQuantizer
+from repro.runtime import FrozenModel, get_backend
+from repro.zoo import calibration_batch, trained_model
+
+RNG = np.random.default_rng(0)
+
+KINDS = ("int", "pot", "flint", "float")
+
+#: every name the quantizer can select from any combination at any
+#: calibration width: all four kinds, signed and unsigned, bits 3..8.
+ALL_NAMES = [
+    f"{kind}{bits}{suffix}"
+    for kind in KINDS
+    for bits in range(3, 9)
+    for suffix in ("", "u")
+]
+
+WORKLOADS = [
+    "vgg16",
+    "resnet18",
+    "resnet50",
+    "inceptionv3",
+    "vit",
+    "bert-mnli",
+    "bert-cola",
+    "bert-sst2",
+]
+
+
+def _random_operands(w_name, a_name, rows=7, k=33, cols=5):
+    """Random code/index operand matrices valid for the pair's table."""
+    lut = partial_product_lut(w_name, a_name)
+    w_codec = get_type(w_name).codec
+    # canonical codes only (what packed exports contain)
+    w_codes = w_codec.grid_codes[
+        RNG.integers(0, w_codec.grid.size, size=(k, cols))
+    ]
+    # activation indices include the pad column, as conv rows do
+    act_idx = RNG.integers(0, lut.n_act_cols, size=(rows, k))
+    return act_idx, w_codes, lut
+
+
+def _reference_gemm(act_idx, w_codes, lut):
+    """Decode-then-multiply in the gather kernel's reduction order."""
+    w_vals = get_type(lut.w_dtype_name).codec.decode_lut[w_codes]  # (k, cols)
+    a_codec = get_type(lut.a_dtype_name).codec
+    a_grid = np.concatenate([a_codec.grid, [0.0]])
+    a_vals = a_grid[act_idx]  # (rows, k)
+    return (a_vals[:, :, None] * w_vals[None, :, :]).sum(axis=1)
+
+
+# ----------------------------------------------------------------------
+# Partial-product tables
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_lut_entries_are_exact_products(name):
+    """Entry [cw, ca] is the exact float64 product for every pair that
+    includes ``name`` on either side (against int4u on the other)."""
+    for w_name, a_name in ((name, "int4u"), ("int4", name)):
+        lut = partial_product_lut(w_name, a_name)
+        w_codec = get_type(w_name).codec
+        a_codec = get_type(a_name).codec
+        assert lut.table.shape == (w_codec.n_codes, a_codec.grid.size + 1)
+        assert np.array_equal(
+            lut.table[:, : a_codec.grid.size],
+            w_codec.decode_lut[:, None] * a_codec.grid[None, :],
+        )
+        assert np.all(lut.table[:, lut.pad_col] == 0.0)
+
+
+def test_lut_integrality_flags():
+    assert partial_product_lut("int4", "int4u").integral
+    assert partial_product_lut("flint4", "int4u").integral  # flint grid is integral
+    assert not partial_product_lut("float4", "int4u").integral  # halves
+    # wide PoT products overflow float64's exact-integer range: the
+    # flag must demote them to the gather kernel
+    assert not partial_product_lut("pot8", "int8u").integral
+
+
+def test_lut_cache_and_footprint():
+    assert partial_product_lut("int4", "int4u") is partial_product_lut(
+        "int4", "int4u"
+    )
+    report = lut_footprint_report([("int4", "int4u"), ("int8", "int8u")])
+    a_cols = get_type("int4u").codec.grid.size + 1  # + zero pad column
+    assert report["int4xint4u"]["float64_bytes"] == 16 * a_cols * 8
+    assert report["int8xint8u"]["rows"] == 256
+
+
+# ----------------------------------------------------------------------
+# Accumulation kernels vs the decode-then-multiply reference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("w_name", ALL_NAMES)
+@pytest.mark.parametrize("a_kind", KINDS)
+def test_gather_kernel_bit_identical(w_name, a_kind):
+    """Gather accumulation == decode-then-multiply, bit for bit, for
+    every weight type crossed with every activation kind (matching
+    bits/signedness sweeps ride on the weight-side parametrization)."""
+    bits = get_type(w_name).bits
+    a_name = f"{a_kind}{bits}u"
+    act_idx, w_codes, lut = _random_operands(w_name, a_name)
+    out = code_gemm_gather(act_idx, w_codes, lut)
+    assert np.array_equal(out, _reference_gemm(act_idx, w_codes, lut))
+
+
+@pytest.mark.parametrize("blocks", [1, 3, 64])
+def test_gather_kernel_blocking_invariant(blocks):
+    act_idx, w_codes, lut = _random_operands("flint4", "int4u", rows=64, k=20)
+    full = code_gemm_gather(act_idx, w_codes, lut)
+    blocked = code_gemm_gather(
+        act_idx, w_codes, lut, block_elems=max(1, act_idx.shape[1] * 5 * blocks)
+    )
+    assert np.array_equal(full, blocked)
+
+
+@pytest.mark.parametrize("bits", range(3, 9))
+@pytest.mark.parametrize("w_kind", ["int", "pot", "flint"])
+def test_bincount_kernel_exact_for_integral_tables(w_kind, bits):
+    """Histogram accumulation is exact (bit-identical to the reference)
+    whenever the table is integral -- int/pot/flint weights at every
+    width against int activations."""
+    w_name = f"{w_kind}{bits}"
+    a_name = f"int{bits}u"
+    lut = partial_product_lut(w_name, a_name)
+    if not lut.integral:
+        # wide PoT grids (pot7/pot8) overflow float64's exact-integer
+        # range; the flag correctly demotes them to the gather kernel
+        assert w_kind == "pot" and bits >= 7
+        pytest.skip("table exceeds the exact-integer range")
+    act_idx, w_codes, lut = _random_operands(w_name, a_name, rows=11, k=700)
+    out = code_gemm_bincount(act_idx, w_codes, lut)
+    assert np.array_equal(out, _reference_gemm(act_idx, w_codes, lut))
+
+
+def test_bincount_kernel_close_for_float_tables():
+    """On non-integral tables the histogram contraction reassociates:
+    close, but not the bit-exact path (auto never picks it in float64)."""
+    act_idx, w_codes, lut = _random_operands("float4", "float4u", k=700)
+    out = code_gemm_bincount(act_idx, w_codes, lut)
+    ref = _reference_gemm(act_idx, w_codes, lut)
+    assert np.abs(out - ref).max() <= 1e-9 * max(1.0, np.abs(ref).max())
+    auto = code_gemm(act_idx, w_codes, lut, mode="auto")
+    assert np.array_equal(auto, ref)
+
+
+def test_code_gemm_auto_picks_bincount_when_exact_and_cheaper():
+    act_idx, w_codes, lut = _random_operands("int4", "int4u", k=700)
+    auto = code_gemm(act_idx, w_codes, lut, mode="auto")
+    assert np.array_equal(auto, code_gemm_bincount(act_idx, w_codes, lut))
+    assert np.array_equal(auto, _reference_gemm(act_idx, w_codes, lut))
+
+
+def test_code_gemm_rejects_bad_operands():
+    act_idx, w_codes, lut = _random_operands("int4", "int4u")
+    with pytest.raises(ValueError, match="unknown code_gemm mode"):
+        code_gemm(act_idx, w_codes, lut, mode="nope")
+    with pytest.raises(ValueError, match="inner dimensions"):
+        code_gemm(act_idx[:, :-1], w_codes, lut)
+    with pytest.raises(ValueError, match="out of range"):
+        code_gemm(act_idx + lut.n_act_cols, w_codes, lut)
+    with pytest.raises(ValueError, match="out of range"):
+        code_gemm(act_idx, w_codes + lut.n_weight_codes, lut)
+
+
+def test_code_gemm_zero_depth():
+    lut = partial_product_lut("int4", "int4u")
+    out = code_gemm(np.empty((3, 0), dtype=np.int64), np.empty((0, 2), dtype=np.int64), lut)
+    assert out.shape == (3, 2) and np.all(out == 0.0)
+
+
+# ----------------------------------------------------------------------
+# Code-domain im2col
+# ----------------------------------------------------------------------
+def test_im2col_codes_matches_value_domain():
+    """Gathering grid values after code-im2col equals padding the value
+    tensor with exact zeros and windowing it -- both layouts."""
+    codec = get_type("int4u").codec
+    grid_pad = np.concatenate([codec.grid, [0.0]])
+    idx = RNG.integers(0, codec.grid.size, size=(2, 5, 6, 3))  # NHWC
+    rows = im2col_codes_nhwc(idx, (3, 3), (2, 2), (1, 1), pad_col=codec.grid.size)
+    vals = grid_pad[idx]
+    padded = np.pad(vals, ((0, 0), (1, 1), (1, 1), (0, 0)))
+    win = np.lib.stride_tricks.sliding_window_view(padded, (3, 3), axis=(1, 2))
+    win = win[:, ::2, ::2]  # (n, oh, ow, c, kh, kw)
+    ref = win.transpose(0, 1, 2, 4, 5, 3).reshape(rows.shape[0], -1)
+    assert np.array_equal(grid_pad[rows], ref)
+
+    idx_nchw = np.ascontiguousarray(idx.transpose(0, 3, 1, 2))
+    rows_nchw = im2col_codes_nchw(
+        idx_nchw, (3, 3), (2, 2), (1, 1), pad_col=codec.grid.size
+    )
+    ref_nchw = win.reshape(rows.shape[0], -1)
+    assert np.array_equal(grid_pad[rows_nchw], ref_nchw)
+
+
+def test_im2col_codes_1x1_fast_path():
+    idx = RNG.integers(0, 15, size=(2, 4, 4, 6))
+    rows = im2col_codes_nhwc(idx, (1, 1), (2, 2), (0, 0), pad_col=15)
+    assert rows.shape == (2 * 2 * 2, 6)
+    assert np.array_equal(rows, idx[:, ::2, ::2, :].reshape(-1, 6))
+
+
+def test_im2col_codes_rejects_collapsed_output():
+    idx = RNG.integers(0, 15, size=(1, 2, 2, 1))
+    with pytest.raises(ValueError, match="collapsed"):
+        im2col_codes_nhwc(idx, (5, 5), (1, 1), (0, 0), pad_col=15)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the qgemm backend vs the hook-based fake-quant model
+# ----------------------------------------------------------------------
+def _hook_logits(entry, x):
+    with no_grad():
+        if entry.dataset.input_kind == "tokens":
+            return entry.model(x).data
+        return entry.model(Tensor(x)).data
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_qgemm_matches_fake_quant_on_zoo(workload):
+    """Code-domain float64 execution holds the runtime's 1e-9 parity
+    bar on every zoo workload; float32 keeps argmax parity."""
+    entry = trained_model(workload)
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        x = entry.dataset.x_test[:48]
+        reference = _hook_logits(entry, x)
+        frozen = quantizer.freeze(model_name=workload, backend="qgemm")
+        assert frozen.backend == "qgemm"
+        out = frozen.predict(x, batch_size=32)
+        assert np.abs(out - reference).max() <= 1e-9
+
+        served = frozen.astype(np.float32).predict(x, batch_size=32)
+        assert served.dtype == np.float32
+        assert np.array_equal(
+            np.argmax(served, axis=1), np.argmax(reference, axis=1)
+        )
+    finally:
+        quantizer.remove()
+
+
+@pytest.mark.parametrize("combination", ["fip-f", "int"])
+def test_qgemm_matches_other_combinations(combination):
+    """Float-type tensors (fip-f) and int-only selection both execute
+    in the code domain at the same parity bar."""
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, combination, 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        x = entry.dataset.x_test[:48]
+        reference = _hook_logits(entry, x)
+        frozen = quantizer.freeze(backend="qgemm")
+        assert np.abs(frozen.predict(x) - reference).max() <= 1e-9
+    finally:
+        quantizer.remove()
+
+
+def test_qgemm_matches_after_escalation():
+    """Mixed-precision int8 layers execute code-domain via the 8-bit
+    tables (the fused-PE path in hardware)."""
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        first = next(iter(quantizer.layers))
+        quantizer.escalate_layer(first, bits=8)
+        x = entry.dataset.x_test[:48]
+        reference = _hook_logits(entry, x)
+        frozen = quantizer.freeze(backend="qgemm")
+        assert np.abs(frozen.predict(x) - reference).max() <= 1e-9
+    finally:
+        quantizer.remove()
+
+
+def test_qgemm_gather_and_bincount_modes_agree_end_to_end():
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze()
+    finally:
+        quantizer.remove()
+    x = entry.dataset.x_test[:16]
+    gather = frozen.set_backend("qgemm", mode="gather").predict(x)
+    auto = frozen.set_backend("qgemm", mode="auto").predict(x)
+    assert np.array_equal(gather, auto)
+
+
+def test_qgemm_checkpoint_and_backend_switching(tmp_path):
+    """load(backend="qgemm") serves identically to an in-memory engine
+    switched to qgemm; switching back to float restores the float path
+    bit-for-bit."""
+    entry = trained_model("resnet18")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze(model_name="resnet18")
+    finally:
+        quantizer.remove()
+    x = entry.dataset.x_test[:24]
+    float_out = frozen.predict(x)
+    qgemm_out = frozen.set_backend("qgemm").predict(x)
+    path = tmp_path / "r18.npz"
+    frozen.save(path)
+    loaded = FrozenModel.load(path, backend="qgemm")
+    assert loaded.backend == "qgemm"
+    assert np.array_equal(loaded.predict(x), qgemm_out)
+    assert np.array_equal(frozen.set_backend("float").predict(x), float_out)
+
+
+def test_qgemm_weight_only_falls_back_to_float():
+    """Weight-only exports have no activation codes; the backend keeps
+    those layers on the float kernels instead of refusing the model."""
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze(weight_only=True)
+    finally:
+        quantizer.remove()
+    x = entry.dataset.x_test[:16]
+    reference = frozen.predict(x)
+    out = frozen.set_backend("qgemm").predict(x)
+    assert np.array_equal(out, reference)  # same float kernels ran
+
+
+def test_qgemm_rejects_nan_activations():
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze(backend="qgemm")
+    finally:
+        quantizer.remove()
+    x = np.array(entry.dataset.x_test[:2], copy=True)
+    x[0, 0, 0, 0] = np.nan
+    with pytest.raises(ValueError, match="NaN"):
+        frozen.predict(x)
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(KeyError, match="unknown execution backend"):
+        get_backend("blas-on-mars")
+    with pytest.raises(ValueError, match="unknown qgemm mode"):
+        QGemmBackend(mode="nope")
+
+
+# ----------------------------------------------------------------------
+# Cost meter and the hardware-model bridge
+# ----------------------------------------------------------------------
+def test_cost_meter_counts_executed_work():
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze(model_name="vgg16")
+    finally:
+        quantizer.remove()
+    meter = CostMeter()
+    frozen.set_backend(QGemmBackend(meter=meter))
+    x = entry.dataset.x_test[:8]
+    frozen.predict(x, batch_size=8)
+    assert set(meter.layers) == set(frozen.exports)
+    for name, cost in meter.layers.items():
+        export = frozen.exports[name]
+        assert cost.calls == 1
+        assert cost.code_macs == cost.rows * cost.k * cost.m
+        assert cost.weight_traffic_bytes == export.weight.packed_nbytes
+        assert cost.weight_bits == export.weight.bits
+        # activation codes travel at their true bit width
+        assert cost.act_traffic_bytes == (cost.rows * cost.k * cost.act_bits + 7) // 8
+        # table touches are accounted for the kernel that actually ran:
+        # per MAC for gather, one table sweep per output for bincount
+        table_size = cost.lut_table_bytes // 8
+        if cost.kernel == "gather":
+            assert cost.lut_lookups == cost.code_macs
+            assert not (table_size < cost.k)  # auto would pick bincount
+        else:
+            assert cost.lut_lookups == cost.rows * cost.m * table_size
+            assert table_size < cost.k
+    # both kernels appear in this model (small and deep reductions)
+    assert {c.kernel for c in meter.layers.values()} == {"gather", "bincount"}
+    # the classifier linear's GEMM shape is exact: 8 rows x 512 x 64
+    fc = next(c for c in meter.layers.values() if c.kind == "linear" and c.k == 512)
+    assert (fc.rows, fc.m) == (8, 64) and fc.code_macs == 8 * 512 * 64
+    # a second forward accumulates
+    before = meter.total("code_macs")
+    frozen.predict(x, batch_size=8)
+    assert meter.total("code_macs") == 2 * before
+    meter.reset()
+    assert not meter.layers
+
+
+def test_hardware_bridge_runs_executed_workload():
+    entry = trained_model("resnet18")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        first = next(iter(quantizer.layers))
+        quantizer.escalate_layer(first, bits=8)
+        frozen = quantizer.freeze()
+    finally:
+        quantizer.remove()
+    meter = CostMeter()
+    frozen.set_backend(QGemmBackend(meter=meter))
+    frozen.predict(entry.dataset.x_test[:8], batch_size=8)
+
+    shapes, assigns = executed_assignment(meter)
+    assert len(shapes) == len(assigns) == len(meter.layers)
+    # hardware-model MACs equal the counted code MACs exactly
+    assert sum(s.macs for s in shapes) == meter.total("code_macs")
+    # the escalated layer's true bits flow through
+    escalated = dict(zip([s.name for s in shapes], assigns))[first]
+    assert escalated.weight_bits == 8 and escalated.act_bits == 8
+    assert {a.weight_bits for a in assigns} == {4, 8}
+
+    sim = simulate_executed(meter, "ant-os")
+    assert sim.cycles > 0 and sim.total_energy_pj > 0
+    assert len(sim.per_layer) == len(meter.layers)
+    tc = simulate_executed_tensorcore(meter)
+    assert tc.seconds > 0
+    assert tc.math_bound_layers + tc.memory_bound_layers == len(meter.layers)
+
+
+def test_hardware_bridge_rejects_empty_meter():
+    with pytest.raises(ValueError, match="empty"):
+        simulate_executed(CostMeter())
+    with pytest.raises(ValueError, match="empty"):
+        simulate_executed_tensorcore(CostMeter())

@@ -73,6 +73,62 @@ def test_pack_roundtrip_through_type_codes(name):
     assert np.array_equal(dtype.decode(unpacked) * scale, dtype.quantize(x, scale))
 
 
+@pytest.mark.parametrize("bits", range(1, 17))
+def test_pack_zero_length_every_width(bits):
+    """Empty tensors pack to empty byte streams and round-trip, at
+    every supported width (a 0-element layer export must not crash)."""
+    empty = np.array([], dtype=np.int64)
+    packed = pack_codes(empty, bits)
+    assert packed.shape == (0,) and packed.dtype == np.uint8
+    assert packed_nbytes(0, bits) == 0
+    out = unpack_codes(packed, bits, 0)
+    assert out.shape == (0,) and out.dtype.kind in "iu"
+
+
+def test_pack_width1_bit_layout():
+    """Width 1 is pure bit-packing: element k lands at bit k, LSB first."""
+    codes = np.array([1, 0, 1, 1, 0, 0, 0, 1, 1])
+    packed = pack_codes(codes, 1)
+    assert np.array_equal(packed, [0b10001101, 0b00000001])
+    assert np.array_equal(unpack_codes(packed, 1, 9), codes)
+    # all-ones / all-zeros extremes
+    assert np.array_equal(pack_codes(np.ones(8, dtype=int), 1), [0xFF])
+    assert np.array_equal(pack_codes(np.zeros(8, dtype=int), 1), [0x00])
+
+
+def test_pack_width16_boundary_values():
+    """Width 16 (MAX_PACK_BITS) holds the full code range, little-endian
+    within the stream; 17 bits is rejected."""
+    codes = np.array([0xFFFF, 0x0001, 0x8000, 0])
+    packed = pack_codes(codes, 16)
+    assert np.array_equal(packed, [0xFF, 0xFF, 0x01, 0x00, 0x00, 0x80, 0, 0])
+    assert np.array_equal(unpack_codes(packed, 16, 4), codes)
+    with pytest.raises(ValueError):
+        pack_codes(np.array([1 << 16]), 16)  # out of range at max width
+    with pytest.raises(ValueError):
+        pack_codes(codes, 17)
+    with pytest.raises(ValueError):
+        unpack_codes(packed, 17, 4)
+
+
+def test_pack_accepts_any_integer_layout():
+    """Multi-dim, non-contiguous, and narrow/unsigned dtypes all pack
+    to the same canonical stream as their flattened int64 copy."""
+    codes = (np.arange(60, dtype=np.uint16).reshape(3, 20)[:, ::2]) % 8
+    canonical = pack_codes(codes.ravel().astype(np.int64), 3)
+    assert np.array_equal(pack_codes(codes, 3), canonical)
+    assert np.array_equal(unpack_codes(canonical, 3, codes.size), codes.ravel())
+
+
+def test_unpack_ignores_trailing_padding_bits():
+    """Only the declared count*bits bits are data: garbage in the
+    trailing byte's padding must not leak into decoded codes."""
+    codes = np.array([5, 2, 7])  # 9 bits -> 2 bytes, 7 padding bits
+    packed = pack_codes(codes, 3).copy()
+    packed[-1] |= 0b11111110  # corrupt every padding bit
+    assert np.array_equal(unpack_codes(packed, 3, 3), codes)
+
+
 def test_pack_rejects_bad_input():
     with pytest.raises(ValueError):
         pack_codes(np.array([16]), 4)  # out of range

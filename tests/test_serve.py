@@ -104,6 +104,41 @@ def test_queue_rejects_bad_parameters():
         MicroBatchQueue(max_wait_ms=-1.0)
 
 
+def test_queue_zero_wait_is_immediate_dispatch():
+    """``max_wait_ms=0`` must never hold a request for co-travellers:
+    whatever is buffered dispatches at once, in one batch."""
+    queue = MicroBatchQueue(max_batch=64, max_wait_ms=0.0)
+    for i in range(5):
+        queue.submit(np.array([i]))
+    start = time.monotonic()
+    batch = queue.next_batch()
+    elapsed = time.monotonic() - start
+    assert [int(r.payload[0]) for r in batch] == [0, 1, 2, 3, 4]
+    assert elapsed < 0.25  # no coalescing window was held open
+    # a lone request also leaves instantly -- no waiting on an empty tail
+    queue.submit(np.array([9]))
+    start = time.monotonic()
+    assert len(queue.next_batch()) == 1
+    assert time.monotonic() - start < 0.25
+
+
+def test_queue_max_batch_one_never_merges():
+    """``max_batch=1`` must hand out exactly one request per batch, in
+    arrival order, without waiting out ``max_wait_ms`` -- a full batch
+    dispatches immediately, and a full batch is one request."""
+    queue = MicroBatchQueue(max_batch=1, max_wait_ms=10_000.0)
+    for i in range(4):
+        queue.submit(np.array([i]))
+    start = time.monotonic()
+    batches = [queue.next_batch() for _ in range(4)]
+    elapsed = time.monotonic() - start
+    assert [len(b) for b in batches] == [1, 1, 1, 1]
+    assert [int(b[0].payload[0]) for b in batches] == [0, 1, 2, 3]
+    assert elapsed < 1.0  # nowhere near the 10 s window: never waited
+    stats = queue.stats
+    assert stats["batches"] == 4 and stats["mean_fill"] == 1.0
+
+
 # ----------------------------------------------------------------------
 # ServingPool: bulk path
 # ----------------------------------------------------------------------
@@ -188,13 +223,16 @@ def test_worker_error_propagates_and_pool_survives(served):
 
 
 def test_worker_death_fails_outstanding_futures(served):
-    """A worker killed below Python (OOM/segfault) must fail in-flight
-    futures fast and mark the pool broken -- never hang callers."""
+    """With respawn disabled, a worker killed below Python (OOM/segfault)
+    must fail in-flight futures fast and mark the pool broken -- never
+    hang callers."""
     import os
     import signal
 
     path, _, x = served
-    pool = ServingPool(path, n_workers=1, batch_size=BATCH).start()
+    pool = ServingPool(
+        path, n_workers=1, batch_size=BATCH, respawn_workers=False
+    ).start()
     try:
         pool.predict(x[:8])  # healthy first
         os.kill(pool._workers[0].pid, signal.SIGKILL)
@@ -203,6 +241,102 @@ def test_worker_death_fails_outstanding_futures(served):
             stranded.result(timeout=120)
         with pytest.raises(RuntimeError, match="broken"):
             pool.submit(x[:8])
+    finally:
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# Worker auto-respawn (elastic pools, first step)
+# ----------------------------------------------------------------------
+def _wait_for(predicate, timeout=60.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_worker_respawn_recovers_queued_job(served):
+    """Kill the only worker with a job outstanding: the watchdog must
+    fork a replacement from the same checkpoint, requeue the job, and
+    the caller's future must still resolve to the right logits."""
+    import os
+    import signal
+
+    path, reference, x = served
+    expected = reference.predict(x[:8], batch_size=BATCH, pad_batches=True)
+    pool = ServingPool(path, n_workers=1, batch_size=BATCH).start()
+    try:
+        pool.predict(x[:8])  # healthy first
+        os.kill(pool._workers[0].pid, signal.SIGKILL)
+        stranded = pool.submit(x[:8])
+        assert np.array_equal(stranded.result(timeout=180), expected)
+        stats = pool.stats()
+        assert stats["respawns"] >= 1
+        # the pool is fully healthy, not merely limping: later traffic
+        # serves bit-identically through the respawned worker
+        assert np.array_equal(pool.map_predict(x[:24]), reference.predict(
+            x[:24], batch_size=BATCH, pad_batches=True
+        ))
+    finally:
+        pool.close()
+
+
+def test_worker_respawn_recovers_in_flight_job(served):
+    """Kill the worker *after* it claimed the task (queue drained), so
+    the job payload only survives via the pool's requeue-once path.
+    The payload is large enough that the kill lands mid-forward."""
+    import os
+    import signal
+
+    path, reference, x = served
+    big = np.concatenate([x] * 30)  # ~1 s of forward work, many batches
+    expected = reference.predict(big, batch_size=BATCH, pad_batches=True)
+    pool = ServingPool(path, n_workers=1, batch_size=BATCH).start()
+    try:
+        victim = pool._workers[0]
+        future = pool.submit(big)
+        # in flight == assigned to the worker and drained from its queue
+        assert _wait_for(
+            lambda: pool._inflight[0] is not None and pool._task_queues[0].empty()
+        )
+        os.kill(victim.pid, signal.SIGKILL)
+        assert np.array_equal(future.result(timeout=300), expected)
+        assert pool.stats()["respawns"] >= 1
+    finally:
+        pool.close()
+
+
+def test_worker_death_twice_fails_job_not_pool(served):
+    """A job has exactly one retry: two deaths while it is outstanding
+    must fail *that* future, and within the respawn budget the pool
+    itself keeps serving."""
+    import os
+    import signal
+
+    path, reference, x = served
+    big = np.concatenate([x] * 30)
+    pool = ServingPool(
+        path, n_workers=1, batch_size=BATCH, max_respawns=4
+    ).start()
+    try:
+        pool.predict(x[:8])
+        victim = pool._workers[0]
+        future = pool.submit(big)
+        assert _wait_for(
+            lambda: pool._inflight[0] is not None and pool._task_queues[0].empty()
+        )
+        os.kill(victim.pid, signal.SIGKILL)
+        # wait for the watchdog's respawn, then kill the replacement
+        # immediately -- it is still loading the checkpoint, well
+        # before it can finish serving the requeued job
+        assert _wait_for(lambda: pool._workers[0] is not victim)
+        os.kill(pool._workers[0].pid, signal.SIGKILL)
+        with pytest.raises(RuntimeError, match="retry exhausted"):
+            future.result(timeout=300)
+        expected = reference.predict(x[:8], batch_size=BATCH, pad_batches=True)
+        assert np.array_equal(pool.predict(x[:8], timeout=300), expected)
     finally:
         pool.close()
 
@@ -323,3 +457,30 @@ def test_weight_only_pool_matches_weight_only_engine(served):
     expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
     with ServingPool(path, n_workers=2, batch_size=BATCH, weight_only=True) as pool:
         assert np.array_equal(pool.map_predict(x), expected)
+
+
+# ----------------------------------------------------------------------
+# Code-domain backend through the pool
+# ----------------------------------------------------------------------
+def test_qgemm_pool_matches_qgemm_engine(served):
+    """``backend="qgemm"`` flows through worker load unchanged: pooled
+    results are bit-identical to a single-process qgemm engine (and the
+    backend actually differs from the float path at float32)."""
+    path, reference, x = served
+    qgemm_ref = (
+        FrozenModel.load(path).astype(np.float32).set_backend("qgemm")
+    )
+    expected = qgemm_ref.predict(x[:32], batch_size=BATCH, pad_batches=True)
+    with ServingPool(
+        path, n_workers=2, batch_size=BATCH, backend="qgemm"
+    ) as pool:
+        assert pool.stats()["backend"] == "qgemm"
+        out = pool.map_predict(x[:32])
+        assert np.array_equal(out, expected)
+        client = ServingClient(pool)
+        assert np.array_equal(client.predict_one(x[3]), expected[3])
+    # same argmax as the float backend, but not the same floats --
+    # proving the workers really executed in the code domain
+    float_out = reference.predict(x[:32], batch_size=BATCH, pad_batches=True)
+    assert np.array_equal(np.argmax(out, axis=1), np.argmax(float_out, axis=1))
+    assert not np.array_equal(out, float_out)
