@@ -9,7 +9,6 @@ bits only at a large area cost; int/AdaFloat need 8 bits.
 
 import pytest
 
-from benchmarks._support import scheme_type_ratios
 from repro.analysis import format_table
 from repro.baselines import (
     AdaFloatQuantizer,

@@ -4,11 +4,9 @@ The paper's point: fixed-length ANT matches GOBO's variable-length
 clustering accuracy while remaining hardware-aligned.
 """
 
-import numpy as np
-
 from repro.analysis import format_table
 from repro.baselines import BaselineModelQuantizer, GOBOQuantizer
-from repro.quant.framework import ModelQuantizer, evaluate, quantizable_layers
+from repro.quant.framework import ModelQuantizer, evaluate
 from repro.zoo import calibration_batch
 
 

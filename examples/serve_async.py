@@ -1,0 +1,109 @@
+"""Elastic async serving: autoscaling pool + asyncio front end.
+
+Run:  python examples/serve_async.py [workload] [max_workers]
+
+Builds on ``examples/serve_pool.py``: the packed checkpoint is served
+by a :class:`repro.serve.ServingPool` that starts at one worker, a
+:class:`repro.serve.PoolAutoscaler` grows/shrinks it on backlog x EWMA
+service time, and an :class:`repro.serve.AsyncServingClient` drives it
+from an event loop -- ``await client.predict(...)`` suspends a
+coroutine instead of blocking a thread, and ``async for`` streams a
+dataset through bounded parent memory.  Results stay bit-identical to
+single-process ``FrozenModel.predict`` with padded batches throughout
+the scaling events, which the script verifies.
+"""
+
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.quant import ModelQuantizer
+from repro.runtime import FrozenModel
+from repro.serve import AsyncServingClient, PoolAutoscaler, ServingPool
+from repro.zoo import calibration_batch, trained_model
+
+
+async def drive(pool, x, expected):
+    client = AsyncServingClient(pool)
+
+    print("== awaitable predictions (coroutines, not blocked threads)")
+    logits = await client.predict(x[:32])
+    print(f"   await client.predict -> {logits.shape}, bit-identical: "
+          f"{np.array_equal(logits, expected[:32])}")
+    row = await client.predict_one(x[0])
+    print(f"   await client.predict_one -> {row.shape}, bit-identical: "
+          f"{np.array_equal(row, expected[0])}")
+
+    print("== async streaming (bounded parent memory)")
+    residency = {}
+    n_ok = 0
+    start = time.perf_counter()
+    stream = (x[i : i + 50] for i in range(0, len(x), 50))
+    index = 0
+    async for row in client.stream_predict(stream, residency=residency):
+        n_ok += int(np.array_equal(row, expected[index]))
+        index += 1
+    elapsed = time.perf_counter() - start
+    print(f"   {index} rows in {elapsed:.3f}s "
+          f"({index / elapsed:.0f} samples/sec), {n_ok} bit-identical")
+    print(f"   residency: peak {residency['peak_shards']} of "
+          f"cap {residency['cap_shards']} shards "
+          f"({residency['shard_size']} samples each)")
+
+
+def main(workload: str = "resnet18", max_workers: int = 4) -> None:
+    print(f"== loading / training workload {workload!r} (cached after first run)")
+    entry = trained_model(workload)
+    dataset = entry.dataset
+
+    print("== calibrate + freeze + save (one-time, offline)")
+    quantizer = ModelQuantizer(entry.model, combination="ip-f", bits=4)
+    quantizer.calibrate(calibration_batch(dataset, n=100)).apply()
+    frozen = quantizer.freeze(model_name=workload)
+    quantizer.remove()
+    ckpt = Path(".cache") / f"{workload}_async.npz"
+    ckpt.parent.mkdir(exist_ok=True)
+    frozen.save(ckpt)
+
+    x = np.concatenate([dataset.x_test] * 8)
+    reference = FrozenModel.load(ckpt).astype(np.float32)
+    expected = reference.predict(x, batch_size=64, pad_batches=True)
+
+    print(f"== elastic pool: 1 worker, autoscaling up to {max_workers}")
+    with ServingPool(ckpt, n_workers=1, batch_size=64, prefetch=2) as pool:
+        scaler = PoolAutoscaler(
+            pool,
+            min_workers=1,
+            max_workers=max_workers,
+            latency_budget_s=0.05,
+            idle_window_s=1.0,
+            cooldown_s=0.2,
+            interval_s=0.05,
+        )
+        with scaler:
+            asyncio.run(drive(pool, x, expected))
+            print("== burst load to trigger scale-up")
+            bulk = pool.map_predict(np.concatenate([x] * 4))
+            print(f"   bit-identical under scaling events: "
+                  f"{np.array_equal(bulk, np.concatenate([expected] * 4))}")
+            print(f"   workers now: {pool.stats()['workers']} "
+                  f"(scale-ups so far: {scaler.n_scale_ups})")
+            print("== idle: waiting for scale-down to the floor")
+            deadline = time.monotonic() + 10.0
+            while pool.stats()["workers"] > 1 and time.monotonic() < deadline:
+                time.sleep(0.1)
+        stats = pool.stats()
+        print(f"   workers: {stats['workers']} | retired: {stats['retired']} "
+              f"| scale-ups: {scaler.n_scale_ups} "
+              f"| scale-downs: {scaler.n_scale_downs}")
+        print(f"   pool EWMA service time: {stats['ewma_service_s']:.4f}s/job")
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "resnet18",
+        int(sys.argv[2]) if len(sys.argv) > 2 else 4,
+    )

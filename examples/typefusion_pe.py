@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.analysis import format_table
 from repro.dtypes import FlintType, PoTType
-from repro.hardware import IntFlintDecoder, TypeFusionMAC
+from repro.hardware import TypeFusionMAC
 from repro.hardware.decoder import decode_table
 from repro.hardware.pe import decode_operand, dot_product, fused_int8_mac
 

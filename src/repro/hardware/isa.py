@@ -173,9 +173,10 @@ def assemble_model(layer_specs: Sequence[dict]) -> List[LayerProgram]:
 def memory_instructions_identical(program: LayerProgram, baseline: LayerProgram) -> bool:
     """Check the Sec. VI-B claim: LOAD/STORE words do not change when a
     layer's MATMUL type switches between baseline int and ANT types."""
-    mem = lambda prog: [
-        inst.encode()
-        for inst in prog.instructions
-        if inst.opcode in (Opcode.LOAD, Opcode.STORE)
-    ]
+    def mem(prog):
+        return [
+            inst.encode()
+            for inst in prog.instructions
+            if inst.opcode in (Opcode.LOAD, Opcode.STORE)
+        ]
     return mem(program) == mem(baseline)

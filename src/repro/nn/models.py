@@ -37,7 +37,6 @@ from repro.nn.layers import (
     Conv2d,
     Embedding,
     Flatten,
-    GELU,
     GlobalAvgPool2d,
     Linear,
     MaxPool2d,

@@ -33,7 +33,6 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.dtypes.codec import unpack_codes
-from repro.dtypes.registry import default_registry
 from repro.qgemm.costmodel import CostMeter
 from repro.qgemm.kernels import (
     code_gemm,

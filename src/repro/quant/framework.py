@@ -22,7 +22,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.dtypes.base import NumericType
 from repro.dtypes.registry import ANT_COMBINATION, default_registry
 from repro.nn.autograd import Tensor, no_grad
 from repro.nn.layers import Conv2d, Linear

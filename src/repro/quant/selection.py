@@ -10,7 +10,7 @@ tensors choose ``flint``, long-tailed (Laplace-like) tensors choose
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 

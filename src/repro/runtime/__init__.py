@@ -49,7 +49,7 @@ from repro.runtime.engine import (
     freeze_module,
     register_freezer,
 )
-from repro.runtime import modules as _modules  # registers the zoo freezers
+from repro.runtime import modules as _modules  # noqa: F401 - registers the zoo freezers
 from repro.runtime import kernels
 
 __all__ = [

@@ -47,6 +47,54 @@ from repro.runtime.kernels import scratch
 CHECKPOINT_VERSION = 1
 
 
+def iter_chunks(batches, chunk_size: int):
+    """Re-chunk an iterable of sample arrays into exact-size chunks.
+
+    ``batches`` yields arrays with a leading sample axis (any sizes,
+    including single-sample ``x[None]`` items); this generator yields
+    arrays of exactly ``chunk_size`` samples, plus one short trailing
+    chunk -- the boundaries a bulk ``np.array_split``-free consumer
+    needs to reproduce fixed-position batching over a stream.  Memory
+    is bounded by ``chunk_size`` plus one incoming item: nothing is
+    materialized beyond the carry buffer, which is what lets the
+    serving layer (`repro.serve`) stream datasets larger than RAM.
+    Slices are views; only chunks spanning an input boundary copy.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    parts: List[np.ndarray] = []
+    buffered = 0
+    for batch in batches:
+        batch = np.asarray(batch)
+        if batch.ndim == 0:
+            raise ValueError(
+                "iter_chunks() items need a leading sample axis; wrap "
+                "single samples as sample[None]"
+            )
+        if batch.shape[0] == 0:
+            continue
+        parts.append(batch)
+        buffered += batch.shape[0]
+        while buffered >= chunk_size:
+            take: List[np.ndarray] = []
+            got = 0
+            while got < chunk_size:
+                head = parts[0]
+                need = chunk_size - got
+                if head.shape[0] <= need:
+                    take.append(head)
+                    got += head.shape[0]
+                    parts.pop(0)
+                else:
+                    take.append(head[:need])
+                    parts[0] = head[need:]
+                    got = chunk_size
+            buffered -= chunk_size
+            yield take[0] if len(take) == 1 else np.concatenate(take, axis=0)
+    if buffered:
+        yield parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+
+
 # ----------------------------------------------------------------------
 # Quantized tensor exports
 # ----------------------------------------------------------------------
@@ -788,6 +836,36 @@ class FrozenModel:
             # so copy each batch out before the next forward overwrites it
             outputs.append(np.array(out, copy=True))
         return np.concatenate(outputs, axis=0)
+
+    def predict_stream(
+        self, batches, batch_size: int = 256, pad_batches: bool = False
+    ):
+        """Streaming :meth:`predict`: iterator of sample arrays in,
+        logits rows out, with O(``batch_size``) resident memory.
+
+        ``batches`` yields arrays with a leading sample axis in any
+        chunking; the stream is re-chunked into exact ``batch_size``
+        forwards (:func:`iter_chunks`), so the yielded rows equal the
+        rows of ``predict(concatenated_input, batch_size, pad_batches)``
+        -- including bit-identity under ``pad_batches=True`` -- without
+        ever materializing the concatenated input or output.  This is
+        the single-process reference for the serving pool's
+        ``map_predict_stream``.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        for batch in iter_chunks(batches, batch_size):
+            n = batch.shape[0]
+            if pad_batches and n < batch_size:
+                pad = np.zeros(
+                    (batch_size - n,) + batch.shape[1:], dtype=batch.dtype
+                )
+                batch = np.concatenate([batch, pad], axis=0)
+            out = self.forward(batch)
+            # forward() may return a view into a reused internal buffer;
+            # copy the batch out before the next forward overwrites it
+            out = np.array(out[:n], copy=True)
+            yield from out
 
     def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Argmax labels of :meth:`predict`."""

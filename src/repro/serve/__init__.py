@@ -1,24 +1,39 @@
-"""Parallel serving engine over the frozen quantized runtime.
+"""Elastic parallel serving engine over the frozen quantized runtime.
 
 The frozen engine (:mod:`repro.runtime`) is single-threaded per
 process by design; this package is the traffic-facing layer on top of
 it:
 
 * :class:`ServingPool` -- N worker processes, each decoding the same
-  packed ``.npz`` checkpoint once, pulling jobs from a shared queue;
+  packed ``.npz`` checkpoint once, fed from per-worker private queues;
+  grows/shrinks at runtime via ``add_worker()`` / ``retire_worker()``;
+* :class:`PoolAutoscaler` -- policy loop scaling the pool on backlog
+  length x EWMA service time, bounded by min/max workers;
 * :class:`MicroBatchQueue` -- coalesces single-sample requests into
   micro-batches (``max_batch`` / ``max_wait_ms``) before dispatch;
 * :class:`ServingClient` -- synchronous per-request facade;
+* :class:`AsyncServingClient` -- asyncio facade (``await predict``,
+  ``async for`` result streaming);
 * ``ServingPool.map_predict`` -- bulk arrays sharded across workers in
-  batch-aligned chunks.
+  batch-aligned chunks; ``ServingPool.map_predict_stream`` -- the
+  iterator-in/iterator-out variant with bounded parent memory.
 
 Every dispatched forward runs at a fixed, zero-padded batch shape, so
 pooled results are bit-identical to single-process
 ``FrozenModel.predict(x, batch_size, pad_batches=True)`` regardless of
-how requests were coalesced or sharded.
+how requests were coalesced, sharded, or re-routed by scaling events.
 """
 
+from repro.serve.aio import AsyncServingClient
+from repro.serve.autoscale import PoolAutoscaler
 from repro.serve.pool import ServingClient, ServingPool
 from repro.serve.queue import MicroBatchQueue, Request
 
-__all__ = ["MicroBatchQueue", "Request", "ServingClient", "ServingPool"]
+__all__ = [
+    "AsyncServingClient",
+    "MicroBatchQueue",
+    "PoolAutoscaler",
+    "Request",
+    "ServingClient",
+    "ServingPool",
+]

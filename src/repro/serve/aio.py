@@ -1,0 +1,88 @@
+"""asyncio facade over the serving pool.
+
+The pool's dispatcher is thread-based and its futures are
+``concurrent.futures.Future``; :class:`AsyncServingClient` bridges
+them into an event loop so one coroutine-based front end (an HTTP
+handler, a websocket fan-in) can overlap request building with
+serving instead of blocking a thread per request:
+
+* ``await client.predict(batch)`` / ``await client.predict_one(x)``
+  suspend the coroutine, never a thread;
+* ``async for row in client.stream_predict(batches)`` streams a
+  larger-than-RAM dataset with the same bounded shard window as
+  ``ServingPool.map_predict_stream``.
+
+**Cancellation contract.**  Cancelling an ``await`` cancels the
+underlying pool future: if the job has not been dispatched yet the
+pool drops it from the backlog (no worker ever computes it); if it is
+already in flight the worker's result is discarded on arrival
+(``resolve_future`` tolerates cancelled futures).  Either way the job
+is accounted exactly once -- never orphaned in the pool's tables,
+never delivered twice (tested in ``tests/test_serve_elastic.py``).
+
+**Hiding the parent round trip.**  Construct the pool with
+``prefetch=2`` so every worker already holds its next job when it
+finishes the current one; the asyncio front end then keeps the pipe
+full without a dedicated feeder thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Iterable, Optional
+
+import numpy as np
+
+from repro.serve.pool import ServingPool
+
+
+class AsyncServingClient:
+    """Event-loop front end for a started :class:`ServingPool`."""
+
+    def __init__(self, pool: ServingPool) -> None:
+        self.pool = pool
+
+    async def predict(self, samples: np.ndarray) -> np.ndarray:
+        """Logits for a batch of samples (one pool job)."""
+        samples = np.asarray(samples)
+        if samples.shape[0] == 0:
+            raise ValueError("predict() needs at least one sample")
+        return await asyncio.wrap_future(self.pool.submit(samples))
+
+    async def predict_one(self, sample: np.ndarray) -> np.ndarray:
+        """Logits row for one sample, coalesced by the micro-batch
+        queue with whatever else is arriving."""
+        self.pool._require_serving()  # no dispatcher -> would hang
+        future = self.pool.micro_queue.submit(np.asarray(sample))
+        return await asyncio.wrap_future(future)
+
+    async def stream_predict(
+        self,
+        batches: Iterable[np.ndarray],
+        shard_size: Optional[int] = None,
+        window: Optional[int] = None,
+        residency: Optional[dict] = None,
+    ) -> AsyncIterator[np.ndarray]:
+        """Async-streaming predict: yields logits rows in input order.
+
+        Same contract as :meth:`ServingPool.map_predict_stream` --
+        batch-aligned shards, bit-identical rows, at most ``window``
+        shards resident (default ``active_workers() x prefetch``) --
+        but shard results are awaited instead of blocking, so other
+        coroutines (e.g. the code *producing* the input stream) run
+        while workers serve.  ``batches`` is a plain iterable; its
+        items are pulled between awaits on the event loop thread, so
+        producers that block should hand over chunks via a queue.
+
+        The shard windowing and residency accounting are the pool's
+        ``_stream_plan`` -- one implementation shared with the sync
+        path, so the two cannot diverge on the memory-bound contract;
+        this method only swaps the blocking ``result()`` for an
+        ``await``.
+        """
+        acct = residency if residency is not None else {}
+        plan = self.pool._stream_plan(batches, shard_size, window, acct)
+        for future in plan:
+            out = await asyncio.wrap_future(future)
+            for row in out:
+                yield row

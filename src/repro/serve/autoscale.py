@@ -1,0 +1,215 @@
+"""Autoscaling policy for the elastic serving pool.
+
+:class:`PoolAutoscaler` closes the loop between
+:meth:`ServingPool.stats` and the pool's
+:meth:`~repro.serve.pool.ServingPool.add_worker` /
+:meth:`~repro.serve.pool.ServingPool.retire_worker` primitives:
+
+* **scale up** when the predicted queue latency -- outstanding jobs
+  times the EWMA per-job service time, divided by the current worker
+  count -- exceeds ``latency_budget_s`` (and the pool is below
+  ``max_workers``);
+* **scale down** only after the pool has been *completely idle* (no
+  backlog, nothing in flight) for ``idle_window_s`` (and the pool is
+  above ``min_workers``).
+
+Oscillation damping is structural, not tuned: scale-ups are paced by
+``cooldown_s``, scale-downs additionally require a full uninterrupted
+idle window (any arriving work resets the clock, and so does each
+retirement), and the up/down conditions do not mirror each other --
+load below the budget is *not* a reason to shrink.  A square-wave load
+whose idle gaps are shorter than ``idle_window_s`` therefore grows to
+its steady worker count once and never thrashes (asserted in
+``tests/test_serve_elastic.py``).
+
+The policy core, :meth:`PoolAutoscaler.decide`, is a pure function of
+a stats snapshot and a caller-supplied clock, so tests drive synthetic
+load shapes through it without processes or sleeps.  :meth:`step`
+applies one decision to the live pool; :meth:`start` runs ``step`` on
+a background thread every ``interval_s``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from repro.serve.pool import ServingPool
+
+
+class PoolAutoscaler:
+    """Grow/shrink a :class:`ServingPool` from its stats snapshots.
+
+    Parameters
+    ----------
+    pool:
+        The started pool to scale.
+    min_workers / max_workers:
+        Inclusive bounds on workers accepting traffic.  The pool is
+        nudged back inside the bounds even while a cooldown is
+        pending (e.g. a crash below ``min_workers``).
+    latency_budget_s:
+        Target ceiling for predicted queue latency: ``(backlog +
+        inflight) * ewma_service_s / workers``.  Above it, scale up.
+    idle_window_s:
+        Uninterrupted fully-idle seconds required before one worker is
+        retired.  Any outstanding work -- and each retirement -- resets
+        the window.
+    cooldown_s:
+        Minimum seconds between any two scaling actions.
+    interval_s:
+        Poll period of the background thread (:meth:`start`).
+    """
+
+    def __init__(
+        self,
+        pool: ServingPool,
+        min_workers: int = 1,
+        max_workers: int = 4,
+        latency_budget_s: float = 1.0,
+        idle_window_s: float = 10.0,
+        cooldown_s: float = 3.0,
+        interval_s: float = 0.5,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        if max_workers < min_workers:
+            raise ValueError(
+                f"max_workers ({max_workers}) must be >= min_workers "
+                f"({min_workers})"
+            )
+        if latency_budget_s <= 0:
+            raise ValueError("latency_budget_s must be positive")
+        self.pool = pool
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.latency_budget_s = float(latency_budget_s)
+        self.idle_window_s = float(idle_window_s)
+        self.cooldown_s = float(cooldown_s)
+        self.interval_s = float(interval_s)
+        self.n_scale_ups = 0
+        self.n_scale_downs = 0
+        #: recent scaling events, newest last: (t, delta, workers_before).
+        self.events: deque = deque(maxlen=1000)
+        self._idle_since: Optional[float] = None
+        self._last_scale: Optional[float] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # the policy core (pure: stats snapshot + clock in, decision out)
+    # ------------------------------------------------------------------
+    def decide(self, stats: dict, now: float) -> int:
+        """One scaling decision for ``stats`` at time ``now``.
+
+        Returns ``+1`` (add a worker), ``-1`` (retire one), or ``0``.
+        Only the autoscaler's own timers mutate; the pool is untouched,
+        so synthetic load shapes can be replayed through this method
+        (see the square-wave damping test).
+        """
+        workers = stats["workers"]
+        outstanding = stats["backlog"] + stats["inflight"]
+        ewma = stats["ewma_service_s"]
+        if outstanding > 0:
+            self._idle_since = None
+        elif self._idle_since is None:
+            self._idle_since = now
+        # bounds enforcement ignores the cooldown: a pool outside its
+        # bounds (worker crash, reconfigured limits) is nudged back in
+        if workers < self.min_workers:
+            return self._record(now, +1, workers)
+        if workers > self.max_workers:
+            return self._record(now, -1, workers)
+        if (
+            self._last_scale is not None
+            and now - self._last_scale < self.cooldown_s
+        ):
+            return 0
+        if outstanding > 0 and ewma and workers < self.max_workers:
+            predicted_latency = outstanding * ewma / max(1, workers)
+            if predicted_latency > self.latency_budget_s:
+                return self._record(now, +1, workers)
+        if (
+            outstanding == 0
+            and workers > self.min_workers
+            and self._idle_since is not None
+            and now - self._idle_since >= self.idle_window_s
+        ):
+            # each retirement needs a fresh full idle window: shrinking
+            # is deliberately slower than growing
+            self._idle_since = now
+            return self._record(now, -1, workers)
+        return 0
+
+    def _record(self, now: float, delta: int, workers: int) -> int:
+        self._last_scale = now
+        if delta > 0:
+            self.n_scale_ups += 1
+        else:
+            self.n_scale_downs += 1
+        self.events.append((now, delta, workers))
+        return delta
+
+    # ------------------------------------------------------------------
+    # applying decisions to the live pool
+    # ------------------------------------------------------------------
+    def step(self, now: Optional[float] = None) -> int:
+        """Take one stats snapshot, decide, and apply the decision."""
+        now = time.monotonic() if now is None else now
+        delta = self.decide(self.pool.stats(), now)
+        if delta > 0:
+            self.pool.add_worker()
+        elif delta < 0:
+            self.pool.retire_worker()
+        return delta
+
+    def start(self) -> "PoolAutoscaler":
+        """Run :meth:`step` every ``interval_s`` on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("autoscaler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="serve-autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the background thread (the pool is left as-is)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.step()
+            except RuntimeError:
+                if not self.pool.is_serving:
+                    return  # pool closed/broken under us: scaling is over
+                # transient race (e.g. a concurrent retire_worker won
+                # the last-worker guard between our stats snapshot and
+                # the apply): skip this tick, keep autoscaling
+                continue
+
+    def __enter__(self) -> "PoolAutoscaler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stats(self) -> dict:
+        """Counters for monitoring/benchmarks."""
+        return {
+            "scale_ups": self.n_scale_ups,
+            "scale_downs": self.n_scale_downs,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "latency_budget_s": self.latency_budget_s,
+            "idle_window_s": self.idle_window_s,
+            "cooldown_s": self.cooldown_s,
+        }

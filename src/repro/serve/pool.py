@@ -8,34 +8,53 @@ once per worker, and the packed bytes themselves are shared through the
 filesystem page cache, so N workers never hold N float64 copies of the
 checkpoint on disk or in the page cache.
 
-Three serving paths ride on the pool:
+Four serving paths ride on the pool:
 
 * :meth:`ServingPool.submit` / :meth:`ServingPool.predict` -- one job,
   one worker, synchronous facade;
 * :meth:`ServingPool.map_predict` -- a bulk array sharded into
   batch-aligned chunks that drain across workers;
+* :meth:`ServingPool.map_predict_stream` -- iterator in, iterator out:
+  shards are fed as workers drain and results yield in order with
+  bounded parent memory (at most ``workers x prefetch`` shards
+  resident), so datasets larger than RAM serve without parent-side
+  blowup;
 * :class:`ServingClient` -- single-sample requests coalesced by a
   :class:`~repro.serve.queue.MicroBatchQueue` into micro-batches
-  before dispatch.
+  before dispatch (:class:`~repro.serve.aio.AsyncServingClient` is the
+  asyncio facade over the same machinery).
 
 **Channel layout.**  Every worker owns a *private* task queue and a
 *private* result queue; the parent keeps a backlog and feeds each
-worker one job at a time (the next job is assigned when the previous
-result returns, so a slow worker simply receives fewer jobs -- the same
-pull-based balancing a shared queue gives).  Private channels are what
-makes worker death recoverable at all: a worker SIGKILLed while blocked
-in a *shared* ``Queue.get`` dies holding the queue's reader lock, which
-no replacement process can ever acquire.  With per-worker channels a
-corpse can only poison its own queues, which are discarded with it.
-The one-job-in-flight discipline also gives the parent an exact
-job -> worker map, so a death requeues exactly the in-flight job.
+worker at most ``prefetch`` jobs at a time (the next job is assigned
+when a result returns, so a slow worker simply receives fewer jobs --
+the same pull-based balancing a shared queue gives).  Private channels
+are what makes worker death recoverable at all: a worker SIGKILLed
+while blocked in a *shared* ``Queue.get`` dies holding the queue's
+reader lock, which no replacement process can ever acquire.  With
+per-worker channels a corpse can only poison its own queues, which are
+discarded with it.  The bounded in-flight discipline also gives the
+parent an exact job -> worker map, so a death requeues exactly the
+in-flight jobs.
+
+**Elasticity.**  Worker slots move through a four-state machine --
+``starting`` (forked, still decoding the checkpoint) -> ``active``
+(serving) -> ``retiring`` (draining its in-flight jobs, receives no
+new ones) -> ``retired`` (pilled, queues closed).  :meth:`add_worker`
+appends a fresh slot (spawn a queue pair + fork, the same machinery
+respawn uses); :meth:`retire_worker` drains and closes one -- a job is
+never lost or duplicated by a scaling event (property-tested under
+churn in ``tests/test_serve_elastic.py``).
+:class:`~repro.serve.autoscale.PoolAutoscaler` drives both from the
+:meth:`stats` snapshot.
 
 **Resilience.**  Workers killed below Python (OOM, segfault) are
 detected by the collector watchdog; with ``respawn_workers`` (default)
 each is replaced by a fresh fork of the same checkpoint on fresh
-queues, and its in-flight job is requeued **once** before failing --
+queues, and its in-flight jobs are requeued **once** before failing --
 see :meth:`ServingPool._handle_dead_workers`.  ``max_respawns`` bounds
-crash-looping.
+crash-looping.  A *retiring* worker that dies only requeues its jobs;
+it is never respawned and spends no budget.
 
 **Determinism.**  Every worker forward runs at a fixed batch shape
 (``FrozenModel.predict(..., pad_batches=True)``): short batches are
@@ -44,10 +63,12 @@ depends on the GEMM row count, so a fixed row count makes each
 sample's logits a pure function of that sample alone -- which is what
 makes pool results bit-identical to a single-process
 ``frozen.predict(x, batch_size, pad_batches=True)`` no matter how
-requests were coalesced, sharded, or interleaved (property-tested in
-``tests/test_serve.py``).  Workers serve with any execution backend
-(``backend="qgemm"`` runs the code-domain LUT engine,
-:mod:`repro.qgemm`); the determinism argument is backend-independent.
+requests were coalesced, sharded, interleaved, or re-routed by
+add/retire/respawn events (property-tested in ``tests/test_serve.py``
+and ``tests/test_serve_elastic.py``).  Workers serve with any
+execution backend (``backend="qgemm"`` runs the code-domain LUT
+engine, :mod:`repro.qgemm`); the determinism argument is
+backend-independent.
 """
 
 from __future__ import annotations
@@ -60,15 +81,24 @@ import traceback
 from multiprocessing import connection as mp_connection
 from collections import deque
 from concurrent.futures import Future
-from typing import List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
+from repro.runtime.engine import iter_chunks
 from repro.serve.queue import MicroBatchQueue
 from repro.serve.queue import resolve_future as _resolve
 
 #: dispatcher/collector poll period; bounds shutdown latency, not speed.
 _POLL_S = 0.05
+
+#: EWMA smoothing factor for per-worker/pool service-time estimates.
+_EWMA_ALPHA = 0.3
+
+#: worker slot lifecycle states (see the module docstring).
+_STARTING, _ACTIVE, _RETIRING, _RETIRED = (
+    "starting", "active", "retiring", "retired"
+)
 
 
 def _worker_main(
@@ -130,7 +160,7 @@ class _RemoteError:
 
 
 class ServingPool:
-    """A pool of worker processes serving one frozen checkpoint.
+    """An elastic pool of worker processes serving one frozen checkpoint.
 
     Parameters
     ----------
@@ -138,9 +168,12 @@ class ServingPool:
         Packed ``.npz`` checkpoint written by ``FrozenModel.save``.
         Loaded independently by every worker (decode-once per worker).
     n_workers:
-        Worker process count.  Throughput scales with cores; on a
-        single-core host the pool preserves single-process throughput
-        while adding request coalescing and isolation.
+        Initial worker process count.  Throughput scales with cores; on
+        a single-core host the pool preserves single-process throughput
+        while adding request coalescing and isolation.  The pool can
+        grow/shrink afterwards via :meth:`add_worker` /
+        :meth:`retire_worker` (or an attached
+        :class:`~repro.serve.autoscale.PoolAutoscaler`).
     dtype:
         Serving dtype per worker (``"float32"`` fast path by default).
     batch_size:
@@ -148,6 +181,14 @@ class ServingPool:
         every dispatched forward is padded to exactly this many rows.
     max_wait_ms:
         Micro-batch window (see :class:`MicroBatchQueue`).
+    prefetch:
+        Jobs kept in flight per worker (default 1).  ``2`` hides the
+        parent round trip per job: the worker's next job is already in
+        its private queue when it finishes the current one, so it never
+        idles waiting for the collector to route a reply and dispatch.
+        A worker death requeues *all* its in-flight jobs (each once),
+        so resilience semantics are unchanged; per-worker service-time
+        EWMAs include private-queue wait at ``prefetch > 1``.
     weight_only:
         Serve packed low-bit weights with float activations (skips all
         activation fake-quant, see ``FrozenModel.load``).
@@ -158,13 +199,15 @@ class ServingPool:
     respawn_workers:
         Auto-respawn workers that die below Python (OOM, segfault):
         the watchdog forks a replacement from the same checkpoint and
-        requeues the dead worker's in-flight job once; a job orphaned
-        by a *second* death fails rather than retrying forever.
-        ``False`` restores fail-fast: the first death breaks the pool.
+        requeues the dead worker's in-flight jobs once each; a job
+        orphaned by a *second* death fails rather than retrying
+        forever.  ``False`` restores fail-fast: the first death breaks
+        the pool.
     max_respawns:
         Total respawn budget for the pool's lifetime (default
         ``2 * n_workers``); a crash-looping checkpoint breaks the pool
-        once the budget is spent instead of forking forever.
+        once the budget is spent instead of forking forever.  Graceful
+        retirement never spends budget.
     start_method:
         ``multiprocessing`` start method; default ``fork`` where
         available (cheapest on Linux), else the platform default.
@@ -174,7 +217,8 @@ class ServingPool:
     start_timeout:
         Seconds :meth:`start` may wait for all workers to finish
         decoding the checkpoint before aborting them and raising;
-        ``None`` waits forever.
+        ``None`` waits forever.  Also the readiness deadline for
+        respawned and :meth:`add_worker`-spawned workers.
     """
 
     def __init__(
@@ -184,6 +228,7 @@ class ServingPool:
         dtype: str = "float32",
         batch_size: int = 64,
         max_wait_ms: float = 2.0,
+        prefetch: int = 1,
         weight_only: bool = False,
         backend: str = "float",
         respawn_workers: bool = True,
@@ -195,10 +240,13 @@ class ServingPool:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if prefetch < 1:
+            raise ValueError(f"prefetch must be >= 1, got {prefetch}")
         self.checkpoint_path = str(checkpoint_path)
         self.n_workers = int(n_workers)
         self.dtype = str(dtype)
         self.batch_size = int(batch_size)
+        self.prefetch = int(prefetch)
         self.weight_only = bool(weight_only)
         self.backend = str(backend)
         if self.backend != "float":
@@ -212,6 +260,7 @@ class ServingPool:
             2 * self.n_workers if max_respawns is None else int(max_respawns)
         )
         self._n_respawns = 0
+        self._n_retired = 0
         self.start_timeout = start_timeout
         if start_method is None:
             start_method = (
@@ -224,13 +273,21 @@ class ServingPool:
         self._workers: List[mp.Process] = []
         self._task_queues: List = []
         self._result_queues: List = []
+        #: per-slot lifecycle state (see module docstring); under _jobs_lock.
+        self._slot_state: List[str] = []
         #: job_id -> (future, samples, retries_left); under _jobs_lock.
         self._jobs = {}
         #: undispatched (job_id, samples), oldest first; under _jobs_lock.
         self._backlog: deque = deque()
-        #: worker index -> in-flight job_id or None; under _jobs_lock.
-        self._inflight: List[Optional[int]] = []
-        #: respawned-worker readiness deadlines (collector thread only).
+        #: worker slot -> deque of in-flight job_ids; under _jobs_lock.
+        self._inflight: List[deque] = []
+        #: job_id -> monotonic dispatch time (EWMA source); under _jobs_lock.
+        self._dispatch_t: Dict[int, float] = {}
+        #: per-slot EWMA of job service seconds; under _jobs_lock.
+        self._ewma_service: List[Optional[float]] = []
+        #: pool-wide EWMA of job service seconds; under _jobs_lock.
+        self._ewma_pool: Optional[float] = None
+        #: spawned-worker readiness deadlines (slot -> monotonic deadline).
         self._await_ready = {}
         self._jobs_lock = threading.Lock()
         self._next_job_id = 0
@@ -254,7 +311,9 @@ class ServingPool:
             raise RuntimeError("pool already started")
         self._task_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
         self._result_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
-        self._inflight = [None] * self.n_workers
+        self._inflight = [deque() for _ in range(self.n_workers)]
+        self._slot_state = [_STARTING] * self.n_workers
+        self._ewma_service = [None] * self.n_workers
         self._workers = [self._spawn(i) for i in range(self.n_workers)]
         for worker in self._workers:
             worker.start()
@@ -307,7 +366,11 @@ class ServingPool:
             self._task_queues = []
             self._result_queues = []
             self._workers = []
+            self._slot_state = []
+            self._inflight = []
+            self._ewma_service = []
             raise
+        self._slot_state = [_ACTIVE] * self.n_workers
         self._started = True
         self._collector = threading.Thread(
             target=self._collect_loop, name="serve-collector", daemon=True
@@ -332,7 +395,11 @@ class ServingPool:
             self._dispatcher.join()
         self.micro_queue.cancel_pending()
         for task_queue in self._task_queues:
-            task_queue.put(None)
+            if task_queue is not None:
+                try:
+                    task_queue.put(None)
+                except (ValueError, OSError):
+                    pass  # a retirement finalized and closed it mid-sweep
         for worker in self._workers:
             worker.join(timeout=30)
         self._abort_workers()  # terminate stragglers, if any
@@ -343,7 +410,9 @@ class ServingPool:
             for job in self._jobs.values():
                 _resolve(job[0], error=RuntimeError("serving pool closed mid-job"))
             self._jobs.clear()
-        self._discard_queues(self._task_queues + self._result_queues)
+        self._discard_queues(
+            [q for q in self._task_queues + self._result_queues if q is not None]
+        )
 
     @staticmethod
     def _discard_queues(queues) -> None:
@@ -385,22 +454,202 @@ class ServingPool:
         self.close()
 
     # ------------------------------------------------------------------
+    # elasticity: grow / shrink
+    # ------------------------------------------------------------------
+    @property
+    def is_serving(self) -> bool:
+        """True while the pool accepts traffic (started, not closing,
+        not broken).  The autoscaler uses this to tell a terminal pool
+        state from a transient scaling race."""
+        return self._started and not self._closing and not self._broken
+
+    def active_workers(self) -> int:
+        """Workers currently accepting traffic (``starting`` included:
+        a loading worker will serve the moment it posts ready)."""
+        with self._jobs_lock:
+            return sum(
+                state in (_STARTING, _ACTIVE) for state in self._slot_state
+            )
+
+    def add_worker(self) -> int:
+        """Grow the pool by one worker; returns the new slot id.
+
+        The new worker gets a fresh private queue pair and forks from
+        the same checkpoint (the exact machinery crash-respawn uses).
+        It starts in the ``starting`` state -- no jobs are dispatched to
+        it until it posts ready, so a slow checkpoint decode never
+        strands traffic that another worker could serve -- and it is
+        subject to the same ``start_timeout`` readiness deadline as
+        :meth:`start` (a hung fork is terminated and swept like a dead
+        worker).
+        """
+        self._require_serving()
+        with self._jobs_lock:
+            if self._closing:
+                raise RuntimeError("pool is closed")
+            if self._broken:
+                raise RuntimeError(
+                    "pool is broken (a worker died); create a new pool"
+                )
+            worker_id = len(self._workers)
+            # append order matters: the collector thread reads these
+            # lists lock-free indexed off _result_queues/_workers, so
+            # every structure it indexes *into* must be extended before
+            # the list it enumerates grows
+            self._inflight.append(deque())
+            self._ewma_service.append(None)
+            self._slot_state.append(_STARTING)
+            self._task_queues.append(self._ctx.Queue())
+            self._result_queues.append(self._ctx.Queue())
+            worker = self._spawn(worker_id)
+            worker.start()  # started before publishing: the lock-free
+            # dead-worker sweep reads is_alive(), and an appended but
+            # not-yet-started process would read as a corpse and burn a
+            # spurious respawn on a healthy slot
+            self._workers.append(worker)
+            if self.start_timeout is not None:
+                self._await_ready[worker_id] = (
+                    time.monotonic() + self.start_timeout
+                )
+        return worker_id
+
+    def retire_worker(self, worker_id: Optional[int] = None) -> int:
+        """Shrink the pool by one worker; returns the retired slot id.
+
+        The slot stops receiving new jobs immediately.  If it has jobs
+        in flight they drain first (retirement completes when its last
+        result routes); an idle slot is pilled at once.  Either way no
+        job is ever lost or duplicated by retirement -- and should the
+        retiring worker die mid-drain, its in-flight jobs are requeued
+        to the survivors exactly like a crash (without spending respawn
+        budget).
+
+        ``worker_id`` picks the victim slot explicitly; by default an
+        idle worker is preferred (newest first), else the least-loaded
+        one.  The last remaining worker cannot be retired.
+        """
+        self._require_serving()
+        finalize = False
+        with self._jobs_lock:
+            if self._closing:
+                raise RuntimeError("pool is closed")
+            candidates = [
+                i
+                for i, state in enumerate(self._slot_state)
+                if state in (_STARTING, _ACTIVE)
+            ]
+            if len(candidates) <= 1:
+                raise RuntimeError("cannot retire the last worker")
+            if worker_id is None:
+                idle = [i for i in candidates if not self._inflight[i]]
+                if idle:
+                    worker_id = idle[-1]
+                else:
+                    worker_id = min(
+                        candidates, key=lambda i: (len(self._inflight[i]), -i)
+                    )
+            elif worker_id not in candidates:
+                raise ValueError(
+                    f"slot {worker_id} is not an active worker"
+                )
+            self._slot_state[worker_id] = _RETIRING
+            finalize = not self._inflight[worker_id]
+        if finalize:
+            self._finalize_retire(worker_id)
+        return worker_id
+
+    def _finalize_retire(self, worker_id: int) -> None:
+        """Pill a drained retiring worker and reap its queue pair.
+
+        Idempotent: the retiring -> retired transition happens exactly
+        once under the lock.  May run from the collector (last in-flight
+        result routed), from :meth:`retire_worker` (idle victim), or
+        from the dead-worker sweep; the join is short -- a drained
+        worker is blocked in ``task_queue.get`` and exits on the pill.
+        A worker still decoding the checkpoint (retired while
+        ``starting``) exits once it reads the pill after loading; its
+        queues are then reaped by :meth:`close`.
+        """
+        with self._jobs_lock:
+            if self._slot_state[worker_id] != _RETIRING:
+                return
+            self._slot_state[worker_id] = _RETIRED
+            self._n_retired += 1
+            self._await_ready.pop(worker_id, None)
+            task_queue = self._task_queues[worker_id]
+        if task_queue is not None:
+            try:
+                task_queue.put(None)
+            except (ValueError, OSError):
+                pass  # close() discarded it first; the worker is going away
+        worker = self._workers[worker_id]
+        worker.join(timeout=2)
+        if not worker.is_alive():
+            with self._jobs_lock:
+                stale = [
+                    self._task_queues[worker_id],
+                    self._result_queues[worker_id],
+                ]
+                self._task_queues[worker_id] = None
+                self._result_queues[worker_id] = None
+            self._discard_queues([q for q in stale if q is not None])
+
+    # ------------------------------------------------------------------
     # parent-side scheduling
     # ------------------------------------------------------------------
     def _pump(self) -> None:
-        """Feed every idle worker the oldest backlog job (one in flight
-        per worker: balancing stays pull-based, and the parent always
-        knows exactly which job dies with which worker)."""
+        """Feed every active worker up to ``prefetch`` backlog jobs,
+        round-robin oldest-first (balancing stays pull-based, and the
+        parent always knows exactly which jobs die with which worker).
+        Jobs whose futures were cancelled before dispatch are dropped
+        here -- cancelled work never reaches a worker."""
         with self._jobs_lock:
             if self._closing or self._broken:
                 return
-            for i in range(self.n_workers):
-                if not self._backlog:
-                    return
-                if self._inflight[i] is None:
+            while self._backlog:
+                assigned = False
+                for i in range(len(self._workers)):
+                    if not self._backlog:
+                        break
+                    if self._slot_state[i] != _ACTIVE:
+                        continue
+                    if len(self._inflight[i]) >= self.prefetch:
+                        continue
                     job_id, samples = self._backlog.popleft()
-                    self._inflight[i] = job_id
+                    job = self._jobs.get(job_id)
+                    if job is None or job[0].cancelled():
+                        # an AsyncServingClient await cancelled before
+                        # dispatch: drop the job instead of computing a
+                        # result nobody can receive
+                        self._jobs.pop(job_id, None)
+                        assigned = True
+                        continue
+                    self._inflight[i].append(job_id)
+                    self._dispatch_t[job_id] = time.monotonic()
                     self._task_queues[i].put((job_id, samples))
+                    assigned = True
+                if not assigned:
+                    return
+
+    def _note_service_time(self, worker_id: int, seconds: float) -> None:
+        """Update the per-slot and pool EWMAs (caller holds _jobs_lock).
+
+        At ``prefetch > 1`` the sample includes private-queue wait, so
+        the EWMA tracks *per-job turnaround* as the autoscaler sees it,
+        slightly above pure forward time.
+        """
+        prev = self._ewma_service[worker_id]
+        self._ewma_service[worker_id] = (
+            seconds
+            if prev is None
+            else (1.0 - _EWMA_ALPHA) * prev + _EWMA_ALPHA * seconds
+        )
+        prev_pool = self._ewma_pool
+        self._ewma_pool = (
+            seconds
+            if prev_pool is None
+            else (1.0 - _EWMA_ALPHA) * prev_pool + _EWMA_ALPHA * seconds
+        )
 
     # ------------------------------------------------------------------
     # background threads
@@ -419,52 +668,60 @@ class ServingPool:
                     self._drain_replies()
                     return
                 if not self._closing:
-                    # a respawned worker past its readiness deadline is
+                    # a spawned worker past its readiness deadline is
                     # treated as dead (terminate first, so the sweep
                     # below sees it and spends another respawn/retry)
                     now = time.monotonic()
                     for i in list(self._await_ready):
-                        if now > self._await_ready[i]:
-                            del self._await_ready[i]
+                        if now > self._await_ready.get(i, now):
+                            self._await_ready.pop(i, None)
                             if self._workers[i].is_alive():
                                 self._workers[i].terminate()
                                 self._workers[i].join(timeout=5)
                     dead = [
-                        i for i, w in enumerate(self._workers) if not w.is_alive()
+                        i
+                        for i, w in enumerate(self._workers)
+                        if self._slot_state[i] != _RETIRED and not w.is_alive()
                     ]
                     if dead:
                         self._drain_replies()  # keep completed results
                         self._handle_dead_workers(dead)
-                # block on every result pipe at once: a reply wakes the
-                # collector immediately (the one-in-flight scheduler
-                # dispatches the next job from _route_reply, so reply
-                # latency is dispatch latency), _POLL_S only bounds the
-                # dead-worker/shutdown checks
+                # block on every live result pipe at once: a reply wakes
+                # the collector immediately (the bounded-in-flight
+                # scheduler dispatches the next job from _route_reply,
+                # so reply latency is dispatch latency), _POLL_S only
+                # bounds the dead-worker/shutdown checks.  Retired
+                # slots are excluded: their closed write ends would
+                # read as permanently ready and spin the loop.
+                readers = [
+                    q._reader
+                    for i, q in enumerate(self._result_queues)
+                    if q is not None and self._slot_state[i] != _RETIRED
+                ]
                 try:
-                    mp_connection.wait(
-                        [q._reader for q in self._result_queues],
-                        timeout=_POLL_S,
-                    )
+                    if readers:
+                        mp_connection.wait(readers, timeout=_POLL_S)
+                    else:
+                        time.sleep(_POLL_S)
                 except OSError:
                     time.sleep(_POLL_S)  # a pipe died mid-wait; rescan
 
     def _handle_dead_workers(self, dead: List[int]) -> None:
         """Recover (or break) after worker deaths.
 
-        With respawn enabled and budget left: each dead worker is
-        replaced by a fresh fork on **fresh queues** (its old queues may
-        hold locks the corpse died with), and its in-flight job -- the
-        parent knows it exactly -- is requeued at the head of the
-        backlog, once: a retries-exhausted job fails its future instead.
+        A dead *retiring* worker just completes its retirement: its
+        in-flight jobs are requeued (each once) and its slot closes --
+        no respawn, no budget spent.  For the rest, with respawn
+        enabled and budget left, each dead worker is replaced by a
+        fresh fork on **fresh queues** (its old queues may hold locks
+        the corpse died with), and its in-flight jobs -- the parent
+        knows them exactly -- are requeued at the head of the backlog,
+        once each: a retries-exhausted job fails its future instead.
         Otherwise the pool is broken: every outstanding job fails,
         matching start()'s fail-fast policy.
         """
         names = [self._workers[i].name for i in dead]
         respawn_exc: Optional[str] = None
-        can_respawn = (
-            self.respawn_workers
-            and self._n_respawns + len(dead) <= self.max_respawns
-        )
         with self._jobs_lock:
             if self._closing:
                 # close() owns shutdown: it set _closing under this
@@ -473,31 +730,52 @@ class ServingPool:
                 # the outstanding jobs -- never a replaced queue whose
                 # pill went to the discarded one
                 return
+            retiring = [i for i in dead if self._slot_state[i] == _RETIRING]
+            crashed = [i for i in dead if self._slot_state[i] != _RETIRING]
+            can_respawn = (
+                self.respawn_workers
+                and self._n_respawns + len(crashed) <= self.max_respawns
+            )
             for i in dead:
-                job_id = self._inflight[i]
-                self._inflight[i] = None
-                if job_id is None or job_id not in self._jobs:
-                    continue
-                future, samples, retries = self._jobs[job_id]
-                if can_respawn and retries > 0:
-                    self._jobs[job_id] = (future, samples, retries - 1)
-                    self._backlog.appendleft((job_id, samples))
-                else:
-                    del self._jobs[job_id]
-                    _resolve(future, error=RuntimeError(
-                        f"serving worker(s) died running this job: {names}"
-                        + (" (retry exhausted)" if can_respawn else "")
-                    ))
-            if can_respawn:
+                # a graceful retirement death can still requeue (other
+                # workers survive by the retire-last-worker guard)
+                recoverable = can_respawn or i in retiring
+                for job_id in list(self._inflight[i]):
+                    self._dispatch_t.pop(job_id, None)
+                    if job_id not in self._jobs:
+                        continue
+                    future, samples, retries = self._jobs[job_id]
+                    if recoverable and retries > 0:
+                        self._jobs[job_id] = (future, samples, retries - 1)
+                        self._backlog.appendleft((job_id, samples))
+                    else:
+                        del self._jobs[job_id]
+                        _resolve(future, error=RuntimeError(
+                            f"serving worker(s) died running this job: {names}"
+                            + (" (retry exhausted)" if recoverable else "")
+                        ))
+                self._inflight[i].clear()
+            for i in retiring:
+                self._slot_state[i] = _RETIRED
+                self._n_retired += 1
+                self._await_ready.pop(i, None)
+                stale = [self._task_queues[i], self._result_queues[i]]
+                self._task_queues[i] = None
+                self._result_queues[i] = None
+                self._discard_queues([q for q in stale if q is not None])
+            if crashed and can_respawn:
                 # swap queues under the lock: _pump readers must never
                 # see a discarded queue next to a cleared inflight slot
                 try:
-                    for i in dead:
-                        self._discard_queues(
-                            [self._task_queues[i], self._result_queues[i]]
-                        )
+                    for i in crashed:
+                        self._discard_queues([
+                            q
+                            for q in (self._task_queues[i], self._result_queues[i])
+                            if q is not None
+                        ])
                         self._task_queues[i] = self._ctx.Queue()
                         self._result_queues[i] = self._ctx.Queue()
+                        self._slot_state[i] = _STARTING
                         replacement = self._spawn(i)
                         replacement.start()  # started before publishing:
                         self._workers[i] = replacement  # a test may kill it
@@ -514,7 +792,7 @@ class ServingPool:
                 except BaseException as exc:  # noqa: BLE001 - cannot fork: break
                     can_respawn = False
                     respawn_exc = f"respawn failed: {exc!r}"
-        if can_respawn:
+        if not crashed or can_respawn:
             self._pump()
             return
         self._broken = True
@@ -540,10 +818,12 @@ class ServingPool:
         """Route everything currently readable; True if anything was."""
         got_any = False
         for result_queue in list(self._result_queues):
+            if result_queue is None:
+                continue
             while True:
                 try:
                     reply = result_queue.get_nowait()
-                except Exception:  # queue.Empty
+                except Exception:  # queue.Empty (or a just-closed queue)
                     break
                 got_any = True
                 self._route_reply(reply)
@@ -552,23 +832,51 @@ class ServingPool:
     def _route_reply(self, reply) -> None:
         kind, worker_id = reply[0], reply[1]
         if kind == "ready":
-            # a load failure needs no recovery action here: the failed
-            # worker exits, the watchdog sees the death, and each
-            # respawn spends budget -- a broken checkpoint crash-loops
-            # at most max_respawns times before the pool breaks, while
-            # a transient failure costs exactly one respawn.  Keep the
-            # error so the eventual break message names the root cause.
             self._await_ready.pop(worker_id, None)
             if isinstance(reply[2], _RemoteError):
+                # a load failure needs no recovery action here: the
+                # failed worker exits, the watchdog sees the death, and
+                # each respawn spends budget -- a broken checkpoint
+                # crash-loops at most max_respawns times before the
+                # pool breaks, while a transient failure costs exactly
+                # one respawn.  Keep the error so the eventual break
+                # message names the root cause.
                 self._last_worker_error = reply[2].message
+                return
+            finalize = False
+            with self._jobs_lock:
+                if self._slot_state[worker_id] == _STARTING:
+                    self._slot_state[worker_id] = _ACTIVE
+                elif (
+                    self._slot_state[worker_id] == _RETIRING
+                    and not self._inflight[worker_id]
+                ):
+                    # retired before it finished loading: pill it now
+                    finalize = True
+            if finalize:
+                self._finalize_retire(worker_id)
+            else:
+                self._pump()
             return
         job_id, payload = reply[2], reply[3]
+        finalize = False
         with self._jobs_lock:
-            if (
-                0 <= worker_id < len(self._inflight)
-                and self._inflight[worker_id] == job_id
-            ):
-                self._inflight[worker_id] = None
+            if 0 <= worker_id < len(self._inflight):
+                try:
+                    self._inflight[worker_id].remove(job_id)
+                except ValueError:
+                    pass
+                else:
+                    started = self._dispatch_t.pop(job_id, None)
+                    if started is not None:
+                        self._note_service_time(
+                            worker_id, time.monotonic() - started
+                        )
+                if (
+                    self._slot_state[worker_id] == _RETIRING
+                    and not self._inflight[worker_id]
+                ):
+                    finalize = True
             job = self._jobs.pop(job_id, None)
         if job is not None:
             future = job[0]
@@ -578,6 +886,8 @@ class ServingPool:
                 ))
             else:
                 _resolve(future, value=payload)
+        if finalize:
+            self._finalize_retire(worker_id)
         self._pump()
 
     def _alive_workers(self) -> bool:
@@ -677,7 +987,9 @@ class ServingPool:
         is fed its next shard as it finishes the previous one -- a slow
         worker simply serves fewer shards.  Results concatenate in
         input order and are bit-identical to the single-process
-        ``predict(samples, batch_size, pad_batches=True)``.
+        ``predict(samples, batch_size, pad_batches=True)``.  The whole
+        input and output stay resident in the parent; for datasets
+        larger than RAM use :meth:`map_predict_stream`.
         """
         samples = np.asarray(samples)
         n = samples.shape[0]
@@ -685,8 +997,8 @@ class ServingPool:
             raise ValueError("map_predict() needs at least one sample")
         if shard_size is None:
             # spread across workers, a few shards each for balancing
-            per_worker = max(1, -(-n // (self.n_workers * 2)))
-            shard_size = per_worker
+            workers = max(1, self.active_workers())
+            shard_size = max(1, -(-n // (workers * 2)))
         # align shards to whole serving batches so every worker forward
         # sees the exact shapes the single-process reference would
         shard_size = max(
@@ -701,18 +1013,160 @@ class ServingPool:
             [future.result(timeout=timeout) for future in futures], axis=0
         )
 
+    def map_predict_stream(
+        self,
+        batches: Iterable[np.ndarray],
+        shard_size: Optional[int] = None,
+        window: Optional[int] = None,
+        timeout: Optional[float] = None,
+        residency: Optional[dict] = None,
+    ) -> Iterator[np.ndarray]:
+        """Streaming :meth:`map_predict`: iterator in, iterator out.
+
+        ``batches`` is any iterable of sample arrays (each with a
+        leading sample axis; chunk sizes are arbitrary -- a single
+        sample goes in as ``sample[None]``).  The stream is re-chunked
+        into batch-aligned shards of ``shard_size`` samples (default
+        one serving batch, rounded up to a ``batch_size`` multiple),
+        each shard is dispatched as workers drain, and logits rows
+        yield **in input order**, one row per sample.
+
+        Parent memory stays bounded: at most ``window`` shards are
+        resident (submitted or being yielded) at any time -- by default
+        ``active_workers() x prefetch``, re-read between shards so an
+        autoscaler growing the pool mid-stream widens the pipeline.
+        Input is pulled lazily, so a dataset far larger than RAM
+        streams through a constant-size parent footprint.  Rows are
+        bit-identical to ``predict(concatenated_input, batch_size,
+        pad_batches=True)`` rows: shard boundaries fall on serving
+        batch multiples, so every worker forward sees the exact shapes
+        the single-process reference would.
+
+        Pass a dict as ``residency`` to receive the shard-residency
+        accounting (``peak_shards`` resident vs the ``cap_shards``
+        ceiling, plus totals) -- the memory-bound contract is asserted
+        on it in ``tests/test_serve_elastic.py``.
+
+        Yielded rows are views into per-shard result arrays; a consumer
+        that keeps every row alive keeps every shard alive (copy rows
+        to retain only a subset).
+        """
+        acct = residency if residency is not None else {}
+        for future in self._stream_plan(batches, shard_size, window, acct):
+            yield from future.result(timeout=timeout)
+
+    def _stream_plan(
+        self,
+        batches: Iterable[np.ndarray],
+        shard_size: Optional[int],
+        window: Optional[int],
+        acct: dict,
+    ) -> Iterator[Future]:
+        """The shared windowing core of :meth:`map_predict_stream` and
+        :meth:`~repro.serve.aio.AsyncServingClient.stream_predict`.
+
+        Submits batch-aligned shards as the resident window allows and
+        yields, in input order, each shard future the caller must
+        resolve (sync ``result()`` or async ``await``) and forward
+        before requesting the next.  All shard-size rounding and
+        residency accounting lives here, so the sync and async paths
+        cannot diverge on the memory-bound contract.
+        """
+        self._require_serving()
+        if shard_size is None:
+            shard_size = self.batch_size
+        shard_size = max(
+            self.batch_size,
+            -(-shard_size // self.batch_size) * self.batch_size,
+        )
+        acct.update(
+            {
+                "peak_shards": 0,
+                "cap_shards": 0,
+                "shards": 0,
+                "samples": 0,
+                "shard_size": shard_size,
+            }
+        )
+        pending: deque = deque()
+        shards = iter_chunks(batches, shard_size)
+        sentinel = object()
+        while True:
+            cap = (
+                max(1, window)
+                if window is not None
+                else max(1, self.active_workers() * self.prefetch)
+            )
+            acct["cap_shards"] = max(acct["cap_shards"], cap)
+            # drain to cap-1 BEFORE pulling the next input shard, so
+            # (pending + the shard being resolved + the freshly chunked
+            # input) never exceeds cap resident shards
+            while len(pending) >= cap:
+                future = pending.popleft()
+                acct["peak_shards"] = max(
+                    acct["peak_shards"], len(pending) + 1
+                )
+                yield future
+            shard = next(shards, sentinel)
+            if shard is sentinel:
+                break
+            pending.append(self.submit(shard))
+            acct["shards"] += 1
+            acct["samples"] += int(shard.shape[0])
+            acct["peak_shards"] = max(acct["peak_shards"], len(pending))
+        while pending:
+            future = pending.popleft()
+            acct["peak_shards"] = max(acct["peak_shards"], len(pending) + 1)
+            yield future
+
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Pool counters plus micro-batch coalescing statistics."""
+        """A cheap point-in-time snapshot of pool health.
+
+        One lock acquisition, no syscalls: the autoscaler polls this.
+        Keys: ``workers`` (accepting traffic: active + starting),
+        ``slots`` (lifetime slot count incl. retired), ``backlog``
+        (undispatched jobs), ``inflight`` (dispatched, unanswered),
+        ``ewma_service_s`` (pool-wide EWMA of per-job service seconds;
+        ``None`` before the first completion), ``respawns``/``retired``
+        counters, ``per_worker`` (state, in-flight depth and EWMA per
+        live slot), plus the micro-batch queue's depth and coalescing
+        counters under ``queue_*``.
+        """
         queue_stats = self.micro_queue.stats
+        queue_depth = self.micro_queue.depth
+        with self._jobs_lock:
+            per_worker = [
+                {
+                    "slot": i,
+                    "state": state,
+                    "inflight": len(self._inflight[i]),
+                    "ewma_service_s": self._ewma_service[i],
+                }
+                for i, state in enumerate(self._slot_state)
+                if state != _RETIRED
+            ]
+            snapshot = {
+                "workers": sum(
+                    state in (_STARTING, _ACTIVE) for state in self._slot_state
+                ),
+                "slots": len(self._slot_state),
+                "backlog": len(self._backlog),
+                "inflight": sum(len(d) for d in self._inflight),
+                "ewma_service_s": self._ewma_pool,
+                "jobs": self._n_jobs,
+                "respawns": self._n_respawns,
+                "retired": self._n_retired,
+            }
         return {
-            "workers": self.n_workers,
+            **snapshot,
             "batch_size": self.batch_size,
+            "prefetch": self.prefetch,
             "dtype": self.dtype,
             "weight_only": self.weight_only,
             "backend": self.backend,
-            "jobs": self._n_jobs,
-            "respawns": self._n_respawns,
+            "per_worker": per_worker,
+            "queue_depth": queue_depth,
             **{f"queue_{k}": v for k, v in queue_stats.items()},
         }
 

@@ -158,6 +158,12 @@ class MicroBatchQueue:
             return dropped
 
     @property
+    def depth(self) -> int:
+        """Requests currently buffered (cheap; used by pool stats)."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
     def stats(self) -> dict:
         """Coalescing counters: requests, batches, and mean fill."""
         with self._lock:

@@ -1,7 +1,5 @@
 """Tests for tensor statistics, reporting helpers and the model zoo."""
 
-import os
-
 import numpy as np
 import pytest
 

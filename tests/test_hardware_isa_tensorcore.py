@@ -7,7 +7,6 @@ from repro.hardware.isa import (
     ANT_EXTENSION_TYPES,
     BASELINE_TYPES,
     Instruction,
-    LayerProgram,
     Opcode,
     OperandType,
     assemble_layer,

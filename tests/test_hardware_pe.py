@@ -60,7 +60,6 @@ class TestMACBasics:
 class TestPaperClaims:
     def test_4bit_flint_products_fit_16_bits(self):
         """Sec. V-B: any 4-bit flint x flint product fits the 16-bit path."""
-        flint = FlintType(4, signed=True)
         mac = TypeFusionMAC(4, accumulator_bits=ACCUMULATOR_BITS)
         codes = range(16)
         for ca in codes:

@@ -4,7 +4,6 @@ These tests exercise the full pipeline the benchmarks rely on, at a
 scale small enough for CI (tiny models, few steps).
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import BaselineModelQuantizer, IntQuantizer, OLAccelQuantizer

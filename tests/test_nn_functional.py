@@ -181,7 +181,9 @@ class TestNorms:
             mean = arr.mean(axis=(0, 2, 3), keepdims=True)
             var = arr.var(axis=(0, 2, 3), keepdims=True)
             xh = (arr - mean) / np.sqrt(var + 1e-5)
-            shaped = lambda v: v.reshape(1, -1, 1, 1)
+            def shaped(v):
+                return v.reshape(1, -1, 1, 1)
+
             return ((xh * shaped(w_data) + shaped(b_data)) * weights).sum()
 
         assert np.allclose(x.grad, numerical_grad(fn, data.copy()), atol=1e-5)

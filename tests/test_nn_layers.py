@@ -14,7 +14,6 @@ from repro.nn import (
     LayerNorm,
     Linear,
     MaxPool2d,
-    Module,
     Parameter,
     ReLU,
     SGD,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import sample_distribution
-from repro.dtypes import FlintType, IntType, PoTType, candidate_list
+from repro.dtypes import FlintType, IntType, candidate_list
 from repro.quant import (
     Granularity,
     TensorQuantizer,

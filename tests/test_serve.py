@@ -299,7 +299,7 @@ def test_worker_respawn_recovers_in_flight_job(served):
         future = pool.submit(big)
         # in flight == assigned to the worker and drained from its queue
         assert _wait_for(
-            lambda: pool._inflight[0] is not None and pool._task_queues[0].empty()
+            lambda: pool._inflight[0] and pool._task_queues[0].empty()
         )
         os.kill(victim.pid, signal.SIGKILL)
         assert np.array_equal(future.result(timeout=300), expected)
@@ -325,14 +325,19 @@ def test_worker_death_twice_fails_job_not_pool(served):
         victim = pool._workers[0]
         future = pool.submit(big)
         assert _wait_for(
-            lambda: pool._inflight[0] is not None and pool._task_queues[0].empty()
+            lambda: pool._inflight[0] and pool._task_queues[0].empty()
         )
         os.kill(victim.pid, signal.SIGKILL)
-        # wait for the watchdog's respawn, then kill the replacement
-        # immediately -- it is still loading the checkpoint, well
-        # before it can finish serving the requeued job
+        # wait for the watchdog's respawn and for the replacement to
+        # finish loading and *claim the requeued job* (the pool never
+        # dispatches to a still-loading worker), then kill it -- the
+        # payload is big enough that the kill lands mid-forward
         assert _wait_for(lambda: pool._workers[0] is not victim)
-        os.kill(pool._workers[0].pid, signal.SIGKILL)
+        replacement = pool._workers[0]
+        assert _wait_for(
+            lambda: pool._inflight[0] and pool._task_queues[0].empty()
+        )
+        os.kill(replacement.pid, signal.SIGKILL)
         with pytest.raises(RuntimeError, match="retry exhausted"):
             future.result(timeout=300)
         expected = reference.predict(x[:8], batch_size=BATCH, pad_batches=True)

@@ -1,0 +1,483 @@
+"""Elastic serving: scaling primitives, autoscaler policy, asyncio
+facade, and streaming ``map_predict``.
+
+The load-bearing guarantees layered on top of ``tests/test_serve.py``:
+
+* **No job is lost or duplicated by a scaling event** -- results stay
+  bit-identical to single-process
+  ``FrozenModel.predict(x, batch_size, pad_batches=True)`` under
+  arbitrary add/retire/kill schedules (property test).
+* **Retirement drains** -- a retiring worker finishes its in-flight
+  jobs before its queues close; a retiring worker that *dies* requeues
+  them to the survivors without spending respawn budget.
+* **The autoscaler does not thrash** -- a square-wave load grows the
+  pool to its steady count once and never oscillates (pure ``decide``
+  policy, driven by a synthetic clock).
+* **Streaming bounds parent memory** -- a dataset much larger than the
+  resident-shard cap serves in order while the shard-residency
+  accounting stays within ``workers x prefetch``.
+* **asyncio cancellation is exact-once** -- a cancelled ``await``
+  neither orphans its job in the pool's tables nor double-delivers.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.quant.framework import ModelQuantizer
+from repro.runtime import FrozenModel
+from repro.runtime.engine import iter_chunks
+from repro.serve import AsyncServingClient, PoolAutoscaler, ServingPool
+from repro.zoo import calibration_batch, trained_model
+
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """Calibrated vgg16 checkpoint + float32 single-process reference."""
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze(model_name="vgg16")
+    finally:
+        quantizer.remove()
+    path = tmp_path_factory.mktemp("serve_elastic") / "vgg16.npz"
+    frozen.save(path)
+    reference = FrozenModel.load(path).astype(np.float32)
+    x = entry.dataset.x_test[:70]
+    return path, reference, x
+
+
+def _wait_for(predicate, timeout=60.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+# ----------------------------------------------------------------------
+# iterator plumbing (runtime/engine.py)
+# ----------------------------------------------------------------------
+def test_iter_chunks_rechunks_any_input_chunking():
+    data = np.arange(37 * 3).reshape(37, 3)
+    # ragged input chunks, including empties, spanning chunk boundaries
+    pieces = [data[0:5], data[5:5], data[5:18], data[18:19], data[19:37]]
+    chunks = list(iter_chunks(iter(pieces), 8))
+    assert [c.shape[0] for c in chunks] == [8, 8, 8, 8, 5]
+    assert np.array_equal(np.concatenate(chunks), data)
+    # exact multiple: no trailing short chunk
+    chunks = list(iter_chunks([data[:32]], 8))
+    assert [c.shape[0] for c in chunks] == [8, 8, 8, 8]
+    # empty stream yields nothing
+    assert list(iter_chunks([], 8)) == []
+    with pytest.raises(ValueError):
+        list(iter_chunks([np.float64(1.0)], 8))
+    with pytest.raises(ValueError):
+        list(iter_chunks([data], 0))
+
+
+def test_predict_stream_matches_predict_rows(served):
+    _path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    stream = (x[i: i + 7] for i in range(0, len(x), 7))
+    rows = list(reference.predict_stream(stream, BATCH, pad_batches=True))
+    assert len(rows) == len(x)
+    assert np.array_equal(np.stack(rows), expected)
+
+
+# ----------------------------------------------------------------------
+# scaling primitives: add_worker / retire_worker
+# ----------------------------------------------------------------------
+def test_add_worker_grows_pool_and_serves_identically(served):
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=1, batch_size=BATCH) as pool:
+        assert pool.active_workers() == 1
+        slot = pool.add_worker()
+        assert slot == 1
+        assert pool.active_workers() == 2
+        # traffic is correct even while the new worker is still loading
+        assert np.array_equal(pool.map_predict(x), expected)
+        assert _wait_for(
+            lambda: all(
+                w["state"] == "active" for w in pool.stats()["per_worker"]
+            )
+        )
+        assert np.array_equal(pool.map_predict(x), expected)
+
+
+def test_retire_worker_drains_last_inflight_job(served):
+    """Retire the worker holding the only in-flight job: the job must
+    drain (bit-identically) before the slot closes, and the pool must
+    keep serving on the survivor."""
+    path, reference, x = served
+    big = np.concatenate([x] * 20)
+    expected_big = reference.predict(big, batch_size=BATCH, pad_batches=True)
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=2, batch_size=BATCH) as pool:
+        future = pool.submit(big)
+        assert _wait_for(lambda: any(pool._inflight))
+        victim = next(i for i, d in enumerate(pool._inflight) if d)
+        assert pool.retire_worker(victim) == victim
+        # the in-flight job drains; nothing is lost or duplicated
+        assert np.array_equal(future.result(timeout=300), expected_big)
+        assert _wait_for(lambda: pool.stats()["retired"] == 1)
+        stats = pool.stats()
+        assert stats["workers"] == 1
+        assert stats["respawns"] == 0
+        assert np.array_equal(pool.map_predict(x), expected)
+
+
+def test_retire_refuses_last_worker_and_bad_slots(served):
+    path, _, _ = served
+    with ServingPool(path, n_workers=1, batch_size=BATCH) as pool:
+        with pytest.raises(RuntimeError, match="last worker"):
+            pool.retire_worker()
+        pool.add_worker()
+        with pytest.raises(ValueError, match="not an active worker"):
+            pool.retire_worker(99)
+        retired = pool.retire_worker()
+        # back to one worker: retirement refused again, even by slot id
+        with pytest.raises(RuntimeError, match="last worker"):
+            pool.retire_worker(retired)
+
+
+def test_retiring_worker_death_requeues_without_respawn(served):
+    """A retiring worker killed mid-drain must hand its in-flight job
+    back to the survivors (once) -- and must NOT be respawned or spend
+    respawn budget: it was leaving anyway."""
+    path, reference, x = served
+    big = np.concatenate([x] * 20)
+    expected_big = reference.predict(big, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=2, batch_size=BATCH) as pool:
+        future = pool.submit(big)
+        assert _wait_for(lambda: any(pool._inflight))
+        victim = next(i for i, d in enumerate(pool._inflight) if d)
+        pool.retire_worker(victim)
+        os.kill(pool._workers[victim].pid, signal.SIGKILL)
+        assert np.array_equal(future.result(timeout=300), expected_big)
+        assert _wait_for(lambda: pool.stats()["retired"] == 1)
+        stats = pool.stats()
+        assert stats["respawns"] == 0
+        assert stats["workers"] == 1
+
+
+def test_scale_up_while_respawn_pending(served):
+    """add_worker while the watchdog is mid-respawn: independent slots,
+    both come up, no job is stranded."""
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    pool = ServingPool(path, n_workers=1, batch_size=BATCH).start()
+    try:
+        pool.predict(x[:8])  # healthy first
+        os.kill(pool._workers[0].pid, signal.SIGKILL)
+        new_slot = pool.add_worker()  # respawn of slot 0 still pending
+        assert new_slot == 1
+        assert np.array_equal(pool.map_predict(x), expected)
+        assert _wait_for(lambda: pool.stats()["respawns"] >= 1)
+        stats = pool.stats()
+        assert stats["workers"] == 2
+        assert np.array_equal(pool.map_predict(x), expected)
+    finally:
+        pool.close()
+
+
+def test_pool_bit_identical_under_arbitrary_scaling_schedule(served):
+    """The elasticity property: submit waves of jobs while the pool is
+    grown, shrunk, and crash-respawned; every future must resolve to
+    exactly its single-process reference rows."""
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    rng = np.random.default_rng(11)
+    pool = ServingPool(
+        path, n_workers=2, batch_size=BATCH, prefetch=2, max_respawns=8
+    ).start()
+    try:
+        futures = []
+        schedule = ["add", "kill", "retire", "add", "retire"]
+        for event in schedule:
+            for _ in range(4):
+                lo = int(rng.integers(0, len(x) - 9))
+                hi = lo + int(rng.integers(1, 9))
+                futures.append((pool.submit(x[lo:hi]), lo, hi))
+            if event == "add":
+                pool.add_worker()
+            elif event == "retire":
+                try:
+                    pool.retire_worker()
+                except RuntimeError:
+                    pass  # down to the last worker: retirement refused
+            elif event == "kill":
+                live = [
+                    w
+                    for i, w in enumerate(pool._workers)
+                    if pool._slot_state[i] in ("starting", "active")
+                    and w.is_alive()
+                ]
+                os.kill(live[-1].pid, signal.SIGKILL)
+            time.sleep(0.05)
+        for future, lo, hi in futures:
+            assert np.array_equal(future.result(timeout=300), expected[lo:hi])
+        # the pool is healthy after the churn, not merely limping
+        assert np.array_equal(pool.map_predict(x), expected)
+        stats = pool.stats()
+        assert stats["backlog"] == 0 and stats["inflight"] == 0
+    finally:
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# stats snapshot
+# ----------------------------------------------------------------------
+def test_stats_snapshot_backlog_inflight_and_ewma(served):
+    path, reference, x = served
+    big = np.concatenate([x] * 10)
+    with ServingPool(path, n_workers=1, batch_size=BATCH) as pool:
+        stats = pool.stats()
+        assert stats["ewma_service_s"] is None  # no completions yet
+        assert stats["backlog"] == 0 and stats["inflight"] == 0
+        assert stats["workers"] == 1 and stats["slots"] == 1
+        # one worker, prefetch 1: of 4 queued jobs exactly 1 is in
+        # flight and 3 sit in the backlog (dispatch happens in submit)
+        futures = [pool.submit(big) for _ in range(4)]
+        stats = pool.stats()
+        assert stats["inflight"] == 1
+        assert stats["backlog"] == 3
+        for future in futures:
+            future.result(timeout=300)
+        stats = pool.stats()
+        assert stats["backlog"] == 0 and stats["inflight"] == 0
+        assert stats["ewma_service_s"] > 0.0
+        assert stats["jobs"] == 4
+        (worker,) = stats["per_worker"]
+        assert worker["state"] == "active"
+        assert worker["ewma_service_s"] > 0.0
+        assert stats["queue_depth"] == 0
+
+
+# ----------------------------------------------------------------------
+# autoscaler policy (pure decide(), synthetic clock -- no processes)
+# ----------------------------------------------------------------------
+def _stats(workers, backlog, inflight=0, ewma=0.2):
+    return {
+        "workers": workers,
+        "backlog": backlog,
+        "inflight": inflight,
+        "ewma_service_s": ewma,
+    }
+
+
+def test_autoscaler_scales_up_on_backlog_latency():
+    scaler = PoolAutoscaler(
+        None, min_workers=1, max_workers=4, latency_budget_s=1.0,
+        idle_window_s=10.0, cooldown_s=3.0,
+    )
+    # 8 jobs x 0.5s / 1 worker = 4s predicted > 1s budget
+    assert scaler.decide(_stats(1, 8, ewma=0.5), 0.0) == 1
+    # inside the cooldown: no action even though still over budget
+    assert scaler.decide(_stats(2, 8, ewma=0.5), 1.0) == 0
+    # after the cooldown, still over budget: grow again
+    assert scaler.decide(_stats(2, 8, ewma=0.5), 3.5) == 1
+    # under budget: no growth (and no shrink -- that needs idleness)
+    assert scaler.decide(_stats(3, 1, ewma=0.1), 7.0) == 0
+    # no EWMA yet (no completions): never scale on a guess
+    assert scaler.decide(_stats(1, 50, ewma=None), 20.0) == 0
+
+
+def test_autoscaler_square_wave_does_not_thrash():
+    """Square-wave load (5s bursts, 5s gaps): the pool must grow to its
+    steady count once and never oscillate -- the idle gaps are shorter
+    than the idle window, so no scale-down ever fires."""
+    scaler = PoolAutoscaler(
+        None, min_workers=1, max_workers=3, latency_budget_s=0.5,
+        idle_window_s=6.0, cooldown_s=3.0,
+    )
+    workers = 1
+    events = []
+    for tick in range(200):  # 20 periods
+        busy = (tick % 10) < 5
+        stats = _stats(workers, 8 if busy else 0, 1 if busy else 0)
+        delta = scaler.decide(stats, float(tick))
+        workers += delta
+        if delta:
+            events.append((tick, delta))
+    assert workers == 3  # reached steady state
+    assert all(delta > 0 for _, delta in events)  # never shrank
+    assert len(events) == 2  # exactly the two scale-ups needed
+
+
+def test_autoscaler_sustained_idle_scales_down_to_min():
+    scaler = PoolAutoscaler(
+        None, min_workers=1, max_workers=4, latency_budget_s=0.5,
+        idle_window_s=4.0, cooldown_s=2.0,
+    )
+    workers = 3
+    deltas = []
+    for tick in range(20):
+        delta = scaler.decide(_stats(workers, 0), float(tick))
+        workers += delta
+        deltas.append(delta)
+    assert workers == 1  # shrank to the floor, never below
+    assert all(delta <= 0 for delta in deltas)
+    # each retirement required a fresh full idle window
+    downs = [t for t, d in enumerate(deltas) if d < 0]
+    assert len(downs) == 2 and downs[1] - downs[0] >= 4
+    # bounds enforcement beats the cooldown (e.g. crash below the floor)
+    assert scaler.decide(_stats(0, 0), float(downs[-1]) + 0.5) == 1
+
+
+def test_autoscaler_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        PoolAutoscaler(None, min_workers=0)
+    with pytest.raises(ValueError):
+        PoolAutoscaler(None, min_workers=3, max_workers=2)
+    with pytest.raises(ValueError):
+        PoolAutoscaler(None, latency_budget_s=0.0)
+
+
+def test_autoscaler_drives_live_pool(served):
+    """End to end: a burst grows the pool, sustained idleness shrinks
+    it back -- and serving stays bit-identical throughout."""
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=1, batch_size=BATCH) as pool:
+        scaler = PoolAutoscaler(
+            pool, min_workers=1, max_workers=3, latency_budget_s=0.01,
+            idle_window_s=0.4, cooldown_s=0.05, interval_s=0.02,
+        )
+        with scaler:
+            for _ in range(4):  # sustained burst: backlog builds
+                assert np.array_equal(
+                    pool.map_predict(np.concatenate([x] * 4)),
+                    np.concatenate([expected] * 4),
+                )
+            assert _wait_for(lambda: scaler.n_scale_ups >= 1, timeout=30)
+            # sustained idle: back down to the floor
+            assert _wait_for(
+                lambda: pool.stats()["workers"] == 1, timeout=30
+            )
+        assert scaler.n_scale_downs >= 1
+        assert np.array_equal(pool.map_predict(x), expected)
+
+
+# ----------------------------------------------------------------------
+# streaming map_predict: bounded parent memory
+# ----------------------------------------------------------------------
+def test_map_predict_stream_bit_identical_and_memory_bounded(served):
+    """Serve a dataset much larger than the resident-shard cap through
+    a lazy input iterator: rows must arrive in order, bit-identical to
+    the single-process reference, with at most ``workers x prefetch``
+    shards ever resident (shard-residency accounting)."""
+    path, reference, x = served
+    n_tiles = 12
+    dataset = np.concatenate([x] * n_tiles)  # test-side oracle only
+    expected = reference.predict(dataset, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=2, batch_size=BATCH, prefetch=2) as pool:
+        residency = {}
+        stream = (dataset[i: i + 11] for i in range(0, len(dataset), 11))
+        n_rows = 0
+        for i, row in enumerate(
+            pool.map_predict_stream(stream, residency=residency)
+        ):
+            assert np.array_equal(row, expected[i]), i
+            n_rows += 1
+        assert n_rows == len(dataset)
+    cap_samples = residency["cap_shards"] * residency["shard_size"]
+    # the dataset really exceeded the configured parent-memory cap ...
+    assert residency["samples"] == len(dataset)
+    assert residency["samples"] > 4 * cap_samples
+    # ... and the bound held: never more than workers x prefetch shards
+    assert residency["cap_shards"] == 2 * 2
+    assert 0 < residency["peak_shards"] <= residency["cap_shards"]
+    assert residency["shards"] == -(-len(dataset) // residency["shard_size"])
+
+
+def test_map_predict_stream_custom_shard_and_window(served):
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+    with ServingPool(path, n_workers=2, batch_size=BATCH) as pool:
+        residency = {}
+        rows = list(
+            pool.map_predict_stream(
+                [x], shard_size=19, window=1, residency=residency
+            )
+        )
+        assert np.array_equal(np.stack(rows), expected)
+        # shard_size rounds up to whole serving batches; window=1 means
+        # strictly serial shard turnaround
+        assert residency["shard_size"] == 2 * BATCH
+        assert residency["peak_shards"] == 1
+
+
+# ----------------------------------------------------------------------
+# asyncio facade
+# ----------------------------------------------------------------------
+def test_async_client_predict_and_stream(served):
+    path, reference, x = served
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+
+    async def scenario(pool):
+        client = AsyncServingClient(pool)
+        out = await client.predict(x[:8])
+        assert np.array_equal(out, expected[:8])
+        one = await client.predict_one(x[3])
+        assert np.array_equal(one, expected[3])
+        # concurrent awaits overlap on the pool, results stay exact
+        outs = await asyncio.gather(
+            client.predict(x[:16]), client.predict(x[16:32])
+        )
+        assert np.array_equal(outs[0], expected[:16])
+        assert np.array_equal(outs[1], expected[16:32])
+        rows = []
+        residency = {}
+        stream = (x[i: i + 5] for i in range(0, len(x), 5))
+        async for row in client.stream_predict(stream, residency=residency):
+            rows.append(row)
+        assert np.array_equal(np.stack(rows), expected)
+        assert residency["peak_shards"] <= residency["cap_shards"]
+
+    with ServingPool(path, n_workers=2, batch_size=BATCH, prefetch=2) as pool:
+        asyncio.run(scenario(pool))
+
+
+def test_async_cancellation_neither_orphans_nor_double_delivers(served):
+    """Cancel an awaited prediction while it is still backlogged: the
+    pool must drop the job (a worker never computes it), later traffic
+    must be unaffected, and the pool's job tables must drain empty --
+    no orphaned entries, no double delivery."""
+    path, reference, x = served
+    big = np.concatenate([x] * 20)
+    expected = reference.predict(x, batch_size=BATCH, pad_batches=True)
+
+    async def scenario(pool):
+        client = AsyncServingClient(pool)
+        first = asyncio.ensure_future(client.predict(big))  # occupies the worker
+        victim = asyncio.ensure_future(client.predict(x[:8]))  # backlogged
+        await asyncio.sleep(0.05)
+        victim.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await victim
+        # the big job and later traffic are unaffected
+        out = await client.predict(x[16:24])
+        assert np.array_equal(out, expected[16:24])
+        await first
+
+    with ServingPool(path, n_workers=1, batch_size=BATCH) as pool:
+        asyncio.run(scenario(pool))
+        # exact-once accounting: nothing orphaned in the pool's tables
+        assert _wait_for(
+            lambda: not pool._jobs and not pool._backlog, timeout=30
+        )
+        stats = pool.stats()
+        assert stats["backlog"] == 0 and stats["inflight"] == 0
+        # the cancelled job was dropped before dispatch: 3 submissions
+        # entered, at most 2 forwards ran (big + the follow-up)
+        assert stats["jobs"] == 3
