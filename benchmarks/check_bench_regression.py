@@ -4,7 +4,8 @@ Absolute timings on shared CI runners are noise (this project has
 observed +-40% run-to-run on one container); what *is* stable enough to
 gate on are **ratios between code paths measured in the same run** --
 the vectorized codec vs the retained scalar reference, the frozen
-engine vs hook serving, the pool vs single-process.  Both sides of each
+engine vs hook serving, the fused plan backend vs the float
+interpreter, the pool vs single-process.  Both sides of each
 ratio ride the same machine, the same contention, the same BLAS, so a
 floor set well below the committed value only trips on a real
 regression (a dropped fast path, an accidentally-quadratic kernel), not
@@ -55,11 +56,17 @@ CHECKS = [
      "frozen float32 serving vs hook serving (committed ~2.8-3.5x)"),
     ("BENCH_infer.json", ("aggregate", "geomean_speedup_float64"), 0.8,
      "frozen float64 (bit-exact mode) vs hook serving (committed ~1.3x)"),
+    ("BENCH_infer.json", ("aggregate", "geomean_fused_vs_float32"), 1.15,
+     "fused plan backend vs float interpreter, same run (committed ~1.27x)"),
     # correctness ratios: noise-free, gated tight
     ("BENCH_infer.json", ("vgg16", "float32_argmax_parity"), 0.99,
      "frozen float32 argmax parity vs float64"),
     ("BENCH_infer.json", ("resnet18", "float32_argmax_parity"), 0.99,
      "frozen float32 argmax parity vs float64"),
+    ("BENCH_infer.json", ("vgg16", "fused_float32_argmax_parity"), 0.99,
+     "fused float32 argmax parity vs hook reference"),
+    ("BENCH_infer.json", ("resnet18", "fused_float32_argmax_parity"), 0.99,
+     "fused float32 argmax parity vs hook reference"),
     # --- BENCH_serve.json (optional): pool vs hook, same run ---
     ("BENCH_serve.json", ("aggregate", "geomean_single_process_speedup"), 1.5,
      "single-process frozen vs hook serving (committed ~3.5x)"),
@@ -103,6 +110,15 @@ def upper_bound_checks(blobs):
                 diff is not None and diff <= 1e-9,
                 "<= 1e-9",
                 "frozen float64 vs hook fake-quant output",
+            ))
+            fused_diff = entry.get("fused_float64_max_abs_diff")
+            rows.append((
+                "BENCH_infer.json",
+                f"{workload}.fused_float64_max_abs_diff",
+                fused_diff,
+                fused_diff is not None and fused_diff <= 1e-9,
+                "<= 1e-9",
+                "fused float64 plan vs hook fake-quant output",
             ))
     return rows
 

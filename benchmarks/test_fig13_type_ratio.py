@@ -22,7 +22,8 @@ def _run(zoo):
         quantizer = ModelQuantizer(entry.model, "ip-f", bits=4)
         quantizer.calibrate(batch)
         scores = quantizer.layer_sensitivity()
-        for name in sorted(scores, key=scores.get, reverse=True)[: max(0, round(0.1 * len(scores)))]:
+        top = max(0, round(0.1 * len(scores)))
+        for name in sorted(scores, key=scores.get, reverse=True)[:top]:
             quantizer.escalate_layer(name)
         ant = scheme_type_ratios(quantizer.report().type_counts)
         ant_low_bit = quantizer.report().low_bit_tensor_fraction

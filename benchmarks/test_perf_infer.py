@@ -13,10 +13,14 @@ workload it serves the same batch of samples three ways:
   does ``model(Tensor(x))`` gets);
 * the frozen engine from ``ModelQuantizer.freeze()`` in its bit-exact
   float64 mode and its float32 serving mode (``predict`` batches of
-  512).
+  512), plus the ``"fused"`` plan-compiler backend in float32 --
+  measured back to back with the float interpreter so the committed
+  ``fused_vs_float32`` ratio is a same-run, same-machine comparison.
 
-Correctness is asserted alongside speed: float64 output must match the
-hook path to <= 1e-9 and the float32 mode must keep argmax parity.
+Correctness is asserted alongside speed: float64 output (both
+backends) must match the hook path to <= 1e-9 and the float32 modes
+must keep argmax parity.  Each workload entry also records the fused
+plan's per-kind profile (``FrozenModel.profile()``).
 Speedup floors are set conservatively (shared CI runners vary wildly);
 the JSON is the record of what this machine actually measured.
 """
@@ -72,16 +76,29 @@ def test_perf_infer(zoo, emit):
         try:
             frozen64 = quantizer.freeze(model_name=workload)
             frozen32 = quantizer.freeze(model_name=workload).astype(np.float32)
+            fused64 = quantizer.freeze(model_name=workload, backend="fused")
+            fused32 = quantizer.freeze(
+                model_name=workload, backend="fused"
+            ).astype(np.float32)
 
             with no_grad():
                 reference = _hook_serve(entry, x, tokens)
             exact = float(np.abs(frozen64.predict(x, FROZEN_BATCH) - reference).max())
             assert exact <= 1e-9, (workload, exact)
+            fused_exact = float(
+                np.abs(fused64.predict(x, FROZEN_BATCH) - reference).max()
+            )
+            assert fused_exact <= 1e-9, (workload, fused_exact)
             parity = float(np.mean(
                 np.argmax(frozen32.predict(x, FROZEN_BATCH), axis=1)
                 == np.argmax(reference, axis=1)
             ))
             assert parity >= 0.99, (workload, parity)
+            fused_parity = float(np.mean(
+                np.argmax(fused32.predict(x, FROZEN_BATCH), axis=1)
+                == np.argmax(reference, axis=1)
+            ))
+            assert fused_parity >= 0.99, (workload, fused_parity)
 
             def hook_nograd():
                 with no_grad():
@@ -94,9 +111,16 @@ def test_perf_infer(zoo, emit):
             f64_s, f64_spread = _measure_seconds(
                 lambda: frozen64.predict(x, FROZEN_BATCH)
             )
+            # float32 vs fused float32 are the gated same-run pair:
+            # measured back to back on the same machine state so their
+            # ratio cancels runner-speed noise
             f32_s, f32_spread = _measure_seconds(
                 lambda: frozen32.predict(x, FROZEN_BATCH)
             )
+            fused_s, fused_spread = _measure_seconds(
+                lambda: fused32.predict(x, FROZEN_BATCH)
+            )
+            profile = fused32.profile(x[:FROZEN_BATCH], repeats=1)
         finally:
             quantizer.remove()
 
@@ -107,35 +131,52 @@ def test_perf_infer(zoo, emit):
             "hook_autograd_seconds": autograd_s,
             "frozen_float64_seconds": f64_s,
             "frozen_float32_seconds": f32_s,
+            "fused_float32_seconds": fused_s,
             "hook_samples_per_sec": N_SAMPLES / hook_s,
             "frozen_float32_samples_per_sec": N_SAMPLES / f32_s,
+            "fused_float32_samples_per_sec": N_SAMPLES / fused_s,
             "speedup_float64": hook_s / f64_s,
             "speedup_float32": hook_s / f32_s,
             "speedup_float32_vs_autograd": autograd_s / f32_s,
+            "speedup_fused_float32": hook_s / fused_s,
+            "fused_vs_float32": f32_s / fused_s,
             "float64_max_abs_diff": exact,
+            "fused_float64_max_abs_diff": fused_exact,
             "float32_argmax_parity": parity,
+            "fused_float32_argmax_parity": fused_parity,
             "packed_weight_bytes": size["packed_weight_bytes"],
             "float64_equivalent_bytes": size["float64_equivalent_bytes"],
+            "fused_profile_by_kind": {
+                kind: round(seconds, 6)
+                for kind, seconds in profile["by_kind"].items()
+            },
             "timing_spread_max_over_min": {
                 "hook_serving": hook_spread,
                 "hook_autograd": autograd_spread,
                 "frozen_float64": f64_spread,
                 "frozen_float32": f32_spread,
+                "fused_float32": fused_spread,
             },
         }
         rows.append(
             f"{workload:>12}: hook {N_SAMPLES/hook_s:8.0f} smp/s | frozen f64 "
-            f"{hook_s/f64_s:4.1f}x  f32 {hook_s/f32_s:4.1f}x "
-            f"(vs autograd {autograd_s/f32_s:4.1f}x) | "
+            f"{hook_s/f64_s:4.1f}x  f32 {hook_s/f32_s:4.1f}x  "
+            f"fused {hook_s/fused_s:4.1f}x ({f32_s/fused_s:4.2f}x over f32) | "
             f"packed {size['packed_weight_bytes']/1024:6.1f} KiB "
             f"({size['float64_equivalent_bytes']/size['packed_weight_bytes']:4.1f}x smaller)"
         )
 
     speedups32 = [results[w]["speedup_float32"] for w in WORKLOADS]
     speedups64 = [results[w]["speedup_float64"] for w in WORKLOADS]
+    fused_ratios = [results[w]["fused_vs_float32"] for w in WORKLOADS]
+    fused_speedups = [results[w]["speedup_fused_float32"] for w in WORKLOADS]
     results["aggregate"] = {
         "geomean_speedup_float32": float(np.exp(np.mean(np.log(speedups32)))),
         "geomean_speedup_float64": float(np.exp(np.mean(np.log(speedups64)))),
+        "geomean_speedup_fused_float32": float(
+            np.exp(np.mean(np.log(fused_speedups)))
+        ),
+        "geomean_fused_vs_float32": float(np.exp(np.mean(np.log(fused_ratios)))),
         "max_speedup_float32": float(np.max(speedups32)),
     }
     results["meta"] = {
@@ -148,6 +189,7 @@ def test_perf_infer(zoo, emit):
         "frozen_batch": FROZEN_BATCH,
         "combination": "ip-f",
         "bits": 4,
+        "frozen_backends": ["float", "fused"],
         "timing_method": "median",
         "timing_repeats": REPEATS,
         "timing_warmup": WARMUP,
@@ -157,12 +199,16 @@ def test_perf_infer(zoo, emit):
     agg = results["aggregate"]
     rows.append(
         f"{'geomean':>12}: frozen f64 {agg['geomean_speedup_float64']:4.1f}x  "
-        f"f32 {agg['geomean_speedup_float32']:4.1f}x"
+        f"f32 {agg['geomean_speedup_float32']:4.1f}x  "
+        f"fused {agg['geomean_speedup_fused_float32']:4.1f}x "
+        f"({agg['geomean_fused_vs_float32']:4.2f}x over f32)"
     )
     emit("BENCH_infer", "frozen-runtime serving vs hook-based path\n" + "\n".join(rows))
 
     # Conservative floors (shared runners flake; BENCH_infer.json is the
-    # record): float64 must not regress, float32 must clearly win.
+    # record): float64 must not regress, float32 must clearly win, and
+    # the fused plan must beat the float interpreter in the same run.
     assert agg["geomean_speedup_float64"] >= 1.0
     assert min(speedups32) >= 1.5
     assert agg["geomean_speedup_float32"] >= 2.0
+    assert agg["geomean_fused_vs_float32"] >= 1.1

@@ -498,7 +498,9 @@ def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
     return Tensor._make(table.data[indices], (table,), make)
 
 
-def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+def dropout(
+    x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None
+) -> Tensor:
     """Inverted dropout; identity when not training or ``p == 0``."""
     if not training or p <= 0.0:
         return x

@@ -282,9 +282,21 @@ MODEL_BUILDERS: Dict[str, dict] = {
     },
     "inceptionv3": {"factory": InceptionStyle, "input": "image", "classes": 10, "gain_sigma": 0.6},
     "vit": {"factory": ViTStyle, "input": "image", "classes": 10, "gain_sigma": 0.6},
-    "bert-mnli": {"factory": lambda num_classes=3: BERTStyle(num_classes), "input": "tokens", "classes": 3},
-    "bert-cola": {"factory": lambda num_classes=2: BERTStyle(num_classes), "input": "tokens", "classes": 2},
-    "bert-sst2": {"factory": lambda num_classes=2: BERTStyle(num_classes), "input": "tokens", "classes": 2},
+    "bert-mnli": {
+        "factory": lambda num_classes=3: BERTStyle(num_classes),
+        "input": "tokens",
+        "classes": 3,
+    },
+    "bert-cola": {
+        "factory": lambda num_classes=2: BERTStyle(num_classes),
+        "input": "tokens",
+        "classes": 2,
+    },
+    "bert-sst2": {
+        "factory": lambda num_classes=2: BERTStyle(num_classes),
+        "input": "tokens",
+        "classes": 2,
+    },
 }
 
 WORKLOADS = list(MODEL_BUILDERS)

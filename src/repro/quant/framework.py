@@ -323,9 +323,12 @@ class ModelQuantizer:
             quantization is accuracy-critical).  In float64 this
             matches the hook model with input fake-quant detached.
         backend:
-            Execution backend for quantized GEMM layers:
-            ``"float"`` (decode once, BLAS) or ``"qgemm"``
-            (code-domain LUT execution, :mod:`repro.qgemm`).  See
+            Execution backend: ``"float"`` (decode once, BLAS, layer
+            by layer), ``"fused"`` (the forward-plan compiler of
+            :mod:`repro.runtime.plan` -- the whole layer tree is
+            compiled into fused single-pass kernels at freeze time),
+            or ``"qgemm"`` (code-domain LUT execution,
+            :mod:`repro.qgemm`).  See
             :meth:`repro.runtime.FrozenModel.set_backend`.
         """
         from repro.runtime import LayerExport, export_packed_weight, freeze_model

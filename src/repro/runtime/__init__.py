@@ -22,11 +22,15 @@ Float64 is the bit-exact validation mode (matches the hook-based
 fake-quant model to <= 1e-9); ``astype(np.float32)`` switches to the
 serving fast path.
 
-How quantized GEMM layers *execute* is pluggable
+How the frozen graph *executes* is pluggable
 (:mod:`repro.runtime.backends`): ``backend="float"`` is the
-decode-once-then-BLAS path above, ``backend="qgemm"``
-(:mod:`repro.qgemm`) runs the GEMMs directly on packed codes via
-partial-product LUTs -- select with ``FrozenModel.set_backend``.
+decode-once-then-BLAS path above, ``backend="fused"``
+(:mod:`repro.runtime.plan`) compiles the layer tree into fused
+single-pass kernels (quantize folded into the GEMM sweep, merged
+elementwise tails, shared-consumer quantize edges), and
+``backend="qgemm"`` (:mod:`repro.qgemm`) runs the GEMMs directly on
+packed codes via partial-product LUTs -- select with
+``FrozenModel.set_backend``.
 """
 
 from repro.runtime.backends import (

@@ -14,11 +14,16 @@ that structure actually compute.  The contract is deliberately small:
   which backend is active -- it only checks "do I have an installed
   executor".
 
-Two backends ship with the repo:
+Three backends ship with the repo:
 
 * ``"float"`` (:class:`FloatBackend`) -- the default decode-once path:
   weights are dequantized into a cached float matrix and BLAS runs the
   GEMM.  ``compile_*`` returns ``None`` for every layer.
+* ``"fused"`` (:class:`repro.runtime.plan.FusedBackend`, lazily
+  imported) -- whole-forward plan compilation: the frozen tree is
+  lowered once into a fused kernel sequence (scale folding, single-
+  sweep quantize+gather, merged elementwise post-ops, shared-consumer
+  quantize) via :meth:`ExecutionBackend.compile_plan`.
 * ``"qgemm"`` (:class:`repro.qgemm.QGemmBackend`, lazily imported) --
   code-domain execution: GEMMs run directly on packed low-bit codes via
   per-(weight-code x activation-code) partial-product LUTs, modeling
@@ -39,7 +44,10 @@ _BACKENDS: Dict[str, Type["ExecutionBackend"]] = {}
 #: backends resolved by importing a module on first use, so
 #: ``set_backend("qgemm")`` works without the caller importing
 #: :mod:`repro.qgemm` (and the runtime package stays import-light).
-_LAZY_BACKENDS: Dict[str, str] = {"qgemm": "repro.qgemm"}
+_LAZY_BACKENDS: Dict[str, str] = {
+    "qgemm": "repro.qgemm",
+    "fused": "repro.runtime.plan",
+}
 
 
 class ExecutionBackend:
@@ -59,6 +67,20 @@ class ExecutionBackend:
 
     def compile_conv2d(self, layer) -> Optional[Callable]:
         """Executor for a :class:`~repro.runtime.modules.FrozenConv2d`."""
+        return None
+
+    def compile_plan(self, model) -> Optional[object]:
+        """Whole-forward plan for a :class:`~repro.runtime.engine.FrozenModel`.
+
+        The wide end of the contract: instead of (or in addition to)
+        per-layer executors, a backend may compile the entire frozen
+        tree into one plan object exposing ``run(x) -> logits``;
+        :meth:`FrozenModel.forward` then dispatches to the plan and the
+        module tree is bypassed entirely.  ``None`` (the default) keeps
+        per-layer dispatch.  Recompiled alongside the per-layer
+        executors on every ``astype``/``set_backend``, since plans bake
+        in dtype-specific kernels and fusion decisions.
+        """
         return None
 
 

@@ -720,6 +720,7 @@ class FrozenModel:
         self.meta = dict(meta or {})
         self.dtype = np.dtype(np.float64)
         self._backend = None  # None == built-in float path everywhere
+        self._plan = None  # backend-compiled whole-forward plan
 
     # ------------------------------------------------------------------
     @property
@@ -768,6 +769,13 @@ class FrozenModel:
                     if self._backend is None
                     else self._backend.compile_conv2d(module)
                 )
+        # whole-forward plans bake in dtype-specific kernels and fusion
+        # decisions, so they are recompiled (not patched) on every
+        # backend or dtype change -- the single rebuild path shared by
+        # set_backend() and astype()
+        self._plan = (
+            None if self._backend is None else self._backend.compile_plan(self)
+        )
 
     # ------------------------------------------------------------------
     def astype(self, dtype) -> "FrozenModel":
@@ -797,6 +805,8 @@ class FrozenModel:
         x = np.asarray(x)
         if x.dtype.kind == "f" and x.dtype != self.dtype:
             x = x.astype(self.dtype)
+        if self._plan is not None:
+            return self._plan.run(x)
         return self.root(x)
 
     __call__ = forward
@@ -870,6 +880,118 @@ class FrozenModel:
     def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Argmax labels of :meth:`predict`."""
         return np.argmax(self.predict(x, batch_size=batch_size), axis=1)
+
+    # ------------------------------------------------------------------
+    def profile(self, x: np.ndarray, repeats: int = 3) -> dict:
+        """Per-layer / per-fused-op wall-time breakdown of ``forward(x)``.
+
+        Runs one untimed warm-up forward, then ``repeats`` timed
+        forwards over ``x`` as a single batch.  With a compiled plan
+        active (e.g. ``backend="fused"``) each plan node is timed;
+        otherwise every module of the frozen tree is.  Reported seconds
+        are *exclusive* -- a container's time excludes its children --
+        summed over the repeats.  Returns a dict with ``backend``,
+        ``dtype``, ``total_seconds``, ``ops`` (label/kind/seconds/share/
+        calls rows, sorted by seconds), ``by_kind`` aggregation, and a
+        pretty-printed ``table`` string.
+        """
+        if repeats <= 0:
+            raise ValueError(f"repeats must be positive, got {repeats}")
+        x = np.asarray(x)
+        if self._plan is not None:
+            raw = self._plan.profile(x, repeats=repeats)
+            total, ops = raw["total_seconds"], raw["ops"]
+        else:
+            total, ops = self._profile_tree(x, repeats)
+        ops.sort(key=lambda op: op["seconds"], reverse=True)
+        for op in ops:
+            op["share"] = op["seconds"] / total if total else 0.0
+        by_kind: Dict[str, float] = {}
+        for op in ops:
+            by_kind[op["kind"]] = by_kind.get(op["kind"], 0.0) + op["seconds"]
+        by_kind = dict(sorted(by_kind.items(), key=lambda kv: -kv[1]))
+        width = max([len(op["label"]) for op in ops[:30]] + [5])
+        lines = [f"{'op':<{width}}  {'kind':<16}  {'seconds':>9}  {'share':>6}"]
+        for op in ops[:30]:
+            lines.append(
+                f"{op['label']:<{width}}  {op['kind']:<16}  "
+                f"{op['seconds']:>9.5f}  {op['share']:>6.1%}"
+            )
+        return {
+            "backend": self.backend,
+            "dtype": self.dtype.name,
+            "total_seconds": total,
+            "ops": ops,
+            "by_kind": by_kind,
+            "table": "\n".join(lines),
+        }
+
+    def _profile_tree(self, x: np.ndarray, repeats: int):
+        """Instrument every frozen module's forward and time a run."""
+        import time
+
+        records: List[dict] = []
+        wrapped: List[FrozenModule] = []
+        child_ids: Dict[int, List[int]] = {}
+
+        def instrument(module: FrozenModule, label: str) -> None:
+            rec = {
+                "label": label,
+                "kind": type(module).__name__,
+                "seconds": 0.0,
+                "calls": 0,
+                "_id": id(module),
+            }
+            records.append(rec)
+            orig = module.forward
+
+            def timed(inp, _orig=orig, _rec=rec):
+                t0 = time.perf_counter()
+                out = _orig(inp)
+                _rec["seconds"] += time.perf_counter() - t0
+                _rec["calls"] += 1
+                return out
+
+            module.forward = timed
+            wrapped.append(module)
+
+        def walk(module: FrozenModule, path: str) -> None:
+            label = path
+            if module.export is not None:
+                label = f"{path}[{module.export.name}]"
+            instrument(module, label)
+            child_ids[id(module)] = [id(c) for c in module._children]
+            for i, child in enumerate(module._children):
+                walk(child, f"{path}.{i}:{type(child).__name__}")
+
+        walk(self.root, type(self.root).__name__)
+        try:
+            self.forward(x)  # warm-up: buffer allocation stays untimed
+            for rec in records:
+                rec["seconds"] = 0.0
+                rec["calls"] = 0
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                self.forward(x)
+            total = time.perf_counter() - t0
+        finally:
+            for module in wrapped:
+                del module.__dict__["forward"]
+        by_id = {rec["_id"]: rec for rec in records}
+        ops = []
+        for rec in records:
+            child_time = sum(
+                by_id[cid]["seconds"] for cid in child_ids.get(rec["_id"], [])
+            )
+            ops.append(
+                {
+                    "label": rec["label"],
+                    "kind": rec["kind"],
+                    "seconds": max(rec["seconds"] - child_time, 0.0),
+                    "calls": rec["calls"],
+                }
+            )
+        return total, ops
 
     # ------------------------------------------------------------------
     def size_report(self) -> dict:

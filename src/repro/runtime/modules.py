@@ -248,11 +248,23 @@ def _freeze_layer_norm(module: L.LayerNorm, ctx: FreezeContext) -> FrozenModule:
 
 
 class FrozenLambda(FrozenModule):
-    """Parameter-free op (activation, flatten, pooling)."""
+    """Parameter-free op (activation, flatten, pooling).
 
-    def __init__(self, fn) -> None:
+    The flags describe the wrapped function to the fused plan compiler
+    (:mod:`repro.runtime.plan`): ``identity`` ops are elided outright,
+    ``scale_commutes`` marks ``fn(m*x) == m*fn(x)`` for scalar ``m > 0``
+    (lets a scale fold walk through), and ``relu_commutes`` marks
+    ``fn(relu(x)) == relu(fn(x))`` (lets ReLU elimination see through).
+    """
+
+    def __init__(
+        self, fn, identity=False, scale_commutes=False, relu_commutes=False
+    ) -> None:
         super().__init__()
         self.fn = fn
+        self.identity = identity
+        self.scale_commutes = scale_commutes
+        self.relu_commutes = relu_commutes
 
     def forward(self, x):
         return self.fn(x)
@@ -280,18 +292,22 @@ def _freeze_gelu(module, ctx) -> FrozenModule:
 
 @register_freezer(L.Flatten)
 def _freeze_flatten(module, ctx) -> FrozenModule:
-    return FrozenLambda(lambda x: x.reshape(x.shape[0], -1))
+    return FrozenLambda(
+        lambda x: x.reshape(x.shape[0], -1),
+        scale_commutes=True,
+        relu_commutes=True,
+    )
 
 
 @register_freezer(L.Dropout)
 def _freeze_dropout(module, ctx) -> FrozenModule:
-    return FrozenLambda(lambda x: x)  # inference mode: identity
+    return FrozenLambda(lambda x: x, identity=True)  # inference: identity
 
 
 @register_freezer(L.GlobalAvgPool2d)
 def _freeze_global_avg_pool(module, ctx) -> FrozenModule:
     spatial = (1, 2) if ctx.layout == "nhwc" else (2, 3)
-    return FrozenLambda(lambda x: x.mean(axis=spatial))
+    return FrozenLambda(lambda x: x.mean(axis=spatial), scale_commutes=True)
 
 
 _POOL_KERNELS = {
@@ -306,6 +322,8 @@ class FrozenPool2d(FrozenModule):
     def __init__(self, kind, kernel, stride, layout) -> None:
         super().__init__()
         self.fn = _POOL_KERNELS[(kind, layout)]
+        self.pool_kind = kind
+        self.layout = layout
         self.kernel = kernel
         self.stride = stride if stride is not None else kernel
 

@@ -1,0 +1,1173 @@
+"""Fused forward-plan compiler behind the ``"fused"`` execution backend.
+
+``compile_plan(model)`` walks a :class:`~repro.runtime.engine.FrozenModel`'s
+module tree once, at ``set_backend("fused")`` / ``astype`` time, and lowers
+it into a :class:`FusedPlan`: a tree of :class:`PlanNode` objects whose
+``run`` methods execute the whole forward instead of interpreting
+:class:`~repro.runtime.engine.FrozenModule` objects one by one.  The plan
+is where cross-layer fusions live, so the shared per-layer kernels keep
+their exact interpreted semantics:
+
+* **Scale folding** -- a bit-LUT-quantized consumer (pot/flint grids,
+  where the divide cannot fold into index constants) has its ``1/scale``
+  folded into the producing GEMM's weights and bias, turning a full-array
+  divide pass into zero passes.  Uniform grids never need this: their
+  closed-form index absorbs the divide into the affine constants.
+* **Quant-index + gather in one sweep** -- float32 activation quantize
+  runs as a short chunk-resident pipeline (multiply/add/clip/cast/gather
+  for uniform grids, the exact bit-pattern LUT kernels from
+  :mod:`repro.runtime.engine` otherwise) fused with the GEMM: each
+  cache-sized chunk of rows is quantized, windowed (convs pad directly
+  into pooled scratch) and multiplied before the next chunk starts, so
+  activation intermediates stay L2-resident instead of streaming through
+  DRAM once per pass.
+* **Elementwise merging** -- folded BN affine, bias and ReLU apply
+  in place on each GEMM output chunk; ReLUs that feed only
+  negative-killing quantizers (unsigned grids map every ``x <= 0`` to
+  ``0`` exactly) are dropped outright.
+* **Shared-consumer quantize** -- sibling layers that quantize the same
+  tensor identically (q/k/v projections, ResNet block entries, Inception
+  branch entries) read one plan-level :class:`SharedQuantNode` instead of
+  relying on the per-forward memo.
+
+Fusion policy is dtype-split: **float64 plans are conservative** -- every
+node replays the interpreter's exact kernels in the interpreter's op
+order (plus bit-exact consumer sharing), so the float64 ≤1e-9 parity bar
+against the hook model is preserved; **float32 plans are aggressive**
+(argmax-parity bar), applying the value-reassociating fusions above.
+
+Anything the compiler does not recognize lowers to an
+:class:`OpaqueNode` that simply calls the frozen module, so custom
+freezers stay correct under the fused backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dtypes.registry import default_registry
+from repro.runtime import kernels as K
+from repro.runtime import modules as FM
+from repro.runtime.backends import ExecutionBackend, register_backend
+from repro.runtime.engine import (
+    FrozenActQuant,
+    FrozenModule,
+    _BitLutGridIndex,
+    _fast_index_for,
+)
+from repro.runtime.kernels import scratch
+
+
+def _grid_of(act: FrozenActQuant) -> np.ndarray:
+    return default_registry.get(act.dtype_name).codec.grid
+
+
+def _is_unsigned(act: Optional[FrozenActQuant]) -> bool:
+    """True when the act grid maps every ``x <= 0`` to exactly ``0``.
+
+    Unsigned grids (``int4u``/``pot4u``/``flint4u``) start at ``0`` with
+    a positive first midpoint, so ``quantize(relu(x)) == quantize(x)``
+    bit-exactly in both index kernels -- the condition for dropping a
+    preceding ReLU.
+    """
+    if act is None:
+        return False
+    grid = _grid_of(act)
+    return grid.size > 0 and grid[0] == 0.0
+
+
+def _same_spec(a: Optional[FrozenActQuant], b: Optional[FrozenActQuant]) -> bool:
+    return (
+        a is not None
+        and b is not None
+        and a.dtype_name == b.dtype_name
+        and a.scale == b.scale
+    )
+
+
+# ----------------------------------------------------------------------
+# Fused float32 activation-quantize pipelines
+# ----------------------------------------------------------------------
+class _AffineQuant32:
+    """Uniform-grid float32 quantize: mul/add/clip/cast/gather.
+
+    The divide by the activation scale is folded into ``mul`` and the
+    round-half-up plus grid origin into ``off``; clipping to the grid
+    before the truncating cast makes ``trunc == floor``.  Unlike the
+    exact :class:`~repro.runtime.engine._FastGridIndex` this skips the
+    midpoint-compare correction pass, so decisions may flip within ~1
+    ulp of a midpoint -- the fused float32 plan's argmax-parity bar, not
+    the float backend's bit-identity bar.  NaN inputs must be screened
+    by the caller.
+    """
+
+    __slots__ = ("mul", "off", "ftop", "lut")
+
+    def __init__(self, act: FrozenActQuant) -> None:
+        grid = _grid_of(act)
+        step = float(grid[1] - grid[0])
+        self.mul = np.float32(1.0 / (step * act.scale))
+        self.off = np.float32(0.5 - float(grid[0]) / step)
+        self.ftop = np.float32(grid.size - 1)
+        self.lut = act.lut  # float32 after astype
+
+    def write(self, x: np.ndarray, bufs: dict, out: np.ndarray) -> None:
+        t = scratch(bufs, "q-t", x.shape, np.float32)
+        idx = scratch(bufs, "q-idx", x.shape, np.intp)
+        np.multiply(x, self.mul, out=t)
+        np.add(t, self.off, out=t)
+        np.clip(t, np.float32(0.0), self.ftop, out=t)  # also +-inf
+        np.copyto(idx, t, casting="unsafe")  # trunc == floor on [0, top]
+        np.take(self.lut, idx, out=out, mode="clip")
+
+
+class _ExactQuant32:
+    """Non-uniform-grid float32 quantize via the exact bit-LUT kernels.
+
+    When ``prescaled`` the producing GEMM already divided by the
+    activation scale (scale folding), so the pipeline starts at the
+    index kernel: shift/gather/compare/correct, then one LUT gather.
+    """
+
+    __slots__ = ("fast", "scale", "lut", "prescaled")
+
+    def __init__(self, act: FrozenActQuant, fast, prescaled: bool) -> None:
+        self.fast = fast
+        self.scale = np.float32(act.scale)
+        self.lut = act.lut
+        self.prescaled = prescaled
+
+    def write(self, x: np.ndarray, bufs: dict, out: np.ndarray) -> None:
+        if self.prescaled and x.flags.c_contiguous:
+            scaled = x
+        else:
+            scaled = scratch(bufs, "q-s", x.shape, np.float32)
+            if self.prescaled:
+                np.copyto(scaled, x)  # bit-LUT views the raw bits
+            else:
+                np.divide(x, self.scale, out=scaled)
+        np.take(self.lut, self.fast(scaled), out=out, mode="clip")
+
+
+class _ValueLut32:
+    """Single-gather float32 quantize: bucket bits -> quantized *value*.
+
+    The quant-index + LUT-gather fusion taken to its end point: instead
+    of indexing the grid and then gathering values, bucket each float32
+    by its top ``32 - shift`` bits and store the quantized value per
+    bucket, so the whole quantize is one shift and one gather.  Built
+    only with an exactness certificate: every finite bucket must fall
+    strictly on one side of every midpoint (``imin == imax``), which
+    holds for the exponent-aligned pot/flint grids because their
+    midpoints sit on high mantissa bits.  When no candidate shift
+    certifies, the caller keeps the corrected bit-LUT chain instead --
+    this class never returns approximate values.
+    """
+
+    __slots__ = ("shift", "vlut", "scale", "prescaled")
+
+    def __init__(self, shift, vlut, scale, prescaled: bool) -> None:
+        self.shift = np.uint32(shift)
+        self.vlut = vlut
+        self.scale = np.float32(scale)
+        self.prescaled = prescaled
+
+    @classmethod
+    def build(cls, act: FrozenActQuant, prescaled: bool) -> Optional["_ValueLut32"]:
+        with np.errstate(over="ignore", invalid="ignore"):
+            mid32 = act.midpoints.astype(np.float32)
+            if not bool(np.all(np.diff(mid32) > 0)):
+                return None
+        lut = act.lut
+        for shift in (17, 15, 13):
+            n_keys = np.uint32(1) << np.uint32(32 - shift)
+            keys = np.arange(n_keys, dtype=np.uint32)
+            lo_bits = keys << np.uint32(shift)
+            hi_bits = lo_bits | np.uint32((1 << shift) - 1)
+            lo_vals = lo_bits.view(np.float32)
+            hi_vals = hi_bits.view(np.float32)
+            negative = np.signbit(lo_vals)
+            bucket_min = np.where(negative, hi_vals, lo_vals)
+            bucket_max = np.where(negative, lo_vals, hi_vals)
+            finite = np.isfinite(bucket_min) & np.isfinite(bucket_max)
+            imin = np.searchsorted(mid32, bucket_min, side="right")
+            imax = np.searchsorted(mid32, bucket_max, side="right")
+            if not np.all((imin == imax) | ~finite):
+                continue  # bucket straddles a midpoint: not exact here
+            vlut = lut[np.minimum(imin, lut.size - 1)]
+            # +-inf buckets saturate like searchsorted; the -inf bucket
+            # shares bit space with NaNs (inputs are NaN-screened)
+            vlut[bucket_min == np.inf] = lut[-1]
+            vlut[np.uint32(0xFF800000) >> np.uint32(shift)] = lut[0]
+            return cls(shift, vlut, act.scale, prescaled)
+        return None
+
+    def write(self, x: np.ndarray, bufs: dict, out: np.ndarray) -> None:
+        if self.prescaled and x.flags.c_contiguous:
+            scaled = x
+        else:
+            scaled = scratch(bufs, "q-s", x.shape, np.float32)
+            if self.prescaled:
+                np.copyto(scaled, x)  # the gather keys off the raw bits
+            else:
+                np.divide(x, self.scale, out=scaled)
+        keys = scratch(bufs, "q-k", x.shape, np.intp)
+        np.right_shift(
+            scaled.view(np.uint32), self.shift, out=keys, casting="unsafe"
+        )
+        np.take(self.vlut, keys, out=out, mode="clip")
+
+
+def _build_quant32(act: FrozenActQuant, prescaled: bool):
+    """Fused float32 value-quantize for ``act``; None = no fast kernel."""
+    fast = _fast_index_for(act.dtype_name)
+    if fast is None:
+        return None
+    if isinstance(fast, _BitLutGridIndex):
+        vlut = _ValueLut32.build(act, prescaled)
+        if vlut is not None:
+            return vlut
+        return _ExactQuant32(act, fast, prescaled)
+    return _AffineQuant32(act)
+
+
+def _slow_quant_values(
+    act: FrozenActQuant, x: np.ndarray, prescaled: bool
+) -> np.ndarray:
+    """NaN-propagating fallback quantize (mirrors the float backend)."""
+    scaled = x if prescaled else x / act.lut.dtype.type(act.scale)
+    out = act.lut[np.searchsorted(act.midpoints, scaled, side="right")]
+    return np.where(np.isnan(scaled), np.nan, out)
+
+
+def _has_nan(x: np.ndarray) -> bool:
+    return bool(np.isnan(np.min(x, initial=np.inf)))
+
+
+# ----------------------------------------------------------------------
+# Plan nodes
+# ----------------------------------------------------------------------
+class PlanNode:
+    """One step of a compiled forward.
+
+    Fusion metadata consumed by :class:`SeqNode` optimization:
+
+    * ``scale_commutes`` -- ``node(m*x) == m*node(x)`` for any scalar
+      ``m > 0`` (transposes, flatten, pooling, ReLU, means).
+    * ``relu_commutes`` -- ``node(relu(x)) == relu(node(x))`` (element
+      permutations, max-pool, ReLU itself), used to see through a node
+      when walking from a ReLU to a negative-killing consumer.
+    * ``kills_negative_input`` -- the node maps any ``x <= 0`` input
+      element to the same output as ``relu(x)`` would (unsigned-grid
+      quantizers).
+    * ``fold_output_scale(mult, dry)`` -- whether the node can multiply
+      its output by ``mult`` at zero runtime cost (GEMMs fold it into
+      weights+bias); ``dry=True`` probes without applying.
+    """
+
+    scale_commutes = False
+    relu_commutes = False
+    label = "?"
+    kind_label = "op"
+
+    def __init__(self) -> None:
+        self.plan: Optional["FusedPlan"] = None
+        self.children: List["PlanNode"] = []
+        self._bufs: Dict[tuple, np.ndarray] = {}
+
+    @property
+    def kills_negative_input(self) -> bool:
+        return False
+
+    def fold_output_scale(self, mult: float, dry: bool) -> bool:
+        return False
+
+    def drop_trailing_relu(self) -> bool:
+        return False
+
+    def finalize(self) -> None:
+        """Resolve compile-time state after all fusion passes ran."""
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        plan = self.plan
+        if plan is not None and plan._profiling:
+            t0 = time.perf_counter()
+            out = self.run(x)
+            rec = plan._times.setdefault(id(self), [0.0, 0])
+            rec[0] += time.perf_counter() - t0
+            rec[1] += 1
+            return out
+        return self.run(x)
+
+
+class OpaqueNode(PlanNode):
+    """Fallback: call the frozen module's own forward unchanged."""
+
+    kind_label = "opaque"
+
+    def __init__(self, module: FrozenModule, scale_commutes=False, relu_commutes=False):
+        super().__init__()
+        self.module = module
+        self.scale_commutes = scale_commutes
+        self.relu_commutes = relu_commutes
+        self.label = type(module).__name__
+
+    def run(self, x):
+        return self.module.forward(x)
+
+
+class FuncNode(PlanNode):
+    """A raw array function (transpose, flatten, mean, slice)."""
+
+    kind_label = "func"
+
+    def __init__(self, fn, label, scale_commutes=False, relu_commutes=False):
+        super().__init__()
+        self.fn = fn
+        self.label = label
+        self.scale_commutes = scale_commutes
+        self.relu_commutes = relu_commutes
+
+    def run(self, x):
+        return self.fn(x)
+
+
+class ReluNode(PlanNode):
+    scale_commutes = True
+    relu_commutes = True
+    label = "relu"
+    kind_label = "relu"
+
+    def run(self, x):
+        return K.relu_infer(x, bufs=self._bufs)
+
+
+class TanhNode(PlanNode):
+    """In-place tanh; input must be the producing node's own buffer."""
+
+    label = "tanh"
+    kind_label = "elementwise"
+
+    def run(self, x):
+        return np.tanh(x, out=x)
+
+
+class SharedQuantNode(PlanNode):
+    """Quantize once for several identical consumers (plan-level edge).
+
+    In float64 it runs the consumer's own :class:`FrozenActQuant`
+    (exact searchsorted) so shared values are bit-identical to what each
+    consumer would have computed alone; in float32 it runs the same
+    fused quantize pipeline the consumers themselves would use.
+    """
+
+    kind_label = "shared-quant"
+
+    def __init__(self, act: FrozenActQuant) -> None:
+        super().__init__()
+        self.act = act
+        self._q = None
+        self.label = f"shared-quant[{act.dtype_name}]"
+
+    def finalize(self):
+        self._q = None
+        if self.plan is not None and self.plan.fused:
+            self._q = _build_quant32(self.act, False)
+
+    @property
+    def kills_negative_input(self):
+        return _is_unsigned(self.act)
+
+    def run(self, x):
+        if self._q is None or _has_nan(x):
+            return self.act(x)
+        out = scratch(self._bufs, "shared", x.shape, np.float32)
+        self._q.write(x, self._bufs, out)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Quantized GEMM nodes
+# ----------------------------------------------------------------------
+class _GemmNode(PlanNode):
+    """Shared machinery for fused Linear/Conv2d execution.
+
+    ``mode`` is ``"raw"`` (quantize the incoming activations here) or
+    ``"values"`` (a :class:`SharedQuantNode` already produced quantized
+    values).  In float64 the node replays the interpreter's exact ops;
+    in float32 it runs the fused chunk pipeline with merged post-ops.
+    """
+
+    def __init__(self, layer, fused: bool) -> None:
+        super().__init__()
+        self.layer = layer
+        self.fused = fused
+        self.mode = "raw"
+        self.prescaled = False
+        self.post_relu = False
+        self.out_mult = 1.0
+        self._q = None
+        self._w = None
+        self._bias = None
+        act = layer.act_quant
+        self.wants_prescale = (
+            fused
+            and act is not None
+            and isinstance(_fast_index_for(act.dtype_name), _BitLutGridIndex)
+        )
+        name = layer.export.name if layer.export is not None else "?"
+        self.label = f"{self.kind_label}[{name}]"
+
+    @property
+    def kills_negative_input(self):
+        return (
+            self.fused
+            and self.mode == "raw"
+            and _is_unsigned(self.layer.act_quant)
+        )
+
+    def fold_output_scale(self, mult, dry):
+        if not self.fused:
+            return False
+        if not dry:
+            self.out_mult *= mult
+        return True
+
+    def drop_trailing_relu(self):
+        if self.post_relu:
+            self.post_relu = False
+            return True
+        return False
+
+    def _base_params(self):
+        return self.layer.w_t, self.layer.bias
+
+    def finalize(self):
+        w, bias = self._base_params()
+        if self.out_mult != 1.0:
+            m = w.dtype.type(self.out_mult)
+            w = np.ascontiguousarray(w * m)
+            bias = None if bias is None else np.ascontiguousarray(bias * m)
+        self._w, self._bias = w, bias
+        act = self.layer.act_quant
+        if self.fused and act is not None and self.mode == "raw":
+            self._q = _build_quant32(act, self.prescaled)
+
+    def _post(self, out: np.ndarray) -> None:
+        """Bias + merged ReLU, in place on one output chunk."""
+        if self._bias is not None:
+            np.add(out, self._bias, out=out)
+        if self.post_relu:
+            np.maximum(out, 0.0, out=out)
+
+    def _quant_input(self, x: np.ndarray):
+        """Resolve the effective input and remaining quantize step.
+
+        Returns ``(x, quant)`` where ``quant`` is the per-chunk pipeline
+        (None = ``x`` already holds the values to multiply).
+        """
+        act = self.layer.act_quant
+        if self.mode != "raw" or act is None:
+            return x, None
+        if self._q is None:  # exotic grid: interpreter quantize
+            return act(x), None
+        if _has_nan(x):  # rare: fall back to the NaN-propagating path
+            return _slow_quant_values(act, x, self.prescaled), None
+        return x, self._q
+
+
+class LinearNode(_GemmNode):
+    kind_label = "linear"
+
+    def run(self, x):
+        layer = self.layer
+        if not self.fused:
+            # float64 (bit-exact mode): interpreter op order
+            if self.mode == "raw" and layer.act_quant is not None:
+                x = layer.act_quant(x)
+            return K.linear_infer(x, layer.w_t, layer.bias, bufs=self._bufs)
+        x, quant = self._quant_input(x)
+        w = self._w
+        k = x.shape[-1]
+        lead = x.shape[:-1]
+        x2 = x.reshape(-1, k)
+        rows = x2.shape[0]
+        out = scratch(self._bufs, "out", (rows, w.shape[1]), np.float32)
+        if quant is None:
+            if x2.flags.c_contiguous:
+                np.matmul(x2, w, out=out)
+            else:
+                np.matmul(np.ascontiguousarray(x2), w, out=out)
+            self._post(out)
+        else:
+            # quantize + GEMM + post per cache-sized row chunk: the
+            # quantized operand never round-trips through DRAM
+            chunk = max(64, min(rows, (1 << 16) // max(k, 1)))
+            qbuf = scratch(self._bufs, "qrows", (chunk, k), np.float32)
+            for start in range(0, rows, chunk):
+                m = min(chunk, rows - start)
+                quant.write(x2[start:start + m], self._bufs, qbuf[:m])
+                np.matmul(qbuf[:m], w, out=out[start:start + m])
+                self._post(out[start:start + m])
+        return out.reshape(lead + (w.shape[1],))
+
+
+class ConvNode(_GemmNode):
+    kind_label = "conv2d"
+
+    def _base_params(self):
+        layer = self.layer
+        if self.fused and layer._bn is not None:
+            return layer._fused_params()  # BN affine folded into the GEMM
+        return layer.w_mat, layer.bias
+
+    def run(self, x):
+        layer = self.layer
+        if not self.fused:
+            if self.mode == "raw" and layer.act_quant is not None:
+                x = layer.act_quant(x)
+            return K.conv2d_nhwc_infer(
+                x, layer.w_mat, layer.bias, layer.kernel, layer.stride,
+                layer.padding, bufs=self._bufs,
+            )
+        x, quant = self._quant_input(x)
+        w = self._w
+        n, h, wd, c = x.shape
+        kh, kw = layer.kernel
+        sh, sw = layer.stride
+        ph, pw = layer.padding
+        out_h = (h + 2 * ph - kh) // sh + 1
+        out_w = (wd + 2 * pw - kw) // sw + 1
+        k_dim, c_out = w.shape
+        span = out_h * out_w
+        rows = n * span
+        out = scratch(self._bufs, "out", (rows, c_out), np.float32)
+
+        if kh == 1 and kw == 1:
+            # pointwise: quantize only the strided subset that survives
+            sub = x[:, ::sh, ::sw, :][:, :out_h, :out_w, :]
+            if quant is not None:
+                qbuf = scratch(
+                    self._bufs, "q1x1", (n, out_h, out_w, c), np.float32
+                )
+                quant.write(sub, self._bufs, qbuf)
+                cols = qbuf.reshape(rows, k_dim)
+            else:
+                cols = sub.reshape(rows, k_dim) if sub.flags.c_contiguous \
+                    else np.ascontiguousarray(sub).reshape(rows, k_dim)
+            chunk_rows = max(256, min(rows, (1 << 18) // max(c_out, 1)))
+            for start in range(0, rows, chunk_rows):
+                m = min(chunk_rows, rows - start)
+                np.matmul(cols[start:start + m], w, out=out[start:start + m])
+                self._post(out[start:start + m])
+            return out.reshape(n, out_h, out_w, c_out)
+
+        # windowed conv: one full-array quantize sweep straight into the
+        # padded scratch buffer (no separate divide/pad passes), then
+        # cache-resident window-copy + GEMM + post-op per chunk
+        if not (ph or pw):
+            if quant is None:
+                padded = x if x.flags.c_contiguous else np.ascontiguousarray(x)
+            else:
+                padded = scratch(self._bufs, "pad", x.shape, np.float32)
+                quant.write(x, self._bufs, padded)
+        else:
+            padded = scratch(
+                self._bufs, "pad", (n, h + 2 * ph, wd + 2 * pw, c), np.float32
+            )
+            if ph:
+                padded[:, :ph] = 0
+                padded[:, h + ph:] = 0
+            if pw:
+                padded[:, :, :pw] = 0
+                padded[:, :, wd + pw:] = 0
+            interior = padded[:, ph:ph + h, pw:pw + wd, :]
+            if quant is None:
+                np.copyto(interior, x)
+            else:
+                qbuf = scratch(self._bufs, "qfull", x.shape, np.float32)
+                quant.write(x, self._bufs, qbuf)
+                np.copyto(interior, qbuf)
+        per_sample = span * k_dim
+        chunk = max(1, min(n, (1 << 18) // max(per_sample, 1)))
+        cols = scratch(
+            self._bufs, "cols", (chunk, out_h, out_w, kh, kw, c), np.float32
+        )
+        s = padded.strides
+        for start in range(0, n, chunk):
+            m = min(chunk, n - start)
+            windows = np.lib.stride_tricks.as_strided(
+                padded[start:start + m],
+                shape=(m, out_h, out_w, kh, kw, c),
+                strides=(s[0], s[1] * sh, s[2] * sw, s[1], s[2], s[3]),
+                writeable=False,
+            )
+            np.copyto(cols[:m], windows)
+            np.matmul(
+                cols[:m].reshape(m * span, k_dim), w,
+                out=out[start * span:(start + m) * span],
+            )
+            self._post(out[start * span:(start + m) * span])
+        return out.reshape(n, out_h, out_w, c_out)
+
+
+# ----------------------------------------------------------------------
+# Structural nodes and fusion passes
+# ----------------------------------------------------------------------
+class SeqNode(PlanNode):
+    """A straight chain of nodes; the home of the fusion passes.
+
+    Chains guarantee single-consumer dataflow, which is what makes the
+    rewrites safe: (a) ReLUs whose downstream consumer kills negatives
+    are dropped, (b) a bit-LUT consumer's ``1/scale`` folds back through
+    scale-commuting nodes into the nearest foldable producer, (c) a
+    ReLU directly after a GEMM merges into its per-chunk post-op.
+    Nested chains are flattened first so fusion crosses freeze-time
+    container boundaries (e.g. VGG features -> classifier).
+    """
+
+    kind_label = "seq"
+    label = "seq"
+
+    def __init__(self, nodes, fused: bool) -> None:
+        super().__init__()
+        flat: List[PlanNode] = []
+        for node in nodes:
+            if node is None:
+                continue
+            if isinstance(node, SeqNode):
+                flat.extend(node.nodes)
+            else:
+                flat.append(node)
+        self.nodes = flat
+        if fused:
+            self._optimize()
+        self.children = list(self.nodes)
+
+    @property
+    def kills_negative_input(self):
+        for node in self.nodes:
+            if node.kills_negative_input:
+                return True
+            if not node.relu_commutes:
+                return False
+        return False
+
+    def drop_trailing_relu(self):
+        if not self.nodes:
+            return False
+        last = self.nodes[-1]
+        if isinstance(last, ReluNode):
+            del self.nodes[-1]
+            self.children = list(self.nodes)
+            return True
+        return last.drop_trailing_relu()
+
+    def _optimize(self) -> None:
+        nodes = self.nodes
+        # (a) ReLU elimination before negative-killing quantizers
+        i = 0
+        while i < len(nodes):
+            j = i + 1
+            while j < len(nodes) and nodes[j].relu_commutes:
+                j += 1
+            if j < len(nodes) and nodes[j].kills_negative_input:
+                if isinstance(nodes[i], ReluNode):
+                    del nodes[i]
+                    continue
+                nodes[i].drop_trailing_relu()
+            i += 1
+        # (b) fold 1/scale of bit-LUT consumers into their producer
+        for i, node in enumerate(nodes):
+            if not getattr(node, "wants_prescale", False):
+                continue
+            if node.mode != "raw" or node.prescaled:
+                continue
+            j = i - 1
+            while j >= 0 and nodes[j].scale_commutes:
+                j -= 1
+            mult = 1.0 / node.layer.act_quant.scale
+            if j >= 0 and nodes[j].fold_output_scale(mult, dry=True):
+                nodes[j].fold_output_scale(mult, dry=False)
+                node.prescaled = True
+        # (c) merge ReLU into the preceding GEMM's post-op
+        i = 1
+        while i < len(nodes):
+            if isinstance(nodes[i], ReluNode) and isinstance(
+                nodes[i - 1], _GemmNode
+            ):
+                nodes[i - 1].post_relu = True
+                del nodes[i]
+                continue
+            i += 1
+
+    def run(self, x):
+        for node in self.nodes:
+            x = node(x)
+        return x
+
+
+class BasicBlockNode(PlanNode):
+    """ResNet block: main/shortcut paths + one-pass residual add-ReLU."""
+
+    kind_label = "basic-block"
+    label = "basic-block"
+
+    def __init__(self, block: FM.FrozenBasicBlock, fused: bool) -> None:
+        super().__init__()
+        self.block = block
+        self.shared = None
+        self.residual = None
+        if block.shortcut is not None:
+            a1 = block.conv1.act_quant
+            a2 = block.shortcut.act_quant
+            if _same_spec(a1, a2):
+                self.shared = SharedQuantNode(a1)
+        self.main = SeqNode(
+            [
+                _lower(block.conv1, fused),
+                _lower(block.bn1, fused),
+                ReluNode(),
+                _lower(block.conv2, fused),
+                _lower(block.bn2, fused),
+            ],
+            fused,
+        )
+        if block.shortcut is not None:
+            self.residual = SeqNode(
+                [
+                    _lower(block.shortcut, fused),
+                    _lower(block.bn_shortcut, fused),
+                ],
+                fused,
+            )
+        if self.shared is not None:
+            for seq in (self.main, self.residual):
+                first = seq.nodes[0]
+                if isinstance(first, _GemmNode):
+                    first.mode = "values"
+        self.final_relu = True
+        self.children = [
+            n for n in (self.shared, self.main, self.residual) if n is not None
+        ]
+
+    @property
+    def kills_negative_input(self):
+        if self.shared is not None:
+            return self.shared.kills_negative_input
+        if self.residual is None:
+            return False  # identity residual consumes the raw input
+        return (
+            self.main.kills_negative_input
+            and self.residual.kills_negative_input
+        )
+
+    def drop_trailing_relu(self):
+        if self.final_relu:
+            self.final_relu = False
+            return True
+        return False
+
+    def run(self, x):
+        src = self.shared(x) if self.shared is not None else x
+        out = self.main(src)
+        residual = self.residual(src) if self.residual is not None else x
+        acc = scratch(self._bufs, "block-out", out.shape, out.dtype)
+        np.add(out, residual, out=acc)
+        if self.final_relu:
+            np.maximum(acc, 0.0, out=acc)
+        return acc
+
+
+class InceptionModuleNode(PlanNode):
+    """Four parallel branches; branch-entry quantizes share one run."""
+
+    kind_label = "inception"
+    label = "inception"
+
+    def __init__(self, mod: FM.FrozenInceptionModule, fused: bool) -> None:
+        super().__init__()
+        self.mod = mod
+        self.branches = [
+            SeqNode([_lower(b, fused)], fused)
+            for b in (mod.branch1, mod.branch3, mod.branch5, mod.branch_pool)
+        ]
+        self.uses_shared = [False] * len(self.branches)
+        self.shared = None
+        entries = []
+        for branch in self.branches:
+            first = branch.nodes[0] if branch.nodes else None
+            if (
+                isinstance(first, _GemmNode)
+                and first.mode == "raw"
+                and first.layer.act_quant is not None
+            ):
+                entries.append(first)
+            else:
+                entries.append(None)
+        groups: Dict[tuple, list] = {}
+        for k, first in enumerate(entries):
+            if first is not None:
+                act = first.layer.act_quant
+                groups.setdefault((act.dtype_name, act.scale), []).append(k)
+        best = max(groups.values(), key=len, default=[])
+        if len(best) >= 2:
+            act = entries[best[0]].layer.act_quant
+            self.shared = SharedQuantNode(act)
+            for k in best:
+                entries[k].mode = "values"
+                self.uses_shared[k] = True
+        self.children = ([self.shared] if self.shared else []) + self.branches
+
+    @property
+    def kills_negative_input(self):
+        for branch, used in zip(self.branches, self.uses_shared):
+            killed = (
+                self.shared.kills_negative_input
+                if used
+                else branch.kills_negative_input
+            )
+            if not killed:
+                return False
+        return True
+
+    def drop_trailing_relu(self):
+        dropped = False
+        for branch in self.branches:
+            dropped = branch.drop_trailing_relu() or dropped
+        return dropped
+
+    def run(self, x):
+        q = self.shared(x) if self.shared is not None else None
+        outs = [
+            branch(q if used else x)
+            for branch, used in zip(self.branches, self.uses_shared)
+        ]
+        return np.concatenate(outs, axis=self.mod.channel_axis)
+
+
+class AttentionNode(PlanNode):
+    """Multi-head self-attention with one shared q/k/v quantize."""
+
+    kind_label = "attention"
+    label = "attention"
+
+    def __init__(self, attn: FM.FrozenAttention, fused: bool) -> None:
+        super().__init__()
+        self.attn = attn
+        self.qn = LinearNode(attn.q_proj, fused)
+        self.kn = LinearNode(attn.k_proj, fused)
+        self.vn = LinearNode(attn.v_proj, fused)
+        self.on = LinearNode(attn.out_proj, fused)
+        self.shared = None
+        acts = [p.act_quant for p in (attn.q_proj, attn.k_proj, attn.v_proj)]
+        if all(a is not None for a in acts) and all(
+            _same_spec(acts[0], a) for a in acts[1:]
+        ):
+            self.shared = SharedQuantNode(acts[0])
+            for node in (self.qn, self.kn, self.vn):
+                node.mode = "values"
+        self.children = [
+            n
+            for n in (self.shared, self.qn, self.kn, self.vn, self.on)
+            if n is not None
+        ]
+
+    def run(self, x):
+        attn = self.attn
+        batch, seq, dim = x.shape
+        src = self.shared(x) if self.shared is not None else x
+        q = attn._split_heads(self.qn(src), batch, seq)
+        k = attn._split_heads(self.kn(src), batch, seq)
+        v = attn._split_heads(self.vn(src), batch, seq)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * attn.inv_sqrt
+        weights = K.softmax_infer(scores, axis=-1, bufs=self._bufs)
+        context = (weights @ v).transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        return self.on(context)
+
+
+class PreLNBlockNode(PlanNode):
+    kind_label = "preln-block"
+    label = "preln-block"
+
+    def __init__(self, block: FM.FrozenPreLNBlock, fused: bool) -> None:
+        super().__init__()
+        self.norm1 = _lower(block.norm1, fused)
+        self.attn = _lower(block.attn, fused)
+        self.norm2 = _lower(block.norm2, fused)
+        self.fc1 = _lower(block.fc1, fused)
+        self.fc2 = _lower(block.fc2, fused)
+        self.children = [self.norm1, self.attn, self.norm2, self.fc1, self.fc2]
+
+    def run(self, x):
+        a = self.attn(self.norm1(x))
+        np.add(x, a, out=a)  # a is the out_proj node's buffer
+        h = self.fc2(K.gelu_infer(self.fc1(self.norm2(a)), bufs=self._bufs))
+        np.add(a, h, out=h)  # h is the fc2 node's buffer
+        return h
+
+
+class PostLNBlockNode(PlanNode):
+    kind_label = "postln-block"
+    label = "postln-block"
+
+    def __init__(self, block: FM.FrozenPostLNBlock, fused: bool) -> None:
+        super().__init__()
+        self.attn = _lower(block.attn, fused)
+        self.norm1 = _lower(block.norm1, fused)
+        self.fc1 = _lower(block.fc1, fused)
+        self.fc2 = _lower(block.fc2, fused)
+        self.norm2 = _lower(block.norm2, fused)
+        self.children = [self.attn, self.norm1, self.fc1, self.fc2, self.norm2]
+
+    def run(self, x):
+        a = self.attn(x)
+        np.add(x, a, out=a)  # a is the out_proj node's buffer
+        x = self.norm1(a)
+        h = self.fc2(K.gelu_infer(self.fc1(x), bufs=self._bufs))
+        np.add(x, h, out=h)  # h is the fc2 node's buffer
+        return self.norm2(h)
+
+
+class VitTokensNode(PlanNode):
+    """Patch grid -> token sequence + position embedding (in place)."""
+
+    kind_label = "tokens"
+    label = "vit-tokens"
+
+    def __init__(self, vit: FM.FrozenViT) -> None:
+        super().__init__()
+        self.vit = vit
+
+    def run(self, patches):
+        n, d = patches.shape[0], patches.shape[3]
+        tokens = np.ascontiguousarray(patches.reshape(n, -1, d))
+        np.add(tokens, self.vit.pos_embed, out=tokens)
+        return tokens
+
+
+class BertEmbedNode(PlanNode):
+    kind_label = "embed"
+    label = "bert-embed"
+
+    def __init__(self, bert: FM.FrozenBERT) -> None:
+        super().__init__()
+        self.bert = bert
+
+    def run(self, tokens):
+        x = self.bert.embed(tokens)  # fresh gather, safe to add into
+        np.add(x, self.bert.pos, out=x)
+        return x
+
+
+# ----------------------------------------------------------------------
+# Lowering
+# ----------------------------------------------------------------------
+def _lower_vgg(m: FM.FrozenVGG, fused: bool) -> PlanNode:
+    return SeqNode(
+        [
+            FuncNode(FM._to_nhwc, "to-nhwc", scale_commutes=True, relu_commutes=True),
+            _lower(m.features, fused),
+            FuncNode(FM._to_nchw, "to-nchw", scale_commutes=True, relu_commutes=True),
+            _lower(m.classifier, fused),
+        ],
+        fused,
+    )
+
+
+def _lower_resnet(m: FM.FrozenResNet, fused: bool) -> PlanNode:
+    return SeqNode(
+        [
+            FuncNode(FM._to_nhwc, "to-nhwc", scale_commutes=True, relu_commutes=True),
+            _lower(m.stem, fused),
+            _lower(m.bn_stem, fused),
+            ReluNode(),
+            _lower(m.stages, fused),
+            FuncNode(lambda x: x.mean(axis=(1, 2)), "mean-hw", scale_commutes=True),
+            _lower(m.fc, fused),
+        ],
+        fused,
+    )
+
+
+def _lower_inception(m: FM.FrozenInception, fused: bool) -> PlanNode:
+    return SeqNode(
+        [
+            FuncNode(FM._to_nhwc, "to-nhwc", scale_commutes=True, relu_commutes=True),
+            _lower(m.stem, fused),
+            _lower(m.block1, fused),
+            _lower(m.block2, fused),
+            FuncNode(lambda x: x.mean(axis=(1, 2)), "mean-hw", scale_commutes=True),
+            _lower(m.fc, fused),
+        ],
+        fused,
+    )
+
+
+def _lower_vit(m: FM.FrozenViT, fused: bool) -> PlanNode:
+    return SeqNode(
+        [
+            FuncNode(FM._to_nhwc, "to-nhwc", scale_commutes=True, relu_commutes=True),
+            _lower(m.patch_embed, fused),
+            VitTokensNode(m),
+            _lower(m.blocks, fused),
+            _lower(m.norm, fused),
+            FuncNode(lambda x: x.mean(axis=1), "mean-tokens", scale_commutes=True),
+            _lower(m.head, fused),
+        ],
+        fused,
+    )
+
+
+def _lower_bert(m: FM.FrozenBERT, fused: bool) -> PlanNode:
+    return SeqNode(
+        [
+            BertEmbedNode(m),
+            _lower(m.blocks, fused),
+            FuncNode(lambda x: x[:, 0, :], "cls-token"),
+            _lower(m.pooler, fused),
+            TanhNode(),
+            _lower(m.head, fused),
+        ],
+        fused,
+    )
+
+
+def _lower(module: FrozenModule, fused: bool) -> Optional[PlanNode]:
+    """Lower one frozen module into a plan node (None = elide)."""
+    if isinstance(module, FM.FrozenLinear):
+        return LinearNode(module, fused)
+    if isinstance(module, FM.FrozenConv2d):
+        if module.layout != "nhwc":
+            return OpaqueNode(module)  # bare NCHW conv: interpreter path
+        return ConvNode(module, fused)
+    if isinstance(module, FM.FrozenSequential):
+        return SeqNode([_lower(c, fused) for c in module._children], fused)
+    if isinstance(module, FM.FrozenBatchNorm2d):
+        if fused and module.folded_into is not None:
+            return None  # applied inside the conv GEMM
+        return OpaqueNode(module)
+    if isinstance(module, FM.FrozenReLU):
+        return ReluNode()
+    if isinstance(module, FM.FrozenPool2d):
+        return OpaqueNode(
+            module,
+            scale_commutes=True,
+            relu_commutes=module.pool_kind == "max",
+        )
+    if isinstance(module, FM.FrozenLambda):
+        if module.identity:
+            return None
+        return OpaqueNode(
+            module,
+            scale_commutes=module.scale_commutes,
+            relu_commutes=module.relu_commutes,
+        )
+    if isinstance(module, FM.FrozenBasicBlock):
+        return BasicBlockNode(module, fused)
+    if isinstance(module, FM.FrozenInceptionModule):
+        return InceptionModuleNode(module, fused)
+    if isinstance(module, FM.FrozenAttention):
+        return AttentionNode(module, fused)
+    if isinstance(module, FM.FrozenPreLNBlock):
+        return PreLNBlockNode(module, fused)
+    if isinstance(module, FM.FrozenPostLNBlock):
+        return PostLNBlockNode(module, fused)
+    if isinstance(module, FM.FrozenVGG):
+        return _lower_vgg(module, fused)
+    if isinstance(module, FM.FrozenResNet):
+        return _lower_resnet(module, fused)
+    if isinstance(module, FM.FrozenInception):
+        return _lower_inception(module, fused)
+    if isinstance(module, FM.FrozenViT):
+        return _lower_vit(module, fused)
+    if isinstance(module, FM.FrozenBERT):
+        return _lower_bert(module, fused)
+    return OpaqueNode(module)
+
+
+# ----------------------------------------------------------------------
+# The compiled plan + backend registration
+# ----------------------------------------------------------------------
+class FusedPlan:
+    """A compiled whole-forward executor for one (model, dtype) pair."""
+
+    def __init__(self, model, root: PlanNode) -> None:
+        self.dtype = model.dtype
+        self.fused = model.dtype == np.float32
+        self.root = root
+        self.nodes: List[PlanNode] = []
+        self._collect(root)
+        for node in self.nodes:
+            node.plan = self
+        for node in self.nodes:
+            node.finalize()
+        self._profiling = False
+        self._times: Dict[int, list] = {}
+
+    def _collect(self, node: PlanNode) -> None:
+        self.nodes.append(node)
+        for child in node.children:
+            self._collect(child)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return self.root(x)
+
+    # ------------------------------------------------------------------
+    def profile(self, x: np.ndarray, repeats: int = 1) -> dict:
+        """Per-node wall times for ``repeats`` forwards over ``x``."""
+        FrozenActQuant.new_generation()
+        self.root(x)  # warm buffers outside the timed region
+        self._times = {}
+        self._profiling = True
+        try:
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                FrozenActQuant.new_generation()
+                self.root(x)
+            total = time.perf_counter() - t0
+        finally:
+            self._profiling = False
+        ops = []
+        for node in self.nodes:
+            rec = self._times.get(id(node))
+            if rec is None:
+                continue
+            child_time = sum(
+                self._times.get(id(c), [0.0, 0])[0] for c in node.children
+            )
+            ops.append(
+                {
+                    "label": node.label,
+                    "kind": node.kind_label,
+                    "seconds": max(rec[0] - child_time, 0.0),
+                    "calls": rec[1],
+                }
+            )
+        return {"total_seconds": total, "ops": ops}
+
+    def describe(self) -> List[str]:
+        """Flat op labels, for tests asserting a fusion happened."""
+        return [node.label for node in self.nodes]
+
+
+@register_backend("fused")
+class FusedBackend(ExecutionBackend):
+    """Whole-forward plan compilation; per-layer hooks stay float.
+
+    ``compile_linear``/``compile_conv2d`` return ``None`` so direct
+    calls into individual frozen layers keep the interpreted float
+    kernels; the fusion value is all in :meth:`compile_plan`.
+    """
+
+    def compile_plan(self, model) -> Optional[FusedPlan]:
+        root = _lower(model.root, model.dtype == np.float32)
+        if root is None:
+            return None
+        return FusedPlan(model, root)

@@ -1,0 +1,282 @@
+"""The fused forward-plan compiler (``"fused"`` execution backend).
+
+The load-bearing guarantees:
+
+* a fused float64 plan is **bit-identical** to the ``"float"`` backend
+  (and therefore <= 1e-9 against the hook-based fake-quant model) on
+  every zoo workload -- the conservative plan replays the interpreter's
+  exact kernels in the interpreter's op order;
+* a fused float32 plan keeps argmax parity with the hook reference on
+  every zoo workload (the aggressive plan may reassociate values);
+* shared-consumer quantize (q/k/v projections, ResNet block entries)
+  produces the same logits as the unshared per-layer path;
+* ``astype`` recompiles the plan: float64 -> float32 -> float64 returns
+  to bit-identical float64 logits;
+* escalated (int8) and weight-only exports run through the fused
+  backend via per-layer fallback without losing parity;
+* ``ServingPool``/``map_predict_stream`` with ``backend="fused"`` are
+  bit-identical to the local fused model with ``pad_batches=True``;
+* ``FrozenModel.profile()`` attributes wall time to plan ops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.quant.framework import ModelQuantizer
+from repro.runtime import FrozenModel
+from repro.runtime.backends import backend_names, get_backend
+from repro.zoo import calibration_batch, trained_model
+
+WORKLOADS = [
+    "vgg16",
+    "resnet18",
+    "resnet50",
+    "inceptionv3",
+    "vit",
+    "bert-mnli",
+    "bert-cola",
+    "bert-sst2",
+]
+
+
+def _hook_logits(entry, x):
+    with no_grad():
+        if entry.dataset.input_kind == "tokens":
+            return entry.model(x).data
+        return entry.model(Tensor(x)).data
+
+
+def _frozen_pair(workload, **freeze_kwargs):
+    """(entry, reference logits, float-backend frozen, fused frozen)."""
+    entry = trained_model(workload)
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        x = entry.dataset.x_test[:96]
+        reference = _hook_logits(entry, x)
+        plain = quantizer.freeze(model_name=workload, **freeze_kwargs)
+        fused = quantizer.freeze(
+            model_name=workload, backend="fused", **freeze_kwargs
+        )
+    finally:
+        quantizer.remove()
+    return entry, x, reference, plain, fused
+
+
+# ----------------------------------------------------------------------
+# Parity across the zoo
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fused_parity_on_zoo(workload):
+    """float64 bit-identity vs the float backend (and <= 1e-9 vs the
+    hook model); float32 argmax parity vs the hook model."""
+    entry, x, reference, plain, fused = _frozen_pair(workload)
+    out64_plain = plain.predict(x, batch_size=64)
+    out64_fused = fused.predict(x, batch_size=64)
+    assert np.array_equal(out64_plain, out64_fused)
+    assert np.abs(out64_fused - reference).max() <= 1e-9
+
+    plain.astype(np.float32)
+    fused.astype(np.float32)
+    out32 = fused.predict(x, batch_size=64)
+    assert out32.dtype == np.float32
+    assert np.array_equal(np.argmax(out32, axis=1), np.argmax(reference, axis=1))
+
+
+def test_fused_backend_is_registered():
+    assert "fused" in backend_names()
+    backend = get_backend("fused")
+    assert backend.name == "fused"
+    # the plan hook is the contract extension; per-layer hooks stay None
+    assert backend.compile_linear(None) is None
+    assert backend.compile_conv2d(None) is None
+
+
+def test_fused_plan_applies_expected_fusions():
+    """The compiled vgg16 float32 plan shows the fusion classes: merged
+    ReLUs (none survive as standalone ops), folded prescales, and a
+    flattened single chain across container boundaries."""
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        fused = quantizer.freeze(
+            model_name="vgg16", backend="fused", dtype=np.float32
+        )
+    finally:
+        quantizer.remove()
+    labels = fused._plan.describe()
+    assert not any(label == "relu" for label in labels)  # all merged/dropped
+    from repro.runtime.plan import _GemmNode
+
+    gemms = [n for n in fused._plan.nodes if isinstance(n, _GemmNode)]
+    assert gemms and any(g.prescaled for g in gemms)  # scale folds landed
+
+
+def test_shared_consumer_quantize_matches_unshared():
+    """Plans with shared q/k/v-style quantize edges stay equivalent to
+    the float backend, and the sharing is structural (SharedQuantNode
+    present in the compiled plan)."""
+    entry, x, reference, plain, fused = _frozen_pair("vit")
+    from repro.runtime.plan import SharedQuantNode
+
+    shared = [
+        n for n in fused._plan.nodes if isinstance(n, SharedQuantNode)
+    ]
+    assert shared, "vit q/k/v projections should share one quantize edge"
+    assert np.array_equal(
+        plain.predict(x, batch_size=64), fused.predict(x, batch_size=64)
+    )
+    plain.astype(np.float32)
+    fused.astype(np.float32)
+    out32 = fused.predict(x, batch_size=64)
+    assert np.array_equal(np.argmax(out32, axis=1), np.argmax(reference, axis=1))
+
+
+# ----------------------------------------------------------------------
+# astype recompilation
+# ----------------------------------------------------------------------
+def test_astype_rebuilds_plan_and_restores_parity():
+    """float64 -> float32 -> float64 must recompile the plan each time
+    and land back on bit-identical float64 logits."""
+    entry, x, reference, plain, fused = _frozen_pair("resnet18")
+    out64 = fused.predict(x, batch_size=64)
+    plan64 = fused._plan
+    assert plan64 is not None and plan64.dtype == np.float64
+
+    fused.astype(np.float32)
+    plan32 = fused._plan
+    assert plan32 is not None and plan32 is not plan64
+    assert plan32.dtype == np.float32
+    out32 = fused.predict(x, batch_size=64)
+    assert out32.dtype == np.float32
+    assert np.array_equal(np.argmax(out32, axis=1), np.argmax(reference, axis=1))
+
+    fused.astype(np.float64)
+    assert fused._plan is not None and fused._plan is not plan32
+    assert np.array_equal(fused.predict(x, batch_size=64), out64)
+    assert np.abs(fused.predict(x, batch_size=64) - reference).max() <= 1e-9
+
+
+def test_set_backend_round_trip_drops_plan():
+    entry, x, reference, plain, fused = _frozen_pair("vgg16")
+    assert fused._plan is not None
+    fused.set_backend("float")
+    assert fused._plan is None
+    assert np.array_equal(
+        fused.predict(x, batch_size=64), plain.predict(x, batch_size=64)
+    )
+    fused.set_backend("fused")
+    assert fused._plan is not None
+    assert np.array_equal(
+        fused.predict(x, batch_size=64), plain.predict(x, batch_size=64)
+    )
+
+
+# ----------------------------------------------------------------------
+# Fallback exports: escalation and weight-only
+# ----------------------------------------------------------------------
+def test_fused_matches_after_escalation():
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        first = next(iter(quantizer.layers))
+        quantizer.escalate_layer(first, bits=8)
+        x = entry.dataset.x_test[:64]
+        reference = _hook_logits(entry, x)
+        plain = quantizer.freeze(model_name="vgg16")
+        fused = quantizer.freeze(model_name="vgg16", backend="fused")
+    finally:
+        quantizer.remove()
+    out64 = fused.predict(x, batch_size=64)
+    assert np.array_equal(plain.predict(x, batch_size=64), out64)
+    assert np.abs(out64 - reference).max() <= 1e-9
+    fused.astype(np.float32)
+    out32 = fused.predict(x, batch_size=64)
+    assert np.array_equal(np.argmax(out32, axis=1), np.argmax(reference, axis=1))
+
+
+def test_fused_weight_only_runs_per_layer_fallback():
+    entry = trained_model("vit")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        x = entry.dataset.x_test[:64]
+        plain = quantizer.freeze(model_name="vit", weight_only=True)
+        fused = quantizer.freeze(
+            model_name="vit", weight_only=True, backend="fused"
+        )
+    finally:
+        quantizer.remove()
+    assert np.array_equal(
+        plain.predict(x, batch_size=64), fused.predict(x, batch_size=64)
+    )
+    plain.astype(np.float32)
+    fused.astype(np.float32)
+    assert np.array_equal(
+        np.argmax(plain.predict(x, batch_size=64), axis=1),
+        np.argmax(fused.predict(x, batch_size=64), axis=1),
+    )
+
+
+# ----------------------------------------------------------------------
+# Serving integration
+# ----------------------------------------------------------------------
+def test_serving_pool_fused_bit_identical(tmp_path):
+    from repro.serve.pool import ServingPool
+
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze(model_name="vgg16")
+    finally:
+        quantizer.remove()
+    path = tmp_path / "vgg16.npz"
+    frozen.save(path)
+    x = entry.dataset.x_test[:70]
+    local = FrozenModel.load(path).astype(np.float32)
+    local.set_backend("fused")
+    expected = local.predict(x, batch_size=32, pad_batches=True)
+    with ServingPool(path, n_workers=2, batch_size=32, backend="fused") as pool:
+        assert np.array_equal(pool.map_predict(x), expected)
+        chunks = [x[:16], x[16:40], x[40:]]
+        rows = np.stack([r.copy() for r in pool.map_predict_stream(chunks)])
+        assert np.array_equal(rows, expected)
+
+
+# ----------------------------------------------------------------------
+# Profiling
+# ----------------------------------------------------------------------
+def test_profile_reports_plan_ops():
+    entry, x, reference, plain, fused = _frozen_pair("vgg16")
+    fused.astype(np.float32)
+    report = fused.profile(x[:32], repeats=2)
+    assert report["backend"] == "fused"
+    assert report["dtype"] == "float32"
+    assert report["total_seconds"] > 0
+    assert report["ops"] and all(op["seconds"] >= 0 for op in report["ops"])
+    labels = [op["label"] for op in report["ops"]]
+    assert any("conv2d" in label for label in labels)
+    shares = sum(op["share"] for op in report["ops"])
+    assert 0.5 < shares <= 1.0 + 1e-6  # ops cover the forward minus dispatch
+    assert "conv2d" in report["by_kind"]
+    assert isinstance(report["table"], str) and "conv2d" in report["table"]
+    with pytest.raises(ValueError):
+        fused.profile(x[:4], repeats=0)
+
+
+def test_profile_works_on_float_backend_tree():
+    entry, x, reference, plain, fused = _frozen_pair("vgg16")
+    plain.astype(np.float32)
+    report = plain.profile(x[:32], repeats=1)
+    assert report["backend"] == "float"
+    assert report["ops"] and any(
+        "FrozenConv2d" in op["label"] for op in report["ops"]
+    )
+    # instrumentation is removed afterwards: no wrapped forwards linger
+    assert all(
+        "forward" not in module.__dict__ for module in plain.root.iter_modules()
+    )
