@@ -27,7 +27,9 @@ Usage (CI runs this right after the bench jobs, gating)::
   failing (local runs that only regenerated one benchmark).
 
 ``BENCH_quant.json`` and ``BENCH_infer.json`` are required (CI always
-produces them); ``BENCH_serve.json`` is checked when present.  Writes a
+produces them); ``BENCH_serve.json`` and ``BENCH_qgemm.json`` are
+checked when present (qgemm gates its geomean-vs-float floor plus the
+noise-free float64 parity and argmax-parity rows per workload).  Writes a
 markdown table to ``$GITHUB_STEP_SUMMARY`` when set.  Exit status 1 on
 any violation.
 """
@@ -72,6 +74,10 @@ CHECKS = [
      "single-process frozen vs hook serving (committed ~3.5x)"),
     ("BENCH_serve.json", ("aggregate", "geomean_weight_only_speedup"), 2.0,
      "weight-only engine vs hook serving (committed ~6x)"),
+    # --- BENCH_qgemm.json (optional): code-domain kernels vs float ---
+    ("BENCH_qgemm.json", ("aggregate", "geomean_qgemm_vs_float"), 0.07,
+     "pair/popcount code-domain serving vs float backend, same run "
+     "(committed ~0.22x; the gather-only seed measured 0.038x)"),
 ]
 
 #: per-workload floor for the frozen-vs-hook float32 ratio (committed
@@ -120,6 +126,20 @@ def upper_bound_checks(blobs):
                 "<= 1e-9",
                 "fused float64 plan vs hook fake-quant output",
             ))
+    qgemm = blobs.get("BENCH_qgemm.json")
+    if qgemm:
+        for workload, entry in qgemm.items():
+            if workload in ("aggregate", "meta"):
+                continue
+            diff = entry.get("float64_max_abs_diff")
+            rows.append((
+                "BENCH_qgemm.json",
+                f"{workload}.float64_max_abs_diff",
+                diff,
+                diff is not None and diff <= 1e-9,
+                "<= 1e-9",
+                "code-domain float64 vs the float engine's bit-exact mode",
+            ))
     return rows
 
 
@@ -139,6 +159,20 @@ def derived_floor_checks(blobs):
                 value is not None and value >= INFER_PER_WORKLOAD_FLOOR,
                 f">= {INFER_PER_WORKLOAD_FLOOR}",
                 "frozen float32 vs hook serving, per workload",
+            ))
+    qgemm = blobs.get("BENCH_qgemm.json")
+    if qgemm:
+        for workload, entry in qgemm.items():
+            if workload in ("aggregate", "meta"):
+                continue
+            parity = entry.get("float32_argmax_parity")
+            rows.append((
+                "BENCH_qgemm.json",
+                f"{workload}.float32_argmax_parity",
+                parity,
+                parity is not None and parity >= 0.99,
+                ">= 0.99",
+                "code-domain float32 argmax parity vs the float backend",
             ))
     serve = blobs.get("BENCH_serve.json")
     if serve:

@@ -14,16 +14,22 @@ possible and the float run cannot provide:
   cycles/energy split and the tensor-core roofline, driven by the
   *executed* workload instead of analytic layer tables;
 * LUT build cost and its amortization (cold ``set_backend`` includes
-  table construction + weight unpacking; warm recompiles hit the
-  process-wide table cache).
+  base + pair table construction and weight unpacking; warm recompiles
+  hit the process-wide table caches), with the pair tables' own
+  cold/warm build time broken out;
+* which accumulation kernel each layer compiled to
+  (pair / pair-int / popcount / bincount / gather) and the per-kernel
+  layer counts.
 
 The qgemm backend is a software model of the paper's
-decode-in-front-of-MAC dataflow, not a BLAS rival: one table gather
-per MAC cannot beat a vendor SGEMM on a host CPU, and the recorded
-``qgemm_vs_float`` ratios are expected to sit well below 1.  The
-numbers that matter are the traffic/MAC counts feeding the hardware
-model; correctness (1e-9 float64 parity, float32 argmax parity) is
-asserted, speed is recorded.
+decode-in-front-of-MAC dataflow.  Since the pair-packed/integer
+kernels replaced one-gather-per-MAC, its serving speed is expected to
+sit within striking distance of the float backend (the committed
+aggregate gates a floor on ``geomean_qgemm_vs_float``), while the
+numbers that matter most remain the executed traffic/MAC counts
+feeding the hardware model.  Correctness (1e-9 float64 parity,
+float32 argmax parity) is asserted; speed is recorded and floor-gated
+in ``check_bench_regression.py`` against same-run ratios only.
 """
 
 import json
@@ -39,7 +45,7 @@ from repro.qgemm import (
     simulate_executed,
     simulate_executed_tensorcore,
 )
-from repro.qgemm.luts import partial_product_lut
+from repro.qgemm.luts import pair_product_lut, partial_product_lut
 from repro.quant.framework import ModelQuantizer
 from repro.zoo import calibration_batch
 
@@ -93,8 +99,9 @@ def test_perf_qgemm(zoo, emit):
             lambda: frozen.predict(x, batch_size=BATCH), REPEATS, WARMUP
         )
 
-        # cold set_backend builds the LUTs + unpacks weights; warm
-        # recompiles hit the process-wide table cache
+        # cold set_backend builds base + pair LUTs and unpacks weights;
+        # warm recompiles hit the process-wide table caches
+        pair_product_lut.cache_clear()
         partial_product_lut.cache_clear()
         t0 = time.perf_counter()
         frozen.set_backend("qgemm")
@@ -102,6 +109,24 @@ def test_perf_qgemm(zoo, emit):
         t0 = time.perf_counter()
         frozen.set_backend("qgemm")
         lut_build_warm_s = time.perf_counter() - t0
+
+        # the pair tables' own build cost, isolated from compile work
+        wl_pairs = sorted(
+            {
+                (e.weight.dtype_name, e.act_dtype_name)
+                for e in frozen.exports.values()
+                if e.act_dtype_name is not None
+            }
+        )
+        pair_product_lut.cache_clear()
+        t0 = time.perf_counter()
+        for p in wl_pairs:
+            pair_product_lut(*p)
+        pair_build_cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for p in wl_pairs:
+            pair_product_lut(*p)
+        pair_build_warm_s = time.perf_counter() - t0
 
         qgemm_out = frozen.predict(x, batch_size=BATCH)
         parity = float(
@@ -120,6 +145,9 @@ def test_perf_qgemm(zoo, emit):
         sim = simulate_executed(meter, "ant-os")
         tc = simulate_executed_tensorcore(meter)
         summary = meter.summary()
+        kernel_layers: dict = {}
+        for cost in meter.layers.values():
+            kernel_layers[cost.kernel] = kernel_layers.get(cost.kernel, 0) + 1
 
         results[workload] = {
             "samples": N_SAMPLES,
@@ -135,9 +163,13 @@ def test_perf_qgemm(zoo, emit):
                 if qgemm_s > 0
                 else None
             ),
+            "pair_table_build_cold_seconds": pair_build_cold_s,
+            "pair_table_build_warm_seconds": pair_build_warm_s,
+            "kernel_layers": kernel_layers,
             "executed": {
                 "total_code_macs": summary["total_code_macs"],
                 "total_lut_lookups": summary["total_lut_lookups"],
+                "total_word_ops": summary["total_word_ops"],
                 "total_weight_traffic_bytes": summary["total_weight_traffic_bytes"],
                 "total_act_traffic_bytes": summary["total_act_traffic_bytes"],
                 "total_packed_traffic_bytes": summary["total_packed_traffic_bytes"],
@@ -158,9 +190,13 @@ def test_perf_qgemm(zoo, emit):
                 "qgemm_backend": qgemm_spread,
             },
         }
+        kernel_mix = ",".join(
+            f"{k}:{n}" for k, n in sorted(kernel_layers.items())
+        )
         rows.append(
             f"{workload:>12}: float {N_SAMPLES/float_s:8.0f} smp/s | qgemm "
             f"{N_SAMPLES/qgemm_s:7.0f} smp/s ({float_s/qgemm_s:5.2f}x) | "
+            f"{kernel_mix} | "
             f"{summary['total_code_macs']/1e6:7.1f} M MACs "
             f"{summary['total_packed_traffic_bytes']/1024:8.1f} KiB packed | "
             f"ant-os {sim.cycles:>9} cyc"
@@ -174,8 +210,10 @@ def test_perf_qgemm(zoo, emit):
     results["meta"] = {
         "description": (
             "code-domain (qgemm) vs float execution backend through "
-            "FrozenModel.predict, plus executed MAC/traffic counts "
-            "bridged into the hardware latency/energy models"
+            "FrozenModel.predict with compile-time-selected pair/"
+            "pair-int/popcount/bincount/gather kernels, plus executed "
+            "MAC/traffic counts bridged into the hardware "
+            "latency/energy models"
         ),
         "batch": BATCH,
         "combination": "ip-f",
@@ -190,15 +228,18 @@ def test_perf_qgemm(zoo, emit):
     agg = results["aggregate"]
     rows.append(
         f"{'geomean':>12}: qgemm at {agg['geomean_qgemm_vs_float']:5.2f}x "
-        f"the float backend (a modeling backend, not a BLAS rival)"
+        f"the float backend"
     )
     emit("BENCH_qgemm", "code-domain GEMM backend vs float backend\n" + "\n".join(rows))
 
-    # Correctness gates only: the qgemm backend's value is the executed
-    # cost model; its software speed is recorded, not asserted.
+    # Correctness gates plus a same-run performance floor: the pair/
+    # popcount kernels must keep code-domain serving within striking
+    # distance of BLAS (the committed floor lives in
+    # check_bench_regression.py; this one only catches catastrophes).
     for workload in WORKLOADS:
         assert results[workload]["float64_max_abs_diff"] <= 1e-9
         assert results[workload]["float32_argmax_parity"] >= 0.99
         bridge = results[workload]["hardware_bridge"]
         assert bridge["ant_os_cycles"] > 0
         assert bridge["tensorcore_seconds"] > 0
+    assert agg["geomean_qgemm_vs_float"] >= 0.05

@@ -50,7 +50,11 @@ def _conv(name: str, c_in: int, c_out: int, kernel: int, out_hw: int, batch: int
         k=k,
         n=n,
         weight_elems=c_out * c_in * kernel * kernel,
-        input_elems=batch * c_in * out_hw * out_hw,  # post-im2col footprint approx.
+        # *unique* input feature-map elements (approximated at output
+        # resolution), NOT the kh*kw-replicated im2col operand -- the
+        # same convention CostMeter.input_elems records for executed
+        # convolutions, so analytic and executed traffic agree.
+        input_elems=batch * c_in * out_hw * out_hw,
         output_elems=batch * c_out * out_hw * out_hw,
     )
 

@@ -14,10 +14,14 @@ float matrix and lets BLAS run); this package executes it.
   activation grid point ``ca`` (the software stand-in for the decoder
   pair in front of one MAC).
 * :mod:`repro.qgemm.kernels` -- vectorized accumulation over those
-  tables: a blocked *gather* kernel (one LUT lookup per MAC,
-  bit-identical to the decode-then-multiply reference in float64) and a
-  *bincount* kernel (joint-code histogram, then one tiny LUT dot --
-  exact when the table is integral, the int x int case).
+  tables, selected per layer at compile time: a *pair* kernel
+  gathering from a pair-product-sum table (one lookup retires two
+  MACs; optional int16/int32 integer accumulation, exact under the
+  dyadic certificate), a *popcount* kernel for 1-2-bit operand pairs
+  (packed indicator planes, ``popcount(a & w)``), plus the blocked
+  *gather* kernel (one lookup per MAC, bit-identical to the
+  decode-then-multiply reference in float64) and the *bincount*
+  kernel (joint-code histogram; exact when the table is integral).
 * :mod:`repro.qgemm.backend` -- the ``"qgemm"`` execution backend for
   the frozen runtime: linear/conv GEMMs run on packed codes, with
   per-channel scales applied once at the output.
@@ -40,20 +44,38 @@ from repro.qgemm.costmodel import (
     simulate_executed,
     simulate_executed_tensorcore,
 )
-from repro.qgemm.kernels import code_gemm, code_gemm_bincount, code_gemm_gather
-from repro.qgemm.luts import PartialProductLUT, lut_footprint_report, partial_product_lut
+from repro.qgemm.kernels import (
+    code_gemm,
+    code_gemm_bincount,
+    code_gemm_gather,
+    code_gemm_pair,
+    code_gemm_popcount,
+    select_kernel,
+)
+from repro.qgemm.luts import (
+    PairProductLUT,
+    PartialProductLUT,
+    lut_footprint_report,
+    pair_product_lut,
+    partial_product_lut,
+)
 
 __all__ = [
     "QGemmBackend",
     "CostMeter",
     "LayerCost",
+    "PairProductLUT",
     "PartialProductLUT",
     "code_gemm",
     "code_gemm_bincount",
     "code_gemm_gather",
+    "code_gemm_pair",
+    "code_gemm_popcount",
     "executed_assignment",
     "lut_footprint_report",
+    "pair_product_lut",
     "partial_product_lut",
+    "select_kernel",
     "simulate_executed",
     "simulate_executed_tensorcore",
 ]

@@ -13,13 +13,28 @@ Compiled per layer at ``set_backend`` time:
   where the paper's activation unit re-quantizes (Fig. 4) -- inner
   loops never see a float scale.
 
+The accumulation kernel is chosen **per layer at compile time** by
+:func:`~repro.qgemm.kernels.select_kernel` from static layer facts --
+operand bits (pair/popcount feasibility), table size, and reduction
+depth against the exactness certificate's bounds -- and the choice is
+baked into the compiled executor along with its loop-invariant weight
+state (joint offsets, pair codes, or indicator planes).  The cost
+meter therefore accounts the kernel that *actually ran*.
+
 In float64 the backend holds the runtime's bit-exact bar: the gather
 kernel reproduces the decode-then-multiply products verbatim, and the
-only deviation from the float backend is the output-side scale
+pair/popcount kernels are only selected when the dyadic certificate
+proves their result order-independent (hence bit-identical).  The only
+deviation from the float backend is the output-side scale
 reassociation, far below the 1e-9 end-to-end tolerance.  In float32
 mode (serving), a conv's marked batch-norm fold is honored by folding
 the BN's per-channel affine into the output scale/shift instead of into
 GEMM weights (codes cannot absorb a float scale).
+
+Compiled hot paths skip the per-forward activation min/max scan: the
+indices come from :meth:`FrozenActQuant.indices`, which clips to the
+grid by construction.  Set ``REPRO_QGEMM_CHECK=1`` to re-enable the
+scan (debugging hand-fed index streams).
 
 Layers the backend cannot execute in the code domain keep the float
 kernels: unquantized layers (no export) and weight-only exports (no
@@ -28,6 +43,8 @@ activation codes to multiply).
 
 from __future__ import annotations
 
+import os
+
 from typing import Callable, Optional
 
 import numpy as np
@@ -35,13 +52,26 @@ import numpy as np
 from repro.dtypes.codec import unpack_codes
 from repro.qgemm.costmodel import CostMeter
 from repro.qgemm.kernels import (
-    code_gemm,
+    PAIR_STATIONARY_MAX_ELEMS,
+    code_gemm_bincount,
+    code_gemm_gather,
+    code_gemm_pair,
+    code_gemm_pair_stationary,
+    code_gemm_popcount,
     im2col_codes_nchw,
     im2col_codes_nhwc,
+    pair_stationary_tables,
+    pair_weight_codes,
+    popcount_cells,
+    popcount_weight_planes,
+    select_kernel,
     weight_joint_offsets,
 )
-from repro.qgemm.luts import partial_product_lut
+from repro.qgemm.luts import pair_product_lut, partial_product_lut
 from repro.runtime.backends import ExecutionBackend, register_backend
+
+_INT32_LIMIT = float(2**31 - 1)
+_FLOAT64_LIMIT = 2.0**53
 
 
 def _weight_codes(export) -> np.ndarray:
@@ -70,44 +100,180 @@ class QGemmBackend(ExecutionBackend):
     Parameters
     ----------
     mode:
-        Accumulation kernel: ``"auto"`` (default; bincount where exact
-        and cheaper, gather otherwise -- the bit-exact float64 engine
-        always gets an exact kernel), ``"gather"``, or ``"bincount"``
-        (rejected at compile time for layers whose table is
-        non-integral when compute runs in float64, since the histogram
-        contraction would reassociate the bit-exact sum).
+        Accumulation kernel: ``"auto"`` (default) resolves per layer
+        through :func:`~repro.qgemm.kernels.select_kernel` -- the
+        fastest kernel whose exactness certificate holds in float64,
+        the fastest outright in float32.  Explicit modes (``"gather"``,
+        ``"bincount"``, ``"pair"``, ``"pair-int"``, ``"popcount"``)
+        force one kernel for every layer and are rejected at compile
+        time when the forced kernel is infeasible (no pair table under
+        the footprint policy) or would break the float64 bit-exact bar
+        (non-integral bincount, uncertified pair/popcount depth).
     meter:
         Optional :class:`~repro.qgemm.costmodel.CostMeter` that every
         compiled layer reports executed MACs / LUT lookups /
         packed-byte traffic into.
     """
 
+    MODES = ("auto", "gather", "bincount", "pair", "pair-int", "popcount")
+
     def __init__(self, mode: str = "auto", meter: Optional[CostMeter] = None):
-        if mode not in ("auto", "gather", "bincount"):
+        if mode not in self.MODES:
             raise ValueError(f"unknown qgemm mode {mode!r}")
         self.mode = mode
         self.meter = meter
+        # hot-path operand validation is off by default: compiled layers
+        # consume FrozenActQuant.indices() output, in range by
+        # construction.  Debug flag re-enables the min/max scans.
+        self._check = os.environ.get("REPRO_QGEMM_CHECK", "") not in ("", "0")
 
     # ------------------------------------------------------------------
     def _layer_kernel(self, lut, compute_dtype, k_dim: int) -> str:
         """Resolve the accumulation kernel for one layer at compile time.
 
-        The auto rule is static per layer (table integrality and size,
-        reduction depth), so the choice is baked into the executor --
-        and the cost meter can account lookups for the kernel that
-        actually runs.
+        The auto rule is static per layer (operand bits, table
+        integrality and size, reduction depth vs. the certificate's
+        bounds), so the choice is baked into the executor -- and the
+        cost meter can account lookups for the kernel that actually
+        runs.  Forced modes are validated here so infeasible or
+        exactness-breaking requests fail at ``set_backend`` time, not
+        mid-forward.
         """
-        if self.mode == "bincount" and not lut.integral and compute_dtype == np.float64:
+        if self.mode == "auto":
+            return select_kernel(lut, k_dim, compute_dtype)
+        exact_needed = compute_dtype == np.float64
+        if self.mode == "bincount" and not lut.integral and exact_needed:
             raise ValueError(
                 "bincount accumulation is not exact for the non-integral "
                 f"{lut.w_dtype_name}x{lut.a_dtype_name} table; the float64 "
                 "engine requires an exact kernel (use mode='auto' or 'gather')"
             )
-        if self.mode != "auto":
-            return self.mode
-        return (
-            "bincount" if lut.integral and lut.table.size < k_dim else "gather"
-        )
+        if self.mode in ("pair", "pair-int"):
+            pair = pair_product_lut(lut.w_dtype_name, lut.a_dtype_name)
+            if pair is None:
+                raise ValueError(
+                    f"no pair table for {lut.w_dtype_name}x"
+                    f"{lut.a_dtype_name} (exceeds the footprint policy); "
+                    "use a single-code kernel"
+                )
+            depth = (k_dim + 1) // 2 + 1
+            if self.mode == "pair-int":
+                if not pair.int16_ok or depth > pair.exact_pair_depth(
+                    _INT32_LIMIT
+                ):
+                    raise ValueError(
+                        "int32 accumulation is not certified exact for "
+                        f"{lut.w_dtype_name}x{lut.a_dtype_name} at depth "
+                        f"{k_dim} (use mode='auto')"
+                    )
+            elif exact_needed and depth > pair.exact_pair_depth(
+                _FLOAT64_LIMIT
+            ):
+                raise ValueError(
+                    "pair accumulation cannot certify float64 "
+                    f"bit-exactness for {lut.w_dtype_name}x"
+                    f"{lut.a_dtype_name} at depth {k_dim} "
+                    "(use mode='auto' or 'gather')"
+                )
+        if self.mode == "popcount" and exact_needed and (
+            lut.exact_exp is None
+            or k_dim * max(lut.max_scaled_abs, 1.0) >= _FLOAT64_LIMIT
+        ):
+            raise ValueError(
+                "popcount accumulation is not certified exact for "
+                f"{lut.w_dtype_name}x{lut.a_dtype_name} at depth {k_dim}; "
+                "the float64 engine requires an exact kernel"
+            )
+        return self.mode
+
+    # ------------------------------------------------------------------
+    def _compile_gemm(self, wcodes, lut, kernel: str, compute_dtype,
+                      out_scale=None):
+        """Bake one layer's kernel into a closure over its loop-invariant
+        weight-side state.
+
+        Returns ``(gemm, table_bytes, word_ops_per_row, scale_folded)``:
+        ``gemm(rows)`` maps ``(rows, k)`` activation indices to the
+        ``(rows, cols)`` accumulator; ``table_bytes`` is the footprint
+        of the table the kernel actually gathers (pair vs. base, int16
+        vs. float, or the per-layer stationary table); and
+        ``word_ops_per_row`` is the popcount kernel's uint64 word
+        operations per GEMM row (zero for the other kernels).  When
+        ``scale_folded`` is True the float32 pair path baked
+        ``out_scale`` into its stationary table and the caller must
+        skip the output-scale pass.
+        """
+        check = self._check
+        itemsize = np.dtype(compute_dtype).itemsize
+        if kernel in ("pair", "pair-int"):
+            pair = pair_product_lut(lut.w_dtype_name, lut.a_dtype_name)
+            w_pair, w_tail = pair_weight_codes(wcodes, pair)
+            int_acc = kernel == "pair-int"
+
+            # float32 serving: bake a per-layer weight-stationary table
+            # (output scale folded in) when it fits the memory budget.
+            # The float64 engine never takes this path -- its pair
+            # selection is certificate-gated and replays code_gemm_pair.
+            stat_elems = (
+                w_pair.shape[0] * pair.n_act_cols**2 * w_pair.shape[1]
+            )
+            if (
+                not int_acc
+                and compute_dtype == np.float32
+                and 0 < stat_elems <= PAIR_STATIONARY_MAX_ELEMS
+            ):
+                stat, tail = pair_stationary_tables(
+                    w_pair, w_tail, pair, compute_dtype, out_scale
+                )
+
+                def gemm(rows: np.ndarray) -> np.ndarray:
+                    return code_gemm_pair_stationary(
+                        rows, stat, tail, pair, compute_dtype, check=check,
+                    )
+
+                table_bytes = stat.nbytes + (
+                    0 if tail is None else tail.nbytes
+                )
+                return gemm, table_bytes, 0, out_scale is not None
+
+            def gemm(rows: np.ndarray) -> np.ndarray:
+                return code_gemm_pair(
+                    rows, None, pair, compute_dtype,
+                    w_pair=w_pair, w_tail_joint=w_tail,
+                    int_accumulate=int_acc, check=check,
+                )
+
+            return gemm, pair.table.size * (2 if int_acc else itemsize), 0, False
+        if kernel == "popcount":
+            w_planes = popcount_weight_planes(wcodes, lut)
+            n_cells = len(popcount_cells(w_planes, lut))
+            cols, n_words = w_planes.shape[1], w_planes.shape[2]
+
+            def gemm(rows: np.ndarray) -> np.ndarray:
+                return code_gemm_popcount(
+                    rows, None, lut, compute_dtype,
+                    w_planes=w_planes, check=check,
+                )
+
+            return gemm, lut.table.nbytes, cols * n_words * n_cells, False
+        w_joint = weight_joint_offsets(wcodes, lut)
+        if kernel == "bincount":
+
+            def gemm(rows: np.ndarray) -> np.ndarray:
+                return code_gemm_bincount(
+                    rows, None, lut, compute_dtype,
+                    w_joint=w_joint, check=check,
+                )
+
+            return gemm, lut.table.nbytes, 0, False
+
+        def gemm(rows: np.ndarray) -> np.ndarray:
+            return code_gemm_gather(
+                rows, None, lut, compute_dtype,
+                w_joint=w_joint, check=check,
+            )
+
+        return gemm, lut.table.size * itemsize, 0, False
 
     def _compile_common(self, layer, k_dim: int):
         """Shared state; None when the layer must stay on float kernels."""
@@ -137,9 +303,11 @@ class QGemmBackend(ExecutionBackend):
         export, lut, kernel, compute_dtype, out_scale, bias = common
         wcodes = np.ascontiguousarray(_weight_codes(export).T)  # (in, out)
         k_dim, out_features = wcodes.shape
-        # weight-side joint offsets are loop-invariant: validated and
-        # pre-scaled once here instead of per forward
-        w_joint = weight_joint_offsets(wcodes, lut)
+        # all weight-side state (joint offsets / pair codes / indicator
+        # planes) is loop-invariant: validated and precomputed once here
+        gemm, table_bytes, word_ops_per_row, scale_folded = self._compile_gemm(
+            wcodes, lut, kernel, compute_dtype, out_scale=out_scale
+        )
         act_quant = layer.act_quant
         meter = self.meter
 
@@ -147,14 +315,16 @@ class QGemmBackend(ExecutionBackend):
             idx = act_quant.indices(x)
             lead = x.shape[:-1]
             rows = idx.reshape(-1, k_dim)
-            acc = code_gemm(rows, None, lut, compute_dtype, kernel, w_joint=w_joint)
-            out = acc * out_scale
+            acc = gemm(rows)
+            out = acc if scale_folded else acc * out_scale
             if bias is not None:
                 out += bias
             if meter is not None:
                 meter.record_layer(
                     export, kind="linear", rows=rows.shape[0],
                     k=k_dim, cols=out_features, lut=lut, kernel=kernel,
+                    input_elems=x.size, table_bytes=table_bytes,
+                    word_ops=rows.shape[0] * word_ops_per_row,
                 )
             return out.reshape(lead + (out_features,))
 
@@ -182,15 +352,12 @@ class QGemmBackend(ExecutionBackend):
             wcodes = np.ascontiguousarray(codes.reshape(c_out, -1).T)
             im2col = im2col_codes_nchw
         k_dim = wcodes.shape[0]
-        w_joint = weight_joint_offsets(wcodes, lut)
-        kernel, stride, padding = layer.kernel, layer.stride, layer.padding
-        layout = layer.layout
-        act_quant = layer.act_quant
-        meter = self.meter
 
         # float32 serving honors a marked conv+BN fold by folding the
         # BN affine into the *output* scale/shift (codes cannot absorb
         # a float scale); the float64 engine keeps BN as its own pass.
+        # Resolved before kernel compilation so the stationary pair
+        # path can bake the final scale into its table.
         scale, shift = out_scale, bias
         bn = getattr(layer, "_bn", None)
         if bn is not None and compute_dtype != np.float64:
@@ -199,19 +366,30 @@ class QGemmBackend(ExecutionBackend):
             shift = (bn_shift if bias is None else bias * bn_scale + bn_shift)
             shift = np.ascontiguousarray(shift, dtype=compute_dtype)
 
+        gemm, table_bytes, word_ops_per_row, scale_folded = self._compile_gemm(
+            wcodes, lut, kernel_mode, compute_dtype, out_scale=scale
+        )
+        kernel, stride, padding = layer.kernel, layer.stride, layer.padding
+        layout = layer.layout
+        act_quant = layer.act_quant
+        meter = self.meter
+
         def run(x: np.ndarray) -> np.ndarray:
             idx = act_quant.indices(x)
             rows = im2col(idx, kernel, stride, padding, lut.pad_col)
-            acc = code_gemm(
-                rows, None, lut, compute_dtype, kernel_mode, w_joint=w_joint
-            )
-            out = acc * scale
+            acc = gemm(rows)
+            out = acc if scale_folded else acc * scale
             if shift is not None:
                 out += shift
             if meter is not None:
+                # input_elems is the *unique* (pre-im2col) activation
+                # footprint -- what the accelerator's DRAM/buffer
+                # actually move -- not the kh*kw-replicated GEMM rows
                 meter.record_layer(
                     export, kind="conv2d", rows=rows.shape[0],
                     k=k_dim, cols=c_out, lut=lut, kernel=kernel_mode,
+                    input_elems=x.size, table_bytes=table_bytes,
+                    word_ops=rows.shape[0] * word_ops_per_row,
                 )
             if layout == "nhwc":
                 n, h, w = x.shape[0], x.shape[1], x.shape[2]

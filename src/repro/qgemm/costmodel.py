@@ -25,7 +25,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dtypes.codec import packed_nbytes
 from repro.dtypes.registry import default_registry
@@ -48,15 +48,26 @@ class LayerCost:
     rows: int = 0
     calls: int = 0
     #: accumulation kernel the backend compiled for this layer
-    #: (``"gather"`` or ``"bincount"``).
+    #: (``"gather"``, ``"bincount"``, ``"pair"``, ``"pair-int"``, or
+    #: ``"popcount"``).
     kernel: str = "gather"
     #: code-domain multiply-accumulates (== rows * k * m summed).
     code_macs: int = 0
     #: partial-product table touches of the executed kernel: one per
-    #: MAC for gather; one full table sweep per output for bincount.
+    #: MAC for gather; one per *pair* of MACs (plus the odd tail) for
+    #: the pair kernels; one full table sweep per output for bincount;
+    #: zero for popcount, whose work is counted in ``word_ops``.
     lut_lookups: int = 0
-    #: bytes of the partial-product table for this layer's type pair.
+    #: popcount kernel uint64 word operations (AND + popcount over
+    #: packed indicator planes); zero for the other kernels.
+    word_ops: int = 0
+    #: bytes of the table the kernel actually gathers from -- the pair
+    #: table at the gathered precision (int16 for ``pair-int``) rather
+    #: than the base float64 table.
     lut_table_bytes: int = 0
+    #: *unique* activation elements fed to the layer (pre-im2col);
+    #: what the accelerator's DRAM/buffer traffic actually moves.
+    input_elems: int = 0
     #: packed weight bitstream bytes, streamed once per forward call.
     weight_traffic_bytes: int = 0
     #: activation code bytes fed to the GEMM (im2col'd, at act bits).
@@ -83,7 +94,9 @@ class LayerCost:
             "calls": self.calls,
             "code_macs": self.code_macs,
             "lut_lookups": self.lut_lookups,
+            "word_ops": self.word_ops,
             "lut_table_bytes": self.lut_table_bytes,
+            "input_elems": self.input_elems,
             "weight_traffic_bytes": self.weight_traffic_bytes,
             "act_traffic_bytes": self.act_traffic_bytes,
             "packed_traffic_bytes": self.packed_traffic_bytes,
@@ -99,9 +112,18 @@ class CostMeter:
 
     def record_layer(
         self, export, kind: str, rows: int, k: int, cols: int, lut,
-        kernel: str = "gather",
+        kernel: str = "gather", input_elems: Optional[int] = None,
+        table_bytes: Optional[int] = None, word_ops: int = 0,
     ) -> None:
-        """Accumulate one executed GEMM for ``export``'s layer."""
+        """Accumulate one executed GEMM for ``export``'s layer.
+
+        ``input_elems`` is the call's unique (pre-im2col) activation
+        element count; defaults to ``rows * k`` (exact for linear, an
+        im2col-expanded overcount for convolution).  ``table_bytes``
+        overrides the accounted table footprint with what the compiled
+        kernel actually gathers (pair table, int16 cast); ``word_ops``
+        carries the popcount kernel's executed word operations.
+        """
         entry = self.layers.get(export.name)
         if entry is None:
             a_bits = default_registry.get(export.act_dtype_name).bits
@@ -122,10 +144,17 @@ class CostMeter:
         entry.code_macs += macs
         entry.kernel = kernel
         # account the table touches of the kernel that actually ran
-        entry.lut_lookups += (
-            macs if kernel == "gather" else rows * cols * lut.table.size
+        if kernel in ("pair", "pair-int"):
+            entry.lut_lookups += rows * cols * ((k + 1) // 2)
+        elif kernel == "bincount":
+            entry.lut_lookups += rows * cols * lut.table.size
+        elif kernel != "popcount":
+            entry.lut_lookups += macs
+        entry.word_ops += word_ops
+        entry.lut_table_bytes = (
+            lut.nbytes if table_bytes is None else table_bytes
         )
-        entry.lut_table_bytes = lut.nbytes
+        entry.input_elems += rows * k if input_elems is None else input_elems
         entry.weight_traffic_bytes += export.weight.packed_nbytes
         entry.act_traffic_bytes += packed_nbytes(rows * k, entry.act_bits)
         entry.output_elems += rows * cols
@@ -143,6 +172,7 @@ class CostMeter:
             "layers": [c.as_dict() for c in self.layers.values()],
             "total_code_macs": self.total("code_macs"),
             "total_lut_lookups": self.total("lut_lookups"),
+            "total_word_ops": self.total("word_ops"),
             "total_weight_traffic_bytes": self.total("weight_traffic_bytes"),
             "total_act_traffic_bytes": self.total("act_traffic_bytes"),
             "total_packed_traffic_bytes": (
@@ -164,6 +194,13 @@ def executed_assignment(meter: CostMeter) -> Tuple[list, list]:
     hardware model equal the counted code MACs exactly) and one
     :class:`~repro.hardware.accelerator.LayerAssignment` carrying the
     layer's true exported bit widths.
+
+    ``input_elems`` is the metered *unique* activation footprint (the
+    tensor the backend saw before im2col), matching the analytic layer
+    tables in :mod:`repro.hardware.workloads`, which size convolution
+    input traffic by the feature map, not the window-replicated GEMM
+    operand.  Meters filled before this field existed (zero) fall back
+    to the GEMM operand size ``rows * k``.
     """
     from repro.hardware.accelerator import LayerAssignment
     from repro.hardware.workloads import LayerShape
@@ -178,7 +215,7 @@ def executed_assignment(meter: CostMeter) -> Tuple[list, list]:
                 k=cost.k,
                 n=cost.rows,
                 weight_elems=cost.m * cost.k,
-                input_elems=cost.rows * cost.k,
+                input_elems=cost.input_elems or cost.rows * cost.k,
                 output_elems=cost.output_elems,
             )
         )

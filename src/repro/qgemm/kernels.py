@@ -7,37 +7,90 @@ for linear), weights as a ``(k, cols)`` matrix of canonical code words.
 ``out[r, o] = sum_k table[w[k, o], a[r, k]]`` -- one table lookup per
 MAC, the software image of a decoder pair feeding one multiplier.
 
-Two accumulation strategies:
+The kernel family (selected per layer at backend compile time):
 
 * :func:`code_gemm_gather` -- joint-index the table per (r, k, o) and
   reduce over ``k``.  The float64 result is **bit-identical** to the
   decode-then-multiply reference computed in the same reduction order
   (the gathered entries *are* the reference's elementwise products,
-  precomputed), which is what the runtime's bit-exact mode rides on.
-* :func:`code_gemm_bincount` -- histogram the joint codes per (r, o)
-  with one big ``np.bincount``, then contract the count matrix against
-  the flattened table.  The float work drops from ``k`` to
-  ``table.size`` multiply-adds per output; when the table is integral
-  (int x int pairs) counts-times-products stay exact integers in
-  float64, so this too is exact -- the software analogue of the
-  paper's integer accumulation behind the decoders.
+  precomputed).  One lookup and 16 B of int64 joint-index traffic per
+  MAC: the correctness anchor, and the float64 fallback whenever the
+  faster kernels cannot certify exactness.
+* :func:`code_gemm_pair` -- gather from a **pair-product-sum table**
+  (:func:`~repro.qgemm.luts.pair_product_lut`): two adjacent reduction
+  positions collapse into one joint index, halving both the lookup
+  count and the reduction depth; an odd ``k`` leaves a single-code
+  tail on the base table.  Weight-stationary blocked: per output
+  column the ``(kh, Na^2)`` table-row selection is hoisted out of the
+  row loop, and the activation-side joint offsets are computed once
+  per operand (and memoized across layers quantizing the same tensor,
+  the q/k/v case).  Two inner-loop layouts -- row-major reductions for
+  very tall GEMMs, transposed reductions otherwise -- picked by row
+  count at run time.  With ``int_accumulate=True`` the gathers read an
+  int16 scaled table and accumulate in int32 (the paper's
+  integer-accumulate PE in software); the dyadic certificate's depth
+  bound makes that *exact by construction*, and exactness makes every
+  reduction order equivalent -- which is how the pair kernels hold the
+  float64 bit-identity bar without replaying the gather order.
+* :func:`code_gemm_pair_stationary` -- the float32 serving variant of
+  the pair kernel: a per-layer stationary table
+  (:func:`pair_stationary_tables`, output scale pre-folded, gated by
+  :data:`PAIR_STATIONARY_MAX_ELEMS`) whose rows are the contiguous
+  partial sums of *all* output columns, so one gather retires a MAC
+  pair for every output at once and the joint offsets are read once
+  per pair instead of once per (pair, column).
+* :func:`code_gemm_popcount` -- for 1-2-bit operand pairs: operands
+  become packed uint64 indicator planes (one per code), joint
+  occurrence counts come from ``popcount(a_plane & w_plane)``, and the
+  output is the count matrix contracted with the tiny table.  Work per
+  output drops from ``k`` lookups to ``cells * ceil(k/64)`` word ops.
+* :func:`code_gemm_bincount` -- histogram the joint codes per (r, o),
+  then contract counts against the flattened table; exact when the
+  table is integral.  Retained for wide-code layers whose pair table
+  exceeds the footprint policy.
 
-Both kernels block over output rows so the transient joint-index /
-histogram arrays stay bounded (``block_elems`` caps the per-block
-element count) regardless of GEMM size.
+All kernels block over output rows so transient joint-index/gather
+arrays stay bounded (``block_elems`` caps per-block element count)
+regardless of GEMM size.  Operand validation (`_check_act`) runs for
+public entry points but is skipped on the backend's compiled hot path
+(indices come from the runtime's own kernels, validated by
+construction); set ``REPRO_QGEMM_CHECK=1`` to re-enable it there.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.qgemm.luts import PartialProductLUT
+from repro.qgemm.luts import (
+    PairProductLUT,
+    PartialProductLUT,
+    pair_product_lut,
+)
 
 #: per-block cap on transient elements (joint indices / histogram
 #: slots); 2^20 * (8 B index + 8 B gather) keeps blocks ~16 MiB.
 DEFAULT_BLOCK_ELEMS = 1 << 20
+
+#: pair kernel: GEMMs at or below this many rows run the transposed
+#: inner loop (contiguous per-column output, reduction over axis 0);
+#: taller GEMMs win with row-major reductions over bigger row blocks.
+PAIR_TRANSPOSE_MAX_ROWS = 16384
+
+#: popcount kernel pays off once the reduction is deep enough to
+#: amortize building the per-code indicator planes.
+POPCOUNT_MIN_K = 32
+
+#: float32 serving builds a per-layer weight-stationary pair table
+#: (``kh * Na^2 * cols`` elements, output scale pre-folded) when it
+#: fits this budget: 2^22 float32 elements = 16 MiB.  Larger layers
+#: keep the shared per-type-pair table and the per-column loop.
+PAIR_STATIONARY_MAX_ELEMS = 1 << 22
+
+#: int32 accumulators must stay exact: certified depth bound target.
+_INT32_LIMIT = float(2**31 - 1)
+_FLOAT64_LIMIT = 2.0**53
 
 
 def weight_joint_offsets(w_codes: np.ndarray, lut: PartialProductLUT) -> np.ndarray:
@@ -81,6 +134,7 @@ def code_gemm_gather(
     out_dtype=np.float64,
     block_elems: int = DEFAULT_BLOCK_ELEMS,
     w_joint: Optional[np.ndarray] = None,
+    check: bool = True,
 ) -> np.ndarray:
     """Gather-accumulate: ``out[r, o] = sum_k table[w[k, o], a[r, k]]``.
 
@@ -90,11 +144,14 @@ def code_gemm_gather(
     In float64 the result is bit-identical to
     ``(decode[w][None] * grid[a][:, :, None]).sum(axis=1)`` -- the
     decode-then-multiply reference in the same reduction order.
+    ``check=False`` skips the activation min/max scan (compiled hot
+    path; indices are validated by construction there).
     """
     if w_joint is None:
         w_joint = weight_joint_offsets(w_codes, lut)
     k, cols = w_joint.shape
-    _check_act(act_idx, k, lut)
+    if check:
+        _check_act(act_idx, k, lut)
     rows = act_idx.shape[0]
     table = lut.cast(out_dtype)
     flat = table.reshape(-1)
@@ -118,6 +175,7 @@ def code_gemm_bincount(
     out_dtype=np.float64,
     block_elems: int = DEFAULT_BLOCK_ELEMS,
     w_joint: Optional[np.ndarray] = None,
+    check: bool = True,
 ) -> np.ndarray:
     """Histogram-accumulate: joint-code counts contracted with the table.
 
@@ -133,7 +191,8 @@ def code_gemm_bincount(
     if w_joint is None:
         w_joint = weight_joint_offsets(w_codes, lut)
     k, cols = w_joint.shape
-    _check_act(act_idx, k, lut)
+    if check:
+        _check_act(act_idx, k, lut)
     rows = act_idx.shape[0]
     table = lut.table  # counts are exact; contract in float64, cast once
     ntab = table.size
@@ -159,6 +218,433 @@ def code_gemm_bincount(
     return out
 
 
+# ----------------------------------------------------------------------
+# Pair-packed gather kernel
+# ----------------------------------------------------------------------
+def pair_weight_codes(
+    w_codes: np.ndarray, pair: PairProductLUT
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Fuse ``(k, cols)`` weight codes into pair codes + odd-``k`` tail.
+
+    Returns ``(w_pair, w_tail_joint)``: ``w_pair[j, o]`` is the joint
+    code ``w[2j, o] * Nw + w[2j+1, o]`` indexing the pair table's rows,
+    and ``w_tail_joint`` is the last position's flat base-table offsets
+    (``code * Na``) when ``k`` is odd, else ``None``.  Loop-invariant
+    per layer -- the backend computes this once at compile time.
+    """
+    if w_codes.ndim != 2:
+        raise ValueError(f"expected 2-D weight codes, got {w_codes.shape}")
+    nw = pair.n_weight_codes
+    if w_codes.size and (w_codes.min() < 0 or w_codes.max() >= nw):
+        raise ValueError(
+            f"weight code out of range for {pair.base.w_dtype_name} table"
+        )
+    k = w_codes.shape[0]
+    kh = k // 2
+    w64 = w_codes.astype(np.int64, copy=False)
+    w_pair = w64[0 : 2 * kh : 2] * nw + w64[1 : 2 * kh : 2]
+    w_tail = w64[-1] * pair.n_act_cols if k % 2 else None
+    return np.ascontiguousarray(w_pair), w_tail
+
+
+#: memoized activation-side pair offsets, keyed on the *read-only*
+#: source index array (the runtime memoizes and shares those across
+#: sibling layers -- q/k/v projections of one tensor pay for the index
+#: arithmetic once).  Entries pin their source array, so ids cannot be
+#: recycled while memoized; bounded like the runtime's own memo.
+_PAIR_ACT_MEMO: dict = {}
+_PAIR_ACT_MEMO_LIMIT = 32
+
+
+def _pair_act_offsets(
+    act_idx: np.ndarray, pair: PairProductLUT, transposed: bool
+) -> np.ndarray:
+    """Joint activation pair indices with per-position table offsets.
+
+    ``out[r, j] = (a[r, 2j] * Na + a[r, 2j+1]) + j * Na^2`` -- a direct
+    flat index into the per-column ``(kh, Na^2)`` stationary table
+    selection.  ``transposed=True`` returns the contiguous ``(kh,
+    rows)`` transpose instead.  Results are memoized per read-only
+    source array (see :data:`_PAIR_ACT_MEMO`).
+    """
+    na = pair.n_act_cols
+    kh = act_idx.shape[1] // 2
+    # a C-contiguous view of a memoized read-only array shares its
+    # base's identity: key on the base so sibling layers reusing the
+    # runtime's shared index array hit the same entry
+    src = act_idx if act_idx.base is None else act_idx.base
+    key = None
+    if (
+        not act_idx.flags.writeable
+        and act_idx.flags.c_contiguous
+        and act_idx.__array_interface__["data"][0]
+        == src.__array_interface__["data"][0]
+    ):
+        key = (id(src), act_idx.shape[1], na, transposed)
+        hit = _PAIR_ACT_MEMO.get(key)
+        if hit is not None and hit[0] is src:
+            return hit[1]
+    ap = act_idx[:, 0 : 2 * kh : 2] * na
+    ap += act_idx[:, 1 : 2 * kh : 2]
+    ap += np.arange(kh, dtype=np.int64) * (na * na)
+    out = np.ascontiguousarray(ap.T) if transposed else ap
+    if key is not None:
+        if len(_PAIR_ACT_MEMO) >= _PAIR_ACT_MEMO_LIMIT:
+            _PAIR_ACT_MEMO.clear()
+        out.setflags(write=False)
+        _PAIR_ACT_MEMO[key] = (src, out)
+    return out
+
+
+def code_gemm_pair(
+    act_idx: np.ndarray,
+    w_codes: Optional[np.ndarray],
+    pair: PairProductLUT,
+    out_dtype=np.float64,
+    block_elems: int = DEFAULT_BLOCK_ELEMS,
+    w_pair: Optional[np.ndarray] = None,
+    w_tail_joint: Optional[np.ndarray] = None,
+    int_accumulate: bool = False,
+    check: bool = True,
+) -> np.ndarray:
+    """Pair-packed gather: one table lookup retires two MACs.
+
+    Weight-stationary blocked: for each output column the ``(kh,
+    Na^2)`` pair-table row selection is built once per row block, and
+    the activation joint offsets are shared across all columns (and
+    memoized across layers reading the same quantized tensor).  An odd
+    ``k`` adds one single-code gather on the base table.
+
+    With ``int_accumulate=True`` the gather reads the certificate's
+    int16 scaled table and sums in int32; the caller must respect
+    ``pair.exact_pair_depth(2^31 - 1)`` (checked here), which makes
+    the integer path exact by construction.  Exactness makes the
+    result order-independent, hence bit-identical to the float64
+    gather reference whenever the certificate covers the depth.
+    """
+    if w_pair is None:
+        if w_codes is None:
+            raise ValueError("need w_codes or precompiled w_pair")
+        if w_codes.shape[0] != act_idx.shape[1]:
+            raise ValueError(
+                f"inner dimensions differ: act {act_idx.shape} vs "
+                f"w {w_codes.shape}"
+            )
+        w_pair, w_tail_joint = pair_weight_codes(w_codes, pair)
+    kh, cols = w_pair.shape
+    k = 2 * kh + (1 if w_tail_joint is not None else 0)
+    if check:
+        _check_act(act_idx, k, pair.base)
+    rows = act_idx.shape[0]
+    out_dtype = np.dtype(out_dtype)
+    if int_accumulate:
+        if kh + 1 > pair.exact_pair_depth(_INT32_LIMIT):
+            raise ValueError(
+                "int32 accumulation not certified at reduction depth "
+                f"{k} for the {pair.base.w_dtype_name}x"
+                f"{pair.base.a_dtype_name} pair table"
+            )
+        table = pair.scaled_int16()
+        acc_dtype = np.dtype(np.int32)
+    else:
+        table = pair.cast(out_dtype)
+        acc_dtype = out_dtype
+    out = np.zeros((rows, cols), dtype=acc_dtype)
+    if rows and kh:
+        block = min(max(block_elems // kh, 1024), rows)
+        if rows > PAIR_TRANSPOSE_MAX_ROWS:
+            ap = _pair_act_offsets(act_idx, pair, transposed=False)
+            for start in range(0, rows, block):
+                stop = min(start + block, rows)
+                idx = ap[start:stop]
+                for o in range(cols):
+                    tsel = table[w_pair[:, o]].reshape(-1)
+                    np.sum(
+                        tsel[idx], axis=1, dtype=acc_dtype,
+                        out=out[start:stop, o],
+                    )
+        else:
+            ap_t = _pair_act_offsets(act_idx, pair, transposed=True)
+            out_t = np.empty((cols, rows), dtype=acc_dtype)
+            for start in range(0, rows, block):
+                stop = min(start + block, rows)
+                idx = ap_t[:, start:stop]
+                for o in range(cols):
+                    tsel = table[w_pair[:, o]].reshape(-1)
+                    np.sum(
+                        tsel[idx], axis=0, dtype=acc_dtype,
+                        out=out_t[o, start:stop],
+                    )
+            out = np.ascontiguousarray(out_t.T)
+    if rows and w_tail_joint is not None:
+        base = (
+            pair.base.scaled_int16()
+            if int_accumulate
+            else pair.base.cast(out_dtype)
+        )
+        tail = act_idx[:, k - 1 :] + w_tail_joint[None, :]
+        out += base.reshape(-1)[tail]
+    if int_accumulate:
+        result = out.astype(out_dtype)
+        result *= out_dtype.type(2.0**-pair.exact_exp)
+        return result
+    return out
+
+
+def pair_stationary_tables(
+    w_pair: np.ndarray,
+    w_tail_joint: Optional[np.ndarray],
+    pair: PairProductLUT,
+    out_dtype,
+    out_scale=None,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-layer weight-stationary pair tables for the serving path.
+
+    ``stat[j * Na^2 + joint, o] = PT[w_pair[j, o], joint]`` -- every
+    output column's pair partial sum for pair position ``j``, laid out
+    so one gather row is the *contiguous* ``cols``-vector of all
+    outputs.  ``tail[a, o]`` is the analogous single-code table for an
+    odd-``k`` tail.  ``out_scale`` (scalar or per-output-channel) is
+    folded into both, so the compiled layer skips its output-scale
+    pass entirely.  Built once at backend compile time; costs
+    ``kh * Na^2 * cols`` elements (the memory side of the
+    memory-vs-speed tradeoff, gated by
+    :data:`PAIR_STATIONARY_MAX_ELEMS`).
+    """
+    out_dtype = np.dtype(out_dtype)
+    table = pair.cast(out_dtype)
+    kh, cols = w_pair.shape
+    na2 = table.shape[1]
+    # (kh, cols, Na^2) -> (kh, Na^2, cols) -> (kh*Na^2, cols)
+    stat = np.ascontiguousarray(table[w_pair].transpose(0, 2, 1)).reshape(
+        kh * na2, cols
+    )
+    tail = None
+    if w_tail_joint is not None:
+        na = pair.n_act_cols
+        base = pair.base.cast(out_dtype)
+        tail = np.ascontiguousarray(base[w_tail_joint // na].T)  # (Na, cols)
+    if out_scale is not None:
+        scale = np.asarray(out_scale, dtype=out_dtype)
+        stat = stat * scale
+        if tail is not None:
+            tail = tail * scale
+    return stat, tail
+
+
+def code_gemm_pair_stationary(
+    act_idx: np.ndarray,
+    stat: np.ndarray,
+    tail: Optional[np.ndarray],
+    pair: PairProductLUT,
+    out_dtype=np.float32,
+    block_elems: int = DEFAULT_BLOCK_ELEMS,
+    check: bool = True,
+) -> np.ndarray:
+    """Weight-stationary pair gather: one lookup fetches a whole row.
+
+    The serving-path complement of :func:`code_gemm_pair`: instead of
+    looping output columns against the shared pair table, it gathers
+    rows of the per-layer stationary table
+    (:func:`pair_stationary_tables`) -- each joint activation index
+    fetches the contiguous partial sums of *all* output columns at
+    once, so the int64 joint offsets are read once per retired MAC
+    pair rather than once per (pair, column).  The reduction over pair
+    positions runs on the leading axis of the ``(kh, block, cols)``
+    gather, landing row-major output with no final transpose.
+
+    Float rounding differs from :func:`code_gemm_pair` only through
+    the pre-folded output scale; the backend uses this kernel for
+    float32 serving, where the bar is argmax parity, never for the
+    bit-exact float64 engine.
+    """
+    kh_na2, cols = stat.shape
+    na2 = pair.n_act_cols * pair.n_act_cols
+    kh = kh_na2 // na2
+    k = 2 * kh + (1 if tail is not None else 0)
+    if check:
+        _check_act(act_idx, k, pair.base)
+    rows = act_idx.shape[0]
+    out_dtype = np.dtype(out_dtype)
+    out = np.empty((rows, cols), dtype=out_dtype)
+    if not rows:
+        return out
+    if kh:
+        ap_t = _pair_act_offsets(act_idx, pair, transposed=True)
+        block = min(max(block_elems // max(kh * cols, 1), 16), rows)
+        for start in range(0, rows, block):
+            stop = min(start + block, rows)
+            np.sum(
+                stat[ap_t[:, start:stop]], axis=0, dtype=out_dtype,
+                out=out[start:stop],
+            )
+    else:
+        out[...] = 0.0
+    if tail is not None:
+        out += tail[act_idx[:, k - 1]]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Popcount / bit-plane kernel (1-2-bit operand pairs)
+# ----------------------------------------------------------------------
+def popcount_weight_planes(
+    w_codes: np.ndarray, lut: PartialProductLUT
+) -> np.ndarray:
+    """Pack per-code weight indicator bit planes: ``(Nw, cols, W)``.
+
+    ``planes[c, o, :]`` is the k-axis indicator of ``w[:, o] == c``
+    packed into ``W = ceil(k / 64)`` uint64 words.  Loop-invariant per
+    layer; the backend builds it once at compile time.
+    """
+    if w_codes.ndim != 2:
+        raise ValueError(f"expected 2-D weight codes, got {w_codes.shape}")
+    nw = lut.n_weight_codes
+    if w_codes.size and (w_codes.min() < 0 or w_codes.max() >= nw):
+        raise ValueError(
+            f"weight code out of range for {lut.w_dtype_name} table"
+        )
+    k, cols = w_codes.shape
+    n_words = (k + 63) // 64
+    planes = np.zeros((nw, cols, n_words * 8), dtype=np.uint8)
+    w_t = np.ascontiguousarray(w_codes.T)
+    for code in range(nw):
+        bits = np.packbits(w_t == code, axis=1)
+        planes[code, :, : bits.shape[1]] = bits
+    return planes.view(np.uint64)
+
+
+def popcount_cells(w_planes: np.ndarray, lut: PartialProductLUT) -> list:
+    """Live ``(weight code, act col)`` table cells the popcount kernel
+    visits: weight codes that occur in the layer crossed with table
+    columns whose entry is nonzero (the pad column and unused canonical
+    codes drop out).  Compile-time constant per layer; the backend uses
+    the same enumeration to meter word operations.
+    """
+    nw = w_planes.shape[0]
+    live_w = [c for c in range(nw) if np.any(w_planes[c])]
+    return [
+        (cw, ca)
+        for cw in live_w
+        for ca in range(lut.n_act_cols)
+        if lut.table[cw, ca] != 0.0
+    ]
+
+
+def _act_planes(act_idx: np.ndarray, cols_used, n_words: int) -> dict:
+    """Packed activation indicator words per used grid index."""
+    planes = {}
+    for col in cols_used:
+        bits = np.packbits(act_idx == col, axis=1)
+        plane = np.zeros((act_idx.shape[0], n_words * 8), dtype=np.uint8)
+        plane[:, : bits.shape[1]] = bits
+        planes[col] = plane.view(np.uint64)
+    return planes
+
+
+def code_gemm_popcount(
+    act_idx: np.ndarray,
+    w_codes: Optional[np.ndarray],
+    lut: PartialProductLUT,
+    out_dtype=np.float64,
+    block_elems: int = DEFAULT_BLOCK_ELEMS,
+    w_planes: Optional[np.ndarray] = None,
+    check: bool = True,
+) -> np.ndarray:
+    """Bit-plane accumulate for tiny code spaces (1-2-bit operands).
+
+    Each (weight code, activation index) cell contributes ``table[cw,
+    ca] * count`` where ``count`` comes from
+    ``popcount(act_plane & weight_plane)`` over packed uint64 words:
+    ``cells * ceil(k/64)`` word operations per output instead of ``k``
+    gathers.  Zero table cells (the pad column, unused canonical
+    codes) are skipped.  Counts are exact integers, so the result is
+    exact -- equal to the gather reference in any summation order --
+    whenever the table's dyadic certificate covers depth ``k``.
+    """
+    if w_planes is None:
+        if w_codes is None:
+            raise ValueError("need w_codes or precompiled w_planes")
+        if w_codes.shape[0] != act_idx.shape[1]:
+            raise ValueError(
+                f"inner dimensions differ: act {act_idx.shape} vs "
+                f"w {w_codes.shape}"
+            )
+        w_planes = popcount_weight_planes(w_codes, lut)
+    k = act_idx.shape[1]
+    if check:
+        _check_act(act_idx, k, lut)
+    nw, cols, n_words = w_planes.shape
+    rows = act_idx.shape[0]
+    table = lut.table
+    acc = np.zeros((rows, cols), dtype=np.float64)
+    if rows and k:
+        cells = popcount_cells(w_planes, lut)
+        act_cols = sorted({ca for _, ca in cells})
+        planes = _act_planes(act_idx, act_cols, n_words)
+        block = min(max(block_elems // max(cols * n_words, 1), 256), rows)
+        joint = np.empty((block, cols, n_words), dtype=np.uint64)
+        counts = np.empty((block, cols, n_words), dtype=np.uint8)
+        for start in range(0, rows, block):
+            stop = min(start + block, rows)
+            b = stop - start
+            for cw, ca in cells:
+                np.bitwise_and(
+                    planes[ca][start:stop, None, :],
+                    w_planes[cw][None, :, :],
+                    out=joint[:b],
+                )
+                np.bitwise_count(joint[:b], out=counts[:b])
+                acc[start:stop] += table[cw, ca] * counts[:b].sum(
+                    axis=2, dtype=np.int64
+                )
+    return acc.astype(out_dtype, copy=False)
+
+
+def select_kernel(lut: PartialProductLUT, k: int, out_dtype) -> str:
+    """Compile-time kernel choice from operand bits, table size, and
+    reduction depth (the backend's per-layer ``"auto"`` rule).
+
+    Preference order, constrained by exactness in float64:
+
+    1. ``popcount`` for 1-2-bit operand pairs at depth >=
+       :data:`POPCOUNT_MIN_K` (certified exact: tiny dyadic tables).
+    2. In float64: ``pair-int`` when the pair table exists, fits int16
+       scaled, and the int32 depth bound covers ``k`` -- exact by
+       construction, and int16 gathers beat 8-byte float64 gathers;
+       else ``pair`` while the float64 depth bound certifies
+       order-independence; else fall through to ``gather``.
+    3. In float32 (serving): ``pair`` whenever the pair table exists
+       -- float32 gathers measured faster than the int16/int32
+       accumulator on the reference container, and serving only holds
+       the argmax-parity bar.
+    4. ``bincount`` when integral and the table is smaller than the
+       reduction depth (wide-code layers without a pair table).
+    5. ``gather`` -- always correct, bit-identical in float64.
+    """
+    exact_needed = np.dtype(out_dtype) == np.float64
+    depth = (k + 1) // 2 + 1
+    if (
+        k >= POPCOUNT_MIN_K
+        and lut.n_weight_codes <= 4
+        and lut.n_act_cols <= 5
+        and lut.exact_exp is not None
+        and k * max(lut.max_scaled_abs, 1.0) < _FLOAT64_LIMIT
+    ):
+        return "popcount"
+    pair = pair_product_lut(lut.w_dtype_name, lut.a_dtype_name)
+    if pair is not None and k >= 2:
+        if not exact_needed:
+            return "pair"
+        if pair.int16_ok and depth <= pair.exact_pair_depth(_INT32_LIMIT):
+            return "pair-int"
+        if depth <= pair.exact_pair_depth(_FLOAT64_LIMIT):
+            return "pair"
+    if lut.integral and lut.table.size < k:
+        return "bincount"
+    return "gather"
+
+
 def code_gemm(
     act_idx: np.ndarray,
     w_codes: Optional[np.ndarray],
@@ -167,28 +653,40 @@ def code_gemm(
     mode: str = "auto",
     block_elems: int = DEFAULT_BLOCK_ELEMS,
     w_joint: Optional[np.ndarray] = None,
+    check: bool = True,
 ) -> np.ndarray:
     """Code-domain GEMM with kernel selection.
 
-    ``mode="auto"`` picks the bincount kernel when it is exact
-    (integral table) *and* cheaper (table smaller than the reduction
-    depth, so the histogram amortizes); the gather kernel otherwise.
-    ``"gather"``/``"bincount"`` force a kernel (the bit-exact float64
-    engine forces ``"gather"`` for non-integral tables).
+    ``mode="auto"`` resolves through :func:`select_kernel`: the
+    fastest kernel that is exact for the table/depth in float64 (the
+    bit-exact engine's bar), the fastest kernel outright in float32.
+    Explicit modes (``"gather"``, ``"bincount"``, ``"pair"``,
+    ``"pair-int"``, ``"popcount"``) force a kernel.
     """
     if mode == "auto":
-        mode = (
-            "bincount"
-            if lut.integral and lut.table.size < act_idx.shape[1]
-            else "gather"
-        )
+        mode = select_kernel(lut, act_idx.shape[1], out_dtype)
     if mode == "gather":
         return code_gemm_gather(
-            act_idx, w_codes, lut, out_dtype, block_elems, w_joint
+            act_idx, w_codes, lut, out_dtype, block_elems, w_joint, check
         )
     if mode == "bincount":
         return code_gemm_bincount(
-            act_idx, w_codes, lut, out_dtype, block_elems, w_joint
+            act_idx, w_codes, lut, out_dtype, block_elems, w_joint, check
+        )
+    if mode in ("pair", "pair-int"):
+        pair = pair_product_lut(lut.w_dtype_name, lut.a_dtype_name)
+        if pair is None:
+            raise ValueError(
+                f"no pair table for {lut.w_dtype_name}x{lut.a_dtype_name} "
+                "(exceeds the footprint policy); use a single-code kernel"
+            )
+        return code_gemm_pair(
+            act_idx, w_codes, pair, out_dtype, block_elems,
+            int_accumulate=(mode == "pair-int"), check=check,
+        )
+    if mode == "popcount":
+        return code_gemm_popcount(
+            act_idx, w_codes, lut, out_dtype, block_elems, check=check
         )
     raise ValueError(f"unknown code_gemm mode {mode!r}")
 

@@ -26,17 +26,72 @@ one small scale-free array per *type pair* rather than per layer.
 A 4-bit x 4-bit pair costs ``16 x 16 x 8 B = 2 KiB`` in float64 (the
 serving float32 cast halves that); the largest supported pair
 (8-bit x 8-bit) is ``256 x 256 x 8 B = 512 KiB``.
+
+**Pair tables** (:func:`pair_product_lut`) extend this to *two*
+adjacent reduction positions at once: entry
+``[(w0 * Nw + w1), (a0 * Na + a1)]`` is the partial-product **sum**
+``table[w0, a0] + table[w1, a1]``, so one gather retires two MACs.  A
+4-bit x 4-bit pair table is ``(16 * 17)^2`` entries ~ 289 KiB in
+float32 -- L2-resident -- but the footprint grows with the fourth
+power of the code count, so tables above
+:data:`PAIR_TABLE_MAX_ELEMS` (5-bit x 5-bit and up) are refused and
+those layers stay on single-code kernels.
+
+**Exactness certificate.**  Every grid in the registry is dyadic
+(integers, powers of two, flint/float significands), so most tables
+admit an exponent ``e`` with ``table * 2^e`` exactly integer-valued.
+When such an ``e`` exists, *any* reduction order over at most
+``depth`` terms is exact as long as ``depth * max|scaled entry|``
+stays below the accumulator's exact-integer range (``2^53`` for
+float64, ``2^31`` for int32) -- which is what certifies the pair
+kernels bit-identical to the single-gather reference, and what makes
+an int16-table/int32-accumulator path exact by construction (the
+paper's integer-accumulate PE in software).  Wide PoT tables (pot7/
+pot8) span more than 2^53 of dynamic range, fail the certificate, and
+fall back to the order-preserving gather kernel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.dtypes.registry import default_registry
+
+#: pair tables above this element count are refused (policy: a pair
+#: table must stay cache-resident to win; 4-bit x 4-bit is ~74 K
+#: entries / 289 KiB float32, 5-bit x 5-bit would be ~1.1 M entries /
+#: 4.3 MiB and already spills L2 on the reference container).
+PAIR_TABLE_MAX_ELEMS = 1 << 20
+
+#: largest scaling exponent the dyadic certificate searches; grids are
+#: built from <= 8-bit exponent/significand splits, so product tables
+#: need far less than this in practice.
+_MAX_DYADIC_EXP = 64
+
+
+def _dyadic_certificate(table: np.ndarray) -> Optional[tuple]:
+    """``(exp, max_scaled_abs)`` with ``table * 2^exp`` exactly integer.
+
+    Searches the smallest exponent ``exp`` in ``[0, 64]`` for which
+    every entry times ``2^exp`` is an exact integer representable in
+    float64's exact-integer range; ``None`` when the table is not
+    dyadic at certifiable magnitude (non-finite entries, or spread too
+    wide -- pot7/pot8).
+    """
+    if table.size == 0 or not np.all(np.isfinite(table)):
+        return None
+    for exp in range(_MAX_DYADIC_EXP + 1):
+        scaled = np.ldexp(table, exp)
+        top = float(np.abs(scaled).max(initial=0.0))
+        if top >= 2.0**53:
+            return None  # scaling further only grows the magnitude
+        if np.all(scaled == np.round(scaled)):
+            return exp, top
+    return None
 
 
 @dataclass(frozen=True)
@@ -53,6 +108,12 @@ class PartialProductLUT:
     #: True when every entry is an exact integer (int x int pairs):
     #: histogram-weighted accumulation is then exact in float64.
     integral: bool
+    #: dyadic-exactness certificate: smallest ``e`` with
+    #: ``table * 2^e`` exactly integer-valued (None when no such ``e``
+    #: exists at certifiable magnitude, e.g. pot7/pot8 products).
+    exact_exp: Optional[int] = None
+    #: ``max |table * 2^exact_exp|`` (0.0 when uncertified).
+    max_scaled_abs: float = 0.0
     #: memoized dtype casts of ``table`` (read-only, like the master).
     _cast_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
@@ -83,6 +144,106 @@ class PartialProductLUT:
             cached.setflags(write=False)
         return cached
 
+    def scaled_int16(self) -> np.ndarray:
+        """``table * 2^exact_exp`` as a read-only int16 array.
+
+        Only valid when the certificate holds and the scaled magnitude
+        fits int16 (the popcount and integer-tail paths check first).
+        """
+        cached = self._cast_cache.get("int16-scaled")
+        if cached is None:
+            if self.exact_exp is None or self.max_scaled_abs > 32767:
+                raise ValueError(
+                    f"{self.w_dtype_name}x{self.a_dtype_name} table has no "
+                    "int16-exact scaled representation"
+                )
+            cached = np.round(np.ldexp(self.table, self.exact_exp)).astype(
+                np.int16
+            )
+            cached.setflags(write=False)
+            self._cast_cache["int16-scaled"] = cached
+        return cached
+
+
+@dataclass(frozen=True)
+class PairProductLUT:
+    """Pair-product-sum table fusing two adjacent reduction positions.
+
+    Entry ``[(w0 * Nw + w1), (a0 * Na + a1)]`` equals
+    ``base.table[w0, a0] + base.table[w1, a1]`` -- one gather retires
+    two MACs.  Activation pair columns include the pad column on either
+    side, so convolution zero-padding and odd-``k`` zero columns need
+    no special casing in the paired positions.
+    """
+
+    #: the single-code table this pair table squares.
+    base: PartialProductLUT
+    #: ``(Nw^2, Na^2)`` float64 pair sums; read-only.
+    table: np.ndarray
+    #: dyadic certificate inherited from the base table: the same
+    #: ``2^e`` scaling makes pair sums exact integers.
+    exact_exp: Optional[int]
+    #: ``max |pair entry * 2^exact_exp|`` (<= 2x the base bound).
+    max_scaled_abs: float
+    _cast_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def n_weight_codes(self) -> int:
+        """Single-code weight count ``Nw`` (pair rows are ``Nw^2``)."""
+        return self.base.n_weight_codes
+
+    @property
+    def n_act_cols(self) -> int:
+        """Single-code activation columns ``Na`` (pair cols ``Na^2``)."""
+        return self.base.n_act_cols
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.table.nbytes)
+
+    @property
+    def int16_ok(self) -> bool:
+        """Scaled pair entries fit an int16 table."""
+        return self.exact_exp is not None and self.max_scaled_abs <= 32767
+
+    def exact_pair_depth(self, limit: float) -> int:
+        """Largest pair count ``kh`` (plus one single-code tail) whose
+        scaled accumulation provably stays within ``limit``.
+
+        Zero when the certificate failed: no depth is certified and
+        float64 execution must keep the order-preserving gather kernel.
+        """
+        if self.exact_exp is None:
+            return 0
+        return int(limit / max(self.max_scaled_abs, 1.0)) - 1
+
+    def cast(self, dtype) -> np.ndarray:
+        """The pair table in a compute dtype (memoized, read-only)."""
+        dtype = np.dtype(dtype)
+        if dtype == np.float64:
+            return self.table
+        cached = self._cast_cache.get(dtype.str)
+        if cached is None:
+            cached = self._cast_cache[dtype.str] = self.table.astype(dtype)
+            cached.setflags(write=False)
+        return cached
+
+    def scaled_int16(self) -> np.ndarray:
+        """``table * 2^exact_exp`` as a read-only int16 array."""
+        cached = self._cast_cache.get("int16-scaled")
+        if cached is None:
+            if not self.int16_ok:
+                raise ValueError(
+                    f"{self.base.w_dtype_name}x{self.base.a_dtype_name} pair "
+                    "table has no int16-exact scaled representation"
+                )
+            cached = np.round(np.ldexp(self.table, self.exact_exp)).astype(
+                np.int16
+            )
+            cached.setflags(write=False)
+            self._cast_cache["int16-scaled"] = cached
+        return cached
+
 
 @lru_cache(maxsize=None)
 def partial_product_lut(w_dtype_name: str, a_dtype_name: str) -> PartialProductLUT:
@@ -102,12 +263,49 @@ def partial_product_lut(w_dtype_name: str, a_dtype_name: str) -> PartialProductL
             and np.all(table == np.round(table))
             and float(np.abs(table).max(initial=0.0)) < 2.0**53
         )
+    certificate = _dyadic_certificate(table)
+    exact_exp, max_scaled = certificate if certificate else (None, 0.0)
     return PartialProductLUT(
         w_dtype_name=w_dtype_name,
         a_dtype_name=a_dtype_name,
         table=table,
         pad_col=a_codec.grid.size,
         integral=integral,
+        exact_exp=exact_exp,
+        max_scaled_abs=max_scaled,
+    )
+
+
+@lru_cache(maxsize=None)
+def pair_product_lut(
+    w_dtype_name: str, a_dtype_name: str
+) -> Optional[PairProductLUT]:
+    """Build (or fetch) the pair-product-sum table for a type pair.
+
+    Returns ``None`` when the pair table would exceed
+    :data:`PAIR_TABLE_MAX_ELEMS` (the cache-residency policy): callers
+    then stay on single-code kernels.  Cached process-wide alongside
+    the base tables.
+    """
+    base = partial_product_lut(w_dtype_name, a_dtype_name)
+    n_pair = base.n_weight_codes * base.n_weight_codes
+    c_pair = base.n_act_cols * base.n_act_cols
+    if n_pair * c_pair > PAIR_TABLE_MAX_ELEMS:
+        return None
+    t = base.table
+    pair = (t[:, None, :, None] + t[None, :, None, :]).reshape(n_pair, c_pair)
+    pair.setflags(write=False)
+    # the certificate survives pairing only while the summed scaled
+    # magnitude stays exactly representable
+    exact_exp = base.exact_exp
+    max_scaled = 2.0 * base.max_scaled_abs
+    if exact_exp is None or max_scaled >= 2.0**53:
+        exact_exp, max_scaled = None, 0.0
+    return PairProductLUT(
+        base=base,
+        table=pair,
+        exact_exp=exact_exp,
+        max_scaled_abs=max_scaled,
     )
 
 
@@ -119,11 +317,22 @@ def lut_footprint_report(pairs) -> Dict[str, dict]:
     report = {}
     for w_name, a_name in pairs:
         lut = partial_product_lut(w_name, a_name)
+        pair = pair_product_lut(w_name, a_name)
         report[f"{w_name}x{a_name}"] = {
             "rows": lut.n_weight_codes,
             "cols": lut.n_act_cols,
             "float64_bytes": lut.nbytes,
             "float32_bytes": lut.nbytes // 2,
             "integral": lut.integral,
+            "exact_scale_exp": lut.exact_exp,
+            "pair_table": None
+            if pair is None
+            else {
+                "elems": int(pair.table.size),
+                "float32_bytes": int(pair.table.size * 4),
+                "int16_bytes": int(pair.table.size * 2)
+                if pair.int16_ok
+                else None,
+            },
         }
     return report

@@ -29,9 +29,13 @@ from repro.qgemm import (
     code_gemm,
     code_gemm_bincount,
     code_gemm_gather,
+    code_gemm_pair,
+    code_gemm_popcount,
     executed_assignment,
     lut_footprint_report,
+    pair_product_lut,
     partial_product_lut,
+    select_kernel,
     simulate_executed,
     simulate_executed_tensorcore,
 )
@@ -204,6 +208,223 @@ def test_code_gemm_zero_depth():
     lut = partial_product_lut("int4", "int4u")
     out = code_gemm(np.empty((3, 0), dtype=np.int64), np.empty((0, 2), dtype=np.int64), lut)
     assert out.shape == (3, 2) and np.all(out == 0.0)
+
+
+# ----------------------------------------------------------------------
+# Pair-packed, integer-accumulate, and popcount kernels
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("w_name", ALL_NAMES)
+@pytest.mark.parametrize("k", [5, 8])
+def test_pair_kernel_bit_identical(w_name, k):
+    """Pair-packed gathers match the gather reference bit for bit at
+    odd and even depths (pad column included) for every registered
+    weight type whose pair table exists and certifies the depth."""
+    bits = get_type(w_name).bits
+    a_name = f"int{bits}u"
+    pair = pair_product_lut(w_name, a_name)
+    if pair is None:
+        pytest.skip("pair table refused by the footprint policy")
+    act_idx, w_codes, lut = _random_operands(w_name, a_name, rows=9, k=k)
+    ref = code_gemm_gather(act_idx, w_codes, lut)
+    if (k + 1) // 2 + 1 > pair.exact_pair_depth(2.0**53):
+        pytest.skip("depth not certified; auto keeps the gather kernel")
+    out = code_gemm_pair(act_idx, w_codes, pair)
+    assert np.array_equal(out, ref)
+    if pair.int16_ok:
+        out_int = code_gemm_pair(act_idx, w_codes, pair, int_accumulate=True)
+        assert np.array_equal(out_int, ref)
+
+
+def test_pair_kernel_layouts_agree():
+    """The tall row-major inner loop (engaged above
+    PAIR_TRANSPOSE_MAX_ROWS) and the transposed loop produce identical
+    bits."""
+    from repro.qgemm.kernels import PAIR_TRANSPOSE_MAX_ROWS
+
+    act_idx, w_codes, lut = _random_operands(
+        "int4", "int4u", rows=PAIR_TRANSPOSE_MAX_ROWS + 8, k=7, cols=3
+    )
+    pair = pair_product_lut("int4", "int4u")
+    ref = code_gemm_gather(act_idx, w_codes, lut)
+    assert np.array_equal(code_gemm_pair(act_idx, w_codes, pair), ref)
+    assert np.array_equal(
+        code_gemm_pair(act_idx[:64], w_codes, pair), ref[:64]
+    )
+
+
+@pytest.mark.parametrize("k", [6, 7])
+def test_pair_stationary_matches_pair(k):
+    """The float32 weight-stationary serving variant (per-layer table,
+    output scale pre-folded) agrees with the pair kernel: bit-identical
+    without a scale, within float32 rounding with one."""
+    from repro.qgemm.kernels import (
+        code_gemm_pair_stationary,
+        pair_stationary_tables,
+        pair_weight_codes,
+    )
+
+    act_idx, w_codes, lut = _random_operands("int4", "int4u", rows=70, k=k)
+    pair = pair_product_lut("int4", "int4u")
+    w_pair, w_tail = pair_weight_codes(w_codes, pair)
+
+    stat, tail = pair_stationary_tables(w_pair, w_tail, pair, np.float32)
+    out = code_gemm_pair_stationary(act_idx, stat, tail, pair, np.float32)
+    ref = code_gemm_pair(act_idx, w_codes, pair, out_dtype=np.float32)
+    assert out.dtype == np.float32
+    assert np.array_equal(out, ref)
+
+    scale = np.linspace(0.5, 2.0, w_codes.shape[1], dtype=np.float32)
+    stat_s, tail_s = pair_stationary_tables(
+        w_pair, w_tail, pair, np.float32, out_scale=scale
+    )
+    out_s = code_gemm_pair_stationary(act_idx, stat_s, tail_s, pair, np.float32)
+    np.testing.assert_allclose(out_s, ref * scale, rtol=1e-5, atol=1e-6)
+
+    with pytest.raises(ValueError, match="out of range"):
+        code_gemm_pair_stationary(
+            act_idx + lut.n_act_cols, stat, tail, pair, np.float32
+        )
+
+
+def test_backend_folds_scale_into_stationary_table():
+    """float32 pair layers under the stationary budget skip the
+    output-scale pass (the table carries it); float64 never does."""
+    from repro.qgemm.backend import QGemmBackend
+    from repro.qgemm.kernels import PAIR_STATIONARY_MAX_ELEMS
+
+    backend = QGemmBackend()
+    rng = np.random.default_rng(7)
+    lut = partial_product_lut("int4", "int4u")
+    wcodes = rng.integers(0, 16, size=(8, 4))
+    scale = np.full(4, 0.25, dtype=np.float32)
+    *_, folded32 = backend._compile_gemm(
+        wcodes, lut, "pair", np.dtype(np.float32), out_scale=scale
+    )
+    assert folded32
+    *_, folded64 = backend._compile_gemm(
+        wcodes, lut, "pair", np.dtype(np.float64),
+        out_scale=scale.astype(np.float64),
+    )
+    assert not folded64
+    # a layer past the memory budget keeps the shared pair table
+    kh_limit = PAIR_STATIONARY_MAX_ELEMS // (17 * 17 * 4)
+    big = rng.integers(0, 16, size=(2 * kh_limit + 2, 4))
+    *_, folded_big = backend._compile_gemm(
+        big, lut, "pair", np.dtype(np.float32), out_scale=scale
+    )
+    assert not folded_big
+
+
+def test_pair_int_depth_bound_enforced():
+    """Reduction depths past the certified int32 bound are rejected
+    instead of silently overflowing."""
+    from repro.qgemm.luts import PairProductLUT
+
+    real = pair_product_lut("int4", "int4u")
+    tight = PairProductLUT(
+        base=real.base, table=real.table,
+        exact_exp=real.exact_exp, max_scaled_abs=2.0**28,
+    )
+    assert tight.exact_pair_depth(float(2**31 - 1)) == 6
+    act_idx, w_codes, _ = _random_operands("int4", "int4u", rows=3, k=16)
+    with pytest.raises(ValueError, match="not certified"):
+        code_gemm_pair(act_idx, w_codes, tight, int_accumulate=True)
+    # an uncertified pair table certifies no depth at all
+    void = PairProductLUT(
+        base=real.base, table=real.table, exact_exp=None, max_scaled_abs=0.0
+    )
+    assert void.exact_pair_depth(2.0**53) == 0
+
+
+@pytest.mark.parametrize(
+    "pair_names", [("int2", "int2u"), ("pot2", "int2u"), ("int2", "int3u")]
+)
+def test_popcount_kernel_bit_identical(pair_names):
+    """Bit-plane popcount accumulation is exact for tiny code spaces,
+    including the k % 64 != 0 padding words and the zero pad column."""
+    w_name, a_name = pair_names
+    for k in (33, 64, 130):
+        act_idx, w_codes, lut = _random_operands(
+            w_name, a_name, rows=6, k=k, cols=4
+        )
+        out = code_gemm_popcount(act_idx, w_codes, lut)
+        assert np.array_equal(out, code_gemm_gather(act_idx, w_codes, lut))
+
+
+def test_popcount_kernel_exact_one_bit_table():
+    """No 1-bit types are registered; a hand-built binary table shows
+    the kernel holds down to the 1-bit x 1-bit case."""
+    from repro.qgemm.luts import PartialProductLUT
+
+    table = np.array([[0.0, 0.0, 0.0], [0.0, 1.0, 0.0]])  # w in {0,1}, a in {0,1,pad}
+    table.setflags(write=False)
+    lut1 = PartialProductLUT(
+        w_dtype_name="bit1", a_dtype_name="bit1u", table=table,
+        pad_col=2, integral=True, exact_exp=0, max_scaled_abs=1.0,
+    )
+    act_idx = RNG.integers(0, 3, size=(5, 100))
+    w_codes = RNG.integers(0, 2, size=(100, 4))
+    out = code_gemm_popcount(act_idx, w_codes, lut1)
+    # out[r, o] counts positions where both operands are 1
+    ref = ((act_idx == 1)[:, :, None] & (w_codes == 1)[None, :, :]).sum(axis=1)
+    assert np.array_equal(out, ref.astype(np.float64))
+    assert np.array_equal(out, code_gemm_gather(act_idx, w_codes, lut1))
+
+
+def test_select_kernel_compile_time_rules():
+    """The per-layer auto rule: popcount for tiny code spaces at depth,
+    pair-int / pair under the certificate, bincount for integral
+    tables wider than the pair policy allows, gather otherwise."""
+    f64, f32 = np.float64, np.float32
+    lut44 = partial_product_lut("int4", "flint4u")
+    assert select_kernel(lut44, 512, f64) == "pair-int"
+    assert select_kernel(lut44, 512, f32) == "pair"
+    # pot4 products overflow the int16 scaled range but certify in f64
+    lutp = partial_product_lut("int4", "pot4u")
+    assert select_kernel(lutp, 512, f64) == "pair"
+    # 1-2-bit pairs at depth go to popcount; too shallow stays pair
+    lut2 = partial_product_lut("int2", "int2u")
+    assert select_kernel(lut2, 64, f64) == "popcount"
+    assert select_kernel(lut2, 8, f64) in ("pair", "pair-int")
+    # no pair table above the footprint policy: single-code kernels
+    lut8 = partial_product_lut("int8", "int8u")
+    assert pair_product_lut("int8", "int8u") is None
+    assert select_kernel(lut8, 512, f64) == "gather"
+    assert select_kernel(lut8, 2 * lut8.table.size, f64) == "bincount"
+    # uncertified wide PoT tables keep the order-preserving gather
+    lutpot = partial_product_lut("pot8", "int8u")
+    assert lutpot.exact_exp is None
+    assert select_kernel(lutpot, 1000, f64) == "gather"
+
+
+def test_backend_rejects_infeasible_forced_modes():
+    """Forcing a kernel that is infeasible or would break the float64
+    bit-exact bar fails at compile time, not mid-forward."""
+    lut8 = partial_product_lut("int8", "int8u")
+    with pytest.raises(ValueError, match="footprint"):
+        QGemmBackend(mode="pair")._layer_kernel(lut8, np.float64, 512)
+    lutp = partial_product_lut("int4", "pot4u")
+    with pytest.raises(ValueError, match="int32 accumulation"):
+        QGemmBackend(mode="pair-int")._layer_kernel(lutp, np.float64, 512)
+    lutpot = partial_product_lut("pot8", "int8u")
+    with pytest.raises(ValueError, match="certified"):
+        QGemmBackend(mode="popcount")._layer_kernel(lutpot, np.float64, 512)
+    # float32 serving has no exactness bar: the same forcing compiles
+    assert (
+        QGemmBackend(mode="popcount")._layer_kernel(lutpot, np.float32, 512)
+        == "popcount"
+    )
+
+
+def test_qgemm_check_env_flag(monkeypatch):
+    """Hot-path operand validation is off by default and re-enabled by
+    REPRO_QGEMM_CHECK=1 (public code_gemm calls always validate)."""
+    monkeypatch.delenv("REPRO_QGEMM_CHECK", raising=False)
+    assert not QGemmBackend()._check
+    monkeypatch.setenv("REPRO_QGEMM_CHECK", "1")
+    assert QGemmBackend()._check
+    monkeypatch.setenv("REPRO_QGEMM_CHECK", "0")
+    assert not QGemmBackend()._check
 
 
 # ----------------------------------------------------------------------
@@ -402,23 +623,39 @@ def test_cost_meter_counts_executed_work():
     assert set(meter.layers) == set(frozen.exports)
     for name, cost in meter.layers.items():
         export = frozen.exports[name]
+        lut = partial_product_lut(export.weight.dtype_name, export.act_dtype_name)
+        # the meter records the kernel the compile-time rule selects
+        assert cost.kernel == select_kernel(lut, cost.k, np.float64)
         assert cost.calls == 1
         assert cost.code_macs == cost.rows * cost.k * cost.m
         assert cost.weight_traffic_bytes == export.weight.packed_nbytes
         assert cost.weight_bits == export.weight.bits
         # activation codes travel at their true bit width
         assert cost.act_traffic_bytes == (cost.rows * cost.k * cost.act_bits + 7) // 8
-        # table touches are accounted for the kernel that actually ran:
-        # per MAC for gather, one table sweep per output for bincount
-        table_size = cost.lut_table_bytes // 8
+        # table touches are accounted for the kernel that actually ran
         if cost.kernel == "gather":
             assert cost.lut_lookups == cost.code_macs
-            assert not (table_size < cost.k)  # auto would pick bincount
+            assert cost.lut_table_bytes == lut.table.size * 8
+        elif cost.kernel == "bincount":
+            assert cost.lut_lookups == cost.rows * cost.m * lut.table.size
+        elif cost.kernel in ("pair", "pair-int"):
+            # one pair-table lookup retires two MACs (+ the odd tail)
+            assert cost.lut_lookups == cost.rows * cost.m * ((cost.k + 1) // 2)
+            pair = pair_product_lut(export.weight.dtype_name, export.act_dtype_name)
+            itemsize = 2 if cost.kernel == "pair-int" else 8
+            assert cost.lut_table_bytes == pair.table.size * itemsize
+        else:  # popcount: work lives in word ops, not table gathers
+            assert cost.lut_lookups == 0
+            assert cost.word_ops > 0
+        # unique activation footprint: exact for linear, strictly less
+        # than the im2col-replicated GEMM operand for spatial convs
+        if cost.kind == "linear":
+            assert cost.input_elems == cost.rows * cost.k
         else:
-            assert cost.lut_lookups == cost.rows * cost.m * table_size
-            assert table_size < cost.k
-    # both kernels appear in this model (small and deep reductions)
-    assert {c.kernel for c in meter.layers.values()} == {"gather", "bincount"}
+            assert 0 < cost.input_elems <= cost.rows * cost.k
+    # the 4-bit zoo pairs all certify int16/int32 pair accumulation at
+    # these depths -- every layer runs the pair-int kernel
+    assert {c.kernel for c in meter.layers.values()} == {"pair-int"}
     # the classifier linear's GEMM shape is exact: 8 rows x 512 x 64
     fc = next(c for c in meter.layers.values() if c.kind == "linear" and c.k == 512)
     assert (fc.rows, fc.m) == (8, 64) and fc.code_macs == 8 * 512 * 64
@@ -459,6 +696,45 @@ def test_hardware_bridge_runs_executed_workload():
     tc = simulate_executed_tensorcore(meter)
     assert tc.seconds > 0
     assert tc.math_bound_layers + tc.memory_bound_layers == len(meter.layers)
+
+
+def test_simulate_executed_calibrated_against_analytic_tables():
+    """A meter loaded with the Fig. 13 analytic layer shapes reproduces
+    the analytic simulation *exactly*: the executed bridge and the
+    hand-written tables agree on every LayerShape field -- in
+    particular ``input_elems`` means the unique feature-map footprint
+    on both sides, not the im2col-expanded GEMM operand."""
+    from repro.hardware.accelerator import LayerAssignment, build_accelerator
+    from repro.hardware.workloads import workload_layers
+    from repro.qgemm import LayerCost
+
+    analytic = [
+        s
+        for s in workload_layers("vit", batch=2)
+        if s.weight_elems == s.m * s.k  # weight-less attn GEMMs never meter
+    ]
+    assert analytic  # the filter must keep the projection/MLP layers
+    meter = CostMeter()
+    for s in analytic:
+        meter.layers[s.name] = LayerCost(
+            name=s.name, kind="linear", w_dtype="int4", a_dtype="int4u",
+            weight_bits=4, act_bits=4, m=s.m, k=s.k, rows=s.n,
+            input_elems=s.input_elems, output_elems=s.output_elems,
+        )
+    shapes, assigns = executed_assignment(meter)
+    assert [
+        (sh.m, sh.k, sh.n, sh.weight_elems, sh.input_elems, sh.output_elems)
+        for sh in shapes
+    ] == [
+        (s.m, s.k, s.n, s.weight_elems, s.input_elems, s.output_elems)
+        for s in analytic
+    ]
+    ref = build_accelerator("ant-os").simulate(
+        analytic, [LayerAssignment(4, 4)] * len(analytic)
+    )
+    sim = simulate_executed(meter, "ant-os")
+    assert sim.cycles == ref.cycles
+    assert sim.total_energy_pj == ref.total_energy_pj
 
 
 def test_hardware_bridge_rejects_empty_meter():
