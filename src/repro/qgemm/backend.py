@@ -52,7 +52,7 @@ import numpy as np
 from repro.dtypes.codec import unpack_codes
 from repro.qgemm.costmodel import CostMeter
 from repro.qgemm.kernels import (
-    PAIR_STATIONARY_MAX_ELEMS,
+    PAIR_STATIONARY_TOTAL_MAX_ELEMS,
     code_gemm_bincount,
     code_gemm_gather,
     code_gemm_pair,
@@ -192,16 +192,20 @@ class QGemmBackend(ExecutionBackend):
         """Bake one layer's kernel into a closure over its loop-invariant
         weight-side state.
 
-        Returns ``(gemm, table_bytes, word_ops_per_row, scale_folded)``:
-        ``gemm(rows)`` maps ``(rows, k)`` activation indices to the
-        ``(rows, cols)`` accumulator; ``table_bytes`` is the footprint
-        of the table the kernel actually gathers (pair vs. base, int16
-        vs. float, or the per-layer stationary table); and
+        Returns ``(gemm, table_bytes, word_ops_per_row, scale_folded,
+        executed)``: ``gemm(rows)`` maps ``(rows, k)`` activation
+        indices to the ``(rows, cols)`` accumulator; ``table_bytes`` is
+        the footprint of the table the kernel actually gathers (pair
+        vs. base, int16 vs. float, or the per-layer stationary table);
         ``word_ops_per_row`` is the popcount kernel's uint64 word
         operations per GEMM row (zero for the other kernels).  When
         ``scale_folded`` is True the float32 pair path baked
         ``out_scale`` into its stationary table and the caller must
-        skip the output-scale pass.
+        skip the output-scale pass.  ``executed`` is the kernel label
+        the closure actually runs -- ``"pair-stat"`` when the
+        weight-stationary table replaced the per-column pair loop --
+        so the cost meter records the executed kernel mix, not just
+        the selection mode.
         """
         check = self._check
         itemsize = np.dtype(compute_dtype).itemsize
@@ -211,8 +215,10 @@ class QGemmBackend(ExecutionBackend):
             int_acc = kernel == "pair-int"
 
             # float32 serving: bake a per-layer weight-stationary table
-            # (output scale folded in) when it fits the memory budget.
-            # The float64 engine never takes this path -- its pair
+            # (output scale folded in) when it fits the memory cap;
+            # tables past the per-pass budget execute in k-chunks
+            # instead of falling back to the per-column loop.  The
+            # float64 engine never takes this path -- its pair
             # selection is certificate-gated and replays code_gemm_pair.
             stat_elems = (
                 w_pair.shape[0] * pair.n_act_cols**2 * w_pair.shape[1]
@@ -220,7 +226,7 @@ class QGemmBackend(ExecutionBackend):
             if (
                 not int_acc
                 and compute_dtype == np.float32
-                and 0 < stat_elems <= PAIR_STATIONARY_MAX_ELEMS
+                and 0 < stat_elems <= PAIR_STATIONARY_TOTAL_MAX_ELEMS
             ):
                 stat, tail = pair_stationary_tables(
                     w_pair, w_tail, pair, compute_dtype, out_scale
@@ -234,7 +240,7 @@ class QGemmBackend(ExecutionBackend):
                 table_bytes = stat.nbytes + (
                     0 if tail is None else tail.nbytes
                 )
-                return gemm, table_bytes, 0, out_scale is not None
+                return gemm, table_bytes, 0, out_scale is not None, "pair-stat"
 
             def gemm(rows: np.ndarray) -> np.ndarray:
                 return code_gemm_pair(
@@ -243,7 +249,8 @@ class QGemmBackend(ExecutionBackend):
                     int_accumulate=int_acc, check=check,
                 )
 
-            return gemm, pair.table.size * (2 if int_acc else itemsize), 0, False
+            table_bytes = pair.table.size * (2 if int_acc else itemsize)
+            return gemm, table_bytes, 0, False, kernel
         if kernel == "popcount":
             w_planes = popcount_weight_planes(wcodes, lut)
             n_cells = len(popcount_cells(w_planes, lut))
@@ -255,7 +262,7 @@ class QGemmBackend(ExecutionBackend):
                     w_planes=w_planes, check=check,
                 )
 
-            return gemm, lut.table.nbytes, cols * n_words * n_cells, False
+            return gemm, lut.table.nbytes, cols * n_words * n_cells, False, kernel
         w_joint = weight_joint_offsets(wcodes, lut)
         if kernel == "bincount":
 
@@ -265,7 +272,7 @@ class QGemmBackend(ExecutionBackend):
                     w_joint=w_joint, check=check,
                 )
 
-            return gemm, lut.table.nbytes, 0, False
+            return gemm, lut.table.nbytes, 0, False, kernel
 
         def gemm(rows: np.ndarray) -> np.ndarray:
             return code_gemm_gather(
@@ -273,7 +280,7 @@ class QGemmBackend(ExecutionBackend):
                 w_joint=w_joint, check=check,
             )
 
-        return gemm, lut.table.size * itemsize, 0, False
+        return gemm, lut.table.size * itemsize, 0, False, kernel
 
     def _compile_common(self, layer, k_dim: int):
         """Shared state; None when the layer must stay on float kernels."""
@@ -305,7 +312,7 @@ class QGemmBackend(ExecutionBackend):
         k_dim, out_features = wcodes.shape
         # all weight-side state (joint offsets / pair codes / indicator
         # planes) is loop-invariant: validated and precomputed once here
-        gemm, table_bytes, word_ops_per_row, scale_folded = self._compile_gemm(
+        gemm, table_bytes, word_ops_per_row, scale_folded, executed = self._compile_gemm(
             wcodes, lut, kernel, compute_dtype, out_scale=out_scale
         )
         act_quant = layer.act_quant
@@ -322,7 +329,7 @@ class QGemmBackend(ExecutionBackend):
             if meter is not None:
                 meter.record_layer(
                     export, kind="linear", rows=rows.shape[0],
-                    k=k_dim, cols=out_features, lut=lut, kernel=kernel,
+                    k=k_dim, cols=out_features, lut=lut, kernel=executed,
                     input_elems=x.size, table_bytes=table_bytes,
                     word_ops=rows.shape[0] * word_ops_per_row,
                 )
@@ -366,7 +373,7 @@ class QGemmBackend(ExecutionBackend):
             shift = (bn_shift if bias is None else bias * bn_scale + bn_shift)
             shift = np.ascontiguousarray(shift, dtype=compute_dtype)
 
-        gemm, table_bytes, word_ops_per_row, scale_folded = self._compile_gemm(
+        gemm, table_bytes, word_ops_per_row, scale_folded, executed = self._compile_gemm(
             wcodes, lut, kernel_mode, compute_dtype, out_scale=scale
         )
         kernel, stride, padding = layer.kernel, layer.stride, layer.padding
@@ -387,7 +394,7 @@ class QGemmBackend(ExecutionBackend):
                 # actually move -- not the kh*kw-replicated GEMM rows
                 meter.record_layer(
                     export, kind="conv2d", rows=rows.shape[0],
-                    k=k_dim, cols=c_out, lut=lut, kernel=kernel_mode,
+                    k=k_dim, cols=c_out, lut=lut, kernel=executed,
                     input_elems=x.size, table_bytes=table_bytes,
                     word_ops=rows.shape[0] * word_ops_per_row,
                 )

@@ -47,9 +47,10 @@ class LayerCost:
     #: total GEMM rows executed across all recorded forwards.
     rows: int = 0
     calls: int = 0
-    #: accumulation kernel the backend compiled for this layer
-    #: (``"gather"``, ``"bincount"``, ``"pair"``, ``"pair-int"``, or
-    #: ``"popcount"``).
+    #: accumulation kernel the backend *executed* for this layer
+    #: (``"gather"``, ``"bincount"``, ``"pair"``, ``"pair-int"``,
+    #: ``"pair-stat"`` -- the float32 weight-stationary gather-reduce,
+    #: possibly k-chunked -- or ``"popcount"``).
     kernel: str = "gather"
     #: code-domain multiply-accumulates (== rows * k * m summed).
     code_macs: int = 0
@@ -143,8 +144,10 @@ class CostMeter:
         entry.calls += 1
         entry.code_macs += macs
         entry.kernel = kernel
-        # account the table touches of the kernel that actually ran
-        if kernel in ("pair", "pair-int"):
+        # account the table touches of the kernel that actually ran;
+        # the stationary kernel fetches the same per-pair partial sums,
+        # just row-contiguously from its per-layer table
+        if kernel in ("pair", "pair-int", "pair-stat"):
             entry.lut_lookups += rows * cols * ((k + 1) // 2)
         elif kernel == "bincount":
             entry.lut_lookups += rows * cols * lut.table.size

@@ -83,10 +83,19 @@ PAIR_TRANSPOSE_MAX_ROWS = 16384
 POPCOUNT_MIN_K = 32
 
 #: float32 serving builds a per-layer weight-stationary pair table
-#: (``kh * Na^2 * cols`` elements, output scale pre-folded) when it
-#: fits this budget: 2^22 float32 elements = 16 MiB.  Larger layers
-#: keep the shared per-type-pair table and the per-column loop.
+#: (``kh * Na^2 * cols`` elements, output scale pre-folded).  Tables up
+#: to this budget (2^22 float32 elements = 16 MiB) gather in one pass;
+#: larger tables execute in k-chunks of at most this many elements so
+#: each chunk's table slice stays cache-resident while its gathered
+#: partial sums reduce (see :func:`code_gemm_pair_stationary`).
 PAIR_STATIONARY_MAX_ELEMS = 1 << 22
+
+#: hard cap on a per-layer stationary table.  Past this (2^24 float32
+#: elements = 64 MiB) the per-layer memory cost outweighs the gather
+#: win and the layer keeps the shared pair table's per-column loop.
+#: Covers the deepest zoo convs (k = 576 -> ~5.3M elements), which the
+#: per-pass budget above used to push onto the per-column fallback.
+PAIR_STATIONARY_TOTAL_MAX_ELEMS = 1 << 24
 
 #: int32 accumulators must stay exact: certified depth bound target.
 _INT32_LIMIT = float(2**31 - 1)
@@ -453,9 +462,18 @@ def code_gemm_pair_stationary(
     positions runs on the leading axis of the ``(kh, block, cols)``
     gather, landing row-major output with no final transpose.
 
-    Float rounding differs from :func:`code_gemm_pair` only through
-    the pre-folded output scale; the backend uses this kernel for
-    float32 serving, where the bar is argmax parity, never for the
+    Tables past :data:`PAIR_STATIONARY_MAX_ELEMS` execute as a fused
+    gather-reduce over k-chunks: each chunk of pair positions only ever
+    gathers from its own ``chunk * Na^2`` slice of rows (pair ``j``'s
+    joint offsets all land in ``[j*Na^2, (j+1)*Na^2)``), so the slice
+    stays cache-resident while the chunk's ``(chunk, block, cols)``
+    partial-sum tile is reduced hot, accumulating into the output row
+    block.  Chunked accumulation reassociates the k-sum relative to the
+    single-pass gather -- same float32 serving bar.
+
+    Float rounding otherwise differs from :func:`code_gemm_pair` only
+    through the pre-folded output scale; the backend uses this kernel
+    for float32 serving, where the bar is argmax parity, never for the
     bit-exact float64 engine.
     """
     kh_na2, cols = stat.shape
@@ -471,13 +489,27 @@ def code_gemm_pair_stationary(
         return out
     if kh:
         ap_t = _pair_act_offsets(act_idx, pair, transposed=True)
-        block = min(max(block_elems // max(kh * cols, 1), 16), rows)
+        ck = kh
+        if kh_na2 * cols > PAIR_STATIONARY_MAX_ELEMS:
+            ck = max(1, PAIR_STATIONARY_MAX_ELEMS // max(na2 * cols, 1))
+        block = min(max(block_elems // max(ck * cols, 1), 16), rows)
+        tile = (
+            np.empty((block, cols), dtype=out_dtype) if ck < kh else None
+        )
         for start in range(0, rows, block):
             stop = min(start + block, rows)
             np.sum(
-                stat[ap_t[:, start:stop]], axis=0, dtype=out_dtype,
+                stat[ap_t[:ck, start:stop]], axis=0, dtype=out_dtype,
                 out=out[start:stop],
             )
+            for j0 in range(ck, kh, ck):
+                j1 = min(j0 + ck, kh)
+                part = tile[: stop - start]
+                np.sum(
+                    stat[ap_t[j0:j1, start:stop]], axis=0,
+                    dtype=out_dtype, out=part,
+                )
+                out[start:stop] += part
     else:
         out[...] = 0.0
     if tail is not None:

@@ -17,6 +17,7 @@ needs).
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -50,6 +51,46 @@ def scratch(bufs: Buffers, tag: str, shape: Tuple[int, ...], dtype) -> Optional[
             bufs.clear()
         buf = bufs[key] = np.empty(shape, dtype=dtype)
     return buf
+
+
+#: default last-level-private-cache budget assumed by the tiled kernels
+#: when ``REPRO_L2_BYTES`` is unset: 2 MiB, the L2 size of the
+#: container class this project benchmarks on.
+_DEFAULT_L2_BYTES = 2 << 20
+
+_L2_BYTES_CACHE: Optional[int] = None
+
+
+def l2_budget_bytes() -> int:
+    """Cache budget (bytes) that sizes the blocked kernels' tiles.
+
+    Reads ``REPRO_L2_BYTES`` once per process (set it before the first
+    forward to retune every tiled kernel for a different machine); falls
+    back to :data:`_DEFAULT_L2_BYTES`.  Values below 64 KiB are clamped
+    -- tiles smaller than that lose more to loop overhead than they
+    gain in residency.
+    """
+    global _L2_BYTES_CACHE
+    if _L2_BYTES_CACHE is None:
+        raw = os.environ.get("REPRO_L2_BYTES", "")
+        try:
+            value = int(raw) if raw else _DEFAULT_L2_BYTES
+        except ValueError:
+            value = _DEFAULT_L2_BYTES
+        _L2_BYTES_CACHE = max(value, 64 << 10)
+    return _L2_BYTES_CACHE
+
+
+def conv_tile_elems() -> int:
+    """im2col scratch tile size, in elements, for the chunked convs.
+
+    Half the cache budget in float32 elements: the window-copy source
+    and the GEMM read the same tile back to back, so budgeting half
+    keeps tile + output slice resident between the two passes.  At the
+    default 2 MiB budget this is 256 Ki elements -- the value the old
+    hardcoded ``(1 << 18)`` heuristic was implicitly tuned to.
+    """
+    return l2_budget_bytes() // 8
 
 
 def conv2d_infer(
@@ -152,8 +193,10 @@ def conv2d_nhwc_infer(
     else:
         # Chunk the batch so each window copy and its GEMM stay
         # cache-resident between the two passes (~1.7x on this path).
+        # The tile is sized from the cache budget (REPRO_L2_BYTES)
+        # rather than a hardcoded element count.
         per_sample = out_h * out_w * k_dim
-        chunk = max(1, min(n, (1 << 18) // max(per_sample, 1)))
+        chunk = max(1, min(n, conv_tile_elems() // max(per_sample, 1)))
         cols = scratch(bufs, "conv-cols", (chunk,) + win_shape[1:], x.dtype)
         out = scratch(bufs, "conv-out", (rows, c_out), x.dtype)
         span = out_h * out_w
@@ -330,6 +373,17 @@ def softmax_infer(x: np.ndarray, axis: int = -1, bufs: Buffers = None) -> np.nda
         shifted = x - x.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=axis, keepdims=True)
+    if (
+        x.dtype == np.float32
+        and x.shape[-1] <= 64
+        and x.nbytes > l2_budget_bytes()
+        and x.flags.c_contiguous
+    ):
+        # tall-and-skinny scores that spill the cache budget: the
+        # per-row reductions dominate in the row-major layout (a
+        # 16-wide max/sum per row defeats SIMD); the transposed-tile
+        # kernel is several times faster there
+        return softmax_blocked_infer(x, bufs=bufs, out=out)
     stat_shape = x.shape[:-1] + (1,)
     stat = scratch(bufs, "sm-stat", stat_shape, x.dtype)
     np.max(x, axis=-1, keepdims=True, out=stat)
@@ -337,6 +391,243 @@ def softmax_infer(x: np.ndarray, axis: int = -1, bufs: Buffers = None) -> np.nda
     np.exp(out, out=out)
     np.sum(out, axis=-1, keepdims=True, out=stat)
     np.divide(out, stat, out=out)
+    return out
+
+
+def _take_scratch(
+    bufs: Buffers, tag: str, shape: Tuple[int, ...], dtype
+) -> np.ndarray:
+    """Pooled scratch, or a fresh allocation when no pool was passed."""
+    buf = scratch(bufs, tag, shape, dtype)
+    return np.empty(shape, dtype=dtype) if buf is None else buf
+
+
+def softmax_blocked_infer(
+    x: np.ndarray,
+    bufs: Buffers = None,
+    block_rows: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Softmax over the last axis via transposed cache-resident tiles.
+
+    Reductions along the last axis of a tall-and-skinny array are
+    numpy's worst case: each row's max/sum vectorizes over only
+    ``x.shape[-1]`` elements.  This kernel copies a block of rows into a
+    transposed ``(S, block)`` scratch tile sized to the cache budget,
+    where the same reductions sweep axis 0 and vectorize across the
+    *block* instead -- then the two remaining passes (subtract+exp,
+    normalize) run over the hot tile before it is written back.
+
+    Same max-shifted value sequence as :func:`softmax_infer`; only the
+    reduction layout (hence float rounding at the 1-ulp level) differs.
+    NaNs propagate per row exactly like the reference.
+    """
+    s = x.shape[-1]
+    x2 = x.reshape(-1, s)
+    rows = x2.shape[0]
+    if out is None:
+        out = _take_scratch(bufs, "smb-out", x.shape, x.dtype)
+    out2 = out.reshape(-1, s)
+    if block_rows is None:
+        budget = l2_budget_bytes() // (2 * x.dtype.itemsize)
+        block_rows = max(64, budget // max(s, 1))
+    block_rows = min(block_rows, rows) if rows else 0
+    for start in range(0, rows, block_rows):
+        m = min(block_rows, rows - start)
+        tile = _take_scratch(bufs, "smb-tile", (s, m), x.dtype)
+        stat = _take_scratch(bufs, "smb-stat", (m,), x.dtype)
+        np.copyto(tile, x2[start:start + m].T)
+        np.max(tile, axis=0, out=stat)
+        np.subtract(tile, stat[None, :], out=tile)
+        np.exp(tile, out=tile)
+        np.sum(tile, axis=0, out=stat)
+        np.reciprocal(stat, out=stat)
+        np.multiply(tile, stat[None, :], out=tile)
+        np.copyto(out2[start:start + m], tile.T)
+    return out
+
+
+def attention_blocked_infer(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: Optional[float] = None,
+    out: Optional[np.ndarray] = None,
+    bufs: Buffers = None,
+    q_block: Optional[int] = None,
+    k_block: Optional[int] = None,
+    bh_block: Optional[int] = None,
+) -> np.ndarray:
+    """Flash-style blocked attention over contiguous batched operands.
+
+    ``q`` is ``(B, Sq, D)`` and ``k``/``v`` are ``(B, Sk, D)`` where
+    ``B`` flattens ``batch * heads`` -- the caller packs heads into the
+    batch axis once (a contiguous copy) instead of feeding strided 4-D
+    views to every matmul.  Keys and values stream through the online-
+    softmax recurrence (running max ``m``, rescaled partial sums ``l``
+    and ``acc``) so the materialized score tile never exceeds
+    ``bh_block x k_block x q_block`` elements, sized to half the cache
+    budget (:func:`l2_budget_bytes`).
+
+    Score tiles are built *transposed* (``k`` rows by ``q`` columns):
+    the softmax max/sum then reduce along axis 1 of the tile and
+    vectorize across the contiguous q axis, which is several times
+    faster than row-major reductions over a short key axis.
+
+    ``scale`` multiplies the scores (pass ``None`` when the caller
+    already folded ``1/sqrt(d)`` into ``q``).  Block sizes are
+    overridable for testing; any positive values (1, odd, larger than
+    the sequence) are valid.  Returns ``out`` -- ``(B, Sq, D)``.
+    """
+    B, sq, d = q.shape
+    sk = k.shape[1]
+    dt = q.dtype
+    if out is None:
+        out = _take_scratch(bufs, "attn-out", (B, sq, d), dt)
+    if not (B and sq and d):
+        return out
+    budget = l2_budget_bytes() // (2 * dt.itemsize)
+    if k_block is None:
+        k_block = min(sk, 512)
+    k_block = max(1, min(k_block, sk))
+    if q_block is None:
+        q_block = max(16, budget // max(k_block, 1))
+    q_block = max(1, min(q_block, sq))
+    if bh_block is None:
+        bh_block = budget // max(q_block * k_block, 1)
+    bh_block = max(1, min(bh_block, B))
+    mul = None if scale is None else dt.type(scale)
+    for g0 in range(0, B, bh_block):
+        g = min(bh_block, B - g0)
+        kg = k[g0:g0 + g]
+        vg = v[g0:g0 + g]
+        for q0 in range(0, sq, q_block):
+            qb = min(q_block, sq - q0)
+            qt = q[g0:g0 + g, q0:q0 + qb].transpose(0, 2, 1)  # (g, D, qb)
+            acc = _take_scratch(bufs, "attn-acc", (g, qb, d), dt)
+            run_max = _take_scratch(bufs, "attn-m", (g, qb), dt)
+            run_sum = _take_scratch(bufs, "attn-l", (g, qb), dt)
+            stat = _take_scratch(bufs, "attn-stat", (g, qb), dt)
+            for k0 in range(0, sk, k_block):
+                kb = min(k_block, sk - k0)
+                s = _take_scratch(bufs, "attn-sT", (g, kb, qb), dt)
+                np.matmul(kg[:, k0:k0 + kb], qt, out=s)  # scores^T
+                if mul is not None:
+                    np.multiply(s, mul, out=s)
+                if k0 == 0:
+                    np.max(s, axis=1, out=run_max)
+                    np.subtract(s, run_max[:, None, :], out=s)
+                    np.exp(s, out=s)
+                    np.sum(s, axis=1, out=run_sum)
+                    np.matmul(s.transpose(0, 2, 1), vg[:, k0:k0 + kb], out=acc)
+                    continue
+                # online-softmax recurrence: rescale the accumulated
+                # numerator/denominator to the new running max
+                np.max(s, axis=1, out=stat)
+                np.maximum(stat, run_max, out=stat)  # new max
+                np.subtract(run_max, stat, out=run_max)
+                np.exp(run_max, out=run_max)  # rescale factor
+                np.multiply(acc, run_max[:, :, None], out=acc)
+                np.multiply(run_sum, run_max, out=run_sum)
+                np.subtract(s, stat[:, None, :], out=s)
+                np.exp(s, out=s)
+                np.sum(s, axis=1, out=run_max)  # block partial sum
+                np.add(run_sum, run_max, out=run_sum)
+                ctx = _take_scratch(bufs, "attn-ctx", (g, qb, d), dt)
+                np.matmul(s.transpose(0, 2, 1), vg[:, k0:k0 + kb], out=ctx)
+                np.add(acc, ctx, out=acc)
+                np.copyto(run_max, stat)
+            np.reciprocal(run_sum, out=run_sum)
+            np.multiply(
+                acc, run_sum[:, :, None], out=out[g0:g0 + g, q0:q0 + qb]
+            )
+    return out
+
+
+def attention_heads_infer(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    num_heads: int,
+    scale: float,
+    bufs: Buffers = None,
+) -> np.ndarray:
+    """Multi-head attention over ``(batch, seq, dim)`` projections.
+
+    Packs each projection into contiguous ``(batch*heads, seq, head_dim)``
+    operands with one copy per tensor (``scale`` rides the q copy for
+    free), runs :func:`attention_blocked_infer`, and merges heads back.
+    The packed copies replace the strided 4-D ``_split_heads`` views the
+    interpreter feeds straight to ``@`` -- every GEMM below sees
+    BLAS-contiguous blocks.
+    """
+    batch, seq, dim = q.shape
+    hd = dim // num_heads
+    dt = q.dtype
+    flat = (batch * num_heads, seq, hd)
+    packed = (batch, num_heads, seq, hd)
+    qc = _take_scratch(bufs, "attnh-q", flat, dt)
+    kc = _take_scratch(bufs, "attnh-k", flat, dt)
+    vc = _take_scratch(bufs, "attnh-v", flat, dt)
+    np.multiply(
+        q.reshape(batch, seq, num_heads, hd).transpose(0, 2, 1, 3),
+        dt.type(scale),
+        out=qc.reshape(packed),
+    )
+    np.copyto(
+        kc.reshape(packed),
+        k.reshape(batch, seq, num_heads, hd).transpose(0, 2, 1, 3),
+    )
+    np.copyto(
+        vc.reshape(packed),
+        v.reshape(batch, seq, num_heads, hd).transpose(0, 2, 1, 3),
+    )
+    ctx = attention_blocked_infer(qc, kc, vc, bufs=bufs)
+    merged = _take_scratch(bufs, "attnh-out", (batch, seq, dim), dt)
+    np.copyto(
+        merged.reshape(batch, seq, num_heads, hd),
+        ctx.reshape(packed).transpose(0, 2, 1, 3),
+    )
+    return merged
+
+
+def layer_norm_1pass_infer(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float,
+    bufs: Buffers = None,
+) -> np.ndarray:
+    """Fused-moment LayerNorm for the float32 serving path.
+
+    The mean lands in one BLAS matvec against a constant ``1/D`` vector
+    and the variance in one row-dot of the centered differences
+    (``einsum`` over the tile the subtraction just wrote, still hot) --
+    a Welford-style fused sweep replacing :func:`layer_norm_infer`'s
+    four full-array passes and its ``ln-sq`` squared-copy temporary.
+    Rounding reassociates at the 1e-6 relative level, so the bit-exact
+    float64 engine keeps the reference kernel.
+    """
+    d_model = x.shape[-1]
+    x2 = x if x.flags.c_contiguous else np.ascontiguousarray(x)
+    x2 = x2.reshape(-1, d_model)
+    rows = x2.shape[0]
+    out = _take_scratch(bufs, "ln1-out", x.shape, x.dtype)
+    d2 = out.reshape(-1, d_model)
+    ones = scratch(bufs, "ln1-ones", (d_model,), x.dtype)
+    if ones is None:
+        ones = np.full((d_model,), 1.0 / d_model, dtype=x.dtype)
+    else:
+        ones.fill(1.0 / d_model)
+    mean = _take_scratch(bufs, "ln1-mean", (rows,), x.dtype)
+    var = _take_scratch(bufs, "ln1-var", (rows,), x.dtype)
+    np.dot(x2, ones, out=mean)
+    np.subtract(x2, mean[:, None], out=d2)
+    np.einsum("ij,ij->i", d2, d2, out=var)
+    np.multiply(var, var.dtype.type(1.0 / d_model), out=var)
+    np.add(var, var.dtype.type(eps), out=var)
+    np.sqrt(var, out=var)
+    np.reciprocal(var, out=var)
+    np.multiply(d2, var[:, None], out=d2)
+    np.multiply(d2, weight, out=d2)
+    np.add(d2, bias, out=d2)
     return out
 
 

@@ -470,9 +470,23 @@ class FrozenAttention(FrozenModule):
 
     def forward(self, x):
         batch, seq, dim = x.shape
-        q = self._split_heads(self.q_proj(x), batch, seq)
-        k = self._split_heads(self.k_proj(x), batch, seq)
-        v = self._split_heads(self.v_proj(x), batch, seq)
+        q = self.q_proj(x)
+        k = self.k_proj(x)
+        v = self.v_proj(x)
+        scores_bytes = batch * self.num_heads * seq * seq * x.dtype.itemsize
+        if x.dtype == np.float32 and scores_bytes > K.l2_budget_bytes():
+            # long sequences: the full scores tensor would spill the
+            # cache budget, so stream k/v blocks through the blocked
+            # online-softmax kernel instead (float32 serving bar only;
+            # float64 keeps the bit-exact multi-pass order below)
+            return self.out_proj(
+                K.attention_heads_infer(
+                    q, k, v, self.num_heads, self.inv_sqrt, bufs=self._bufs
+                )
+            )
+        q = self._split_heads(q, batch, seq)
+        k = self._split_heads(k, batch, seq)
+        v = self._split_heads(v, batch, seq)
         scores = (q @ k.transpose(0, 1, 3, 2)) * self.inv_sqrt
         attn = K.softmax_infer(scores, axis=-1, bufs=self._bufs)
         context = (attn @ v).transpose(0, 2, 1, 3).reshape(batch, seq, dim)

@@ -508,7 +508,8 @@ class LinearNode(_GemmNode):
         else:
             # quantize + GEMM + post per cache-sized row chunk: the
             # quantized operand never round-trips through DRAM
-            chunk = max(64, min(rows, (1 << 16) // max(k, 1)))
+            # (budget/32 elems == the old 1<<16 at the default 2 MiB)
+            chunk = max(64, min(rows, (K.l2_budget_bytes() // 32) // max(k, 1)))
             qbuf = scratch(self._bufs, "qrows", (chunk, k), np.float32)
             for start in range(0, rows, chunk):
                 m = min(chunk, rows - start)
@@ -561,49 +562,68 @@ class ConvNode(_GemmNode):
             else:
                 cols = sub.reshape(rows, k_dim) if sub.flags.c_contiguous \
                     else np.ascontiguousarray(sub).reshape(rows, k_dim)
-            chunk_rows = max(256, min(rows, (1 << 18) // max(c_out, 1)))
+            chunk_rows = max(256, min(rows, K.conv_tile_elems() // max(c_out, 1)))
             for start in range(0, rows, chunk_rows):
                 m = min(chunk_rows, rows - start)
                 np.matmul(cols[start:start + m], w, out=out[start:start + m])
                 self._post(out[start:start + m])
             return out.reshape(n, out_h, out_w, c_out)
 
-        # windowed conv: one full-array quantize sweep straight into the
-        # padded scratch buffer (no separate divide/pad passes), then
-        # cache-resident window-copy + GEMM + post-op per chunk
-        if not (ph or pw):
-            if quant is None:
-                padded = x if x.flags.c_contiguous else np.ascontiguousarray(x)
-            else:
-                padded = scratch(self._bufs, "pad", x.shape, np.float32)
-                quant.write(x, self._bufs, padded)
-        else:
-            padded = scratch(
-                self._bufs, "pad", (n, h + 2 * ph, wd + 2 * pw, c), np.float32
-            )
-            if ph:
-                padded[:, :ph] = 0
-                padded[:, h + ph:] = 0
-            if pw:
-                padded[:, :, :pw] = 0
-                padded[:, :, wd + pw:] = 0
-            interior = padded[:, ph:ph + h, pw:pw + wd, :]
-            if quant is None:
-                np.copyto(interior, x)
-            else:
-                qbuf = scratch(self._bufs, "qfull", x.shape, np.float32)
-                quant.write(x, self._bufs, qbuf)
-                np.copyto(interior, qbuf)
+        # windowed conv: quantize + pad + window-copy + GEMM + post-op all
+        # run per cache-budget-sized sample tile (conv_tile_elems, env
+        # REPRO_L2_BYTES), so neither the quantized activations nor the
+        # im2col cols scratch round-trip through DRAM between passes
         per_sample = span * k_dim
-        chunk = max(1, min(n, (1 << 18) // max(per_sample, 1)))
+        chunk = max(1, min(n, K.conv_tile_elems() // max(per_sample, 1)))
+        pad_h, pad_w = h + 2 * ph, wd + 2 * pw
         cols = scratch(
             self._bufs, "cols", (chunk, out_h, out_w, kh, kw, c), np.float32
         )
-        s = padded.strides
+        padded = ptile = qtile = None
+        if quant is None:
+            if not (ph or pw):
+                padded = x if x.flags.c_contiguous else np.ascontiguousarray(x)
+            else:
+                padded = scratch(
+                    self._bufs, "pad", (n, pad_h, pad_w, c), np.float32
+                )
+                if ph:
+                    padded[:, :ph] = 0
+                    padded[:, h + ph:] = 0
+                if pw:
+                    padded[:, :, :pw] = 0
+                    padded[:, :, wd + pw:] = 0
+                np.copyto(padded[:, ph:ph + h, pw:pw + wd, :], x)
+        else:
+            ptile = scratch(
+                self._bufs, "ptile", (chunk, pad_h, pad_w, c), np.float32
+            )
+            if ph or pw:
+                # interior writes below never touch the borders, so one
+                # zero fill covers every tile of this forward
+                if ph:
+                    ptile[:, :ph] = 0
+                    ptile[:, h + ph:] = 0
+                if pw:
+                    ptile[:, :, :pw] = 0
+                    ptile[:, :, wd + pw:] = 0
+                qtile = scratch(
+                    self._bufs, "qtile", (chunk, h, wd, c), np.float32
+                )
         for start in range(0, n, chunk):
             m = min(chunk, n - start)
+            if quant is None:
+                src = padded[start:start + m]
+            else:
+                src = ptile[:m]
+                if qtile is None:
+                    quant.write(x[start:start + m], self._bufs, src)
+                else:
+                    quant.write(x[start:start + m], self._bufs, qtile[:m])
+                    np.copyto(src[:, ph:ph + h, pw:pw + wd, :], qtile[:m])
+            s = src.strides
             windows = np.lib.stride_tricks.as_strided(
-                padded[start:start + m],
+                src,
                 shape=(m, out_h, out_w, kh, kw, c),
                 strides=(s[0], s[1] * sh, s[2] * sw, s[1], s[2], s[3]),
                 writeable=False,
@@ -852,8 +872,45 @@ class InceptionModuleNode(PlanNode):
         return np.concatenate(outs, axis=self.mod.channel_axis)
 
 
+class LayerNormNode(PlanNode):
+    """LayerNorm: fused-moment kernel at float32, exact replay at float64.
+
+    Not ``scale_commutes``: LayerNorm is scale-*invariant* -- a folded
+    multiplier would be silently erased, not commuted -- so scale folds
+    stop here exactly as they did at the old opaque node.
+    """
+
+    kind_label = "layer-norm"
+    label = "layer-norm"
+
+    def __init__(self, ln: FM.FrozenLayerNorm, fused: bool) -> None:
+        super().__init__()
+        self.ln = ln
+        self.fused = fused
+        if fused:
+            self.kind_label = "ln-1pass"
+            self.label = "ln-1pass"
+
+    def run(self, x):
+        ln = self.ln
+        if self.fused:
+            return K.layer_norm_1pass_infer(
+                x, ln.weight, ln.bias, ln.eps, bufs=self._bufs
+            )
+        return K.layer_norm_infer(x, ln.weight, ln.bias, ln.eps, bufs=self._bufs)
+
+
 class AttentionNode(PlanNode):
-    """Multi-head self-attention with one shared q/k/v quantize."""
+    """Multi-head self-attention with one shared q/k/v quantize.
+
+    Float64 replays the interpreter's strided op order bit-identically.
+    Float32 runs the cache-resident path: when q/k/v share one quantize
+    edge their finalized weights concatenate into a single ``(k, 3*dim)``
+    GEMM, heads pack into contiguous ``(batch*heads, seq, head_dim)``
+    operands once, and :func:`~repro.runtime.kernels.attention_blocked_infer`
+    streams k/v blocks through the online-softmax recurrence so the
+    score tile stays inside the cache budget.
+    """
 
     kind_label = "attention"
     label = "attention"
@@ -861,11 +918,17 @@ class AttentionNode(PlanNode):
     def __init__(self, attn: FM.FrozenAttention, fused: bool) -> None:
         super().__init__()
         self.attn = attn
+        self.fused = fused
         self.qn = LinearNode(attn.q_proj, fused)
         self.kn = LinearNode(attn.k_proj, fused)
         self.vn = LinearNode(attn.v_proj, fused)
         self.on = LinearNode(attn.out_proj, fused)
         self.shared = None
+        self._qkv_w = None
+        self._qkv_bias = None
+        if fused:
+            self.kind_label = "attn-blocked"
+            self.label = "attn-blocked"
         acts = [p.act_quant for p in (attn.q_proj, attn.k_proj, attn.v_proj)]
         if all(a is not None for a in acts) and all(
             _same_spec(acts[0], a) for a in acts[1:]
@@ -879,16 +942,57 @@ class AttentionNode(PlanNode):
             if n is not None
         ]
 
+    def finalize(self):
+        self._qkv_w = None
+        self._qkv_bias = None
+        if not (self.fused and self.shared is not None):
+            return
+        nodes = (self.qn, self.kn, self.vn)
+        for node in nodes:
+            node.finalize()  # runs again later in plan order; idempotent
+        if any(n.post_relu for n in nodes):
+            return
+        biases = [n._bias for n in nodes]
+        if any(b is None for b in biases) != all(b is None for b in biases):
+            return  # mixed bias layout: keep the separate GEMMs
+        self._qkv_w = np.ascontiguousarray(
+            np.concatenate([n._w for n in nodes], axis=1)
+        )
+        if biases[0] is not None:
+            self._qkv_bias = np.concatenate(biases)
+
     def run(self, x):
         attn = self.attn
         batch, seq, dim = x.shape
         src = self.shared(x) if self.shared is not None else x
-        q = attn._split_heads(self.qn(src), batch, seq)
-        k = attn._split_heads(self.kn(src), batch, seq)
-        v = attn._split_heads(self.vn(src), batch, seq)
-        scores = (q @ k.transpose(0, 1, 3, 2)) * attn.inv_sqrt
-        weights = K.softmax_infer(scores, axis=-1, bufs=self._bufs)
-        context = (weights @ v).transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        if not self.fused:
+            # float64 (bit-exact mode): interpreter op order
+            q = attn._split_heads(self.qn(src), batch, seq)
+            k = attn._split_heads(self.kn(src), batch, seq)
+            v = attn._split_heads(self.vn(src), batch, seq)
+            scores = (q @ k.transpose(0, 1, 3, 2)) * attn.inv_sqrt
+            weights = K.softmax_infer(scores, axis=-1, bufs=self._bufs)
+            context = (
+                (weights @ v).transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+            )
+            return self.on(context)
+        if self._qkv_w is not None:
+            src2 = src.reshape(batch * seq, dim)
+            if not src2.flags.c_contiguous:
+                src2 = np.ascontiguousarray(src2)
+            qkv = scratch(
+                self._bufs, "qkv", (batch * seq, 3 * dim), np.float32
+            )
+            np.matmul(src2, self._qkv_w, out=qkv)
+            if self._qkv_bias is not None:
+                np.add(qkv, self._qkv_bias, out=qkv)
+            q3 = qkv.reshape(batch, seq, 3 * dim)
+            q, k, v = q3[..., :dim], q3[..., dim:2 * dim], q3[..., 2 * dim:]
+        else:
+            q, k, v = self.qn(src), self.kn(src), self.vn(src)
+        context = K.attention_heads_infer(
+            q, k, v, attn.num_heads, attn.inv_sqrt, bufs=self._bufs
+        )
         return self.on(context)
 
 
@@ -1069,6 +1173,8 @@ def _lower(module: FrozenModule, fused: bool) -> Optional[PlanNode]:
             scale_commutes=module.scale_commutes,
             relu_commutes=module.relu_commutes,
         )
+    if isinstance(module, FM.FrozenLayerNorm):
+        return LayerNormNode(module, fused)
     if isinstance(module, FM.FrozenBasicBlock):
         return BasicBlockNode(module, fused)
     if isinstance(module, FM.FrozenInceptionModule):

@@ -1,0 +1,273 @@
+"""Property tests for the cache-resident kernels (PR 8).
+
+The blocked flash-style attention and transposed-tile softmax must be
+*shape-blind*: any positive block sizes -- 1, odd, larger than the
+sequence -- and any ragged tail must produce the same values as the
+naive reference, because block sizes are derived from a cache budget
+the user can retune via ``REPRO_L2_BYTES``.  The single-pass LayerNorm
+must hold up where fused-moment formulas classically fail (huge mean,
+extreme variance).  And the conservative float64 path must stay on the
+reference kernels bit-for-bit -- the blocked kernels reassociate and
+are float32-serving-only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import kernels as K
+
+RNG = np.random.default_rng(0x5EED)
+
+
+# ----------------------------------------------------------------------
+# references (naive, obviously-correct)
+# ----------------------------------------------------------------------
+def ref_softmax(x):
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def ref_attention(q, k, v, scale=None):
+    scores = q @ k.transpose(0, 2, 1)
+    if scale is not None:
+        scores = scores * scale
+    return ref_softmax(scores) @ v
+
+
+def ref_attention_heads(q, k, v, num_heads, scale):
+    batch, seq, dim = q.shape
+    hd = dim // num_heads
+
+    def split(t):
+        return t.reshape(batch, seq, num_heads, hd).transpose(0, 2, 1, 3)
+
+    scores = split(q) @ split(k).transpose(0, 1, 3, 2) * scale
+    ctx = ref_softmax(scores) @ split(v)
+    return ctx.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+
+
+# ----------------------------------------------------------------------
+# blocked softmax
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("block_rows", [1, 3, 7, 64, 10_000])
+@pytest.mark.parametrize("shape", [(5, 16), (2, 3, 17), (37, 1), (1, 64)])
+def test_blocked_softmax_matches_reference(shape, block_rows):
+    """Any block size (1, odd, > rows) and ragged tail is exact."""
+    x = RNG.standard_normal(shape).astype(np.float32) * 4
+    got = K.softmax_blocked_infer(x, bufs={}, block_rows=block_rows)
+    np.testing.assert_allclose(got, ref_softmax(x), rtol=1e-5, atol=1e-6)
+    np.testing.assert_allclose(got.sum(axis=-1), 1.0, rtol=1e-5)
+
+
+def test_blocked_softmax_propagates_nan_per_row():
+    x = RNG.standard_normal((9, 16)).astype(np.float32)
+    x[4, 7] = np.nan
+    got = K.softmax_blocked_infer(x, bufs={}, block_rows=3)
+    assert np.isnan(got[4]).all()
+    clean = np.delete(got, 4, axis=0)
+    assert np.isfinite(clean).all()
+    # identical rows to the reference kernel's NaN handling
+    ref = ref_softmax(x)
+    assert np.isnan(ref[4]).all()
+    np.testing.assert_allclose(clean, np.delete(ref, 4, axis=0), rtol=1e-5)
+
+
+def test_softmax_infer_float64_stays_on_reference_path():
+    """The conservative dtype must not be rerouted: buffered float64
+    softmax is bit-identical to the unbuffered reference computation."""
+    x = RNG.standard_normal((512, 16)) * 3  # float64
+    buffered = K.softmax_infer(x, bufs={})
+    assert np.array_equal(buffered, ref_softmax(x))
+
+
+def test_softmax_infer_fast_path_engages_only_past_budget():
+    """float32 scores that spill the budget dispatch to the blocked
+    kernel (same values within reassociation tolerance); resident
+    scores keep the in-place multi-pass kernel's exact sequence."""
+    spill_rows = K.l2_budget_bytes() // (16 * 4) + 1
+    x = RNG.standard_normal((spill_rows, 16)).astype(np.float32)
+    np.testing.assert_allclose(
+        K.softmax_infer(x, bufs={}), ref_softmax(x), rtol=1e-5, atol=1e-6
+    )
+    small = x[:64]
+    assert np.array_equal(K.softmax_infer(small, bufs={}), ref_softmax(small))
+
+
+# ----------------------------------------------------------------------
+# blocked attention
+# ----------------------------------------------------------------------
+BLOCKS = [(1, 1, 1), (3, 5, 2), (7, 1, 1), (1000, 1000, 1000), (None, None, None)]
+
+
+@pytest.mark.parametrize("q_block,k_block,bh_block", BLOCKS)
+def test_blocked_attention_matches_reference(q_block, k_block, bh_block):
+    """Every block-size regime replays the online-softmax recurrence to
+    the same values as full-score attention."""
+    B, sq, sk, d = 6, 37, 53, 8
+    q = RNG.standard_normal((B, sq, d)).astype(np.float32)
+    k = RNG.standard_normal((B, sk, d)).astype(np.float32)
+    v = RNG.standard_normal((B, sk, d)).astype(np.float32)
+    got = K.attention_blocked_infer(
+        q, k, v, scale=0.35, bufs={},
+        q_block=q_block, k_block=k_block, bh_block=bh_block,
+    )
+    np.testing.assert_allclose(
+        got, ref_attention(q, k, v, 0.35), rtol=1e-4, atol=1e-5
+    )
+
+
+@pytest.mark.parametrize("shape", [(1, 1, 1, 4), (2, 37, 53, 8), (5, 64, 3, 16)])
+def test_blocked_attention_ragged_shapes(shape):
+    B, sq, sk, d = shape
+    q = RNG.standard_normal((B, sq, d)).astype(np.float32)
+    k = RNG.standard_normal((B, sk, d)).astype(np.float32)
+    v = RNG.standard_normal((B, sk, d)).astype(np.float32)
+    got = K.attention_blocked_infer(q, k, v, bufs={}, q_block=5, k_block=7)
+    np.testing.assert_allclose(
+        got, ref_attention(q, k, v), rtol=1e-4, atol=1e-5
+    )
+
+
+def test_blocked_attention_prescaled_query_skips_score_multiply():
+    """scale=None (caller folded 1/sqrt(d) into q) equals scaling the
+    scores explicitly."""
+    B, s, d = 3, 29, 8
+    q = RNG.standard_normal((B, s, d)).astype(np.float32)
+    k = RNG.standard_normal((B, s, d)).astype(np.float32)
+    v = RNG.standard_normal((B, s, d)).astype(np.float32)
+    scale = 1.0 / np.sqrt(d)
+    folded = K.attention_blocked_infer(
+        (q * scale).astype(np.float32), k, v, bufs={}, q_block=4, k_block=6
+    )
+    explicit = K.attention_blocked_infer(
+        q, k, v, scale=scale, bufs={}, q_block=4, k_block=6
+    )
+    np.testing.assert_allclose(folded, explicit, rtol=1e-5, atol=1e-6)
+
+
+def test_blocked_attention_propagates_nan_per_query():
+    """A NaN query poisons only its own output rows -- the online
+    rescaling must not leak it across the q axis."""
+    B, s, d = 2, 24, 8
+    q = RNG.standard_normal((B, s, d)).astype(np.float32)
+    k = RNG.standard_normal((B, s, d)).astype(np.float32)
+    v = RNG.standard_normal((B, s, d)).astype(np.float32)
+    q[1, 5, 3] = np.nan
+    got = K.attention_blocked_infer(q, k, v, bufs={}, q_block=4, k_block=7)
+    assert np.isnan(got[1, 5]).all()
+    mask = np.ones((B, s), dtype=bool)
+    mask[1, 5] = False
+    assert np.isfinite(got[mask]).all()
+
+
+def test_attention_heads_matches_strided_interpreter_math():
+    """The packed contiguous operands compute the same multi-head
+    attention as the strided _split_heads formulation."""
+    batch, seq, heads, hd = 3, 19, 4, 8
+    dim = heads * hd
+    q = RNG.standard_normal((batch, seq, dim)).astype(np.float32)
+    k = RNG.standard_normal((batch, seq, dim)).astype(np.float32)
+    v = RNG.standard_normal((batch, seq, dim)).astype(np.float32)
+    scale = 1.0 / np.sqrt(hd)
+    got = K.attention_heads_infer(q, k, v, heads, scale, bufs={})
+    np.testing.assert_allclose(
+        got, ref_attention_heads(q, k, v, heads, scale), rtol=1e-4, atol=1e-5
+    )
+
+
+# ----------------------------------------------------------------------
+# single-pass LayerNorm
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "mean_scale,std_scale",
+    [(0.0, 1.0), (1e7, 1e3), (1e7, 1e-3), (-1e6, 1e6), (3.0, 1e-6)],
+)
+def test_layer_norm_1pass_extreme_scales(mean_scale, std_scale):
+    """The fused centered second moment survives huge means and extreme
+    variances where the naive E[x^2] - E[x]^2 formula cancels
+    catastrophically.  Ground truth is a float64 two-pass; the fused
+    float32 kernel must land at least as close to it as the float32
+    two-pass kernel does (both share the irreducible error of centering
+    a huge mean in float32), never catastrophically worse."""
+    rows, dmodel = 64, 48
+    x = (
+        RNG.standard_normal((rows, dmodel)) * std_scale + mean_scale
+    ).astype(np.float32)
+    weight = RNG.standard_normal(dmodel).astype(np.float32)
+    bias = RNG.standard_normal(dmodel).astype(np.float32)
+    eps = 1e-5
+    got = K.layer_norm_1pass_infer(x, weight, bias, eps, bufs={})
+    truth = K.layer_norm_infer(
+        x.astype(np.float64), weight.astype(np.float64),
+        bias.astype(np.float64), eps,
+    )
+    two_pass = K.layer_norm_infer(x, weight, bias, eps)
+    err_1pass = np.abs(got - truth).max()
+    err_2pass = np.abs(two_pass - truth).max()
+    assert err_1pass <= max(2.0 * err_2pass, 1e-4)
+
+
+def test_layer_norm_1pass_matches_two_pass_3d_and_strided():
+    """(batch, seq, d) inputs and non-contiguous views both normalize
+    identically to the two-pass kernel."""
+    x = RNG.standard_normal((4, 11, 32)).astype(np.float32)
+    weight = RNG.standard_normal(32).astype(np.float32)
+    bias = RNG.standard_normal(32).astype(np.float32)
+    got = K.layer_norm_1pass_infer(x, weight, bias, 1e-5, bufs={})
+    ref = K.layer_norm_infer(x, weight, bias, 1e-5)
+    np.testing.assert_allclose(got, ref, rtol=1e-4, atol=1e-5)
+    assert got.shape == x.shape
+    strided = np.asfortranarray(x[:, ::2])
+    got_s = K.layer_norm_1pass_infer(strided, weight, bias, 1e-5, bufs={})
+    np.testing.assert_allclose(
+        got_s, K.layer_norm_infer(np.ascontiguousarray(strided), weight,
+                                  bias, 1e-5),
+        rtol=1e-4, atol=1e-5,
+    )
+
+
+# ----------------------------------------------------------------------
+# cache-budget knob
+# ----------------------------------------------------------------------
+def test_l2_budget_env_override_and_clamp(monkeypatch):
+    """``REPRO_L2_BYTES`` retunes every tiled kernel (read once per
+    process, cached); values below 64 KiB clamp, garbage falls back."""
+    saved = K._L2_BYTES_CACHE
+    try:
+        K._L2_BYTES_CACHE = None
+        monkeypatch.setenv("REPRO_L2_BYTES", str(8 << 20))
+        assert K.l2_budget_bytes() == 8 << 20
+        assert K.conv_tile_elems() == (8 << 20) // 8
+
+        K._L2_BYTES_CACHE = None
+        monkeypatch.setenv("REPRO_L2_BYTES", "123")  # below the clamp
+        assert K.l2_budget_bytes() == 64 << 10
+
+        K._L2_BYTES_CACHE = None
+        monkeypatch.setenv("REPRO_L2_BYTES", "not-a-number")
+        assert K.l2_budget_bytes() == K._DEFAULT_L2_BYTES
+
+        # cached: a later env change is ignored until process restart
+        monkeypatch.setenv("REPRO_L2_BYTES", str(32 << 20))
+        assert K.l2_budget_bytes() == K._DEFAULT_L2_BYTES
+    finally:
+        K._L2_BYTES_CACHE = saved
+
+
+def test_blocked_attention_correct_under_tiny_budget(monkeypatch):
+    """A clamped-minimum budget produces degenerate block sizes; the
+    kernel must still be exact."""
+    saved = K._L2_BYTES_CACHE
+    try:
+        K._L2_BYTES_CACHE = 64 << 10
+        B, s, d = 4, 61, 16
+        q = RNG.standard_normal((B, s, d)).astype(np.float32)
+        k = RNG.standard_normal((B, s, d)).astype(np.float32)
+        v = RNG.standard_normal((B, s, d)).astype(np.float32)
+        got = K.attention_blocked_infer(q, k, v, scale=0.25, bufs={})
+        np.testing.assert_allclose(
+            got, ref_attention(q, k, v, 0.25), rtol=1e-4, atol=1e-5
+        )
+    finally:
+        K._L2_BYTES_CACHE = saved

@@ -290,29 +290,40 @@ def test_backend_folds_scale_into_stationary_table():
     """float32 pair layers under the stationary budget skip the
     output-scale pass (the table carries it); float64 never does."""
     from repro.qgemm.backend import QGemmBackend
-    from repro.qgemm.kernels import PAIR_STATIONARY_MAX_ELEMS
+    from repro.qgemm.kernels import (
+        PAIR_STATIONARY_MAX_ELEMS,
+        PAIR_STATIONARY_TOTAL_MAX_ELEMS,
+    )
 
     backend = QGemmBackend()
     rng = np.random.default_rng(7)
     lut = partial_product_lut("int4", "int4u")
     wcodes = rng.integers(0, 16, size=(8, 4))
     scale = np.full(4, 0.25, dtype=np.float32)
-    *_, folded32 = backend._compile_gemm(
+    *_, folded32, executed32 = backend._compile_gemm(
         wcodes, lut, "pair", np.dtype(np.float32), out_scale=scale
     )
-    assert folded32
-    *_, folded64 = backend._compile_gemm(
+    assert folded32 and executed32 == "pair-stat"
+    *_, folded64, executed64 = backend._compile_gemm(
         wcodes, lut, "pair", np.dtype(np.float64),
         out_scale=scale.astype(np.float64),
     )
-    assert not folded64
-    # a layer past the memory budget keeps the shared pair table
-    kh_limit = PAIR_STATIONARY_MAX_ELEMS // (17 * 17 * 4)
-    big = rng.integers(0, 16, size=(2 * kh_limit + 2, 4))
-    *_, folded_big = backend._compile_gemm(
+    assert not folded64 and executed64 == "pair"
+    # a layer past the per-pass budget still goes stationary (the
+    # kernel k-chunks the table); only the hard cap falls back to the
+    # shared pair table's per-column loop
+    kh_budget = PAIR_STATIONARY_MAX_ELEMS // (17 * 17 * 4)
+    deep = rng.integers(0, 16, size=(2 * kh_budget + 2, 4))
+    *_, folded_deep, executed_deep = backend._compile_gemm(
+        deep, lut, "pair", np.dtype(np.float32), out_scale=scale
+    )
+    assert folded_deep and executed_deep == "pair-stat"
+    kh_cap = PAIR_STATIONARY_TOTAL_MAX_ELEMS // (17 * 17 * 4)
+    big = rng.integers(0, 16, size=(2 * kh_cap + 2, 4))
+    *_, folded_big, executed_big = backend._compile_gemm(
         big, lut, "pair", np.dtype(np.float32), out_scale=scale
     )
-    assert not folded_big
+    assert not folded_big and executed_big == "pair"
 
 
 def test_pair_int_depth_bound_enforced():
