@@ -80,6 +80,9 @@ CHECKS = [
      "single-process frozen vs hook serving (committed ~3.5x)"),
     ("BENCH_serve.json", ("aggregate", "geomean_weight_only_speedup"), 2.0,
      "weight-only engine vs hook serving (committed ~6x)"),
+    ("BENCH_serve.json", ("aggregate", "telemetry_overhead_ratio"), 0.95,
+     "obs-off vs obs-on pooled serving, same run (telemetry must "
+     "cost <= ~5%)"),
     # --- BENCH_qgemm.json (optional): code-domain kernels vs float ---
     ("BENCH_qgemm.json", ("aggregate", "geomean_qgemm_vs_float"), 0.07,
      "pair/popcount code-domain serving vs float backend, same run "

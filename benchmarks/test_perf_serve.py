@@ -31,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.nn.autograd import Tensor, no_grad
 from repro.quant.framework import ModelQuantizer
 from repro.serve import PoolAutoscaler, ServingPool
@@ -229,6 +230,38 @@ def test_perf_serve(zoo, emit):
         "policy": scaler.stats(),
     }
 
+    # telemetry overhead: serve the same workload with REPRO_OBS on and
+    # off in the same run (same-run ratio, immune to container drift).
+    # set_enabled mirrors the flag into the environment, so the forked
+    # workers of each pool agree with the parent.  The CI gate floors
+    # off/on at 0.95: instrumentation may cost at most ~5%.
+    overhead_workers = min(2, max(WORKER_COUNTS))
+
+    def _pooled_seconds():
+        with ServingPool(
+            elastic_ckpt, n_workers=overhead_workers, batch_size=SERVE_BATCH
+        ) as pool:
+            return _measure_seconds(lambda: pool.map_predict(elastic_x))
+
+    prev_obs = obs.set_enabled(True)
+    try:
+        obs_on_s, obs_on_spread = _pooled_seconds()
+        obs.set_enabled(False)
+        obs_off_s, obs_off_spread = _pooled_seconds()
+    finally:
+        obs.set_enabled(prev_obs)
+    results["telemetry"] = {
+        "workload": WORKLOADS[0],
+        "workers": overhead_workers,
+        "obs_on_seconds": obs_on_s,
+        "obs_off_seconds": obs_off_s,
+        "overhead_ratio_off_over_on": obs_off_s / obs_on_s,
+        "timing_spread_max_over_min": {
+            "obs_on": obs_on_spread,
+            "obs_off": obs_off_spread,
+        },
+    }
+
     aggregate = {}
     for n_workers in WORKER_COUNTS:
         speedups = [
@@ -254,6 +287,9 @@ def test_perf_serve(zoo, emit):
     aggregate["geomean_streaming_speedup"] = float(
         np.exp(np.mean(np.log(streaming_speedups)))
     )
+    aggregate["telemetry_overhead_ratio"] = (
+        results["telemetry"]["overhead_ratio_off_over_on"]
+    )
     results["aggregate"] = aggregate
     results["meta"] = {
         "description": (
@@ -273,6 +309,11 @@ def test_perf_serve(zoo, emit):
             "PoolAutoscaler demo: 1-worker pool bursts to max_workers "
             "and shrinks back after the idle window; subject to the "
             "same container noise caveats as every timing here"
+        ),
+        "telemetry": (
+            "same-run obs-off/obs-on map_predict ratio on the first "
+            "workload; the CI gate floors it at 0.95 (instrumentation "
+            "may cost at most ~5%)"
         ),
         "cpu_cores": n_cores,
         "combination": "ip-f",
@@ -298,6 +339,11 @@ def test_perf_serve(zoo, emit):
         f"     elastic: burst {elastic['burst_samples_per_sec']:8.0f} smp/s | "
         f"workers 1->{elastic['peak_workers']}->{elastic['final_workers']} | "
         f"ups {elastic['scale_ups']}  downs {elastic['scale_downs']}"
+    )
+    rows.append(
+        f"   telemetry: obs-off/obs-on "
+        f"{aggregate['telemetry_overhead_ratio']:4.2f}x "
+        f"({overhead_workers}w, same-run)"
     )
     emit("BENCH_serve", "pool serving vs hook-based path\n" + "\n".join(rows))
 

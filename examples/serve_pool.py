@@ -1,6 +1,7 @@
 """Serve traffic in parallel from a packed frozen checkpoint.
 
 Run:  python examples/serve_pool.py [workload] [n_workers] [batch_size]
+          [--trace-out traces.jsonl]
 
 Builds on ``examples/serve_frozen.py``: after calibrate -> freeze ->
 save, the packed ``.npz`` checkpoint is served by a
@@ -10,6 +11,13 @@ single-sample requests into shared forwards, and a bulk ``map_predict``
 path that shards large arrays across the workers.  Pool results are
 bit-identical to single-process ``FrozenModel.predict`` with padded
 batches, which the script verifies.
+
+With ``--trace-out PATH`` the pool's per-request trace (queue wait,
+batch assembly, per-region compute, transit) is dumped as JSONL; wrap
+it for the chrome://tracing viewer with
+``repro.obs.jsonl_to_chrome(PATH, PATH + '.chrome.json')``.  The
+merged parent+worker metrics digest (``pool.metrics()``) prints either
+way unless ``REPRO_OBS=0``.
 """
 
 import sys
@@ -18,13 +26,19 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.quant import ModelQuantizer
 from repro.runtime import FrozenModel
 from repro.serve import ServingClient, ServingPool
 from repro.zoo import calibration_batch, trained_model
 
 
-def main(workload: str = "resnet18", n_workers: int = 2, batch_size: int = 256) -> None:
+def main(
+    workload: str = "resnet18",
+    n_workers: int = 2,
+    batch_size: int = 256,
+    trace_out: str = None,
+) -> None:
     print(f"== loading / training workload {workload!r} (cached after first run)")
     entry = trained_model(workload)
     dataset = entry.dataset
@@ -60,6 +74,16 @@ def main(workload: str = "resnet18", n_workers: int = 2, batch_size: int = 256) 
               f"bit-identical: {np.array_equal(sample_logits, expected[0])}")
         print(f"   pool stats: {pool.stats()}")
 
+        if obs.enabled():
+            print("== telemetry (pool.metrics(): merged parent+worker registry)")
+            for key, value in sorted(pool.metrics().items()):
+                print(f"   {key}: {value}")
+            if trace_out is not None:
+                events = pool.trace_events()
+                obs.write_jsonl(trace_out, events)
+                print(f"   wrote {len(events)} trace events to {trace_out} "
+                      f"(chrome://tracing via repro.obs.jsonl_to_chrome)")
+
     print("== weight-only mode (packed low-bit weights, float activations)")
     with ServingPool(
         ckpt, n_workers=n_workers, batch_size=batch_size, weight_only=True
@@ -74,8 +98,15 @@ def main(workload: str = "resnet18", n_workers: int = 2, batch_size: int = 256) 
 
 
 if __name__ == "__main__":
+    argv = list(sys.argv[1:])
+    trace_path = None
+    if "--trace-out" in argv:
+        flag = argv.index("--trace-out")
+        trace_path = argv[flag + 1]
+        del argv[flag: flag + 2]
     main(
-        sys.argv[1] if len(sys.argv) > 1 else "resnet18",
-        int(sys.argv[2]) if len(sys.argv) > 2 else 2,
-        int(sys.argv[3]) if len(sys.argv) > 3 else 256,
+        argv[0] if len(argv) > 0 else "resnet18",
+        int(argv[1]) if len(argv) > 1 else 2,
+        int(argv[2]) if len(argv) > 2 else 256,
+        trace_out=trace_path,
     )

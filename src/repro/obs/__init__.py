@@ -1,0 +1,65 @@
+"""Unified telemetry: metrics registry, request tracing, exporters.
+
+Dependency-free observability for every layer of the stack -- the
+serving pool, the frozen runtime / fused plan, and the code-domain
+qgemm engine all stamp into this one subsystem.  ``REPRO_OBS=0``
+disables stamping entirely (see :func:`enabled`).
+
+* :class:`MetricsRegistry` -- process-local counters, gauges and
+  fixed-bucket histograms with ``snapshot()``/``merge()`` for
+  cross-process aggregation (workers ship snapshots to the pool parent
+  over the existing result pipes).
+* :class:`Span` / :func:`new_trace_id` / :class:`TraceBuffer` --
+  request-scoped tracing; events export to chrome://tracing via
+  :func:`write_jsonl` / :func:`jsonl_to_chrome`.
+* :func:`render_prometheus` / :func:`snapshot_summary` -- exporters.
+* :mod:`repro.obs.labels` -- the shared kernel/region label
+  vocabulary (``qgemm-pair-stat`` and friends).
+"""
+
+from repro.obs import labels
+from repro.obs.export import render_prometheus, snapshot_summary
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    get_registry,
+    merge_snapshots,
+    reset_registry,
+    set_enabled,
+)
+from repro.obs.trace import (
+    Span,
+    TraceBuffer,
+    get_trace_buffer,
+    jsonl_to_chrome,
+    new_trace_id,
+    reset_trace_buffer,
+    write_jsonl,
+)
+
+__all__ = [
+    "labels",
+    "render_prometheus",
+    "snapshot_summary",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "enabled",
+    "get_registry",
+    "merge_snapshots",
+    "reset_registry",
+    "set_enabled",
+    "Span",
+    "TraceBuffer",
+    "get_trace_buffer",
+    "jsonl_to_chrome",
+    "new_trace_id",
+    "reset_trace_buffer",
+    "write_jsonl",
+]

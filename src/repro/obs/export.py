@@ -1,0 +1,92 @@
+"""Exporters: Prometheus text exposition and JSON-able snapshots."""
+
+import re
+from typing import Optional
+
+from .registry import Counter, Gauge, MetricsRegistry
+
+__all__ = ["render_prometheus", "snapshot_summary"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _prom_labels(pairs, extra: Optional[dict] = None) -> str:
+    items = list(pairs) + sorted((extra or {}).items())
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text-format exposition of every metric in ``registry``.
+
+    Counters render with their ``_total`` name as-is (the naming
+    convention already suffixes them), histograms expand to the usual
+    ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
+    """
+    lines = []
+    seen_types = set()
+    for metric in sorted(registry.metrics(), key=lambda m: (m.name, m.labels)):
+        name = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} counter")
+                seen_types.add(name)
+            lines.append(f"{name}{_prom_labels(metric.labels)} {metric.value}")
+        elif isinstance(metric, Gauge):
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} gauge")
+                seen_types.add(name)
+            lines.append(f"{name}{_prom_labels(metric.labels)} {metric.value}")
+        else:  # Histogram
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} histogram")
+                seen_types.add(name)
+            cumulative = 0
+            for edge, count in zip(metric.edges, metric.counts[:-1]):
+                cumulative += int(count)
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(metric.labels, {'le': repr(float(edge))})} "
+                    f"{cumulative}"
+                )
+            cumulative += int(metric.counts[-1])
+            lines.append(
+                f"{name}_bucket{_prom_labels(metric.labels, {'le': '+Inf'})} "
+                f"{cumulative}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(metric.labels)} {metric.sum}")
+            lines.append(f"{name}_count{_prom_labels(metric.labels)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_summary(snapshot: dict) -> dict:
+    """Human-oriented digest of a registry snapshot.
+
+    Counters/gauges pass through; histograms collapse to
+    ``{count, mean, p50, p90, p99}`` -- the shape ``pool.metrics()``
+    embeds so callers don't re-derive quantiles from bucket arrays.
+    """
+    registry = MetricsRegistry()
+    registry.merge(snapshot)
+    out = {}
+    for metric in registry.metrics():
+        key = metric.name
+        if metric.labels:
+            key += "{" + ",".join(f"{k}={v}" for k, v in metric.labels) + "}"
+        if isinstance(metric, (Counter, Gauge)):
+            out[key] = metric.value
+        else:
+            out[key] = {
+                "count": metric.count,
+                "mean": metric.mean,
+                "p50": metric.quantile(0.50),
+                "p90": metric.quantile(0.90),
+                "p99": metric.quantile(0.99),
+            }
+    return out

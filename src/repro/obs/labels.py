@@ -1,0 +1,85 @@
+"""Shared label vocabulary for kernels, regions, and profile rows.
+
+Three subsystems attribute time or work to "what executed":
+
+* the fused plan's node ``kind_label`` (``linear``, ``attn-blocked``,
+  ``ln-1pass``, ...),
+* :meth:`FrozenModel.profile`'s module tree walk, and
+* the qgemm cost meter's executed-kernel labels (``gather``,
+  ``pair``, ``pair-stat``, ``popcount``, ...).
+
+This module is the one place the vocabulary lives, so a region named
+``qgemm-pair-stat`` in a trace, a profile row, and a
+``qgemm.kernel_calls_total{kernel=pair-stat}`` counter all refer to the
+same executed code path.
+"""
+
+import re
+from typing import Optional
+
+__all__ = [
+    "QGEMM_KERNELS",
+    "PLAN_KINDS",
+    "qgemm_kernel_label",
+    "module_kind",
+]
+
+#: executed-kernel families the qgemm backend compiles (the cost
+#: meter's ``LayerCost.kernel`` values).
+QGEMM_KERNELS = ("gather", "bincount", "pair", "pair-int", "pair-stat", "popcount")
+
+#: fused-plan node kinds (``PlanNode.kind_label`` values) -- listed so
+#: new node kinds are added to the shared vocabulary deliberately.
+PLAN_KINDS = (
+    "linear", "conv2d", "attention", "attn-blocked", "layer-norm",
+    "ln-1pass", "relu", "elementwise", "shared-quant", "seq",
+    "basic-block", "inception", "preln-block", "postln-block",
+    "tokens", "embed", "opaque", "func", "op",
+)
+
+#: frozen module class -> canonical kind, aligned with PLAN_KINDS so a
+#: float-interpreter profile and a fused-plan profile aggregate under
+#: the same ``by_kind`` keys.
+_MODULE_KINDS = {
+    "FrozenLinear": "linear",
+    "FrozenConv2d": "conv2d",
+    "FrozenBatchNorm2d": "batch-norm",
+    "FrozenLayerNorm": "layer-norm",
+    "FrozenLambda": "func",
+    "FrozenReLU": "relu",
+    "FrozenGELU": "gelu",
+    "FrozenPool2d": "pool",
+    "FrozenEmbedding": "embed",
+    "FrozenSequential": "seq",
+    "FrozenBasicBlock": "basic-block",
+    "FrozenInceptionModule": "inception",
+    "FrozenAttention": "attention",
+    "FrozenPreLNBlock": "preln-block",
+    "FrozenPostLNBlock": "postln-block",
+}
+
+
+def qgemm_kernel_label(kernel: str) -> str:
+    """Canonical region/profile label for an executed qgemm kernel."""
+    return f"qgemm-{kernel}"
+
+
+def _kebab(class_name: str) -> str:
+    name = class_name[len("Frozen"):] if class_name.startswith("Frozen") else class_name
+    return re.sub(r"(?<=[a-z0-9])(?=[A-Z])", "-", name).lower()
+
+
+def module_kind(module) -> str:
+    """Canonical kind for a frozen module, honouring installed executors.
+
+    A layer whose forward is replaced by a backend executor reports the
+    executor's kernel family (``qgemm-pair-stat``) -- the same label the
+    cost meter records -- so "which kernel actually fired" reads the
+    same in profiles, traces, and counters.
+    """
+    executor = getattr(module, "_exec", None)
+    kernel: Optional[str] = getattr(executor, "kernel_label", None)
+    if kernel:
+        return str(kernel)
+    class_name = type(module).__name__
+    return _MODULE_KINDS.get(class_name, _kebab(class_name))

@@ -1,0 +1,308 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+Dependency-free (numpy only) and cheap enough to leave on in serving
+hot paths: a counter increment is one dict hit plus an integer add, a
+histogram observation is one ``np.searchsorted`` into a small edge
+array.  The registry is *process-local* by design -- worker processes
+each own one and ship :meth:`MetricsRegistry.snapshot` dictionaries
+back to the pool parent over the existing result pipes, where
+:meth:`MetricsRegistry.merge` (or the pure
+:func:`merge_snapshots`) folds them together.  Merging is associative
+and commutative, so snapshots can be combined in any order and any
+grouping -- the property the cross-process aggregation relies on.
+
+The whole subsystem sits behind one guard: ``REPRO_OBS=0`` in the
+environment disables stamping entirely (instrumented call sites check
+:func:`enabled` -- a module-global bool read -- before touching the
+registry or allocating trace IDs).  The default is enabled.
+
+Thread-safety: metric creation takes a lock; the per-sample update
+paths rely on the GIL (an interleaved ``+=`` may drop a tick under
+heavy thread contention, which is acceptable for telemetry -- the
+serving pool updates each metric from a single thread anyway).
+"""
+
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "enabled",
+    "set_enabled",
+    "get_registry",
+    "reset_registry",
+    "merge_snapshots",
+]
+
+OBS_ENV = "REPRO_OBS"
+
+_enabled = os.environ.get(OBS_ENV, "1").strip().lower() not in ("0", "false", "off")
+
+
+def enabled() -> bool:
+    """True when telemetry stamping is on (``REPRO_OBS`` != 0)."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the telemetry guard; returns the previous value.
+
+    Also mirrors the flag into ``os.environ[REPRO_OBS]`` so worker
+    processes forked/spawned after the call agree with the parent.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    os.environ[OBS_ENV] = "1" if flag else "0"
+    return previous
+
+
+#: default histogram edges for second-scale latencies: geometric from
+#: 50us to ~100s.  Values below the first edge land in bucket 0,
+#: values above the last edge land in the overflow bucket.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    float(v) for v in (5e-5 * (4.0 ** np.arange(11)))
+)
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with numpy-backed bucket counts.
+
+    ``edges`` are the upper bounds of the first ``len(edges)`` buckets;
+    one overflow bucket catches everything above the last edge.  NaN
+    observations are counted separately (``nan_count``) and excluded
+    from ``sum``/``count``/quantiles; ``inf`` lands in the overflow
+    bucket with ``sum`` left untouched so the mean stays finite.
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "sum", "count", "nan_count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...],
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        self.name = name
+        self.labels = labels
+        self.edges = np.asarray(sorted(float(b) for b in buckets), dtype=np.float64)
+        if self.edges.size == 0:
+            raise ValueError("histogram needs at least one bucket edge")
+        self.counts = np.zeros(self.edges.size + 1, dtype=np.int64)
+        self.sum = 0.0
+        self.count = 0
+        self.nan_count = 0
+
+    def observe(self, value: float) -> None:
+        if value != value:  # NaN
+            self.nan_count += 1
+            return
+        self.counts[int(np.searchsorted(self.edges, value, side="left"))] += 1
+        self.count += 1
+        if value != np.inf and value != -np.inf:
+            self.sum += value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated quantile estimate (None when empty).
+
+        Linear interpolation inside the containing bucket; the
+        overflow bucket reports the last finite edge (a floor, which
+        is the conservative direction for latency alerting).
+        """
+        if not self.count:
+            return None
+        rank = q * self.count
+        cumulative = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cumulative, rank, side="left"))
+        if idx >= self.edges.size:  # overflow bucket
+            return float(self.edges[-1])
+        lo = 0.0 if idx == 0 else float(self.edges[idx - 1])
+        hi = float(self.edges[idx])
+        before = 0 if idx == 0 else int(cumulative[idx - 1])
+        inside = int(self.counts[idx])
+        if inside == 0:
+            return hi
+        frac = min(max((rank - before) / inside, 0.0), 1.0)
+        return lo + (hi - lo) * frac
+
+
+def _labels_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Named metrics, each identified by (name, sorted label pairs).
+
+    Metric names are dotted lowercase with a unit suffix
+    (``serve.pool.dispatch_total``, ``runtime.forward_seconds``) --
+    see CONTRIBUTING.md for the naming convention.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], object] = {}
+
+    def _get(self, name: str, labels: Dict[str, str], factory):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = factory(name, key[1])
+                    self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(name, labels, Counter)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get(
+            name, labels, lambda n, pairs: Histogram(n, pairs, buckets)
+        )
+
+    def find(self, name: str, **labels: str) -> Optional[object]:
+        """The metric at (name, labels), or None -- never creates one.
+
+        Read paths (``pool.stats()`` percentiles) use this so asking
+        for a metric that was never stamped doesn't materialise an
+        empty one.
+        """
+        return self._metrics.get((name, _labels_key(labels)))
+
+    def metrics(self) -> List[object]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # -- cross-process aggregation ------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable/JSON-able full state: ``{key: metric-dict}``.
+
+        Keys are ``name|k=v|k2=v2`` strings so snapshots survive JSON
+        round-trips (tuples would not).
+        """
+        out = {}
+        for metric in self.metrics():
+            key = _snapshot_key(metric.name, metric.labels)
+            if isinstance(metric, Counter):
+                out[key] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[key] = {"type": "gauge", "value": metric.value}
+            else:
+                out[key] = {
+                    "type": "histogram",
+                    "edges": [float(e) for e in metric.edges],
+                    "counts": [int(c) for c in metric.counts],
+                    "sum": metric.sum,
+                    "count": metric.count,
+                    "nan_count": metric.nan_count,
+                }
+        return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry's live metrics."""
+        for key, entry in snapshot.items():
+            name, labels = _parse_snapshot_key(key)
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(entry["value"])
+            else:
+                hist = self.histogram(name, buckets=entry["edges"], **labels)
+                if list(hist.edges) != [float(e) for e in entry["edges"]]:
+                    raise ValueError(
+                        f"histogram {key!r}: bucket edges differ between "
+                        "processes; merge would misbin"
+                    )
+                hist.counts += np.asarray(entry["counts"], dtype=np.int64)
+                hist.sum += entry["sum"]
+                hist.count += entry["count"]
+                hist.nan_count += entry["nan_count"]
+
+
+def _snapshot_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    return "|".join([name] + [f"{k}={v}" for k, v in labels])
+
+
+def _parse_snapshot_key(key: str) -> Tuple[str, Dict[str, str]]:
+    parts = key.split("|")
+    labels = dict(part.split("=", 1) for part in parts[1:])
+    return parts[0], labels
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Pure, associative, commutative merge of snapshot dicts."""
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (worker-side instrumentation target)."""
+    return _registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Install a fresh process-global registry (forked workers call this
+    so metrics inherited from the parent's address space don't double
+    count) and return it."""
+    global _registry
+    _registry = MetricsRegistry()
+    return _registry

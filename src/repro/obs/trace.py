@@ -1,0 +1,190 @@
+"""Request-scoped tracing: spans, trace IDs, chrome://tracing export.
+
+A *trace ID* is stamped into a request/job header when it enters the
+system (micro-batch enqueue or ``map_predict`` submit) and rides the
+job tuple through dispatcher -> worker -> collector.  Each hop records
+*events* -- completed time spans with microsecond wall-clock
+placement -- into a process-local bounded :class:`TraceBuffer`.
+Together the events for one trace ID form the per-request timeline:
+queue wait, batch assembly, worker compute (split per fused region /
+qgemm kernel family), result transit.
+
+Events use the Chrome Trace Event Format's complete-event shape
+(``ph: "X"``), one JSON object per line when exported with
+:func:`write_jsonl`::
+
+    {"ph": "X", "name": "compute", "cat": "serve", "ts": <us epoch>,
+     "dur": <us>, "pid": 0, "tid": 3, "args": {"trace_id": "7f21-4", ...}}
+
+``chrome://tracing`` / Perfetto load a JSON *array* of such events;
+:func:`jsonl_to_chrome` wraps a JSONL dump accordingly (``jq -s .``
+does the same).
+"""
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Iterable, List, Optional
+
+from .registry import enabled
+
+__all__ = [
+    "Span",
+    "TraceBuffer",
+    "new_trace_id",
+    "get_trace_buffer",
+    "reset_trace_buffer",
+    "write_jsonl",
+    "jsonl_to_chrome",
+]
+
+_id_counter = itertools.count(1)
+
+
+def new_trace_id() -> Optional[str]:
+    """Process-unique trace ID (``<pid hex>-<seq>``); None when disabled."""
+    if not enabled():
+        return None
+    return f"{os.getpid():x}-{next(_id_counter)}"
+
+
+class TraceBuffer:
+    """Bounded ring of trace events (oldest dropped first)."""
+
+    def __init__(self, maxlen: int = 20000):
+        self._events: deque = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        name: str,
+        start_wall: float,
+        duration_s: float,
+        *,
+        cat: str = "repro",
+        tid: int = 0,
+        trace_id: Optional[str] = None,
+        **args,
+    ) -> None:
+        """Record a completed span placed at ``start_wall`` (epoch seconds)."""
+        event = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": round(start_wall * 1e6, 1),
+            "dur": round(max(duration_s, 0.0) * 1e6, 1),
+            "pid": os.getpid(),
+            "tid": tid,
+            "args": {"trace_id": trace_id, **args} if trace_id or args else {},
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, trace_id: Optional[str] = None) -> List[dict]:
+        with self._lock:
+            events = list(self._events)
+        if trace_id is None:
+            return events
+        return [e for e in events if e.get("args", {}).get("trace_id") == trace_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class Span:
+    """Context manager timing a block into a :class:`TraceBuffer`.
+
+    No-op (no clock reads, no buffer writes) when telemetry is
+    disabled.  The measured duration is also available as
+    ``span.seconds`` after exit, so call sites can feed the same
+    measurement into a histogram without a second clock read.
+    """
+
+    __slots__ = ("name", "cat", "tid", "trace_id", "args", "buffer", "seconds",
+                 "_start_wall", "_start_perf")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        buffer: Optional[TraceBuffer] = None,
+        cat: str = "repro",
+        tid: int = 0,
+        trace_id: Optional[str] = None,
+        **args,
+    ):
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.trace_id = trace_id
+        self.args = args
+        self.buffer = buffer
+        self.seconds: Optional[float] = None
+        self._start_wall = 0.0
+        self._start_perf = 0.0
+
+    def __enter__(self) -> "Span":
+        if enabled():
+            self._start_wall = time.time()
+            self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not enabled() or not self._start_perf:
+            return
+        self.seconds = time.perf_counter() - self._start_perf
+        buffer = self.buffer if self.buffer is not None else get_trace_buffer()
+        buffer.add(
+            self.name,
+            self._start_wall,
+            self.seconds,
+            cat=self.cat,
+            tid=self.tid,
+            trace_id=self.trace_id,
+            **self.args,
+        )
+
+
+def write_jsonl(path, events: Iterable[dict]) -> int:
+    """Dump trace events one JSON object per line; returns event count."""
+    n = 0
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+            n += 1
+    return n
+
+
+def jsonl_to_chrome(jsonl_path, out_path) -> int:
+    """Wrap a JSONL trace dump into the JSON array chrome://tracing loads."""
+    events = []
+    with open(jsonl_path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    with open(out_path, "w") as handle:
+        json.dump({"traceEvents": events}, handle)
+    return len(events)
+
+
+_buffer = TraceBuffer()
+
+
+def get_trace_buffer() -> TraceBuffer:
+    """The process-global trace buffer."""
+    return _buffer
+
+
+def reset_trace_buffer() -> TraceBuffer:
+    """Install a fresh process-global trace buffer (forked workers)."""
+    global _buffer
+    _buffer = TraceBuffer()
+    return _buffer

@@ -49,6 +49,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.dtypes.codec import unpack_codes
 from repro.qgemm.costmodel import CostMeter
 from repro.qgemm.kernels import (
@@ -79,6 +80,25 @@ def _weight_codes(export) -> np.ndarray:
     packed = export.weight
     return unpack_codes(packed.packed, packed.bits, packed.size).reshape(
         packed.shape
+    )
+
+
+def _kernel_counters(executed: str):
+    """Registry counters for one compiled layer's executed kernel.
+
+    Bound to the process-global registry at compile time (a serving
+    worker calls ``set_backend`` after installing its own registry), so
+    the per-forward cost is two attribute increments; ``(None, None)``
+    with ``REPRO_OBS=0``.  These join the cost meter's per-layer rows:
+    the meter answers "what would this cost on the accelerator", the
+    counters answer "which kernel families actually ran, how often".
+    """
+    if not obs.enabled():
+        return None, None
+    registry = obs.get_registry()
+    return (
+        registry.counter("qgemm.kernel_calls_total", kernel=executed),
+        registry.counter("qgemm.kernel_rows_total", kernel=executed),
     )
 
 
@@ -317,6 +337,7 @@ class QGemmBackend(ExecutionBackend):
         )
         act_quant = layer.act_quant
         meter = self.meter
+        calls_total, rows_total = _kernel_counters(executed)
 
         def run(x: np.ndarray) -> np.ndarray:
             idx = act_quant.indices(x)
@@ -326,6 +347,9 @@ class QGemmBackend(ExecutionBackend):
             out = acc if scale_folded else acc * out_scale
             if bias is not None:
                 out += bias
+            if calls_total is not None:
+                calls_total.inc()
+                rows_total.inc(rows.shape[0])
             if meter is not None:
                 meter.record_layer(
                     export, kind="linear", rows=rows.shape[0],
@@ -335,6 +359,7 @@ class QGemmBackend(ExecutionBackend):
                 )
             return out.reshape(lead + (out_features,))
 
+        run.kernel_label = obs.labels.qgemm_kernel_label(executed)
         return run
 
     # ------------------------------------------------------------------
@@ -380,6 +405,7 @@ class QGemmBackend(ExecutionBackend):
         layout = layer.layout
         act_quant = layer.act_quant
         meter = self.meter
+        calls_total, rows_total = _kernel_counters(executed)
 
         def run(x: np.ndarray) -> np.ndarray:
             idx = act_quant.indices(x)
@@ -388,6 +414,9 @@ class QGemmBackend(ExecutionBackend):
             out = acc if scale_folded else acc * scale
             if shift is not None:
                 out += shift
+            if calls_total is not None:
+                calls_total.inc()
+                rows_total.inc(rows.shape[0])
             if meter is not None:
                 # input_elems is the *unique* (pre-im2col) activation
                 # footprint -- what the accelerator's DRAM/buffer
@@ -409,4 +438,5 @@ class QGemmBackend(ExecutionBackend):
                 return out
             return np.ascontiguousarray(out.transpose(0, 3, 1, 2))
 
+        run.kernel_label = obs.labels.qgemm_kernel_label(executed)
         return run

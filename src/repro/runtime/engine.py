@@ -927,8 +927,17 @@ class FrozenModel:
         }
 
     def _profile_tree(self, x: np.ndarray, repeats: int):
-        """Instrument every frozen module's forward and time a run."""
+        """Instrument every frozen module's forward and time a run.
+
+        Kinds come from the shared :mod:`repro.obs.labels` vocabulary,
+        so a tree profile's ``by_kind`` aggregates under the same keys a
+        fused-plan profile does -- and a layer running a compiled qgemm
+        executor reports the executed kernel family
+        (``qgemm-pair-stat``), matching the cost meter's labels.
+        """
         import time
+
+        from repro.obs import labels as obs_labels
 
         records: List[dict] = []
         wrapped: List[FrozenModule] = []
@@ -937,7 +946,7 @@ class FrozenModel:
         def instrument(module: FrozenModule, label: str) -> None:
             rec = {
                 "label": label,
-                "kind": type(module).__name__,
+                "kind": obs_labels.module_kind(module),
                 "seconds": 0.0,
                 "calls": 0,
                 "_id": id(module),
@@ -992,6 +1001,20 @@ class FrozenModel:
                 }
             )
         return total, ops
+
+    def start_region_timing(self) -> "RegionTiming":
+        """Install persistent per-region timers over future forwards.
+
+        Unlike :meth:`profile` (run N timed forwards now), this leaves
+        lightweight accumulation on so *serving* forwards are
+        attributed: call :meth:`RegionTiming.read` after any number of
+        forwards to get the exclusive per-region rows since the last
+        read.  The serving pool's workers install one of these and ship
+        each job's region split back on the reply (see
+        :mod:`repro.serve.pool`).  Call after :meth:`astype` /
+        :meth:`set_backend` -- both recompile the plan the timers hook.
+        """
+        return RegionTiming(self)
 
     # ------------------------------------------------------------------
     def size_report(self) -> dict:
@@ -1140,6 +1163,110 @@ class FrozenModel:
         if backend != "float":
             frozen.set_backend(backend)
         return frozen
+
+
+class RegionTiming:
+    """Persistent per-region timing over a model's serving forwards.
+
+    Created by :meth:`FrozenModel.start_region_timing`.  With a
+    compiled plan active the plan's own per-node accumulation is left
+    on (the per-node cost is one ``perf_counter`` pair); on the
+    interpreted tree every module forward gets a permanent timing
+    wrapper (removed by :meth:`stop`).  Either way :meth:`read` drains
+    the accumulators into exclusive per-region rows
+    (``{label, kind, seconds, calls}`` -- a container's seconds exclude
+    its children's) and resets them, so successive reads partition the
+    time stream per job.
+    """
+
+    def __init__(self, model: FrozenModel) -> None:
+        import time
+
+        from repro.obs import labels as obs_labels
+
+        self.model = model
+        self._perf_counter = time.perf_counter
+        self._module_kind = obs_labels.module_kind
+        self._records: List[dict] = []
+        self._child_ids: Dict[int, List[int]] = {}
+        self._wrapped: List[FrozenModule] = []
+        self._plan = model._plan
+        if self._plan is not None:
+            self._plan._times = {}
+            self._plan._profiling = True
+        else:
+            self._instrument_tree()
+
+    def _instrument_tree(self) -> None:
+        perf_counter = self._perf_counter
+
+        def walk(module: FrozenModule, path: str) -> None:
+            label = path
+            if module.export is not None:
+                label = f"{path}[{module.export.name}]"
+            rec = {
+                "label": label,
+                "module": module,
+                "seconds": 0.0,
+                "calls": 0,
+                "_id": id(module),
+            }
+            self._records.append(rec)
+            orig = module.forward
+
+            def timed(inp, _orig=orig, _rec=rec):
+                t0 = perf_counter()
+                out = _orig(inp)
+                _rec["seconds"] += perf_counter() - t0
+                _rec["calls"] += 1
+                return out
+
+            module.forward = timed
+            self._wrapped.append(module)
+            self._child_ids[id(module)] = [id(c) for c in module._children]
+            for i, child in enumerate(module._children):
+                walk(child, f"{path}.{i}:{type(child).__name__}")
+
+        walk(self.model.root, type(self.model.root).__name__)
+
+    def read(self) -> List[dict]:
+        """Exclusive per-region rows since the last read; resets."""
+        if self._plan is not None:
+            times = self._plan._times
+            self._plan._times = {}
+            return self._plan._exclusive_ops(times)
+        by_id = {rec["_id"]: rec for rec in self._records}
+        ops = []
+        for rec in self._records:
+            if not rec["calls"]:
+                continue
+            child_time = sum(
+                by_id[cid]["seconds"]
+                for cid in self._child_ids.get(rec["_id"], [])
+            )
+            ops.append(
+                {
+                    "label": rec["label"],
+                    # resolved at read time: a layer's kind follows the
+                    # executor currently installed (qgemm-<kernel>)
+                    "kind": self._module_kind(rec["module"]),
+                    "seconds": max(rec["seconds"] - child_time, 0.0),
+                    "calls": rec["calls"],
+                }
+            )
+            rec["seconds"] = 0.0
+            rec["calls"] = 0
+        return ops
+
+    def stop(self) -> None:
+        """Remove the instrumentation (tree wrappers / plan flag)."""
+        if self._plan is not None:
+            self._plan._profiling = False
+            self._plan._times = {}
+            return
+        for module in self._wrapped:
+            module.__dict__.pop("forward", None)
+        self._wrapped = []
 
 
 def freeze_model(

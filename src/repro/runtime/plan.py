@@ -1240,13 +1240,23 @@ class FusedPlan:
             total = time.perf_counter() - t0
         finally:
             self._profiling = False
+        return {"total_seconds": total, "ops": self._exclusive_ops(self._times)}
+
+    def _exclusive_ops(self, times: Dict[int, list]) -> List[dict]:
+        """Convert raw per-node times into exclusive per-op rows.
+
+        A container's seconds exclude its children's.  Shared by
+        :meth:`profile` and the persistent region timing the serving
+        workers install (``FrozenModel.start_region_timing``), so both
+        report identical rows for the same forward.
+        """
         ops = []
         for node in self.nodes:
-            rec = self._times.get(id(node))
+            rec = times.get(id(node))
             if rec is None:
                 continue
             child_time = sum(
-                self._times.get(id(c), [0.0, 0])[0] for c in node.children
+                times.get(id(c), [0.0, 0])[0] for c in node.children
             )
             ops.append(
                 {
@@ -1256,7 +1266,7 @@ class FusedPlan:
                     "calls": rec[1],
                 }
             )
-        return {"total_seconds": total, "ops": ops}
+        return ops
 
     def describe(self) -> List[str]:
         """Flat op labels, for tests asserting a fusion happened."""

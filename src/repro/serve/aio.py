@@ -29,32 +29,55 @@ full without a dedicated feeder thread.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import AsyncIterator, Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.serve.pool import ServingPool
 
 
 class AsyncServingClient:
-    """Event-loop front end for a started :class:`ServingPool`."""
+    """Event-loop front end for a started :class:`ServingPool`.
+
+    With telemetry on, awaited latencies land in the pool registry's
+    ``client.predict_latency_seconds`` histogram (labelled by path) and
+    cancelled awaits count into ``client.cancelled_total`` -- the
+    client-observed complement of the pool's server-side timings.
+    """
 
     def __init__(self, pool: ServingPool) -> None:
         self.pool = pool
+
+    async def _await_timed(self, future, path: str) -> np.ndarray:
+        if not obs.enabled():
+            return await asyncio.wrap_future(future)
+        registry = self.pool.metrics_registry
+        t0 = time.monotonic()
+        try:
+            result = await asyncio.wrap_future(future)
+        except asyncio.CancelledError:
+            registry.counter("client.cancelled_total", path=path).inc()
+            raise
+        registry.histogram(
+            "client.predict_latency_seconds", path=path
+        ).observe(time.monotonic() - t0)
+        return result
 
     async def predict(self, samples: np.ndarray) -> np.ndarray:
         """Logits for a batch of samples (one pool job)."""
         samples = np.asarray(samples)
         if samples.shape[0] == 0:
             raise ValueError("predict() needs at least one sample")
-        return await asyncio.wrap_future(self.pool.submit(samples))
+        return await self._await_timed(self.pool.submit(samples), "predict")
 
     async def predict_one(self, sample: np.ndarray) -> np.ndarray:
         """Logits row for one sample, coalesced by the micro-batch
         queue with whatever else is arriving."""
         self.pool._require_serving()  # no dispatcher -> would hang
         future = self.pool.micro_queue.submit(np.asarray(sample))
-        return await asyncio.wrap_future(future)
+        return await self._await_timed(future, "predict_one")
 
     async def stream_predict(
         self,

@@ -8,7 +8,9 @@
 * **scale up** when the predicted queue latency -- outstanding jobs
   times the EWMA per-job service time, divided by the current worker
   count -- exceeds ``latency_budget_s`` (and the pool is below
-  ``max_workers``);
+  ``max_workers``), or when the *observed* job-latency p99 from the
+  pool's telemetry histograms exceeds the budget (sparse traffic can
+  blow the tail while the backlog stays tiny);
 * **scale down** only after the pool has been *completely idle* (no
   backlog, nothing in flight) for ``idle_window_s`` (and the pool is
   above ``min_workers``).
@@ -36,6 +38,7 @@ import time
 from collections import deque
 from typing import Optional
 
+from repro import obs
 from repro.serve.pool import ServingPool
 
 
@@ -91,7 +94,9 @@ class PoolAutoscaler:
         self.interval_s = float(interval_s)
         self.n_scale_ups = 0
         self.n_scale_downs = 0
-        #: recent scaling events, newest last: (t, delta, workers_before).
+        #: recent scaling decisions, newest last: dicts carrying the
+        #: time, the delta, the reason, and the stats inputs the policy
+        #: saw -- enough to replay/explain any decision after the fact.
         self.events: deque = deque(maxlen=1000)
         self._idle_since: Optional[float] = None
         self._last_scale: Optional[float] = None
@@ -112,6 +117,14 @@ class PoolAutoscaler:
         workers = stats["workers"]
         outstanding = stats["backlog"] + stats["inflight"]
         ewma = stats["ewma_service_s"]
+        p99 = stats.get("latency_p99_s")
+        inputs = {
+            "workers": workers,
+            "backlog": stats["backlog"],
+            "inflight": stats["inflight"],
+            "ewma_service_s": ewma,
+            "latency_p99_s": p99,
+        }
         if outstanding > 0:
             self._idle_since = None
         elif self._idle_since is None:
@@ -119,18 +132,26 @@ class PoolAutoscaler:
         # bounds enforcement ignores the cooldown: a pool outside its
         # bounds (worker crash, reconfigured limits) is nudged back in
         if workers < self.min_workers:
-            return self._record(now, +1, workers)
+            return self._record(now, +1, workers, "below-min", inputs)
         if workers > self.max_workers:
-            return self._record(now, -1, workers)
+            return self._record(now, -1, workers, "above-max", inputs)
         if (
             self._last_scale is not None
             and now - self._last_scale < self.cooldown_s
         ):
             return 0
-        if outstanding > 0 and ewma and workers < self.max_workers:
-            predicted_latency = outstanding * ewma / max(1, workers)
-            if predicted_latency > self.latency_budget_s:
-                return self._record(now, +1, workers)
+        if outstanding > 0 and workers < self.max_workers:
+            if ewma:
+                predicted_latency = outstanding * ewma / max(1, workers)
+                if predicted_latency > self.latency_budget_s:
+                    return self._record(
+                        now, +1, workers, "predicted-latency", inputs
+                    )
+            # tail trigger: sparse-but-latency-sensitive traffic can
+            # keep the backlog tiny (predicted latency fine) while
+            # observed p99 -- queue wait included -- blows the budget
+            if p99 is not None and p99 > self.latency_budget_s:
+                return self._record(now, +1, workers, "p99-latency", inputs)
         if (
             outstanding == 0
             and workers > self.min_workers
@@ -140,16 +161,32 @@ class PoolAutoscaler:
             # each retirement needs a fresh full idle window: shrinking
             # is deliberately slower than growing
             self._idle_since = now
-            return self._record(now, -1, workers)
+            return self._record(now, -1, workers, "idle-window", inputs)
         return 0
 
-    def _record(self, now: float, delta: int, workers: int) -> int:
+    def _record(
+        self, now: float, delta: int, workers: int, reason: str, inputs: dict
+    ) -> int:
         self._last_scale = now
         if delta > 0:
             self.n_scale_ups += 1
         else:
             self.n_scale_downs += 1
-        self.events.append((now, delta, workers))
+        self.events.append(
+            {
+                "t": now,
+                "delta": delta,
+                "workers": workers,
+                "reason": reason,
+                "inputs": inputs,
+            }
+        )
+        if self.pool is not None and obs.enabled():
+            self.pool.metrics_registry.counter(
+                "autoscale.decisions_total",
+                direction="up" if delta > 0 else "down",
+                reason=reason,
+            ).inc()
         return delta
 
     # ------------------------------------------------------------------

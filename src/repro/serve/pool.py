@@ -69,6 +69,18 @@ and ``tests/test_serve_elastic.py``).  Workers serve with any
 execution backend (``backend="qgemm"`` runs the code-domain LUT
 engine, :mod:`repro.qgemm`); the determinism argument is
 backend-independent.
+
+**Observability.**  Unless ``REPRO_OBS=0``, the pool stamps the
+:mod:`repro.obs` telemetry layer: every job carries a trace ID from
+enqueue through dispatch -> worker -> collect, workers time each
+forward (split per fused region / executed kernel family) and ship
+their metrics-registry snapshots back on the reply tuples, and the
+parent assembles per-request timelines (queue wait, batch assembly,
+compute, transit) in :attr:`trace_buffer`.  :meth:`metrics` returns
+the merged parent+worker registry as a JSON-able digest,
+:meth:`metrics_text` as Prometheus text, :meth:`trace_events` the
+chrome://tracing events (export with :func:`repro.obs.write_jsonl`).
+See the README "Observability" section for the metric names.
 """
 
 from __future__ import annotations
@@ -85,6 +97,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.runtime.engine import iter_chunks
 from repro.serve.queue import MicroBatchQueue
 from repro.serve.queue import resolve_future as _resolve
@@ -94,6 +107,9 @@ _POLL_S = 0.05
 
 #: EWMA smoothing factor for per-worker/pool service-time estimates.
 _EWMA_ALPHA = 0.3
+
+#: micro-batch fill histogram buckets (samples per dispatched batch).
+_FILL_BUCKETS = tuple(float(2 ** i) for i in range(11))
 
 #: worker slot lifecycle states (see the module docstring).
 _STARTING, _ACTIVE, _RETIRING, _RETIRED = (
@@ -113,31 +129,63 @@ def _worker_main(
 ) -> None:
     """Worker process body: load the checkpoint once, then serve jobs.
 
-    Each job is ``(job_id, samples)``; the reply is
-    ``("done", worker_id, job_id, logits-or-_RemoteError)``.  A ``None``
-    task is the shutdown pill.
+    Each job is ``(job_id, samples[, trace_id])``; the reply is
+    ``("done", worker_id, job_id, logits-or-_RemoteError[, obs])``.  A
+    ``None`` task is the shutdown pill.  With telemetry enabled the
+    trailing ``obs`` dict carries the forward's wall seconds, its
+    per-region split (exclusive seconds per fused region / executed
+    kernel family), and the worker's full metrics-registry snapshot --
+    shipping the registry on the existing result pipe is what lets the
+    parent merge cross-process metrics without any side channel.
     """
     from repro.runtime import FrozenModel
 
+    registry = obs.reset_registry() if obs.enabled() else None
+    timing = None
     try:
         model = FrozenModel.load(checkpoint_path, weight_only=weight_only)
         model.astype(np.dtype(dtype_name))
         if backend != "float":
             model.set_backend(backend)
+        if registry is not None:
+            timing = model.start_region_timing()
         result_queue.put(("ready", worker_id, os.getpid()))
     except BaseException as exc:  # noqa: BLE001 - must reach the parent
         result_queue.put(("ready", worker_id, _RemoteError.wrap(exc)))
         return
+    forward_hist = (
+        None if registry is None else registry.histogram("runtime.forward_seconds")
+    )
     while True:
         task = task_queue.get()
         if task is None:
             return
-        job_id, samples = task
+        job_id, samples = task[0], task[1]
         try:
+            if registry is None:
+                logits = model.predict(
+                    samples, batch_size=batch_size, pad_batches=True
+                )
+                result_queue.put(("done", worker_id, job_id, logits))
+                continue
+            t0 = time.perf_counter()
             logits = model.predict(
                 samples, batch_size=batch_size, pad_batches=True
             )
-            result_queue.put(("done", worker_id, job_id, logits))
+            compute_s = time.perf_counter() - t0
+            forward_hist.observe(compute_s)
+            regions = timing.read() if timing is not None else []
+            for op in regions:
+                registry.histogram(
+                    "runtime.region_seconds", kind=op["kind"]
+                ).observe(op["seconds"])
+            result_queue.put(("done", worker_id, job_id, logits, {
+                "compute_s": compute_s,
+                "regions": [
+                    (op["label"], op["kind"], op["seconds"]) for op in regions
+                ],
+                "metrics": registry.snapshot(),
+            }))
         except BaseException as exc:  # noqa: BLE001 - report, keep serving
             result_queue.put(("done", worker_id, job_id, _RemoteError.wrap(exc)))
 
@@ -157,6 +205,32 @@ class _RemoteError:
 
     def raise_(self) -> None:
         raise RuntimeError(f"serving worker failed: {self.message}")
+
+
+class _ServiceStat:
+    """Per-slot service-time tracker.
+
+    The EWMA is scheduler state (``stats()``/autoscaler input, kept
+    even with telemetry off); with telemetry on each sample also lands
+    in a ``serve.service_seconds`` registry histogram, which is where
+    percentiles and Prometheus exposition come from.  This replaces the
+    former parallel ``_ewma_service``/``_ewma_pool`` list plumbing.
+    """
+
+    __slots__ = ("ewma", "hist")
+
+    def __init__(self, hist=None) -> None:
+        self.ewma: Optional[float] = None
+        self.hist = hist
+
+    def note(self, seconds: float) -> None:
+        self.ewma = (
+            seconds
+            if self.ewma is None
+            else (1.0 - _EWMA_ALPHA) * self.ewma + _EWMA_ALPHA * seconds
+        )
+        if self.hist is not None:
+            self.hist.observe(seconds)
 
 
 class ServingPool:
@@ -281,12 +355,22 @@ class ServingPool:
         self._backlog: deque = deque()
         #: worker slot -> deque of in-flight job_ids; under _jobs_lock.
         self._inflight: List[deque] = []
-        #: job_id -> monotonic dispatch time (EWMA source); under _jobs_lock.
+        #: job_id -> monotonic dispatch time (service-time source);
+        #: under _jobs_lock.
         self._dispatch_t: Dict[int, float] = {}
-        #: per-slot EWMA of job service seconds; under _jobs_lock.
-        self._ewma_service: List[Optional[float]] = []
-        #: pool-wide EWMA of job service seconds; under _jobs_lock.
-        self._ewma_pool: Optional[float] = None
+        #: parent-side telemetry: counters/histograms + trace events.
+        #: Worker-process registries merge in via :meth:`metrics`.
+        self.metrics_registry = obs.MetricsRegistry()
+        self.trace_buffer = obs.TraceBuffer()
+        #: per-slot service-time trackers (EWMA + registry histogram);
+        #: under _jobs_lock.
+        self._service: List[_ServiceStat] = []
+        #: pool-wide service-time tracker; under _jobs_lock.
+        self._service_pool = self._service_stat()
+        #: latest registry snapshot per live worker slot; under _jobs_lock.
+        self._worker_metrics: Dict[int, dict] = {}
+        #: folded snapshots of dead/retired worker incarnations.
+        self._worker_metrics_base: dict = {}
         #: spawned-worker readiness deadlines (slot -> monotonic deadline).
         self._await_ready = {}
         self._jobs_lock = threading.Lock()
@@ -302,6 +386,15 @@ class ServingPool:
         self._dispatcher: Optional[threading.Thread] = None
         self._n_jobs = 0
 
+    def _service_stat(self, worker_id: Optional[int] = None) -> _ServiceStat:
+        """An EWMA tracker, histogram-backed when telemetry is on."""
+        if not obs.enabled():
+            return _ServiceStat()
+        labels = {} if worker_id is None else {"worker": str(worker_id)}
+        return _ServiceStat(
+            self.metrics_registry.histogram("serve.service_seconds", **labels)
+        )
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -313,7 +406,7 @@ class ServingPool:
         self._result_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
         self._inflight = [deque() for _ in range(self.n_workers)]
         self._slot_state = [_STARTING] * self.n_workers
-        self._ewma_service = [None] * self.n_workers
+        self._service = [self._service_stat(i) for i in range(self.n_workers)]
         self._workers = [self._spawn(i) for i in range(self.n_workers)]
         for worker in self._workers:
             worker.start()
@@ -368,7 +461,7 @@ class ServingPool:
             self._workers = []
             self._slot_state = []
             self._inflight = []
-            self._ewma_service = []
+            self._service = []
             raise
         self._slot_state = [_ACTIVE] * self.n_workers
         self._started = True
@@ -497,7 +590,7 @@ class ServingPool:
             # every structure it indexes *into* must be extended before
             # the list it enumerates grows
             self._inflight.append(deque())
-            self._ewma_service.append(None)
+            self._service.append(self._service_stat(worker_id))
             self._slot_state.append(_STARTING)
             self._task_queues.append(self._ctx.Queue())
             self._result_queues.append(self._ctx.Queue())
@@ -575,6 +668,13 @@ class ServingPool:
                 return
             self._slot_state[worker_id] = _RETIRED
             self._n_retired += 1
+            if obs.enabled():
+                self.metrics_registry.counter("serve.retired_total").inc()
+            folded = self._worker_metrics.pop(worker_id, None)
+            if folded is not None:
+                self._worker_metrics_base = obs.merge_snapshots(
+                    self._worker_metrics_base, folded
+                )
             self._await_ready.pop(worker_id, None)
             task_queue = self._task_queues[worker_id]
         if task_queue is not None:
@@ -622,34 +722,35 @@ class ServingPool:
                         # dispatch: drop the job instead of computing a
                         # result nobody can receive
                         self._jobs.pop(job_id, None)
+                        if obs.enabled():
+                            self.metrics_registry.counter(
+                                "serve.cancelled_drops_total"
+                            ).inc()
                         assigned = True
                         continue
                     self._inflight[i].append(job_id)
-                    self._dispatch_t[job_id] = time.monotonic()
-                    self._task_queues[i].put((job_id, samples))
+                    now = time.monotonic()
+                    self._dispatch_t[job_id] = now
+                    meta = job[3]
+                    if meta is not None:
+                        wait = now - meta[1]
+                        self.metrics_registry.counter(
+                            "serve.dispatch_total"
+                        ).inc()
+                        self.metrics_registry.histogram(
+                            "serve.queue_wait_seconds"
+                        ).observe(wait)
+                        self.trace_buffer.add(
+                            "queue-wait", meta[2], wait,
+                            cat="serve", trace_id=meta[0],
+                            job=job_id, worker=i,
+                        )
+                    self._task_queues[i].put(
+                        (job_id, samples, None if meta is None else meta[0])
+                    )
                     assigned = True
                 if not assigned:
                     return
-
-    def _note_service_time(self, worker_id: int, seconds: float) -> None:
-        """Update the per-slot and pool EWMAs (caller holds _jobs_lock).
-
-        At ``prefetch > 1`` the sample includes private-queue wait, so
-        the EWMA tracks *per-job turnaround* as the autoscaler sees it,
-        slightly above pure forward time.
-        """
-        prev = self._ewma_service[worker_id]
-        self._ewma_service[worker_id] = (
-            seconds
-            if prev is None
-            else (1.0 - _EWMA_ALPHA) * prev + _EWMA_ALPHA * seconds
-        )
-        prev_pool = self._ewma_pool
-        self._ewma_pool = (
-            seconds
-            if prev_pool is None
-            else (1.0 - _EWMA_ALPHA) * prev_pool + _EWMA_ALPHA * seconds
-        )
 
     # ------------------------------------------------------------------
     # background threads
@@ -737,6 +838,13 @@ class ServingPool:
                 and self._n_respawns + len(crashed) <= self.max_respawns
             )
             for i in dead:
+                # a dead incarnation ships no more snapshots; fold its
+                # last one into the base so its counts survive the swap
+                folded = self._worker_metrics.pop(i, None)
+                if folded is not None:
+                    self._worker_metrics_base = obs.merge_snapshots(
+                        self._worker_metrics_base, folded
+                    )
                 # a graceful retirement death can still requeue (other
                 # workers survive by the retire-last-worker guard)
                 recoverable = can_respawn or i in retiring
@@ -744,10 +852,19 @@ class ServingPool:
                     self._dispatch_t.pop(job_id, None)
                     if job_id not in self._jobs:
                         continue
-                    future, samples, retries = self._jobs[job_id]
+                    future, samples, retries, meta = self._jobs[job_id]
                     if recoverable and retries > 0:
-                        self._jobs[job_id] = (future, samples, retries - 1)
+                        self._jobs[job_id] = (future, samples, retries - 1, meta)
                         self._backlog.appendleft((job_id, samples))
+                        if meta is not None:
+                            self.metrics_registry.counter(
+                                "serve.requeues_total"
+                            ).inc()
+                            self.trace_buffer.add(
+                                "requeue", time.time(), 0.0,
+                                cat="serve", trace_id=meta[0],
+                                job=job_id, worker=i,
+                            )
                     else:
                         del self._jobs[job_id]
                         _resolve(future, error=RuntimeError(
@@ -758,6 +875,8 @@ class ServingPool:
             for i in retiring:
                 self._slot_state[i] = _RETIRED
                 self._n_retired += 1
+                if obs.enabled():
+                    self.metrics_registry.counter("serve.retired_total").inc()
                 self._await_ready.pop(i, None)
                 stale = [self._task_queues[i], self._result_queues[i]]
                 self._task_queues[i] = None
@@ -780,6 +899,10 @@ class ServingPool:
                         replacement.start()  # started before publishing:
                         self._workers[i] = replacement  # a test may kill it
                         self._n_respawns += 1
+                        if obs.enabled():
+                            self.metrics_registry.counter(
+                                "serve.respawns_total"
+                            ).inc()
                         if self.start_timeout is not None:
                             # same hung-child guard start() has: a
                             # replacement that deadlocks at fork or
@@ -859,9 +982,16 @@ class ServingPool:
                 self._pump()
             return
         job_id, payload = reply[2], reply[3]
+        obs_payload = reply[4] if len(reply) > 4 else None
+        end_mono = time.monotonic()
         finalize = False
+        service_s: Optional[float] = None
         with self._jobs_lock:
             if 0 <= worker_id < len(self._inflight):
+                if obs_payload is not None:
+                    # latest registry snapshot for this live incarnation;
+                    # merged with the parent registry in metrics()
+                    self._worker_metrics[worker_id] = obs_payload["metrics"]
                 try:
                     self._inflight[worker_id].remove(job_id)
                 except ValueError:
@@ -869,9 +999,9 @@ class ServingPool:
                 else:
                     started = self._dispatch_t.pop(job_id, None)
                     if started is not None:
-                        self._note_service_time(
-                            worker_id, time.monotonic() - started
-                        )
+                        service_s = end_mono - started
+                        self._service[worker_id].note(service_s)
+                        self._service_pool.note(service_s)
                 if (
                     self._slot_state[worker_id] == _RETIRING
                     and not self._inflight[worker_id]
@@ -881,14 +1011,75 @@ class ServingPool:
         if job is not None:
             future = job[0]
             if isinstance(payload, _RemoteError):
+                if obs.enabled():
+                    self.metrics_registry.counter(
+                        "serve.job_failures_total"
+                    ).inc()
                 _resolve(future, error=RuntimeError(
                     f"serving worker failed: {payload.message}"
                 ))
             else:
                 _resolve(future, value=payload)
+            meta = job[3]
+            if meta is not None:
+                self.metrics_registry.counter("serve.collect_total").inc()
+                self.metrics_registry.histogram(
+                    "serve.job_latency_seconds"
+                ).observe(end_mono - meta[1])
+                if obs_payload is not None and service_s is not None:
+                    self._trace_compute(
+                        meta[0], job_id, worker_id, service_s, obs_payload
+                    )
         if finalize:
             self._finalize_retire(worker_id)
         self._pump()
+
+    def _trace_compute(
+        self,
+        trace_id: Optional[str],
+        job_id: int,
+        worker_id: int,
+        service_s: float,
+        obs_payload: dict,
+    ) -> None:
+        """Reconstruct a job's compute/transit timeline in the trace.
+
+        The worker reports pure forward seconds; the parent measured the
+        dispatch -> collect round trip.  The difference is transit
+        (pipe serialisation + private-queue wait), which we split evenly
+        around the compute block -- the halves are an estimate, the
+        total is measured.  Region events subdivide the compute block at
+        their cumulative offsets (the fused-plan regions execute
+        sequentially inside the forward).
+        """
+        compute_s = float(obs_payload["compute_s"])
+        transit = max(service_s - compute_s, 0.0)
+        end_wall = time.time()
+        compute_start = end_wall - transit / 2.0 - compute_s
+        tid = worker_id + 1  # tid 0 is the parent's queue/assembly lane
+        self.trace_buffer.add(
+            "dispatch-transit", compute_start - transit / 2.0, transit / 2.0,
+            cat="serve", tid=tid, trace_id=trace_id, job=job_id,
+            worker=worker_id,
+        )
+        self.trace_buffer.add(
+            "compute", compute_start, compute_s,
+            cat="runtime", tid=tid, trace_id=trace_id, job=job_id,
+            worker=worker_id,
+        )
+        offset = 0.0
+        for label, kind, seconds in obs_payload.get("regions", ()):
+            self.trace_buffer.add(
+                label, compute_start + offset, seconds,
+                cat="runtime.region", tid=tid, trace_id=trace_id,
+                job=job_id, worker=worker_id, kind=kind,
+            )
+            offset += seconds
+        self.trace_buffer.add(
+            "result-transit", end_wall - transit / 2.0, transit / 2.0,
+            cat="serve", tid=tid, trace_id=trace_id, job=job_id,
+            worker=worker_id,
+        )
 
     def _alive_workers(self) -> bool:
         return any(worker.is_alive() for worker in self._workers)
@@ -908,26 +1099,57 @@ class ServingPool:
                 return  # queue closed and drained
             if not batch:
                 continue
+            stamp = obs.enabled()
+            trace_id = obs.new_trace_id() if stamp else None
+            t0 = time.monotonic() if stamp else 0.0
             try:
                 samples = np.stack([request.payload for request in batch])
-                job = self._submit_array(samples)
+                job = self._submit_array(samples, trace_id=trace_id)
             except BaseException as exc:  # noqa: BLE001 - fail the batch, not the thread
                 for request in batch:
                     _resolve(request.future, error=RuntimeError(
                         f"micro-batch dispatch failed: {exc}"
                     ))
                 continue
+            if stamp:
+                now_mono = time.monotonic()
+                now_wall = time.time()
+                self.metrics_registry.histogram(
+                    "serve.batch_fill", buckets=_FILL_BUCKETS
+                ).observe(float(len(batch)))
+                self.trace_buffer.add(
+                    "batch-assembly", now_wall - (now_mono - t0),
+                    now_mono - t0, cat="serve", trace_id=trace_id,
+                    fill=len(batch),
+                )
+                for request in batch:
+                    # each request's own wait from enqueue to dispatch,
+                    # linked to the micro-batch job it rode out on
+                    wait = now_mono - request.arrived
+                    self.trace_buffer.add(
+                        "request-queue-wait", now_wall - wait, wait,
+                        cat="serve", trace_id=request.trace_id,
+                        job_trace=trace_id,
+                    )
             job.add_done_callback(self._scatter_to(batch))
 
-    @staticmethod
-    def _scatter_to(batch):
+    def _scatter_to(self, batch):
+        registry = self.metrics_registry if obs.enabled() else None
+
         def _scatter(job: Future) -> None:
             error = job.exception()
+            now = time.monotonic() if registry is not None else 0.0
             for row, request in enumerate(batch):
                 if error is not None:
                     _resolve(request.future, error=error)
                 else:
                     _resolve(request.future, value=job.result()[row])
+                if registry is not None:
+                    if error is not None:
+                        registry.counter("serve.request_failures_total").inc()
+                    registry.histogram(
+                        "serve.request_latency_seconds"
+                    ).observe(now - request.arrived)
 
         return _scatter
 
@@ -940,9 +1162,18 @@ class ServingPool:
                 "pool not started; call start() or use as a context manager"
             )
 
-    def _submit_array(self, samples: np.ndarray) -> Future:
+    def _submit_array(
+        self, samples: np.ndarray, trace_id: Optional[str] = None
+    ) -> Future:
         self._require_serving()
         future: Future = Future()
+        # job telemetry header: (trace_id, monotonic enqueue, wall
+        # enqueue) -- or None with REPRO_OBS=0, which keeps the whole
+        # job tuple stamping out of the hot path
+        meta = None
+        if obs.enabled():
+            meta = (trace_id or obs.new_trace_id(), time.monotonic(), time.time())
+            self.metrics_registry.counter("serve.jobs_total").inc()
         with self._jobs_lock:
             # checked under the lock so a submit racing close() either
             # raises here or registers early enough for close()'s
@@ -957,7 +1188,7 @@ class ServingPool:
             job_id = self._next_job_id
             self._next_job_id += 1
             # the payload rides along for the watchdog's one-shot requeue
-            self._jobs[job_id] = (future, samples, 1)
+            self._jobs[job_id] = (future, samples, 1, meta)
             self._backlog.append((job_id, samples))
             self._n_jobs += 1
         self._pump()
@@ -1135,13 +1366,14 @@ class ServingPool:
         """
         queue_stats = self.micro_queue.stats
         queue_depth = self.micro_queue.depth
+        latency = self.metrics_registry.find("serve.job_latency_seconds")
         with self._jobs_lock:
             per_worker = [
                 {
                     "slot": i,
                     "state": state,
                     "inflight": len(self._inflight[i]),
-                    "ewma_service_s": self._ewma_service[i],
+                    "ewma_service_s": self._service[i].ewma,
                 }
                 for i, state in enumerate(self._slot_state)
                 if state != _RETIRED
@@ -1153,11 +1385,21 @@ class ServingPool:
                 "slots": len(self._slot_state),
                 "backlog": len(self._backlog),
                 "inflight": sum(len(d) for d in self._inflight),
-                "ewma_service_s": self._ewma_pool,
+                "ewma_service_s": self._service_pool.ewma,
                 "jobs": self._n_jobs,
                 "respawns": self._n_respawns,
                 "retired": self._n_retired,
             }
+        if latency is not None and latency.count:
+            snapshot["latency_p50_s"] = latency.quantile(0.50)
+            snapshot["latency_p90_s"] = latency.quantile(0.90)
+            snapshot["latency_p99_s"] = latency.quantile(0.99)
+        else:
+            # absent/empty with REPRO_OBS=0 or before the first result;
+            # present-but-None keeps the autoscaler's reads uniform
+            snapshot["latency_p50_s"] = None
+            snapshot["latency_p90_s"] = None
+            snapshot["latency_p99_s"] = None
         return {
             **snapshot,
             "batch_size": self.batch_size,
@@ -1169,6 +1411,47 @@ class ServingPool:
             "queue_depth": queue_depth,
             **{f"queue_{k}": v for k, v in queue_stats.items()},
         }
+
+    # ------------------------------------------------------------------
+    # telemetry export
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """The merged parent + all-worker registry snapshot.
+
+        Worker processes ship their registry on every reply; the latest
+        snapshot per live slot merges with the folded totals of dead /
+        retired incarnations and the parent's own registry.  The result
+        is a plain dict (JSON-safe) that :func:`repro.obs.merge_snapshots`
+        can combine across pools.
+        """
+        with self._jobs_lock:
+            worker_snaps = list(self._worker_metrics.values())
+            base = self._worker_metrics_base
+        return obs.merge_snapshots(
+            self.metrics_registry.snapshot(), base, *worker_snaps
+        )
+
+    def metrics(self) -> dict:
+        """JSON-able digest of every pool metric (see the README).
+
+        Counters/gauges report their value; histograms collapse to
+        ``{count, mean, p50, p90, p99}``.
+        """
+        return obs.snapshot_summary(self.metrics_snapshot())
+
+    def metrics_text(self) -> str:
+        """Prometheus text-format exposition of the merged metrics."""
+        registry = obs.MetricsRegistry()
+        registry.merge(self.metrics_snapshot())
+        return obs.render_prometheus(registry)
+
+    def trace_events(self, trace_id: Optional[str] = None) -> list:
+        """Chrome-trace events collected so far (optionally filtered).
+
+        Export with :func:`repro.obs.write_jsonl` /
+        :func:`repro.obs.jsonl_to_chrome` and load in chrome://tracing.
+        """
+        return self.trace_buffer.events(trace_id)
 
 
 class ServingClient:

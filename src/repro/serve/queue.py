@@ -24,6 +24,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import new_trace_id
+
 
 def resolve_future(
     future: Future, value=None, error: Optional[BaseException] = None
@@ -47,14 +49,21 @@ def resolve_future(
 
 
 class Request:
-    """One pending sample plus the future its logits resolve."""
+    """One pending sample plus the future its logits resolve.
 
-    __slots__ = ("payload", "future", "arrived")
+    ``trace_id`` is stamped at enqueue (``None`` with ``REPRO_OBS=0``)
+    and rides the request through batch assembly into the job header,
+    so a request's queue wait, its micro-batch's compute, and the
+    result transit all correlate in the trace (see :mod:`repro.obs`).
+    """
+
+    __slots__ = ("payload", "future", "arrived", "trace_id")
 
     def __init__(self, payload: np.ndarray) -> None:
         self.payload = payload
         self.future: Future = Future()
         self.arrived = time.monotonic()
+        self.trace_id = new_trace_id()
 
 
 class MicroBatchQueue:

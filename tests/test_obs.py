@@ -1,0 +1,398 @@
+"""Unified telemetry layer: registry, tracing, exporters, pool wiring.
+
+The load-bearing properties:
+
+* histogram edge semantics -- 0 lands in the first bucket, ``inf`` in
+  the overflow bucket without poisoning the mean, NaN in its own
+  counter outside ``count``/quantiles;
+* snapshot ``merge`` is associative and commutative (counters and
+  histograms), which is what lets worker registries fold into the pool
+  parent in any arrival order;
+* trace IDs stamped at enqueue survive dispatch, worker death, requeue
+  and respawn -- the replayed job's compute correlates to the same ID;
+* ``REPRO_OBS=0`` writes nothing: no registry entries, no trace
+  events, no IDs -- while scheduler state (EWMAs) stays intact.
+"""
+
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.quant.framework import ModelQuantizer
+from repro.runtime import FrozenModel
+from repro.serve import PoolAutoscaler, ServingClient, ServingPool
+from repro.zoo import calibration_batch, trained_model
+
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """Calibrated vgg16 checkpoint + float32 single-process reference."""
+    entry = trained_model("vgg16")
+    quantizer = ModelQuantizer(entry.model, "ip-f", 4)
+    quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+    try:
+        frozen = quantizer.freeze(model_name="vgg16")
+    finally:
+        quantizer.remove()
+    path = tmp_path_factory.mktemp("obs") / "vgg16.npz"
+    frozen.save(path)
+    reference = FrozenModel.load(path).astype(np.float32)
+    x = entry.dataset.x_test[:70]
+    return path, reference, x
+
+
+# ----------------------------------------------------------------------
+# Histogram edge cases
+# ----------------------------------------------------------------------
+def test_histogram_zero_lands_in_first_bucket():
+    hist = Histogram("h", (), buckets=(0.1, 1.0))
+    hist.observe(0.0)
+    assert hist.counts.tolist() == [1, 0, 0]
+    assert hist.count == 1 and hist.sum == 0.0
+
+
+def test_histogram_inf_goes_to_overflow_without_poisoning_sum():
+    hist = Histogram("h", (), buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(float("inf"))
+    assert hist.counts.tolist() == [1, 0, 1]
+    assert hist.count == 2
+    assert hist.sum == pytest.approx(0.05)  # inf excluded: mean stays finite
+    assert np.isfinite(hist.mean)
+    # the overflow bucket can only report a floor: the last finite edge
+    assert hist.quantile(0.99) == 1.0
+
+
+def test_histogram_nan_counted_separately():
+    hist = Histogram("h", (), buckets=(1.0,))
+    hist.observe(float("nan"))
+    assert hist.nan_count == 1
+    assert hist.count == 0 and hist.sum == 0.0
+    assert hist.mean is None and hist.quantile(0.5) is None
+
+
+def test_histogram_bucket_edge_is_inclusive_upper():
+    # Prometheus `le` semantics: an observation equal to an edge counts
+    # in that edge's bucket
+    hist = Histogram("h", (), buckets=(1.0, 2.0))
+    hist.observe(1.0)
+    assert hist.counts.tolist() == [1, 0, 0]
+
+
+def test_histogram_quantile_interpolates_within_bucket():
+    hist = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+    for _ in range(4):
+        hist.observe(1.5)
+    assert hist.quantile(0.5) == pytest.approx(1.5)
+    assert hist.quantile(0.0) == pytest.approx(1.0)
+    assert hist.quantile(1.0) == pytest.approx(2.0)
+
+
+def test_histogram_rejects_empty_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", (), buckets=())
+
+
+# ----------------------------------------------------------------------
+# Registry + cross-process merge
+# ----------------------------------------------------------------------
+def _registry_with(counter_n, hist_values):
+    registry = MetricsRegistry()
+    registry.counter("jobs_total").inc(counter_n)
+    registry.counter("errs_total", kind="oom").inc(1)
+    hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+    for value in hist_values:
+        hist.observe(value)
+    return registry
+
+
+def test_merge_is_associative_and_commutative():
+    s1 = _registry_with(3, [0.05, 0.5]).snapshot()
+    s2 = _registry_with(2, [5.0]).snapshot()
+    s3 = _registry_with(7, [0.5, 0.5, 50.0]).snapshot()
+    merged = obs.merge_snapshots(s1, s2, s3)
+    assert merged == obs.merge_snapshots(obs.merge_snapshots(s1, s2), s3)
+    assert merged == obs.merge_snapshots(s1, obs.merge_snapshots(s2, s3))
+    assert merged == obs.merge_snapshots(s3, s1, s2)
+    assert merged["jobs_total"]["value"] == 12
+    assert merged["lat_seconds"]["count"] == 6
+    assert merged["lat_seconds"]["counts"] == [1, 3, 1, 1]
+
+
+def test_merge_survives_json_round_trip():
+    snap = _registry_with(1, [0.5]).snapshot()
+    wired = json.loads(json.dumps(snap))  # what a result pipe would carry
+    assert obs.merge_snapshots(wired, snap)["jobs_total"]["value"] == 2
+
+
+def test_merge_rejects_mismatched_histogram_edges():
+    a = MetricsRegistry()
+    a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+    b = MetricsRegistry()
+    b.histogram("h", buckets=(1.0, 4.0)).observe(0.5)
+    with pytest.raises(ValueError, match="edges differ"):
+        a.merge(b.snapshot())
+
+
+def test_registry_find_never_creates():
+    registry = MetricsRegistry()
+    assert registry.find("nope") is None
+    assert registry.metrics() == []
+    counter = registry.counter("yes", worker="0")
+    assert registry.find("yes", worker="0") is counter
+    assert registry.find("yes") is None  # labels are part of the identity
+
+
+def test_label_vocabulary_is_shared():
+    assert obs.labels.qgemm_kernel_label("pair-stat") == "qgemm-pair-stat"
+
+    class FrozenThing:
+        pass
+
+    thing = FrozenThing()
+    assert obs.labels.module_kind(thing) == "thing"  # kebab fallback
+
+    class Exec:
+        kernel_label = "qgemm-popcount"
+
+    thing._exec = Exec()
+    assert obs.labels.module_kind(thing) == "qgemm-popcount"
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def test_prometheus_rendering_shape():
+    registry = _registry_with(3, [0.05, 0.5, 5.0])
+    text = obs.render_prometheus(registry)
+    assert "# TYPE repro_jobs_total counter" in text
+    assert "repro_jobs_total 3" in text
+    assert 'repro_errs_total{kind="oom"} 1' in text
+    assert "# TYPE repro_lat_seconds histogram" in text
+    # bucket counts are cumulative and end at +Inf == count
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "repro_lat_seconds_count 3" in text
+
+
+def test_snapshot_summary_digests_histograms():
+    summary = obs.snapshot_summary(_registry_with(3, [0.5, 0.5]).snapshot())
+    assert summary["jobs_total"] == 3
+    assert summary["errs_total{kind=oom}"] == 1
+    digest = summary["lat_seconds"]
+    assert digest["count"] == 2
+    assert set(digest) == {"count", "mean", "p50", "p90", "p99"}
+
+
+# ----------------------------------------------------------------------
+# Tracing primitives
+# ----------------------------------------------------------------------
+def test_span_and_trace_buffer_produce_chrome_events(tmp_path):
+    buffer = obs.TraceBuffer()
+    trace_id = obs.new_trace_id()
+    assert trace_id is not None
+    with obs.Span("work", buffer=buffer, trace_id=trace_id, job=7) as span:
+        pass
+    assert span.seconds >= 0.0
+    (event,) = buffer.events()
+    assert event["ph"] == "X" and event["name"] == "work"
+    assert event["args"]["trace_id"] == trace_id and event["args"]["job"] == 7
+    assert buffer.events(trace_id="other") == []
+
+    path = tmp_path / "trace.jsonl"
+    obs.write_jsonl(path, buffer.events())
+    chrome = tmp_path / "trace.json"
+    obs.jsonl_to_chrome(path, chrome)
+    wrapped = json.loads(chrome.read_text())
+    assert [e["name"] for e in wrapped["traceEvents"]] == ["work"]
+
+
+def test_trace_buffer_bounds_memory():
+    buffer = obs.TraceBuffer(maxlen=4)
+    for i in range(10):
+        buffer.add(f"e{i}", 0.0, 0.0)
+    assert len(buffer) == 4
+    assert [e["name"] for e in buffer.events()] == ["e6", "e7", "e8", "e9"]
+
+
+# ----------------------------------------------------------------------
+# REPRO_OBS=0: stamping is off everywhere
+# ----------------------------------------------------------------------
+def test_disabled_guard_writes_nothing(served):
+    path, reference, x = served
+    previous = obs.set_enabled(False)
+    try:
+        assert os.environ["REPRO_OBS"] == "0"
+        assert obs.new_trace_id() is None
+        with obs.Span("ignored") as span:
+            pass
+        assert span.seconds is None  # no clock reads, no buffer writes
+        with ServingPool(path, n_workers=1, batch_size=BATCH) as pool:
+            out = pool.map_predict(x)
+            ServingClient(pool).predict_one(x[0])
+            stats = pool.stats()
+            # zero registry writes, zero trace events, empty exports
+            assert pool.metrics_registry.snapshot() == {}
+            assert pool.metrics() == {}
+            assert pool.metrics_text() == ""
+            assert pool.trace_events() == []
+            assert stats["latency_p50_s"] is None
+            # scheduler state is NOT telemetry: the EWMA still works
+            assert stats["ewma_service_s"] > 0.0
+        assert np.array_equal(
+            out, reference.predict(x, batch_size=BATCH, pad_batches=True)
+        )
+    finally:
+        obs.set_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Pool integration: metrics + per-request timeline
+# ----------------------------------------------------------------------
+def test_pool_metrics_and_full_request_timeline(served):
+    path, reference, x = served
+    assert obs.enabled()
+    with ServingPool(path, n_workers=2, batch_size=BATCH, prefetch=2) as pool:
+        out = pool.map_predict(x)
+        assert np.array_equal(
+            out, reference.predict(x, batch_size=BATCH, pad_batches=True)
+        )
+        ServingClient(pool).predict_one(x[0])
+
+        metrics = pool.metrics()
+        # parent-side counters agree with the job accounting
+        jobs = pool.stats()["jobs"]
+        assert metrics["serve.jobs_total"] == jobs
+        assert metrics["serve.dispatch_total"] == jobs
+        assert metrics["serve.collect_total"] == jobs
+        assert metrics["serve.job_latency_seconds"]["count"] == jobs
+        assert metrics["serve.queue_wait_seconds"]["count"] == jobs
+        # worker-side registries merged in over the result pipes
+        assert metrics["runtime.forward_seconds"]["count"] >= jobs
+        region_keys = [k for k in metrics if k.startswith("runtime.region_seconds")]
+        assert any("conv2d" in k for k in region_keys)
+        # micro-batched request path
+        assert metrics["serve.request_latency_seconds"]["count"] == 1
+        assert metrics["serve.batch_fill"]["count"] == 1
+
+        # stats() exposes latency percentiles for the autoscaler
+        stats = pool.stats()
+        assert 0.0 < stats["latency_p50_s"] <= stats["latency_p99_s"]
+        assert stats["ewma_service_s"] > 0.0
+
+        # one job's complete timeline: queue wait -> transit -> compute
+        # (with per-region events inside) -> result transit
+        events = pool.trace_events()
+        waits = [e for e in events if e["name"] == "queue-wait"]
+        assert waits
+        trace_id = waits[0]["args"]["trace_id"]
+        chain = pool.trace_events(trace_id)
+        names = [e["name"] for e in chain]
+        for needed in ("queue-wait", "dispatch-transit", "compute",
+                       "result-transit"):
+            assert needed in names, names
+        compute = next(e for e in chain if e["name"] == "compute")
+        regions = [e for e in chain if e["cat"] == "runtime.region"]
+        assert regions, "compute must be split per region"
+        # regions nest inside the compute block on the worker's lane
+        assert all(e["tid"] == compute["tid"] for e in regions)
+        assert all(e["ts"] >= compute["ts"] - 1 for e in regions)
+        region_total = sum(e["dur"] for e in regions)
+        assert region_total <= compute["dur"] * 1.5 + 1
+
+        # Prometheus exposition of the merged registries
+        text = pool.metrics_text()
+        assert "# TYPE repro_serve_jobs_total counter" in text
+        assert "repro_runtime_forward_seconds_bucket" in text
+
+
+def test_trace_id_survives_worker_crash_and_respawn(served):
+    path, reference, x = served
+    big = np.concatenate([x] * 30)  # enough forward work to kill mid-job
+    expected = reference.predict(big, batch_size=BATCH, pad_batches=True)
+    pool = ServingPool(path, n_workers=1, batch_size=BATCH).start()
+    try:
+        pool.predict(x[:8])  # healthy first
+        victim = pool._workers[0]
+        future = pool.submit(big)
+        deadline = __import__("time").monotonic() + 60
+        while not pool._inflight[0] and __import__("time").monotonic() < deadline:
+            __import__("time").sleep(0.01)
+        os.kill(victim.pid, signal.SIGKILL)
+        assert np.array_equal(future.result(timeout=300), expected)
+        assert pool.stats()["respawns"] >= 1
+        assert pool.metrics()["serve.requeues_total"] >= 1
+        assert pool.metrics()["serve.respawns_total"] >= 1
+        requeues = [e for e in pool.trace_events() if e["name"] == "requeue"]
+        assert requeues
+        trace_id = requeues[0]["args"]["trace_id"]
+        assert trace_id is not None
+        # the SAME trace ID dispatched again and completed its compute
+        names = [e["name"] for e in pool.trace_events(trace_id)]
+        assert names.count("queue-wait") >= 2  # original + re-dispatch
+        assert "compute" in names
+    finally:
+        pool.close()
+
+
+def test_worker_metrics_survive_retirement(served):
+    path, reference, x = served
+    with ServingPool(path, n_workers=2, batch_size=BATCH) as pool:
+        pool.map_predict(x)
+        before = pool.metrics()["runtime.forward_seconds"]["count"]
+        assert before > 0
+        pool.retire_worker()
+        # the retired incarnation's snapshot folded into the base: its
+        # counts must not vanish from the merged view
+        assert pool.metrics()["runtime.forward_seconds"]["count"] >= before
+        out = pool.map_predict(x)
+        assert np.array_equal(
+            out, reference.predict(x, batch_size=BATCH, pad_batches=True)
+        )
+
+
+# ----------------------------------------------------------------------
+# Autoscaler: percentile-aware scale-up + decision events
+# ----------------------------------------------------------------------
+def _stats(workers, backlog, inflight=0, ewma=0.2, p99=None):
+    return {
+        "workers": workers,
+        "backlog": backlog,
+        "inflight": inflight,
+        "ewma_service_s": ewma,
+        "latency_p99_s": p99,
+    }
+
+
+def test_autoscaler_p99_trigger_scales_up():
+    scaler = PoolAutoscaler(None, min_workers=1, max_workers=4,
+                            latency_budget_s=1.0)
+    # sparse traffic: backlog tiny so predicted latency is fine, but the
+    # observed tail blows the budget
+    assert scaler.decide(_stats(2, backlog=1, ewma=0.01, p99=5.0), now=0.0) == +1
+    event = scaler.events[-1]
+    assert event["reason"] == "p99-latency"
+    assert event["inputs"]["latency_p99_s"] == 5.0
+    # same shape without the tail: no action
+    scaler2 = PoolAutoscaler(None, min_workers=1, max_workers=4,
+                             latency_budget_s=1.0)
+    assert scaler2.decide(_stats(2, backlog=1, ewma=0.01, p99=0.5), now=0.0) == 0
+
+
+def test_autoscaler_records_decision_inputs():
+    scaler = PoolAutoscaler(None, min_workers=1, max_workers=4,
+                            latency_budget_s=0.1, cooldown_s=0.0)
+    assert scaler.decide(_stats(1, backlog=50), now=0.0) == +1
+    event = scaler.events[-1]
+    assert event["reason"] == "predicted-latency"
+    assert event["delta"] == +1 and event["workers"] == 1
+    assert event["inputs"]["backlog"] == 50
+    # stats snapshots missing the percentile key (older callers) work
+    assert scaler.decide({"workers": 1, "backlog": 50, "inflight": 0,
+                          "ewma_service_s": 0.2}, now=10.0) == +1
