@@ -83,6 +83,10 @@ CHECKS = [
     ("BENCH_serve.json", ("aggregate", "telemetry_overhead_ratio"), 0.95,
      "obs-off vs obs-on pooled serving, same run (telemetry must "
      "cost <= ~5%)"),
+    ("BENCH_serve.json", ("multi_tenant", "geomean_ratio_vs_single_tenant"),
+     0.9,
+     "8-tenant fleet vs single tenant, same pool shape and total "
+     "work, same run (fleet routing may cost <= ~10%)"),
     # --- BENCH_qgemm.json (optional): code-domain kernels vs float ---
     ("BENCH_qgemm.json", ("aggregate", "geomean_qgemm_vs_float"), 0.07,
      "pair/popcount code-domain serving vs float backend, same run "

@@ -34,7 +34,13 @@ import numpy as np
 from repro import obs
 from repro.nn.autograd import Tensor, no_grad
 from repro.quant.framework import ModelQuantizer
-from repro.serve import PoolAutoscaler, ServingPool
+from repro.serve import (
+    ModelRegistry,
+    ModelSpec,
+    PoolAutoscaler,
+    PoolConfig,
+    ServingPool,
+)
 from repro.zoo import cache_dir, calibration_batch
 
 from _support import WORKLOADS, measure_seconds
@@ -262,6 +268,87 @@ def test_perf_serve(zoo, emit):
         },
     }
 
+    # multi-tenant: the same total work routed through 8 tenants of one
+    # pool vs through a single tenant, same pool shape, same run.  All
+    # tenants alias the same checkpoint, so per-job compute is
+    # identical and the ratio isolates the fleet machinery (registry
+    # routing, per-tenant micro-batch queues, per-worker LRU lookups).
+    # The CI gate floors the ratio at 0.9: serving a fleet may cost at
+    # most ~10% over serving one model.
+    n_tenants = 8
+    tenant_names = [f"tenant{i}" for i in range(n_tenants)]
+    tenant_chunk = elastic_x[:2 * SERVE_BATCH]
+    tenant_workers = overhead_workers
+
+    def _fleet_run(names):
+        registry = ModelRegistry(
+            {name: ModelSpec(elastic_ckpt) for name in names},
+            default=names[0],
+        )
+        pool = ServingPool(
+            registry,
+            PoolConfig(n_workers=tenant_workers, batch_size=SERVE_BATCH),
+        ).start()
+        try:
+            # correctness first: every tenant must stay bit-identical
+            # to the single-process fixed-shape reference
+            pooled = pool.predict(tenant_chunk, model=names[-1])
+            assert np.array_equal(
+                pooled, elastic_ref[: tenant_chunk.shape[0]]
+            ), len(names)
+
+            def burst():
+                futures = [
+                    pool.submit(tenant_chunk, model=names[i % len(names)])
+                    for i in range(n_tenants)
+                ]
+                for future in futures:
+                    future.result()
+
+            seconds, spread = _measure_seconds(burst)
+            return seconds, spread, pool.metrics()
+        finally:
+            pool.close()
+
+    one_tenant_s, one_tenant_spread, _ = _fleet_run(tenant_names[:1])
+    fleet_s, fleet_spread, fleet_metrics = _fleet_run(tenant_names)
+
+    per_tenant_latency = {}
+    for name in tenant_names:
+        digest = fleet_metrics.get(
+            "serve.job_latency_seconds{model=%s}" % name
+        )
+        if digest:
+            per_tenant_latency[name] = {
+                "count": digest["count"],
+                "p50_s": digest["p50"],
+                "p99_s": digest["p99"],
+            }
+    cache_hits = sum(
+        v for k, v in fleet_metrics.items()
+        if k.startswith("serve.model_cache_hits_total{")
+    )
+    cache_loads = sum(
+        v for k, v in fleet_metrics.items()
+        if k.startswith("serve.model_cache_loads_total{")
+    )
+    results["multi_tenant"] = {
+        "workload": WORKLOADS[0],
+        "tenants": n_tenants,
+        "workers": tenant_workers,
+        "samples_per_job": int(tenant_chunk.shape[0]),
+        "jobs_per_burst": n_tenants,
+        "single_tenant_seconds": one_tenant_s,
+        "multi_tenant_seconds": fleet_s,
+        "geomean_ratio_vs_single_tenant": one_tenant_s / fleet_s,
+        "lru_hit_rate": cache_hits / max(1.0, cache_hits + cache_loads),
+        "per_tenant_latency": per_tenant_latency,
+        "timing_spread_max_over_min": {
+            "single_tenant": one_tenant_spread,
+            "multi_tenant": fleet_spread,
+        },
+    }
+
     aggregate = {}
     for n_workers in WORKER_COUNTS:
         speedups = [
@@ -315,6 +402,14 @@ def test_perf_serve(zoo, emit):
             "workload; the CI gate floors it at 0.95 (instrumentation "
             "may cost at most ~5%)"
         ),
+        "multi_tenant": (
+            "8 tenants aliasing one checkpoint vs a single tenant, "
+            "same pool shape and total work, same run; the CI gate "
+            "floors the ratio at 0.9 (fleet routing may cost at most "
+            "~10%).  Per-tenant p50/p99 come from the pool's "
+            "model-labelled job-latency histograms; the LRU hit rate "
+            "counts cache hits over hits+loads across all workers"
+        ),
         "cpu_cores": n_cores,
         "combination": "ip-f",
         "bits": 4,
@@ -345,6 +440,13 @@ def test_perf_serve(zoo, emit):
         f"{aggregate['telemetry_overhead_ratio']:4.2f}x "
         f"({overhead_workers}w, same-run)"
     )
+    fleet = results["multi_tenant"]
+    rows.append(
+        f" multi-tenant: {fleet['tenants']} tenants vs 1 "
+        f"{fleet['geomean_ratio_vs_single_tenant']:4.2f}x | "
+        f"LRU hit rate {fleet['lru_hit_rate']:4.2f} "
+        f"({fleet['workers']}w, same-run)"
+    )
     emit("BENCH_serve", "pool serving vs hook-based path\n" + "\n".join(rows))
 
     # Conservative floors (shared runners and single-core hosts; the
@@ -363,3 +465,7 @@ def test_perf_serve(zoo, emit):
     # destroy the artifact the CI ratio gate and upload depend on
     assert elastic["scale_ups"] >= 1, elastic
     assert elastic["final_workers"] == 1, elastic
+    # in-test floors for the fleet are looser than the CI ratio gate
+    # (0.9): they catch a collapse, the gate catches a regression
+    assert fleet["geomean_ratio_vs_single_tenant"] >= 0.5, fleet
+    assert fleet["lru_hit_rate"] >= 0.4, fleet

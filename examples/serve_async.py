@@ -22,7 +22,14 @@ import numpy as np
 
 from repro.quant import ModelQuantizer
 from repro.runtime import FrozenModel
-from repro.serve import AsyncServingClient, PoolAutoscaler, ServingPool
+from repro.serve import (
+    AsyncServingClient,
+    ModelRegistry,
+    ModelSpec,
+    PoolAutoscaler,
+    PoolConfig,
+    ServingPool,
+)
 from repro.zoo import calibration_batch, trained_model
 
 
@@ -73,7 +80,10 @@ def main(workload: str = "resnet18", max_workers: int = 4) -> None:
     expected = reference.predict(x, batch_size=64, pad_batches=True)
 
     print(f"== elastic pool: 1 worker, autoscaling up to {max_workers}")
-    with ServingPool(ckpt, n_workers=1, batch_size=64, prefetch=2) as pool:
+    registry = ModelRegistry({workload: ModelSpec(ckpt)})
+    with ServingPool(
+        registry, PoolConfig(n_workers=1, batch_size=64, prefetch=2)
+    ) as pool:
         scaler = PoolAutoscaler(
             pool,
             min_workers=1,

@@ -29,7 +29,13 @@ import numpy as np
 from repro import obs
 from repro.quant import ModelQuantizer
 from repro.runtime import FrozenModel
-from repro.serve import ServingClient, ServingPool
+from repro.serve import (
+    ModelRegistry,
+    ModelSpec,
+    PoolConfig,
+    ServingClient,
+    ServingPool,
+)
 from repro.zoo import calibration_batch, trained_model
 
 
@@ -57,8 +63,10 @@ def main(
     expected = reference.predict(x, batch_size=batch_size, pad_batches=True)
 
     print(f"== serve with a {n_workers}-worker pool (each decodes the checkpoint once)")
+    registry = ModelRegistry({workload: ModelSpec(ckpt)})
     with ServingPool(
-        ckpt, n_workers=n_workers, batch_size=batch_size, max_wait_ms=2.0
+        registry,
+        PoolConfig(n_workers=n_workers, batch_size=batch_size, max_wait_ms=2.0),
     ) as pool:
         start = time.perf_counter()
         bulk = pool.map_predict(x)
@@ -85,8 +93,11 @@ def main(
                       f"(chrome://tracing via repro.obs.jsonl_to_chrome)")
 
     print("== weight-only mode (packed low-bit weights, float activations)")
+    wo_registry = ModelRegistry(
+        {workload: ModelSpec(ckpt, weight_only=True)}
+    )
     with ServingPool(
-        ckpt, n_workers=n_workers, batch_size=batch_size, weight_only=True
+        wo_registry, PoolConfig(n_workers=n_workers, batch_size=batch_size)
     ) as pool:
         start = time.perf_counter()
         labels = np.argmax(pool.map_predict(x), axis=1)

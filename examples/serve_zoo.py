@@ -1,0 +1,120 @@
+"""Serve a fleet of models from one pool (multi-tenant model zoo).
+
+Run:  python examples/serve_zoo.py [workload] [n_workers]
+
+Builds on ``examples/serve_pool.py``: instead of one checkpoint, the
+pool serves a *registry* of named tenants -- here three freezes of the
+same workload (4-bit, 3-bit, and weight-only 4-bit), which makes
+routing mistakes visible as wrong logits rather than wrong labels.
+The walk-through shows the redesigned serving API end to end:
+
+* :class:`repro.serve.ModelSpec` -- checkpoint + dtype + backend +
+  weight-only per tenant, validated eagerly in the parent;
+* :class:`repro.serve.ServeConfig` + :func:`repro.serve.serve` -- the
+  one-call assembly (registry + started pool + optional autoscaler);
+* ``svc.model(name).predict(...)`` -- tenant-scoped handles;
+* ``cache_budget_bytes`` -- each worker keeps a byte-budgeted LRU of
+  decoded models, so a fleet larger than RAM still serves (cold
+  tenants re-decode on demand; the ``serve.model_cache_*`` metrics
+  show loads / hits / evictions).
+
+Every tenant's pooled results stay bit-identical to its own
+single-process ``spec.load().predict(x, batch_size, pad_batches=True)``
+-- the script verifies this per tenant, with the LRU budget set low
+enough that serving the third tenant evicts the first.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.quant import ModelQuantizer
+from repro.serve import (
+    AutoscaleConfig,
+    ModelSpec,
+    PoolConfig,
+    ServeConfig,
+    serve,
+)
+from repro.zoo import calibration_batch, trained_model
+
+BATCH = 64
+
+
+def freeze_checkpoint(entry, bits: int, out: Path) -> Path:
+    quantizer = ModelQuantizer(entry.model, combination="ip-f", bits=bits)
+    quantizer.calibrate(calibration_batch(entry.dataset, n=100)).apply()
+    try:
+        frozen = quantizer.freeze(model_name=entry.name)
+    finally:
+        quantizer.remove()
+    frozen.save(out)
+    return out
+
+
+def main(workload: str = "resnet18", n_workers: int = 2) -> None:
+    print(f"== loading / training workload {workload!r} (cached after first run)")
+    entry = trained_model(workload)
+    x = entry.dataset.x_test[:256]
+
+    print("== freeze two checkpoints (4-bit and 3-bit), offline")
+    root = Path(".cache")
+    root.mkdir(exist_ok=True)
+    ckpt4 = freeze_checkpoint(entry, 4, root / f"{workload}_zoo_int4.npz")
+    ckpt3 = freeze_checkpoint(entry, 3, root / f"{workload}_zoo_int3.npz")
+
+    specs = {
+        f"{workload}-int4": ModelSpec(ckpt4),
+        f"{workload}-int3": ModelSpec(ckpt3),
+        f"{workload}-int4-wo": ModelSpec(ckpt4, weight_only=True),
+    }
+    references = {
+        name: spec.load().predict(x, batch_size=BATCH, pad_batches=True)
+        for name, spec in specs.items()
+    }
+
+    # room for ~2 of the 3 decoded checkpoints per worker: serving the
+    # whole fleet forces LRU evictions, visible in the metrics below
+    budget = os.path.getsize(ckpt4) + os.path.getsize(ckpt3)
+    config = ServeConfig(
+        models=specs,
+        pool=PoolConfig(
+            n_workers=n_workers,
+            batch_size=BATCH,
+            cache_budget_bytes=budget,
+        ),
+        autoscale=AutoscaleConfig(max_workers=max(2, n_workers)),
+        default_model=f"{workload}-int4",
+    )
+
+    print(f"== serve() the fleet: {len(specs)} tenants, "
+          f"{n_workers} workers, cache budget {budget / 1e6:.2f} MB/worker")
+    with serve(config) as svc:
+        for name in specs:
+            logits = svc.model(name).predict(x)
+            ok = np.array_equal(logits, references[name])
+            print(f"   {name}: {x.shape[0]} samples, "
+                  f"bit-identical to its own reference: {ok}")
+
+        stats = svc.stats()
+        print(f"   default tenant: {stats['default_model']}")
+        for name, tenant in sorted(stats["per_model"].items()):
+            print(f"   per-tenant stats {name}: "
+                  f"p99={tenant['latency_p99_s']} "
+                  f"queue_depth={tenant['queue_depth']}")
+
+        if obs.enabled():
+            print("== LRU cache behaviour (serve.model_cache_* metrics)")
+            for key, value in sorted(svc.metrics().items()):
+                if key.startswith("serve.model_cache"):
+                    print(f"   {key}: {value}")
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "resnet18",
+        int(sys.argv[2]) if len(sys.argv) > 2 else 2,
+    )

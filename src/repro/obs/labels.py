@@ -20,9 +20,28 @@ from typing import Optional
 __all__ = [
     "QGEMM_KERNELS",
     "PLAN_KINDS",
+    "MODEL_LABEL",
+    "is_label_safe",
     "qgemm_kernel_label",
     "module_kind",
 ]
+
+#: label key attributing serving metrics to one tenant of a
+#: multi-model pool (``serve.job_latency_seconds{model=...}``).  Pools
+#: stamp every per-tenant series with this key; dashboards and the
+#: bench's per-tenant summaries select on it.
+MODEL_LABEL = "model"
+
+#: registry snapshot keys encode labels as ``name|k=v|k2=v2``, so a label
+#: *value* containing the delimiters (or whitespace) would corrupt the
+#: merge format.  Tenant names become label values -- ModelRegistry
+#: rejects any name this pattern refuses.
+_LABEL_SAFE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:/-]*$")
+
+
+def is_label_safe(value: str) -> bool:
+    """True if ``value`` can be used verbatim as a metric label value."""
+    return bool(_LABEL_SAFE.match(value))
 
 #: executed-kernel families the qgemm backend compiles (the cost
 #: meter's ``LayerCost.kernel`` values).

@@ -1,39 +1,69 @@
-"""Elastic parallel serving engine over the frozen quantized runtime.
+"""Elastic multi-tenant serving engine over the frozen quantized runtime.
 
 The frozen engine (:mod:`repro.runtime`) is single-threaded per
 process by design; this package is the traffic-facing layer on top of
 it:
 
-* :class:`ServingPool` -- N worker processes, each decoding the same
-  packed ``.npz`` checkpoint once, fed from per-worker private queues;
-  grows/shrinks at runtime via ``add_worker()`` / ``retire_worker()``;
-* :class:`PoolAutoscaler` -- policy loop scaling the pool on backlog
-  length x EWMA service time, bounded by min/max workers;
+* :class:`ModelRegistry` / :class:`ModelSpec` -- a named fleet of
+  frozen models (checkpoint + dtype + backend + weight-only per
+  tenant), validated eagerly in the parent;
+* :class:`ServingPool` -- N worker processes serving the whole fleet
+  from per-worker byte-budgeted LRU caches of decoded models, fed
+  from per-worker private queues; grows/shrinks at runtime via
+  ``add_worker()`` / ``retire_worker()``.  Constructed as
+  ``ServingPool(registry, PoolConfig(...))`` (the legacy
+  single-checkpoint constructor survives one deprecation cycle);
+* :class:`PoolAutoscaler` -- policy loop scaling the pool on pool-wide
+  *and per-tenant* backlog/latency signals, bounded by min/max
+  workers;
 * :class:`MicroBatchQueue` -- coalesces single-sample requests into
   micro-batches (``max_batch`` / ``max_wait_ms``) before dispatch;
-* :class:`ServingClient` -- synchronous per-request facade;
-* :class:`AsyncServingClient` -- asyncio facade (``await predict``,
-  ``async for`` result streaming);
+  one queue per tenant, so tenants never co-batch;
+* :class:`ServingClient` / :class:`AsyncServingClient` -- synchronous
+  and asyncio per-request facades, both routing ``model=`` through the
+  pool's shared resolver; :meth:`ServingPool.model` returns a
+  tenant-scoped :class:`ModelHandle`;
 * ``ServingPool.map_predict`` -- bulk arrays sharded across workers in
   batch-aligned chunks; ``ServingPool.map_predict_stream`` -- the
-  iterator-in/iterator-out variant with bounded parent memory.
+  iterator-in/iterator-out variant with bounded parent memory;
+* :func:`serve` -- one-call assembly: registry + started pool +
+  autoscaler from a single :class:`ServeConfig`.
 
 Every dispatched forward runs at a fixed, zero-padded batch shape, so
-pooled results are bit-identical to single-process
+each tenant's pooled results are bit-identical to single-process
 ``FrozenModel.predict(x, batch_size, pad_batches=True)`` regardless of
-how requests were coalesced, sharded, or re-routed by scaling events.
+how requests were coalesced, sharded, interleaved across tenants, or
+re-routed by scaling, eviction, and respawn events.
 """
 
 from repro.serve.aio import AsyncServingClient
 from repro.serve.autoscale import PoolAutoscaler
-from repro.serve.pool import ServingClient, ServingPool
+from repro.serve.facade import ServeHandle, serve
+from repro.serve.pool import ModelHandle, ServingClient, ServingPool
 from repro.serve.queue import MicroBatchQueue, Request
+from repro.serve.registry import (
+    DEFAULT_MODEL,
+    AutoscaleConfig,
+    ModelRegistry,
+    ModelSpec,
+    PoolConfig,
+    ServeConfig,
+)
 
 __all__ = [
     "AsyncServingClient",
+    "AutoscaleConfig",
+    "DEFAULT_MODEL",
     "MicroBatchQueue",
+    "ModelHandle",
+    "ModelRegistry",
+    "ModelSpec",
     "PoolAutoscaler",
+    "PoolConfig",
     "Request",
+    "ServeConfig",
+    "ServeHandle",
     "ServingClient",
     "ServingPool",
+    "serve",
 ]

@@ -12,6 +12,13 @@ serving instead of blocking a thread per request:
   larger-than-RAM dataset with the same bounded shard window as
   ``ServingPool.map_predict_stream``.
 
+Multi-tenant pools route per request: the client binds a default
+tenant at construction (``AsyncServingClient(pool, model="vgg16")``)
+and every method accepts a ``model=`` override, resolved through the
+pool's one shared :meth:`~repro.serve.pool.ServingPool.resolve_model`
+helper -- the same resolution the sync surfaces use, so single-model
+pools behave exactly as before when the argument is omitted.
+
 **Cancellation contract.**  Cancelling an ``await`` cancels the
 underlying pool future: if the job has not been dispatched yet the
 pool drops it from the backlog (no worker ever computes it); if it is
@@ -47,8 +54,12 @@ class AsyncServingClient:
     client-observed complement of the pool's server-side timings.
     """
 
-    def __init__(self, pool: ServingPool) -> None:
+    def __init__(self, pool: ServingPool, model: Optional[str] = None) -> None:
         self.pool = pool
+        self.model = pool.resolve_model(model)
+
+    def _resolve(self, model: Optional[str]) -> str:
+        return self.model if model is None else self.pool.resolve_model(model)
 
     async def _await_timed(self, future, path: str) -> np.ndarray:
         if not obs.enabled():
@@ -65,18 +76,24 @@ class AsyncServingClient:
         ).observe(time.monotonic() - t0)
         return result
 
-    async def predict(self, samples: np.ndarray) -> np.ndarray:
+    async def predict(
+        self, samples: np.ndarray, model: Optional[str] = None
+    ) -> np.ndarray:
         """Logits for a batch of samples (one pool job)."""
         samples = np.asarray(samples)
         if samples.shape[0] == 0:
             raise ValueError("predict() needs at least one sample")
-        return await self._await_timed(self.pool.submit(samples), "predict")
+        future = self.pool.submit(samples, model=self._resolve(model))
+        return await self._await_timed(future, "predict")
 
-    async def predict_one(self, sample: np.ndarray) -> np.ndarray:
-        """Logits row for one sample, coalesced by the micro-batch
-        queue with whatever else is arriving."""
+    async def predict_one(
+        self, sample: np.ndarray, model: Optional[str] = None
+    ) -> np.ndarray:
+        """Logits row for one sample, coalesced by the tenant's
+        micro-batch queue with whatever else is arriving for it."""
         self.pool._require_serving()  # no dispatcher -> would hang
-        future = self.pool.micro_queue.submit(np.asarray(sample))
+        queue = self.pool._micro_queues[self._resolve(model)]
+        future = queue.submit(np.asarray(sample))
         return await self._await_timed(future, "predict_one")
 
     async def stream_predict(
@@ -85,6 +102,7 @@ class AsyncServingClient:
         shard_size: Optional[int] = None,
         window: Optional[int] = None,
         residency: Optional[dict] = None,
+        model: Optional[str] = None,
     ) -> AsyncIterator[np.ndarray]:
         """Async-streaming predict: yields logits rows in input order.
 
@@ -104,7 +122,9 @@ class AsyncServingClient:
         ``await``.
         """
         acct = residency if residency is not None else {}
-        plan = self.pool._stream_plan(batches, shard_size, window, acct)
+        plan = self.pool._stream_plan(
+            batches, shard_size, window, acct, self._resolve(model)
+        )
         for future in plan:
             out = await asyncio.wrap_future(future)
             for row in out:

@@ -11,9 +11,18 @@
   ``max_workers``), or when the *observed* job-latency p99 from the
   pool's telemetry histograms exceeds the budget (sparse traffic can
   blow the tail while the backlog stays tiny);
+* **scale up per tenant** on a multi-model pool: the pool-level
+  signals average over the fleet, so a sparse-but-latency-sensitive
+  tenant can blow its own p99 while the pool looks healthy.  The
+  ``per_model`` entries of the stats snapshot (tenant ``queue_depth``,
+  backlog/inflight split, per-tenant EWMA and observed p99) get the
+  same two triggers, tenant by tenant -- a tenant with work waiting
+  whose observed p99 or predicted latency exceeds the budget scales
+  the pool up (``tenant-p99`` / ``tenant-predicted-latency`` reasons);
 * **scale down** only after the pool has been *completely idle* (no
-  backlog, nothing in flight) for ``idle_window_s`` (and the pool is
-  above ``min_workers``).
+  backlog, nothing in flight, nothing waiting in any tenant's
+  coalescing queue) for ``idle_window_s`` (and the pool is above
+  ``min_workers``).
 
 Oscillation damping is structural, not tuned: scale-ups are paced by
 ``cooldown_s``, scale-downs additionally require a full uninterrupted
@@ -103,6 +112,21 @@ class PoolAutoscaler:
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
 
+    @classmethod
+    def from_config(cls, pool: ServingPool, config) -> "PoolAutoscaler":
+        """Build an autoscaler from an
+        :class:`~repro.serve.registry.AutoscaleConfig` (what the
+        :func:`repro.serve.serve` facade uses)."""
+        return cls(
+            pool,
+            min_workers=config.min_workers,
+            max_workers=config.max_workers,
+            latency_budget_s=config.latency_budget_s,
+            idle_window_s=config.idle_window_s,
+            cooldown_s=config.cooldown_s,
+            interval_s=config.interval_s,
+        )
+
     # ------------------------------------------------------------------
     # the policy core (pure: stats snapshot + clock in, decision out)
     # ------------------------------------------------------------------
@@ -118,6 +142,13 @@ class PoolAutoscaler:
         outstanding = stats["backlog"] + stats["inflight"]
         ewma = stats["ewma_service_s"]
         p99 = stats.get("latency_p99_s")
+        # requests coalescing in tenant micro-batch queues are work the
+        # job-level backlog cannot see yet; they block idleness and
+        # feed the per-tenant triggers below (absent on the synthetic
+        # snapshots the pure-policy tests replay -- .get keeps those
+        # valid)
+        queued_requests = stats.get("queue_depth", 0)
+        per_model = stats.get("per_model") or {}
         inputs = {
             "workers": workers,
             "backlog": stats["backlog"],
@@ -125,7 +156,7 @@ class PoolAutoscaler:
             "ewma_service_s": ewma,
             "latency_p99_s": p99,
         }
-        if outstanding > 0:
+        if outstanding > 0 or queued_requests > 0:
             self._idle_since = None
         elif self._idle_since is None:
             self._idle_since = now
@@ -152,8 +183,45 @@ class PoolAutoscaler:
             # observed p99 -- queue wait included -- blows the budget
             if p99 is not None and p99 > self.latency_budget_s:
                 return self._record(now, +1, workers, "p99-latency", inputs)
+        if workers < self.max_workers:
+            # per-tenant triggers: the pool-level averages above can
+            # mask one tenant's pain on a multi-model pool.  Only a
+            # tenant with work actually waiting may scale the pool --
+            # a stale p99 from finished traffic must not grow an idle
+            # fleet.
+            batch = max(1, stats.get("batch_size", 1))
+            for name, tenant in per_model.items():
+                depth = tenant.get("queue_depth", 0)
+                tenant_jobs = tenant.get("backlog", 0) + tenant.get("inflight", 0)
+                if depth <= 0 and tenant_jobs <= 0:
+                    continue
+                tenant_inputs = {
+                    **inputs,
+                    "tenant": name,
+                    "tenant_queue_depth": depth,
+                    "tenant_jobs": tenant_jobs,
+                    "tenant_latency_p99_s": tenant.get("latency_p99_s"),
+                    "tenant_ewma_service_s": tenant.get("ewma_service_s"),
+                }
+                tenant_p99 = tenant.get("latency_p99_s")
+                if tenant_p99 is not None and tenant_p99 > self.latency_budget_s:
+                    return self._record(
+                        now, +1, workers, "tenant-p99", tenant_inputs
+                    )
+                tenant_ewma = tenant.get("ewma_service_s")
+                if tenant_ewma:
+                    # queued single-sample requests become at least
+                    # ceil(depth / batch) jobs once coalesced
+                    pending_jobs = tenant_jobs + -(-depth // batch)
+                    predicted = pending_jobs * tenant_ewma / max(1, workers)
+                    if predicted > self.latency_budget_s:
+                        return self._record(
+                            now, +1, workers,
+                            "tenant-predicted-latency", tenant_inputs,
+                        )
         if (
             outstanding == 0
+            and queued_requests == 0
             and workers > self.min_workers
             and self._idle_since is not None
             and now - self._idle_since >= self.idle_window_s

@@ -1,0 +1,106 @@
+"""One-call service assembly: :func:`serve` a fleet from a config.
+
+``ServingPool`` + ``PoolAutoscaler`` + ``ModelRegistry`` compose by
+hand, but the common case is "here is my fleet, stand up the service":
+
+.. code-block:: python
+
+    from repro.serve import ModelSpec, ServeConfig, PoolConfig, serve
+
+    config = ServeConfig(
+        models={
+            "vgg16-int4": ModelSpec("ckpts/vgg16_int4.npz"),
+            "vgg16-int2": ModelSpec("ckpts/vgg16_int2.npz"),
+            "resnet18":   ModelSpec("ckpts/resnet18.npz", backend="qgemm"),
+        },
+        pool=PoolConfig(n_workers=2, batch_size=256,
+                        cache_budget_bytes=256 * 1024),
+        autoscale=AutoscaleConfig(max_workers=4, latency_budget_s=0.5),
+        default_model="resnet18",
+    )
+    with serve(config) as svc:
+        logits = svc.model("vgg16-int2").predict(x)
+
+:func:`serve` builds the registry, starts the pool, and (when an
+``autoscale`` section is present) attaches a running autoscaler; the
+returned :class:`ServeHandle` owns both and tears them down in order
+on ``close()`` / context-manager exit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.serve.autoscale import PoolAutoscaler
+from repro.serve.pool import ModelHandle, ServingPool
+from repro.serve.registry import ModelRegistry, ServeConfig
+
+__all__ = ["ServeHandle", "serve"]
+
+
+class ServeHandle:
+    """A running service: started pool + optional autoscaler.
+
+    Thin ownership wrapper -- serving traffic goes straight to
+    :attr:`pool` (or the :meth:`model` / :meth:`client` conveniences);
+    the handle's job is lifecycle: ``close()`` stops the autoscaler
+    first (no scaling decisions against a closing pool), then drains
+    and closes the pool.
+    """
+
+    def __init__(
+        self, pool: ServingPool, autoscaler: Optional[PoolAutoscaler] = None
+    ) -> None:
+        self.pool = pool
+        self.autoscaler = autoscaler
+
+    def model(self, name: Optional[str] = None) -> ModelHandle:
+        """A tenant-scoped handle (``svc.model("vgg16").predict(x)``)."""
+        return self.pool.model(name)
+
+    def stats(self) -> dict:
+        return self.pool.stats()
+
+    def metrics(self) -> dict:
+        return self.pool.metrics()
+
+    def close(self) -> None:
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+        self.pool.close()
+
+    def __enter__(self) -> "ServeHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(config: Union[ServeConfig, ModelRegistry]) -> ServeHandle:
+    """Stand up a running service from one config object.
+
+    ``config`` is a :class:`~repro.serve.registry.ServeConfig` (fleet +
+    pool knobs + optional autoscale section) or, for the
+    all-defaults case, a bare :class:`ModelRegistry`.  The pool is
+    started before this returns -- a broken default checkpoint raises
+    here, and the returned :class:`ServeHandle` is ready for traffic.
+    """
+    if isinstance(config, ModelRegistry):
+        # all-defaults case: the registry (and its default) serve as-is
+        return ServeHandle(ServingPool(config).start())
+    if not isinstance(config, ServeConfig):
+        raise TypeError(
+            f"serve() takes a ServeConfig or ModelRegistry, "
+            f"got {type(config).__name__}"
+        )
+    pool = ServingPool(config.build_registry(), config.pool).start()
+    autoscaler: Optional[PoolAutoscaler] = None
+    try:
+        if config.autoscale is not None:
+            autoscaler = PoolAutoscaler.from_config(
+                pool, config.autoscale
+            ).start()
+    except BaseException:
+        pool.close()
+        raise
+    return ServeHandle(pool, autoscaler)

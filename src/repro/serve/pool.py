@@ -1,14 +1,20 @@
-"""Multi-process serving pool over packed frozen checkpoints.
+"""Multi-process, multi-tenant serving pool over packed frozen checkpoints.
 
 The frozen engine is deliberately single-threaded per process (pooled
 scratch buffers), so parallel serving shards *processes*, not threads:
-:class:`ServingPool` forks N workers that each ``FrozenModel.load()``
-the same packed ``.npz`` checkpoint -- the low-bit payload is decoded
-once per worker, and the packed bytes themselves are shared through the
-filesystem page cache, so N workers never hold N float64 copies of the
-checkpoint on disk or in the page cache.
+:class:`ServingPool` forks N workers that serve a **fleet** of frozen
+models -- a :class:`~repro.serve.registry.ModelRegistry` of named
+:class:`~repro.serve.registry.ModelSpec`\\ s (checkpoint + dtype +
+backend + weight-only, per tenant).  Each worker keeps a byte-budgeted
+LRU cache of decoded models: a checkpoint is decoded once per
+residency and served from memory until the packed-bytes budget evicts
+it for a hotter tenant (the packed payloads are 2.8-85 KiB across the
+zoo, so one pool plausibly holds thousands of tenants).  The packed
+bytes themselves are shared through the filesystem page cache, so N
+workers never hold N float64 copies of a checkpoint on disk.
 
-Four serving paths ride on the pool:
+Four serving paths ride on the pool, each accepting a ``model=``
+tenant handle (optional on single-model / defaulted pools):
 
 * :meth:`ServingPool.submit` / :meth:`ServingPool.predict` -- one job,
   one worker, synchronous facade;
@@ -20,9 +26,24 @@ Four serving paths ride on the pool:
   resident), so datasets larger than RAM serve without parent-side
   blowup;
 * :class:`ServingClient` -- single-sample requests coalesced by a
-  :class:`~repro.serve.queue.MicroBatchQueue` into micro-batches
-  before dispatch (:class:`~repro.serve.aio.AsyncServingClient` is the
-  asyncio facade over the same machinery).
+  per-model :class:`~repro.serve.queue.MicroBatchQueue` into
+  micro-batches before dispatch
+  (:class:`~repro.serve.aio.AsyncServingClient` is the asyncio facade
+  over the same machinery).
+
+:meth:`ServingPool.model` returns a :class:`ModelHandle` bound to one
+tenant (``pool.model("vgg16").predict(x)``); every entry point routes
+through one shared :meth:`ServingPool.resolve_model` helper, so the
+sync, async, bulk, and streaming paths cannot disagree about which
+tenant a request targets.
+
+**Multi-tenant isolation.**  Every registered model owns a private
+micro-batch queue and dispatcher, so tenants never co-batch: a
+micro-batch is one tenant's requests only, and the fixed-shape
+determinism argument below applies per tenant.  The job header carries
+the tenant name from dispatch through worker to collect, and per-model
+queue depth / latency feed the autoscaler
+(:meth:`stats`'s ``per_model`` key).
 
 **Channel layout.**  Every worker owns a *private* task queue and a
 *private* result queue; the parent keeps a backlog and feeds each
@@ -50,25 +71,29 @@ churn in ``tests/test_serve_elastic.py``).
 
 **Resilience.**  Workers killed below Python (OOM, segfault) are
 detected by the collector watchdog; with ``respawn_workers`` (default)
-each is replaced by a fresh fork of the same checkpoint on fresh
+each is replaced by a fresh fork of the same spec table on fresh
 queues, and its in-flight jobs are requeued **once** before failing --
-see :meth:`ServingPool._handle_dead_workers`.  ``max_respawns`` bounds
-crash-looping.  A *retiring* worker that dies only requeues its jobs;
-it is never respawned and spends no budget.
+see :meth:`ServingPool._handle_dead_workers`.  Requeued jobs keep
+their tenant routing and trace IDs: a respawned worker reloads
+whatever models its replacement traffic needs, lazily, through the
+same LRU path.  ``max_respawns`` bounds crash-looping.  A *retiring*
+worker that dies only requeues its jobs; it is never respawned and
+spends no budget.
 
 **Determinism.**  Every worker forward runs at a fixed batch shape
 (``FrozenModel.predict(..., pad_batches=True)``): short batches are
 zero-padded to exactly ``batch_size`` rows.  BLAS kernel selection
 depends on the GEMM row count, so a fixed row count makes each
 sample's logits a pure function of that sample alone -- which is what
-makes pool results bit-identical to a single-process
-``frozen.predict(x, batch_size, pad_batches=True)`` no matter how
-requests were coalesced, sharded, interleaved, or re-routed by
-add/retire/respawn events (property-tested in ``tests/test_serve.py``
-and ``tests/test_serve_elastic.py``).  Workers serve with any
-execution backend (``backend="qgemm"`` runs the code-domain LUT
-engine, :mod:`repro.qgemm`); the determinism argument is
-backend-independent.
+makes every tenant's pooled results bit-identical to a single-process
+``spec.load().predict(x, batch_size, pad_batches=True)`` no matter how
+requests were coalesced, sharded, interleaved across tenants,
+re-routed by add/retire/respawn events, or how often the LRU evicted
+and re-decoded the model in between (property-tested in
+``tests/test_serve.py``, ``tests/test_serve_elastic.py``, and
+``tests/test_serve_zoo.py``).  Workers serve with any execution
+backend (``backend="qgemm"`` runs the code-domain LUT engine,
+:mod:`repro.qgemm`); the determinism argument is backend-independent.
 
 **Observability.**  Unless ``REPRO_OBS=0``, the pool stamps the
 :mod:`repro.obs` telemetry layer: every job carries a trace ID from
@@ -76,11 +101,14 @@ enqueue through dispatch -> worker -> collect, workers time each
 forward (split per fused region / executed kernel family) and ship
 their metrics-registry snapshots back on the reply tuples, and the
 parent assembles per-request timelines (queue wait, batch assembly,
-compute, transit) in :attr:`trace_buffer`.  :meth:`metrics` returns
-the merged parent+worker registry as a JSON-able digest,
-:meth:`metrics_text` as Prometheus text, :meth:`trace_events` the
-chrome://tracing events (export with :func:`repro.obs.write_jsonl`).
-See the README "Observability" section for the metric names.
+compute, transit) in :attr:`trace_buffer`.  Per-tenant series carry a
+``model=`` label (``serve.job_latency_seconds{model=...}``, the
+``serve.model_cache_*`` LRU meters); the unlabeled pool-wide series
+keep their PR 9 meanings.  :meth:`metrics` returns the merged
+parent+worker registry as a JSON-able digest, :meth:`metrics_text` as
+Prometheus text, :meth:`trace_events` the chrome://tracing events
+(export with :func:`repro.obs.write_jsonl`).  See the README
+"Observability" section for the metric names.
 """
 
 from __future__ import annotations
@@ -90,10 +118,11 @@ import os
 import threading
 import time
 import traceback
+import warnings
 from multiprocessing import connection as mp_connection
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Future
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -101,6 +130,12 @@ from repro import obs
 from repro.runtime.engine import iter_chunks
 from repro.serve.queue import MicroBatchQueue
 from repro.serve.queue import resolve_future as _resolve
+from repro.serve.registry import (
+    DEFAULT_MODEL,
+    ModelRegistry,
+    ModelSpec,
+    PoolConfig,
+)
 
 #: dispatcher/collector poll period; bounds shutdown latency, not speed.
 _POLL_S = 0.05
@@ -117,38 +152,127 @@ _STARTING, _ACTIVE, _RETIRING, _RETIRED = (
 )
 
 
+class _ModelCache:
+    """Per-worker LRU of decoded :class:`FrozenModel`\\ s.
+
+    Decode-once semantics hold per *residency*: a tenant's checkpoint
+    is decoded when first touched (or re-touched after eviction) and
+    then serves from memory.  The budget counts the **packed on-disk
+    bytes** of resident checkpoints -- the low-bit payload is the
+    stable, dtype-independent measure of a tenant's footprint, and it
+    is known without instrumenting the decoded object graph.  Eviction
+    is strict LRU and never evicts the entry being admitted, so a
+    single spec larger than the whole budget still serves (the cache
+    degrades to hold-one, not to failure).
+
+    With telemetry on, loads/hits/evictions count per tenant
+    (``serve.model_cache_{loads,hits,evictions}_total{model=...}``),
+    decode time lands in ``serve.model_load_seconds{model=...}``, and
+    the ``serve.model_cache_resident[_bytes]`` gauges track occupancy
+    -- all shipped to the parent on the reply-tuple snapshots like
+    every other worker metric.
+    """
+
+    def __init__(
+        self,
+        specs: Dict[str, ModelSpec],
+        budget_bytes: Optional[int],
+        registry,
+    ) -> None:
+        self._specs = specs
+        self._budget = budget_bytes
+        self._registry = registry
+        #: name -> (model, packed_bytes, region_timing), LRU order.
+        self._entries: "OrderedDict[str, tuple]" = OrderedDict()
+        self._resident_bytes = 0
+
+    def get(self, name: str):
+        """The decoded model (+ region timer) for ``name``, loading
+        and evicting as needed.  Raises ``KeyError`` for a tenant not
+        in this worker's spec table."""
+        entry = self._entries.get(name)
+        if entry is not None:
+            self._entries.move_to_end(name)
+            if self._registry is not None:
+                self._registry.counter(
+                    "serve.model_cache_hits_total", model=name
+                ).inc()
+            return entry[0], entry[2]
+        spec = self._specs.get(name)
+        if spec is None:
+            raise KeyError(
+                f"model {name!r} is not registered with this worker; "
+                f"registered: {sorted(self._specs)}"
+            )
+        t0 = time.perf_counter() if self._registry is not None else 0.0
+        model = spec.load()
+        packed = os.path.getsize(spec.checkpoint_path)
+        timing = (
+            model.start_region_timing() if self._registry is not None else None
+        )
+        self._entries[name] = (model, packed, timing)
+        self._resident_bytes += packed
+        if self._registry is not None:
+            self._registry.counter(
+                "serve.model_cache_loads_total", model=name
+            ).inc()
+            self._registry.histogram(
+                "serve.model_load_seconds", model=name
+            ).observe(time.perf_counter() - t0)
+        self._evict()
+        if self._registry is not None:
+            self._registry.gauge("serve.model_cache_resident").set(
+                float(len(self._entries))
+            )
+            self._registry.gauge("serve.model_cache_resident_bytes").set(
+                float(self._resident_bytes)
+            )
+        return model, timing
+
+    def _evict(self) -> None:
+        if self._budget is None:
+            return
+        # the just-admitted entry sits at the MRU end, so with >1
+        # resident the LRU victim is never the model about to serve
+        while self._resident_bytes > self._budget and len(self._entries) > 1:
+            victim, (_model, packed, _timing) = next(iter(self._entries.items()))
+            del self._entries[victim]
+            self._resident_bytes -= packed
+            if self._registry is not None:
+                self._registry.counter(
+                    "serve.model_cache_evictions_total", model=victim
+                ).inc()
+
+
 def _worker_main(
     worker_id: int,
-    checkpoint_path: str,
-    dtype_name: str,
+    specs: Dict[str, ModelSpec],
+    preload: str,
     batch_size: int,
-    weight_only: bool,
-    backend: str,
+    cache_budget_bytes: Optional[int],
     task_queue,
     result_queue,
 ) -> None:
-    """Worker process body: load the checkpoint once, then serve jobs.
+    """Worker process body: serve jobs against an LRU of loaded models.
 
-    Each job is ``(job_id, samples[, trace_id])``; the reply is
+    Each job is ``(job_id, model, samples[, trace_id])``; the reply is
     ``("done", worker_id, job_id, logits-or-_RemoteError[, obs])``.  A
-    ``None`` task is the shutdown pill.  With telemetry enabled the
-    trailing ``obs`` dict carries the forward's wall seconds, its
-    per-region split (exclusive seconds per fused region / executed
-    kernel family), and the worker's full metrics-registry snapshot --
-    shipping the registry on the existing result pipe is what lets the
-    parent merge cross-process metrics without any side channel.
+    ``None`` task is the shutdown pill.  The ``preload`` model is
+    decoded *before* posting ready, preserving the single-model
+    fail-fast start contract (a broken default checkpoint breaks
+    ``start()``, not the first request); every other tenant decodes
+    lazily on first touch, and a broken tenant checkpoint fails that
+    tenant's jobs without taking the worker down.  With telemetry
+    enabled the trailing ``obs`` dict carries the forward's wall
+    seconds, its tenant, its per-region split, and the worker's full
+    metrics-registry snapshot -- shipping the registry on the existing
+    result pipe is what lets the parent merge cross-process metrics
+    without any side channel.
     """
-    from repro.runtime import FrozenModel
-
     registry = obs.reset_registry() if obs.enabled() else None
-    timing = None
+    cache = _ModelCache(specs, cache_budget_bytes, registry)
     try:
-        model = FrozenModel.load(checkpoint_path, weight_only=weight_only)
-        model.astype(np.dtype(dtype_name))
-        if backend != "float":
-            model.set_backend(backend)
-        if registry is not None:
-            timing = model.start_region_timing()
+        cache.get(preload)
         result_queue.put(("ready", worker_id, os.getpid()))
     except BaseException as exc:  # noqa: BLE001 - must reach the parent
         result_queue.put(("ready", worker_id, _RemoteError.wrap(exc)))
@@ -160,8 +284,9 @@ def _worker_main(
         task = task_queue.get()
         if task is None:
             return
-        job_id, samples = task[0], task[1]
+        job_id, model_name, samples = task[0], task[1], task[2]
         try:
+            model, timing = cache.get(model_name)
             if registry is None:
                 logits = model.predict(
                     samples, batch_size=batch_size, pad_batches=True
@@ -174,6 +299,9 @@ def _worker_main(
             )
             compute_s = time.perf_counter() - t0
             forward_hist.observe(compute_s)
+            registry.histogram(
+                "runtime.forward_seconds", model=model_name
+            ).observe(compute_s)
             regions = timing.read() if timing is not None else []
             for op in regions:
                 registry.histogram(
@@ -181,6 +309,7 @@ def _worker_main(
                 ).observe(op["seconds"])
             result_queue.put(("done", worker_id, job_id, logits, {
                 "compute_s": compute_s,
+                "model": model_name,
                 "regions": [
                     (op["label"], op["kind"], op["seconds"]) for op in regions
                 ],
@@ -208,13 +337,12 @@ class _RemoteError:
 
 
 class _ServiceStat:
-    """Per-slot service-time tracker.
+    """Per-slot (or per-tenant) service-time tracker.
 
     The EWMA is scheduler state (``stats()``/autoscaler input, kept
     even with telemetry off); with telemetry on each sample also lands
     in a ``serve.service_seconds`` registry histogram, which is where
-    percentiles and Prometheus exposition come from.  This replaces the
-    former parallel ``_ewma_service``/``_ewma_pool`` list plumbing.
+    percentiles and Prometheus exposition come from.
     """
 
     __slots__ = ("ewma", "hist")
@@ -233,125 +361,131 @@ class _ServiceStat:
             self.hist.observe(seconds)
 
 
+_DEPRECATION_MSG = (
+    "ServingPool(checkpoint_path, ...) is deprecated; build a "
+    "ModelRegistry + PoolConfig (or call repro.serve.serve()) instead: "
+    "ServingPool(ModelRegistry({'default': ModelSpec(path, ...)}), "
+    "PoolConfig(...)).  The legacy form keeps working for one "
+    "deprecation cycle (see CONTRIBUTING.md)."
+)
+
+#: legacy per-model kwargs that moved from ServingPool.__init__ onto
+#: ModelSpec; the shim splits them out of the PoolConfig fields.
+_LEGACY_SPEC_KWARGS = ("dtype", "weight_only", "backend")
+
+
 class ServingPool:
-    """An elastic pool of worker processes serving one frozen checkpoint.
+    """An elastic pool of worker processes serving a fleet of models.
 
     Parameters
     ----------
-    checkpoint_path:
-        Packed ``.npz`` checkpoint written by ``FrozenModel.save``.
-        Loaded independently by every worker (decode-once per worker).
-    n_workers:
-        Initial worker process count.  Throughput scales with cores; on
-        a single-core host the pool preserves single-process throughput
-        while adding request coalescing and isolation.  The pool can
-        grow/shrink afterwards via :meth:`add_worker` /
-        :meth:`retire_worker` (or an attached
-        :class:`~repro.serve.autoscale.PoolAutoscaler`).
-    dtype:
-        Serving dtype per worker (``"float32"`` fast path by default).
-    batch_size:
-        The fixed forward shape.  Also the micro-batch coalescing cap:
-        every dispatched forward is padded to exactly this many rows.
-    max_wait_ms:
-        Micro-batch window (see :class:`MicroBatchQueue`).
-    prefetch:
-        Jobs kept in flight per worker (default 1).  ``2`` hides the
-        parent round trip per job: the worker's next job is already in
-        its private queue when it finishes the current one, so it never
-        idles waiting for the collector to route a reply and dispatch.
-        A worker death requeues *all* its in-flight jobs (each once),
-        so resilience semantics are unchanged; per-worker service-time
-        EWMAs include private-queue wait at ``prefetch > 1``.
-    weight_only:
-        Serve packed low-bit weights with float activations (skips all
-        activation fake-quant, see ``FrozenModel.load``).
-    backend:
-        Execution backend each worker selects after loading
-        (``"float"`` default, ``"qgemm"`` for code-domain LUT
-        execution; see ``FrozenModel.set_backend``).
-    respawn_workers:
-        Auto-respawn workers that die below Python (OOM, segfault):
-        the watchdog forks a replacement from the same checkpoint and
-        requeues the dead worker's in-flight jobs once each; a job
-        orphaned by a *second* death fails rather than retrying
-        forever.  ``False`` restores fail-fast: the first death breaks
-        the pool.
-    max_respawns:
-        Total respawn budget for the pool's lifetime (default
-        ``2 * n_workers``); a crash-looping checkpoint breaks the pool
-        once the budget is spent instead of forking forever.  Graceful
-        retirement never spends budget.
-    start_method:
-        ``multiprocessing`` start method; default ``fork`` where
-        available (cheapest on Linux), else the platform default.
-        Pass ``"spawn"``/``"forkserver"`` from heavily threaded
-        parents -- forking while other threads hold locks can deadlock
-        the child below Python (``start_timeout`` bounds the damage).
-    start_timeout:
-        Seconds :meth:`start` may wait for all workers to finish
-        decoding the checkpoint before aborting them and raising;
-        ``None`` waits forever.  Also the readiness deadline for
-        respawned and :meth:`add_worker`-spawned workers.
+    source:
+        A :class:`~repro.serve.registry.ModelRegistry` naming the
+        fleet.  (A checkpoint path is also accepted for one deprecation
+        cycle: the legacy ``ServingPool(path, n_workers=..., dtype=...)``
+        form builds a one-model registry named ``"default"`` and emits
+        a ``DeprecationWarning``.)
+    config:
+        A :class:`~repro.serve.registry.PoolConfig`; defaults apply
+        when omitted.  All per-model knobs (dtype, backend,
+        weight_only) live on each model's
+        :class:`~repro.serve.registry.ModelSpec` instead.
+
+    The registry is frozen by construction: workers fork with a
+    snapshot of the spec table, so the routing table and the fleet can
+    never disagree.  ``batch_size`` is both the fixed forward shape
+    (every dispatched forward is zero-padded to exactly this many rows)
+    and the per-tenant micro-batch coalescing cap; ``prefetch`` is the
+    jobs kept in flight per worker; ``cache_budget_bytes`` bounds each
+    worker's decoded-model LRU by packed checkpoint bytes (``None`` =
+    every touched model stays resident).  See
+    :class:`~repro.serve.registry.PoolConfig` for the full field
+    reference and the module docstring for lifecycle, resilience, and
+    determinism semantics.
     """
 
     def __init__(
         self,
-        checkpoint_path,
-        n_workers: int = 2,
-        dtype: str = "float32",
-        batch_size: int = 64,
-        max_wait_ms: float = 2.0,
-        prefetch: int = 1,
-        weight_only: bool = False,
-        backend: str = "float",
-        respawn_workers: bool = True,
-        max_respawns: Optional[int] = None,
-        start_method: Optional[str] = None,
-        start_timeout: Optional[float] = 120.0,
+        source: Union[ModelRegistry, str, "os.PathLike[str]"],
+        config: Optional[PoolConfig] = None,
+        **legacy_kwargs,
     ) -> None:
-        if n_workers < 1:
-            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        if prefetch < 1:
-            raise ValueError(f"prefetch must be >= 1, got {prefetch}")
-        self.checkpoint_path = str(checkpoint_path)
-        self.n_workers = int(n_workers)
-        self.dtype = str(dtype)
-        self.batch_size = int(batch_size)
-        self.prefetch = int(prefetch)
-        self.weight_only = bool(weight_only)
-        self.backend = str(backend)
-        if self.backend != "float":
-            # fail a typo here, not after N workers each fork and decode
-            # the full checkpoint only to hit set_backend's KeyError
-            from repro.runtime.backends import get_backend
-
-            get_backend(self.backend)
-        self.respawn_workers = bool(respawn_workers)
+        if isinstance(source, ModelRegistry):
+            if legacy_kwargs:
+                raise TypeError(
+                    "registry-based pools are configured via PoolConfig; "
+                    f"unexpected keyword(s): {sorted(legacy_kwargs)}"
+                )
+            if config is None:
+                config = PoolConfig()
+            elif not isinstance(config, PoolConfig):
+                raise TypeError(
+                    f"config must be a PoolConfig, got {type(config).__name__}"
+                )
+            if len(source) == 0:
+                raise ValueError("registry has no models")
+            registry = source
+        else:
+            # the deprecated single-checkpoint constructor: same call
+            # sites, same semantics, one DeprecationWarning
+            warnings.warn(_DEPRECATION_MSG, DeprecationWarning, stacklevel=2)
+            if config is not None:
+                # legacy signature's second positional was n_workers
+                legacy_kwargs.setdefault("n_workers", config)
+            spec = ModelSpec(
+                checkpoint_path=source,
+                **{
+                    key: legacy_kwargs.pop(key)
+                    for key in _LEGACY_SPEC_KWARGS
+                    if key in legacy_kwargs
+                },
+            )
+            registry = ModelRegistry({DEFAULT_MODEL: spec})
+            config = PoolConfig(**legacy_kwargs)
+        self.registry = registry.freeze()
+        self.config = config
+        #: picklable spec-table snapshot every worker forks with.
+        self._specs: Dict[str, ModelSpec] = registry.specs()
+        self._model_names: List[str] = list(registry.names())
+        self._default_model: Optional[str] = registry.default_model
+        #: model decoded before a worker posts ready (fail-fast start).
+        self._preload: str = self._default_model or self._model_names[0]
+        self.n_workers = config.n_workers
+        self.batch_size = config.batch_size
+        self.prefetch = config.prefetch
+        self.respawn_workers = config.respawn_workers
         self.max_respawns = (
-            2 * self.n_workers if max_respawns is None else int(max_respawns)
+            2 * self.n_workers
+            if config.max_respawns is None
+            else config.max_respawns
         )
+        self.start_timeout = config.start_timeout
+        self.cache_budget_bytes = config.cache_budget_bytes
         self._n_respawns = 0
         self._n_retired = 0
-        self.start_timeout = start_timeout
+        start_method = config.start_method
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else None
             )
         self._ctx = mp.get_context(start_method)
-        self.micro_queue = MicroBatchQueue(
-            max_batch=self.batch_size, max_wait_ms=max_wait_ms
-        )
+        #: one coalescing queue per tenant: tenants never co-batch.
+        self._micro_queues: Dict[str, MicroBatchQueue] = {
+            name: MicroBatchQueue(
+                max_batch=self.batch_size, max_wait_ms=config.max_wait_ms
+            )
+            for name in self._model_names
+        }
         self._workers: List[mp.Process] = []
         self._task_queues: List = []
         self._result_queues: List = []
         #: per-slot lifecycle state (see module docstring); under _jobs_lock.
         self._slot_state: List[str] = []
-        #: job_id -> (future, samples, retries_left); under _jobs_lock.
+        #: job_id -> (future, model, samples, retries_left, meta);
+        #: under _jobs_lock.
         self._jobs = {}
-        #: undispatched (job_id, samples), oldest first; under _jobs_lock.
+        #: undispatched (job_id, model, samples), oldest first; under
+        #: _jobs_lock.
         self._backlog: deque = deque()
         #: worker slot -> deque of in-flight job_ids; under _jobs_lock.
         self._inflight: List[deque] = []
@@ -367,6 +501,11 @@ class ServingPool:
         self._service: List[_ServiceStat] = []
         #: pool-wide service-time tracker; under _jobs_lock.
         self._service_pool = self._service_stat()
+        #: per-tenant service-time trackers (autoscaler input);
+        #: under _jobs_lock.
+        self._service_model: Dict[str, _ServiceStat] = {
+            name: self._service_stat(model=name) for name in self._model_names
+        }
         #: latest registry snapshot per live worker slot; under _jobs_lock.
         self._worker_metrics: Dict[int, dict] = {}
         #: folded snapshots of dead/retired worker incarnations.
@@ -383,23 +522,94 @@ class ServingPool:
         #: operator sees the root cause, not just "budget exhausted".
         self._last_worker_error: Optional[str] = None
         self._collector: Optional[threading.Thread] = None
-        self._dispatcher: Optional[threading.Thread] = None
+        self._dispatchers: List[threading.Thread] = []
         self._n_jobs = 0
 
-    def _service_stat(self, worker_id: Optional[int] = None) -> _ServiceStat:
+    def _service_stat(
+        self, worker_id: Optional[int] = None, model: Optional[str] = None
+    ) -> _ServiceStat:
         """An EWMA tracker, histogram-backed when telemetry is on."""
         if not obs.enabled():
             return _ServiceStat()
-        labels = {} if worker_id is None else {"worker": str(worker_id)}
+        labels = {}
+        if worker_id is not None:
+            labels["worker"] = str(worker_id)
+        if model is not None:
+            labels["model"] = model
         return _ServiceStat(
             self.metrics_registry.histogram("serve.service_seconds", **labels)
         )
 
     # ------------------------------------------------------------------
+    # tenant resolution (the one shared helper every entry point uses)
+    # ------------------------------------------------------------------
+    def resolve_model(self, model: Optional[Union[str, "ModelHandle"]] = None) -> str:
+        """Resolve a ``model=`` argument to a registered tenant name.
+
+        ``None`` resolves to the registry's default (the explicit
+        default, or the sole registered model) -- so single-model pools
+        behave exactly as before when the argument is omitted.  A
+        :class:`ModelHandle` resolves to its bound name.  Every serving
+        entry point (``submit``/``predict``/``map_predict``/streams,
+        both client facades, ``pool.model()``) funnels through here, so
+        the sync and async surfaces cannot diverge on routing.
+        """
+        if isinstance(model, ModelHandle):
+            model = model.name
+        if model is None:
+            if self._default_model is None:
+                raise ValueError(
+                    f"pool serves {len(self._model_names)} models with no "
+                    f"default; pass model= (one of {self._model_names})"
+                )
+            return self._default_model
+        if model not in self._specs:
+            raise KeyError(
+                f"model {model!r} is not registered; "
+                f"registered: {self._model_names}"
+            )
+        return model
+
+    def model(self, name: Optional[str] = None) -> "ModelHandle":
+        """A :class:`ModelHandle` scoped to one tenant
+        (``pool.model("vgg16").predict(x)``); ``None`` binds the
+        default model."""
+        return ModelHandle(self, name)
+
+    @property
+    def micro_queue(self) -> MicroBatchQueue:
+        """The default tenant's coalescing queue (legacy surface; a
+        multi-model pool without a default has no single queue --
+        use ``pool.model(name)`` or the client facades)."""
+        return self._micro_queues[self.resolve_model(None)]
+
+    def _spec_of(self, model: Optional[str] = None) -> ModelSpec:
+        return self._specs[self.resolve_model(model)]
+
+    # legacy single-model attributes, now views over the default spec --
+    # existing call sites (stats consumers, tests) read them unchanged
+    @property
+    def checkpoint_path(self) -> str:
+        return self._spec_of().checkpoint_path
+
+    @property
+    def dtype(self) -> str:
+        return self._spec_of().dtype
+
+    @property
+    def weight_only(self) -> bool:
+        return self._spec_of().weight_only
+
+    @property
+    def backend(self) -> str:
+        return self._spec_of().backend
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ServingPool":
-        """Fork the workers and wait until each has loaded the model."""
+        """Fork the workers and wait until each has loaded the preload
+        model (the default tenant; other tenants decode lazily)."""
         if self._started:
             raise RuntimeError("pool already started")
         self._task_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
@@ -410,8 +620,9 @@ class ServingPool:
         self._workers = [self._spawn(i) for i in range(self.n_workers)]
         for worker in self._workers:
             worker.start()
-        # all workers must decode the checkpoint before traffic flows,
-        # so a broken checkpoint fails fast here, not on first predict
+        # all workers must decode the preload model before traffic
+        # flows, so a broken default checkpoint fails fast here, not on
+        # first predict
         try:
             deadline = (
                 None
@@ -469,10 +680,17 @@ class ServingPool:
             target=self._collect_loop, name="serve-collector", daemon=True
         )
         self._collector.start()
-        self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
-        )
-        self._dispatcher.start()
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                args=(name, queue),
+                name=f"serve-dispatch-{name}",
+                daemon=True,
+            )
+            for name, queue in self._micro_queues.items()
+        ]
+        for dispatcher in self._dispatchers:
+            dispatcher.start()
         return self
 
     def close(self) -> None:
@@ -483,10 +701,12 @@ class ServingPool:
             if self._closing:
                 return
             self._closing = True
-        self.micro_queue.close()
-        if self._dispatcher is not None:
-            self._dispatcher.join()
-        self.micro_queue.cancel_pending()
+        for queue in self._micro_queues.values():
+            queue.close()
+        for dispatcher in self._dispatchers:
+            dispatcher.join()
+        for queue in self._micro_queues.values():
+            queue.cancel_pending()
         for task_queue in self._task_queues:
             if task_queue is not None:
                 try:
@@ -522,11 +742,10 @@ class ServingPool:
             target=_worker_main,
             args=(
                 worker_id,
-                self.checkpoint_path,
-                self.dtype,
+                self._specs,
+                self._preload,
                 self.batch_size,
-                self.weight_only,
-                self.backend,
+                self.cache_budget_bytes,
                 self._task_queues[worker_id],
                 self._result_queues[worker_id],
             ),
@@ -568,7 +787,7 @@ class ServingPool:
         """Grow the pool by one worker; returns the new slot id.
 
         The new worker gets a fresh private queue pair and forks from
-        the same checkpoint (the exact machinery crash-respawn uses).
+        the same spec table (the exact machinery crash-respawn uses).
         It starts in the ``starting`` state -- no jobs are dispatched to
         it until it posts ready, so a slow checkpoint decode never
         strands traffic that another worker could serve -- and it is
@@ -715,7 +934,7 @@ class ServingPool:
                         continue
                     if len(self._inflight[i]) >= self.prefetch:
                         continue
-                    job_id, samples = self._backlog.popleft()
+                    job_id, model, samples = self._backlog.popleft()
                     job = self._jobs.get(job_id)
                     if job is None or job[0].cancelled():
                         # an AsyncServingClient await cancelled before
@@ -731,7 +950,7 @@ class ServingPool:
                     self._inflight[i].append(job_id)
                     now = time.monotonic()
                     self._dispatch_t[job_id] = now
-                    meta = job[3]
+                    meta = job[4]
                     if meta is not None:
                         wait = now - meta[1]
                         self.metrics_registry.counter(
@@ -743,10 +962,10 @@ class ServingPool:
                         self.trace_buffer.add(
                             "queue-wait", meta[2], wait,
                             cat="serve", trace_id=meta[0],
-                            job=job_id, worker=i,
+                            job=job_id, worker=i, model=model,
                         )
                     self._task_queues[i].put(
-                        (job_id, samples, None if meta is None else meta[0])
+                        (job_id, model, samples, None if meta is None else meta[0])
                     )
                     assigned = True
                 if not assigned:
@@ -816,10 +1035,11 @@ class ServingPool:
         enabled and budget left, each dead worker is replaced by a
         fresh fork on **fresh queues** (its old queues may hold locks
         the corpse died with), and its in-flight jobs -- the parent
-        knows them exactly -- are requeued at the head of the backlog,
-        once each: a retries-exhausted job fails its future instead.
-        Otherwise the pool is broken: every outstanding job fails,
-        matching start()'s fail-fast policy.
+        knows them exactly, tenant routing and trace IDs included --
+        are requeued at the head of the backlog, once each: a
+        retries-exhausted job fails its future instead.  Otherwise the
+        pool is broken: every outstanding job fails, matching start()'s
+        fail-fast policy.
         """
         names = [self._workers[i].name for i in dead]
         respawn_exc: Optional[str] = None
@@ -852,10 +1072,12 @@ class ServingPool:
                     self._dispatch_t.pop(job_id, None)
                     if job_id not in self._jobs:
                         continue
-                    future, samples, retries, meta = self._jobs[job_id]
+                    future, model, samples, retries, meta = self._jobs[job_id]
                     if recoverable and retries > 0:
-                        self._jobs[job_id] = (future, samples, retries - 1, meta)
-                        self._backlog.appendleft((job_id, samples))
+                        self._jobs[job_id] = (
+                            future, model, samples, retries - 1, meta
+                        )
+                        self._backlog.appendleft((job_id, model, samples))
                         if meta is not None:
                             self.metrics_registry.counter(
                                 "serve.requeues_total"
@@ -863,7 +1085,7 @@ class ServingPool:
                             self.trace_buffer.add(
                                 "requeue", time.time(), 0.0,
                                 cat="serve", trace_id=meta[0],
-                                job=job_id, worker=i,
+                                job=job_id, worker=i, model=model,
                             )
                     else:
                         del self._jobs[job_id]
@@ -1008,6 +1230,12 @@ class ServingPool:
                 ):
                     finalize = True
             job = self._jobs.pop(job_id, None)
+            if job is not None and service_s is not None:
+                # per-tenant EWMA: scheduler state for the autoscaler's
+                # tenant triggers, kept with telemetry off
+                stat = self._service_model.get(job[1])
+                if stat is not None:
+                    stat.note(service_s)
         if job is not None:
             future = job[0]
             if isinstance(payload, _RemoteError):
@@ -1020,12 +1248,19 @@ class ServingPool:
                 ))
             else:
                 _resolve(future, value=payload)
-            meta = job[3]
+            meta = job[4]
             if meta is not None:
                 self.metrics_registry.counter("serve.collect_total").inc()
+                latency_s = end_mono - meta[1]
+                # pool-wide series keeps its PR 9 identity; the
+                # model-labelled series is what per-tenant p99 (stats,
+                # autoscaler, bench) reads
                 self.metrics_registry.histogram(
                     "serve.job_latency_seconds"
-                ).observe(end_mono - meta[1])
+                ).observe(latency_s)
+                self.metrics_registry.histogram(
+                    "serve.job_latency_seconds", model=job[1]
+                ).observe(latency_s)
                 if obs_payload is not None and service_s is not None:
                     self._trace_compute(
                         meta[0], job_id, worker_id, service_s, obs_payload
@@ -1053,6 +1288,7 @@ class ServingPool:
         sequentially inside the forward).
         """
         compute_s = float(obs_payload["compute_s"])
+        model = obs_payload.get("model")
         transit = max(service_s - compute_s, 0.0)
         end_wall = time.time()
         compute_start = end_wall - transit / 2.0 - compute_s
@@ -1065,7 +1301,7 @@ class ServingPool:
         self.trace_buffer.add(
             "compute", compute_start, compute_s,
             cat="runtime", tid=tid, trace_id=trace_id, job=job_id,
-            worker=worker_id,
+            worker=worker_id, model=model,
         )
         offset = 0.0
         for label, kind, seconds in obs_payload.get("regions", ()):
@@ -1084,17 +1320,19 @@ class ServingPool:
     def _alive_workers(self) -> bool:
         return any(worker.is_alive() for worker in self._workers)
 
-    def _dispatch_loop(self) -> None:
-        """Drain the micro-batch queue into worker jobs.
+    def _dispatch_loop(self, model: str, micro_queue: MicroBatchQueue) -> None:
+        """Drain one tenant's micro-batch queue into worker jobs.
 
-        Dispatch failures (heterogeneous request shapes breaking the
-        stack, or a close() racing a drained batch past
-        ``_submit_array``) fail that batch's futures and keep the
-        dispatcher alive -- a dead dispatcher would hang every later
-        client instead.
+        One dispatcher thread per registered model: a micro-batch is
+        always single-tenant, so tenants never co-batch and the fixed
+        forward shape stays per-tenant deterministic.  Dispatch
+        failures (heterogeneous request shapes breaking the stack, or
+        a close() racing a drained batch past ``_submit_array``) fail
+        that batch's futures and keep the dispatcher alive -- a dead
+        dispatcher would hang every later client of that tenant.
         """
         while True:
-            batch = self.micro_queue.next_batch(timeout=_POLL_S)
+            batch = micro_queue.next_batch(timeout=_POLL_S)
             if batch is None:
                 return  # queue closed and drained
             if not batch:
@@ -1104,7 +1342,7 @@ class ServingPool:
             t0 = time.monotonic() if stamp else 0.0
             try:
                 samples = np.stack([request.payload for request in batch])
-                job = self._submit_array(samples, trace_id=trace_id)
+                job = self._submit_array(samples, model, trace_id=trace_id)
             except BaseException as exc:  # noqa: BLE001 - fail the batch, not the thread
                 for request in batch:
                     _resolve(request.future, error=RuntimeError(
@@ -1120,7 +1358,7 @@ class ServingPool:
                 self.trace_buffer.add(
                     "batch-assembly", now_wall - (now_mono - t0),
                     now_mono - t0, cat="serve", trace_id=trace_id,
-                    fill=len(batch),
+                    fill=len(batch), model=model,
                 )
                 for request in batch:
                     # each request's own wait from enqueue to dispatch,
@@ -1163,7 +1401,10 @@ class ServingPool:
             )
 
     def _submit_array(
-        self, samples: np.ndarray, trace_id: Optional[str] = None
+        self,
+        samples: np.ndarray,
+        model: str,
+        trace_id: Optional[str] = None,
     ) -> Future:
         self._require_serving()
         future: Future = Future()
@@ -1188,28 +1429,37 @@ class ServingPool:
             job_id = self._next_job_id
             self._next_job_id += 1
             # the payload rides along for the watchdog's one-shot requeue
-            self._jobs[job_id] = (future, samples, 1, meta)
-            self._backlog.append((job_id, samples))
+            self._jobs[job_id] = (future, model, samples, 1, meta)
+            self._backlog.append((job_id, model, samples))
             self._n_jobs += 1
         self._pump()
         return future
 
-    def submit(self, samples: np.ndarray) -> Future:
-        """Asynchronously predict a batch of samples on one worker."""
+    def submit(
+        self, samples: np.ndarray, model: Optional[str] = None
+    ) -> Future:
+        """Asynchronously predict a batch of samples on one worker
+        (``model=`` picks the tenant; default model when omitted)."""
         samples = np.asarray(samples)
         if samples.shape[0] == 0:
             raise ValueError("submit() needs at least one sample")
-        return self._submit_array(samples)
+        return self._submit_array(samples, self.resolve_model(model))
 
-    def predict(self, samples: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+    def predict(
+        self,
+        samples: np.ndarray,
+        timeout: Optional[float] = None,
+        model: Optional[str] = None,
+    ) -> np.ndarray:
         """Synchronous :meth:`submit`."""
-        return self.submit(samples).result(timeout=timeout)
+        return self.submit(samples, model=model).result(timeout=timeout)
 
     def map_predict(
         self,
         samples: np.ndarray,
         shard_size: Optional[int] = None,
         timeout: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> np.ndarray:
         """Predict a large array by sharding it across all workers.
 
@@ -1218,10 +1468,12 @@ class ServingPool:
         is fed its next shard as it finishes the previous one -- a slow
         worker simply serves fewer shards.  Results concatenate in
         input order and are bit-identical to the single-process
-        ``predict(samples, batch_size, pad_batches=True)``.  The whole
-        input and output stay resident in the parent; for datasets
-        larger than RAM use :meth:`map_predict_stream`.
+        ``predict(samples, batch_size, pad_batches=True)`` of the
+        tenant's model.  The whole input and output stay resident in
+        the parent; for datasets larger than RAM use
+        :meth:`map_predict_stream`.
         """
+        name = self.resolve_model(model)
         samples = np.asarray(samples)
         n = samples.shape[0]
         if n == 0:
@@ -1237,7 +1489,7 @@ class ServingPool:
             -(-shard_size // self.batch_size) * self.batch_size,
         )
         futures = [
-            self.submit(samples[start: start + shard_size])
+            self.submit(samples[start: start + shard_size], model=name)
             for start in range(0, n, shard_size)
         ]
         return np.concatenate(
@@ -1251,6 +1503,7 @@ class ServingPool:
         window: Optional[int] = None,
         timeout: Optional[float] = None,
         residency: Optional[dict] = None,
+        model: Optional[str] = None,
     ) -> Iterator[np.ndarray]:
         """Streaming :meth:`map_predict`: iterator in, iterator out.
 
@@ -1260,7 +1513,8 @@ class ServingPool:
         into batch-aligned shards of ``shard_size`` samples (default
         one serving batch, rounded up to a ``batch_size`` multiple),
         each shard is dispatched as workers drain, and logits rows
-        yield **in input order**, one row per sample.
+        yield **in input order**, one row per sample.  All shards
+        route to one tenant (``model=``).
 
         Parent memory stays bounded: at most ``window`` shards are
         resident (submitted or being yielded) at any time -- by default
@@ -1283,7 +1537,8 @@ class ServingPool:
         to retain only a subset).
         """
         acct = residency if residency is not None else {}
-        for future in self._stream_plan(batches, shard_size, window, acct):
+        plan = self._stream_plan(batches, shard_size, window, acct, model)
+        for future in plan:
             yield from future.result(timeout=timeout)
 
     def _stream_plan(
@@ -1292,6 +1547,7 @@ class ServingPool:
         shard_size: Optional[int],
         window: Optional[int],
         acct: dict,
+        model: Optional[str] = None,
     ) -> Iterator[Future]:
         """The shared windowing core of :meth:`map_predict_stream` and
         :meth:`~repro.serve.aio.AsyncServingClient.stream_predict`.
@@ -1299,11 +1555,12 @@ class ServingPool:
         Submits batch-aligned shards as the resident window allows and
         yields, in input order, each shard future the caller must
         resolve (sync ``result()`` or async ``await``) and forward
-        before requesting the next.  All shard-size rounding and
-        residency accounting lives here, so the sync and async paths
-        cannot diverge on the memory-bound contract.
+        before requesting the next.  All shard-size rounding, tenant
+        resolution, and residency accounting live here, so the sync
+        and async paths cannot diverge on the memory-bound contract.
         """
         self._require_serving()
+        name = self.resolve_model(model)
         if shard_size is None:
             shard_size = self.batch_size
         shard_size = max(
@@ -1341,7 +1598,7 @@ class ServingPool:
             shard = next(shards, sentinel)
             if shard is sentinel:
                 break
-            pending.append(self.submit(shard))
+            pending.append(self.submit(shard, model=name))
             acct["shards"] += 1
             acct["samples"] += int(shard.shape[0])
             acct["peak_shards"] = max(acct["peak_shards"], len(pending))
@@ -1361,11 +1618,20 @@ class ServingPool:
         ``ewma_service_s`` (pool-wide EWMA of per-job service seconds;
         ``None`` before the first completion), ``respawns``/``retired``
         counters, ``per_worker`` (state, in-flight depth and EWMA per
-        live slot), plus the micro-batch queue's depth and coalescing
-        counters under ``queue_*``.
+        live slot), ``models``/``default_model`` (the fleet), and
+        ``per_model`` -- one dict per tenant with its ``queue_depth``
+        (coalescing queue), ``backlog``/``inflight`` split,
+        ``ewma_service_s``, and observed latency p50/p99 (``None``
+        with telemetry off) -- the autoscaler's tenant-trigger input.
+        The micro-batch coalescing counters aggregate over all tenant
+        queues under ``queue_*``.
         """
-        queue_stats = self.micro_queue.stats
-        queue_depth = self.micro_queue.depth
+        queue_depths = {
+            name: queue.depth for name, queue in self._micro_queues.items()
+        }
+        queue_stats_all = {
+            name: queue.stats for name, queue in self._micro_queues.items()
+        }
         latency = self.metrics_registry.find("serve.job_latency_seconds")
         with self._jobs_lock:
             per_worker = [
@@ -1378,6 +1644,18 @@ class ServingPool:
                 for i, state in enumerate(self._slot_state)
                 if state != _RETIRED
             ]
+            backlog_by: Dict[str, int] = {}
+            for _job_id, name, _samples in self._backlog:
+                backlog_by[name] = backlog_by.get(name, 0) + 1
+            inflight_by: Dict[str, int] = {}
+            for slot in self._inflight:
+                for job_id in slot:
+                    job = self._jobs.get(job_id)
+                    if job is not None:
+                        inflight_by[job[1]] = inflight_by.get(job[1], 0) + 1
+            ewma_by = {
+                name: stat.ewma for name, stat in self._service_model.items()
+            }
             snapshot = {
                 "workers": sum(
                     state in (_STARTING, _ACTIVE) for state in self._slot_state
@@ -1400,16 +1678,58 @@ class ServingPool:
             snapshot["latency_p50_s"] = None
             snapshot["latency_p90_s"] = None
             snapshot["latency_p99_s"] = None
+        per_model = {}
+        for name in self._model_names:
+            tenant_latency = self.metrics_registry.find(
+                "serve.job_latency_seconds", model=name
+            )
+            has_latency = tenant_latency is not None and tenant_latency.count
+            per_model[name] = {
+                "queue_depth": queue_depths[name],
+                "backlog": backlog_by.get(name, 0),
+                "inflight": inflight_by.get(name, 0),
+                "ewma_service_s": ewma_by.get(name),
+                "latency_p50_s": (
+                    tenant_latency.quantile(0.50) if has_latency else None
+                ),
+                "latency_p99_s": (
+                    tenant_latency.quantile(0.99) if has_latency else None
+                ),
+                **{
+                    f"queue_{k}": v
+                    for k, v in queue_stats_all[name].items()
+                },
+            }
+        # tenant queues aggregate into the legacy pool-wide queue_* keys
+        total_batches = sum(s["batches"] for s in queue_stats_all.values())
+        total_fill = sum(
+            s["mean_fill"] * s["batches"] for s in queue_stats_all.values()
+        )
+        extra = {}
+        if self._default_model is not None:
+            spec = self._specs[self._default_model]
+            extra = {
+                "dtype": spec.dtype,
+                "weight_only": spec.weight_only,
+                "backend": spec.backend,
+            }
         return {
             **snapshot,
             "batch_size": self.batch_size,
             "prefetch": self.prefetch,
-            "dtype": self.dtype,
-            "weight_only": self.weight_only,
-            "backend": self.backend,
+            **extra,
+            "models": list(self._model_names),
+            "default_model": self._default_model,
+            "per_model": per_model,
             "per_worker": per_worker,
-            "queue_depth": queue_depth,
-            **{f"queue_{k}": v for k, v in queue_stats.items()},
+            "queue_depth": sum(queue_depths.values()),
+            "queue_requests": sum(
+                s["requests"] for s in queue_stats_all.values()
+            ),
+            "queue_batches": total_batches,
+            "queue_mean_fill": (
+                total_fill / total_batches if total_batches else 0.0
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -1454,30 +1774,119 @@ class ServingPool:
         return self.trace_buffer.events(trace_id)
 
 
+class ModelHandle:
+    """One tenant's view of a :class:`ServingPool`.
+
+    ``pool.model("vgg16")`` binds the tenant once; every method then
+    routes to it without repeating ``model=``.  Handles are cheap,
+    stateless views -- make as many as you like, share them across
+    threads.
+    """
+
+    __slots__ = ("pool", "name")
+
+    def __init__(self, pool: ServingPool, name: Optional[str] = None) -> None:
+        self.pool = pool
+        self.name = pool.resolve_model(name)
+
+    @property
+    def spec(self) -> ModelSpec:
+        """The bound tenant's :class:`ModelSpec`."""
+        return self.pool._specs[self.name]
+
+    def submit(self, samples: np.ndarray) -> Future:
+        return self.pool.submit(samples, model=self.name)
+
+    def predict(
+        self, samples: np.ndarray, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        return self.pool.predict(samples, timeout=timeout, model=self.name)
+
+    def predict_one(
+        self, sample: np.ndarray, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """One sample through the tenant's micro-batch queue."""
+        self.pool._require_serving()  # no dispatcher -> would hang
+        future = self.pool._micro_queues[self.name].submit(np.asarray(sample))
+        return future.result(timeout)
+
+    def map_predict(
+        self,
+        samples: np.ndarray,
+        shard_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        return self.pool.map_predict(
+            samples, shard_size=shard_size, timeout=timeout, model=self.name
+        )
+
+    def map_predict_stream(
+        self,
+        batches: Iterable[np.ndarray],
+        shard_size: Optional[int] = None,
+        window: Optional[int] = None,
+        timeout: Optional[float] = None,
+        residency: Optional[dict] = None,
+    ) -> Iterator[np.ndarray]:
+        return self.pool.map_predict_stream(
+            batches,
+            shard_size=shard_size,
+            window=window,
+            timeout=timeout,
+            residency=residency,
+            model=self.name,
+        )
+
+    def stats(self) -> dict:
+        """This tenant's slice of :meth:`ServingPool.stats`
+        (``per_model`` entry)."""
+        return self.pool.stats()["per_model"][self.name]
+
+    def __repr__(self) -> str:
+        return f"ModelHandle({self.name!r})"
+
+
 class ServingClient:
     """Synchronous per-request facade over a :class:`ServingPool`.
 
-    ``predict`` enqueues each sample into the pool's micro-batching
-    queue, so concurrent clients coalesce into shared forwards; results
-    come back per-request.
+    ``predict`` enqueues each sample into the tenant's micro-batching
+    queue, so concurrent clients of the same tenant coalesce into
+    shared forwards; results come back per-request.  Tenants never
+    coalesce with each other.  ``model=`` (constructor default,
+    overridable per call) picks the tenant; omitted, the pool's
+    default model serves -- single-model pools behave exactly as
+    before.
     """
 
-    def __init__(self, pool: ServingPool) -> None:
+    def __init__(self, pool: ServingPool, model: Optional[str] = None) -> None:
         self.pool = pool
+        self.model = pool.resolve_model(model)
 
-    def predict_one(self, sample: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+    def _queue(self, model: Optional[str]) -> MicroBatchQueue:
+        name = self.model if model is None else self.pool.resolve_model(model)
+        return self.pool._micro_queues[name]
+
+    def predict_one(
+        self,
+        sample: np.ndarray,
+        timeout: Optional[float] = None,
+        model: Optional[str] = None,
+    ) -> np.ndarray:
         """Logits for one sample (a single request on the queue)."""
         self.pool._require_serving()  # no dispatcher -> requests would hang
-        return self.pool.micro_queue.submit(np.asarray(sample)).result(timeout)
+        return self._queue(model).submit(np.asarray(sample)).result(timeout)
 
-    def predict(self, samples: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+    def predict(
+        self,
+        samples: np.ndarray,
+        timeout: Optional[float] = None,
+        model: Optional[str] = None,
+    ) -> np.ndarray:
         """Logits for an array of samples, one request per sample."""
         self.pool._require_serving()  # no dispatcher -> requests would hang
         samples = np.asarray(samples)
         if samples.shape[0] == 0:
             raise ValueError("predict() needs at least one sample")
-        futures = [
-            self.pool.micro_queue.submit(samples[i])
-            for i in range(samples.shape[0])
-        ]
+        queue = self._queue(model)
+        futures = [queue.submit(samples[i]) for i in range(samples.shape[0])]
         return np.stack([future.result(timeout) for future in futures])

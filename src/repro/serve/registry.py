@@ -1,0 +1,377 @@
+"""Model registry and configuration objects for fleet serving.
+
+The paper's packed low-bit checkpoints are tiny (2.8-85 KiB across the
+zoo), so one :class:`~repro.serve.pool.ServingPool` can plausibly hold
+*thousands* of frozen models.  This module is the vocabulary for that:
+
+* :class:`ModelSpec` -- how to materialise one tenant's
+  :class:`~repro.runtime.FrozenModel` (checkpoint path + serving dtype
+  + weight-only flag + execution backend).  Validation happens in
+  ``__post_init__``: a typo'd dtype or backend on *any* registered
+  model raises in the parent process, before N workers fork and decode
+  checkpoints only to die on ``set_backend``.
+* :class:`ModelRegistry` -- an ordered mapping of tenant name ->
+  :class:`ModelSpec` with a resolvable *default* (explicit, or implied
+  when exactly one model is registered).  A registry freezes when a
+  ServingPool is constructed over it: the worker fleet forked with one spec table
+  must never disagree with the parent's routing table.
+* :class:`PoolConfig` / :class:`AutoscaleConfig` / :class:`ServeConfig`
+  -- frozen dataclasses replacing the kwarg sprawl that
+  ``ServingPool.__init__`` had accreted.  ``ServeConfig`` is the one
+  object :func:`repro.serve.serve` needs to stand up registry + pool +
+  autoscaler.
+
+Tenant names double as metric label values
+(``serve.job_latency_seconds{model=...}``), so they are validated
+against the label-safe charset in :func:`repro.obs.labels.is_label_safe`
+at registration time -- a name that would corrupt snapshot keys never
+enters the fleet.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.obs.labels import is_label_safe
+
+__all__ = [
+    "AutoscaleConfig",
+    "ModelRegistry",
+    "ModelSpec",
+    "PoolConfig",
+    "ServeConfig",
+    "DEFAULT_MODEL",
+]
+
+#: tenant name given to the sole model of a legacy single-checkpoint
+#: pool (``ServingPool(path, ...)`` shim) and used in examples.
+DEFAULT_MODEL = "default"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """How one tenant's frozen model is materialised in a worker.
+
+    Parameters
+    ----------
+    checkpoint_path:
+        Packed ``.npz`` checkpoint written by ``FrozenModel.save``.
+    dtype:
+        Serving dtype (any floating numpy dtype; ``"float32"`` fast
+        path by default).
+    weight_only:
+        Serve packed low-bit weights with float activations (skips all
+        activation fake-quant; see ``FrozenModel.load``).
+    backend:
+        Execution backend selected after loading (``"float"`` default,
+        ``"qgemm"`` for code-domain LUT execution, ``"fused"`` for the
+        plan compiler; see ``FrozenModel.set_backend``).
+
+    Both ``dtype`` and ``backend`` are validated eagerly here, so a
+    typo fails at spec construction in the parent -- not after N
+    workers each fork and decode the checkpoint only to hit
+    ``set_backend``'s ``KeyError``.
+    """
+
+    checkpoint_path: str
+    dtype: str = "float32"
+    weight_only: bool = False
+    backend: str = "float"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "checkpoint_path", str(self.checkpoint_path))
+        try:
+            resolved = np.dtype(self.dtype)
+        except TypeError as exc:
+            raise ValueError(
+                f"unknown serving dtype {self.dtype!r}"
+            ) from exc
+        if resolved.kind != "f":
+            raise ValueError(
+                f"serving dtype must be floating, got {self.dtype!r}"
+            )
+        object.__setattr__(self, "dtype", resolved.name)
+        object.__setattr__(self, "weight_only", bool(self.weight_only))
+        object.__setattr__(self, "backend", str(self.backend))
+        from repro.runtime.backends import get_backend
+
+        try:
+            get_backend(self.backend)
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}: {exc}"
+            ) from exc
+
+    def load(self):
+        """Materialise the spec: load + astype + set_backend.
+
+        The one canonical decode path -- workers' LRU caches and
+        single-process reference checks in tests/examples both call
+        this, so "what a tenant's model *is*" cannot diverge between
+        the fleet and the bit-identity reference.
+        """
+        from repro.runtime import FrozenModel
+
+        model = FrozenModel.load(self.checkpoint_path, weight_only=self.weight_only)
+        model.astype(np.dtype(self.dtype))
+        if self.backend != "float":
+            model.set_backend(self.backend)
+        return model
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Pool-level knobs, decoupled from any particular model.
+
+    Replaces the 13-kwarg ``ServingPool.__init__`` sprawl: everything
+    about *one model* moved to :class:`ModelSpec`; what remains here is
+    fleet mechanics.  See the :class:`~repro.serve.pool.ServingPool`
+    docstring for the semantics of each field.
+
+    ``cache_budget_bytes`` is new with multi-tenancy: each worker keeps
+    an LRU cache of loaded models, bounded by the packed on-disk bytes
+    of the resident checkpoints.  ``None`` (default) means unbounded --
+    every touched model stays decoded.  A model is only evicted to
+    admit another; the budget never evicts the last resident model, so
+    a single spec larger than the budget still serves.
+    """
+
+    n_workers: int = 2
+    batch_size: int = 64
+    max_wait_ms: float = 2.0
+    prefetch: int = 1
+    respawn_workers: bool = True
+    max_respawns: Optional[int] = None
+    start_method: Optional[str] = None
+    start_timeout: Optional[float] = 120.0
+    cache_budget_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.prefetch < 1:
+            raise ValueError(f"prefetch must be >= 1, got {self.prefetch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_respawns is not None and self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.start_timeout is not None and self.start_timeout <= 0:
+            raise ValueError(
+                f"start_timeout must be positive, got {self.start_timeout}"
+            )
+        if (
+            self.start_method is not None
+            and self.start_method not in mp.get_all_start_methods()
+        ):
+            raise ValueError(
+                f"unknown start_method {self.start_method!r}; "
+                f"available: {mp.get_all_start_methods()}"
+            )
+        if self.cache_budget_bytes is not None and self.cache_budget_bytes < 1:
+            raise ValueError(
+                f"cache_budget_bytes must be >= 1, got {self.cache_budget_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Declarative form of the :class:`PoolAutoscaler` knobs.
+
+    Field semantics match :class:`~repro.serve.autoscale.PoolAutoscaler`
+    one-for-one; ``PoolAutoscaler.from_config`` consumes this.
+    Validation here mirrors the autoscaler's own so a bad budget fails
+    where the config is written, not where the pool starts.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    latency_budget_s: float = 1.0
+    idle_window_s: float = 10.0
+    cooldown_s: float = 3.0
+    interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) must be >= min_workers "
+                f"({self.min_workers})"
+            )
+        if self.latency_budget_s <= 0:
+            raise ValueError("latency_budget_s must be positive")
+        if self.idle_window_s < 0:
+            raise ValueError("idle_window_s must be >= 0")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+
+
+class ModelRegistry:
+    """An ordered mapping of tenant name -> :class:`ModelSpec`.
+
+    ``models`` may map names to ready :class:`ModelSpec` objects or to
+    bare checkpoint paths (coerced to default-field specs).  A
+    registry with exactly one model treats it as the implied default;
+    with several, requests must either name their model or an explicit
+    ``default`` must be declared (at construction, via
+    ``register(..., default=True)``, or :meth:`set_default`).
+
+    The registry freezes when a :class:`ServingPool` is constructed
+    over it (:meth:`freeze`): workers fork with a snapshot of the spec
+    table,
+    so later registration would silently diverge parent routing from
+    worker reality -- it raises instead.  Start a new pool to serve a
+    changed fleet.
+    """
+
+    def __init__(
+        self,
+        models: Optional[Mapping[str, Union[ModelSpec, str]]] = None,
+        default: Optional[str] = None,
+    ) -> None:
+        self._specs: Dict[str, ModelSpec] = {}
+        self._default: Optional[str] = None
+        self._frozen = False
+        for name, spec in dict(models or {}).items():
+            self.register(name, spec)
+        if default is not None:
+            self.set_default(default)
+
+    def register(
+        self,
+        name: str,
+        spec: Union[ModelSpec, str],
+        default: bool = False,
+    ) -> ModelSpec:
+        """Add one named model; returns its (coerced) spec."""
+        if self._frozen:
+            raise RuntimeError(
+                "registry is frozen (a pool is serving it); "
+                "build a new registry for a changed fleet"
+            )
+        if not isinstance(name, str) or not is_label_safe(name):
+            raise ValueError(
+                f"model name {name!r} is not label-safe: names appear as "
+                "metric label values and must match [A-Za-z0-9._:/-]+"
+            )
+        if name in self._specs:
+            raise ValueError(f"model {name!r} is already registered")
+        if not isinstance(spec, ModelSpec):
+            spec = ModelSpec(checkpoint_path=spec)
+        self._specs[name] = spec
+        if default:
+            self._default = name
+        return spec
+
+    def set_default(self, name: str) -> None:
+        if name not in self._specs:
+            raise ValueError(
+                f"cannot default to unregistered model {name!r}; "
+                f"registered: {sorted(self._specs)}"
+            )
+        if self._frozen:
+            raise RuntimeError(
+                "registry is frozen (a pool is serving it)"
+            )
+        self._default = name
+
+    @property
+    def default_model(self) -> Optional[str]:
+        """The model served when a request names none.
+
+        The explicit default if one was declared, else the sole
+        registered model, else ``None`` (requests must say which).
+        """
+        if self._default is not None:
+            return self._default
+        if len(self._specs) == 1:
+            return next(iter(self._specs))
+        return None
+
+    def freeze(self) -> "ModelRegistry":
+        """Make the registry immutable (called by ``ServingPool.__init__``)."""
+        self._frozen = True
+        return self
+
+    def specs(self) -> Dict[str, ModelSpec]:
+        """A plain-dict snapshot of the spec table (picklable; what
+        worker processes fork with)."""
+        return dict(self._specs)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._specs)
+
+    def __getitem__(self, name: str) -> ModelSpec:
+        return self._specs[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def items(self):
+        return self._specs.items()
+
+    def __repr__(self) -> str:
+        default = self.default_model
+        return (
+            f"ModelRegistry({len(self._specs)} models: "
+            f"{list(self._specs)}, default={default!r})"
+        )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything :func:`repro.serve.serve` needs, in one object.
+
+    ``models`` maps tenant names to :class:`ModelSpec`s (or bare
+    checkpoint paths); ``default_model`` optionally names the tenant
+    served when a request names none.  ``autoscale=None`` serves at a
+    fixed ``pool.n_workers``.
+    """
+
+    models: Mapping[str, Union[ModelSpec, str]]
+    pool: PoolConfig = field(default_factory=PoolConfig)
+    autoscale: Optional[AutoscaleConfig] = None
+    default_model: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError("ServeConfig needs at least one model")
+        if not isinstance(self.pool, PoolConfig):
+            raise ValueError(
+                f"pool must be a PoolConfig, got {type(self.pool).__name__}"
+            )
+        if self.autoscale is not None and not isinstance(
+            self.autoscale, AutoscaleConfig
+        ):
+            raise ValueError(
+                "autoscale must be an AutoscaleConfig or None, got "
+                f"{type(self.autoscale).__name__}"
+            )
+        if (
+            self.default_model is not None
+            and self.default_model not in self.models
+        ):
+            raise ValueError(
+                f"default_model {self.default_model!r} is not in models "
+                f"({sorted(self.models)})"
+            )
+
+    def build_registry(self) -> ModelRegistry:
+        """A fresh :class:`ModelRegistry` from ``models`` + default."""
+        return ModelRegistry(self.models, default=self.default_model)

@@ -1,0 +1,453 @@
+"""Multi-tenant serving: one pool, a registry of models, per-tenant
+bit-identity.
+
+The fleet contract extends the single-model one: every tenant's pooled
+results must be bit-identical to its own single-process
+``spec.load().predict(x, batch_size, pad_batches=True)`` -- no matter
+how requests from different tenants interleave, which worker served
+them, how the per-worker LRU cache evicted and re-decoded checkpoints
+along the way, or whether a worker was SIGKILLed mid-job and respawned.
+
+The fixture builds three genuinely distinct tenants from one trained
+model (4-bit, 2-bit, and weight-only 4-bit freezes of vgg16), so any
+routing mix-up shows up as a wrong answer, not just a wrong label.
+"""
+
+import asyncio
+import dataclasses
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.quant.framework import ModelQuantizer
+from repro.serve import (
+    AsyncServingClient,
+    AutoscaleConfig,
+    ModelRegistry,
+    ModelSpec,
+    PoolAutoscaler,
+    PoolConfig,
+    ServeConfig,
+    ServingClient,
+    ServingPool,
+    serve,
+)
+from repro.zoo import calibration_batch, trained_model
+
+BATCH = 16
+
+
+def _wait_for(predicate, timeout=60.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture(scope="module")
+def zoo(tmp_path_factory):
+    """Three tenant specs over two frozen vgg16 checkpoints, plus the
+    per-tenant single-process reference logits for ``x``."""
+    entry = trained_model("vgg16")
+    root = tmp_path_factory.mktemp("zoo")
+    paths = {}
+    for bits in (4, 3):
+        quantizer = ModelQuantizer(entry.model, "ip-f", bits)
+        quantizer.calibrate(calibration_batch(entry.dataset)).apply()
+        try:
+            frozen = quantizer.freeze(model_name="vgg16")
+        finally:
+            quantizer.remove()
+        path = root / f"vgg16_int{bits}.npz"
+        frozen.save(path)
+        paths[bits] = path
+    specs = {
+        "vgg-int4": ModelSpec(paths[4]),
+        "vgg-int3": ModelSpec(paths[3]),
+        "vgg-int4-wo": ModelSpec(paths[4], weight_only=True),
+    }
+    x = entry.dataset.x_test[:70]
+    refs = {
+        name: spec.load().predict(x, batch_size=BATCH, pad_batches=True)
+        for name, spec in specs.items()
+    }
+    # the tenants must be distinguishable, or routing bugs would pass
+    assert not np.array_equal(refs["vgg-int4"], refs["vgg-int3"])
+    return paths, specs, refs, x
+
+
+@pytest.fixture(scope="module")
+def zoo_pool(zoo):
+    """A started 2-worker pool serving all three tenants (roomy cache)."""
+    _, specs, refs, x = zoo
+    registry = ModelRegistry(specs, default="vgg-int4")
+    pool = ServingPool(
+        registry, PoolConfig(n_workers=2, batch_size=BATCH, prefetch=2)
+    ).start()
+    yield pool, refs, x
+    pool.close()
+
+
+# ----------------------------------------------------------------------
+# eager validation: a bad spec/config fails in the parent, pre-fork
+# ----------------------------------------------------------------------
+def test_model_spec_validates_dtype_and_backend_eagerly():
+    with pytest.raises(ValueError, match="unknown serving dtype"):
+        ModelSpec("ckpt.npz", dtype="not-a-dtype")
+    with pytest.raises(ValueError, match="must be floating"):
+        ModelSpec("ckpt.npz", dtype="int8")
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        ModelSpec("ckpt.npz", backend="cuda")
+    spec = ModelSpec("ckpt.npz", dtype="float64", backend="qgemm")
+    assert spec.dtype == "float64"  # normalized numpy name
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.backend = "float"
+
+
+def test_pool_config_validates_bounds():
+    with pytest.raises(ValueError, match="n_workers must be >= 1"):
+        PoolConfig(n_workers=0)
+    with pytest.raises(ValueError, match="batch_size must be >= 1"):
+        PoolConfig(batch_size=0)
+    with pytest.raises(ValueError, match="prefetch must be >= 1"):
+        PoolConfig(prefetch=0)
+    with pytest.raises(ValueError, match="cache_budget_bytes must be >= 1"):
+        PoolConfig(cache_budget_bytes=0)
+    with pytest.raises(ValueError, match="unknown start_method"):
+        PoolConfig(start_method="teleport")
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        PoolConfig().n_workers = 8
+
+
+def test_autoscale_config_validates_bounds():
+    with pytest.raises(ValueError, match="min_workers must be >= 1"):
+        AutoscaleConfig(min_workers=0)
+    with pytest.raises(ValueError):
+        AutoscaleConfig(min_workers=3, max_workers=2)
+    with pytest.raises(ValueError, match="latency_budget_s"):
+        AutoscaleConfig(latency_budget_s=0.0)
+
+
+def test_registry_semantics():
+    registry = ModelRegistry()
+    registry.register("a", "ckpt_a.npz")  # str coerces to ModelSpec
+    assert isinstance(registry["a"], ModelSpec)
+    assert registry.default_model == "a"  # sole model is the default
+    registry.register("b", ModelSpec("ckpt_b.npz"))
+    assert registry.default_model is None  # ambiguous now
+    registry.set_default("b")
+    assert registry.default_model == "b"
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register("a", "elsewhere.npz")
+    with pytest.raises(ValueError):
+        registry.register("bad name!", "ckpt.npz")  # not label-safe
+    assert sorted(registry.names()) == ["a", "b"]
+    assert "a" in registry and "nope" not in registry
+    registry.freeze()
+    with pytest.raises(RuntimeError, match="frozen"):
+        registry.register("c", "ckpt_c.npz")
+
+
+def test_serve_config_validation(zoo):
+    _, specs, _, _ = zoo
+    with pytest.raises(ValueError, match="at least one model"):
+        ServeConfig(models={})
+    with pytest.raises(ValueError):
+        ServeConfig(models={"a": specs["vgg-int4"]}, default_model="nope")
+
+
+def test_empty_registry_rejected():
+    with pytest.raises(ValueError, match="no models"):
+        ServingPool(ModelRegistry(), PoolConfig())
+
+
+def test_resolution_requires_default_on_multi_model_pool(zoo):
+    _, specs, _, _ = zoo
+    pool = ServingPool(ModelRegistry(specs), PoolConfig(n_workers=1))
+    with pytest.raises(ValueError, match="no .?default"):
+        pool.resolve_model(None)
+    with pytest.raises(KeyError, match="not registered"):
+        pool.resolve_model("nope")
+    assert pool.resolve_model("vgg-int3") == "vgg-int3"
+    # a handle resolves back to its bound name
+    assert pool.resolve_model(pool.model("vgg-int4")) == "vgg-int4"
+
+
+# ----------------------------------------------------------------------
+# legacy single-checkpoint constructor: one deprecation cycle
+# ----------------------------------------------------------------------
+def test_legacy_constructor_warns_and_still_serves(zoo):
+    paths, _, refs, x = zoo
+    with pytest.warns(DeprecationWarning, match="ModelRegistry"):
+        pool = ServingPool(str(paths[4]), n_workers=1, batch_size=BATCH)
+    try:
+        pool.start()
+        assert pool.stats()["models"] == ["default"]
+        assert np.array_equal(pool.predict(x[:24]), refs["vgg-int4"][:24])
+    finally:
+        pool.close()
+
+
+def test_legacy_constructor_still_validates(zoo):
+    paths, _, _, _ = zoo
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="n_workers must be >= 1"):
+            ServingPool(str(paths[4]), n_workers=0)
+
+
+def test_registry_constructor_rejects_legacy_kwargs(zoo):
+    _, specs, _, _ = zoo
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        ServingPool(ModelRegistry(specs), PoolConfig(), dtype="float64")
+
+
+# ----------------------------------------------------------------------
+# routed serving surfaces (shared roomy-cache pool)
+# ----------------------------------------------------------------------
+def test_per_tenant_routing_and_default(zoo_pool):
+    pool, refs, x = zoo_pool
+    assert np.array_equal(pool.predict(x[:16]), refs["vgg-int4"][:16])
+    assert np.array_equal(
+        pool.predict(x[:16], model="vgg-int3"), refs["vgg-int3"][:16]
+    )
+    handle = pool.model("vgg-int4-wo")
+    assert np.array_equal(handle.predict(x[:16]), refs["vgg-int4-wo"][:16])
+    assert handle.spec.weight_only is True
+    stats = pool.stats()
+    assert stats["default_model"] == "vgg-int4"
+    assert sorted(stats["models"]) == ["vgg-int3", "vgg-int4", "vgg-int4-wo"]
+    assert sorted(stats["per_model"]) == sorted(stats["models"])
+    for tenant in stats["per_model"].values():
+        assert {"queue_depth", "backlog", "inflight"} <= set(tenant)
+
+
+def test_clients_route_models(zoo_pool):
+    pool, refs, x = zoo_pool
+    client = ServingClient(pool, model="vgg-int3")
+    assert np.array_equal(client.predict_one(x[0]), refs["vgg-int3"][0])
+    # per-call override beats the bound default
+    assert np.array_equal(
+        client.predict(x[:8], model="vgg-int4"), refs["vgg-int4"][:8]
+    )
+    # an unbound client follows the pool default
+    assert np.array_equal(
+        ServingClient(pool).predict_one(x[1]), refs["vgg-int4"][1]
+    )
+
+
+def test_map_predict_routes_models(zoo_pool):
+    pool, refs, x = zoo_pool
+    assert np.array_equal(
+        pool.map_predict(x, model="vgg-int3"), refs["vgg-int3"]
+    )
+    rows = list(
+        pool.map_predict_stream([x[:32], x[32:48]], model="vgg-int4-wo")
+    )
+    assert np.array_equal(np.asarray(rows), refs["vgg-int4-wo"][:48])
+
+
+def test_async_client_routes_models(zoo_pool):
+    pool, refs, x = zoo_pool
+
+    async def roundtrip():
+        client = AsyncServingClient(pool, model="vgg-int3")
+        batch = await client.predict(x[:8])
+        row = await client.predict_one(x[0], model="vgg-int4")
+        streamed = []
+        async for r in client.stream_predict([x[:16]], model="vgg-int4-wo"):
+            streamed.append(r)
+        return batch, row, streamed
+
+    batch, row, streamed = asyncio.run(roundtrip())
+    assert np.array_equal(batch, refs["vgg-int3"][:8])
+    assert np.array_equal(row, refs["vgg-int4"][0])
+    assert np.array_equal(np.asarray(streamed), refs["vgg-int4-wo"][:16])
+
+
+# ----------------------------------------------------------------------
+# the tentpole property: bit-identity per tenant under interleaving
+# and LRU eviction (cache budget < fleet working set)
+# ----------------------------------------------------------------------
+def test_interleaved_tenants_bit_identical_under_eviction(zoo):
+    paths, specs, refs, x = zoo
+    # room for roughly two of the three decoded checkpoints: serving
+    # the third tenant must evict the least-recently-used one
+    budget = os.path.getsize(paths[4]) + os.path.getsize(paths[3])
+    registry = ModelRegistry(specs)
+    pool = ServingPool(
+        registry,
+        PoolConfig(
+            n_workers=2,
+            batch_size=BATCH,
+            prefetch=2,
+            cache_budget_bytes=budget,
+        ),
+    ).start()
+    try:
+        names = sorted(specs)
+        rng = np.random.default_rng(7)
+        jobs = []
+        for _ in range(24):
+            name = names[int(rng.integers(len(names)))]
+            lo = int(rng.integers(0, len(x) - 1))
+            hi = int(rng.integers(lo + 1, len(x) + 1))
+            jobs.append((name, lo, hi, pool.submit(x[lo:hi], model=name)))
+        for name, lo, hi, future in jobs:
+            assert np.array_equal(future.result(timeout=300), refs[name][lo:hi])
+
+        def total(metrics, prefix):
+            # metrics() keys render labels as ``name{model=...}``
+            return sum(
+                v for k, v in metrics.items() if k.startswith(prefix + "{")
+            )
+
+        metrics = pool.metrics()
+        assert total(metrics, "serve.model_cache_loads_total") >= len(names)
+        assert total(metrics, "serve.model_cache_evictions_total") >= 1
+        assert total(metrics, "serve.model_cache_hits_total") >= 1
+        # the budget held: resident bytes never exceeded it (gauge is
+        # the post-eviction value from the most recent load)
+        snapshot = pool.metrics_snapshot()
+        for key, entry in snapshot.items():
+            if key.startswith("serve.model_cache_resident_bytes"):
+                assert entry["value"] <= budget
+    finally:
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# crash mid-flight: respawn preserves per-tenant routing and trace IDs
+# ----------------------------------------------------------------------
+def test_sigkill_respawn_preserves_tenant_routing(zoo):
+    _, specs, refs, x = zoo
+    registry = ModelRegistry(specs, default="vgg-int4")
+    pool = ServingPool(
+        registry, PoolConfig(n_workers=1, batch_size=BATCH)
+    ).start()
+    try:
+        pool.predict(x[:8])  # healthy first
+        victim = pool._workers[0]
+        big = np.concatenate([x] * 20)
+        f_int4 = pool.submit(big, model="vgg-int4")
+        assert _wait_for(
+            lambda: pool._inflight[0] and pool._task_queues[0].empty()
+        )
+        # backlog jobs for the other tenants, queued behind the doomed one
+        f_int3 = pool.submit(x[:32], model="vgg-int3")
+        f_wo = pool.submit(x[:16], model="vgg-int4-wo")
+        os.kill(victim.pid, signal.SIGKILL)
+        assert np.array_equal(
+            f_int4.result(timeout=300),
+            np.concatenate([refs["vgg-int4"]] * 20),
+        )
+        assert np.array_equal(f_int3.result(timeout=300), refs["vgg-int3"][:32])
+        assert np.array_equal(f_wo.result(timeout=300), refs["vgg-int4-wo"][:16])
+        assert pool.stats()["respawns"] >= 1
+        requeues = [e for e in pool.trace_events() if e["name"] == "requeue"]
+        assert requeues
+        # the requeued job kept both its tenant and its trace identity
+        assert requeues[0]["args"]["model"] == "vgg-int4"
+        trace_id = requeues[0]["args"]["trace_id"]
+        assert trace_id is not None
+        names = [e["name"] for e in pool.trace_events(trace_id)]
+        assert names.count("queue-wait") >= 2  # original + re-dispatch
+        assert "compute" in names
+    finally:
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# serve() facade
+# ----------------------------------------------------------------------
+def test_serve_facade_full_config(zoo):
+    _, specs, refs, x = zoo
+    config = ServeConfig(
+        models={"int4": specs["vgg-int4"], "int3": specs["vgg-int3"]},
+        pool=PoolConfig(n_workers=1, batch_size=BATCH),
+        autoscale=AutoscaleConfig(
+            min_workers=1, max_workers=2, latency_budget_s=30.0,
+            idle_window_s=60.0,
+        ),
+        default_model="int3",
+    )
+    with serve(config) as svc:
+        assert svc.autoscaler is not None
+        assert np.array_equal(svc.model().predict(x[:8]), refs["vgg-int3"][:8])
+        assert np.array_equal(
+            svc.model("int4").predict(x[:8]), refs["vgg-int4"][:8]
+        )
+        assert svc.stats()["default_model"] == "int3"
+    assert not svc.pool.is_serving
+
+
+def test_serve_facade_bare_registry(zoo):
+    _, specs, refs, x = zoo
+    registry = ModelRegistry({"solo": specs["vgg-int3"]})
+    with serve(registry) as svc:
+        assert svc.autoscaler is None
+        assert np.array_equal(svc.model().predict(x[:8]), refs["vgg-int3"][:8])
+    with pytest.raises(TypeError, match="ServeConfig or ModelRegistry"):
+        serve(42)
+
+
+# ----------------------------------------------------------------------
+# per-tenant autoscaling policy (pure decide(), no processes)
+# ----------------------------------------------------------------------
+def _fleet_stats(workers, per_model, queue_depth=0, batch_size=4):
+    return {
+        "workers": workers,
+        "backlog": 0,
+        "inflight": 0,
+        "ewma_service_s": 0.0,
+        "queue_depth": queue_depth,
+        "batch_size": batch_size,
+        "per_model": per_model,
+    }
+
+
+def test_autoscaler_tenant_p99_trigger():
+    scaler = PoolAutoscaler(None, max_workers=4, latency_budget_s=1.0)
+    hot = {"hot": {"queue_depth": 6, "latency_p99_s": 2.5}}
+    assert scaler.decide(_fleet_stats(1, hot, queue_depth=6), 0.0) == 1
+    event = scaler.events[-1]
+    assert event["reason"] == "tenant-p99"
+    assert event["inputs"]["tenant"] == "hot"
+
+
+def test_autoscaler_tenant_predicted_latency_trigger():
+    scaler = PoolAutoscaler(None, max_workers=4, latency_budget_s=1.0)
+    # 8 queued requests coalesce into >= 2 jobs of batch 4; at 1s per
+    # job on 1 worker that predicts 2s > 1s budget
+    hot = {"hot": {"queue_depth": 8, "ewma_service_s": 1.0}}
+    assert scaler.decide(_fleet_stats(1, hot, queue_depth=8), 0.0) == 1
+    assert scaler.events[-1]["reason"] == "tenant-predicted-latency"
+
+
+def test_autoscaler_ignores_idle_tenants_and_max_bound():
+    scaler = PoolAutoscaler(None, max_workers=4, latency_budget_s=1.0)
+    # a stale p99 from finished traffic must not grow an idle fleet
+    cold = {"cold": {"queue_depth": 0, "latency_p99_s": 99.0}}
+    assert scaler.decide(_fleet_stats(2, cold), 0.0) == 0
+    # and a hot tenant cannot push past max_workers
+    hot = {"hot": {"queue_depth": 9, "latency_p99_s": 99.0}}
+    assert scaler.decide(_fleet_stats(4, hot, queue_depth=9), 10.0) == 0
+
+
+def test_autoscaler_queued_requests_block_idle_shrink():
+    scaler = PoolAutoscaler(
+        None, min_workers=1, max_workers=4, latency_budget_s=50.0,
+        idle_window_s=1.0, cooldown_s=0.0,
+    )
+    # requests waiting in a tenant queue are not "idle", even with no
+    # job-level backlog -- the idle clock must not run
+    assert scaler.decide(_fleet_stats(2, {}, queue_depth=3), 0.0) == 0
+    assert scaler.decide(_fleet_stats(2, {}, queue_depth=3), 5.0) == 0
+    # queues drain: the idle window starts only now
+    assert scaler.decide(_fleet_stats(2, {}, queue_depth=0), 5.0) == 0
+    assert scaler.decide(_fleet_stats(2, {}, queue_depth=0), 6.5) == -1
+    assert scaler.events[-1]["reason"] == "idle-window"
